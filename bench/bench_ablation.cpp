@@ -1,0 +1,154 @@
+// Ablations of the design choices DESIGN.md calls out:
+//
+//  A. Update rule: racy (Baudet / the paper) vs eager (Jager & Bradley).
+//  B. Message delivery: raw RMA (stale puts may overwrite newer values)
+//     vs ordered (stale puts dropped).
+//  C. Communication cost: latency sweep — where does async's advantage
+//     over sync move as alpha grows?
+//  D. Partition quality: naive contiguous slabs vs the graph-growing
+//     partitioner.
+//  E. Put granularity: per-neighbor puts vs row-level puts.
+
+#include <cstdio>
+
+#include "ajac/gen/fd.hpp"
+#include "bench_common.hpp"
+
+using namespace ajac;
+
+namespace {
+
+struct RunConfig {
+  bool synchronous = false;
+  distsim::UpdateRule rule = distsim::UpdateRule::kRacy;
+  bool ordered = false;
+  bool row_puts = false;
+  double alpha = -1.0;       // <0: default
+  double beta = -1.0;        // <0: default
+  double msg_jitter = -1.0;  // <0: default
+  double speed_sigma = -1.0; // <0: default
+  index_t delayed = -1;      // >=0: rank to slow down 20x
+  bool naive_partition = false;
+};
+
+double time_to_tol(const gen::LinearProblem& p, index_t ranks,
+                   const RunConfig& cfg, double tol, std::uint64_t seed) {
+  bench::PartitionedProblem pp;
+  if (cfg.naive_partition) {
+    pp.a = p.a;
+    pp.b = p.b;
+    pp.x0 = p.x0;
+    pp.part = partition::contiguous_partition(p.a.num_rows(), ranks);
+  } else {
+    pp = bench::partition_problem(p, ranks, seed);
+  }
+  distsim::DistOptions o;
+  o.num_processes = ranks;
+  o.synchronous = cfg.synchronous;
+  o.update_rule = cfg.rule;
+  o.ordered_delivery = cfg.ordered;
+  o.row_level_puts = cfg.row_puts;
+  o.max_iterations = 100000;
+  o.tolerance = tol;
+  o.seed = seed;
+  if (cfg.alpha >= 0.0) o.cost.alpha = cfg.alpha;
+  if (cfg.beta >= 0.0) o.cost.beta = cfg.beta;
+  if (cfg.msg_jitter >= 0.0) o.cost.msg_jitter_sigma = cfg.msg_jitter;
+  if (cfg.speed_sigma >= 0.0) o.cost.speed_sigma = cfg.speed_sigma;
+  if (cfg.delayed >= 0) {
+    o.delayed_process = cfg.delayed;
+    o.delay_factor = 20.0;
+  }
+  const auto r = distsim::solve_distributed(pp.a, pp.b, pp.x0, pp.part, o);
+  return bench::time_to_threshold(r.history, tol);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_ablation", "design-choice ablations on distsim");
+  bench::add_common_options(cli);
+  cli.add_option("n", "64", "grid edge (n x n FD Laplacian)");
+  cli.add_option("ranks", "64", "rank count");
+  cli.add_option("tolerance", "1e-2", "residual target");
+  if (!cli.parse(argc, argv)) return 0;
+  const auto n = cli.get_int("n");
+  const auto ranks = cli.get_int("ranks");
+  const double tol = cli.get_double("tolerance");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  const auto p =
+      gen::make_problem("fd", gen::fd_laplacian_2d(n, n), seed);
+  std::printf("== Ablations (FD %lldx%lld, %lld ranks, tol %.0e) ==\n",
+              static_cast<long long>(n), static_cast<long long>(n),
+              static_cast<long long>(ranks), tol);
+
+  Table table({"ablation", "configuration", "sim seconds to tol"});
+  table.set_double_format("%.4g");
+
+  // A. Update rule — with a wide per-rank speed spread, racy lets fast
+  // ranks spin on stale data while eager throttles them to fresh
+  // messages.
+  {
+    RunConfig racy;
+    racy.speed_sigma = 0.5;
+    racy.delayed = ranks / 2;
+    RunConfig eager = racy;
+    eager.rule = distsim::UpdateRule::kEager;
+    table.add_row({std::string("A update rule (speed spread)"),
+                   std::string("racy (paper)"),
+                   time_to_tol(p, ranks, racy, tol, seed)});
+    table.add_row({std::string("A update rule (speed spread)"),
+                   std::string("eager"),
+                   time_to_tol(p, ranks, eager, tol, seed)});
+  }
+  // B. Delivery ordering under heavy latency jitter (reordered puts).
+  {
+    RunConfig raw;
+    raw.msg_jitter = 1.5;
+    RunConfig ordered = raw;
+    ordered.ordered = true;
+    table.add_row({std::string("B delivery"), std::string("raw RMA"),
+                   time_to_tol(p, ranks, raw, tol, seed)});
+    table.add_row({std::string("B delivery"), std::string("ordered"),
+                   time_to_tol(p, ranks, ordered, tol, seed)});
+  }
+  // C. Latency sweep: async vs sync crossover.
+  for (double alpha : {1.5e-7, 1.5e-6, 1.5e-5}) {
+    RunConfig async_cfg;
+    async_cfg.alpha = alpha;
+    RunConfig sync_cfg = async_cfg;
+    sync_cfg.synchronous = true;
+    const double ta = time_to_tol(p, ranks, async_cfg, tol, seed);
+    const double ts = time_to_tol(p, ranks, sync_cfg, tol, seed);
+    char label[64];
+    std::snprintf(label, sizeof(label), "alpha=%.1e async", alpha);
+    table.add_row({std::string("C latency"), std::string(label), ta});
+    std::snprintf(label, sizeof(label), "alpha=%.1e sync", alpha);
+    table.add_row({std::string("C latency"), std::string(label), ts});
+  }
+  // D. Partition quality on a byte-cost-dominated network (large beta
+  // makes boundary size matter).
+  {
+    RunConfig smart;
+    smart.beta = 2e-8;
+    RunConfig naive = smart;
+    naive.naive_partition = true;
+    table.add_row({std::string("D partition"), std::string("graph-growing"),
+                   time_to_tol(p, ranks, smart, tol, seed)});
+    table.add_row({std::string("D partition"), std::string("naive slabs"),
+                   time_to_tol(p, ranks, naive, tol, seed)});
+  }
+  // E. Put granularity.
+  {
+    RunConfig coarse;
+    RunConfig fine;
+    fine.row_puts = true;
+    table.add_row({std::string("E puts"), std::string("per-neighbor"),
+                   time_to_tol(p, ranks, coarse, tol, seed)});
+    table.add_row({std::string("E puts"), std::string("row-level"),
+                   time_to_tol(p, ranks, fine, tol, seed)});
+  }
+  bench::emit(table, cli, "ablation");
+  return 0;
+}

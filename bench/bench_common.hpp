@@ -1,0 +1,101 @@
+#pragma once
+// Shared helpers for the figure/table reproduction harness.
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "ajac/distsim/dist_jacobi.hpp"
+#include "ajac/gen/problem.hpp"
+#include "ajac/partition/partition.hpp"
+#include "ajac/sparse/csr.hpp"
+#include "ajac/util/cli.hpp"
+#include "ajac/util/table.hpp"
+
+namespace ajac::bench {
+
+/// Simulated seconds at which the relative residual first reaches
+/// `threshold`, interpolating linearly on log10 of the residual between
+/// snapshots — the paper's measurement method ("linear interpolation on
+/// the log10 of the relative residual norm was used", Sec. VII-C).
+/// Returns a negative value if the threshold is never reached.
+inline double time_to_threshold(
+    const std::vector<distsim::DistHistoryPoint>& history, double threshold) {
+  for (std::size_t k = 1; k < history.size(); ++k) {
+    const double r_prev = history[k - 1].rel_residual_1;
+    const double r_cur = history[k].rel_residual_1;
+    if (r_cur <= threshold && r_prev > threshold) {
+      const double l_prev = std::log10(r_prev);
+      const double l_cur = std::log10(r_cur);
+      const double w = (l_prev - std::log10(threshold)) / (l_prev - l_cur);
+      return history[k - 1].sim_seconds +
+             w * (history[k].sim_seconds - history[k - 1].sim_seconds);
+    }
+  }
+  return -1.0;
+}
+
+/// Same interpolation, but returning cumulative relaxations.
+inline double relaxations_to_threshold(
+    const std::vector<distsim::DistHistoryPoint>& history, double threshold) {
+  for (std::size_t k = 1; k < history.size(); ++k) {
+    const double r_prev = history[k - 1].rel_residual_1;
+    const double r_cur = history[k].rel_residual_1;
+    if (r_cur <= threshold && r_prev > threshold) {
+      const double l_prev = std::log10(r_prev);
+      const double l_cur = std::log10(r_cur);
+      const double w = (l_prev - std::log10(threshold)) / (l_prev - l_cur);
+      return static_cast<double>(history[k - 1].relaxations) +
+             w * static_cast<double>(history[k].relaxations -
+                                     history[k - 1].relaxations);
+    }
+  }
+  return -1.0;
+}
+
+/// Partition + permute a problem for `procs` ranks; returns the permuted
+/// system ready for solve_distributed.
+struct PartitionedProblem {
+  CsrMatrix a;
+  Vector b;
+  Vector x0;
+  partition::Partition part;
+};
+
+inline PartitionedProblem partition_problem(const gen::LinearProblem& p,
+                                            index_t procs,
+                                            std::uint64_t seed = 1) {
+  PartitionedProblem out;
+  if (procs <= 1) {
+    out.a = p.a;
+    out.b = p.b;
+    out.x0 = p.x0;
+    out.part = partition::contiguous_partition(p.a.num_rows(), 1);
+    return out;
+  }
+  const auto sys = partition::graph_growing_partition(p.a, procs, seed);
+  out.a = sys.perm.apply_symmetric(p.a);
+  out.b = sys.perm.apply(p.b);
+  out.x0 = sys.perm.apply(p.x0);
+  out.part = sys.partition;
+  return out;
+}
+
+/// Emit a table to stdout and optionally to CSV (--csv-dir).
+inline void emit(const Table& table, const CliParser& cli,
+                 const std::string& name) {
+  std::fputs(table.to_string().c_str(), stdout);
+  const std::string dir = cli.get_string("csv-dir");
+  if (!dir.empty()) {
+    table.write_csv(dir + "/" + name + ".csv");
+    std::printf("(csv written to %s/%s.csv)\n", dir.c_str(), name.c_str());
+  }
+  std::fflush(stdout);
+}
+
+inline void add_common_options(CliParser& cli) {
+  cli.add_option("csv-dir", "", "directory to write CSV outputs into");
+  cli.add_option("seed", "7", "base random seed");
+}
+
+}  // namespace ajac::bench

@@ -1,0 +1,113 @@
+// Figure 2 reproduction: fraction of propagated relaxations vs number of
+// workers.
+//
+// Paper setup: asynchronous OpenMP runs on a 20-core Xeon ("CPU", FD
+// matrix with 40 rows / 174 nonzeros, 5-40 threads) and a KNL ("Phi", FD
+// matrix with 272 rows / 1294 nonzeros, 17-272 threads); for each run the
+// read versions are recorded and the greedy Phi(l) reconstruction of
+// Sec. IV-A counts how many relaxations are expressible as propagation
+// matrices. Expected shape: the fraction is high (~0.8-0.99) and increases
+// with the worker count (fewer rows per worker).
+//
+// Substitution: a single-core machine serializes OpenMP threads, which
+// makes traces trivially 100% propagated. Genuinely overlapped traces come
+// from the distsim runtime under the shared-memory cost model (visibility
+// latency ~ cache coherency, per-iteration overhead ~ the O(n) norm scan).
+// Pass --openmp to additionally record real OpenMP traces (meaningful on a
+// multicore host).
+
+#include <cstdio>
+
+#include "ajac/gen/fd.hpp"
+#include "ajac/model/trace.hpp"
+#include "ajac/runtime/shared_jacobi.hpp"
+#include "bench_common.hpp"
+
+using namespace ajac;
+
+namespace {
+
+double simulated_fraction(const gen::LinearProblem& p, index_t procs,
+                          index_t iterations, std::uint64_t seed) {
+  const auto pp = bench::partition_problem(p, procs, seed);
+  distsim::DistOptions o;
+  o.num_processes = procs;
+  o.max_iterations = iterations;
+  o.record_trace = true;
+  o.seed = seed;
+  o.cost = distsim::CostModel::shared_memory_like(p.a.num_rows());
+  const auto r = distsim::solve_distributed(pp.a, pp.b, pp.x0, pp.part, o);
+  return model::analyze_trace(*r.trace).fraction;
+}
+
+double openmp_fraction(const gen::LinearProblem& p, index_t threads,
+                       index_t iterations) {
+  runtime::SharedOptions o;
+  o.num_threads = threads;
+  o.tolerance = 0.0;
+  o.max_iterations = iterations;
+  o.record_trace = true;
+  o.record_history = false;
+  o.yield = true;
+  const auto r = runtime::solve_shared(p.a, p.b, p.x0, o);
+  return model::analyze_trace(*r.trace).fraction;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_fig2",
+                "Fig. 2: fraction of propagated relaxations vs workers");
+  bench::add_common_options(cli);
+  cli.add_option("iterations", "100", "local iterations per worker");
+  cli.add_option("samples", "3", "runs averaged per data point");
+  cli.add_flag("openmp",
+               "also record real OpenMP traces (only meaningful with more "
+               "cores than threads)");
+  if (!cli.parse(argc, argv)) return 0;
+  const auto iterations = cli.get_int("iterations");
+  const auto samples = cli.get_int("samples");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const bool with_openmp = cli.get_bool("openmp");
+
+  struct Platform {
+    const char* name;
+    gen::LinearProblem problem;
+    std::vector<index_t> workers;
+  };
+  std::vector<Platform> platforms;
+  platforms.push_back({"CPU (FD 40x174)",
+                       gen::make_problem("fd40", gen::paper_fd_40(), seed),
+                       {5, 10, 20, 40}});
+  platforms.push_back({"Phi (FD 272x1294)",
+                       gen::make_problem("fd272", gen::paper_fd_272(), seed),
+                       {17, 34, 68, 136, 272}});
+
+  std::printf("== Fig. 2: fraction of propagated relaxations ==\n");
+  Table table({"platform", "workers", "rows/worker", "fraction (sim)",
+               "fraction (openmp)"});
+  table.set_double_format("%.3f");
+  for (const auto& plat : platforms) {
+    for (index_t workers : plat.workers) {
+      double frac = 0.0;
+      for (index_t s = 0; s < samples; ++s) {
+        frac += simulated_fraction(plat.problem, workers, iterations,
+                                   seed + static_cast<std::uint64_t>(s));
+      }
+      frac /= static_cast<double>(samples);
+      double omp_frac = -1.0;
+      if (with_openmp) {
+        omp_frac = openmp_fraction(plat.problem, workers, iterations);
+      }
+      table.add_row({std::string(plat.name), workers,
+                     plat.problem.a.num_rows() / workers, frac, omp_frac});
+    }
+  }
+  bench::emit(table, cli, "fig2");
+  std::printf(
+      "\nPaper shape: fraction between ~0.8 (Phi, 34 threads) and ~0.99 (CPU,\n"
+      "40 threads), increasing with the worker count. The simulated fractions\n"
+      "reproduce the increasing trend; '-1' in the openmp column means the\n"
+      "real-thread trace was not requested (--openmp).\n");
+  return 0;
+}

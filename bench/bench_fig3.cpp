@@ -1,0 +1,93 @@
+// Figure 3 reproduction: speedup of asynchronous over synchronous Jacobi
+// as a function of the delay experienced by one worker.
+//
+// Paper setup: FD matrix with 68 rows / 298 nonzeros, 68 workers (one row
+// each), relative residual 1-norm tolerance 1e-3; a single worker (a row
+// near the middle) is delayed by delta. Synchronous Jacobi waits at the
+// barrier for the slow worker, so its time is (iterations x delta);
+// asynchronous Jacobi keeps relaxing the other rows. Both the model-time
+// speedup and a wall-clock-style speedup (distsim with a delayed process)
+// are reported. Expected shape: speedup ~1 at delta=0, rising steeply and
+// plateauing once the delayed row's information no longer limits progress.
+
+#include <cstdio>
+
+#include "ajac/gen/fd.hpp"
+#include "ajac/model/executor.hpp"
+#include "bench_common.hpp"
+
+using namespace ajac;
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_fig3", "Fig. 3: async/sync speedup vs delay");
+  bench::add_common_options(cli);
+  cli.add_option("tolerance", "1e-3", "relative residual 1-norm target");
+  cli.add_option("deltas", "1,2,5,10,20,50,100", "model delays to sweep");
+  cli.add_option("samples", "5", "random right-hand sides per point");
+  if (!cli.parse(argc, argv)) return 0;
+  const double tol = cli.get_double("tolerance");
+  const auto deltas = cli.get_int_list("deltas");
+  const auto samples = cli.get_int("samples");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  std::printf("== Fig. 3: speedup of asynchronous over synchronous Jacobi ==\n");
+  Table table({"delta", "sync model time", "async model time",
+               "model speedup", "sim-time speedup (distsim)"});
+  table.set_double_format("%.3g");
+
+  for (index_t delta : deltas) {
+    double sync_steps = 0.0;
+    double async_steps = 0.0;
+    double sim_speedup = 0.0;
+    for (index_t s = 0; s < samples; ++s) {
+      const auto p = gen::make_problem(
+          "fd68", gen::paper_fd_68(), seed + static_cast<std::uint64_t>(s));
+      const index_t n = p.a.num_rows();
+      model::ExecutorOptions eo;
+      eo.tolerance = tol;
+      eo.max_steps = 1000000;
+      eo.record_every = 64;
+
+      model::SynchronousSchedule sync(n, delta);
+      const auto rs = model::run_model(p.a, p.b, p.x0, sync, eo);
+      model::DelayedRowsSchedule async(n, {{n / 2, delta}});
+      const auto ra = model::run_model(p.a, p.b, p.x0, async, eo);
+      sync_steps += static_cast<double>(rs.steps);
+      async_steps += static_cast<double>(ra.steps);
+
+      // Distributed-simulation counterpart: one process per row, the
+      // middle one `delta` times slower.
+      const auto pp = bench::partition_problem(p, n, seed);
+      distsim::DistOptions base;
+      base.num_processes = n;
+      base.max_iterations = 1000000;
+      base.tolerance = tol;
+      base.cost = distsim::CostModel::shared_memory_like(n);
+      base.seed = seed + static_cast<std::uint64_t>(s);
+      distsim::DistOptions sync_o = base;
+      sync_o.synchronous = true;
+      sync_o.delayed_process = pp.part.owner(n / 2);
+      sync_o.delay_factor = static_cast<double>(delta);
+      distsim::DistOptions async_o = sync_o;
+      async_o.synchronous = false;
+      const auto ds =
+          distsim::solve_distributed(pp.a, pp.b, pp.x0, pp.part, sync_o);
+      const auto da =
+          distsim::solve_distributed(pp.a, pp.b, pp.x0, pp.part, async_o);
+      const double ts = bench::time_to_threshold(ds.history, tol);
+      const double ta = bench::time_to_threshold(da.history, tol);
+      if (ts > 0.0 && ta > 0.0) sim_speedup += ts / ta;
+    }
+    sync_steps /= static_cast<double>(samples);
+    async_steps /= static_cast<double>(samples);
+    sim_speedup /= static_cast<double>(samples);
+    table.add_row({delta, sync_steps, async_steps, sync_steps / async_steps,
+                   sim_speedup});
+  }
+  bench::emit(table, cli, "fig3");
+  std::printf(
+      "\nPaper shape: speedup ~1 with no delay, increasing with delta and\n"
+      "plateauing (the paper reports >40x on its 68-thread KNL runs; the\n"
+      "plateau level depends on the spectrum of the deflated submatrix).\n");
+  return 0;
+}

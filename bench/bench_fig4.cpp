@@ -1,0 +1,78 @@
+// Figure 4 reproduction: relative residual 1-norm as a function of time,
+// for several delays of one worker.
+//
+// Paper setup: FD matrix with 68 rows / 298 nonzeros, 68 workers. Left
+// panel: the model, delays delta in {0,10,20,50,100} model steps. Right
+// panel: OpenMP wall clock, delays {0,500,1000,5000,10000} microseconds.
+// Expected shape: for each delay, synchronous Jacobi stretches the same
+// convergence curve by the delay factor; asynchronous Jacobi keeps
+// reducing the residual between the delayed row's relaxations, showing a
+// saw-tooth at the second-largest delay and continued (slower) decrease
+// even when one row is delayed until convergence.
+
+#include <cstdio>
+
+#include "ajac/gen/fd.hpp"
+#include "ajac/model/executor.hpp"
+#include "bench_common.hpp"
+
+using namespace ajac;
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_fig4",
+                "Fig. 4: residual vs model time for several delays");
+  bench::add_common_options(cli);
+  cli.add_option("deltas", "0,10,20,50,100", "delays (model steps)");
+  cli.add_option("tolerance", "1e-3", "stop tolerance");
+  cli.add_option("max-steps", "6000", "model step cap");
+  cli.add_option("print-every", "250", "history rows printed per curve");
+  if (!cli.parse(argc, argv)) return 0;
+  const auto deltas = cli.get_int_list("deltas");
+  const double tol = cli.get_double("tolerance");
+  const auto max_steps = cli.get_int("max-steps");
+  const auto print_every = cli.get_int("print-every");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  const auto p = gen::make_problem("fd68", gen::paper_fd_68(), seed);
+  const index_t n = p.a.num_rows();
+
+  std::printf("== Fig. 4: residual vs model time, one delayed row ==\n");
+  Table table({"variant", "delta", "model time", "rel residual 1-norm"});
+  table.set_double_format("%.4e");
+
+  for (index_t delta : deltas) {
+    const index_t d = std::max<index_t>(delta, 1);
+    model::ExecutorOptions eo;
+    eo.tolerance = tol;
+    eo.max_steps = max_steps;
+    eo.record_every = 1;
+
+    model::SynchronousSchedule sync(n, d);
+    const auto rs = model::run_model(p.a, p.b, p.x0, sync, eo);
+    model::DelayedRowsSchedule async(n, {{n / 2, d}});
+    const auto ra = model::run_model(p.a, p.b, p.x0, async, eo);
+
+    auto emit_curve = [&](const char* variant, const model::ModelResult& r,
+                          index_t delta_label) {
+      for (std::size_t k = 0; k < r.history.size();
+           k += static_cast<std::size_t>(print_every)) {
+        table.add_row({std::string(variant), delta_label,
+                       static_cast<double>(r.history[k].step),
+                       r.history[k].rel_residual_1});
+      }
+      table.add_row({std::string(variant), delta_label,
+                     static_cast<double>(r.history.back().step),
+                     r.history.back().rel_residual_1});
+    };
+    emit_curve("sync", rs, delta);
+    emit_curve("async", ra, delta);
+  }
+  bench::emit(table, cli, "fig4");
+  std::printf(
+      "\nPaper shape: async curves reach the tolerance in far fewer model\n"
+      "steps than sync for every nonzero delay; at the largest delay the\n"
+      "async residual still decreases (the delayed row relaxes only a few\n"
+      "times), and at intermediate delays a saw-tooth appears each time the\n"
+      "delayed row injects its correction.\n");
+  return 0;
+}

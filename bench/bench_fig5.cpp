@@ -1,0 +1,92 @@
+// Figure 5 reproduction: scaling with the number of workers, FD matrix
+// with 4624 rows / 22848 nonzeros (68x68 grid).
+//
+//  (a) time until the relative residual 1-norm drops below 1e-3;
+//  (b) time to carry out 100 iterations regardless of residual.
+//
+// Paper setup: KNL, 1..272 threads (68 physical cores, 4 hyperthreads).
+// Expected shape: async is faster than sync everywhere (the barrier and
+// the slowest-thread wait dominate sync); sync is fastest below the full
+// hyperthread count while async keeps improving up to 272 workers because
+// added concurrency also *accelerates convergence* (fewer rows per worker
+// => more multiplicative behaviour).
+//
+// Substitution: wall-clock comes from the distsim shared-memory cost model
+// with 68 cores (the paper's machine shape); real OpenMP timing on this
+// one-core host would only measure the OS scheduler.
+
+#include <cstdio>
+
+#include "ajac/gen/fd.hpp"
+#include "bench_common.hpp"
+
+using namespace ajac;
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_fig5", "Fig. 5: time vs worker count, FD 4624");
+  bench::add_common_options(cli);
+  cli.add_option("workers", "1,2,4,8,17,34,68,136,272", "worker counts");
+  cli.add_option("cores", "68", "physical cores in the machine model");
+  cli.add_option("tolerance", "1e-3", "panel (a) residual target");
+  cli.add_option("iterations", "100", "panel (b) iteration count");
+  cli.add_option("samples", "3", "runs averaged per point");
+  if (!cli.parse(argc, argv)) return 0;
+  const auto workers = cli.get_int_list("workers");
+  const auto cores = cli.get_int("cores");
+  const double tol = cli.get_double("tolerance");
+  const auto iters_b = cli.get_int("iterations");
+  const auto samples = cli.get_int("samples");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  std::printf("== Fig. 5: scaling on FD 4624 (68x68 grid) ==\n");
+  Table table({"workers", "sync time->tol", "async time->tol",
+               "sync time 100 it", "async time 100 it"});
+  table.set_double_format("%.4g");
+
+  for (index_t w : workers) {
+    double t_sync_tol = 0.0, t_async_tol = 0.0;
+    double t_sync_100 = 0.0, t_async_100 = 0.0;
+    for (index_t s = 0; s < samples; ++s) {
+      const auto p = gen::make_problem(
+          "fd4624", gen::paper_fd_4624(), seed + static_cast<std::uint64_t>(s));
+      const auto pp = bench::partition_problem(p, w, seed);
+      distsim::DistOptions base;
+      base.num_processes = w;
+      base.cost = distsim::CostModel::shared_memory_like(p.a.num_rows());
+      base.cost.cores = cores;
+      base.seed = seed + static_cast<std::uint64_t>(s);
+
+      // Panel (a): run until the tolerance.
+      for (bool synchronous : {true, false}) {
+        distsim::DistOptions o = base;
+        o.synchronous = synchronous;
+        o.tolerance = tol;
+        o.max_iterations = 1000000;
+        const auto r =
+            distsim::solve_distributed(pp.a, pp.b, pp.x0, pp.part, o);
+        const double t = bench::time_to_threshold(r.history, tol);
+        (synchronous ? t_sync_tol : t_async_tol) += t > 0 ? t : r.sim_seconds;
+      }
+      // Panel (b): exactly `iters_b` local iterations.
+      for (bool synchronous : {true, false}) {
+        distsim::DistOptions o = base;
+        o.synchronous = synchronous;
+        o.tolerance = 0.0;
+        o.max_iterations = iters_b;
+        const auto r =
+            distsim::solve_distributed(pp.a, pp.b, pp.x0, pp.part, o);
+        (synchronous ? t_sync_100 : t_async_100) += r.sim_seconds;
+      }
+    }
+    const auto avg = [&](double x) { return x / static_cast<double>(samples); };
+    table.add_row({w, avg(t_sync_tol), avg(t_async_tol), avg(t_sync_100),
+                   avg(t_async_100)});
+  }
+  bench::emit(table, cli, "fig5");
+  std::printf(
+      "\nPaper shape: (a) async reaches the tolerance faster at every worker\n"
+      "count and is fastest at 272 workers, while sync bottoms out below the\n"
+      "maximum; (b) async also wins on fixed-iteration time because it skips\n"
+      "the barrier and slowest-worker wait.\n");
+  return 0;
+}

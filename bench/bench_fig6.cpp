@@ -1,0 +1,98 @@
+// Figure 6 reproduction: asynchronous Jacobi converging where synchronous
+// Jacobi does not, FE matrix with 3081 rows (rho(G) > 1).
+//
+//  (a) relative residual 1-norm vs iterations for 68/136/272 workers,
+//      synchronous and asynchronous;
+//  (b) long asynchronous run at 272 workers confirming true convergence.
+//
+// Paper setup: KNL (68 physical cores, up to 272 hyperthreads). Expected
+// shape: every synchronous run diverges; asynchronous runs diverge at 68,
+// diverge more slowly at 136, and converge at 272 workers — added
+// concurrency turns the iteration multiplicative (Sec. IV-D).
+
+#include <cstdio>
+
+#include "ajac/gen/fe.hpp"
+#include "bench_common.hpp"
+
+using namespace ajac;
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_fig6", "Fig. 6: async rescues the divergent FE matrix");
+  bench::add_common_options(cli);
+  cli.add_option("workers", "68,136,272", "worker counts");
+  cli.add_option("cores", "68", "physical cores in the machine model");
+  cli.add_option("iterations", "600", "panel (a) local iterations");
+  cli.add_option("long-iterations", "3000", "panel (b) local iterations");
+  cli.add_option("print-points", "12", "history samples printed per curve");
+  if (!cli.parse(argc, argv)) return 0;
+  const auto workers = cli.get_int_list("workers");
+  const auto cores = cli.get_int("cores");
+  const auto iterations = cli.get_int("iterations");
+  const auto long_iterations = cli.get_int("long-iterations");
+  const auto points = std::max<index_t>(2, cli.get_int("print-points"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  const auto p = gen::make_problem("fe3081", gen::paper_fe_3081(), seed);
+
+  std::printf("== Fig. 6(a): FE 3081, sync vs async across worker counts ==\n");
+  Table table({"variant", "workers", "iterations", "rel residual 1-norm"});
+  table.set_double_format("%.4e");
+
+  auto run = [&](bool synchronous, index_t w, index_t iters) {
+    const auto pp = bench::partition_problem(p, w, seed);
+    distsim::DistOptions o;
+    o.num_processes = w;
+    o.synchronous = synchronous;
+    o.max_iterations = iters;
+    o.cost = distsim::CostModel::shared_memory_like(p.a.num_rows());
+    o.cost.cores = cores;
+    o.seed = seed;
+    return distsim::solve_distributed(pp.a, pp.b, pp.x0, pp.part, o);
+  };
+
+  auto emit_curve = [&](const char* variant, index_t w,
+                        const distsim::DistResult& r, Table& t) {
+    const std::size_t stride =
+        std::max<std::size_t>(1, r.history.size() / points);
+    for (std::size_t k = 0; k < r.history.size(); k += stride) {
+      t.add_row({std::string(variant), w,
+                 static_cast<double>(r.history[k].relaxations) /
+                     static_cast<double>(p.a.num_rows()),
+                 r.history[k].rel_residual_1});
+    }
+  };
+
+  for (index_t w : workers) {
+    const auto rs = run(true, w, iterations);
+    const auto ra = run(false, w, iterations);
+    emit_curve("sync", w, rs, table);
+    emit_curve("async", w, ra, table);
+    std::printf("workers=%3lld: sync final=%.3e  async final=%.3e\n",
+                static_cast<long long>(w), rs.final_rel_residual_1,
+                ra.final_rel_residual_1);
+  }
+  bench::emit(table, cli, "fig6a");
+
+  std::printf("\n== Fig. 6(b): long async run at %lld workers ==\n",
+              static_cast<long long>(workers.back()));
+  Table table_b({"iterations", "rel residual 1-norm"});
+  table_b.set_double_format("%.4e");
+  const auto rb = run(false, workers.back(), long_iterations);
+  const std::size_t stride =
+      std::max<std::size_t>(1, rb.history.size() / points);
+  for (std::size_t k = 0; k < rb.history.size(); k += stride) {
+    table_b.add_row({static_cast<double>(rb.history[k].relaxations) /
+                         static_cast<double>(p.a.num_rows()),
+                     rb.history[k].rel_residual_1});
+  }
+  table_b.add_row({static_cast<double>(rb.history.back().relaxations) /
+                       static_cast<double>(p.a.num_rows()),
+                   rb.history.back().rel_residual_1});
+  bench::emit(table_b, cli, "fig6b");
+  std::printf(
+      "\nPaper shape: all sync runs diverge (rho(G) > 1); async starts to\n"
+      "converge once the worker count reaches 272, and panel (b) shows the\n"
+      "272-worker run truly converging rather than diverging later.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Figure 7 reproduction: relative residual norm vs relaxations/n for the
+// six Jacobi-convergent Table-I problems, synchronous vs asynchronous,
+// with the asynchronous runs swept over increasing rank counts.
+//
+// Paper setup: Cori Haswell, 1..128 nodes = 32..4096 MPI ranks,
+// point-to-point for sync and MPI_Put RMA for async; matrices partitioned
+// with METIS. Expected shape: async converges in fewer (or similar)
+// relaxations than sync, and *more ranks improve the async convergence
+// rate* — most visibly on the smaller problems (thermomech_dm), whose
+// subdomains shrink fastest.
+//
+// Substitution: the distsim runtime with the network (alpha-beta) cost
+// model stands in for Cori; the Table-I matrices are generated analogues
+// at --scale of their reduced default sizes.
+
+#include <cstdio>
+
+#include "ajac/gen/analogues.hpp"
+#include "bench_common.hpp"
+
+using namespace ajac;
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_fig7",
+                "Fig. 7: residual vs relaxations/n, Table-I problems");
+  bench::add_common_options(cli);
+  cli.add_option("scale", "0.2", "analogue size multiplier");
+  cli.add_option("ranks", "32,128,512,2048", "async rank counts (green->blue)");
+  cli.add_option("sync-ranks", "32", "rank count for the sync curve");
+  cli.add_option("iterations", "300", "local iterations per rank");
+  cli.add_option("print-points", "10", "history samples printed per curve");
+  cli.add_option("matrix", "",
+                 "run a single matrix by name (default: all six)");
+  if (!cli.parse(argc, argv)) return 0;
+  const double scale = cli.get_double("scale");
+  const auto ranks = cli.get_int_list("ranks");
+  const auto sync_ranks = cli.get_int("sync-ranks");
+  const auto iterations = cli.get_int("iterations");
+  const auto points = std::max<index_t>(2, cli.get_int("print-points"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const std::string only = cli.get_string("matrix");
+
+  std::printf("== Fig. 7: Table-I problems, residual vs relaxations/n ==\n");
+  Table table({"matrix", "variant", "ranks", "relaxations/n",
+               "rel residual 1-norm"});
+  table.set_double_format("%.4e");
+
+  for (const auto& info : gen::table1_catalogue()) {
+    if (!info.jacobi_converges) continue;  // Dubcova2 is Fig. 9
+    if (!only.empty() && info.name != only) continue;
+    const auto p =
+        gen::make_problem(info.name, gen::make_analogue(info.name, scale, seed),
+                          seed);
+    std::printf("-- %s: n=%lld nnz=%lld --\n", info.name.c_str(),
+                static_cast<long long>(p.a.num_rows()),
+                static_cast<long long>(p.a.num_nonzeros()));
+
+    auto run = [&](bool synchronous, index_t r_count) {
+      const auto pp = bench::partition_problem(p, r_count, seed);
+      distsim::DistOptions o;
+      o.num_processes = r_count;
+      o.synchronous = synchronous;
+      o.max_iterations = iterations;
+      o.seed = seed;
+      o.snapshot_dt = 0.0;
+      return distsim::solve_distributed(pp.a, pp.b, pp.x0, pp.part, o);
+    };
+    auto emit_curve = [&](const char* variant, index_t r_count,
+                          const distsim::DistResult& r) {
+      const std::size_t stride =
+          std::max<std::size_t>(1, r.history.size() / points);
+      for (std::size_t k = 0; k < r.history.size(); k += stride) {
+        table.add_row({info.name, std::string(variant), r_count,
+                       static_cast<double>(r.history[k].relaxations) /
+                           static_cast<double>(p.a.num_rows()),
+                       r.history[k].rel_residual_1});
+      }
+    };
+
+    const auto rs = run(true, sync_ranks);
+    emit_curve("sync", sync_ranks, rs);
+    double prev_final = 1e300;
+    for (index_t r_count : ranks) {
+      if (r_count > p.a.num_rows()) continue;
+      const auto ra = run(false, r_count);
+      emit_curve("async", r_count, ra);
+      std::printf("   async %4lld ranks: final rel res %.3e%s\n",
+                  static_cast<long long>(r_count), ra.final_rel_residual_1,
+                  ra.final_rel_residual_1 <= prev_final * 1.05
+                      ? ""
+                      : "  (slower than previous)");
+      prev_final = ra.final_rel_residual_1;
+    }
+    std::printf("   sync %5lld ranks: final rel res %.3e\n",
+                static_cast<long long>(sync_ranks), rs.final_rel_residual_1);
+  }
+  bench::emit(table, cli, "fig7");
+  std::printf(
+      "\nPaper shape: async needs fewer relaxations than sync for the same\n"
+      "residual, and increasing the rank count improves async convergence,\n"
+      "most prominently on the smaller problems.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Figure 8 reproduction: wall-clock time to reduce the residual norm by a
+// factor of 10 as a function of the number of MPI ranks, synchronous vs
+// asynchronous, for the six Jacobi-convergent Table-I problems.
+//
+// Paper setup: Cori, 32..4096 ranks, 200 runs per point, time measured by
+// linear interpolation on log10 of the relative residual. Expected shape:
+// async is faster than sync nearly everywhere; sync times flatten or rise
+// with rank count as the barrier and slowest-rank wait dominate, async
+// keeps scaling (and on the smallest problem the time can rise at mid
+// rank counts before improved convergence wins again at the largest).
+
+#include <cstdio>
+
+#include "ajac/gen/analogues.hpp"
+#include "bench_common.hpp"
+
+using namespace ajac;
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_fig8", "Fig. 8: sim time to 10x reduction vs ranks");
+  bench::add_common_options(cli);
+  cli.add_option("scale", "0.2", "analogue size multiplier");
+  cli.add_option("ranks", "32,64,128,256,512,1024,2048", "rank counts");
+  cli.add_option("samples", "2", "runs averaged per point (paper: 200)");
+  cli.add_option("reduction", "10", "residual reduction factor to time");
+  cli.add_option("matrix", "", "single matrix by name (default: all six)");
+  if (!cli.parse(argc, argv)) return 0;
+  const double scale = cli.get_double("scale");
+  const auto ranks = cli.get_int_list("ranks");
+  const auto samples = cli.get_int("samples");
+  const double threshold = 1.0 / cli.get_double("reduction");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const std::string only = cli.get_string("matrix");
+
+  std::printf("== Fig. 8: simulated seconds to a 10x residual reduction ==\n");
+  Table table({"matrix", "ranks", "sync seconds", "async seconds",
+               "async speedup"});
+  table.set_double_format("%.4g");
+
+  for (const auto& info : gen::table1_catalogue()) {
+    if (!info.jacobi_converges) continue;
+    if (!only.empty() && info.name != only) continue;
+    const auto p =
+        gen::make_problem(info.name, gen::make_analogue(info.name, scale, seed),
+                          seed);
+    for (index_t r_count : ranks) {
+      if (r_count > p.a.num_rows()) continue;
+      double t_sync = 0.0;
+      double t_async = 0.0;
+      index_t ok = 0;
+      for (index_t s = 0; s < samples; ++s) {
+        const auto pp = bench::partition_problem(p, r_count, seed);
+        distsim::DistOptions o;
+        o.num_processes = r_count;
+        o.max_iterations = 100000;
+        o.tolerance = threshold;
+        o.seed = seed + static_cast<std::uint64_t>(s);
+        o.synchronous = true;
+        const auto rs =
+            distsim::solve_distributed(pp.a, pp.b, pp.x0, pp.part, o);
+        o.synchronous = false;
+        const auto ra =
+            distsim::solve_distributed(pp.a, pp.b, pp.x0, pp.part, o);
+        const double ts = bench::time_to_threshold(rs.history, threshold);
+        const double ta = bench::time_to_threshold(ra.history, threshold);
+        if (ts > 0 && ta > 0) {
+          t_sync += ts;
+          t_async += ta;
+          ++ok;
+        }
+      }
+      if (ok == 0) continue;
+      t_sync /= static_cast<double>(ok);
+      t_async /= static_cast<double>(ok);
+      table.add_row({info.name, r_count, t_sync, t_async, t_sync / t_async});
+    }
+  }
+  bench::emit(table, cli, "fig8");
+  std::printf(
+      "\nPaper shape: asynchronous Jacobi reaches the 10x reduction faster\n"
+      "than synchronous at essentially every rank count, with the gap\n"
+      "widening as ranks increase (barrier and straggler costs grow with\n"
+      "log P while async pays neither).\n");
+  return 0;
+}

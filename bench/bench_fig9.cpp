@@ -1,0 +1,86 @@
+// Figure 9 reproduction: Dubcova2 (Jacobi-divergent, rho(G) > 1) in
+// distributed memory — synchronous Jacobi diverges, asynchronous Jacobi's
+// convergence improves with the rank count, converging at high counts.
+//
+// Paper setup: Cori, async from 1 node (32 ranks) to 128 nodes (4096
+// ranks). Like Fig. 6 this is the concurrency-rescues-divergence result,
+// now over the network. The oversubscription knob (--cores) models ranks
+// sharing cores/progress resources, which staggers their updates — the
+// paper's nodes ran 32 ranks per 32-core node, plus OS/network noise.
+
+#include <cstdio>
+
+#include "ajac/gen/analogues.hpp"
+#include "bench_common.hpp"
+
+using namespace ajac;
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_fig9", "Fig. 9: Dubcova2 — async vs divergent sync");
+  bench::add_common_options(cli);
+  cli.add_option("scale", "0.2", "Dubcova2 analogue size multiplier");
+  cli.add_option("ranks", "32,256,1024", "async rank counts (1..128 nodes)");
+  cli.add_option("sync-ranks", "32", "rank count for the sync curve");
+  cli.add_option("iterations", "400", "local iterations per rank");
+  cli.add_option("cores", "0",
+                 "simulated cores shared by ranks (0 = dedicated cores)");
+  cli.add_option("print-points", "10", "history samples per curve");
+  if (!cli.parse(argc, argv)) return 0;
+  const double scale = cli.get_double("scale");
+  const auto ranks = cli.get_int_list("ranks");
+  const auto sync_ranks = cli.get_int("sync-ranks");
+  const auto iterations = cli.get_int("iterations");
+  const auto cores = cli.get_int("cores");
+  const auto points = std::max<index_t>(2, cli.get_int("print-points"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  const auto p = gen::make_problem(
+      "Dubcova2", gen::make_analogue("Dubcova2", scale, seed), seed);
+  std::printf("== Fig. 9: Dubcova2 analogue, n=%lld nnz=%lld ==\n",
+              static_cast<long long>(p.a.num_rows()),
+              static_cast<long long>(p.a.num_nonzeros()));
+
+  Table table({"variant", "ranks", "relaxations/n", "rel residual 1-norm"});
+  table.set_double_format("%.4e");
+
+  auto run = [&](bool synchronous, index_t r_count) {
+    const auto pp = bench::partition_problem(p, r_count, seed);
+    distsim::DistOptions o;
+    o.num_processes = r_count;
+    o.synchronous = synchronous;
+    o.max_iterations = iterations;
+    o.seed = seed;
+    o.row_level_puts = !synchronous;
+    if (cores > 0) o.cost.cores = cores;
+    return distsim::solve_distributed(pp.a, pp.b, pp.x0, pp.part, o);
+  };
+  auto emit_curve = [&](const char* variant, index_t r_count,
+                        const distsim::DistResult& r) {
+    const std::size_t stride =
+        std::max<std::size_t>(1, r.history.size() / points);
+    for (std::size_t k = 0; k < r.history.size(); k += stride) {
+      table.add_row({std::string(variant), r_count,
+                     static_cast<double>(r.history[k].relaxations) /
+                         static_cast<double>(p.a.num_rows()),
+                     r.history[k].rel_residual_1});
+    }
+  };
+
+  const auto rs = run(true, sync_ranks);
+  emit_curve("sync", sync_ranks, rs);
+  std::printf("sync  %5lld ranks: final rel res %.3e\n",
+              static_cast<long long>(sync_ranks), rs.final_rel_residual_1);
+  for (index_t r_count : ranks) {
+    if (r_count > p.a.num_rows()) continue;
+    const auto ra = run(false, r_count);
+    emit_curve("async", r_count, ra);
+    std::printf("async %5lld ranks: final rel res %.3e\n",
+                static_cast<long long>(r_count), ra.final_rel_residual_1);
+  }
+  bench::emit(table, cli, "fig9");
+  std::printf(
+      "\nPaper shape: synchronous Jacobi diverges on Dubcova2; asynchronous\n"
+      "convergence improves monotonically with the rank count and converges\n"
+      "at the largest counts, as in Fig. 6.\n");
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Kernel microbenchmarks (google-benchmark): the primitives underneath
+// every experiment — SpMV, residual, masked propagation step, norms,
+// coloring, partitioning, and the trace analysis.
+
+#include <benchmark/benchmark.h>
+
+#include "ajac/gen/fd.hpp"
+#include "ajac/gen/problem.hpp"
+#include "ajac/model/propagation.hpp"
+#include "ajac/model/schedule.hpp"
+#include "ajac/model/trace.hpp"
+#include "ajac/partition/partition.hpp"
+#include "ajac/sparse/csr.hpp"
+#include "ajac/sparse/vector_ops.hpp"
+#include "ajac/util/rng.hpp"
+
+namespace {
+
+using namespace ajac;
+
+CsrMatrix grid(index_t edge) { return gen::fd_laplacian_2d(edge, edge); }
+
+void BM_SpmvSerial(benchmark::State& state) {
+  const CsrMatrix a = grid(state.range(0));
+  Rng rng(1);
+  Vector x(static_cast<std::size_t>(a.num_rows()));
+  Vector y(x.size());
+  vec::fill_uniform(x, rng);
+  for (auto _ : state) {
+    a.spmv(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.num_nonzeros());
+}
+BENCHMARK(BM_SpmvSerial)->Arg(64)->Arg(256);
+
+void BM_SpmvOpenMP(benchmark::State& state) {
+  const CsrMatrix a = grid(state.range(0));
+  Rng rng(1);
+  Vector x(static_cast<std::size_t>(a.num_rows()));
+  Vector y(x.size());
+  vec::fill_uniform(x, rng);
+  for (auto _ : state) {
+    a.spmv_omp(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.num_nonzeros());
+}
+BENCHMARK(BM_SpmvOpenMP)->Arg(64)->Arg(256);
+
+void BM_Residual(benchmark::State& state) {
+  const auto p = gen::make_problem("fd", grid(state.range(0)), 1);
+  Vector r(p.b.size());
+  for (auto _ : state) {
+    p.a.residual(p.x0, p.b, r);
+    benchmark::DoNotOptimize(r.data());
+  }
+  state.SetItemsProcessed(state.iterations() * p.a.num_nonzeros());
+}
+BENCHMARK(BM_Residual)->Arg(64)->Arg(256);
+
+void BM_MaskedStep(benchmark::State& state) {
+  const auto p = gen::make_problem("fd", grid(128), 1);
+  const index_t n = p.a.num_rows();
+  // Activate the requested percentage of rows.
+  std::vector<index_t> rows;
+  for (index_t i = 0; i < n; ++i) {
+    if (i % 100 < state.range(0)) rows.push_back(i);
+  }
+  const auto active = model::ActiveSet::from_indices(n, rows);
+  Vector inv_diag(static_cast<std::size_t>(n), 1.0);
+  Vector x = p.x0;
+  Vector scratch(static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    model::apply_step_inplace(p.a, inv_diag, p.b, active, x, scratch);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * active.count());
+}
+BENCHMARK(BM_MaskedStep)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_Norm1(benchmark::State& state) {
+  Rng rng(1);
+  Vector x(static_cast<std::size_t>(state.range(0)));
+  vec::fill_uniform(x, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vec::norm1(x));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Norm1)->Arg(4624)->Arg(100000);
+
+void BM_GreedyColoring(benchmark::State& state) {
+  const CsrMatrix a = grid(state.range(0));
+  for (auto _ : state) {
+    index_t num = 0;
+    benchmark::DoNotOptimize(model::greedy_coloring(a, &num));
+  }
+}
+BENCHMARK(BM_GreedyColoring)->Arg(64)->Arg(128);
+
+void BM_GraphGrowingPartition(benchmark::State& state) {
+  const CsrMatrix a = grid(96);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        partition::graph_growing_partition(a, state.range(0), 1));
+  }
+}
+BENCHMARK(BM_GraphGrowingPartition)->Arg(16)->Arg(64);
+
+void BM_TraceAnalysis(benchmark::State& state) {
+  // Synthetic synchronous trace: n rows, `sweeps` sweeps.
+  const index_t n = state.range(0);
+  model::RelaxationTrace trace(n);
+  for (index_t sweep = 0; sweep < 50; ++sweep) {
+    for (index_t i = 0; i < n; ++i) {
+      model::RelaxationEvent e;
+      e.row = i;
+      if (i > 0) e.reads.push_back({i - 1, sweep});
+      if (i + 1 < n) e.reads.push_back({i + 1, sweep});
+      trace.add_event(e);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::analyze_trace(trace));
+  }
+  state.SetItemsProcessed(state.iterations() * 50 * n);
+}
+BENCHMARK(BM_TraceAnalysis)->Arg(68)->Arg(272);
+
+}  // namespace

@@ -1,0 +1,68 @@
+// Scenario: a slow worker in a parallel solve (the paper's Sec. VII-B
+// delay experiment, and the motivating exascale case — "hardware
+// malfunctions or imbalance").
+//
+// A steady-state heat problem is solved by 68 workers, one of which runs
+// up to 100x slower than the rest. Synchronous Jacobi waits for it at
+// every barrier; asynchronous Jacobi keeps relaxing and folds the slow
+// worker's corrections in whenever they arrive.
+
+#include <cstdio>
+
+#include "ajac/gen/fd.hpp"
+#include "ajac/gen/problem.hpp"
+#include "ajac/model/executor.hpp"
+
+int main() {
+  using namespace ajac;
+
+  const auto p = gen::make_problem("heat", gen::paper_fd_68(), 2026);
+  const index_t n = p.a.num_rows();
+  const double tol = 1e-3;
+
+  std::printf("Steady-state heat problem, %lld unknowns, one worker per row.\n",
+              static_cast<long long>(n));
+  std::printf("Target: relative residual 1-norm below %.0e.\n\n", tol);
+  std::printf("%8s | %16s | %17s | %s\n", "slowdown", "sync model time",
+              "async model time", "async speedup");
+
+  for (index_t delay : {1, 5, 10, 25, 50, 100}) {
+    model::ExecutorOptions opts;
+    opts.tolerance = tol;
+    opts.max_steps = 1000000;
+    opts.record_every = 50;
+
+    // Synchronous: the barrier makes everyone run at the slow worker's
+    // pace - all rows relax only every `delay` steps.
+    model::SynchronousSchedule sync(n, delay);
+    const auto rs = model::run_model(p.a, p.b, p.x0, sync, opts);
+
+    // Asynchronous: only the slow row relaxes every `delay` steps; the
+    // other 67 rows relax every step.
+    model::DelayedRowsSchedule async(n, {{n / 2, delay}});
+    const auto ra = model::run_model(p.a, p.b, p.x0, async, opts);
+
+    std::printf("%7lldx | %16lld | %17lld | %.1fx\n",
+                static_cast<long long>(delay),
+                static_cast<long long>(rs.steps),
+                static_cast<long long>(ra.steps),
+                static_cast<double>(rs.steps) /
+                    static_cast<double>(ra.steps));
+  }
+
+  std::printf(
+      "\nEven with the middle worker delayed *until convergence* the\n"
+      "asynchronous residual keeps falling (Theorem 1: under weak diagonal\n"
+      "dominance no propagation matrix can increase it):\n");
+  model::ExecutorOptions opts;
+  opts.tolerance = 0.0;
+  opts.max_steps = 600;
+  opts.record_every = 100;
+  model::DelayedRowsSchedule forever(n, {{n / 2, 0}});
+  const auto r = model::run_model(p.a, p.b, p.x0, forever, opts);
+  for (const auto& pt : r.history) {
+    std::printf("  step %4lld: rel residual %.3e\n",
+                static_cast<long long>(pt.step), pt.rel_residual_1);
+  }
+  return 0;
+}

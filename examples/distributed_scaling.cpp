@@ -1,0 +1,67 @@
+// Scenario: how asynchronous Jacobi scales in distributed memory (the
+// paper's Sec. VII-C experiments, miniaturized).
+//
+// A heterogeneous-diffusion problem (the ecology2 analogue from Table I)
+// is solved on a simulated cluster at increasing rank counts. Synchronous
+// Jacobi pays a barrier plus the slowest rank every iteration; the
+// asynchronous RMA version pays neither, and its *convergence rate*
+// improves with the rank count.
+
+#include <cstdio>
+
+#include "ajac/distsim/dist_jacobi.hpp"
+#include "ajac/gen/analogues.hpp"
+#include "ajac/partition/partition.hpp"
+
+namespace {
+
+double time_to_tenx(const std::vector<ajac::distsim::DistHistoryPoint>& h) {
+  for (std::size_t k = 1; k < h.size(); ++k) {
+    if (h[k].rel_residual_1 <= 0.1) return h[k].sim_seconds;
+  }
+  return -1.0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ajac;
+
+  const auto p = gen::make_problem(
+      "ecology2", gen::make_analogue("ecology2", 0.1), 42);
+  std::printf(
+      "Heterogeneous diffusion (ecology2 analogue): %lld unknowns, %lld "
+      "nonzeros.\n"
+      "Simulated cluster: alpha-beta network, per-rank speed noise.\n\n",
+      static_cast<long long>(p.a.num_rows()),
+      static_cast<long long>(p.a.num_nonzeros()));
+
+  std::printf("%6s | %13s | %14s | %s\n", "ranks", "sync 10x (s)",
+              "async 10x (s)", "async advantage");
+  for (index_t ranks : {16, 64, 256, 1024}) {
+    const auto sys = partition::graph_growing_partition(p.a, ranks, 1);
+    const auto pa = sys.perm.apply_symmetric(p.a);
+    const auto pb = sys.perm.apply(p.b);
+    const auto px = sys.perm.apply(p.x0);
+
+    distsim::DistOptions o;
+    o.num_processes = ranks;
+    o.max_iterations = 100000;
+    o.tolerance = 0.1;
+    o.synchronous = true;
+    const auto rs = distsim::solve_distributed(pa, pb, px, sys.partition, o);
+    o.synchronous = false;
+    const auto ra = distsim::solve_distributed(pa, pb, px, sys.partition, o);
+
+    const double ts = time_to_tenx(rs.history);
+    const double ta = time_to_tenx(ra.history);
+    std::printf("%6lld | %13.4g | %14.4g | %.2fx\n",
+                static_cast<long long>(ranks), ts, ta, ts / ta);
+  }
+  std::printf(
+      "\nThe asynchronous advantage grows with the rank count: barriers cost\n"
+      "O(log P), stragglers cost the max over P ranks, while asynchronous\n"
+      "ranks just keep relaxing — and smaller subdomains make the iteration\n"
+      "more multiplicative, accelerating convergence itself (Sec. VII-C).\n");
+  return 0;
+}

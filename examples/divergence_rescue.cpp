@@ -1,0 +1,63 @@
+// Scenario: the "surprising result" — asynchronous Jacobi converging on a
+// matrix where synchronous Jacobi diverges (paper Sec. IV-D, Figs. 6/9).
+//
+// The matrix is a genuine P1 finite-element discretization of the Laplace
+// equation on a distorted mesh: SPD, but rho(G) > 1, so classical Jacobi
+// blows up. Running asynchronously with enough concurrency makes the
+// iteration behave multiplicatively (different subdomains relax at
+// different moments), which converges.
+
+#include <cstdio>
+
+#include "ajac/distsim/dist_jacobi.hpp"
+#include "ajac/eig/lanczos.hpp"
+#include "ajac/gen/fe.hpp"
+#include "ajac/gen/problem.hpp"
+#include "ajac/partition/partition.hpp"
+#include "ajac/sparse/properties.hpp"
+
+int main() {
+  using namespace ajac;
+
+  const auto p = gen::make_problem("fe", gen::paper_fe_3081(), 7);
+  const double rho = eig::jacobi_spectral_radius_spd(p.a);
+  std::printf(
+      "FE stiffness matrix: %lld unknowns, %.0f%% of rows weakly diagonally\n"
+      "dominant, rho(G) = %.3f  -> synchronous Jacobi must diverge.\n\n",
+      static_cast<long long>(p.a.num_rows()), 100.0 * wdd_fraction(p.a), rho);
+
+  auto run = [&](bool synchronous, index_t workers) {
+    const auto sys = partition::graph_growing_partition(p.a, workers, 1);
+    distsim::DistOptions o;
+    o.num_processes = workers;
+    o.synchronous = synchronous;
+    o.max_iterations = 800;
+    o.cost = distsim::CostModel::shared_memory_like(p.a.num_rows());
+    o.cost.cores = 68;  // KNL-like: 272 hyperthreads share 68 cores
+    return distsim::solve_distributed(
+        sys.perm.apply_symmetric(p.a), sys.perm.apply(p.b),
+        sys.perm.apply(p.x0), sys.partition, o);
+  };
+
+  std::printf("%-28s | final relative residual\n", "configuration");
+  std::printf("-----------------------------+------------------------\n");
+  const auto sync = run(true, 272);
+  std::printf("%-28s | %.3e  (diverged)\n", "synchronous, 272 workers",
+              sync.final_rel_residual_1);
+  for (index_t workers : {68, 136, 272}) {
+    const auto r = run(false, workers);
+    std::printf("%-28s | %.3e%s\n",
+                (std::string("asynchronous, ") + std::to_string(workers) +
+                 " workers")
+                    .c_str(),
+                r.final_rel_residual_1,
+                r.final_rel_residual_1 < 1.0 ? "  (converging!)" : "");
+  }
+  std::printf(
+      "\nWhy: snapshots of an asynchronous run relax only a subset of rows\n"
+      "at a time. The propagation matrices of such subsets are principal-\n"
+      "submatrix updates whose spectra interlace below rho(G); with enough\n"
+      "concurrency the active blocks decouple and the iteration contracts\n"
+      "even though the full Jacobi sweep does not (paper Sec. IV-D).\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Walkthrough of the paper's propagation-matrix model (Sec. IV):
+//  1. the Fig. 1 examples — which asynchronous histories can be written as
+//     sequences of propagation matrices;
+//  2. Theorem 1 — norms and unit eigenpairs of Ghat/Hhat under delays;
+//  3. the interlacing mechanism behind "more concurrency helps".
+
+#include <cstdio>
+
+#include "ajac/eig/dense_eig.hpp"
+#include "ajac/gen/fd.hpp"
+#include "ajac/model/propagation.hpp"
+#include "ajac/model/theory.hpp"
+#include "ajac/model/trace.hpp"
+#include "ajac/sparse/csr.hpp"
+#include "ajac/sparse/scaling.hpp"
+#include "ajac/sparse/submatrix.hpp"
+
+int main() {
+  using namespace ajac;
+  using model::ActiveSet;
+
+  // ---- 1. Fig. 1: reconstructing parallel steps from read versions ----
+  std::printf("== Fig. 1: propagated-relaxation reconstruction ==\n");
+  for (const auto& [label, trace] :
+       {std::pair{"(a)", model::figure1a_trace()},
+        std::pair{"(b)", model::figure1b_trace()}}) {
+    const auto analysis = model::analyze_trace(trace);
+    std::printf("example %s: %lld/%lld relaxations propagated; steps:", label,
+                static_cast<long long>(analysis.propagated_relaxations),
+                static_cast<long long>(analysis.total_relaxations));
+    for (const auto& step : analysis.steps) {
+      std::printf(" {");
+      for (std::size_t i = 0; i < step.rows.size(); ++i) {
+        std::printf("%sp%lld", i ? "," : "",
+                    static_cast<long long>(step.rows[i] + 1));
+      }
+      std::printf("}%s", step.propagated ? "" : "*");
+    }
+    std::printf("   (* = not expressible as a propagation matrix)\n");
+  }
+
+  // ---- 2. Theorem 1 on a W.D.D. matrix ----
+  std::printf("\n== Theorem 1: delayed rows pin the norms at exactly 1 ==\n");
+  const CsrMatrix a = scale_to_unit_diagonal(gen::fd_laplacian_2d(4, 4));
+  const index_t n = a.num_rows();
+  for (const std::vector<index_t>& delayed :
+       {std::vector<index_t>{5}, std::vector<index_t>{0, 7, 13}}) {
+    const ActiveSet active =
+        ActiveSet::from_indices(n, complement_rows(n, delayed));
+    const auto chk = model::check_theorem1(a, active);
+    std::printf(
+        "delayed rows: %zu  ->  ||Ghat||_inf = %.12f, ||Hhat||_1 = %.12f,\n"
+        "  unit-eigenpair residuals: Hhat %.1e, Ghat %.1e\n",
+        delayed.size(), chk.g_norm_inf, chk.h_norm_1,
+        chk.h_unit_eigvec_residual, chk.g_unit_eigvec_residual);
+  }
+
+  // ---- 3. Interlacing: why delays shrink the spectral radius ----
+  std::printf("\n== Interlacing: active-submatrix spectra ==\n");
+  const DenseMatrix g = model::iteration_matrix_dense(a);
+  const auto lam = eig::dense_symmetric_eig(g).eigenvalues;
+  std::printf("rho(G) = %.4f (full Jacobi)\n",
+              std::max(std::abs(lam.front()), std::abs(lam.back())));
+  for (index_t delayed_count : {1, 4, 8}) {
+    std::vector<index_t> delayed;
+    for (index_t k = 0; k < delayed_count; ++k) {
+      delayed.push_back(k * (n / delayed_count));
+    }
+    const ActiveSet active =
+        ActiveSet::from_indices(n, complement_rows(n, delayed));
+    const auto mu =
+        eig::dense_symmetric_eig(model::active_submatrix_dense(a, active))
+            .eigenvalues;
+    const auto blocks = model::decoupled_block_sizes(a, active);
+    std::printf(
+        "%2lld delayed rows -> rho(G~) = %.4f, %zu decoupled block(s), "
+        "largest %lld\n",
+        static_cast<long long>(delayed_count),
+        std::max(std::abs(mu.front()), std::abs(mu.back())), blocks.size(),
+        static_cast<long long>(blocks.front()));
+  }
+  std::printf(
+      "\nThe interlacing theorem bounds every active-submatrix eigenvalue\n"
+      "inside the full spectrum, so delays never increase the spectral\n"
+      "radius — and once delays decouple the graph, each block interlaces\n"
+      "again, below the whole (paper Sec. IV-C/IV-D).\n");
+  return 0;
+}

@@ -1,0 +1,134 @@
+#include "ajac/core/ajac.hpp"
+
+#include <cmath>
+
+#include "ajac/sparse/scaling.hpp"
+#include "ajac/sparse/vector_ops.hpp"
+#include "ajac/util/check.hpp"
+#include "ajac/util/timer.hpp"
+
+namespace ajac {
+
+const char* version() { return "1.0.0"; }
+
+Solution solve(const CsrMatrix& a, const Vector& b, const Vector& x0,
+               const SolveConfig& config) {
+  AJAC_CHECK(a.num_rows() == a.num_cols());
+  AJAC_CHECK(config.parallelism >= 1);
+  Solution sol;
+  switch (config.backend) {
+    case Backend::kSequential: {
+      solvers::SolveOptions opts;
+      opts.tolerance = config.tolerance;
+      opts.max_iterations = config.max_iterations;
+      WallTimer timer;
+      const solvers::SolveResult r = solvers::jacobi(a, b, x0, opts);
+      sol.seconds = timer.seconds();
+      sol.x = r.x;
+      sol.converged = r.converged;
+      sol.rel_residual_1 = r.final_rel_residual;
+      sol.iterations = r.iterations;
+      sol.relaxations = r.iterations * a.num_rows();
+      return sol;
+    }
+    case Backend::kModel: {
+      model::ExecutorOptions opts;
+      opts.tolerance = config.tolerance;
+      opts.max_steps = config.max_iterations;
+      WallTimer timer;
+      const model::ModelResult r = model::run_synchronous(a, b, x0, opts);
+      sol.seconds = timer.seconds();
+      sol.x = r.x;
+      sol.converged = r.converged;
+      sol.rel_residual_1 = r.final_rel_residual_1;
+      sol.iterations = r.steps;
+      sol.relaxations = r.relaxations;
+      return sol;
+    }
+    case Backend::kSharedMemory: {
+      runtime::SharedOptions opts;
+      opts.num_threads = config.parallelism;
+      opts.synchronous = config.synchronous;
+      opts.tolerance = config.tolerance;
+      opts.max_iterations = config.max_iterations;
+      opts.record_history = false;
+      const runtime::SharedResult r = runtime::solve_shared(a, b, x0, opts);
+      sol.seconds = r.seconds;
+      sol.x = r.x;
+      sol.converged = r.converged;
+      sol.rel_residual_1 = r.final_rel_residual_1;
+      index_t max_iter = 0;
+      for (index_t it : r.iterations_per_thread) {
+        max_iter = std::max(max_iter, it);
+      }
+      sol.iterations = max_iter;
+      sol.relaxations = r.total_relaxations;
+      return sol;
+    }
+    case Backend::kDistributedSim: {
+      distsim::DistOptions opts;
+      opts.num_processes = config.parallelism;
+      opts.synchronous = config.synchronous;
+      opts.max_iterations = config.max_iterations;
+      opts.tolerance = config.tolerance;
+      opts.seed = config.seed;
+
+      const CsrMatrix* matrix = &a;
+      const Vector* rhs = &b;
+      const Vector* start = &x0;
+      CsrMatrix permuted;
+      Vector pb;
+      Vector px0;
+      partition::Partition part;
+      partition::PartitionedSystem sys{
+          Permutation::identity(a.num_rows()), {}};
+      if (config.partition_first && config.parallelism > 1) {
+        sys = partition::graph_growing_partition(a, config.parallelism,
+                                                 config.seed);
+        permuted = sys.perm.apply_symmetric(a);
+        pb = sys.perm.apply(b);
+        px0 = sys.perm.apply(x0);
+        matrix = &permuted;
+        rhs = &pb;
+        start = &px0;
+        part = sys.partition;
+      } else {
+        part = partition::contiguous_partition(a.num_rows(),
+                                               config.parallelism);
+      }
+      const distsim::DistResult r =
+          distsim::solve_distributed(*matrix, *rhs, *start, part, opts);
+      sol.seconds = r.sim_seconds;
+      sol.converged = r.reached_tolerance;
+      sol.rel_residual_1 = r.final_rel_residual_1;
+      sol.relaxations = r.total_relaxations;
+      index_t max_iter = 0;
+      for (index_t it : r.iterations_per_process) {
+        max_iter = std::max(max_iter, it);
+      }
+      sol.iterations = max_iter;
+      sol.x = (config.partition_first && config.parallelism > 1)
+                  ? sys.perm.apply_inverse(r.x)
+                  : r.x;
+      return sol;
+    }
+  }
+  AJAC_CHECK_MSG(false, "unknown backend");
+  return sol;
+}
+
+Solution solve_spd(const CsrMatrix& a, const Vector& b,
+                   const SolveConfig& config) {
+  Vector scaled_b = b;
+  const CsrMatrix scaled = scale_to_unit_diagonal(a, &scaled_b);
+  Vector x0(static_cast<std::size_t>(a.num_rows()), 0.0);
+  Solution sol = solve(scaled, scaled_b, x0, config);
+  // The scaled system solves D^{1/2} x, so map back: x = D^{-1/2} y.
+  const Vector d = a.diagonal();
+  for (std::size_t i = 0; i < sol.x.size(); ++i) {
+    sol.x[i] /= std::sqrt(d[i]);
+  }
+  return sol;
+}
+
+}  // namespace ajac

@@ -1,0 +1,71 @@
+#pragma once
+// Umbrella header and high-level facade for the async-jacobi library.
+//
+// Layers (each usable on its own):
+//   ajac/sparse/*     sparse-matrix substrate (CSR, kernels, I/O)
+//   ajac/gen/*        test-matrix generators (FD, FE, Table-I analogues)
+//   ajac/partition/*  graph partitioning (METIS stand-in)
+//   ajac/eig/*        eigenvalue tooling (power, Lanczos, dense Jacobi)
+//   ajac/model/*      propagation-matrix model (the paper's contribution)
+//   ajac/solvers/*    sequential stationary baselines
+//   ajac/runtime/*    shared-memory async Jacobi (OpenMP)
+//   ajac/distsim/*    distributed-memory async Jacobi (discrete-event sim)
+//
+// This header provides one-call entry points for the common cases.
+
+#include <string>
+
+#include "ajac/distsim/dist_jacobi.hpp"
+#include "ajac/gen/problem.hpp"
+#include "ajac/model/executor.hpp"
+#include "ajac/partition/partition.hpp"
+#include "ajac/runtime/shared_jacobi.hpp"
+#include "ajac/solvers/stationary.hpp"
+#include "ajac/sparse/csr.hpp"
+
+namespace ajac {
+
+/// Library version string.
+[[nodiscard]] const char* version();
+
+/// Execution backends for the facade.
+enum class Backend {
+  kSequential,     ///< reference solver (solvers::jacobi)
+  kModel,          ///< propagation-matrix model executor
+  kSharedMemory,   ///< OpenMP threads, shared arrays (paper Sec. V)
+  kDistributedSim, ///< discrete-event distributed runtime (paper Sec. VI)
+};
+
+struct SolveConfig {
+  Backend backend = Backend::kSharedMemory;
+  bool synchronous = false;   ///< ignored by kSequential (always sync)
+  index_t parallelism = 4;    ///< threads / simulated processes
+  double tolerance = 1e-6;    ///< relative residual 1-norm
+  index_t max_iterations = 10000;
+  std::uint64_t seed = 1;
+  /// kDistributedSim: reorder with the built-in partitioner first (highly
+  /// recommended; mirrors the paper's METIS step).
+  bool partition_first = true;
+};
+
+struct Solution {
+  Vector x;
+  bool converged = false;
+  double rel_residual_1 = 0.0;
+  index_t iterations = 0;      ///< sweeps / max local iterations
+  index_t relaxations = 0;     ///< total single-row relaxations
+  double seconds = 0.0;        ///< wall-clock (shared) or simulated (dist)
+};
+
+/// Solve A x = b starting from x0 on the chosen backend. A must be square
+/// with a nonzero diagonal; for the distributed backend A should have a
+/// symmetric pattern (ghost exchange assumes it).
+[[nodiscard]] Solution solve(const CsrMatrix& a, const Vector& b,
+                             const Vector& x0, const SolveConfig& config);
+
+/// Convenience for SPD systems: scales A to unit diagonal, runs the
+/// requested backend, and maps the solution back to the original scaling.
+[[nodiscard]] Solution solve_spd(const CsrMatrix& a, const Vector& b,
+                                 const SolveConfig& config);
+
+}  // namespace ajac

@@ -1,0 +1,28 @@
+#include "ajac/distsim/cost_model.hpp"
+
+#include <cmath>
+
+namespace ajac::distsim {
+
+double CostModel::barrier_time(index_t processes) const {
+  if (processes <= 1) return 0.0;
+  return barrier_base * std::log2(static_cast<double>(processes));
+}
+
+CostModel CostModel::network_like() { return CostModel{}; }
+
+CostModel CostModel::shared_memory_like(index_t n_global) {
+  CostModel cost;
+  cost.flop_time = 1e-9;  // in-cache SIMD relaxation work
+  cost.iteration_overhead = 2e-7 + 2e-9 * static_cast<double>(n_global);
+  cost.alpha = 1e-8;   // coherency-visibility delay, not a NIC round trip
+  cost.beta = 2e-10;
+  cost.barrier_base = 5e-8;
+  cost.speed_sigma = 0.05;
+  cost.jitter_sigma = 0.10;
+  cost.msg_jitter_sigma = 0.30;
+  cost.smt_factor = 2.0;  // 4 hyperthreads/core ~ 2x core throughput
+  return cost;
+}
+
+}  // namespace ajac::distsim

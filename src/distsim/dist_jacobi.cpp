@@ -1,0 +1,640 @@
+#include "ajac/distsim/dist_jacobi.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "ajac/sparse/csr.hpp"
+#include "ajac/sparse/vector_ops.hpp"
+#include "ajac/util/check.hpp"
+#include "ajac/util/rng.hpp"
+
+namespace ajac::distsim {
+
+namespace {
+
+struct Message {
+  double arrival = 0.0;
+  index_t sender = 0;
+  index_t receiver = 0;
+  index_t seq = 0;        ///< sender's iteration count when sent
+  index_t link_index = 0; ///< index into receiver's neighbor list
+  std::vector<double> values;
+  /// Non-empty for row-level puts: ghost slots (receiver-local) written by
+  /// `values`; empty = the whole link in recv_slots order.
+  std::vector<index_t> slots;
+};
+
+struct MessageLater {
+  bool operator()(const Message& x, const Message& y) const {
+    if (x.arrival != y.arrival) return x.arrival > y.arrival;
+    if (x.sender != y.sender) return x.sender > y.sender;
+    return x.seq > y.seq;
+  }
+};
+
+struct ProcessState {
+  const LocalBlock* blk = nullptr;
+  Vector x_local;        ///< owned values then ghost values
+  Vector updates;        ///< scratch for the Jacobi commit
+  Vector inv_diag;       ///< inverse diagonal of owned rows
+  double speed = 1.0;    ///< persistent rate multiplier
+  double time = 0.0;
+  index_t iterations = 0;
+  bool done = false;
+  bool has_new_data = true;  ///< eager rule: fresh info since last relax
+  double stop_at = 1e300;    ///< termination-detection stop arrival
+  double busy_seconds = 0.0;
+  double wait_seconds = 0.0;
+  index_t messages_sent = 0;
+  index_t messages_received = 0;
+  index_t polls = 0;
+  Rng rng{0};
+  std::priority_queue<Message, std::vector<Message>, MessageLater> mailbox;
+  /// Trace mode: version of each ghost slot (sender iteration count).
+  std::vector<index_t> ghost_version;
+  std::vector<model::RelaxationEvent> events;
+  /// Highest seq applied per neighbor link (ordered_delivery / stats).
+  std::vector<index_t> last_seq;
+  /// Reverse map: neighbor process id -> index in blk->neighbors.
+  std::vector<std::pair<index_t, index_t>> link_of_sender;  // sorted pairs
+
+  [[nodiscard]] index_t find_link(index_t sender) const {
+    const auto it = std::lower_bound(
+        link_of_sender.begin(), link_of_sender.end(),
+        std::make_pair(sender, index_t{-1}));
+    AJAC_DCHECK(it != link_of_sender.end() && it->first == sender);
+    return it->second;
+  }
+};
+
+double lognormal(Rng& rng, double sigma) {
+  return sigma > 0.0 ? std::exp(sigma * rng.normal()) : 1.0;
+}
+
+/// One local Jacobi iteration on the block: all owned rows read the same
+/// pre-iteration x_local (owned + ghosts), then commit. Returns the
+/// pre-update local residual 1-norm (the quantity a rank would report to
+/// a termination-detection reduction).
+double relax_block(ProcessState& ps, std::span<const double> b_local) {
+  const LocalBlock& blk = *ps.blk;
+  const index_t m = blk.num_owned();
+  double local_norm = 0.0;
+  for (index_t i = 0; i < m; ++i) {
+    double acc = b_local[i];
+    for (index_t p = blk.row_ptr[i]; p < blk.row_ptr[i + 1]; ++p) {
+      acc -= blk.values[p] * ps.x_local[blk.col_idx[p]];
+    }
+    local_norm += std::abs(acc);
+    ps.updates[i] = ps.x_local[i] + ps.inv_diag[i] * acc;
+  }
+  std::copy(ps.updates.begin(), ps.updates.begin() + m, ps.x_local.begin());
+  return local_norm;
+}
+
+/// One forward Gauss-Seidel pass within the block: owned rows update in
+/// place (later rows see earlier rows' new values); ghosts are whatever
+/// the mailbox delivered. Jager & Bradley's inexact block Jacobi.
+double relax_block_gs(ProcessState& ps, std::span<const double> b_local) {
+  const LocalBlock& blk = *ps.blk;
+  const index_t m = blk.num_owned();
+  double local_norm = 0.0;
+  for (index_t i = 0; i < m; ++i) {
+    double acc = b_local[i];
+    for (index_t p = blk.row_ptr[i]; p < blk.row_ptr[i + 1]; ++p) {
+      acc -= blk.values[p] * ps.x_local[blk.col_idx[p]];
+    }
+    local_norm += std::abs(acc);
+    ps.x_local[i] += ps.inv_diag[i] * acc;
+  }
+  return local_norm;
+}
+
+double relax_dispatch(ProcessState& ps, std::span<const double> b_local,
+                      InnerSweep sweep) {
+  return sweep == InnerSweep::kJacobi ? relax_block(ps, b_local)
+                                      : relax_block_gs(ps, b_local);
+}
+
+/// Time to compute the relaxation itself (the SpMV + correction). The
+/// updated values become remotely visible after this — the put is issued
+/// as soon as they exist.
+double work_seconds(const ProcessState& ps, const CostModel& cost,
+                    double jitter) {
+  return cost.flop_time * static_cast<double>(ps.blk->num_nonzeros()) *
+         jitter / ps.speed;
+}
+
+/// Per-iteration overhead paid *after* the values are published: the
+/// convergence-norm read, flag checks, loop control. Dominates for small
+/// subdomains, which is exactly why neighbor reads usually see the latest
+/// version (Sec. VII-B's propagated-relaxation fractions).
+double overhead_seconds(const ProcessState& ps, const CostModel& cost,
+                        double jitter) {
+  return cost.iteration_overhead * jitter / ps.speed;
+}
+
+double compute_seconds(const ProcessState& ps, const CostModel& cost,
+                       double jitter) {
+  return work_seconds(ps, cost, jitter) + overhead_seconds(ps, cost, jitter);
+}
+
+}  // namespace
+
+DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
+                             const Vector& x0,
+                             const partition::Partition& part,
+                             const DistOptions& opts) {
+  AJAC_CHECK(a.num_rows() == a.num_cols());
+  const index_t n = a.num_rows();
+  AJAC_CHECK(b.size() == static_cast<std::size_t>(n));
+  AJAC_CHECK(x0.size() == static_cast<std::size_t>(n));
+  AJAC_CHECK(part.num_rows() == n);
+  AJAC_CHECK(part.num_parts() == opts.num_processes);
+  AJAC_CHECK(opts.max_iterations >= 1);
+  AJAC_CHECK(opts.omega > 0.0);
+  AJAC_CHECK_MSG(!opts.record_trace ||
+                     opts.inner_sweep == InnerSweep::kJacobi,
+                 "read-version traces assume the Jacobi inner sweep (all "
+                 "owned rows read the same snapshot)");
+
+  const std::vector<LocalBlock> blocks = build_local_blocks(a, part);
+  const index_t num_procs = opts.num_processes;
+  Rng master(opts.seed);
+
+  // God's-eye state for residual snapshots: owners publish on commit.
+  Vector x_global = x0;
+  Vector r_scratch(static_cast<std::size_t>(n));
+  a.residual(x_global, b, r_scratch);
+  const double r0_1 = std::max(vec::norm1(r_scratch), 1e-300);
+  const double r0_2 = std::max(vec::norm2(r_scratch), 1e-300);
+
+  DistResult result;
+  result.iterations_per_process.assign(static_cast<std::size_t>(num_procs),
+                                       0);
+  auto record = [&](double t, index_t relaxations) {
+    a.residual(x_global, b, r_scratch);
+    DistHistoryPoint pt;
+    pt.sim_seconds = t;
+    pt.relaxations = relaxations;
+    pt.rel_residual_1 = vec::norm1(r_scratch) / r0_1;
+    pt.rel_residual_2 = vec::norm2(r_scratch) / r0_2;
+    result.history.push_back(pt);
+    return pt.rel_residual_1;
+  };
+
+  // Initialize per-process state.
+  std::vector<ProcessState> procs(static_cast<std::size_t>(num_procs));
+  for (index_t p = 0; p < num_procs; ++p) {
+    ProcessState& ps = procs[p];
+    ps.blk = &blocks[p];
+    ps.rng = master.split();
+    ps.speed = lognormal(ps.rng, opts.cost.speed_sigma);
+    if (p == opts.delayed_process && opts.delay_factor > 1.0) {
+      ps.speed /= opts.delay_factor;
+    }
+    const index_t m = ps.blk->num_owned();
+    ps.x_local.resize(static_cast<std::size_t>(m + ps.blk->num_ghosts()));
+    ps.updates.resize(static_cast<std::size_t>(m));
+    ps.inv_diag.resize(static_cast<std::size_t>(m));
+    for (index_t i = 0; i < m; ++i) {
+      ps.x_local[i] = x0[ps.blk->row_begin + i];
+      const double d = a.at(ps.blk->row_begin + i, ps.blk->row_begin + i);
+      AJAC_CHECK_MSG(d != 0.0,
+                     "zero diagonal at row " << ps.blk->row_begin + i);
+      ps.inv_diag[i] = opts.omega / d;
+    }
+    for (index_t g = 0; g < ps.blk->num_ghosts(); ++g) {
+      ps.x_local[m + g] = x0[ps.blk->ghost_cols[g]];
+    }
+    ps.last_seq.assign(ps.blk->neighbors.size(), 0);
+    if (opts.record_trace) {
+      ps.ghost_version.assign(
+          static_cast<std::size_t>(ps.blk->num_ghosts()), 0);
+    }
+    for (std::size_t l = 0; l < ps.blk->neighbors.size(); ++l) {
+      ps.link_of_sender.emplace_back(ps.blk->neighbors[l].neighbor,
+                                     static_cast<index_t>(l));
+    }
+    std::sort(ps.link_of_sender.begin(), ps.link_of_sender.end());
+  }
+
+  record(0.0, 0);
+
+  const double avg_iter_time = [&] {
+    double acc = 0.0;
+    for (const auto& ps : procs) acc += compute_seconds(ps, opts.cost, 1.0);
+    return acc / static_cast<double>(num_procs);
+  }();
+  const double snapshot_dt =
+      opts.snapshot_dt > 0.0 ? opts.snapshot_dt : avg_iter_time;
+
+  index_t relaxations = 0;
+
+  if (opts.synchronous) {
+    // ---- BSP supersteps: exchange, relax, barrier. ----
+    double t = 0.0;
+    for (index_t iter = 1; iter <= opts.max_iterations; ++iter) {
+      // Ghost exchange: everyone reads the owners' previous-iteration
+      // values (messages all complete inside the superstep).
+      double max_comm = 0.0;
+      for (ProcessState& ps : procs) {
+        const index_t m = ps.blk->num_owned();
+        for (index_t g = 0; g < ps.blk->num_ghosts(); ++g) {
+          ps.x_local[m + g] = x_global[ps.blk->ghost_cols[g]];
+        }
+        double comm = 0.0;
+        for (const NeighborLink& link : ps.blk->neighbors) {
+          if (link.send_rows.empty()) continue;
+          comm = std::max(
+              comm, opts.cost.message_time(
+                        8 * static_cast<index_t>(link.send_rows.size())));
+        }
+        max_comm = std::max(max_comm, comm);
+      }
+      // Relax everyone against the exchanged state.
+      double max_compute = 0.0;
+      double total_compute = 0.0;
+      for (ProcessState& ps : procs) {
+        relax_dispatch(ps,
+                       std::span<const double>(
+                           b.data() + ps.blk->row_begin,
+                           static_cast<std::size_t>(ps.blk->num_owned())),
+                       opts.inner_sweep);
+        ++ps.iterations;
+        relaxations += ps.blk->num_owned();
+        const double c = compute_seconds(
+            ps, opts.cost, lognormal(ps.rng, opts.cost.jitter_sigma));
+        max_compute = std::max(max_compute, c);
+        total_compute += c;
+      }
+      for (ProcessState& ps : procs) {
+        std::copy(ps.x_local.begin(),
+                  ps.x_local.begin() + ps.blk->num_owned(),
+                  x_global.begin() + ps.blk->row_begin);
+      }
+      double compute_term = max_compute;
+      if (opts.cost.cores > 0 && opts.cost.cores < num_procs) {
+        compute_term = std::max(
+            max_compute,
+            total_compute / (static_cast<double>(opts.cost.cores) *
+                             std::max(1.0, opts.cost.smt_factor)));
+      }
+      t += compute_term + max_comm + opts.cost.barrier_time(num_procs);
+      const double rel = record(t, relaxations);
+      if (opts.tolerance > 0.0 && rel <= opts.tolerance) {
+        result.reached_tolerance = true;
+        break;
+      }
+      if (!std::isfinite(rel)) break;
+    }
+    result.sim_seconds = t;
+  } else {
+    // ---- Event-driven asynchronous execution. ----
+    using QueueEntry = std::pair<double, index_t>;  // (time, process)
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                        std::greater<>>
+        queue;
+    {
+      // Processes do not start in lockstep: thread/process launch skew
+      // spreads the first iteration across roughly one iteration period.
+      // Without this, neighboring ranks stay phase-locked into the same
+      // "wave" every round and relax simultaneously forever — a resonance
+      // real machines do not exhibit.
+      const double oversub =
+          (opts.cost.cores > 0 && opts.cost.cores < num_procs)
+              ? static_cast<double>(num_procs) /
+                    static_cast<double>(opts.cost.cores)
+              : 1.0;
+      Rng stagger_rng(opts.seed ^ 0x5eedULL);
+      for (index_t p = 0; p < num_procs; ++p) {
+        const double period = compute_seconds(procs[p], opts.cost, 1.0) * oversub;
+        queue.emplace(stagger_rng.uniform() * period, p);
+      }
+    }
+    // Core contention: processes queue for the earliest-free core. An
+    // empty heap (cores == 0) means one core per process.
+    std::priority_queue<double, std::vector<double>, std::greater<>>
+        core_free;
+    if (opts.cost.cores > 0 && opts.cost.cores < num_procs) {
+      for (index_t c = 0; c < opts.cost.cores; ++c) core_free.push(0.0);
+    }
+    double next_snapshot = snapshot_dt;
+    index_t in_flight = 0;
+    double t_now = 0.0;
+    bool stop = false;
+
+    // Realistic termination detection (Termination::kNormReduction):
+    // in-flight local-norm reports to rank 0, and rank 0's latest view.
+    const bool detect =
+        opts.termination == Termination::kNormReduction && opts.tolerance > 0.0;
+    struct NormReport {
+      double arrival;
+      index_t sender;
+      double value;
+      bool operator>(const NormReport& o) const { return arrival > o.arrival; }
+    };
+    std::priority_queue<NormReport, std::vector<NormReport>, std::greater<>>
+        reports;
+    std::vector<double> latest_norm(static_cast<std::size_t>(num_procs),
+                                    -1.0);
+
+    while (!queue.empty() && !stop) {
+      const auto [t, p] = queue.top();
+      queue.pop();
+      t_now = std::max(t_now, t);
+      ProcessState& ps = procs[p];
+
+      while (next_snapshot <= t_now) {
+        const double rel = record(next_snapshot, relaxations);
+        next_snapshot += snapshot_dt;
+        // The oracle stop is only legitimate in oracle mode; under the
+        // realistic protocol the ranks must discover convergence
+        // themselves.
+        if (opts.termination == Termination::kIterationCountOrOracle &&
+            opts.tolerance > 0.0 && rel <= opts.tolerance) {
+          result.reached_tolerance = true;
+          stop = true;
+          break;
+        }
+        if (!std::isfinite(rel)) stop = true;
+      }
+      if (stop) break;
+
+      // Acquire a core first: the relaxation *reads* its inputs when it
+      // actually runs, not when the process became ready.
+      double t_start = t;
+      if (!core_free.empty()) {
+        t_start = std::max(t, core_free.top());
+        core_free.pop();
+      }
+
+      ps.wait_seconds += t_start - t;
+
+      // Deliver every message that has arrived by run time.
+      while (!ps.mailbox.empty() && ps.mailbox.top().arrival <= t_start) {
+        const Message& msg = ps.mailbox.top();
+        ++result.total_messages;
+        ++ps.messages_received;
+        --in_flight;
+        const index_t link_idx = msg.link_index;
+        const NeighborLink& link = ps.blk->neighbors[link_idx];
+        const bool stale = msg.seq < ps.last_seq[link_idx];
+        if (stale) ++result.reordered_messages;
+        if (!(stale && opts.ordered_delivery)) {
+          const index_t m = ps.blk->num_owned();
+          const std::vector<index_t>& slots =
+              msg.slots.empty() ? link.recv_slots : msg.slots;
+          AJAC_DCHECK(msg.values.size() == slots.size());
+          for (std::size_t k = 0; k < slots.size(); ++k) {
+            ps.x_local[m + slots[k]] = msg.values[k];
+            if (opts.record_trace) {
+              ps.ghost_version[slots[k]] = msg.seq;
+            }
+          }
+          ps.last_seq[link_idx] = std::max(ps.last_seq[link_idx], msg.seq);
+          ps.has_new_data = true;
+        }
+        ps.mailbox.pop();
+      }
+
+      if (ps.stop_at <= t_start) {
+        // Stop broadcast arrived: halt without relaxing further.
+        ps.done = true;
+        result.iterations_per_process[p] = ps.iterations;
+        if (opts.cost.cores > 0 && opts.cost.cores < num_procs) {
+          core_free.push(t_start);
+        }
+        continue;
+      }
+
+      if (detect && p == 0) {
+        // Rank 0 folds in every report that has arrived by now and checks
+        // the (stale) global sum against the tolerance.
+        while (!reports.empty() && reports.top().arrival <= t_start) {
+          latest_norm[reports.top().sender] = reports.top().value;
+          reports.pop();
+        }
+        bool have_all = true;
+        double sum = 0.0;
+        for (double v : latest_norm) {
+          if (v < 0.0) {
+            have_all = false;
+            break;
+          }
+          sum += v;
+        }
+        if (have_all && sum / r0_1 <= opts.tolerance &&
+            !result.termination_detected) {
+          result.termination_detected = true;
+          result.detection_sim_seconds = t_start;
+          result.detection_claimed_residual = sum / r0_1;
+          a.residual(x_global, b, r_scratch);
+          result.detection_true_residual = vec::norm1(r_scratch) / r0_1;
+          // Tree broadcast of the stop: log2(P) latency hops.
+          const double bcast =
+              opts.cost.message_time(8) *
+              std::max(1.0, std::log2(static_cast<double>(num_procs)));
+          for (ProcessState& q : procs) {
+            q.stop_at = std::min(q.stop_at, t_start + bcast);
+          }
+        }
+      }
+
+      if (opts.update_rule == UpdateRule::kEager && !ps.has_new_data) {
+        // Poll: advance to the next arrival or spin one overhead quantum.
+        // Polling does not hold the core.
+        if (opts.cost.cores > 0 && opts.cost.cores < num_procs) {
+          core_free.push(t_start);
+        }
+        ++ps.polls;
+        const bool starved =
+            in_flight == 0 &&
+            std::all_of(procs.begin(), procs.end(), [&](const ProcessState& o) {
+              return o.done || &o == &ps;
+            });
+        if (starved || ps.polls > opts.max_iterations * 64) {
+          ps.done = true;
+          result.iterations_per_process[p] = ps.iterations;
+          continue;
+        }
+        const double wake =
+            ps.mailbox.empty()
+                ? t + opts.cost.iteration_overhead
+                : std::max(t + opts.cost.iteration_overhead,
+                           ps.mailbox.top().arrival);
+        ps.time = wake;
+        queue.emplace(wake, p);
+        continue;
+      }
+
+      // Relax once.
+      {
+        const LocalBlock& blk = *ps.blk;
+        const index_t m = blk.num_owned();
+        for (index_t g = 0; g < blk.num_ghosts(); ++g) {
+          ++result.total_ghost_reads;
+          if (ps.x_local[m + g] != x_global[blk.ghost_cols[g]]) {
+            ++result.stale_ghost_reads;
+          }
+        }
+      }
+      if (opts.record_trace) {
+        const LocalBlock& blk = *ps.blk;
+        const index_t m = blk.num_owned();
+        for (index_t i = 0; i < m; ++i) {
+          model::RelaxationEvent event;
+          event.row = blk.row_begin + i;
+          for (index_t pp = blk.row_ptr[i]; pp < blk.row_ptr[i + 1]; ++pp) {
+            const index_t c = blk.col_idx[pp];
+            if (c < m) {
+              const index_t global = blk.row_begin + c;
+              if (global == event.row) continue;
+              event.reads.push_back({global, ps.iterations});
+            } else {
+              event.reads.push_back(
+                  {blk.ghost_cols[c - m], ps.ghost_version[c - m]});
+            }
+          }
+          ps.events.push_back(std::move(event));
+        }
+      }
+      const double local_norm = relax_dispatch(
+          ps,
+          std::span<const double>(
+              b.data() + ps.blk->row_begin,
+              static_cast<std::size_t>(ps.blk->num_owned())),
+          opts.inner_sweep);
+      ++ps.iterations;
+      ps.has_new_data = false;
+      relaxations += ps.blk->num_owned();
+      std::copy(ps.x_local.begin(), ps.x_local.begin() + ps.blk->num_owned(),
+                x_global.begin() + ps.blk->row_begin);
+
+      const double jitter = lognormal(ps.rng, opts.cost.jitter_sigma);
+      const double t_visible = t_start + work_seconds(ps, opts.cost, jitter);
+      const double t_done =
+          t_visible + overhead_seconds(ps, opts.cost, jitter);
+      ps.busy_seconds += t_done - t_start;
+      if (opts.cost.cores > 0 && opts.cost.cores < num_procs) {
+        // SMT: a contended core retires smt_factor iterations per
+        // iteration-time, so it frees up earlier than the iteration ends.
+        core_free.push(t_start +
+                       (t_done - t_start) / std::max(1.0, opts.cost.smt_factor));
+      }
+      ps.time = t_done;
+
+      // Push boundary values to neighbors (RMA puts issued once the
+      // values exist, landing after the network latency).
+      const double work_span = t_visible - t_start;
+      for (std::size_t l = 0; l < ps.blk->neighbors.size(); ++l) {
+        const NeighborLink& link = ps.blk->neighbors[l];
+        if (link.send_rows.empty()) continue;
+        ProcessState& dst = procs[link.neighbor];
+        const index_t dst_link = dst.find_link(p);
+        if (opts.row_level_puts) {
+          // One put per boundary row; its value becomes visible partway
+          // through the compute window, at the moment that row's new
+          // value was actually written.
+          const LocalBlock& dst_blk = *dst.blk;
+          const auto& recv_slots = dst_blk.neighbors[dst_link].recv_slots;
+          const index_t m = ps.blk->num_owned();
+          for (std::size_t k = 0; k < link.send_rows.size(); ++k) {
+            const index_t local_row = link.send_rows[k] - ps.blk->row_begin;
+            Message msg;
+            msg.sender = p;
+            msg.receiver = link.neighbor;
+            msg.seq = ps.iterations;
+            msg.link_index = dst_link;
+            msg.values.push_back(ps.x_local[local_row]);
+            msg.slots.push_back(recv_slots[k]);
+            const double frac =
+                static_cast<double>(local_row + 1) / static_cast<double>(m);
+            const double latency =
+                opts.cost.message_time(8) *
+                lognormal(ps.rng, opts.cost.msg_jitter_sigma);
+            msg.arrival = t_start + frac * work_span + latency;
+            dst.mailbox.push(std::move(msg));
+            ++in_flight;
+            ++ps.messages_sent;
+          }
+          continue;
+        }
+        Message msg;
+        msg.sender = p;
+        msg.receiver = link.neighbor;
+        msg.seq = ps.iterations;
+        msg.values.reserve(link.send_rows.size());
+        for (index_t row : link.send_rows) {
+          msg.values.push_back(ps.x_local[row - ps.blk->row_begin]);
+        }
+        const double latency =
+            opts.cost.message_time(
+                8 * static_cast<index_t>(link.send_rows.size())) *
+            lognormal(ps.rng, opts.cost.msg_jitter_sigma);
+        msg.arrival = t_visible + latency;
+        msg.link_index = dst_link;
+        dst.mailbox.push(std::move(msg));
+        ++in_flight;
+        ++ps.messages_sent;
+      }
+
+      if (detect && ps.iterations % opts.detection_interval == 0) {
+        if (p == 0) {
+          latest_norm[0] = local_norm;  // the root reads its own norm free
+        } else {
+          reports.push(NormReport{
+              t_visible + opts.cost.message_time(8) *
+                              lognormal(ps.rng, opts.cost.msg_jitter_sigma),
+              p, local_norm});
+        }
+      }
+
+      if (ps.iterations >= opts.max_iterations) {
+        ps.done = true;
+        result.iterations_per_process[p] = ps.iterations;
+      } else {
+        queue.emplace(t_done, p);
+      }
+    }
+    // Drain: the run ends when the last in-flight iteration completes.
+    for (const ProcessState& ps : procs) {
+      t_now = std::max(t_now, ps.time);
+    }
+    result.sim_seconds = t_now;
+    record(t_now, relaxations);
+  }
+
+  for (index_t p = 0; p < num_procs; ++p) {
+    result.iterations_per_process[p] = procs[p].iterations;
+  }
+  if (!opts.synchronous) {
+    result.rank_stats.resize(static_cast<std::size_t>(num_procs));
+    for (index_t p = 0; p < num_procs; ++p) {
+      RankStats& rs = result.rank_stats[p];
+      rs.iterations = procs[p].iterations;
+      rs.busy_seconds = procs[p].busy_seconds;
+      rs.wait_seconds = procs[p].wait_seconds;
+      rs.messages_sent = procs[p].messages_sent;
+      rs.messages_received = procs[p].messages_received;
+    }
+  }
+  result.total_relaxations = relaxations;
+  if (opts.record_trace && !opts.synchronous) {
+    model::RelaxationTrace trace(n);
+    for (const ProcessState& ps : procs) {
+      for (const auto& e : ps.events) trace.add_event(e);
+    }
+    result.trace = std::move(trace);
+  }
+  result.x = x_global;
+  a.residual(x_global, b, r_scratch);
+  result.final_rel_residual_1 = vec::norm1(r_scratch) / r0_1;
+  if (opts.tolerance > 0.0 &&
+      result.final_rel_residual_1 <= opts.tolerance) {
+    result.reached_tolerance = true;
+  }
+  return result;
+}
+
+}  // namespace ajac::distsim

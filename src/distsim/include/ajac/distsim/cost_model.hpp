@@ -1,0 +1,70 @@
+#pragma once
+// Cost model for the discrete-event distributed-memory simulation.
+//
+// The paper ran on Cori (Haswell nodes, Aries network); we do not have
+// that machine, so time is synthesized from a standard alpha-beta
+// communication model plus per-process compute rates with persistent and
+// per-iteration noise. The *shape* of the paper's results (who wins, how
+// the crossover moves with process count) depends on the ratios —
+// synchronization cost vs compute per iteration — not the absolute
+// values; bench_ablation sweeps these knobs.
+
+#include <cstdint>
+
+#include "ajac/sparse/types.hpp"
+
+namespace ajac::distsim {
+
+struct CostModel {
+  /// Seconds per matrix nonzero processed during a relaxation sweep.
+  double flop_time = 2e-9;
+  /// Fixed overhead per local iteration. For network ranks this is the
+  /// MPI work an iteration performs besides flops: one put per neighbor,
+  /// passive-target window synchronization, the local norm scan and flag
+  /// checks — several microseconds in practice.
+  double iteration_overhead = 5e-6;
+  /// Message latency (seconds) — MPI_Put / MPI_Isend initiation.
+  double alpha = 1.5e-6;
+  /// Seconds per message byte.
+  double beta = 5e-10;
+  /// Synchronous mode only: barrier cost, multiplied by log2(P).
+  double barrier_base = 1.0e-6;
+  /// Persistent per-process speed spread: each process draws a speed
+  /// multiplier exp(N(0, speed_sigma)). Models heterogeneous nodes / OS
+  /// noise pinned to a rank.
+  double speed_sigma = 0.08;
+  /// Per-iteration compute jitter exp(N(0, jitter_sigma)).
+  double jitter_sigma = 0.05;
+  /// Multiplicative jitter on message latency exp(N(0, msg_jitter_sigma)).
+  double msg_jitter_sigma = 0.15;
+  /// Number of execution cores shared by the simulated processes; 0 means
+  /// one core per process (no contention). With processes > cores the
+  /// runnable processes queue for cores, which staggers their updates —
+  /// the oversubscribed-KNL effect (272 threads on 68 cores) that makes
+  /// asynchronous Jacobi behave like a multiplicative method (Sec. VII-B,
+  /// Fig. 6).
+  index_t cores = 0;
+  /// Simultaneous-multithreading throughput: a contended core retires
+  /// `smt_factor` iterations per iteration-time (KNL's 4 hyperthreads give
+  /// roughly 2x the single-thread core throughput). 1.0 = pure
+  /// time-slicing.
+  double smt_factor = 1.0;
+
+  [[nodiscard]] double message_time(index_t bytes) const {
+    return alpha + beta * static_cast<double>(bytes);
+  }
+  [[nodiscard]] double barrier_time(index_t processes) const;
+
+  /// Network-attached ranks (Cori-like Aries defaults): these are the
+  /// struct's default member values, returned explicitly for readability.
+  [[nodiscard]] static CostModel network_like();
+
+  /// Shared-memory "ranks" (KNL/Xeon threads over a shared array): value
+  /// visibility latency is a cache-coherency delay (~100 ns), far below
+  /// the per-iteration overhead, which is dominated by the O(n) global
+  /// residual-norm read of the paper's convergence check. `n_global` is
+  /// the matrix dimension used to size that overhead.
+  [[nodiscard]] static CostModel shared_memory_like(index_t n_global);
+};
+
+}  // namespace ajac::distsim

@@ -1,0 +1,63 @@
+#pragma once
+// Per-process local data for the distributed runtimes: the owned row block
+// in local column numbering, the ghost layer, and the neighbor exchange
+// lists — exactly the structures an MPI implementation builds from the
+// partitioned matrix (Sec. VI: "p_i always locally stores a ghost layer of
+// points that p_j sent to p_i previously").
+
+#include <vector>
+
+#include "ajac/partition/partition.hpp"
+#include "ajac/sparse/types.hpp"
+
+namespace ajac {
+class CsrMatrix;
+}
+
+namespace ajac::distsim {
+
+/// Exchange list between one process and one neighbor.
+struct NeighborLink {
+  index_t neighbor = 0;
+  /// Rows of *this* process (global ids) whose values the neighbor reads;
+  /// a message to the neighbor carries exactly these values, in order.
+  std::vector<index_t> send_rows;
+  /// Local ghost slots (indices into LocalBlock::ghost_values) that a
+  /// message *from* this neighbor fills, in the neighbor's send order.
+  std::vector<index_t> recv_slots;
+};
+
+struct LocalBlock {
+  index_t process = 0;
+  index_t row_begin = 0;  ///< global id of first owned row
+  index_t row_end = 0;    ///< one past last owned row
+
+  /// Owned rows in CSR with *local* column ids: columns < num_owned()
+  /// refer to owned entries (global id = row_begin + c), columns >=
+  /// num_owned() refer to ghost slot (c - num_owned()).
+  std::vector<index_t> row_ptr;
+  std::vector<index_t> col_idx;
+  std::vector<double> values;
+
+  /// Global ids of ghost columns, ascending; ghost slot g holds the value
+  /// of global row ghost_cols[g].
+  std::vector<index_t> ghost_cols;
+
+  std::vector<NeighborLink> neighbors;
+
+  [[nodiscard]] index_t num_owned() const { return row_end - row_begin; }
+  [[nodiscard]] index_t num_ghosts() const {
+    return static_cast<index_t>(ghost_cols.size());
+  }
+  /// Total nonzeros in the owned rows (drives the compute-cost model).
+  [[nodiscard]] index_t num_nonzeros() const {
+    return static_cast<index_t>(col_idx.size());
+  }
+};
+
+/// Build one LocalBlock per part. The matrix must already be ordered so
+/// parts are contiguous (see partition::graph_growing_partition).
+[[nodiscard]] std::vector<LocalBlock> build_local_blocks(
+    const CsrMatrix& a, const partition::Partition& part);
+
+}  // namespace ajac::distsim

@@ -1,0 +1,104 @@
+#include "ajac/distsim/local_block.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "ajac/sparse/csr.hpp"
+#include "ajac/util/check.hpp"
+
+namespace ajac::distsim {
+
+std::vector<LocalBlock> build_local_blocks(const CsrMatrix& a,
+                                           const partition::Partition& part) {
+  AJAC_CHECK(a.num_rows() == a.num_cols());
+  AJAC_CHECK(part.num_rows() == a.num_rows());
+  const index_t num_parts = part.num_parts();
+
+  std::vector<LocalBlock> blocks(static_cast<std::size_t>(num_parts));
+  for (index_t p = 0; p < num_parts; ++p) {
+    LocalBlock& blk = blocks[p];
+    blk.process = p;
+    blk.row_begin = part.part_begin(p);
+    blk.row_end = part.part_end(p);
+
+    // Collect ghost columns (ascending, unique).
+    std::vector<index_t> ghosts;
+    for (index_t i = blk.row_begin; i < blk.row_end; ++i) {
+      for (index_t j : a.row_cols(i)) {
+        if (j < blk.row_begin || j >= blk.row_end) ghosts.push_back(j);
+      }
+    }
+    std::sort(ghosts.begin(), ghosts.end());
+    ghosts.erase(std::unique(ghosts.begin(), ghosts.end()), ghosts.end());
+    blk.ghost_cols = std::move(ghosts);
+
+    // Remap the owned rows to local column numbering.
+    const index_t num_owned = blk.num_owned();
+    blk.row_ptr.assign(1, 0);
+    for (index_t i = blk.row_begin; i < blk.row_end; ++i) {
+      const auto cols = a.row_cols(i);
+      const auto vals = a.row_values(i);
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        const index_t j = cols[k];
+        index_t local;
+        if (j >= blk.row_begin && j < blk.row_end) {
+          local = j - blk.row_begin;
+        } else {
+          const auto it = std::lower_bound(blk.ghost_cols.begin(),
+                                           blk.ghost_cols.end(), j);
+          AJAC_DCHECK(it != blk.ghost_cols.end() && *it == j);
+          local = num_owned +
+                  static_cast<index_t>(it - blk.ghost_cols.begin());
+        }
+        blk.col_idx.push_back(local);
+        blk.values.push_back(vals[k]);
+      }
+      blk.row_ptr.push_back(static_cast<index_t>(blk.col_idx.size()));
+    }
+
+    // Group ghost slots by owner to form receive lists (slot order is
+    // ascending global id within a neighbor, which both sides can derive
+    // independently — the agreed message layout).
+    std::map<index_t, NeighborLink> by_owner;
+    for (index_t g = 0; g < blk.num_ghosts(); ++g) {
+      const index_t owner = part.owner(blk.ghost_cols[g]);
+      NeighborLink& link = by_owner[owner];
+      link.neighbor = owner;
+      link.recv_slots.push_back(g);
+    }
+    for (auto& [owner, link] : by_owner) {
+      blk.neighbors.push_back(std::move(link));
+    }
+  }
+
+  // Fill send lists: process p must send to q exactly the global rows q
+  // reads from p, in q's ghost order.
+  for (index_t q = 0; q < num_parts; ++q) {
+    const LocalBlock& dst = blocks[q];
+    for (const NeighborLink& link : dst.neighbors) {
+      LocalBlock& src = blocks[link.neighbor];
+      // Find (or create) the reciprocal link q inside src.
+      auto it = std::find_if(
+          src.neighbors.begin(), src.neighbors.end(),
+          [&](const NeighborLink& l) { return l.neighbor == q; });
+      if (it == src.neighbors.end()) {
+        src.neighbors.push_back(NeighborLink{q, {}, {}});
+        it = src.neighbors.end() - 1;
+      }
+      it->send_rows.clear();
+      it->send_rows.reserve(link.recv_slots.size());
+      for (index_t slot : link.recv_slots) {
+        it->send_rows.push_back(dst.ghost_cols[slot]);
+      }
+    }
+  }
+  for (auto& blk : blocks) {
+    std::sort(blk.neighbors.begin(), blk.neighbors.end(),
+              [](const NeighborLink& x, const NeighborLink& y) {
+                return x.neighbor < y.neighbor;
+              });
+  }
+  return blocks;
+}
+
+}  // namespace ajac::distsim

@@ -1,0 +1,122 @@
+#include "ajac/eig/dense_eig.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "ajac/util/check.hpp"
+#include "ajac/util/rng.hpp"
+
+namespace ajac::eig {
+
+DenseEigResult dense_symmetric_eig(const DenseMatrix& a_in, double tolerance,
+                                   index_t max_sweeps) {
+  AJAC_CHECK(a_in.num_rows() == a_in.num_cols());
+  AJAC_CHECK_MSG(a_in.is_symmetric(1e-12 * (1.0 + a_in.norm_inf())),
+                 "dense_symmetric_eig requires a symmetric matrix");
+  const index_t n = a_in.num_rows();
+  DenseMatrix a = a_in;
+  DenseMatrix v = DenseMatrix::identity(n);
+
+  auto offdiag_norm = [&]() {
+    double acc = 0.0;
+    for (index_t i = 0; i < n; ++i) {
+      for (index_t j = i + 1; j < n; ++j) acc += a(i, j) * a(i, j);
+    }
+    return std::sqrt(2.0 * acc);
+  };
+
+  DenseEigResult result;
+  const double scale = std::max(1.0, a.norm_fro());
+  for (index_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    result.sweeps = sweep + 1;
+    if (offdiag_norm() <= tolerance * scale) {
+      result.converged = true;
+      break;
+    }
+    for (index_t p = 0; p < n - 1; ++p) {
+      for (index_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::abs(apq) <= 1e-300) continue;
+        const double theta = (a(q, q) - a(p, p)) / (2.0 * apq);
+        const double t = std::copysign(
+            1.0 / (std::abs(theta) + std::sqrt(theta * theta + 1.0)), theta);
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (index_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (index_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (index_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  if (!result.converged && offdiag_norm() <= tolerance * scale) {
+    result.converged = true;
+  }
+
+  // Sort eigenvalues ascending and permute eigenvector columns to match.
+  std::vector<index_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), index_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](index_t x, index_t y) { return a(x, x) < a(y, y); });
+  result.eigenvalues.resize(static_cast<std::size_t>(n));
+  result.eigenvectors = DenseMatrix(n, n);
+  for (index_t k = 0; k < n; ++k) {
+    result.eigenvalues[k] = a(order[k], order[k]);
+    for (index_t i = 0; i < n; ++i) {
+      result.eigenvectors(i, k) = v(i, order[k]);
+    }
+  }
+  return result;
+}
+
+double dense_spectral_radius_power(const DenseMatrix& a, index_t iterations,
+                                   index_t restarts) {
+  AJAC_CHECK(a.num_rows() == a.num_cols());
+  const index_t n = a.num_rows();
+  if (n == 0) return 0.0;
+  const auto un = static_cast<std::size_t>(n);
+  double best = 0.0;
+  Rng rng(12345);
+  for (index_t r = 0; r < restarts; ++r) {
+    Vector x(un);
+    Vector y(un);
+    for (double& xi : x) xi = rng.uniform(-1.0, 1.0);
+    double nrm = 0.0;
+    for (double xi : x) nrm += xi * xi;
+    nrm = std::sqrt(nrm);
+    for (double& xi : x) xi /= nrm;
+    double mag = 0.0;
+    for (index_t k = 0; k < iterations; ++k) {
+      a.gemv(x, y);
+      double ynorm = 0.0;
+      for (double yi : y) ynorm += yi * yi;
+      ynorm = std::sqrt(ynorm);
+      if (ynorm == 0.0) {
+        mag = 0.0;
+        break;
+      }
+      mag = ynorm;
+      for (std::size_t i = 0; i < un; ++i) x[i] = y[i] / ynorm;
+    }
+    best = std::max(best, mag);
+  }
+  return best;
+}
+
+}  // namespace ajac::eig

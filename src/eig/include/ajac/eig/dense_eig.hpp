@@ -1,0 +1,36 @@
+#pragma once
+// Cyclic Jacobi rotation eigensolver for small dense symmetric matrices.
+// Exact spectra of model-scale matrices: used by the propagation-matrix
+// theory tests (interlacing, Theorem 1) and by the analysis examples.
+
+#include "ajac/sparse/dense.hpp"
+#include "ajac/sparse/types.hpp"
+
+namespace ajac::eig {
+
+struct DenseEigResult {
+  std::vector<double> eigenvalues;  ///< ascending
+  DenseMatrix eigenvectors;         ///< column k pairs with eigenvalues[k]
+  index_t sweeps = 0;
+  bool converged = false;
+};
+
+/// All eigenvalues (and eigenvectors) of a dense symmetric matrix by the
+/// cyclic-by-row Jacobi rotation method. O(n^3) per sweep; intended for
+/// n up to a few thousand.
+[[nodiscard]] DenseEigResult dense_symmetric_eig(const DenseMatrix& a,
+                                                 double tolerance = 1e-12,
+                                                 index_t max_sweeps = 64);
+
+/// Spectral radius of a (possibly nonsymmetric) dense matrix, computed by
+/// unshifted QR-free power iteration on pairs — provided for the small
+/// propagation matrices, which are nonsymmetric. Uses the similarity
+/// G(active block symmetric) when possible; otherwise falls back to many
+/// power iterations with deflation-free restarts and returns the largest
+/// magnitude found (a lower bound that is tight in practice for the
+/// propagation matrices, whose dominant eigenvalues are real).
+[[nodiscard]] double dense_spectral_radius_power(const DenseMatrix& a,
+                                                 index_t iterations = 2000,
+                                                 index_t restarts = 4);
+
+}  // namespace ajac::eig

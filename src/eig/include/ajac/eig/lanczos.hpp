@@ -1,0 +1,57 @@
+#pragma once
+// Symmetric Lanczos with full reorthogonalization, plus the implicit-shift
+// QL eigensolver for the resulting tridiagonal matrix. Used to compute
+// accurate extreme eigenvalues of large symmetric operators (lambda_min /
+// lambda_max of the scaled A, hence rho(G) = max |1 - lambda|), much faster
+// than power iteration when the spectrum is clustered.
+
+#include "ajac/eig/operators.hpp"
+#include "ajac/sparse/types.hpp"
+
+namespace ajac {
+class CsrMatrix;
+}
+
+namespace ajac::eig {
+
+struct LanczosOptions {
+  index_t max_steps = 200;     ///< Krylov dimension cap
+  double tolerance = 1e-10;    ///< Ritz-value stabilization tolerance
+  std::uint64_t seed = 42;
+};
+
+struct LanczosResult {
+  double lambda_min = 0.0;
+  double lambda_max = 0.0;
+  std::vector<double> ritz_values;  ///< all Ritz values, ascending
+  index_t steps = 0;
+  bool converged = false;
+};
+
+/// Extreme eigenvalues of a symmetric operator.
+[[nodiscard]] LanczosResult lanczos_extreme(const LinearOperator& op,
+                                            const LanczosOptions& opts = {});
+
+/// All eigenvalues of the symmetric tridiagonal matrix with diagonal
+/// `alpha` (size m) and off-diagonal `beta` (size m-1), ascending. QL with
+/// implicit shifts; O(m^2).
+[[nodiscard]] std::vector<double> tridiag_eigenvalues(
+    std::vector<double> alpha, std::vector<double> beta);
+
+/// rho(G) for the Jacobi iteration matrix of a symmetric positive definite
+/// A via Lanczos on the symmetrized operator: G = I - D^{-1}A is similar to
+/// I - D^{-1/2} A D^{-1/2}, so rho(G) = max(|1 - lambda_min|, |1 -
+/// lambda_max|) over eigenvalues of the scaled matrix. Requires positive
+/// diagonal.
+[[nodiscard]] double jacobi_spectral_radius_spd(const CsrMatrix& a,
+                                                const LanczosOptions& opts = {});
+
+/// The optimal damping factor for weighted Jacobi on SPD A:
+/// omega* = 2 / (lambda_min + lambda_max) of D^{-1/2} A D^{-1/2}, which
+/// minimizes rho(I - omega D^{-1} A). Always makes weighted Jacobi
+/// convergent on SPD systems — the classical fix for matrices like the
+/// paper's FE example where plain Jacobi (omega = 1) diverges.
+[[nodiscard]] double optimal_jacobi_omega(const CsrMatrix& a,
+                                          const LanczosOptions& opts = {});
+
+}  // namespace ajac::eig

@@ -1,0 +1,36 @@
+#pragma once
+// Linear-operator abstraction for the eigenvalue tooling: anything that can
+// apply y = Op(x) on vectors of a fixed dimension. Lets the same power
+// method run on A, the Jacobi iteration matrix G = I - D^{-1}A (never
+// formed densely), |G|, or a masked propagation matrix.
+
+#include <functional>
+#include <span>
+
+#include "ajac/sparse/types.hpp"
+
+namespace ajac {
+class CsrMatrix;
+}
+
+namespace ajac::eig {
+
+struct LinearOperator {
+  index_t dimension = 0;
+  /// Must write Op(x) into y; x and y never alias.
+  std::function<void(std::span<const double> /*x*/, std::span<double> /*y*/)>
+      apply;
+};
+
+/// Wrap a CSR matrix as an operator (y = A x).
+[[nodiscard]] LinearOperator make_operator(const CsrMatrix& a);
+
+/// The Jacobi iteration/propagation operator y = (I - D^{-1} A) x, applied
+/// matrix-free. For unit-diagonal A this is y = x - A x.
+[[nodiscard]] LinearOperator make_jacobi_operator(const CsrMatrix& a);
+
+/// y = |G| x where G = I - D^{-1}A entrywise-absolute (Chazan–Miranker's
+/// convergence condition for asynchronous iterations is rho(|G|) < 1).
+[[nodiscard]] LinearOperator make_abs_jacobi_operator(const CsrMatrix& a);
+
+}  // namespace ajac::eig

@@ -1,0 +1,44 @@
+#pragma once
+// Power iteration for the dominant eigenvalue. Used to estimate rho(G),
+// rho(|G|), and lambda_max of scaled matrices when classifying generated
+// test problems (Jacobi converges iff rho(G) < 1).
+
+#include "ajac/eig/operators.hpp"
+#include "ajac/sparse/types.hpp"
+
+namespace ajac {
+class CsrMatrix;
+}
+
+namespace ajac::eig {
+
+struct PowerOptions {
+  index_t max_iterations = 5000;
+  double tolerance = 1e-10;  ///< on the eigenpair residual ||Av - lv||/|l|
+  std::uint64_t seed = 42;
+};
+
+struct PowerResult {
+  double eigenvalue = 0.0;  ///< signed Rayleigh quotient (symmetric ops)
+  double magnitude = 0.0;   ///< |eigenvalue| — the spectral-radius estimate
+  Vector eigenvector;
+  index_t iterations = 0;
+  bool converged = false;
+};
+
+/// Dominant eigenpair of `op` by normalized power iteration with Rayleigh
+/// quotient. Intended for operators that are symmetric or entrywise
+/// nonnegative (both cases the library needs); for such operators the
+/// magnitude converges to the spectral radius.
+[[nodiscard]] PowerResult power_method(const LinearOperator& op,
+                                       const PowerOptions& opts = {});
+
+/// rho(G) for the Jacobi iteration matrix of A (matrix-free).
+[[nodiscard]] double spectral_radius_jacobi(const CsrMatrix& a,
+                                            const PowerOptions& opts = {});
+
+/// rho(|G|), the Chazan–Miranker asynchronous-convergence quantity.
+[[nodiscard]] double spectral_radius_abs_jacobi(const CsrMatrix& a,
+                                                const PowerOptions& opts = {});
+
+}  // namespace ajac::eig

@@ -1,0 +1,162 @@
+#include "ajac/eig/lanczos.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ajac/sparse/csr.hpp"
+#include "ajac/sparse/scaling.hpp"
+#include "ajac/sparse/vector_ops.hpp"
+#include "ajac/util/check.hpp"
+#include "ajac/util/rng.hpp"
+
+namespace ajac::eig {
+
+namespace {
+
+double hypot2(double a, double b) { return std::hypot(a, b); }
+
+}  // namespace
+
+std::vector<double> tridiag_eigenvalues(std::vector<double> alpha,
+                                        std::vector<double> beta) {
+  const auto m = static_cast<index_t>(alpha.size());
+  AJAC_CHECK(beta.size() + 1 == alpha.size() || (m == 0 && beta.empty()));
+  if (m == 0) return {};
+  // QL with implicit shifts (tql1-style, eigenvalues only).
+  std::vector<double> d = std::move(alpha);
+  std::vector<double> e(static_cast<std::size_t>(m), 0.0);
+  std::copy(beta.begin(), beta.end(), e.begin());  // e[0..m-2], e[m-1]=0
+
+  for (index_t l = 0; l < m; ++l) {
+    index_t iter = 0;
+    index_t mm;
+    do {
+      for (mm = l; mm + 1 < m; ++mm) {
+        const double dd = std::abs(d[mm]) + std::abs(d[mm + 1]);
+        if (std::abs(e[mm]) <= 1e-300 + 2.3e-16 * dd) break;
+      }
+      if (mm != l) {
+        AJAC_CHECK_MSG(iter++ < 50, "tridiag QL failed to converge");
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+        double r = hypot2(g, 1.0);
+        g = d[mm] - d[l] + e[l] / (g + std::copysign(r, g));
+        double s = 1.0;
+        double c = 1.0;
+        double p = 0.0;
+        index_t i = mm - 1;
+        bool underflow = false;
+        for (; i >= l; --i) {
+          double f = s * e[i];
+          const double b = c * e[i];
+          r = hypot2(f, g);
+          e[i + 1] = r;
+          if (r == 0.0) {
+            d[i + 1] -= p;
+            e[mm] = 0.0;
+            underflow = true;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[i + 1] - p;
+          r = (d[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[i + 1] = g + p;
+          g = c * r - b;
+        }
+        if (underflow && i >= l) continue;
+        d[l] -= p;
+        e[l] = g;
+        e[mm] = 0.0;
+      }
+    } while (mm != l);
+  }
+  std::sort(d.begin(), d.end());
+  return d;
+}
+
+LanczosResult lanczos_extreme(const LinearOperator& op,
+                              const LanczosOptions& opts) {
+  AJAC_CHECK(op.dimension > 0);
+  const auto n = static_cast<std::size_t>(op.dimension);
+  const index_t max_steps =
+      std::min<index_t>(opts.max_steps, op.dimension);
+
+  LanczosResult result;
+  std::vector<Vector> basis;  // full reorthogonalization needs all vectors
+  std::vector<double> alpha;
+  std::vector<double> beta;
+
+  Vector v(n);
+  Vector w(n);
+  Rng rng(opts.seed);
+  vec::fill_uniform(v, rng);
+  {
+    const double nrm = vec::norm2(v);
+    AJAC_CHECK(nrm > 0.0);
+    for (double& x : v) x /= nrm;
+  }
+  basis.push_back(v);
+
+  double prev_min = 0.0;
+  double prev_max = 0.0;
+  for (index_t k = 0; k < max_steps; ++k) {
+    op.apply(basis.back(), w);
+    const double a = vec::dot(basis.back(), w);
+    alpha.push_back(a);
+    // w -= a*v_k + b_{k-1}*v_{k-1}
+    vec::axpy(-a, basis.back(), w);
+    if (k > 0) vec::axpy(-beta.back(), basis[basis.size() - 2], w);
+    // Full reorthogonalization (twice is enough).
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const Vector& q : basis) {
+        const double proj = vec::dot(q, w);
+        if (proj != 0.0) vec::axpy(-proj, q, w);
+      }
+    }
+    const double b = vec::norm2(w);
+    result.steps = k + 1;
+
+    result.ritz_values = tridiag_eigenvalues(alpha, beta);
+    result.lambda_min = result.ritz_values.front();
+    result.lambda_max = result.ritz_values.back();
+
+    const bool stabilized =
+        k >= 8 &&
+        std::abs(result.lambda_min - prev_min) <=
+            opts.tolerance * std::max(1.0, std::abs(result.lambda_min)) &&
+        std::abs(result.lambda_max - prev_max) <=
+            opts.tolerance * std::max(1.0, std::abs(result.lambda_max));
+    if (stabilized || b <= 1e-14) {
+      // b ~ 0 means the Krylov space is invariant: Ritz values are exact.
+      result.converged = true;
+      return result;
+    }
+    prev_min = result.lambda_min;
+    prev_max = result.lambda_max;
+
+    beta.push_back(b);
+    Vector next(n);
+    for (std::size_t i = 0; i < n; ++i) next[i] = w[i] / b;
+    basis.push_back(std::move(next));
+  }
+  result.converged = false;
+  return result;
+}
+
+double jacobi_spectral_radius_spd(const CsrMatrix& a,
+                                  const LanczosOptions& opts) {
+  const CsrMatrix scaled = scale_to_unit_diagonal(a);
+  const LanczosResult r = lanczos_extreme(make_operator(scaled), opts);
+  return std::max(std::abs(1.0 - r.lambda_min), std::abs(1.0 - r.lambda_max));
+}
+
+double optimal_jacobi_omega(const CsrMatrix& a, const LanczosOptions& opts) {
+  const CsrMatrix scaled = scale_to_unit_diagonal(a);
+  const LanczosResult r = lanczos_extreme(make_operator(scaled), opts);
+  AJAC_CHECK_MSG(r.lambda_min > 0.0,
+                 "optimal_jacobi_omega requires a positive definite matrix");
+  return 2.0 / (r.lambda_min + r.lambda_max);
+}
+
+}  // namespace ajac::eig

@@ -1,0 +1,52 @@
+#include "ajac/eig/operators.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "ajac/sparse/csr.hpp"
+#include "ajac/sparse/scaling.hpp"
+#include "ajac/util/check.hpp"
+
+namespace ajac::eig {
+
+LinearOperator make_operator(const CsrMatrix& a) {
+  AJAC_CHECK(a.num_rows() == a.num_cols());
+  auto mat = std::make_shared<CsrMatrix>(a);
+  return LinearOperator{
+      a.num_rows(),
+      [mat](std::span<const double> x, std::span<double> y) {
+        mat->spmv(x, y);
+      }};
+}
+
+LinearOperator make_jacobi_operator(const CsrMatrix& a) {
+  AJAC_CHECK(a.num_rows() == a.num_cols());
+  auto mat = std::make_shared<CsrMatrix>(a);
+  auto inv_diag = std::make_shared<Vector>(a.diagonal());
+  for (double& d : *inv_diag) {
+    AJAC_CHECK_MSG(d != 0.0, "zero diagonal in Jacobi operator");
+    d = 1.0 / d;
+  }
+  return LinearOperator{
+      a.num_rows(),
+      [mat, inv_diag](std::span<const double> x, std::span<double> y) {
+        mat->spmv(x, y);
+        const auto n = static_cast<index_t>(x.size());
+        for (index_t i = 0; i < n; ++i) {
+          y[i] = x[i] - (*inv_diag)[i] * y[i];
+        }
+      }};
+}
+
+LinearOperator make_abs_jacobi_operator(const CsrMatrix& a) {
+  // |G| is formed explicitly (same sparsity as A minus the diagonal).
+  auto g_abs =
+      std::make_shared<CsrMatrix>(entrywise_abs(jacobi_iteration_matrix(a)));
+  return LinearOperator{
+      a.num_rows(),
+      [g_abs](std::span<const double> x, std::span<double> y) {
+        g_abs->spmv(x, y);
+      }};
+}
+
+}  // namespace ajac::eig

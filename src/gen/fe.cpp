@@ -1,0 +1,209 @@
+#include "ajac/gen/fe.hpp"
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "ajac/sparse/coo.hpp"
+#include "ajac/sparse/csr.hpp"
+#include "ajac/util/check.hpp"
+#include "ajac/util/rng.hpp"
+
+namespace ajac::gen {
+
+namespace {
+
+struct Point {
+  double x;
+  double y;
+};
+
+double triangle_det(const Point& p0, const Point& p1, const Point& p2) {
+  return (p1.x - p0.x) * (p2.y - p0.y) - (p2.x - p0.x) * (p1.y - p0.y);
+}
+
+/// Element stiffness for a P1 triangle with vertices p0, p1, p2 (CCW):
+/// K_ij = (b_i b_j + c_i c_j) / (4 |T|).
+std::array<std::array<double, 3>, 3> element_stiffness(const Point& p0,
+                                                       const Point& p1,
+                                                       const Point& p2) {
+  const double b[3] = {p1.y - p2.y, p2.y - p0.y, p0.y - p1.y};
+  const double c[3] = {p2.x - p1.x, p0.x - p2.x, p1.x - p0.x};
+  const double det = triangle_det(p0, p1, p2);
+  AJAC_CHECK_MSG(det > 0.0, "degenerate or inverted triangle");
+  const double inv4a = 1.0 / (2.0 * det);  // 1/(4*area), area = det/2
+  std::array<std::array<double, 3>, 3> k{};
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      k[i][j] = (b[i] * b[j] + c[i] * c[j]) * inv4a;
+    }
+  }
+  return k;
+}
+
+}  // namespace
+
+CsrMatrix fe_laplacian_2d(const FeMeshOptions& opts) {
+  AJAC_CHECK(opts.nx >= 1 && opts.ny >= 1);
+  AJAC_CHECK(opts.jitter >= 0.0 && opts.jitter < 0.5);
+  AJAC_CHECK(opts.aspect > 0.0);
+
+  const index_t vx = opts.nx + 2;  // vertices per row, incl. boundary
+  const index_t vy = opts.ny + 2;
+  const double hx = 1.0 / static_cast<double>(vx - 1);
+  const double hy = 1.0 / static_cast<double>(vy - 1);
+  Rng rng(opts.seed);
+
+  auto vertex_id = [&](index_t i, index_t j) { return j * vx + i; };
+
+  // Jitter offsets in units of (hx, hy). Boundary vertices stay put so the
+  // domain remains a square.
+  std::vector<Point> offset(static_cast<std::size_t>(vx * vy), Point{0, 0});
+  for (index_t j = 1; j + 1 < vy; ++j) {
+    for (index_t i = 1; i + 1 < vx; ++i) {
+      const Point jitter{opts.jitter * rng.uniform(-1.0, 1.0),
+                         opts.jitter * rng.uniform(-1.0, 1.0)};
+      if (rng.uniform() < opts.jitter_fraction) {
+        offset[vertex_id(i, j)] = jitter;
+      }
+    }
+  }
+
+  // Per-quad diagonal choice, fixed before untangling so the mesh topology
+  // is stable.
+  std::vector<char> split_main(static_cast<std::size_t>((vx - 1) * (vy - 1)));
+  for (index_t j = 0; j + 1 < vy; ++j) {
+    for (index_t i = 0; i + 1 < vx; ++i) {
+      split_main[j * (vx - 1) + i] = opts.random_diagonals
+                                         ? static_cast<char>(rng.next() & 1u)
+                                         : static_cast<char>((i + j) & 1);
+    }
+  }
+
+  // Positions in *logical* (pre-shear, pre-stretch) coordinates. Validity
+  // is checked here; shear and stretch are affine with positive
+  // determinant, so a valid logical mesh stays valid after transform.
+  auto logical_point = [&](index_t i, index_t j, double damp) {
+    const Point& off = offset[vertex_id(i, j)];
+    return Point{(static_cast<double>(i) + damp * off.x) * hx,
+                 (static_cast<double>(j) + damp * off.y) * hy};
+  };
+
+  // Untangling pass: damp the jitter of any vertex incident to a
+  // near-degenerate triangle. Converges because damp -> 0 reproduces the
+  // structured (valid) mesh.
+  std::vector<double> damp(static_cast<std::size_t>(vx * vy), 1.0);
+  const double min_det = 0.05 * hx * hy;
+  for (int sweep = 0; sweep < 64; ++sweep) {
+    bool changed = false;
+    auto check_triangle = [&](index_t a, index_t b, index_t c,
+                              index_t ai, index_t aj, index_t bi, index_t bj,
+                              index_t ci, index_t cj) {
+      const Point pa = logical_point(ai, aj, damp[a]);
+      const Point pb = logical_point(bi, bj, damp[b]);
+      const Point pc = logical_point(ci, cj, damp[c]);
+      if (triangle_det(pa, pb, pc) <= min_det) {
+        damp[a] *= 0.5;
+        damp[b] *= 0.5;
+        damp[c] *= 0.5;
+        changed = true;
+      }
+    };
+    for (index_t j = 0; j + 1 < vy; ++j) {
+      for (index_t i = 0; i + 1 < vx; ++i) {
+        const index_t v00 = vertex_id(i, j), v10 = vertex_id(i + 1, j);
+        const index_t v01 = vertex_id(i, j + 1), v11 = vertex_id(i + 1, j + 1);
+        if (split_main[j * (vx - 1) + i]) {
+          check_triangle(v00, v10, v11, i, j, i + 1, j, i + 1, j + 1);
+          check_triangle(v00, v11, v01, i, j, i + 1, j + 1, i, j + 1);
+        } else {
+          check_triangle(v00, v10, v01, i, j, i + 1, j, i, j + 1);
+          check_triangle(v10, v11, v01, i + 1, j, i + 1, j + 1, i, j + 1);
+        }
+      }
+    }
+    if (!changed) break;
+  }
+
+  // Final physical coordinates: logical -> shear -> stretch.
+  std::vector<Point> pts(static_cast<std::size_t>(vx * vy));
+  for (index_t j = 0; j < vy; ++j) {
+    for (index_t i = 0; i < vx; ++i) {
+      const index_t v = vertex_id(i, j);
+      const Point lp = logical_point(i, j, damp[v]);
+      pts[v] = Point{lp.x + opts.shear * lp.y, lp.y * opts.aspect};
+    }
+  }
+
+  // Unknown numbering: interior vertices only, row-major.
+  std::vector<index_t> unknown(static_cast<std::size_t>(vx * vy), index_t{-1});
+  {
+    index_t next = 0;
+    for (index_t j = 1; j + 1 < vy; ++j) {
+      for (index_t i = 1; i + 1 < vx; ++i) {
+        unknown[vertex_id(i, j)] = next++;
+      }
+    }
+    AJAC_CHECK(next == opts.nx * opts.ny);
+  }
+
+  const index_t n = opts.nx * opts.ny;
+  CooBuilder coo(n, n);
+  auto assemble_triangle = [&](index_t v0, index_t v1, index_t v2) {
+    const auto k = element_stiffness(pts[v0], pts[v1], pts[v2]);
+    const index_t ids[3] = {unknown[v0], unknown[v1], unknown[v2]};
+    for (int a = 0; a < 3; ++a) {
+      if (ids[a] < 0) continue;  // Dirichlet row eliminated
+      for (int bcol = 0; bcol < 3; ++bcol) {
+        if (ids[bcol] < 0) continue;  // Dirichlet column eliminated
+        coo.add(ids[a], ids[bcol], k[a][bcol]);
+      }
+    }
+  };
+
+  for (index_t j = 0; j + 1 < vy; ++j) {
+    for (index_t i = 0; i + 1 < vx; ++i) {
+      const index_t v00 = vertex_id(i, j), v10 = vertex_id(i + 1, j);
+      const index_t v01 = vertex_id(i, j + 1), v11 = vertex_id(i + 1, j + 1);
+      if (split_main[j * (vx - 1) + i]) {
+        assemble_triangle(v00, v10, v11);
+        assemble_triangle(v00, v11, v01);
+      } else {
+        assemble_triangle(v00, v10, v01);
+        assemble_triangle(v10, v11, v01);
+      }
+    }
+  }
+  return coo.to_csr(/*drop_zeros=*/false);
+}
+
+CsrMatrix paper_fe_3081() {
+  FeMeshOptions opts;
+  opts.nx = 79;
+  opts.ny = 39;
+  opts.jitter = 0.35;
+  opts.jitter_fraction = 0.15;
+  opts.shear = 0.0;
+  opts.aspect = 1.0;
+  opts.random_diagonals = true;
+  opts.seed = 20180521;
+  return fe_laplacian_2d(opts);
+}
+
+CsrMatrix dubcova2_analogue(index_t scale) {
+  FeMeshOptions opts;
+  opts.nx = scale;
+  opts.ny = scale;
+  // Milder distortion than paper_fe_3081: the real Dubcova2 is only just
+  // Jacobi-divergent; this setting gives rho(G) ~ 1.05 at the default
+  // sizes (Jacobi diverges, asynchronous high-rank runs can converge).
+  opts.jitter = 0.28;
+  opts.jitter_fraction = 0.15;
+  opts.shear = 0.0;
+  opts.aspect = 1.0;
+  opts.random_diagonals = true;
+  opts.seed = 65025;
+  return fe_laplacian_2d(opts);
+}
+
+}  // namespace ajac::gen

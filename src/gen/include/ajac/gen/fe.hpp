@@ -1,0 +1,67 @@
+#pragma once
+// P1 (linear triangle) finite-element stiffness matrices for the Laplace
+// equation on a square domain.
+//
+// The paper's "FE" matrix is "an unstructured finite element discretization
+// of the Laplace equation on a square domain. The matrix is not W.D.D., but
+// approximately half the rows have the W.D.D. property. The matrix is
+// symmetric positive definite, and ρ(G) > 1." (Sec. VII-A.)
+//
+// We reproduce that class of matrix with a genuine FE assembly on a
+// jittered, sheared, anisotropically stretched triangulation. The shear and
+// stretch make most triangles obtuse; for P1 elements the off-diagonal
+// stiffness entry of an edge is -(cot α + cot β)/2 over the two opposite
+// angles, so obtuse angles generate *positive* off-diagonal entries. Since
+// interior row sums are zero before boundary elimination, a row with
+// positive off-diagonal mass P has sum_{j≠i} |a_ij| = a_ii + 2P and loses
+// weak diagonal dominance; with enough such rows,
+// lambda_max(D^{-1/2} A D^{-1/2}) exceeds 2 and rho(G) > 1 — synchronous
+// Jacobi diverges while A stays SPD.
+
+#include "ajac/sparse/types.hpp"
+
+namespace ajac {
+class CsrMatrix;
+}
+
+namespace ajac::gen {
+
+struct FeMeshOptions {
+  /// Interior grid resolution: the system has nx*ny unknowns (boundary
+  /// vertices carry homogeneous Dirichlet conditions and are eliminated).
+  index_t nx = 32;
+  index_t ny = 32;
+  /// Vertex jitter as a fraction of the local spacing, in [0, 0.5). An
+  /// untangling pass guarantees no triangle inverts regardless of jitter.
+  double jitter = 0.35;
+  /// Fraction of interior vertices that receive jitter. Jittering only a
+  /// subset leaves regular (W.D.D.) patches between distorted regions,
+  /// matching the paper's "approximately half the rows have the W.D.D.
+  /// property".
+  double jitter_fraction = 0.15;
+  /// Shear: x <- x + shear * y. Shear systematically produces obtuse
+  /// angles (135° at shear = 1) and hence positive off-diagonal entries.
+  double shear = 0.0;
+  /// Anisotropic stretch of the y-axis metric.
+  double aspect = 1.0;
+  /// Randomize the diagonal used to split each quad into two triangles
+  /// ("unstructured" connectivity); otherwise alternate (criss-cross).
+  bool random_diagonals = true;
+  std::uint64_t seed = 1234;
+};
+
+/// Assemble the P1 stiffness matrix for -Δu = f with homogeneous Dirichlet
+/// boundary on the triangulation described by `opts`. SPD by construction
+/// (it is a Galerkin stiffness matrix on a valid mesh).
+[[nodiscard]] CsrMatrix fe_laplacian_2d(const FeMeshOptions& opts);
+
+/// The paper's FE test matrix analogue: 3081 rows (79 x 39 interior grid),
+/// with roughly half the rows W.D.D. and rho(G) > 1 (both properties are
+/// asserted in tests/gen/fe_test.cpp using the eig module).
+[[nodiscard]] CsrMatrix paper_fe_3081();
+
+/// Dubcova2 analogue (Table I): the same matrix family at Dubcova2's exact
+/// size, 65025 = 255^2 rows; Jacobi diverges on it, as the paper reports.
+[[nodiscard]] CsrMatrix dubcova2_analogue(index_t scale = 255);
+
+}  // namespace ajac::gen

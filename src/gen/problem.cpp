@@ -1,0 +1,25 @@
+#include "ajac/gen/problem.hpp"
+
+#include "ajac/sparse/scaling.hpp"
+#include "ajac/sparse/vector_ops.hpp"
+#include "ajac/util/check.hpp"
+#include "ajac/util/rng.hpp"
+
+namespace ajac::gen {
+
+LinearProblem make_problem(std::string name, const CsrMatrix& a,
+                           std::uint64_t seed) {
+  AJAC_CHECK(a.num_rows() == a.num_cols());
+  LinearProblem p;
+  p.name = std::move(name);
+  p.a = scale_to_unit_diagonal(a);
+  const auto n = static_cast<std::size_t>(a.num_rows());
+  p.b.resize(n);
+  p.x0.resize(n);
+  Rng rng(seed);
+  vec::fill_uniform(p.b, rng);
+  vec::fill_uniform(p.x0, rng);
+  return p;
+}
+
+}  // namespace ajac::gen

@@ -1,0 +1,73 @@
+#include "ajac/model/bounds.hpp"
+
+#include <cmath>
+
+#include "ajac/eig/power.hpp"
+#include "ajac/model/executor.hpp"
+#include "ajac/model/propagation.hpp"
+#include "ajac/sparse/csr.hpp"
+#include "ajac/util/check.hpp"
+#include "ajac/util/rng.hpp"
+
+namespace ajac::model {
+
+ChazanMirankerCertificate chazan_miranker(const CsrMatrix& a) {
+  ChazanMirankerCertificate cert;
+  eig::PowerOptions opts;
+  opts.max_iterations = 20000;
+  opts.tolerance = 1e-9;
+  const auto r = eig::power_method(eig::make_abs_jacobi_operator(a), opts);
+  cert.rho_abs_g = r.magnitude;
+  cert.converged = r.converged;
+  cert.async_convergent_for_all_schedules = r.converged && r.magnitude < 1.0;
+  return cert;
+}
+
+TransientGrowth sample_transient_growth(const CsrMatrix& a, index_t steps,
+                                        index_t samples, double activity,
+                                        std::uint64_t seed) {
+  AJAC_CHECK(a.num_rows() == a.num_cols());
+  AJAC_CHECK(steps >= 1 && samples >= 1);
+  AJAC_CHECK(activity > 0.0 && activity <= 1.0);
+  const index_t n = a.num_rows();
+
+  TransientGrowth out;
+  double log_final_sum = 0.0;
+  Rng rng(seed);
+  for (index_t s = 0; s < samples; ++s) {
+    DenseMatrix product = DenseMatrix::identity(n);
+    for (index_t k = 0; k < steps; ++k) {
+      std::vector<index_t> active;
+      for (index_t i = 0; i < n; ++i) {
+        if (rng.uniform() < activity) active.push_back(i);
+      }
+      const DenseMatrix g = error_propagation_dense(
+          a, ActiveSet::from_indices(n, std::move(active)));
+      product = g.multiply(product);
+      out.max_product_norm_inf =
+          std::max(out.max_product_norm_inf, product.norm_inf());
+    }
+    log_final_sum += std::log(std::max(product.norm_inf(), 1e-300));
+  }
+  out.final_product_norm_inf =
+      std::exp(log_final_sum / static_cast<double>(samples));
+  return out;
+}
+
+double empirical_contraction(const std::vector<HistoryPoint>& history,
+                             double tail_fraction) {
+  AJAC_CHECK(tail_fraction > 0.0 && tail_fraction <= 1.0);
+  if (history.size() < 2) return 1.0;
+  const auto start = static_cast<std::size_t>(
+      static_cast<double>(history.size() - 1) * (1.0 - tail_fraction));
+  const std::size_t last = history.size() - 1;
+  if (start >= last) return 1.0;
+  const double r_start = std::max(history[start].rel_residual_1, 1e-300);
+  const double r_end = std::max(history[last].rel_residual_1, 1e-300);
+  const double steps =
+      static_cast<double>(history[last].step - history[start].step);
+  if (steps <= 0.0) return 1.0;
+  return std::exp((std::log(r_end) - std::log(r_start)) / steps);
+}
+
+}  // namespace ajac::model

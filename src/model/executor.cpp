@@ -1,0 +1,90 @@
+#include "ajac/model/executor.hpp"
+
+#include <cmath>
+
+#include "ajac/model/propagation.hpp"
+#include "ajac/sparse/csr.hpp"
+#include "ajac/sparse/vector_ops.hpp"
+#include "ajac/util/check.hpp"
+
+namespace ajac::model {
+
+ModelResult run_model(const CsrMatrix& a, const Vector& b, const Vector& x0,
+                      RelaxationSchedule& schedule,
+                      const ExecutorOptions& opts) {
+  AJAC_CHECK(a.num_rows() == a.num_cols());
+  const index_t n = a.num_rows();
+  AJAC_CHECK(b.size() == static_cast<std::size_t>(n));
+  AJAC_CHECK(x0.size() == static_cast<std::size_t>(n));
+  AJAC_CHECK(opts.max_steps >= 0);
+  AJAC_CHECK(opts.record_every >= 1);
+  if (opts.exact_solution) {
+    AJAC_CHECK(opts.exact_solution->size() == static_cast<std::size_t>(n));
+  }
+
+  AJAC_CHECK(opts.omega > 0.0);
+  Vector inv_diag = a.diagonal();
+  for (index_t i = 0; i < n; ++i) {
+    AJAC_CHECK_MSG(inv_diag[i] != 0.0, "zero diagonal at row " << i);
+    inv_diag[i] = opts.omega / inv_diag[i];
+  }
+
+  ModelResult result;
+  result.x = x0;
+  Vector r(static_cast<std::size_t>(n));
+  Vector scratch(static_cast<std::size_t>(n));
+  a.residual(result.x, b, r);
+  const double r0_1 = vec::norm1(r);
+  const double r0_2 = vec::norm2(r);
+  const double r0_inf = vec::norm_inf(r);
+  const double denom_1 = r0_1 > 0.0 ? r0_1 : 1.0;
+  const double denom_2 = r0_2 > 0.0 ? r0_2 : 1.0;
+  const double denom_inf = r0_inf > 0.0 ? r0_inf : 1.0;
+
+  auto record = [&](index_t step) {
+    HistoryPoint pt;
+    pt.step = step;
+    pt.relaxations = result.relaxations;
+    pt.rel_residual_1 = vec::norm1(r) / denom_1;
+    pt.rel_residual_2 = vec::norm2(r) / denom_2;
+    pt.rel_residual_inf = vec::norm_inf(r) / denom_inf;
+    if (opts.exact_solution) {
+      pt.error_inf = vec::max_abs_diff(result.x, *opts.exact_solution);
+    }
+    result.history.push_back(pt);
+    return pt.rel_residual_1;
+  };
+  record(0);
+
+  ActiveSet active(n);
+  for (index_t k = 0; k < opts.max_steps; ++k) {
+    schedule.active_rows(k, active);
+    if (active.count() > 0) {
+      apply_step_inplace(a, inv_diag, b, active, result.x, scratch);
+      result.relaxations += active.count();
+      a.residual(result.x, b, r);
+    }
+    result.steps = k + 1;
+    double rel = -1.0;
+    if ((k + 1) % opts.record_every == 0) {
+      rel = record(k + 1);
+    } else {
+      rel = vec::norm1(r) / denom_1;
+    }
+    if (opts.tolerance > 0.0 && rel <= opts.tolerance) {
+      if ((k + 1) % opts.record_every != 0) record(k + 1);
+      result.converged = true;
+      break;
+    }
+  }
+  result.final_rel_residual_1 = vec::norm1(r) / denom_1;
+  return result;
+}
+
+ModelResult run_synchronous(const CsrMatrix& a, const Vector& b,
+                            const Vector& x0, const ExecutorOptions& opts) {
+  SynchronousSchedule schedule(a.num_rows());
+  return run_model(a, b, x0, schedule, opts);
+}
+
+}  // namespace ajac::model

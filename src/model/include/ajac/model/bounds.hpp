@@ -1,0 +1,58 @@
+#pragma once
+// Computable convergence certificates and diagnostics around the paper's
+// theory.
+//
+//  * Chazan–Miranker (Sec. III): rho(|G|) < 1 guarantees the asynchronous
+//    iteration converges for EVERY admissible schedule. We compute the
+//    certificate with the power method on |G| (nonnegative => Perron).
+//  * Transient growth (Sec. IV-D): even when every factor has norm <= 1,
+//    products of propagation matrices govern the transient; we sample
+//    random mask sequences and track the product's infinity norm. Under
+//    W.D.D. it can never exceed 1 (Theorem 1); without W.D.D. it can grow
+//    before shrinking — or grow forever.
+//  * Empirical contraction: the realized per-step residual factor of a
+//    finished run, i.e. the "effective spectral radius" of the schedule
+//    that actually happened.
+
+#include "ajac/model/schedule.hpp"
+#include "ajac/sparse/types.hpp"
+
+namespace ajac {
+class CsrMatrix;
+}
+
+namespace ajac::model {
+struct HistoryPoint;
+
+struct ChazanMirankerCertificate {
+  double rho_abs_g = 0.0;  ///< spectral radius of |G|
+  bool async_convergent_for_all_schedules = false;  ///< rho(|G|) < 1
+  bool converged = false;  ///< power iteration converged
+};
+
+/// Evaluate the Chazan–Miranker condition for A (any nonzero diagonal).
+[[nodiscard]] ChazanMirankerCertificate chazan_miranker(const CsrMatrix& a);
+
+struct TransientGrowth {
+  double max_product_norm_inf = 0.0;  ///< max over steps & samples
+  double final_product_norm_inf = 0.0;  ///< geometric mean over samples
+};
+
+/// Sample `samples` random mask sequences (each row active independently
+/// with probability `activity`) of length `steps`, form the dense products
+/// Ghat(k)...Ghat(1), and record the largest infinity norm seen along the
+/// way. Intended for model-scale n (dense O(n^2) per step).
+[[nodiscard]] TransientGrowth sample_transient_growth(const CsrMatrix& a,
+                                                      index_t steps,
+                                                      index_t samples,
+                                                      double activity,
+                                                      std::uint64_t seed = 1);
+
+/// Realized per-step contraction factor of a residual history: the
+/// geometric mean of successive rel-residual ratios over the last
+/// `tail_fraction` of the history (ignoring the fast transient). Values
+/// < 1 mean the realized schedule contracts; > 1 means it diverges.
+[[nodiscard]] double empirical_contraction(
+    const std::vector<HistoryPoint>& history, double tail_fraction = 0.5);
+
+}  // namespace ajac::model

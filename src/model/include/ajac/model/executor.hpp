@@ -1,0 +1,65 @@
+#pragma once
+// The model executor: runs a relaxation schedule on a linear system and
+// records the convergence history in model time. This is the "sequential
+// computer implementation" of the paper's model (Sec. VII-B) that the
+// shared-memory experiments are validated against.
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ajac/model/schedule.hpp"
+#include "ajac/sparse/types.hpp"
+
+namespace ajac {
+class CsrMatrix;
+}
+
+namespace ajac::model {
+
+struct ExecutorOptions {
+  /// Stop when ||r||_1 / ||r0||_1 <= tolerance (the paper reports relative
+  /// residual 1-norms). Set to 0 to disable.
+  double tolerance = 1e-3;
+  /// Hard cap on model steps.
+  index_t max_steps = 100000;
+  /// Record the residual norms every `record_every` steps (1 = each step).
+  index_t record_every = 1;
+  /// Damping factor: active rows update x += omega * D^{-1} r. omega = 1
+  /// is the paper's (undamped) Jacobi relaxation.
+  double omega = 1.0;
+  /// If set, also record error norms against this exact solution.
+  std::optional<Vector> exact_solution;
+};
+
+struct HistoryPoint {
+  index_t step = 0;            ///< model time k
+  index_t relaxations = 0;     ///< cumulative single-row relaxations
+  double rel_residual_1 = 0.0;
+  double rel_residual_2 = 0.0;
+  double rel_residual_inf = 0.0;
+  double error_inf = -1.0;     ///< -1 when no exact solution was given
+};
+
+struct ModelResult {
+  std::vector<HistoryPoint> history;
+  Vector x;                    ///< final iterate
+  index_t steps = 0;           ///< model steps executed
+  index_t relaxations = 0;     ///< total single-row relaxations
+  bool converged = false;
+  double final_rel_residual_1 = 0.0;
+};
+
+/// Run `schedule` on A x = b from x0 until tolerance or max_steps.
+/// A may have any nonzero diagonal (the masked sweep uses D^{-1}).
+[[nodiscard]] ModelResult run_model(const CsrMatrix& a, const Vector& b,
+                                    const Vector& x0,
+                                    RelaxationSchedule& schedule,
+                                    const ExecutorOptions& opts = {});
+
+/// Convenience: synchronous Jacobi in the model (all rows, every step).
+[[nodiscard]] ModelResult run_synchronous(const CsrMatrix& a, const Vector& b,
+                                          const Vector& x0,
+                                          const ExecutorOptions& opts = {});
+
+}  // namespace ajac::model

@@ -1,0 +1,40 @@
+#pragma once
+// The active set Ψ(k): which rows relax at model step k (Sec. IV-A). The
+// diagonal 0/1 matrix D̂(k) of the paper is represented as this set.
+
+#include <vector>
+
+#include "ajac/sparse/types.hpp"
+
+namespace ajac::model {
+
+class ActiveSet {
+ public:
+  /// Empty active set over n rows.
+  explicit ActiveSet(index_t n);
+
+  static ActiveSet all(index_t n);
+  static ActiveSet from_indices(index_t n, std::vector<index_t> indices);
+
+  void clear();
+  void insert(index_t row);
+  [[nodiscard]] bool contains(index_t row) const { return mask_[row] != 0; }
+
+  [[nodiscard]] index_t size() const noexcept { return n_; }
+  [[nodiscard]] index_t count() const noexcept {
+    return static_cast<index_t>(indices_.size());
+  }
+  [[nodiscard]] const std::vector<index_t>& indices() const noexcept {
+    return indices_;
+  }
+
+  /// Rows NOT in the set, ascending (the "delayed" rows).
+  [[nodiscard]] std::vector<index_t> complement() const;
+
+ private:
+  index_t n_;
+  std::vector<char> mask_;
+  std::vector<index_t> indices_;
+};
+
+}  // namespace ajac::model

@@ -1,0 +1,53 @@
+#pragma once
+// Propagation matrices (the paper's central construct, Sec. IV-A).
+//
+// One masked relaxation step is
+//     x(k+1) = (I - D̂(k) D^{-1} A) x(k) + D̂(k) D^{-1} b
+// with the paper's unit-diagonal convention D = I this is exactly
+//     x(k+1) = Ĝ(k) x(k) + D̂(k) b,     Ĝ(k) = I - D̂(k) A,
+// and the residual evolves as r(k+1) = Ĥ(k) r(k), Ĥ(k) = I - A D̂(k).
+//
+// apply_step() performs the masked sweep matrix-free; the *_dense builders
+// materialize Ĝ(k)/Ĥ(k) for the theory layer and the tests.
+
+#include <span>
+
+#include "ajac/model/mask.hpp"
+#include "ajac/sparse/dense.hpp"
+#include "ajac/sparse/types.hpp"
+
+namespace ajac {
+class CsrMatrix;
+}
+
+namespace ajac::model {
+
+/// x_out = Ĝ x_in + D̂ D^{-1} b. Inactive rows copy through. x_in and
+/// x_out must not alias (all active rows read the pre-step state — this is
+/// the "additive within a step" semantics of the propagation matrix).
+void apply_step(const CsrMatrix& a, std::span<const double> inv_diag,
+                std::span<const double> b, const ActiveSet& active,
+                std::span<const double> x_in, std::span<double> x_out);
+
+/// In-place convenience used by executors; internally double-buffers only
+/// the active entries.
+void apply_step_inplace(const CsrMatrix& a, std::span<const double> inv_diag,
+                        std::span<const double> b, const ActiveSet& active,
+                        std::span<double> x,
+                        std::span<double> scratch /* size >= count */);
+
+/// Ĝ(k) = I - D̂ D^{-1} A as a dense matrix: active rows are rows of the
+/// Jacobi iteration matrix G, delayed rows are unit basis rows.
+[[nodiscard]] DenseMatrix error_propagation_dense(const CsrMatrix& a,
+                                                  const ActiveSet& active);
+
+/// Ĥ(k) = I - A D^{-1} D̂: active columns are columns of I - A D^{-1},
+/// delayed columns are unit basis columns.
+[[nodiscard]] DenseMatrix residual_propagation_dense(const CsrMatrix& a,
+                                                     const ActiveSet& active);
+
+/// The full Jacobi iteration matrix G = I - D^{-1} A (dense), i.e. the
+/// propagation matrix of the all-active mask.
+[[nodiscard]] DenseMatrix iteration_matrix_dense(const CsrMatrix& a);
+
+}  // namespace ajac::model

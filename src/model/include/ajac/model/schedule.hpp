@@ -1,0 +1,136 @@
+#pragma once
+// Relaxation schedules: which rows are active at each model step. These
+// generate the Ψ(k) sequences of Sec. IV and the delay experiments of
+// Sec. VII-B ("row i only relaxes at multiples of δ, while all other rows
+// relax at every time step").
+
+#include <memory>
+#include <vector>
+
+#include "ajac/model/mask.hpp"
+#include "ajac/sparse/types.hpp"
+#include "ajac/util/rng.hpp"
+
+namespace ajac {
+class CsrMatrix;
+}
+
+namespace ajac::model {
+
+class RelaxationSchedule {
+ public:
+  virtual ~RelaxationSchedule() = default;
+
+  /// Fill `out` with the active set for model step `step` (0-based).
+  virtual void active_rows(index_t step, ActiveSet& out) = 0;
+};
+
+/// Synchronous Jacobi: all rows relax every step. With `period` > 1, all
+/// rows relax only at steps that are multiples of `period` — the paper's
+/// model of synchronous Jacobi waiting for a delayed process at a barrier.
+class SynchronousSchedule final : public RelaxationSchedule {
+ public:
+  explicit SynchronousSchedule(index_t n, index_t period = 1);
+  void active_rows(index_t step, ActiveSet& out) override;
+
+ private:
+  index_t n_;
+  index_t period_;
+};
+
+/// Asynchronous Jacobi with per-row delays: row i relaxes at steps that
+/// are multiples of delay[i] (delay 1 = every step). This is the paper's
+/// model of one (or more) slow processes: the delayed row relaxes at
+/// multiples of δ while everyone else keeps iterating.
+class DelayedRowsSchedule final : public RelaxationSchedule {
+ public:
+  /// All rows have delay 1 except those listed in `delayed`.
+  DelayedRowsSchedule(index_t n,
+                      std::vector<std::pair<index_t, index_t>> delayed);
+  void active_rows(index_t step, ActiveSet& out) override;
+
+ private:
+  std::vector<index_t> delay_;  // per row, >= 1; 0 = never relaxes
+};
+
+/// Each row relaxes independently with probability p per step — a simple
+/// stochastic stand-in for unpredictable thread progress.
+class RandomSubsetSchedule final : public RelaxationSchedule {
+ public:
+  RandomSubsetSchedule(index_t n, double probability, std::uint64_t seed);
+  void active_rows(index_t step, ActiveSet& out) override;
+
+ private:
+  index_t n_;
+  double probability_;
+  Rng rng_;
+};
+
+/// One row per step, in ascending order: step k relaxes row k mod n.
+/// A full pass is exactly Gauss–Seidel with natural ordering (Sec. IV-B).
+class SequentialSchedule final : public RelaxationSchedule {
+ public:
+  explicit SequentialSchedule(index_t n);
+  void active_rows(index_t step, ActiveSet& out) override;
+
+ private:
+  index_t n_;
+};
+
+/// Multicolor schedule: step k relaxes every row of color k mod #colors.
+/// With a valid coloring (no two adjacent rows share a color) this is
+/// multicolor Gauss–Seidel (Sec. IV-B, Eq. 10).
+class MulticolorSchedule final : public RelaxationSchedule {
+ public:
+  /// `colors[i]` in [0, num_colors).
+  MulticolorSchedule(std::vector<index_t> colors, index_t num_colors);
+  void active_rows(index_t step, ActiveSet& out) override;
+
+  [[nodiscard]] index_t num_colors() const noexcept { return num_colors_; }
+
+ private:
+  std::vector<std::vector<index_t>> rows_by_color_;
+  index_t num_colors_;
+  index_t n_;
+};
+
+/// One contiguous block of rows per step, cycling block by block — the
+/// "inexact multiplicative block relaxation" view of Sec. IV-B with
+/// uniform blocks. Block size n is synchronous Jacobi; block size 1 is
+/// Gauss–Seidel; in between interpolates the multiplicative character
+/// that asynchronous snapshots realize.
+class BlockSequentialSchedule final : public RelaxationSchedule {
+ public:
+  BlockSequentialSchedule(index_t n, index_t block_size);
+  void active_rows(index_t step, ActiveSet& out) override;
+
+  [[nodiscard]] index_t num_blocks() const noexcept { return num_blocks_; }
+
+ private:
+  index_t n_;
+  index_t block_size_;
+  index_t num_blocks_;
+};
+
+/// Replays an explicit list of active sets (e.g. reconstructed from a
+/// shared-memory trace via the Φ(l) analysis).
+class ReplaySchedule final : public RelaxationSchedule {
+ public:
+  ReplaySchedule(index_t n, std::vector<std::vector<index_t>> steps);
+  void active_rows(index_t step, ActiveSet& out) override;
+
+  [[nodiscard]] index_t num_steps() const noexcept {
+    return static_cast<index_t>(steps_.size());
+  }
+
+ private:
+  index_t n_;
+  std::vector<std::vector<index_t>> steps_;
+};
+
+/// Greedy graph coloring of the pattern of A (symmetric pattern assumed).
+/// Returns per-row colors and writes the color count to `num_colors`.
+[[nodiscard]] std::vector<index_t> greedy_coloring(const CsrMatrix& a,
+                                                   index_t* num_colors);
+
+}  // namespace ajac::model

@@ -1,0 +1,89 @@
+#pragma once
+// The paper's theory, made executable (Sec. IV-C, IV-D):
+//
+//  * Theorem 1: for W.D.D. A with at least one delayed row,
+//      ||Ĝ(k)||_inf = rho(Ĝ(k)) = 1  and  ||Ĥ(k)||_1 = rho(Ĥ(k)) = 1,
+//    with unit-basis eigenvectors of Ĥ(k) and a null(Y)-based unit
+//    eigenvector of Ĝ(k) (Ĝ = I + Y).
+//  * The delayed-rows reduction: permuting delayed rows first exposes the
+//    block form [[I, O], [g, G̃]]; the active principal submatrix G̃
+//    interlaces the spectrum of G (Cauchy), and removing rows can decouple
+//    G̃ into diagonal blocks with even smaller spectral radii, which is why
+//    more concurrency helps (Sec. IV-D).
+
+#include <vector>
+
+#include "ajac/model/mask.hpp"
+#include "ajac/sparse/dense.hpp"
+#include "ajac/sparse/types.hpp"
+
+namespace ajac {
+class CsrMatrix;
+}
+
+namespace ajac::model {
+
+struct Theorem1Check {
+  double g_norm_inf = 0.0;   ///< ||Ĝ(k)||_inf, expected 1 under W.D.D.
+  double h_norm_1 = 0.0;     ///< ||Ĥ(k)||_1, expected 1 under W.D.D.
+  /// max_i ||Ĥ ξ_i - ξ_i||_inf over delayed rows i: each delayed unit
+  /// basis vector must be an exact eigenvector of Ĥ with eigenvalue 1.
+  double h_unit_eigvec_residual = 0.0;
+  /// ||Ĝ v - v||_inf / ||v||_inf for the constructed v in null(Y): an
+  /// eigenvector of Ĝ with eigenvalue 1.
+  double g_unit_eigvec_residual = 0.0;
+  bool has_delayed_row = false;
+};
+
+/// Evaluate all quantities of Theorem 1 on the dense propagation matrices
+/// for the given active set. A must be square; intended for model-scale n.
+[[nodiscard]] Theorem1Check check_theorem1(const CsrMatrix& a,
+                                           const ActiveSet& active);
+
+/// The active-rows principal submatrix G̃ of the Jacobi iteration matrix
+/// (the paper's Eq. 16 block): rows/columns of G restricted to active
+/// indices. For unit-diagonal symmetric A this matrix is symmetric.
+[[nodiscard]] DenseMatrix active_submatrix_dense(const CsrMatrix& a,
+                                                 const ActiveSet& active);
+
+/// Verify Cauchy interlacing: given the ascending eigenvalues `lam` of an
+/// n x n symmetric matrix and the ascending eigenvalues `mu` of an m x m
+/// principal submatrix, checks lam[i] <= mu[i] <= lam[i + n - m] for all
+/// i (0-based), within `tol`. Returns the largest violation (<= 0 means
+/// the interlacing holds).
+[[nodiscard]] double interlacing_violation(const std::vector<double>& lam,
+                                           const std::vector<double>& mu,
+                                           double tol = 0.0);
+
+/// Sizes of the decoupled diagonal blocks of the active submatrix: the
+/// connected components of A's pattern restricted to active rows
+/// (Sec. IV-D: removing delayed rows can decouple the graph, and the
+/// blocks' spectral radii interlace below rho(G̃)).
+[[nodiscard]] std::vector<index_t> decoupled_block_sizes(
+    const CsrMatrix& a, const ActiveSet& active);
+
+/// Solve Y v = 0 for a nontrivial v where Y = Ĝ - I (Y has a zero row for
+/// every delayed row, hence nullity >= 1). Gaussian elimination with
+/// partial pivoting; returns a unit-inf-norm null vector.
+[[nodiscard]] Vector null_vector(const DenseMatrix& y);
+
+/// The paper's Eqs. 12-16: when a set of rows is permanently delayed, the
+/// iteration of the ACTIVE rows reduces to
+///     y(k+1) = G~ y(k) + f,     f = c + (contribution of the frozen x),
+/// where G~ is the active principal submatrix of G and f folds the frozen
+/// components into the right-hand side. Iterating this reduced system is
+/// exactly the delayed model run restricted to the active indices.
+struct DelayedReduction {
+  std::vector<index_t> active;  ///< ascending active (not delayed) indices
+  DenseMatrix g_tilde;          ///< active principal submatrix of G
+  Vector f;                     ///< reduced constant term
+};
+
+/// Build the Eq. 14/16 reduction for `delayed` rows frozen at their values
+/// in `x` (the iterate at the moment the delay begins). A must have a
+/// nonzero diagonal.
+[[nodiscard]] DelayedReduction reduce_delayed_system(
+    const CsrMatrix& a, const Vector& b, const Vector& x,
+    const std::vector<index_t>& delayed);
+
+}  // namespace ajac::model

@@ -1,0 +1,83 @@
+#pragma once
+// Relaxation traces and the "propagated relaxations" analysis (Sec. IV-A,
+// Figs. 1 and 2).
+//
+// A trace records, for every relaxation an asynchronous execution actually
+// performed, which *version* of each other row it read (the mapping
+// s_ij(k) of Eq. 5; version 0 is the initial value, version v is the value
+// written by row j's v-th relaxation). The analysis reorders the trace
+// into parallel steps Φ(1), Φ(2), ... such that every relaxation in a step
+// reads exactly the pre-step state; each such step is the application of
+// one propagation matrix. Relaxations that can be scheduled this way are
+// "propagated"; relaxations that are forced to read stale versions cannot
+// be expressed by any propagation matrix and are not (Fig. 1(b)).
+
+#include <vector>
+
+#include "ajac/sparse/types.hpp"
+
+namespace ajac::model {
+
+struct RelaxationRead {
+  index_t source_row = 0;  ///< row whose value was read
+  index_t version = 0;     ///< relaxation count of source_row at read time
+};
+
+struct RelaxationEvent {
+  index_t row = 0;
+  std::vector<RelaxationRead> reads;
+};
+
+/// An asynchronous execution history. Events of the same row must appear
+/// in their execution order; cross-row interleaving carries no meaning
+/// (the analysis derives ordering from the read versions alone).
+class RelaxationTrace {
+ public:
+  explicit RelaxationTrace(index_t num_rows);
+
+  void add_event(RelaxationEvent event);
+
+  [[nodiscard]] index_t num_rows() const noexcept { return n_; }
+  [[nodiscard]] const std::vector<RelaxationEvent>& events() const noexcept {
+    return events_;
+  }
+
+ private:
+  index_t n_;
+  std::vector<RelaxationEvent> events_;
+};
+
+struct AnalysisStep {
+  std::vector<index_t> rows;  ///< rows relaxed in this parallel step
+  bool propagated = false;    ///< true: expressible as one propagation matrix
+};
+
+struct PropagationAnalysis {
+  index_t total_relaxations = 0;
+  index_t propagated_relaxations = 0;
+  index_t parallel_steps = 0;
+  /// Events whose read versions were never produced (truncated trace).
+  index_t orphaned = 0;
+  double fraction = 0.0;  ///< propagated / total (the y-axis of Fig. 2)
+  std::vector<AnalysisStep> steps;
+};
+
+/// Greedy reconstruction of Φ(l) per Sec. IV-A:
+///   condition 1 — a relaxation is schedulable once every version it read
+///     has been produced;
+///   condition 2 — a row whose *current* version is still needed by some
+///     other row's next relaxation is held back (unless that reader can
+///     relax in the same parallel step), so the reader is not forced onto
+///     stale data.
+/// When no schedulable-and-held-back-free set exists, progress is forced
+/// and the affected reads become stale: those relaxations count as
+/// non-propagated, exactly like the p3 relaxation in the paper's
+/// Fig. 1(b) example.
+[[nodiscard]] PropagationAnalysis analyze_trace(const RelaxationTrace& trace);
+
+/// The paper's Fig. 1 example traces, for tests and the model example:
+/// (a) is fully propagatable (4/4), (b) is not (3/4).
+[[nodiscard]] RelaxationTrace figure1a_trace();
+[[nodiscard]] RelaxationTrace figure1b_trace();
+
+}  // namespace ajac::model

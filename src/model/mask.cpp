@@ -1,0 +1,51 @@
+#include "ajac/model/mask.hpp"
+
+#include <algorithm>
+
+#include "ajac/util/check.hpp"
+
+namespace ajac::model {
+
+ActiveSet::ActiveSet(index_t n) : n_(n), mask_(static_cast<std::size_t>(n), 0) {
+  AJAC_CHECK(n >= 0);
+}
+
+ActiveSet ActiveSet::all(index_t n) {
+  ActiveSet s(n);
+  s.indices_.reserve(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    s.mask_[i] = 1;
+    s.indices_.push_back(i);
+  }
+  return s;
+}
+
+ActiveSet ActiveSet::from_indices(index_t n, std::vector<index_t> indices) {
+  ActiveSet s(n);
+  std::sort(indices.begin(), indices.end());
+  for (index_t i : indices) s.insert(i);
+  return s;
+}
+
+void ActiveSet::clear() {
+  for (index_t i : indices_) mask_[i] = 0;
+  indices_.clear();
+}
+
+void ActiveSet::insert(index_t row) {
+  AJAC_CHECK(row >= 0 && row < n_);
+  if (mask_[row]) return;
+  mask_[row] = 1;
+  indices_.push_back(row);
+}
+
+std::vector<index_t> ActiveSet::complement() const {
+  std::vector<index_t> out;
+  out.reserve(static_cast<std::size_t>(n_) - indices_.size());
+  for (index_t i = 0; i < n_; ++i) {
+    if (!mask_[i]) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace ajac::model

@@ -1,0 +1,96 @@
+#include "ajac/model/propagation.hpp"
+
+#include "ajac/sparse/csr.hpp"
+#include "ajac/util/check.hpp"
+
+namespace ajac::model {
+
+void apply_step(const CsrMatrix& a, std::span<const double> inv_diag,
+                std::span<const double> b, const ActiveSet& active,
+                std::span<const double> x_in, std::span<double> x_out) {
+  const index_t n = a.num_rows();
+  AJAC_DCHECK(active.size() == n);
+  AJAC_DCHECK(x_in.data() != x_out.data());
+  AJAC_DCHECK(x_in.size() == static_cast<std::size_t>(n));
+  AJAC_DCHECK(x_out.size() == static_cast<std::size_t>(n));
+  std::copy(x_in.begin(), x_in.end(), x_out.begin());
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+  const auto values = a.values();
+  for (index_t i : active.indices()) {
+    double r = b[i];
+    for (index_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+      r -= values[p] * x_in[col_idx[p]];
+    }
+    x_out[i] = x_in[i] + inv_diag[i] * r;
+  }
+}
+
+void apply_step_inplace(const CsrMatrix& a, std::span<const double> inv_diag,
+                        std::span<const double> b, const ActiveSet& active,
+                        std::span<double> x, std::span<double> scratch) {
+  AJAC_DCHECK(scratch.size() >= static_cast<std::size_t>(active.count()));
+  // First compute all updates against the pre-step x, then commit: this
+  // preserves the Jacobi (additive) semantics of a single propagation
+  // matrix even though x is updated in place.
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+  const auto values = a.values();
+  std::size_t k = 0;
+  for (index_t i : active.indices()) {
+    double r = b[i];
+    for (index_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+      r -= values[p] * x[col_idx[p]];
+    }
+    scratch[k++] = x[i] + inv_diag[i] * r;
+  }
+  k = 0;
+  for (index_t i : active.indices()) {
+    x[i] = scratch[k++];
+  }
+}
+
+DenseMatrix error_propagation_dense(const CsrMatrix& a,
+                                    const ActiveSet& active) {
+  AJAC_CHECK(a.num_rows() == a.num_cols());
+  const index_t n = a.num_rows();
+  AJAC_CHECK(active.size() == n);
+  const Vector diag = a.diagonal();
+  DenseMatrix g = DenseMatrix::identity(n);
+  for (index_t i : active.indices()) {
+    AJAC_CHECK(diag[i] != 0.0);
+    const double inv = 1.0 / diag[i];
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_values(i);
+    for (std::size_t p = 0; p < cols.size(); ++p) {
+      g(i, cols[p]) -= inv * vals[p];  // diagonal: 1 - a_ii/a_ii = 0
+    }
+  }
+  return g;
+}
+
+DenseMatrix residual_propagation_dense(const CsrMatrix& a,
+                                       const ActiveSet& active) {
+  AJAC_CHECK(a.num_rows() == a.num_cols());
+  const index_t n = a.num_rows();
+  AJAC_CHECK(active.size() == n);
+  const Vector diag = a.diagonal();
+  DenseMatrix h = DenseMatrix::identity(n);
+  for (index_t j : active.indices()) {
+    AJAC_CHECK(diag[j] != 0.0);
+    const double inv = 1.0 / diag[j];
+    // Column j of A D^{-1} D̂ is (1/a_jj) * A(:, j); subtract it from I.
+    // Walk rows via the transpose-free scan: use symmetry-agnostic access.
+    for (index_t i = 0; i < n; ++i) {
+      const double aij = a.at(i, j);
+      if (aij != 0.0) h(i, j) -= inv * aij;
+    }
+  }
+  return h;
+}
+
+DenseMatrix iteration_matrix_dense(const CsrMatrix& a) {
+  return error_propagation_dense(a, ActiveSet::all(a.num_rows()));
+}
+
+}  // namespace ajac::model

@@ -1,0 +1,127 @@
+#include "ajac/model/schedule.hpp"
+
+#include <algorithm>
+
+#include "ajac/sparse/csr.hpp"
+#include "ajac/util/check.hpp"
+
+namespace ajac::model {
+
+SynchronousSchedule::SynchronousSchedule(index_t n, index_t period)
+    : n_(n), period_(period) {
+  AJAC_CHECK(period >= 1);
+}
+
+void SynchronousSchedule::active_rows(index_t step, ActiveSet& out) {
+  out.clear();
+  if (step % period_ == 0) {
+    for (index_t i = 0; i < n_; ++i) out.insert(i);
+  }
+}
+
+DelayedRowsSchedule::DelayedRowsSchedule(
+    index_t n, std::vector<std::pair<index_t, index_t>> delayed)
+    : delay_(static_cast<std::size_t>(n), 1) {
+  for (const auto& [row, d] : delayed) {
+    AJAC_CHECK(row >= 0 && row < n);
+    AJAC_CHECK_MSG(d >= 0, "delay must be >= 0 (0 = never relaxes)");
+    delay_[row] = d;
+  }
+}
+
+void DelayedRowsSchedule::active_rows(index_t step, ActiveSet& out) {
+  out.clear();
+  const index_t n = static_cast<index_t>(delay_.size());
+  for (index_t i = 0; i < n; ++i) {
+    const index_t d = delay_[i];
+    if (d == 0) continue;           // permanently delayed
+    if (step % d == 0) out.insert(i);
+  }
+}
+
+RandomSubsetSchedule::RandomSubsetSchedule(index_t n, double probability,
+                                           std::uint64_t seed)
+    : n_(n), probability_(probability), rng_(seed) {
+  AJAC_CHECK(probability >= 0.0 && probability <= 1.0);
+}
+
+void RandomSubsetSchedule::active_rows(index_t /*step*/, ActiveSet& out) {
+  out.clear();
+  for (index_t i = 0; i < n_; ++i) {
+    if (rng_.uniform() < probability_) out.insert(i);
+  }
+}
+
+SequentialSchedule::SequentialSchedule(index_t n) : n_(n) {
+  AJAC_CHECK(n >= 1);
+}
+
+void SequentialSchedule::active_rows(index_t step, ActiveSet& out) {
+  out.clear();
+  out.insert(step % n_);
+}
+
+MulticolorSchedule::MulticolorSchedule(std::vector<index_t> colors,
+                                       index_t num_colors)
+    : num_colors_(num_colors), n_(static_cast<index_t>(colors.size())) {
+  AJAC_CHECK(num_colors >= 1);
+  rows_by_color_.resize(static_cast<std::size_t>(num_colors));
+  for (index_t i = 0; i < n_; ++i) {
+    const index_t c = colors[i];
+    AJAC_CHECK_MSG(c >= 0 && c < num_colors, "color out of range");
+    rows_by_color_[c].push_back(i);
+  }
+}
+
+void MulticolorSchedule::active_rows(index_t step, ActiveSet& out) {
+  out.clear();
+  for (index_t i : rows_by_color_[step % num_colors_]) out.insert(i);
+}
+
+BlockSequentialSchedule::BlockSequentialSchedule(index_t n, index_t block_size)
+    : n_(n),
+      block_size_(block_size),
+      num_blocks_((n + block_size - 1) / block_size) {
+  AJAC_CHECK(n >= 1);
+  AJAC_CHECK(block_size >= 1);
+}
+
+void BlockSequentialSchedule::active_rows(index_t step, ActiveSet& out) {
+  out.clear();
+  const index_t blk = step % num_blocks_;
+  const index_t lo = blk * block_size_;
+  const index_t hi = std::min(n_, lo + block_size_);
+  for (index_t i = lo; i < hi; ++i) out.insert(i);
+}
+
+ReplaySchedule::ReplaySchedule(index_t n,
+                               std::vector<std::vector<index_t>> steps)
+    : n_(n), steps_(std::move(steps)) {}
+
+void ReplaySchedule::active_rows(index_t step, ActiveSet& out) {
+  out.clear();
+  if (step < 0 || step >= num_steps()) return;
+  for (index_t i : steps_[step]) out.insert(i);
+}
+
+std::vector<index_t> greedy_coloring(const CsrMatrix& a, index_t* num_colors) {
+  AJAC_CHECK(a.num_rows() == a.num_cols());
+  const index_t n = a.num_rows();
+  std::vector<index_t> color(static_cast<std::size_t>(n), index_t{-1});
+  index_t max_color = -1;
+  std::vector<char> used;
+  for (index_t i = 0; i < n; ++i) {
+    used.assign(static_cast<std::size_t>(max_color) + 2, 0);
+    for (index_t j : a.row_cols(i)) {
+      if (j != i && color[j] >= 0) used[color[j]] = 1;
+    }
+    index_t c = 0;
+    while (c < static_cast<index_t>(used.size()) && used[c]) ++c;
+    color[i] = c;
+    max_color = std::max(max_color, c);
+  }
+  if (num_colors != nullptr) *num_colors = max_color + 1;
+  return color;
+}
+
+}  // namespace ajac::model

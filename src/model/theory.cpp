@@ -1,0 +1,205 @@
+#include "ajac/model/theory.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "ajac/model/propagation.hpp"
+#include "ajac/sparse/csr.hpp"
+#include "ajac/sparse/submatrix.hpp"
+#include "ajac/util/check.hpp"
+
+namespace ajac::model {
+
+Vector null_vector(const DenseMatrix& y_in) {
+  AJAC_CHECK(y_in.num_rows() == y_in.num_cols());
+  const index_t n = y_in.num_rows();
+  AJAC_CHECK(n >= 1);
+  DenseMatrix u = y_in;  // working copy, reduced in place
+
+  // Gaussian elimination with partial pivoting, tracking column order.
+  std::vector<index_t> col_of(static_cast<std::size_t>(n));
+  for (index_t j = 0; j < n; ++j) col_of[j] = j;
+
+  index_t rank = 0;
+  const double tiny = 1e-12 * std::max(1.0, u.norm_inf());
+  for (index_t k = 0; k < n && rank < n; ++k) {
+    // Find pivot in column k among rows rank..n-1.
+    index_t piv = -1;
+    double best = tiny;
+    for (index_t i = rank; i < n; ++i) {
+      if (std::abs(u(i, k)) > best) {
+        best = std::abs(u(i, k));
+        piv = i;
+      }
+    }
+    if (piv < 0) continue;  // column k is (numerically) dependent
+    if (piv != rank) {
+      for (index_t j = 0; j < n; ++j) std::swap(u(piv, j), u(rank, j));
+    }
+    std::swap(col_of[rank], col_of[k]);
+    // Column swap: physically swap columns rank <-> k so the pivot sits at
+    // (rank, rank).
+    if (rank != k) {
+      for (index_t i = 0; i < n; ++i) std::swap(u(i, rank), u(i, k));
+    }
+    const double p = u(rank, rank);
+    for (index_t i = rank + 1; i < n; ++i) {
+      const double f = u(i, rank) / p;
+      if (f == 0.0) continue;
+      for (index_t j = rank; j < n; ++j) u(i, j) -= f * u(rank, j);
+    }
+    ++rank;
+  }
+  AJAC_CHECK_MSG(rank < n, "matrix has no (numerical) null space");
+
+  // Back-substitute with the first free variable set to 1.
+  Vector z(static_cast<std::size_t>(n), 0.0);
+  z[rank] = 1.0;
+  for (index_t i = rank - 1; i >= 0; --i) {
+    double s = 0.0;
+    for (index_t j = i + 1; j < n; ++j) s += u(i, j) * z[j];
+    z[i] = -s / u(i, i);
+  }
+  // Undo the column permutation: z is in permuted coordinates.
+  Vector v(static_cast<std::size_t>(n), 0.0);
+  for (index_t j = 0; j < n; ++j) v[col_of[j]] = z[j];
+  double vmax = 0.0;
+  for (double x : v) vmax = std::max(vmax, std::abs(x));
+  AJAC_CHECK(vmax > 0.0);
+  for (double& x : v) x /= vmax;
+  return v;
+}
+
+Theorem1Check check_theorem1(const CsrMatrix& a, const ActiveSet& active) {
+  AJAC_CHECK(a.num_rows() == a.num_cols());
+  const index_t n = a.num_rows();
+  Theorem1Check out;
+  const std::vector<index_t> delayed = active.complement();
+  out.has_delayed_row = !delayed.empty();
+
+  const DenseMatrix g = error_propagation_dense(a, active);
+  const DenseMatrix h = residual_propagation_dense(a, active);
+  out.g_norm_inf = g.norm_inf();
+  out.h_norm_1 = h.norm1();
+
+  // Ĥ ξ_i = ξ_i for each delayed row i: column i of Ĥ is exactly ξ_i.
+  double h_resid = 0.0;
+  for (index_t i : delayed) {
+    for (index_t r = 0; r < n; ++r) {
+      const double expect = (r == i) ? 1.0 : 0.0;
+      h_resid = std::max(h_resid, std::abs(h(r, i) - expect));
+    }
+  }
+  out.h_unit_eigvec_residual = h_resid;
+
+  // Ĝ = I + Y; v in null(Y) satisfies Ĝ v = v.
+  if (out.has_delayed_row) {
+    DenseMatrix y = g;
+    for (index_t i = 0; i < n; ++i) y(i, i) -= 1.0;
+    const Vector v = null_vector(y);
+    Vector gv(static_cast<std::size_t>(n));
+    g.gemv(v, gv);
+    double resid = 0.0;
+    double vmax = 0.0;
+    for (index_t i = 0; i < n; ++i) {
+      resid = std::max(resid, std::abs(gv[i] - v[i]));
+      vmax = std::max(vmax, std::abs(v[i]));
+    }
+    out.g_unit_eigvec_residual = resid / vmax;
+  }
+  return out;
+}
+
+DenseMatrix active_submatrix_dense(const CsrMatrix& a,
+                                   const ActiveSet& active) {
+  const DenseMatrix g = iteration_matrix_dense(a);
+  const std::vector<index_t>& keep = active.indices();
+  // indices() preserves insertion order; sort a copy for a canonical
+  // principal submatrix.
+  std::vector<index_t> sorted = keep;
+  std::sort(sorted.begin(), sorted.end());
+  const index_t m = static_cast<index_t>(sorted.size());
+  DenseMatrix sub(m, m);
+  for (index_t r = 0; r < m; ++r) {
+    for (index_t c = 0; c < m; ++c) {
+      sub(r, c) = g(sorted[r], sorted[c]);
+    }
+  }
+  return sub;
+}
+
+double interlacing_violation(const std::vector<double>& lam,
+                             const std::vector<double>& mu, double tol) {
+  const auto n = static_cast<index_t>(lam.size());
+  const auto m = static_cast<index_t>(mu.size());
+  AJAC_CHECK(m <= n);
+  AJAC_CHECK(std::is_sorted(lam.begin(), lam.end()));
+  AJAC_CHECK(std::is_sorted(mu.begin(), mu.end()));
+  double violation = -1e300;
+  for (index_t i = 0; i < m; ++i) {
+    violation = std::max(violation, (lam[i] - mu[i]) - tol);
+    violation = std::max(violation, (mu[i] - lam[i + n - m]) - tol);
+  }
+  return violation;
+}
+
+DelayedReduction reduce_delayed_system(const CsrMatrix& a, const Vector& b,
+                                       const Vector& x,
+                                       const std::vector<index_t>& delayed) {
+  AJAC_CHECK(a.num_rows() == a.num_cols());
+  const index_t n = a.num_rows();
+  AJAC_CHECK(b.size() == static_cast<std::size_t>(n));
+  AJAC_CHECK(x.size() == static_cast<std::size_t>(n));
+
+  DelayedReduction out;
+  out.active = complement_rows(n, delayed);
+  const auto m = static_cast<index_t>(out.active.size());
+  std::vector<char> is_active(static_cast<std::size_t>(n), 0);
+  for (index_t i : out.active) is_active[i] = 1;
+
+  const Vector diag = a.diagonal();
+  out.g_tilde = DenseMatrix(m, m);
+  out.f.assign(static_cast<std::size_t>(m), 0.0);
+
+  // Map global -> active index.
+  std::vector<index_t> active_pos(static_cast<std::size_t>(n), index_t{-1});
+  for (index_t k = 0; k < m; ++k) active_pos[out.active[k]] = k;
+
+  for (index_t k = 0; k < m; ++k) {
+    const index_t i = out.active[k];
+    AJAC_CHECK(diag[i] != 0.0);
+    const double inv = 1.0 / diag[i];
+    // y_i update: y_i + (b_i - sum_j a_ij x_j)/a_ii, with delayed x_j
+    // frozen: G~ carries the active couplings, f the rest.
+    double f_i = b[i] * inv;
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_values(i);
+    for (std::size_t p = 0; p < cols.size(); ++p) {
+      const index_t j = cols[p];
+      if (j == i) continue;
+      if (is_active[j]) {
+        out.g_tilde(k, active_pos[j]) -= vals[p] * inv;
+      } else {
+        f_i -= vals[p] * inv * x[j];  // frozen contribution (x1 g of Eq. 14)
+      }
+    }
+    out.f[k] = f_i;
+  }
+  return out;
+}
+
+std::vector<index_t> decoupled_block_sizes(const CsrMatrix& a,
+                                           const ActiveSet& active) {
+  std::vector<index_t> keep = active.indices();
+  std::sort(keep.begin(), keep.end());
+  const CsrMatrix sub = principal_submatrix(a, keep);
+  index_t num_components = 0;
+  const std::vector<index_t> comp = connected_components(sub, &num_components);
+  std::vector<index_t> sizes(static_cast<std::size_t>(num_components), 0);
+  for (index_t c : comp) ++sizes[c];
+  std::sort(sizes.rbegin(), sizes.rend());
+  return sizes;
+}
+
+}  // namespace ajac::model

@@ -1,0 +1,196 @@
+#include "ajac/model/trace.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "ajac/util/check.hpp"
+
+namespace ajac::model {
+
+RelaxationTrace::RelaxationTrace(index_t num_rows) : n_(num_rows) {
+  AJAC_CHECK(num_rows >= 1);
+}
+
+void RelaxationTrace::add_event(RelaxationEvent event) {
+  AJAC_CHECK(event.row >= 0 && event.row < n_);
+  for (const RelaxationRead& read : event.reads) {
+    AJAC_CHECK(read.source_row >= 0 && read.source_row < n_);
+    AJAC_CHECK(read.version >= 0);
+  }
+  events_.push_back(std::move(event));
+}
+
+namespace {
+
+/// Per-row cursor into the trace.
+struct RowState {
+  std::vector<const RelaxationEvent*> pending;  // in execution order
+  std::size_t next = 0;                         // index into pending
+  index_t completed = 0;                        // κ_i
+
+  [[nodiscard]] const RelaxationEvent* next_event() const {
+    return next < pending.size() ? pending[next] : nullptr;
+  }
+};
+
+enum class Eligibility {
+  kNotYet,   // some read version not produced yet
+  kExact,    // every read matches the current version
+  kStale,    // producible but at least one read is already outdated
+};
+
+Eligibility classify(const RelaxationEvent& e,
+                     const std::vector<RowState>& rows) {
+  bool stale = false;
+  for (const RelaxationRead& read : e.reads) {
+    const index_t have = rows[read.source_row].completed;
+    if (read.version > have) return Eligibility::kNotYet;
+    if (read.version < have) stale = true;
+  }
+  return stale ? Eligibility::kStale : Eligibility::kExact;
+}
+
+}  // namespace
+
+PropagationAnalysis analyze_trace(const RelaxationTrace& trace) {
+  const index_t n = trace.num_rows();
+  std::vector<RowState> rows(static_cast<std::size_t>(n));
+  for (const RelaxationEvent& e : trace.events()) {
+    rows[e.row].pending.push_back(&e);
+  }
+
+  PropagationAnalysis result;
+  result.total_relaxations = static_cast<index_t>(trace.events().size());
+
+  index_t remaining = result.total_relaxations;
+  while (remaining > 0) {
+    // Classify the next pending event of each row against current
+    // versions. "Exact" events read the current state and could be one
+    // application of a propagation matrix; "stale" events read versions
+    // that have already been overwritten and can never be propagated.
+    std::vector<index_t> candidates;  // exact or stale: relaxable now
+    std::vector<char> is_exact(static_cast<std::size_t>(n), 0);
+    for (index_t i = 0; i < n; ++i) {
+      const RelaxationEvent* e = rows[i].next_event();
+      if (e == nullptr) continue;
+      const Eligibility elig = classify(*e, rows);
+      if (elig == Eligibility::kNotYet) continue;
+      candidates.push_back(i);
+      if (elig == Eligibility::kExact) is_exact[i] = 1;
+    }
+
+    // Condition 2 fixed point over ALL relaxable candidates: hold row i
+    // back if some pending row j that is NOT being relaxed this step
+    // still needs the *current* version of i for its next relaxation.
+    // Running the fixed point over exact and stale candidates together is
+    // what keeps mutually coupled rows advancing in lockstep instead of
+    // poisoning each other's future reads.
+    std::vector<char> in_set(static_cast<std::size_t>(n), 0);
+    for (index_t i : candidates) in_set[i] = 1;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (index_t j = 0; j < n; ++j) {
+        const RelaxationEvent* e = rows[j].next_event();
+        if (e == nullptr) continue;
+        if (in_set[j]) continue;  // j relaxes simultaneously: no conflict
+        for (const RelaxationRead& read : e->reads) {
+          const index_t i = read.source_row;
+          if (in_set[i] && read.version == rows[i].completed) {
+            in_set[i] = 0;
+            changed = true;
+          }
+        }
+      }
+    }
+    std::vector<index_t> chosen;
+    for (index_t i : candidates) {
+      if (in_set[i]) chosen.push_back(i);
+    }
+
+    if (chosen.empty() && !candidates.empty()) {
+      // Condition 2 cannot be satisfied for anyone (Fig. 1(b)): progress
+      // must be forced. Relax the single candidate that invalidates the
+      // fewest pending readers; its victims surface later as stale.
+      index_t best = candidates.front();
+      index_t best_blockers = n + 1;
+      for (index_t i : candidates) {
+        index_t blockers = 0;
+        for (index_t j = 0; j < n; ++j) {
+          const RelaxationEvent* e = rows[j].next_event();
+          if (e == nullptr || j == i) continue;
+          for (const RelaxationRead& read : e->reads) {
+            if (read.source_row == i &&
+                read.version == rows[i].completed) {
+              ++blockers;
+              break;
+            }
+          }
+        }
+        if (blockers < best_blockers) {
+          best_blockers = blockers;
+          best = i;
+        }
+      }
+      chosen.push_back(best);
+    }
+
+    if (chosen.empty()) {
+      // Remaining events wait on versions that are never produced — the
+      // trace was truncated mid-flight.
+      for (index_t i = 0; i < n; ++i) {
+        result.orphaned +=
+            static_cast<index_t>(rows[i].pending.size() - rows[i].next);
+      }
+      break;
+    }
+
+    AnalysisStep step;
+    step.rows = chosen;
+    step.propagated = true;
+    for (index_t i : chosen) {
+      if (is_exact[i]) {
+        ++result.propagated_relaxations;
+      } else {
+        step.propagated = false;  // the step mixes in stale relaxations
+      }
+      ++rows[i].next;
+      ++rows[i].completed;
+      --remaining;
+    }
+    result.steps.push_back(std::move(step));
+  }
+
+  result.parallel_steps = static_cast<index_t>(result.steps.size());
+  result.fraction =
+      result.total_relaxations > 0
+          ? static_cast<double>(result.propagated_relaxations) /
+                static_cast<double>(result.total_relaxations)
+          : 1.0;
+  return result;
+}
+
+RelaxationTrace figure1a_trace() {
+  // Four processes, one relaxation each (rows 0-3 stand for p1-p4).
+  // p1 reads p2@0, p3@0; p2 reads p1@0, p4@1; p3 reads p1@1, p4@1;
+  // p4 reads p2@0, p3@0.
+  RelaxationTrace trace(4);
+  trace.add_event({0, {{1, 0}, {2, 0}}});
+  trace.add_event({1, {{0, 0}, {3, 1}}});
+  trace.add_event({2, {{0, 1}, {3, 1}}});
+  trace.add_event({3, {{1, 0}, {2, 0}}});
+  return trace;
+}
+
+RelaxationTrace figure1b_trace() {
+  // Modification of (a): s12 = 1 and s34 = 0 — p1 reads p2@1 and p3 reads
+  // p4@0, which creates the cyclic constraint the paper describes.
+  RelaxationTrace trace(4);
+  trace.add_event({0, {{1, 1}, {2, 0}}});
+  trace.add_event({1, {{0, 0}, {3, 1}}});
+  trace.add_event({2, {{0, 1}, {3, 0}}});
+  trace.add_event({3, {{1, 0}, {2, 0}}});
+  return trace;
+}
+
+}  // namespace ajac::model

@@ -1,0 +1,99 @@
+#pragma once
+// Shared-memory synchronous/asynchronous Jacobi (paper Sec. V).
+//
+// Each OpenMP thread owns a contiguous block of rows and repeats
+//   1. compute the residual r = b - A x on its rows (reading shared x),
+//   2. correct x = x + D^{-1} r on its rows,
+//   3. check convergence,
+// with barriers after 1 and 3 in the synchronous variant and no barriers
+// in the asynchronous one. x and r live in shared arrays of
+// std::atomic<double> accessed with relaxed ordering — the C++-legal form
+// of the paper's "writing or reading an aligned double is atomic on modern
+// Intel processors". Termination uses the paper's flag array: a thread
+// raises its flag when its stopping criterion holds and keeps relaxing
+// until every flag is up.
+//
+// An optional trace mode records, for every relaxation, the version of
+// each off-diagonal value it read (a seqlock pairs values with write
+// counters), feeding the propagation-matrix analysis of Sec. IV-A/Fig. 2.
+
+#include <optional>
+#include <vector>
+
+#include "ajac/model/trace.hpp"
+#include "ajac/partition/partition.hpp"
+#include "ajac/solvers/common.hpp"
+#include "ajac/sparse/types.hpp"
+
+namespace ajac {
+class CsrMatrix;
+}
+
+namespace ajac::runtime {
+
+struct SharedOptions {
+  index_t num_threads = 4;
+  bool synchronous = false;
+  /// Stop when ||r||_1 / ||r(0)||_1 <= tolerance. 0 disables the residual
+  /// criterion (pure iteration-count runs, Fig. 5(b)).
+  double tolerance = 1e-3;
+  /// Per-thread local iteration cap; a thread raises its flag at this
+  /// count even if the tolerance is not met.
+  index_t max_iterations = 10000;
+  /// Busy-wait injected before each iteration of thread t (microseconds);
+  /// empty = no delays. This reproduces the paper's artificially slowed
+  /// thread (Sec. VII-B).
+  std::vector<double> delay_us;
+  /// Record (wall time, residual norm) history points.
+  bool record_history = true;
+  /// Record read-version traces for the propagation analysis. Adds seqlock
+  /// overhead; intended for the small Fig. 2 matrices.
+  bool record_trace = false;
+  /// Relax each owned row in place (one forward Gauss-Seidel pass over the
+  /// block per iteration) instead of the paper's compute-then-commit
+  /// Jacobi step. Asynchronous mode only: with barriers the in-place
+  /// variant would race with neighbors' reads non-deterministically.
+  bool local_gauss_seidel = false;
+  /// Rows per thread come from this partition; by default rows are split
+  /// into equal contiguous blocks.
+  std::optional<partition::Partition> partition;
+  /// Yield the CPU after every local iteration. On machines with fewer
+  /// cores than threads this turns the OS scheduler's long time slices
+  /// into a fine-grained round-robin, much closer to truly concurrent
+  /// execution; used by the trace experiments (Fig. 2).
+  bool yield = false;
+  /// On heavily oversubscribed machines a thread descheduled mid-iteration
+  /// can commit a very stale update after the stop decision, leaving the
+  /// final state slightly above tolerance (asynchronous termination
+  /// detection is an open problem — Sec. VI). With final_polish the solver
+  /// runs sequential Jacobi sweeps after the parallel phase until the
+  /// tolerance verifiably holds; the sweep count is reported in
+  /// SharedResult::polish_sweeps (0 on genuinely parallel hardware).
+  bool final_polish = true;
+};
+
+struct SharedHistoryPoint {
+  double seconds = 0.0;        ///< wall-clock since solve start
+  index_t thread = 0;
+  index_t local_iteration = 0;
+  double rel_residual_1 = 0.0;  ///< as seen by that thread (racy read)
+};
+
+struct SharedResult {
+  Vector x;
+  double seconds = 0.0;                 ///< total wall-clock
+  bool converged = false;               ///< final serial check vs tolerance
+  double final_rel_residual_1 = 0.0;    ///< computed serially after the run
+  index_t total_relaxations = 0;
+  index_t polish_sweeps = 0;  ///< sequential cleanup sweeps (see final_polish)
+  std::vector<index_t> iterations_per_thread;
+  std::vector<SharedHistoryPoint> history;  ///< merged, time-ordered
+  std::optional<model::RelaxationTrace> trace;
+};
+
+/// Run shared-memory Jacobi (synchronous or asynchronous per options).
+[[nodiscard]] SharedResult solve_shared(const CsrMatrix& a, const Vector& b,
+                                        const Vector& x0,
+                                        const SharedOptions& opts);
+
+}  // namespace ajac::runtime

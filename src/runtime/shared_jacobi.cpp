@@ -1,0 +1,342 @@
+#include "ajac/runtime/shared_jacobi.hpp"
+
+#include <omp.h>
+#include <sched.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "ajac/sparse/csr.hpp"
+#include "ajac/sparse/vector_ops.hpp"
+#include "ajac/util/check.hpp"
+#include "ajac/util/timer.hpp"
+
+namespace ajac::runtime {
+
+namespace {
+
+/// Shared value array with an optional seqlock per entry so readers can
+/// pair a value with the write count ("version") that produced it.
+class SharedVector {
+ public:
+  SharedVector(index_t n, bool traced)
+      : values_(static_cast<std::size_t>(n)), traced_(traced) {
+    if (traced_) {
+      seq_ = std::vector<std::atomic<std::int64_t>>(
+          static_cast<std::size_t>(n));
+      for (auto& s : seq_) s.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  void init(std::span<const double> x) {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      values_[i].store(x[i], std::memory_order_relaxed);
+    }
+  }
+
+  /// Plain racy read (the paper's scheme).
+  [[nodiscard]] double read(index_t i) const {
+    return values_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Read value + version consistently (seqlock). Only valid when traced.
+  [[nodiscard]] std::pair<double, index_t> read_versioned(index_t i) const {
+    for (;;) {
+      const std::int64_t s1 = seq_[i].load(std::memory_order_acquire);
+      if (s1 & 1) continue;  // write in progress
+      const double v = values_[i].load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      const std::int64_t s2 = seq_[i].load(std::memory_order_relaxed);
+      if (s1 == s2) return {v, static_cast<index_t>(s1 / 2)};
+    }
+  }
+
+  void write(index_t i, double v) {
+    if (traced_) {
+      const std::int64_t s = seq_[i].load(std::memory_order_relaxed);
+      seq_[i].store(s + 1, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_release);
+      values_[i].store(v, std::memory_order_relaxed);
+      seq_[i].store(s + 2, std::memory_order_release);
+    } else {
+      values_[i].store(v, std::memory_order_relaxed);
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+
+  void snapshot(std::span<double> out) const {
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] = read(i);
+  }
+
+ private:
+  std::vector<std::atomic<double>> values_;
+  std::vector<std::atomic<std::int64_t>> seq_;
+  bool traced_;
+};
+
+}  // namespace
+
+SharedResult solve_shared(const CsrMatrix& a, const Vector& b,
+                          const Vector& x0, const SharedOptions& opts) {
+  AJAC_CHECK(a.num_rows() == a.num_cols());
+  const index_t n = a.num_rows();
+  AJAC_CHECK(b.size() == static_cast<std::size_t>(n));
+  AJAC_CHECK(x0.size() == static_cast<std::size_t>(n));
+  AJAC_CHECK(opts.num_threads >= 1);
+  AJAC_CHECK(opts.max_iterations >= 1);
+  if (!opts.delay_us.empty()) {
+    AJAC_CHECK(opts.delay_us.size() ==
+               static_cast<std::size_t>(opts.num_threads));
+  }
+  AJAC_CHECK_MSG(!(opts.local_gauss_seidel && opts.synchronous),
+                 "the in-place local sweep is only meaningful without "
+                 "barriers (asynchronous mode)");
+  AJAC_CHECK_MSG(!(opts.local_gauss_seidel && opts.record_trace),
+                 "read-version traces assume the Jacobi local sweep");
+
+  const partition::Partition part =
+      opts.partition.value_or(partition::contiguous_partition(
+          n, opts.num_threads));
+  AJAC_CHECK(part.num_parts() == opts.num_threads);
+  AJAC_CHECK(part.num_rows() == n);
+
+  Vector inv_diag = a.diagonal();
+  for (index_t i = 0; i < n; ++i) {
+    AJAC_CHECK_MSG(inv_diag[i] != 0.0, "zero diagonal at row " << i);
+    inv_diag[i] = 1.0 / inv_diag[i];
+  }
+
+  SharedVector x(n, opts.record_trace);
+  SharedVector r(n, /*traced=*/false);
+  x.init(x0);
+  {
+    Vector r0(static_cast<std::size_t>(n));
+    a.residual(x0, b, r0);
+    r.init(r0);
+  }
+  const double r0_norm = [&] {
+    Vector tmp(static_cast<std::size_t>(n));
+    a.residual(x0, b, tmp);
+    const double nrm = vec::norm1(tmp);
+    return nrm > 0.0 ? nrm : 1.0;
+  }();
+
+  std::vector<std::atomic<int>> flags(
+      static_cast<std::size_t>(opts.num_threads));
+  for (auto& f : flags) f.store(0, std::memory_order_relaxed);
+  std::vector<std::atomic<index_t>> iter_counts(
+      static_cast<std::size_t>(opts.num_threads));
+  for (auto& c : iter_counts) c.store(0, std::memory_order_relaxed);
+  std::atomic<int> stop{0};
+
+  SharedResult result;
+  result.iterations_per_thread.assign(
+      static_cast<std::size_t>(opts.num_threads), 0);
+  std::vector<std::vector<SharedHistoryPoint>> histories(
+      static_cast<std::size_t>(opts.num_threads));
+  std::vector<std::vector<model::RelaxationEvent>> thread_events(
+      static_cast<std::size_t>(opts.num_threads));
+
+  WallTimer timer;
+
+#pragma omp parallel num_threads(static_cast<int>(opts.num_threads))
+  {
+    const auto t = static_cast<index_t>(omp_get_thread_num());
+    const index_t lo = part.part_begin(t);
+    const index_t hi = part.part_end(t);
+    const double delay =
+        opts.delay_us.empty() ? 0.0 : opts.delay_us[static_cast<std::size_t>(t)];
+    std::vector<double> local_r(static_cast<std::size_t>(hi - lo));
+    auto& my_history = histories[static_cast<std::size_t>(t)];
+    auto& my_events = thread_events[static_cast<std::size_t>(t)];
+
+    // Verification gate: the flag array is based on racy reads of the
+    // shared residual, which can be arbitrarily stale when threads are
+    // oversubscribed on few cores. Before actually stopping, recompute a
+    // fresh global residual from the current shared x (or check the true
+    // iteration counters); only a verified check may raise `stop`.
+    auto verify_and_maybe_stop = [&]() {
+      bool all_at_max = true;
+      for (auto& c : iter_counts) {
+        if (c.load(std::memory_order_relaxed) < opts.max_iterations) {
+          all_at_max = false;
+          break;
+        }
+      }
+      bool tol_met = false;
+      if (!all_at_max && opts.tolerance > 0.0) {
+        double fresh = 0.0;
+        for (index_t i = 0; i < n; ++i) {
+          double acc = b[i];
+          const auto cols = a.row_cols(i);
+          const auto vals = a.row_values(i);
+          for (std::size_t p = 0; p < cols.size(); ++p) {
+            acc -= vals[p] * x.read(cols[p]);
+          }
+          fresh += std::abs(acc);
+        }
+        tol_met = fresh / r0_norm <= opts.tolerance;
+      }
+      if (all_at_max || tol_met) stop.store(1, std::memory_order_relaxed);
+    };
+
+    index_t iter = 0;
+    while (stop.load(std::memory_order_relaxed) == 0) {
+      if (delay > 0.0) spin_wait_us(delay);
+
+      // Step 1: residual on own rows from the shared (racy) x.
+      if (opts.local_gauss_seidel) {
+        // In-place forward sweep: each row's update is visible to the
+        // following rows (and to other threads) immediately.
+        for (index_t i = lo; i < hi; ++i) {
+          double acc = b[i];
+          const auto cols = a.row_cols(i);
+          const auto vals = a.row_values(i);
+          for (std::size_t pp = 0; pp < cols.size(); ++pp) {
+            acc -= vals[pp] * x.read(cols[pp]);
+          }
+          local_r[i - lo] = acc;
+          r.write(i, acc);
+          x.write(i, x.read(i) + inv_diag[i] * acc);
+        }
+      } else if (opts.record_trace) {
+        for (index_t i = lo; i < hi; ++i) {
+          model::RelaxationEvent event;
+          event.row = i;
+          double acc = b[i];
+          const auto cols = a.row_cols(i);
+          const auto vals = a.row_values(i);
+          event.reads.reserve(cols.size());
+          for (std::size_t p = 0; p < cols.size(); ++p) {
+            const index_t j = cols[p];
+            if (j == i) {
+              acc -= vals[p] * x.read_versioned(j).first;
+              continue;
+            }
+            const auto [value, version] = x.read_versioned(j);
+            acc -= vals[p] * value;
+            event.reads.push_back({j, version});
+          }
+          local_r[i - lo] = acc;
+          my_events.push_back(std::move(event));
+        }
+      } else {
+        for (index_t i = lo; i < hi; ++i) {
+          double acc = b[i];
+          const auto cols = a.row_cols(i);
+          const auto vals = a.row_values(i);
+          for (std::size_t p = 0; p < cols.size(); ++p) {
+            acc -= vals[p] * x.read(cols[p]);
+          }
+          local_r[i - lo] = acc;
+        }
+      }
+      if (!opts.local_gauss_seidel) {
+        for (index_t i = lo; i < hi; ++i) r.write(i, local_r[i - lo]);
+      }
+
+      if (opts.synchronous) {
+#pragma omp barrier
+      }
+
+      // Step 2: correct own rows (already done in-place for the GS sweep).
+      if (!opts.local_gauss_seidel) {
+        for (index_t i = lo; i < hi; ++i) {
+          x.write(i, x.read(i) + inv_diag[i] * local_r[i - lo]);
+        }
+      }
+      ++iter;
+      iter_counts[static_cast<std::size_t>(t)].store(
+          iter, std::memory_order_relaxed);
+
+      // Step 3: convergence check — norm of the whole shared residual
+      // (racy reads, the paper's scheme).
+      double norm = 0.0;
+      for (index_t i = 0; i < n; ++i) norm += std::abs(r.read(i));
+      const double rel = norm / r0_norm;
+      if (opts.record_history) {
+        my_history.push_back({timer.seconds(), t, iter, rel});
+      }
+      const bool my_done =
+          (opts.tolerance > 0.0 && rel <= opts.tolerance) ||
+          iter >= opts.max_iterations;
+      flags[static_cast<std::size_t>(t)].store(my_done ? 1 : 0,
+                                               std::memory_order_relaxed);
+
+      if (opts.synchronous) {
+#pragma omp barrier
+      }
+      int done_count = 0;
+      for (auto& f : flags) done_count += f.load(std::memory_order_relaxed);
+      if (done_count == static_cast<int>(opts.num_threads)) {
+        verify_and_maybe_stop();
+      }
+      if (opts.synchronous) {
+        // Keep lockstep: every thread must pass the same number of
+        // barriers, and all see the verified stop decision together.
+#pragma omp barrier
+      }
+      if (opts.yield &&
+          stop.load(std::memory_order_relaxed) == 0) {
+        sched_yield();
+      }
+    }
+    result.iterations_per_thread[static_cast<std::size_t>(t)] = iter;
+  }
+
+  result.seconds = timer.seconds();
+  result.x.resize(static_cast<std::size_t>(n));
+  x.snapshot(result.x);
+
+  // Independent serial verification of the final residual.
+  Vector final_r(static_cast<std::size_t>(n));
+  a.residual(result.x, b, final_r);
+  result.final_rel_residual_1 = vec::norm1(final_r) / r0_norm;
+
+  // A thread descheduled mid-iteration may have committed a stale update
+  // after the verified stop; polish sequentially until the tolerance
+  // verifiably holds (bounded — the state is near the fixed point).
+  if (opts.final_polish && opts.tolerance > 0.0 &&
+      result.final_rel_residual_1 > opts.tolerance) {
+    const index_t polish_cap = 20 * opts.num_threads + 200;
+    while (result.polish_sweeps < polish_cap &&
+           result.final_rel_residual_1 > opts.tolerance) {
+      for (index_t i = 0; i < n; ++i) {
+        result.x[i] += inv_diag[i] * final_r[i];
+      }
+      a.residual(result.x, b, final_r);
+      result.final_rel_residual_1 = vec::norm1(final_r) / r0_norm;
+      ++result.polish_sweeps;
+    }
+  }
+  result.converged =
+      opts.tolerance > 0.0 && result.final_rel_residual_1 <= opts.tolerance;
+  for (index_t t = 0; t < opts.num_threads; ++t) {
+    result.total_relaxations +=
+        result.iterations_per_thread[static_cast<std::size_t>(t)] *
+        part.part_size(t);
+  }
+
+  for (auto& h : histories) {
+    result.history.insert(result.history.end(), h.begin(), h.end());
+  }
+  std::sort(result.history.begin(), result.history.end(),
+            [](const SharedHistoryPoint& p1, const SharedHistoryPoint& p2) {
+              return p1.seconds < p2.seconds;
+            });
+
+  if (opts.record_trace) {
+    model::RelaxationTrace trace(n);
+    // Per-row order is preserved because each row belongs to one thread
+    // and threads append their events in execution order.
+    for (const auto& events : thread_events) {
+      for (const auto& e : events) trace.add_event(e);
+    }
+    result.trace = std::move(trace);
+  }
+  return result;
+}
+
+}  // namespace ajac::runtime

@@ -1,0 +1,32 @@
+#pragma once
+// Shared option/result types for the sequential reference solvers.
+
+#include <vector>
+
+#include "ajac/sparse/types.hpp"
+
+namespace ajac::solvers {
+
+enum class ResidualNorm { kL1, kL2, kLinf };
+
+struct SolveOptions {
+  double tolerance = 1e-6;          ///< on the relative residual norm
+  ResidualNorm norm = ResidualNorm::kL1;  ///< paper plots 1-norms
+  index_t max_iterations = 10000;   ///< sweeps over all rows
+  index_t record_every = 1;         ///< history granularity
+};
+
+struct IterationPoint {
+  index_t iteration = 0;
+  double rel_residual = 0.0;
+};
+
+struct SolveResult {
+  Vector x;
+  std::vector<IterationPoint> history;
+  index_t iterations = 0;
+  bool converged = false;
+  double final_rel_residual = 0.0;
+};
+
+}  // namespace ajac::solvers

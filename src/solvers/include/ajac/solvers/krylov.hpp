@@ -1,0 +1,41 @@
+#pragma once
+// Conjugate-gradient baselines. The paper positions (asynchronous)
+// stationary methods against "current state-of-the-art iterative methods"
+// whose synchronization points (dot products!) are the exascale problem
+// (Sec. I). CG is that comparator: two global reductions per iteration.
+// We provide plain CG and Jacobi-preconditioned CG, plus a synchronization
+// count so the harness can weigh iterations against reductions.
+
+#include "ajac/solvers/common.hpp"
+#include "ajac/sparse/types.hpp"
+
+namespace ajac {
+class CsrMatrix;
+}
+
+namespace ajac::solvers {
+
+struct CgResult {
+  Vector x;
+  std::vector<IterationPoint> history;  ///< relative residual 2-norm
+  index_t iterations = 0;
+  bool converged = false;
+  double final_rel_residual = 0.0;
+  /// Global synchronization points a distributed run would need: two dot
+  /// products per iteration plus the initial norm.
+  index_t synchronizations = 0;
+};
+
+struct CgOptions {
+  double tolerance = 1e-8;       ///< on ||r||_2 / ||r0||_2
+  index_t max_iterations = 10000;
+  bool jacobi_preconditioner = false;  ///< M = D
+};
+
+/// Conjugate gradients for SPD A. Breaks down (returns converged=false)
+/// if A is not positive definite along the search directions.
+[[nodiscard]] CgResult conjugate_gradient(const CsrMatrix& a, const Vector& b,
+                                          const Vector& x0,
+                                          const CgOptions& opts = {});
+
+}  // namespace ajac::solvers

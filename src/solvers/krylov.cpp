@@ -1,0 +1,86 @@
+#include "ajac/solvers/krylov.hpp"
+
+#include <cmath>
+
+#include "ajac/sparse/csr.hpp"
+#include "ajac/sparse/vector_ops.hpp"
+#include "ajac/util/check.hpp"
+
+namespace ajac::solvers {
+
+CgResult conjugate_gradient(const CsrMatrix& a, const Vector& b,
+                            const Vector& x0, const CgOptions& opts) {
+  AJAC_CHECK(a.num_rows() == a.num_cols());
+  const index_t n = a.num_rows();
+  AJAC_CHECK(b.size() == static_cast<std::size_t>(n));
+  AJAC_CHECK(x0.size() == static_cast<std::size_t>(n));
+
+  Vector inv_diag;
+  if (opts.jacobi_preconditioner) {
+    inv_diag = a.diagonal();
+    for (double& d : inv_diag) {
+      AJAC_CHECK_MSG(d > 0.0, "Jacobi preconditioner needs a positive "
+                              "diagonal");
+      d = 1.0 / d;
+    }
+  }
+
+  CgResult result;
+  result.x = x0;
+  Vector r(static_cast<std::size_t>(n));
+  a.residual(result.x, b, r);
+  const double r0_norm = vec::norm2(r);
+  const double denom = r0_norm > 0.0 ? r0_norm : 1.0;
+  result.history.push_back({0, r0_norm / denom});
+  result.synchronizations = 1;  // initial norm
+  if (r0_norm == 0.0) {
+    result.converged = true;
+    return result;
+  }
+
+  Vector z = r;
+  if (opts.jacobi_preconditioner) {
+    for (index_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+  }
+  Vector p = z;
+  Vector ap(static_cast<std::size_t>(n));
+  double rz = vec::dot(r, z);
+  ++result.synchronizations;
+
+  for (index_t k = 1; k <= opts.max_iterations; ++k) {
+    a.spmv(p, ap);
+    const double pap = vec::dot(p, ap);
+    ++result.synchronizations;
+    if (pap <= 0.0) {
+      // Not SPD along p (or numerical breakdown).
+      result.iterations = k;
+      result.final_rel_residual = vec::norm2(r) / denom;
+      return result;
+    }
+    const double alpha = rz / pap;
+    vec::axpy(alpha, p, result.x);
+    vec::axpy(-alpha, ap, r);
+
+    if (opts.jacobi_preconditioner) {
+      for (index_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+    } else {
+      z = r;
+    }
+    const double rz_next = vec::dot(r, z);
+    ++result.synchronizations;
+    const double rel = vec::norm2(r) / denom;
+    result.iterations = k;
+    result.history.push_back({k, rel});
+    if (rel <= opts.tolerance) {
+      result.converged = true;
+      break;
+    }
+    const double beta = rz_next / rz;
+    rz = rz_next;
+    vec::xpby(z, beta, p);
+  }
+  result.final_rel_residual = result.history.back().rel_residual;
+  return result;
+}
+
+}  // namespace ajac::solvers

@@ -1,0 +1,115 @@
+#include "ajac/sparse/dense.hpp"
+
+#include <cmath>
+
+#include "ajac/sparse/csr.hpp"
+#include "ajac/util/check.hpp"
+
+namespace ajac {
+
+DenseMatrix::DenseMatrix(index_t rows, index_t cols, double fill)
+    : rows_(rows),
+      cols_(cols),
+      data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+            fill) {
+  AJAC_CHECK(rows >= 0 && cols >= 0);
+}
+
+DenseMatrix DenseMatrix::identity(index_t n) {
+  DenseMatrix m(n, n);
+  for (index_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+DenseMatrix DenseMatrix::from_csr(const CsrMatrix& a) {
+  DenseMatrix m(a.num_rows(), a.num_cols());
+  for (index_t i = 0; i < a.num_rows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_values(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      m(i, cols[k]) += vals[k];
+    }
+  }
+  return m;
+}
+
+void DenseMatrix::gemv(std::span<const double> x, std::span<double> y) const {
+  AJAC_DCHECK(x.size() == static_cast<std::size_t>(cols_));
+  AJAC_DCHECK(y.size() == static_cast<std::size_t>(rows_));
+  for (index_t i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    const double* r = data_.data() + i * cols_;
+    for (index_t j = 0; j < cols_; ++j) acc += r[j] * x[j];
+    y[i] = acc;
+  }
+}
+
+DenseMatrix DenseMatrix::multiply(const DenseMatrix& other) const {
+  AJAC_CHECK(cols_ == other.rows_);
+  DenseMatrix out(rows_, other.cols_);
+  for (index_t i = 0; i < rows_; ++i) {
+    for (index_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = other.data_.data() + k * other.cols_;
+      double* orow = out.data_.data() + i * other.cols_;
+      for (index_t j = 0; j < other.cols_; ++j) orow[j] += aik * brow[j];
+    }
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::transpose() const {
+  DenseMatrix out(cols_, rows_);
+  for (index_t i = 0; i < rows_; ++i) {
+    for (index_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+  }
+  return out;
+}
+
+double DenseMatrix::norm1() const {
+  double best = 0.0;
+  for (index_t j = 0; j < cols_; ++j) {
+    double acc = 0.0;
+    for (index_t i = 0; i < rows_; ++i) acc += std::abs((*this)(i, j));
+    best = std::max(best, acc);
+  }
+  return best;
+}
+
+double DenseMatrix::norm_inf() const {
+  double best = 0.0;
+  for (index_t i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    for (index_t j = 0; j < cols_; ++j) acc += std::abs((*this)(i, j));
+    best = std::max(best, acc);
+  }
+  return best;
+}
+
+double DenseMatrix::norm_fro() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+bool DenseMatrix::is_symmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  for (index_t i = 0; i < rows_; ++i) {
+    for (index_t j = i + 1; j < cols_; ++j) {
+      if (std::abs((*this)(i, j) - (*this)(j, i)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+double DenseMatrix::max_abs_diff(const DenseMatrix& other) const {
+  AJAC_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  double acc = 0.0;
+  for (std::size_t k = 0; k < data_.size(); ++k) {
+    acc = std::max(acc, std::abs(data_[k] - other.data_[k]));
+  }
+  return acc;
+}
+
+}  // namespace ajac

@@ -1,0 +1,45 @@
+#pragma once
+// Coordinate-format builder for assembling sparse matrices.
+//
+// Generators and the FE assembly accumulate (i, j, v) triplets here, then
+// convert to CSR once. Duplicate entries are summed during conversion, as
+// finite-element assembly requires.
+
+#include <vector>
+
+#include "ajac/sparse/types.hpp"
+
+namespace ajac {
+
+class CsrMatrix;
+
+class CooBuilder {
+ public:
+  CooBuilder(index_t num_rows, index_t num_cols);
+
+  /// Append one entry; duplicates are allowed and are summed by to_csr().
+  void add(index_t row, index_t col, double value);
+
+  /// Append value to (i,j) and (j,i); for i == j adds only once.
+  void add_symmetric(index_t row, index_t col, double value);
+
+  [[nodiscard]] index_t num_rows() const noexcept { return num_rows_; }
+  [[nodiscard]] index_t num_cols() const noexcept { return num_cols_; }
+  [[nodiscard]] std::size_t num_entries() const noexcept {
+    return rows_.size();
+  }
+
+  /// Convert to CSR with sorted column indices per row and duplicates
+  /// summed. Entries whose magnitude is exactly zero after summation are
+  /// kept (callers may want explicit zeros); use drop_zeros to remove them.
+  [[nodiscard]] CsrMatrix to_csr(bool drop_zeros = false) const;
+
+ private:
+  index_t num_rows_;
+  index_t num_cols_;
+  std::vector<index_t> rows_;
+  std::vector<index_t> cols_;
+  std::vector<double> values_;
+};
+
+}  // namespace ajac

@@ -1,0 +1,62 @@
+#pragma once
+// Small dense matrices, used by the propagation-matrix theory layer (norms
+// and spectra of Ĝ(k)/Ĥ(k) for model-scale problems) and the dense Jacobi
+// eigensolver. Row-major storage.
+
+#include <span>
+#include <vector>
+
+#include "ajac/sparse/types.hpp"
+
+namespace ajac {
+
+class CsrMatrix;
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(index_t rows, index_t cols, double fill = 0.0);
+
+  static DenseMatrix identity(index_t n);
+  static DenseMatrix from_csr(const CsrMatrix& a);
+
+  [[nodiscard]] index_t num_rows() const noexcept { return rows_; }
+  [[nodiscard]] index_t num_cols() const noexcept { return cols_; }
+
+  [[nodiscard]] double& operator()(index_t i, index_t j) {
+    return data_[i * cols_ + j];
+  }
+  [[nodiscard]] double operator()(index_t i, index_t j) const {
+    return data_[i * cols_ + j];
+  }
+
+  [[nodiscard]] std::span<double> row(index_t i) {
+    return {data_.data() + i * cols_, static_cast<std::size_t>(cols_)};
+  }
+  [[nodiscard]] std::span<const double> row(index_t i) const {
+    return {data_.data() + i * cols_, static_cast<std::size_t>(cols_)};
+  }
+
+  /// y = A x.
+  void gemv(std::span<const double> x, std::span<double> y) const;
+
+  [[nodiscard]] DenseMatrix multiply(const DenseMatrix& other) const;
+  [[nodiscard]] DenseMatrix transpose() const;
+
+  /// Induced norms: max column abs sum / max row abs sum, and Frobenius.
+  [[nodiscard]] double norm1() const;
+  [[nodiscard]] double norm_inf() const;
+  [[nodiscard]] double norm_fro() const;
+
+  [[nodiscard]] bool is_symmetric(double tol = 0.0) const;
+
+  /// max |a_ij - b_ij|.
+  [[nodiscard]] double max_abs_diff(const DenseMatrix& other) const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace ajac

@@ -1,0 +1,35 @@
+#pragma once
+// Matrix Market (coordinate, real) reader/writer so users can load the
+// actual SuiteSparse files (Table I) when they have them, and so tests can
+// round-trip generated matrices.
+
+#include <iosfwd>
+#include <string>
+
+#include "ajac/sparse/types.hpp"
+
+namespace ajac {
+
+class CsrMatrix;
+
+/// Read a Matrix Market file. Supports `matrix coordinate real|integer
+/// general|symmetric` and `pattern` (pattern entries get value 1.0).
+/// Symmetric files are expanded to full storage. Throws std::runtime_error
+/// on malformed input.
+[[nodiscard]] CsrMatrix read_matrix_market(const std::string& path);
+[[nodiscard]] CsrMatrix read_matrix_market(std::istream& in);
+
+/// Write in `matrix coordinate real general` format (1-based indices).
+void write_matrix_market(const CsrMatrix& a, const std::string& path);
+void write_matrix_market(const CsrMatrix& a, std::ostream& out);
+
+/// Read a dense vector from `matrix array real general` format (an n x 1
+/// array), the SuiteSparse convention for right-hand sides.
+[[nodiscard]] Vector read_vector_market(const std::string& path);
+[[nodiscard]] Vector read_vector_market(std::istream& in);
+
+/// Write a dense vector in `matrix array real general` format.
+void write_vector_market(const Vector& x, const std::string& path);
+void write_vector_market(const Vector& x, std::ostream& out);
+
+}  // namespace ajac

@@ -1,0 +1,45 @@
+#pragma once
+// Symmetric permutations P A P^T. Used by the partitioner to reorder rows
+// so each process owns a contiguous subdomain (the paper partitions with
+// METIS and then treats each part as contiguous, Sec. VII-A), and by the
+// propagation-matrix analysis of Sec. IV-C (ordering delayed rows first).
+
+#include <vector>
+
+#include "ajac/sparse/types.hpp"
+
+namespace ajac {
+
+class CsrMatrix;
+
+/// A permutation given as `new_to_old`: row i of the permuted matrix is row
+/// new_to_old[i] of the original. Validates that it is a bijection.
+class Permutation {
+ public:
+  explicit Permutation(std::vector<index_t> new_to_old);
+
+  static Permutation identity(index_t n);
+
+  [[nodiscard]] index_t size() const noexcept {
+    return static_cast<index_t>(new_to_old_.size());
+  }
+  [[nodiscard]] index_t new_to_old(index_t i) const { return new_to_old_[i]; }
+  [[nodiscard]] index_t old_to_new(index_t i) const { return old_to_new_[i]; }
+
+  [[nodiscard]] Permutation inverse() const;
+
+  /// P A P^T.
+  [[nodiscard]] CsrMatrix apply_symmetric(const CsrMatrix& a) const;
+
+  /// (P x)_i = x_{new_to_old[i]}.
+  [[nodiscard]] Vector apply(const Vector& x) const;
+
+  /// P^T y.
+  [[nodiscard]] Vector apply_inverse(const Vector& y) const;
+
+ private:
+  std::vector<index_t> new_to_old_;
+  std::vector<index_t> old_to_new_;
+};
+
+}  // namespace ajac

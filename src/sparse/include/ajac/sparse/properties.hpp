@@ -1,0 +1,33 @@
+#pragma once
+// Structural and spectral-adjacent predicates the paper's theory relies on:
+// weak diagonal dominance (W.D.D.), unit diagonal, irreducibility.
+
+#include <vector>
+
+#include "ajac/sparse/types.hpp"
+
+namespace ajac {
+
+class CsrMatrix;
+
+/// True if row i satisfies |a_ii| >= sum_{j != i} |a_ij|.
+[[nodiscard]] bool row_is_wdd(const CsrMatrix& a, index_t i);
+
+/// True if every row is weakly diagonally dominant.
+[[nodiscard]] bool is_weakly_diag_dominant(const CsrMatrix& a);
+
+/// Fraction of rows with the W.D.D. property (the paper's FE matrix has
+/// roughly half of its rows W.D.D.).
+[[nodiscard]] double wdd_fraction(const CsrMatrix& a);
+
+/// True if a_ii == 1 for all i within tol.
+[[nodiscard]] bool has_unit_diagonal(const CsrMatrix& a, double tol = 0.0);
+
+/// True if the adjacency graph of A (pattern, ignoring values) is
+/// connected, i.e. A is irreducible for symmetric patterns.
+[[nodiscard]] bool is_irreducible(const CsrMatrix& a);
+
+/// Per-row count of stored off-diagonal entries.
+[[nodiscard]] std::vector<index_t> offdiag_degrees(const CsrMatrix& a);
+
+}  // namespace ajac

@@ -1,0 +1,34 @@
+#pragma once
+// Structural statistics of sparse matrices: what a practitioner checks
+// before choosing a partitioning/ordering, and what the bench harness
+// prints when describing the generated Table-I analogues.
+
+#include <vector>
+
+#include "ajac/sparse/types.hpp"
+
+namespace ajac {
+
+class CsrMatrix;
+
+struct MatrixStats {
+  index_t num_rows = 0;
+  index_t num_nonzeros = 0;
+  index_t bandwidth = 0;       ///< max |i - j| over stored entries
+  index_t profile = 0;         ///< sum_i (i - min stored column of row i)
+  index_t min_row_nnz = 0;
+  index_t max_row_nnz = 0;
+  double avg_row_nnz = 0.0;
+  double diag_dominance_min = 0.0;  ///< min_i |a_ii| / sum_{j!=i} |a_ij|
+  double positive_offdiag_fraction = 0.0;  ///< entries with a_ij > 0, i != j
+  bool structurally_symmetric = false;
+};
+
+[[nodiscard]] MatrixStats compute_stats(const CsrMatrix& a);
+
+/// Histogram of row nonzero counts; bucket k counts rows with k stored
+/// entries (capped at `max_degree`, the final bucket collects the rest).
+[[nodiscard]] std::vector<index_t> row_degree_histogram(const CsrMatrix& a,
+                                                        index_t max_degree);
+
+}  // namespace ajac

@@ -1,0 +1,31 @@
+#pragma once
+// Principal submatrices and decoupled-block detection.
+//
+// Sec. IV-C/IV-D of the paper analyze delayed-process behaviour through the
+// principal submatrix G̃ of the iteration matrix on the *active* rows, its
+// interlaced eigenvalues, and the diagonal blocks that appear when removing
+// delayed rows decouples the sparsity graph.
+
+#include <vector>
+
+#include "ajac/sparse/types.hpp"
+
+namespace ajac {
+
+class CsrMatrix;
+
+/// Extract the principal submatrix A(keep, keep). `keep` must be strictly
+/// increasing; entries whose column is not kept are dropped.
+[[nodiscard]] CsrMatrix principal_submatrix(const CsrMatrix& a,
+                                            const std::vector<index_t>& keep);
+
+/// Connected components of the undirected pattern graph of A (A assumed to
+/// have symmetric pattern). Returns component id per row, 0-based.
+[[nodiscard]] std::vector<index_t> connected_components(const CsrMatrix& a,
+                                                        index_t* num_components);
+
+/// Rows NOT in `removed` (complement of a sorted unique index set).
+[[nodiscard]] std::vector<index_t> complement_rows(
+    index_t n, const std::vector<index_t>& removed);
+
+}  // namespace ajac

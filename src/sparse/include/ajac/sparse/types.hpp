@@ -1,0 +1,18 @@
+#pragma once
+// Common scalar/index types for the sparse substrate.
+
+#include <cstdint>
+#include <vector>
+
+namespace ajac {
+
+/// Index type used for matrix dimensions and nonzero counts. 64-bit so the
+/// Table-I-scale problems (millions of nonzeros) never overflow, even when
+/// products of dimensions are formed.
+using index_t = std::int64_t;
+
+/// Dense vectors are plain contiguous arrays of doubles; the library
+/// operates on them through std::span-like views in the kernels.
+using Vector = std::vector<double>;
+
+}  // namespace ajac

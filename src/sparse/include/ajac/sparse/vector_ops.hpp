@@ -1,0 +1,43 @@
+#pragma once
+// Dense vector kernels: BLAS-1 style operations and the three norms the
+// paper reasons about (L1 for residual propagation, Linf for error
+// propagation, L2 for reporting).
+
+#include <span>
+
+#include "ajac/sparse/types.hpp"
+
+namespace ajac {
+class Rng;
+}
+
+namespace ajac::vec {
+
+/// y += alpha * x
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// y = x + beta * y
+void xpby(std::span<const double> x, double beta, std::span<double> y);
+
+/// z = x - y
+void sub(std::span<const double> x, std::span<const double> y,
+         std::span<double> z);
+
+[[nodiscard]] double dot(std::span<const double> x, std::span<const double> y);
+
+[[nodiscard]] double norm1(std::span<const double> x);
+[[nodiscard]] double norm2(std::span<const double> x);
+[[nodiscard]] double norm_inf(std::span<const double> x);
+
+/// Fill with uniform random values in [lo, hi) — the paper's random x0 and
+/// b are uniform in [-1, 1].
+void fill_uniform(std::span<double> x, Rng& rng, double lo = -1.0,
+                  double hi = 1.0);
+
+void fill(std::span<double> x, double value);
+
+/// max_i |x_i - y_i|
+[[nodiscard]] double max_abs_diff(std::span<const double> x,
+                                  std::span<const double> y);
+
+}  // namespace ajac::vec

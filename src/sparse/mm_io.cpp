@@ -1,0 +1,148 @@
+#include "ajac/sparse/mm_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "ajac/sparse/coo.hpp"
+#include "ajac/sparse/csr.hpp"
+
+namespace ajac {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("matrix market: " + what);
+}
+
+std::string lowercase(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+}  // namespace
+
+CsrMatrix read_matrix_market(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) fail("cannot open " + path);
+  return read_matrix_market(in);
+}
+
+CsrMatrix read_matrix_market(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) fail("empty input");
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  if (banner != "%%MatrixMarket") fail("missing %%MatrixMarket banner");
+  object = lowercase(object);
+  format = lowercase(format);
+  field = lowercase(field);
+  symmetry = lowercase(symmetry);
+  if (object != "matrix") fail("unsupported object '" + object + "'");
+  if (format != "coordinate") fail("unsupported format '" + format + "'");
+  const bool is_pattern = field == "pattern";
+  if (field != "real" && field != "integer" && !is_pattern) {
+    fail("unsupported field '" + field + "'");
+  }
+  const bool is_symmetric = symmetry == "symmetric";
+  if (symmetry != "general" && !is_symmetric) {
+    fail("unsupported symmetry '" + symmetry + "'");
+  }
+
+  // Skip comments.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream sizes(line);
+  index_t rows = 0, cols = 0, nnz = 0;
+  sizes >> rows >> cols >> nnz;
+  if (!sizes || rows <= 0 || cols <= 0 || nnz < 0) fail("bad size line");
+
+  CooBuilder coo(rows, cols);
+  for (index_t k = 0; k < nnz; ++k) {
+    if (!std::getline(in, line)) fail("unexpected end of file");
+    std::istringstream entry(line);
+    index_t i = 0, j = 0;
+    double v = 1.0;
+    entry >> i >> j;
+    if (!is_pattern) entry >> v;
+    if (!entry) fail("bad entry line: " + line);
+    if (i < 1 || i > rows || j < 1 || j > cols) fail("index out of range");
+    if (is_symmetric) {
+      coo.add_symmetric(i - 1, j - 1, v);
+    } else {
+      coo.add(i - 1, j - 1, v);
+    }
+  }
+  return coo.to_csr();
+}
+
+void write_matrix_market(const CsrMatrix& a, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.good()) fail("cannot open " + path + " for writing");
+  write_matrix_market(a, out);
+}
+
+Vector read_vector_market(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) fail("cannot open " + path);
+  return read_vector_market(in);
+}
+
+Vector read_vector_market(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) fail("empty input");
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  if (banner != "%%MatrixMarket") fail("missing %%MatrixMarket banner");
+  if (lowercase(object) != "matrix" || lowercase(format) != "array") {
+    fail("expected 'matrix array' for a dense vector");
+  }
+  if (lowercase(field) != "real" && lowercase(field) != "integer") {
+    fail("unsupported array field '" + field + "'");
+  }
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream sizes(line);
+  index_t rows = 0, cols = 0;
+  sizes >> rows >> cols;
+  if (!sizes || rows <= 0 || cols != 1) fail("expected an n x 1 array");
+  Vector x(static_cast<std::size_t>(rows));
+  for (index_t i = 0; i < rows; ++i) {
+    if (!(in >> x[i])) fail("truncated array data");
+  }
+  return x;
+}
+
+void write_vector_market(const Vector& x, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.good()) fail("cannot open " + path + " for writing");
+  write_vector_market(x, out);
+}
+
+void write_vector_market(const Vector& x, std::ostream& out) {
+  out << "%%MatrixMarket matrix array real general\n";
+  out << x.size() << " 1\n";
+  out.precision(17);
+  for (double v : x) out << v << '\n';
+}
+
+void write_matrix_market(const CsrMatrix& a, std::ostream& out) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << "% written by async_jacobi\n";
+  out << a.num_rows() << ' ' << a.num_cols() << ' ' << a.num_nonzeros()
+      << '\n';
+  out.precision(17);
+  for (index_t i = 0; i < a.num_rows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_values(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      out << (i + 1) << ' ' << (cols[k] + 1) << ' ' << vals[k] << '\n';
+    }
+  }
+}
+
+}  // namespace ajac

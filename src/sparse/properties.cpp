@@ -1,0 +1,87 @@
+#include "ajac/sparse/properties.hpp"
+
+#include <cmath>
+#include <queue>
+
+#include "ajac/sparse/csr.hpp"
+#include "ajac/util/check.hpp"
+
+namespace ajac {
+
+bool row_is_wdd(const CsrMatrix& a, index_t i) {
+  double diag = 0.0;
+  double offdiag = 0.0;
+  const auto cols = a.row_cols(i);
+  const auto vals = a.row_values(i);
+  for (std::size_t k = 0; k < cols.size(); ++k) {
+    if (cols[k] == i) {
+      diag = std::abs(vals[k]);
+    } else {
+      offdiag += std::abs(vals[k]);
+    }
+  }
+  // Tolerate roundoff in generated/scaled matrices: a row whose off-diagonal
+  // sum exceeds the diagonal by a few ulps is still W.D.D. for our purposes.
+  return diag * (1.0 + 1e-13) >= offdiag;
+}
+
+bool is_weakly_diag_dominant(const CsrMatrix& a) {
+  AJAC_CHECK(a.num_rows() == a.num_cols());
+  for (index_t i = 0; i < a.num_rows(); ++i) {
+    if (!row_is_wdd(a, i)) return false;
+  }
+  return true;
+}
+
+double wdd_fraction(const CsrMatrix& a) {
+  AJAC_CHECK(a.num_rows() == a.num_cols());
+  if (a.num_rows() == 0) return 1.0;
+  index_t count = 0;
+  for (index_t i = 0; i < a.num_rows(); ++i) {
+    if (row_is_wdd(a, i)) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(a.num_rows());
+}
+
+bool has_unit_diagonal(const CsrMatrix& a, double tol) {
+  if (a.num_rows() != a.num_cols()) return false;
+  for (index_t i = 0; i < a.num_rows(); ++i) {
+    if (std::abs(a.at(i, i) - 1.0) > tol) return false;
+  }
+  return true;
+}
+
+bool is_irreducible(const CsrMatrix& a) {
+  AJAC_CHECK(a.num_rows() == a.num_cols());
+  const index_t n = a.num_rows();
+  if (n == 0) return true;
+  std::vector<char> seen(static_cast<std::size_t>(n), 0);
+  std::queue<index_t> frontier;
+  frontier.push(0);
+  seen[0] = 1;
+  index_t visited = 1;
+  while (!frontier.empty()) {
+    const index_t u = frontier.front();
+    frontier.pop();
+    for (index_t v : a.row_cols(u)) {
+      if (!seen[v]) {
+        seen[v] = 1;
+        ++visited;
+        frontier.push(v);
+      }
+    }
+  }
+  return visited == n;
+}
+
+std::vector<index_t> offdiag_degrees(const CsrMatrix& a) {
+  std::vector<index_t> deg(static_cast<std::size_t>(a.num_rows()), 0);
+  for (index_t i = 0; i < a.num_rows(); ++i) {
+    for (index_t j : a.row_cols(i)) {
+      if (j != i) ++deg[i];
+    }
+  }
+  return deg;
+}
+
+}  // namespace ajac

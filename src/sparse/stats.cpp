@@ -1,0 +1,79 @@
+#include "ajac/sparse/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ajac/sparse/csr.hpp"
+#include "ajac/util/check.hpp"
+
+namespace ajac {
+
+MatrixStats compute_stats(const CsrMatrix& a) {
+  AJAC_CHECK(a.num_rows() == a.num_cols());
+  MatrixStats s;
+  s.num_rows = a.num_rows();
+  s.num_nonzeros = a.num_nonzeros();
+  s.min_row_nnz = a.num_rows() > 0 ? a.num_nonzeros() : 0;
+  s.diag_dominance_min = 1e300;
+  index_t positive_offdiag = 0;
+  index_t offdiag = 0;
+
+  for (index_t i = 0; i < a.num_rows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_values(i);
+    s.min_row_nnz = std::min<index_t>(s.min_row_nnz, cols.size());
+    s.max_row_nnz = std::max<index_t>(s.max_row_nnz, cols.size());
+    double diag = 0.0;
+    double off_sum = 0.0;
+    index_t min_col = i;
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const index_t j = cols[k];
+      s.bandwidth = std::max(s.bandwidth, std::abs(i - j));
+      min_col = std::min(min_col, j);
+      if (j == i) {
+        diag = std::abs(vals[k]);
+      } else {
+        ++offdiag;
+        off_sum += std::abs(vals[k]);
+        if (vals[k] > 0.0) ++positive_offdiag;
+      }
+    }
+    s.profile += i - min_col;
+    if (off_sum > 0.0) {
+      s.diag_dominance_min = std::min(s.diag_dominance_min, diag / off_sum);
+    }
+  }
+  if (s.diag_dominance_min == 1e300) s.diag_dominance_min = 0.0;
+  s.avg_row_nnz = a.num_rows() > 0
+                      ? static_cast<double>(a.num_nonzeros()) /
+                            static_cast<double>(a.num_rows())
+                      : 0.0;
+  s.positive_offdiag_fraction =
+      offdiag > 0 ? static_cast<double>(positive_offdiag) /
+                        static_cast<double>(offdiag)
+                  : 0.0;
+  // Structural symmetry: pattern of A equals pattern of A^T.
+  s.structurally_symmetric = true;
+  for (index_t i = 0; i < a.num_rows() && s.structurally_symmetric; ++i) {
+    for (index_t j : a.row_cols(i)) {
+      const auto cols_j = a.row_cols(j);
+      if (!std::binary_search(cols_j.begin(), cols_j.end(), i)) {
+        s.structurally_symmetric = false;
+        break;
+      }
+    }
+  }
+  return s;
+}
+
+std::vector<index_t> row_degree_histogram(const CsrMatrix& a,
+                                          index_t max_degree) {
+  AJAC_CHECK(max_degree >= 0);
+  std::vector<index_t> hist(static_cast<std::size_t>(max_degree) + 1, 0);
+  for (index_t i = 0; i < a.num_rows(); ++i) {
+    ++hist[std::min<index_t>(a.row_nnz(i), max_degree)];
+  }
+  return hist;
+}
+
+}  // namespace ajac

@@ -1,0 +1,67 @@
+#include "ajac/sparse/vector_ops.hpp"
+
+#include <cmath>
+
+#include "ajac/util/check.hpp"
+#include "ajac/util/rng.hpp"
+
+namespace ajac::vec {
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  AJAC_DCHECK(x.size() == y.size());
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void xpby(std::span<const double> x, double beta, std::span<double> y) {
+  AJAC_DCHECK(x.size() == y.size());
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) y[i] = x[i] + beta * y[i];
+}
+
+void sub(std::span<const double> x, std::span<const double> y,
+         std::span<double> z) {
+  AJAC_DCHECK(x.size() == y.size() && y.size() == z.size());
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) z[i] = x[i] - y[i];
+}
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  AJAC_DCHECK(x.size() == y.size());
+  double acc = 0.0;
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+double norm1(std::span<const double> x) {
+  double acc = 0.0;
+  for (double v : x) acc += std::abs(v);
+  return acc;
+}
+
+double norm2(std::span<const double> x) { return std::sqrt(dot(x, x)); }
+
+double norm_inf(std::span<const double> x) {
+  double acc = 0.0;
+  for (double v : x) acc = std::max(acc, std::abs(v));
+  return acc;
+}
+
+void fill_uniform(std::span<double> x, Rng& rng, double lo, double hi) {
+  for (double& v : x) v = rng.uniform(lo, hi);
+}
+
+void fill(std::span<double> x, double value) {
+  for (double& v : x) v = value;
+}
+
+double max_abs_diff(std::span<const double> x, std::span<const double> y) {
+  AJAC_DCHECK(x.size() == y.size());
+  double acc = 0.0;
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) acc = std::max(acc, std::abs(x[i] - y[i]));
+  return acc;
+}
+
+}  // namespace ajac::vec

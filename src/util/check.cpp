@@ -1,0 +1,13 @@
+#include "ajac/util/check.hpp"
+
+namespace ajac::detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& message) {
+  std::ostringstream oss;
+  oss << "AJAC_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!message.empty()) oss << " — " << message;
+  throw std::logic_error(oss.str());
+}
+
+}  // namespace ajac::detail

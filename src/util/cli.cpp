@@ -1,0 +1,168 @@
+#include "ajac/util/cli.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "ajac/util/check.hpp"
+
+namespace ajac {
+
+namespace {
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+}  // namespace
+
+CliParser::CliParser(std::string program_name, std::string description)
+    : program_name_(std::move(program_name)),
+      description_(std::move(description)) {}
+
+void CliParser::add_option(const std::string& key,
+                           const std::string& default_value,
+                           const std::string& help_text) {
+  AJAC_CHECK_MSG(!options_.contains(key), "duplicate option --" << key);
+  options_[key] = Option{default_value, help_text, /*is_flag=*/false};
+}
+
+void CliParser::add_flag(const std::string& key, const std::string& help_text) {
+  AJAC_CHECK_MSG(!options_.contains(key), "duplicate flag --" << key);
+  options_[key] = Option{"false", help_text, /*is_flag=*/true};
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(help().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected positional argument: " + arg +
+                                  "\n" + help());
+    }
+    arg = arg.substr(2);
+    std::string key;
+    std::string value;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      key = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      key = arg;
+      auto it = options_.find(key);
+      if (it == options_.end()) {
+        throw std::invalid_argument("unknown option --" + key + "\n" + help());
+      }
+      if (it->second.is_flag) {
+        value = "true";
+      } else {
+        if (i + 1 >= argc) {
+          throw std::invalid_argument("missing value for --" + key);
+        }
+        value = argv[++i];
+      }
+    }
+    if (!options_.contains(key)) {
+      throw std::invalid_argument("unknown option --" + key + "\n" + help());
+    }
+    values_[key] = value;
+  }
+  return true;
+}
+
+const CliParser::Option& CliParser::find(const std::string& key) const {
+  auto it = options_.find(key);
+  AJAC_CHECK_MSG(it != options_.end(), "option --" << key << " not registered");
+  return it->second;
+}
+
+std::string CliParser::get_string(const std::string& key) const {
+  const Option& opt = find(key);
+  auto it = values_.find(key);
+  return it == values_.end() ? opt.default_value : it->second;
+}
+
+std::int64_t CliParser::get_int(const std::string& key) const {
+  const std::string s = get_string(key);
+  std::int64_t v = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    throw std::invalid_argument("--" + key + " expects an integer, got '" + s +
+                                "'");
+  }
+  return v;
+}
+
+double CliParser::get_double(const std::string& key) const {
+  const std::string s = get_string(key);
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("--" + key + " expects a number, got '" + s +
+                                "'");
+  }
+}
+
+bool CliParser::get_bool(const std::string& key) const {
+  const std::string s = get_string(key);
+  if (s == "true" || s == "1" || s == "yes" || s == "on") return true;
+  if (s == "false" || s == "0" || s == "no" || s == "off") return false;
+  throw std::invalid_argument("--" + key + " expects a boolean, got '" + s +
+                              "'");
+}
+
+std::vector<std::int64_t> CliParser::get_int_list(const std::string& key) const {
+  std::vector<std::int64_t> out;
+  for (const std::string& piece : split_commas(get_string(key))) {
+    if (piece.empty()) continue;
+    std::int64_t v = 0;
+    auto [ptr, ec] = std::from_chars(piece.data(), piece.data() + piece.size(), v);
+    if (ec != std::errc() || ptr != piece.data() + piece.size()) {
+      throw std::invalid_argument("--" + key + ": bad integer '" + piece + "'");
+    }
+    out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<double> CliParser::get_double_list(const std::string& key) const {
+  std::vector<double> out;
+  for (const std::string& piece : split_commas(get_string(key))) {
+    if (piece.empty()) continue;
+    out.push_back(std::stod(piece));
+  }
+  return out;
+}
+
+std::string CliParser::help() const {
+  std::ostringstream oss;
+  oss << program_name_ << " — " << description_ << "\n\nOptions:\n";
+  for (const auto& [key, opt] : options_) {
+    oss << "  --" << key;
+    if (!opt.is_flag) oss << "=<value>";
+    oss << "\n      " << opt.help;
+    if (!opt.is_flag) oss << " (default: " << opt.default_value << ")";
+    oss << "\n";
+  }
+  oss << "  --help\n      Show this message.\n";
+  return oss.str();
+}
+
+}  // namespace ajac

@@ -1,0 +1,41 @@
+#pragma once
+// Precondition / invariant checking.
+//
+// AJAC_CHECK is always on (it guards API misuse, file format errors, and
+// numerical preconditions whose violation would silently corrupt results);
+// AJAC_DCHECK compiles away in release builds and guards hot inner loops.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ajac::detail {
+
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& message);
+
+}  // namespace ajac::detail
+
+#define AJAC_CHECK(expr)                                                \
+  do {                                                                  \
+    if (!(expr)) [[unlikely]]                                           \
+      ::ajac::detail::check_failed(#expr, __FILE__, __LINE__, {});      \
+  } while (false)
+
+#define AJAC_CHECK_MSG(expr, msg)                                       \
+  do {                                                                  \
+    if (!(expr)) [[unlikely]] {                                         \
+      std::ostringstream ajac_oss_;                                     \
+      ajac_oss_ << msg;                                                 \
+      ::ajac::detail::check_failed(#expr, __FILE__, __LINE__,           \
+                                   ajac_oss_.str());                    \
+    }                                                                   \
+  } while (false)
+
+#ifndef NDEBUG
+#define AJAC_DCHECK(expr) AJAC_CHECK(expr)
+#else
+#define AJAC_DCHECK(expr) \
+  do {                    \
+  } while (false)
+#endif

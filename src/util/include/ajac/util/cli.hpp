@@ -1,0 +1,57 @@
+#pragma once
+// Minimal command-line parsing for bench/example executables.
+//
+// Supports `--key=value`, `--key value`, and boolean `--flag`. Unknown
+// arguments raise an error listing the registered options, so every bench
+// binary is self-documenting via --help.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ajac {
+
+class CliParser {
+ public:
+  /// `name` appears in --help output.
+  CliParser(std::string program_name, std::string description);
+
+  /// Register an option with a default value and a help string.
+  void add_option(const std::string& key, const std::string& default_value,
+                  const std::string& help);
+  void add_flag(const std::string& key, const std::string& help);
+
+  /// Parse argv. Returns false if --help was requested (help printed).
+  /// Throws std::invalid_argument on unknown keys or malformed input.
+  bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get_string(const std::string& key) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key) const;
+  [[nodiscard]] double get_double(const std::string& key) const;
+  [[nodiscard]] bool get_bool(const std::string& key) const;
+
+  /// Comma-separated integer list, e.g. "1,2,4,8".
+  [[nodiscard]] std::vector<std::int64_t> get_int_list(
+      const std::string& key) const;
+  [[nodiscard]] std::vector<double> get_double_list(
+      const std::string& key) const;
+
+  [[nodiscard]] std::string help() const;
+
+ private:
+  struct Option {
+    std::string default_value;
+    std::string help;
+    bool is_flag = false;
+  };
+  const Option& find(const std::string& key) const;
+
+  std::string program_name_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace ajac

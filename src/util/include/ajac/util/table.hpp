@@ -1,0 +1,48 @@
+#pragma once
+// Aligned console tables and CSV emission for the benchmark harness.
+//
+// Every bench binary prints the rows/series of the paper table or figure it
+// reproduces, both as a human-readable aligned table and (optionally) as
+// CSV to a file for plotting.
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace ajac {
+
+/// A cell is a string, an integer, or a double (printed with %.6g by
+/// default, configurable per table).
+using TableCell = std::variant<std::string, std::int64_t, double>;
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> column_names);
+
+  /// Number of cells must equal the number of columns.
+  void add_row(std::vector<TableCell> cells);
+
+  void set_double_format(const std::string& printf_format);  // e.g. "%.4e"
+
+  /// Render as an aligned, pipe-separated console table.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Render as CSV (RFC-4180 quoting for strings containing commas).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Write CSV to `path`; creates/truncates the file.
+  void write_csv(const std::string& path) const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t num_cols() const { return columns_.size(); }
+
+ private:
+  [[nodiscard]] std::string format_cell(const TableCell& cell) const;
+
+  std::vector<std::string> columns_;
+  std::vector<std::vector<TableCell>> rows_;
+  std::string double_format_ = "%.6g";
+};
+
+}  // namespace ajac

@@ -1,0 +1,39 @@
+#pragma once
+// Wall-clock timing helpers.
+
+#include <chrono>
+
+namespace ajac {
+
+/// Monotonic wall-clock stopwatch with microsecond-or-better resolution.
+class WallTimer {
+ public:
+  WallTimer() noexcept { reset(); }
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const noexcept { return seconds() * 1e3; }
+  [[nodiscard]] double microseconds() const noexcept { return seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Busy-wait for approximately `us` microseconds. Used for the paper's
+/// artificial thread-delay experiments (Sec. VII-B); sleeping would allow
+/// the OS to deschedule, which distorts short delays.
+inline void spin_wait_us(double us) noexcept {
+  if (us <= 0) return;
+  WallTimer t;
+  while (t.microseconds() < us) {
+    // spin
+  }
+}
+
+}  // namespace ajac

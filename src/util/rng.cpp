@@ -1,0 +1,10 @@
+#include "ajac/util/rng.hpp"
+
+#include <cmath>
+
+namespace ajac {
+
+double Rng::sqrt_impl(double x) noexcept { return std::sqrt(x); }
+double Rng::log_impl(double x) noexcept { return std::log(x); }
+
+}  // namespace ajac

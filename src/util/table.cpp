@@ -1,0 +1,107 @@
+#include "ajac/util/table.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "ajac/util/check.hpp"
+
+namespace ajac {
+
+Table::Table(std::vector<std::string> column_names)
+    : columns_(std::move(column_names)) {
+  AJAC_CHECK(!columns_.empty());
+}
+
+void Table::add_row(std::vector<TableCell> cells) {
+  AJAC_CHECK_MSG(cells.size() == columns_.size(),
+                 "row has " << cells.size() << " cells, table has "
+                            << columns_.size() << " columns");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::set_double_format(const std::string& printf_format) {
+  double_format_ = printf_format;
+}
+
+std::string Table::format_cell(const TableCell& cell) const {
+  if (const auto* s = std::get_if<std::string>(&cell)) return *s;
+  if (const auto* i = std::get_if<std::int64_t>(&cell)) {
+    return std::to_string(*i);
+  }
+  const double d = std::get<double>(cell);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), double_format_.c_str(), d);
+  return buf;
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(columns_.size());
+  std::vector<std::vector<std::string>> formatted;
+  formatted.reserve(rows_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      cells.push_back(format_cell(row[c]));
+      widths[c] = std::max(widths[c], cells.back().size());
+    }
+    formatted.push_back(std::move(cells));
+  }
+
+  std::ostringstream oss;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    oss << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      oss << ' ' << cells[c]
+          << std::string(widths[c] - cells[c].size() + 1, ' ') << '|';
+    }
+    oss << '\n';
+  };
+  emit_row(columns_);
+  oss << '|';
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    oss << std::string(widths[c] + 2, '-') << '|';
+  }
+  oss << '\n';
+  for (const auto& cells : formatted) emit_row(cells);
+  return oss.str();
+}
+
+std::string Table::to_csv() const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += "\"\"";
+      else out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream oss;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c) oss << ',';
+    oss << quote(columns_[c]);
+  }
+  oss << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) oss << ',';
+      oss << quote(format_cell(row[c]));
+    }
+    oss << '\n';
+  }
+  return oss.str();
+}
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  AJAC_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  out << to_csv();
+}
+
+}  // namespace ajac

@@ -1,0 +1,100 @@
+#include "ajac/core/ajac.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ajac/gen/fd.hpp"
+#include "ajac/sparse/vector_ops.hpp"
+#include "ajac/util/rng.hpp"
+
+namespace ajac {
+namespace {
+
+TEST(Api, VersionIsNonEmpty) {
+  EXPECT_NE(std::string(version()), "");
+}
+
+class AllBackends : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(AllBackends, SolvesFdSystemToTolerance) {
+  const auto p = gen::make_problem("fd", gen::fd_laplacian_2d(10, 10), 3);
+  SolveConfig cfg;
+  cfg.backend = GetParam();
+  cfg.parallelism = 4;
+  cfg.tolerance = 1e-6;
+  cfg.max_iterations = 200000;
+  const Solution sol = solve(p.a, p.b, p.x0, cfg);
+  EXPECT_TRUE(sol.converged);
+  // Verify with an independent residual.
+  Vector r(p.b.size());
+  p.a.residual(sol.x, p.b, r);
+  Vector r0(p.b.size());
+  p.a.residual(p.x0, p.b, r0);
+  EXPECT_LE(vec::norm1(r) / vec::norm1(r0), 2e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, AllBackends,
+                         ::testing::Values(Backend::kSequential,
+                                           Backend::kModel,
+                                           Backend::kSharedMemory,
+                                           Backend::kDistributedSim));
+
+TEST(Api, SolveSpdMapsSolutionBack) {
+  // Raw (unscaled) SPD system: solve_spd must return x with A x ~= b.
+  const CsrMatrix a = gen::fd_laplacian_2d(8, 8);
+  Rng rng(5);
+  Vector x_true(static_cast<std::size_t>(a.num_rows()));
+  vec::fill_uniform(x_true, rng);
+  Vector b(x_true.size());
+  a.spmv(x_true, b);
+
+  SolveConfig cfg;
+  cfg.backend = Backend::kSequential;
+  cfg.tolerance = 1e-10;
+  cfg.max_iterations = 200000;
+  const Solution sol = solve_spd(a, b, cfg);
+  EXPECT_TRUE(sol.converged);
+  EXPECT_NEAR(vec::max_abs_diff(sol.x, x_true), 0.0, 1e-6);
+}
+
+TEST(Api, DistributedBackendWithPartitioningMapsBack) {
+  const auto p = gen::make_problem("fd", gen::fd_laplacian_2d(12, 12), 7);
+  SolveConfig cfg;
+  cfg.backend = Backend::kDistributedSim;
+  cfg.parallelism = 9;
+  cfg.tolerance = 1e-6;
+  cfg.max_iterations = 100000;
+  cfg.partition_first = true;
+  const Solution sol = solve(p.a, p.b, p.x0, cfg);
+  ASSERT_TRUE(sol.converged);
+  Vector r(p.b.size());
+  p.a.residual(sol.x, p.b, r);
+  Vector r0(p.b.size());
+  p.a.residual(p.x0, p.b, r0);
+  EXPECT_LE(vec::norm1(r) / vec::norm1(r0), 2e-6);
+}
+
+TEST(Api, SynchronousFlagSwitchesAlgorithm) {
+  const auto p = gen::make_problem("fd", gen::fd_laplacian_2d(8, 8), 9);
+  SolveConfig cfg;
+  cfg.backend = Backend::kDistributedSim;
+  cfg.parallelism = 4;
+  cfg.synchronous = true;
+  cfg.tolerance = 1e-5;
+  cfg.max_iterations = 100000;
+  const Solution sync_sol = solve(p.a, p.b, p.x0, cfg);
+  EXPECT_TRUE(sync_sol.converged);
+}
+
+TEST(Api, ReportsRelaxationCounts) {
+  const auto p = gen::make_problem("fd", gen::fd_laplacian_2d(6, 6), 11);
+  SolveConfig cfg;
+  cfg.backend = Backend::kSequential;
+  cfg.tolerance = 0.0;
+  cfg.max_iterations = 10;
+  const Solution sol = solve(p.a, p.b, p.x0, cfg);
+  EXPECT_EQ(sol.iterations, 10);
+  EXPECT_EQ(sol.relaxations, 10 * p.a.num_rows());
+}
+
+}  // namespace
+}  // namespace ajac

@@ -1,0 +1,41 @@
+#include "ajac/distsim/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ajac::distsim {
+namespace {
+
+TEST(CostModel, MessageTimeIsAlphaBeta) {
+  CostModel c;
+  c.alpha = 1e-6;
+  c.beta = 1e-9;
+  EXPECT_DOUBLE_EQ(c.message_time(0), 1e-6);
+  EXPECT_DOUBLE_EQ(c.message_time(1000), 1e-6 + 1e-6);
+}
+
+TEST(CostModel, BarrierGrowsLogarithmically) {
+  CostModel c;
+  c.barrier_base = 1e-6;
+  EXPECT_DOUBLE_EQ(c.barrier_time(1), 0.0);
+  EXPECT_DOUBLE_EQ(c.barrier_time(2), 1e-6);
+  EXPECT_DOUBLE_EQ(c.barrier_time(4), 2e-6);
+  EXPECT_NEAR(c.barrier_time(1024), 10e-6, 1e-12);
+}
+
+TEST(CostModel, NetworkPresetEqualsDefaults) {
+  const CostModel def;
+  const CostModel net = CostModel::network_like();
+  EXPECT_DOUBLE_EQ(net.alpha, def.alpha);
+  EXPECT_DOUBLE_EQ(net.flop_time, def.flop_time);
+}
+
+TEST(CostModel, SharedMemoryPresetScalesOverheadWithN) {
+  const CostModel small = CostModel::shared_memory_like(100);
+  const CostModel large = CostModel::shared_memory_like(100000);
+  EXPECT_GT(large.iteration_overhead, small.iteration_overhead);
+  // Coherency latency far below a NIC round trip.
+  EXPECT_LT(small.alpha, CostModel::network_like().alpha);
+}
+
+}  // namespace
+}  // namespace ajac::distsim

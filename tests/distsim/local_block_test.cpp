@@ -1,0 +1,117 @@
+#include "ajac/distsim/local_block.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ajac/gen/fd.hpp"
+#include "ajac/sparse/csr.hpp"
+
+namespace ajac::distsim {
+namespace {
+
+TEST(LocalBlock, CoversAllRowsAndNonzeros) {
+  const CsrMatrix a = gen::fd_laplacian_2d(6, 6);
+  const auto part = partition::contiguous_partition(a.num_rows(), 4);
+  const auto blocks = build_local_blocks(a, part);
+  ASSERT_EQ(blocks.size(), 4u);
+  index_t rows = 0;
+  index_t nnz = 0;
+  for (const auto& blk : blocks) {
+    rows += blk.num_owned();
+    nnz += blk.num_nonzeros();
+  }
+  EXPECT_EQ(rows, a.num_rows());
+  EXPECT_EQ(nnz, a.num_nonzeros());
+}
+
+TEST(LocalBlock, GhostColumnsAreExactlyOffBlockColumns) {
+  const CsrMatrix a = gen::fd_laplacian_2d(5, 5);
+  const auto part = partition::contiguous_partition(a.num_rows(), 5);
+  const auto blocks = build_local_blocks(a, part);
+  for (const auto& blk : blocks) {
+    EXPECT_TRUE(std::is_sorted(blk.ghost_cols.begin(), blk.ghost_cols.end()));
+    for (index_t g : blk.ghost_cols) {
+      EXPECT_TRUE(g < blk.row_begin || g >= blk.row_end);
+    }
+  }
+}
+
+TEST(LocalBlock, LocalColumnRemappingRoundTrips) {
+  const CsrMatrix a = gen::fd_laplacian_2d(4, 6);
+  const auto part = partition::contiguous_partition(a.num_rows(), 3);
+  const auto blocks = build_local_blocks(a, part);
+  for (const auto& blk : blocks) {
+    const index_t m = blk.num_owned();
+    for (index_t i = 0; i < m; ++i) {
+      const auto global_cols = a.row_cols(blk.row_begin + i);
+      const auto global_vals = a.row_values(blk.row_begin + i);
+      for (index_t p = blk.row_ptr[i]; p < blk.row_ptr[i + 1]; ++p) {
+        const index_t lc = blk.col_idx[p];
+        const index_t gc =
+            lc < m ? blk.row_begin + lc : blk.ghost_cols[lc - m];
+        const std::size_t k = p - blk.row_ptr[i];
+        EXPECT_EQ(gc, global_cols[k]);
+        EXPECT_DOUBLE_EQ(blk.values[p], global_vals[k]);
+      }
+    }
+  }
+}
+
+TEST(LocalBlock, SendRecvListsAreReciprocal) {
+  const CsrMatrix a = gen::fd_laplacian_2d(8, 8);
+  const auto part = partition::contiguous_partition(a.num_rows(), 4);
+  const auto blocks = build_local_blocks(a, part);
+  for (const auto& blk : blocks) {
+    for (const auto& link : blk.neighbors) {
+      // What this block sends to `link.neighbor` must be what the
+      // neighbor expects in its recv list for this block, in order.
+      const auto& other = blocks[link.neighbor];
+      const auto it = std::find_if(
+          other.neighbors.begin(), other.neighbors.end(),
+          [&](const NeighborLink& l) { return l.neighbor == blk.process; });
+      ASSERT_NE(it, other.neighbors.end());
+      ASSERT_EQ(link.send_rows.size(), it->recv_slots.size());
+      for (std::size_t k = 0; k < link.send_rows.size(); ++k) {
+        EXPECT_EQ(link.send_rows[k], other.ghost_cols[it->recv_slots[k]]);
+      }
+      // Sent rows are owned by the sender.
+      for (index_t row : link.send_rows) {
+        EXPECT_GE(row, blk.row_begin);
+        EXPECT_LT(row, blk.row_end);
+      }
+    }
+  }
+}
+
+TEST(LocalBlock, GridNeighborsAreAdjacentSlabs) {
+  // Contiguous slabs of a row-major grid touch only adjacent slabs.
+  const CsrMatrix a = gen::fd_laplacian_2d(4, 8);
+  const auto part = partition::contiguous_partition(a.num_rows(), 4);
+  const auto blocks = build_local_blocks(a, part);
+  for (const auto& blk : blocks) {
+    for (const auto& link : blk.neighbors) {
+      EXPECT_LE(std::abs(link.neighbor - blk.process), 1);
+    }
+  }
+}
+
+TEST(LocalBlock, SinglePartHasNoGhosts) {
+  const CsrMatrix a = gen::fd_laplacian_2d(3, 3);
+  const auto blocks =
+      build_local_blocks(a, partition::contiguous_partition(9, 1));
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].num_ghosts(), 0);
+  EXPECT_TRUE(blocks[0].neighbors.empty());
+}
+
+TEST(LocalBlock, OnePartPerRowGhostsAreNeighbors) {
+  const CsrMatrix a = gen::fd_laplacian_1d(5);
+  const auto blocks =
+      build_local_blocks(a, partition::contiguous_partition(5, 5));
+  EXPECT_EQ(blocks[2].num_ghosts(), 2);
+  EXPECT_EQ(blocks[0].num_ghosts(), 1);
+}
+
+}  // namespace
+}  // namespace ajac::distsim

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "ajac/distsim/dist_jacobi.hpp"
+#include "ajac/gen/fd.hpp"
+#include "ajac/gen/problem.hpp"
+#include "ajac/partition/partition.hpp"
+#include "ajac/sparse/csr.hpp"
+
+namespace ajac::distsim {
+namespace {
+
+TEST(RankStatsTest, AccountingIsConsistent) {
+  const auto p = gen::make_problem("fd", gen::fd_laplacian_2d(12, 12), 3);
+  DistOptions o;
+  o.num_processes = 6;
+  o.max_iterations = 40;
+  const auto part = partition::contiguous_partition(p.a.num_rows(), 6);
+  const DistResult r = solve_distributed(p.a, p.b, p.x0, part, o);
+  ASSERT_EQ(r.rank_stats.size(), 6u);
+  index_t sent = 0;
+  index_t received = 0;
+  for (const RankStats& rs : r.rank_stats) {
+    EXPECT_EQ(rs.iterations, 40);
+    EXPECT_GT(rs.busy_seconds, 0.0);
+    EXPECT_GE(rs.wait_seconds, 0.0);
+    EXPECT_LE(rs.busy_seconds, r.sim_seconds * 1.01);
+    sent += rs.messages_sent;
+    received += rs.messages_received;
+  }
+  // Every sent message is eventually delivered or still in flight at the
+  // end; delivered ones equal the result's total count.
+  EXPECT_EQ(received, r.total_messages);
+  EXPECT_GE(sent, received);
+}
+
+TEST(RankStatsTest, NoCoreContentionMeansNoWait) {
+  const auto p = gen::make_problem("fd", gen::fd_laplacian_2d(10, 10), 5);
+  DistOptions o;
+  o.num_processes = 4;
+  o.max_iterations = 30;
+  o.cost.cores = 0;  // dedicated cores
+  const auto part = partition::contiguous_partition(p.a.num_rows(), 4);
+  const DistResult r = solve_distributed(p.a, p.b, p.x0, part, o);
+  for (const RankStats& rs : r.rank_stats) {
+    EXPECT_DOUBLE_EQ(rs.wait_seconds, 0.0);
+  }
+}
+
+TEST(RankStatsTest, ContentionCreatesWait) {
+  const auto p = gen::make_problem("fd", gen::fd_laplacian_2d(10, 10), 7);
+  DistOptions o;
+  o.num_processes = 8;
+  o.max_iterations = 30;
+  o.cost.cores = 2;
+  const auto part = partition::contiguous_partition(p.a.num_rows(), 8);
+  const DistResult r = solve_distributed(p.a, p.b, p.x0, part, o);
+  double total_wait = 0.0;
+  for (const RankStats& rs : r.rank_stats) total_wait += rs.wait_seconds;
+  EXPECT_GT(total_wait, 0.0);
+}
+
+TEST(RankStatsTest, InteriorRanksExchangeMoreThanEdgeRanks) {
+  // 1D-slab partition of a grid: middle slabs have two neighbors, end
+  // slabs one — message counts must reflect that.
+  const auto p = gen::make_problem("fd", gen::fd_laplacian_2d(4, 24), 9);
+  DistOptions o;
+  o.num_processes = 4;
+  o.max_iterations = 20;
+  const auto part = partition::contiguous_partition(p.a.num_rows(), 4);
+  const DistResult r = solve_distributed(p.a, p.b, p.x0, part, o);
+  EXPECT_GT(r.rank_stats[1].messages_sent, r.rank_stats[0].messages_sent);
+  EXPECT_GT(r.rank_stats[2].messages_sent, r.rank_stats[3].messages_sent);
+}
+
+TEST(RankStatsTest, SyncModeLeavesStatsEmpty) {
+  const auto p = gen::make_problem("fd", gen::fd_laplacian_2d(6, 6), 11);
+  DistOptions o;
+  o.num_processes = 3;
+  o.synchronous = true;
+  o.max_iterations = 10;
+  const auto part = partition::contiguous_partition(p.a.num_rows(), 3);
+  const DistResult r = solve_distributed(p.a, p.b, p.x0, part, o);
+  EXPECT_TRUE(r.rank_stats.empty());
+}
+
+}  // namespace
+}  // namespace ajac::distsim

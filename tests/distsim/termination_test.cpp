@@ -1,0 +1,155 @@
+// Tests for the distributed termination-detection protocol (the paper's
+// stated future work, Sec. VI) and the inner-sweep variants.
+
+#include <gtest/gtest.h>
+
+#include "ajac/distsim/dist_jacobi.hpp"
+#include "ajac/gen/fd.hpp"
+#include "ajac/gen/problem.hpp"
+#include "ajac/partition/partition.hpp"
+#include "ajac/solvers/stationary.hpp"
+#include "ajac/sparse/csr.hpp"
+#include "ajac/sparse/vector_ops.hpp"
+
+namespace ajac::distsim {
+namespace {
+
+gen::LinearProblem fd_problem(index_t nx, index_t ny, std::uint64_t seed) {
+  return gen::make_problem("fd", gen::fd_laplacian_2d(nx, ny), seed);
+}
+
+TEST(NormReduction, DetectsConvergenceNearTruth) {
+  const auto p = fd_problem(20, 20, 3);
+  DistOptions o;
+  o.num_processes = 16;
+  o.max_iterations = 100000;
+  o.tolerance = 1e-5;
+  o.termination = Termination::kNormReduction;
+  const auto part = partition::contiguous_partition(p.a.num_rows(), 16);
+  const DistResult r = solve_distributed(p.a, p.b, p.x0, part, o);
+  ASSERT_TRUE(r.termination_detected);
+  EXPECT_GT(r.detection_sim_seconds, 0.0);
+  EXPECT_LE(r.detection_claimed_residual, 1e-5);
+  // Staleness bounds: the true residual at detection is within a small
+  // factor of the claim (both sides — it keeps decreasing).
+  EXPECT_LE(r.detection_true_residual, 1e-5 * 5.0);
+  // All ranks actually stopped (well before the iteration cap).
+  for (index_t it : r.iterations_per_process) EXPECT_LT(it, 100000);
+}
+
+TEST(NormReduction, FinalResidualBeatsTolerance) {
+  const auto p = fd_problem(16, 16, 5);
+  DistOptions o;
+  o.num_processes = 8;
+  o.max_iterations = 100000;
+  o.tolerance = 1e-6;
+  o.termination = Termination::kNormReduction;
+  const auto part = partition::contiguous_partition(p.a.num_rows(), 8);
+  const DistResult r = solve_distributed(p.a, p.b, p.x0, part, o);
+  ASSERT_TRUE(r.termination_detected);
+  // Ranks keep relaxing between detection and stop arrival, so the final
+  // state is at least as good as the detected one (W.D.D. monotonicity).
+  EXPECT_LE(r.final_rel_residual_1, r.detection_true_residual * 1.01);
+}
+
+TEST(NormReduction, OverheadVersusOracleIsSmall) {
+  const auto p = fd_problem(20, 20, 7);
+  const auto part = partition::contiguous_partition(p.a.num_rows(), 16);
+  DistOptions o;
+  o.num_processes = 16;
+  o.max_iterations = 100000;
+  o.tolerance = 1e-5;
+
+  o.termination = Termination::kNormReduction;
+  const DistResult detected = solve_distributed(p.a, p.b, p.x0, part, o);
+  o.termination = Termination::kIterationCountOrOracle;
+  const DistResult oracle = solve_distributed(p.a, p.b, p.x0, part, o);
+  ASSERT_TRUE(detected.termination_detected);
+  ASSERT_TRUE(oracle.reached_tolerance);
+  // Detection should cost at most ~50% extra simulated time over the
+  // omniscient stop (reports every few iterations + broadcast latency).
+  EXPECT_LE(detected.detection_sim_seconds, oracle.sim_seconds * 1.5);
+}
+
+TEST(NormReduction, WithoutToleranceFallsBackToIterationCount) {
+  const auto p = fd_problem(8, 8, 9);
+  DistOptions o;
+  o.num_processes = 4;
+  o.max_iterations = 30;
+  o.tolerance = 0.0;
+  o.termination = Termination::kNormReduction;
+  const auto part = partition::contiguous_partition(p.a.num_rows(), 4);
+  const DistResult r = solve_distributed(p.a, p.b, p.x0, part, o);
+  EXPECT_FALSE(r.termination_detected);
+  for (index_t it : r.iterations_per_process) EXPECT_EQ(it, 30);
+}
+
+TEST(NormReduction, DetectionIntervalTradesTraffic) {
+  const auto p = fd_problem(16, 16, 11);
+  const auto part = partition::contiguous_partition(p.a.num_rows(), 8);
+  DistOptions o;
+  o.num_processes = 8;
+  o.max_iterations = 100000;
+  o.tolerance = 1e-4;
+  o.termination = Termination::kNormReduction;
+  o.detection_interval = 1;
+  const DistResult fine = solve_distributed(p.a, p.b, p.x0, part, o);
+  o.detection_interval = 32;
+  const DistResult coarse = solve_distributed(p.a, p.b, p.x0, part, o);
+  ASSERT_TRUE(fine.termination_detected);
+  ASSERT_TRUE(coarse.termination_detected);
+  // Coarser reporting detects later (or equal).
+  EXPECT_GE(coarse.detection_sim_seconds,
+            fine.detection_sim_seconds * 0.99);
+}
+
+TEST(InnerSweep, SyncGsInnerEqualsInexactBlockJacobi) {
+  // Distributed sync with a GS inner sweep must match the sequential
+  // inexact-block-Jacobi reference bitwise (same partition).
+  const auto p = fd_problem(9, 8, 13);
+  const index_t procs = 4;
+  const auto part = partition::contiguous_partition(p.a.num_rows(), procs);
+  DistOptions o;
+  o.num_processes = procs;
+  o.synchronous = true;
+  o.inner_sweep = InnerSweep::kGaussSeidel;
+  o.max_iterations = 20;
+  const DistResult r = solve_distributed(p.a, p.b, p.x0, part, o);
+
+  solvers::SolveOptions so;
+  so.tolerance = 0.0;
+  so.max_iterations = 20;
+  std::vector<index_t> starts(part.block_starts.begin(),
+                              part.block_starts.end());
+  const auto ref =
+      solvers::inexact_block_jacobi(p.a, p.b, p.x0, starts, 1, so);
+  EXPECT_DOUBLE_EQ(vec::max_abs_diff(r.x, ref.x), 0.0);
+}
+
+TEST(InnerSweep, GsInnerConvergesFasterOnWdd) {
+  const auto p = fd_problem(24, 24, 15);
+  const auto part = partition::contiguous_partition(p.a.num_rows(), 8);
+  DistOptions o;
+  o.num_processes = 8;
+  o.max_iterations = 100000;
+  o.tolerance = 1e-5;
+  const DistResult jac = solve_distributed(p.a, p.b, p.x0, part, o);
+  o.inner_sweep = InnerSweep::kGaussSeidel;
+  const DistResult gs = solve_distributed(p.a, p.b, p.x0, part, o);
+  ASSERT_TRUE(jac.reached_tolerance);
+  ASSERT_TRUE(gs.reached_tolerance);
+  EXPECT_LT(gs.total_relaxations, jac.total_relaxations);
+}
+
+TEST(InnerSweep, TraceWithGsInnerIsRejected) {
+  const auto p = fd_problem(6, 6, 17);
+  DistOptions o;
+  o.num_processes = 4;
+  o.inner_sweep = InnerSweep::kGaussSeidel;
+  o.record_trace = true;
+  const auto part = partition::contiguous_partition(p.a.num_rows(), 4);
+  EXPECT_THROW(solve_distributed(p.a, p.b, p.x0, part, o), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ajac::distsim

@@ -1,0 +1,113 @@
+#include "ajac/eig/dense_eig.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ajac/gen/fd.hpp"
+#include "ajac/sparse/csr.hpp"
+
+namespace ajac {
+namespace {
+
+TEST(DenseEig, DiagonalMatrix) {
+  DenseMatrix a(3, 3);
+  a(0, 0) = 3;
+  a(1, 1) = -1;
+  a(2, 2) = 2;
+  const auto r = eig::dense_symmetric_eig(a);
+  EXPECT_TRUE(r.converged);
+  ASSERT_EQ(r.eigenvalues.size(), 3u);
+  EXPECT_NEAR(r.eigenvalues[0], -1, 1e-12);
+  EXPECT_NEAR(r.eigenvalues[1], 2, 1e-12);
+  EXPECT_NEAR(r.eigenvalues[2], 3, 1e-12);
+}
+
+TEST(DenseEig, TwoByTwoClosedForm) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = a(1, 0) = 2.0;
+  a(1, 1) = -1.0;
+  const auto r = eig::dense_symmetric_eig(a);
+  const double rad = std::sqrt(1.0 + 4.0);
+  EXPECT_NEAR(r.eigenvalues[0], -rad, 1e-12);
+  EXPECT_NEAR(r.eigenvalues[1], rad, 1e-12);
+}
+
+TEST(DenseEig, EigenpairsSatisfyDefinition) {
+  const CsrMatrix grid = gen::fd_laplacian_2d(4, 4);
+  const DenseMatrix a = DenseMatrix::from_csr(grid);
+  const auto r = eig::dense_symmetric_eig(a);
+  ASSERT_TRUE(r.converged);
+  const index_t n = a.num_rows();
+  for (index_t k = 0; k < n; ++k) {
+    Vector v(static_cast<std::size_t>(n));
+    for (index_t i = 0; i < n; ++i) v[i] = r.eigenvectors(i, k);
+    Vector av(v.size());
+    a.gemv(v, av);
+    for (index_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(av[i], r.eigenvalues[k] * v[i], 1e-9);
+    }
+  }
+}
+
+TEST(DenseEig, EigenvectorsAreOrthonormal) {
+  const DenseMatrix a = DenseMatrix::from_csr(gen::fd_laplacian_2d(3, 4));
+  const auto r = eig::dense_symmetric_eig(a);
+  const index_t n = a.num_rows();
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t k = j; k < n; ++k) {
+      double dot = 0.0;
+      for (index_t i = 0; i < n; ++i) {
+        dot += r.eigenvectors(i, j) * r.eigenvectors(i, k);
+      }
+      EXPECT_NEAR(dot, j == k ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(DenseEig, TraceAndDeterminantInvariants) {
+  const DenseMatrix a = DenseMatrix::from_csr(gen::fd_laplacian_1d(7));
+  const auto r = eig::dense_symmetric_eig(a);
+  double trace = 0.0;
+  for (index_t i = 0; i < 7; ++i) trace += a(i, i);
+  double sum = 0.0;
+  for (double ev : r.eigenvalues) sum += ev;
+  EXPECT_NEAR(sum, trace, 1e-10);
+}
+
+TEST(DenseEig, Laplacian1dClosedForm) {
+  const index_t n = 9;
+  const DenseMatrix a = DenseMatrix::from_csr(gen::fd_laplacian_1d(n));
+  const auto r = eig::dense_symmetric_eig(a);
+  for (index_t k = 1; k <= n; ++k) {
+    EXPECT_NEAR(r.eigenvalues[k - 1],
+                2.0 - 2.0 * std::cos(M_PI * k / static_cast<double>(n + 1)),
+                1e-10);
+  }
+}
+
+TEST(DenseEig, RejectsNonSymmetric) {
+  DenseMatrix a(2, 2);
+  a(0, 1) = 1.0;
+  EXPECT_THROW(eig::dense_symmetric_eig(a), std::logic_error);
+}
+
+TEST(DenseSpectralRadiusPower, MatchesSymmetricSolver) {
+  const DenseMatrix a = DenseMatrix::from_csr(gen::fd_laplacian_1d(8));
+  const auto sym = eig::dense_symmetric_eig(a);
+  const double rho = eig::dense_spectral_radius_power(a);
+  EXPECT_NEAR(rho, std::abs(sym.eigenvalues.back()), 1e-6);
+}
+
+TEST(DenseSpectralRadiusPower, NonsymmetricBlockTriangular) {
+  // [[1, 0], [g, 0.5]]: spectrum {1, 0.5}, dominant 1.
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(1, 0) = 0.3;
+  a(1, 1) = 0.5;
+  EXPECT_NEAR(eig::dense_spectral_radius_power(a), 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace ajac

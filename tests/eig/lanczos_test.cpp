@@ -1,0 +1,107 @@
+#include "ajac/eig/lanczos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ajac/eig/power.hpp"
+#include "ajac/gen/fd.hpp"
+#include "ajac/sparse/csr.hpp"
+#include "ajac/sparse/scaling.hpp"
+#include "test_helpers.hpp"
+
+namespace ajac {
+namespace {
+
+TEST(TridiagEigenvalues, DiagonalCase) {
+  const auto ev = eig::tridiag_eigenvalues({3.0, -1.0, 2.0}, {0.0, 0.0});
+  ASSERT_EQ(ev.size(), 3u);
+  EXPECT_NEAR(ev[0], -1.0, 1e-12);
+  EXPECT_NEAR(ev[1], 2.0, 1e-12);
+  EXPECT_NEAR(ev[2], 3.0, 1e-12);
+}
+
+TEST(TridiagEigenvalues, TwoByTwoClosedForm) {
+  // [[a, b], [b, c]] eigenvalues: (a+c)/2 +- sqrt(((a-c)/2)^2 + b^2).
+  const double a = 2.0, b = -0.7, c = -1.0;
+  const auto ev = eig::tridiag_eigenvalues({a, c}, {b});
+  const double mid = (a + c) / 2.0;
+  const double rad = std::sqrt((a - c) * (a - c) / 4.0 + b * b);
+  ASSERT_EQ(ev.size(), 2u);
+  EXPECT_NEAR(ev[0], mid - rad, 1e-12);
+  EXPECT_NEAR(ev[1], mid + rad, 1e-12);
+}
+
+TEST(TridiagEigenvalues, Laplacian1dClosedForm) {
+  // tridiag(-1,2,-1) of size m: lambda_k = 2 - 2 cos(k pi/(m+1)).
+  const index_t m = 12;
+  std::vector<double> alpha(m, 2.0);
+  std::vector<double> beta(m - 1, -1.0);
+  const auto ev = eig::tridiag_eigenvalues(alpha, beta);
+  for (index_t k = 1; k <= m; ++k) {
+    const double expect =
+        2.0 - 2.0 * std::cos(M_PI * static_cast<double>(k) /
+                             static_cast<double>(m + 1));
+    EXPECT_NEAR(ev[k - 1], expect, 1e-10);
+  }
+}
+
+TEST(TridiagEigenvalues, EmptyAndSingle) {
+  EXPECT_TRUE(eig::tridiag_eigenvalues({}, {}).empty());
+  const auto ev = eig::tridiag_eigenvalues({4.2}, {});
+  ASSERT_EQ(ev.size(), 1u);
+  EXPECT_DOUBLE_EQ(ev[0], 4.2);
+}
+
+TEST(Lanczos, ExtremeEigenvaluesOf1dLaplacian) {
+  const index_t n = 40;
+  const CsrMatrix a = gen::fd_laplacian_1d(n);
+  const auto r = eig::lanczos_extreme(eig::make_operator(a));
+  EXPECT_TRUE(r.converged);
+  const double lmin =
+      2.0 - 2.0 * std::cos(M_PI / static_cast<double>(n + 1));
+  const double lmax =
+      2.0 - 2.0 * std::cos(M_PI * static_cast<double>(n) /
+                           static_cast<double>(n + 1));
+  EXPECT_NEAR(r.lambda_min, lmin, 1e-8);
+  EXPECT_NEAR(r.lambda_max, lmax, 1e-8);
+}
+
+TEST(Lanczos, ExactAfterNStepsOnSmallMatrix) {
+  // Krylov space of dimension n is invariant: Ritz values are exact.
+  const CsrMatrix a = gen::fd_laplacian_1d(6);
+  eig::LanczosOptions opts;
+  opts.max_steps = 6;
+  opts.tolerance = 0.0;
+  const auto r = eig::lanczos_extreme(eig::make_operator(a), opts);
+  ASSERT_EQ(r.ritz_values.size(), 6u);
+  for (index_t k = 1; k <= 6; ++k) {
+    const double expect = 2.0 - 2.0 * std::cos(M_PI * k / 7.0);
+    EXPECT_NEAR(r.ritz_values[k - 1], expect, 1e-9);
+  }
+}
+
+TEST(Lanczos, JacobiRhoMatchesClosedForm) {
+  const index_t nx = 16, ny = 17;
+  const double rho =
+      eig::jacobi_spectral_radius_spd(gen::fd_laplacian_2d(nx, ny));
+  EXPECT_NEAR(rho, testing::fd2d_jacobi_rho(nx, ny), 1e-8);
+}
+
+TEST(Lanczos, AgreesWithPowerMethod) {
+  const CsrMatrix a = gen::fd_laplacian_2d(9, 11);
+  const double via_lanczos = eig::jacobi_spectral_radius_spd(a);
+  const double via_power = eig::spectral_radius_jacobi(a);
+  EXPECT_NEAR(via_lanczos, via_power, 1e-5);
+}
+
+TEST(Lanczos, PositiveDefinitenessWitness) {
+  // lambda_min > 0 certifies SPD for the scaled FD matrix.
+  const CsrMatrix s = scale_to_unit_diagonal(gen::fd_laplacian_2d(8, 8));
+  const auto r = eig::lanczos_extreme(eig::make_operator(s));
+  EXPECT_GT(r.lambda_min, 0.0);
+  EXPECT_LT(r.lambda_max, 2.0);  // W.D.D. with unit diagonal
+}
+
+}  // namespace
+}  // namespace ajac

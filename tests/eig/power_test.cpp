@@ -1,0 +1,88 @@
+#include "ajac/eig/power.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ajac/gen/fd.hpp"
+#include "ajac/sparse/csr.hpp"
+#include "ajac/sparse/scaling.hpp"
+#include "test_helpers.hpp"
+
+namespace ajac {
+namespace {
+
+TEST(PowerMethod, DiagonalMatrixDominantEigenvalue) {
+  const CsrMatrix d(3, 3, {0, 1, 2, 3}, {0, 1, 2}, {1.0, -5.0, 2.0});
+  const auto r = eig::power_method(eig::make_operator(d));
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.magnitude, 5.0, 1e-8);
+  EXPECT_NEAR(r.eigenvalue, -5.0, 1e-8);
+}
+
+TEST(PowerMethod, EigenvectorIsReturned) {
+  const CsrMatrix d(2, 2, {0, 1, 2}, {0, 1}, {3.0, 1.0});
+  const auto r = eig::power_method(eig::make_operator(d));
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(std::abs(r.eigenvector[0]), 1.0, 1e-6);
+  EXPECT_NEAR(r.eigenvector[1], 0.0, 1e-6);
+}
+
+TEST(PowerMethod, JacobiRhoMatchesClosedFormOn2dGrid) {
+  const index_t nx = 5, ny = 8;
+  const double rho = eig::spectral_radius_jacobi(gen::fd_laplacian_2d(nx, ny));
+  EXPECT_NEAR(rho, testing::fd2d_jacobi_rho(nx, ny), 1e-6);
+}
+
+TEST(PowerMethod, HandlesPlusMinusDominantPair) {
+  // The FD Jacobi matrix has a symmetric spectrum (+rho and -rho are both
+  // dominant); the magnitude-stabilization path must still converge.
+  const auto op = eig::make_jacobi_operator(gen::fd_laplacian_2d(6, 6));
+  const auto r = eig::power_method(op);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.magnitude, testing::fd2d_jacobi_rho(6, 6), 1e-6);
+}
+
+TEST(PowerMethod, AbsJacobiBoundsJacobi) {
+  // rho(G) <= rho(|G|) always.
+  const CsrMatrix a = gen::fd_laplacian_2d(4, 6);
+  const double rho = eig::spectral_radius_jacobi(a);
+  const double rho_abs = eig::spectral_radius_abs_jacobi(a);
+  EXPECT_LE(rho, rho_abs + 1e-9);
+}
+
+TEST(PowerMethod, AbsJacobiEqualsJacobiForNonnegativeG) {
+  // For the FD Laplacian G = I - A/4 has nonnegative entries, so |G| = G.
+  const CsrMatrix a = gen::fd_laplacian_2d(5, 5);
+  EXPECT_NEAR(eig::spectral_radius_jacobi(a),
+              eig::spectral_radius_abs_jacobi(a), 1e-6);
+}
+
+TEST(PowerMethod, ChazanMirankerConditionOnWddMatrix) {
+  // W.D.D. with unit diagonal => rho(|G|) <= 1; for irreducibly dominant
+  // FD matrices it is strictly below 1 (asynchronous Jacobi converges).
+  const double rho_abs =
+      eig::spectral_radius_abs_jacobi(gen::fd_laplacian_2d(7, 7));
+  EXPECT_LT(rho_abs, 1.0);
+}
+
+TEST(PowerMethod, RespectsIterationCap) {
+  eig::PowerOptions opts;
+  opts.max_iterations = 3;
+  opts.tolerance = 0.0;  // unsatisfiable
+  const auto r =
+      eig::power_method(eig::make_operator(gen::fd_laplacian_2d(4, 4)), opts);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.iterations, 3);
+}
+
+TEST(PowerMethod, NilpotentOperatorGivesZero) {
+  // Strictly upper triangular: power iteration lands in the null space.
+  const CsrMatrix n(2, 2, {0, 1, 1}, {1}, {1.0});
+  const auto r = eig::power_method(eig::make_operator(n));
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.magnitude, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ajac

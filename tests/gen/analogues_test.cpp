@@ -1,0 +1,100 @@
+#include "ajac/gen/analogues.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ajac/eig/lanczos.hpp"
+#include "ajac/eig/operators.hpp"
+#include "ajac/sparse/csr.hpp"
+#include "ajac/sparse/properties.hpp"
+#include "ajac/sparse/scaling.hpp"
+
+namespace ajac {
+namespace {
+
+TEST(Analogues, CatalogueMatchesTable1) {
+  const auto& cat = gen::table1_catalogue();
+  ASSERT_EQ(cat.size(), 7u);
+  EXPECT_EQ(cat[0].name, "thermal2");
+  EXPECT_EQ(cat[0].paper_equations, 1227087);
+  EXPECT_EQ(cat[0].paper_nonzeros, 8579355);
+  EXPECT_EQ(cat[6].name, "Dubcova2");
+  EXPECT_FALSE(cat[6].jacobi_converges);
+  for (std::size_t i = 0; i + 1 < cat.size(); ++i) {
+    // Table I is ordered by decreasing nonzero count.
+    EXPECT_GT(cat[i].paper_nonzeros, cat[i + 1].paper_nonzeros);
+  }
+}
+
+TEST(Analogues, UnknownNameThrows) {
+  EXPECT_THROW(gen::make_analogue("not_a_matrix"), std::invalid_argument);
+}
+
+TEST(Analogues, AllGenerateSymmetricWithPositiveDiagonal) {
+  for (const auto& info : gen::table1_catalogue()) {
+    // Reduced scale keeps this test fast while exercising every code path.
+    const CsrMatrix a = gen::make_analogue(info.name, 0.02);
+    EXPECT_GT(a.num_rows(), 0) << info.name;
+    EXPECT_TRUE(a.is_symmetric(1e-9)) << info.name;
+    EXPECT_TRUE(a.has_full_diagonal()) << info.name;
+    for (double d : a.diagonal()) ASSERT_GT(d, 0.0) << info.name;
+  }
+}
+
+TEST(Analogues, JacobiConvergenceClassificationHolds) {
+  // rho(G) < 1 exactly for the matrices Table I marks Jacobi-convergent.
+  for (const auto& info : gen::table1_catalogue()) {
+    const CsrMatrix a = gen::make_analogue(info.name, 0.05);
+    const double rho = eig::jacobi_spectral_radius_spd(a);
+    if (info.jacobi_converges) {
+      EXPECT_LT(rho, 1.0) << info.name << " rho=" << rho;
+    } else {
+      EXPECT_GT(rho, 1.0) << info.name << " rho=" << rho;
+    }
+  }
+}
+
+TEST(Analogues, ScaleGrowsProblemSize) {
+  const CsrMatrix small = gen::make_analogue("ecology2", 0.01);
+  const CsrMatrix larger = gen::make_analogue("ecology2", 0.04);
+  EXPECT_GT(larger.num_rows(), small.num_rows());
+}
+
+TEST(Analogues, DeterministicForFixedSeed) {
+  const CsrMatrix a = gen::make_analogue("G3_circuit", 0.02, 9);
+  const CsrMatrix b = gen::make_analogue("G3_circuit", 0.02, 9);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(Analogues, MakeTable1ProblemsRespectsSkipDivergent) {
+  const auto all = gen::make_table1_problems(0.01);
+  const auto conv = gen::make_table1_problems(0.01, 7, /*skip_divergent=*/true);
+  EXPECT_EQ(all.size(), 7u);
+  EXPECT_EQ(conv.size(), 6u);
+  for (const auto& p : conv) EXPECT_NE(p.name, "Dubcova2");
+}
+
+TEST(Analogues, ProblemsAreUnitDiagonalWithBoundedData) {
+  for (const auto& p : gen::make_table1_problems(0.01)) {
+    EXPECT_TRUE(has_unit_diagonal(p.a, 1e-12)) << p.name;
+    for (double v : p.b) {
+      ASSERT_GE(v, -1.0);
+      ASSERT_LT(v, 1.0);
+    }
+    for (double v : p.x0) {
+      ASSERT_GE(v, -1.0);
+      ASSERT_LT(v, 1.0);
+    }
+  }
+}
+
+TEST(Analogues, CirtcuitGraphIsConnectedAndNonsingularShifted) {
+  const CsrMatrix a = gen::make_analogue("G3_circuit", 0.03);
+  EXPECT_TRUE(is_irreducible(a));
+  // Grounding shifts make it SPD: lambda_min of scaled matrix > 0.
+  const CsrMatrix s = scale_to_unit_diagonal(a);
+  const auto lr = eig::lanczos_extreme(eig::make_operator(s));
+  EXPECT_GT(lr.lambda_min, 0.0);
+}
+
+}  // namespace
+}  // namespace ajac

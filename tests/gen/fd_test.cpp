@@ -1,0 +1,111 @@
+#include "ajac/gen/fd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ajac/eig/lanczos.hpp"
+#include "ajac/sparse/csr.hpp"
+#include "ajac/sparse/properties.hpp"
+#include "ajac/util/rng.hpp"
+#include "test_helpers.hpp"
+
+namespace ajac {
+namespace {
+
+TEST(FdLaplacian, OneDimensionalStencil) {
+  const CsrMatrix a = gen::fd_laplacian_1d(4);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 2), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 3), 0.0);
+}
+
+TEST(FdLaplacian, TwoDimensionalStencil) {
+  const CsrMatrix a = gen::fd_laplacian_2d(3, 3);
+  EXPECT_DOUBLE_EQ(a.at(4, 4), 4.0);  // center
+  EXPECT_DOUBLE_EQ(a.at(4, 1), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(4, 3), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(4, 5), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(4, 7), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 8), 0.0);  // no wraparound
+}
+
+TEST(FdLaplacian, ThreeDimensionalStencil) {
+  const CsrMatrix a = gen::fd_laplacian_3d(3, 3, 3);
+  const index_t center = 13;  // (1,1,1)
+  EXPECT_DOUBLE_EQ(a.at(center, center), 6.0);
+  EXPECT_EQ(a.row_nnz(center), 7);
+}
+
+TEST(FdLaplacian, StructuralInvariants) {
+  for (const CsrMatrix& a :
+       {gen::fd_laplacian_2d(5, 7), gen::fd_laplacian_3d(3, 4, 5)}) {
+    EXPECT_TRUE(a.is_symmetric());
+    EXPECT_TRUE(a.has_sorted_rows());
+    EXPECT_TRUE(a.has_full_diagonal());
+    EXPECT_TRUE(is_weakly_diag_dominant(a));
+    EXPECT_TRUE(is_irreducible(a));
+  }
+}
+
+TEST(FdLaplacian, JacobiSpectralRadiusMatchesClosedForm) {
+  const index_t nx = 4, ny = 17;
+  const double rho = eig::jacobi_spectral_radius_spd(gen::fd_laplacian_2d(nx, ny));
+  EXPECT_NEAR(rho, testing::fd2d_jacobi_rho(nx, ny), 1e-8);
+}
+
+TEST(FdLaplacian, NonzeroCountFormula) {
+  const index_t nx = 6, ny = 9;
+  const CsrMatrix a = gen::fd_laplacian_2d(nx, ny);
+  const index_t edges = (nx - 1) * ny + nx * (ny - 1);
+  EXPECT_EQ(a.num_nonzeros(), nx * ny + 2 * edges);
+}
+
+TEST(FdVarCoef, ConstantCoefficientReducesToLaplacian) {
+  // c == 1 reproduces the 5-point Laplacian exactly.
+  const CsrMatrix a = gen::fd_varcoef_2d(4, 5, [](double, double) { return 1.0; });
+  EXPECT_TRUE(a == gen::fd_laplacian_2d(4, 5));
+}
+
+TEST(FdVarCoef, StaysSpdLikeAndWdd) {
+  const CsrMatrix a = gen::fd_varcoef_2d(6, 6, [](double x, double y) {
+    return 1.0 + 10.0 * x + 5.0 * y;
+  });
+  EXPECT_TRUE(a.is_symmetric(1e-12));
+  EXPECT_TRUE(is_weakly_diag_dominant(a));
+  // Strict dominance on every row thanks to the boundary stubs.
+  EXPECT_TRUE(is_irreducible(a));
+}
+
+TEST(FdVarCoef, RejectsNonPositiveCoefficient) {
+  EXPECT_THROW(
+      gen::fd_varcoef_2d(3, 3, [](double, double) { return 0.0; }),
+      std::logic_error);
+}
+
+TEST(FdVarCoef, ThreeDConstantMatchesLaplacian) {
+  const CsrMatrix a =
+      gen::fd_varcoef_3d(3, 3, 3, [](double, double, double) { return 1.0; });
+  EXPECT_TRUE(a == gen::fd_laplacian_3d(3, 3, 3));
+}
+
+TEST(FdRandomBlocks, DeterministicForFixedSeed) {
+  Rng rng1(5);
+  Rng rng2(5);
+  const CsrMatrix a = gen::fd_random_blocks_2d(8, 8, 2, 2, 100.0, rng1);
+  const CsrMatrix b = gen::fd_random_blocks_2d(8, 8, 2, 2, 100.0, rng2);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(FdRandomBlocks, PropertiesSurviveContrast) {
+  Rng rng(5);
+  const CsrMatrix a = gen::fd_random_blocks_2d(10, 10, 4, 4, 1000.0, rng);
+  EXPECT_TRUE(a.is_symmetric(1e-10));
+  EXPECT_TRUE(is_weakly_diag_dominant(a));
+  Rng rng3(5);
+  const CsrMatrix c = gen::fd_random_blocks_3d(5, 5, 5, 2, 50.0, rng3);
+  EXPECT_TRUE(c.is_symmetric(1e-10));
+  EXPECT_TRUE(is_weakly_diag_dominant(c));
+}
+
+}  // namespace
+}  // namespace ajac

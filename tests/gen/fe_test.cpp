@@ -1,0 +1,142 @@
+#include "ajac/gen/fe.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ajac/eig/lanczos.hpp"
+#include "ajac/eig/operators.hpp"
+#include "ajac/sparse/csr.hpp"
+#include "ajac/sparse/properties.hpp"
+#include "ajac/sparse/scaling.hpp"
+
+namespace ajac {
+namespace {
+
+TEST(FeLaplacian, RegularMeshMatchesFivePointPattern) {
+  // Zero jitter, zero shear, alternating diagonals: the assembled matrix is
+  // the classic P1 criss-cross stiffness; on a uniform right-triangle mesh
+  // every interior entry matches the 5-point FD Laplacian.
+  gen::FeMeshOptions opts;
+  opts.nx = 4;
+  opts.ny = 4;
+  opts.jitter = 0.0;
+  opts.shear = 0.0;
+  opts.random_diagonals = false;
+  const CsrMatrix a = gen::fe_laplacian_2d(opts);
+  EXPECT_EQ(a.num_rows(), 16);
+  EXPECT_TRUE(a.is_symmetric(1e-12));
+  // Uniform unit-square mesh: stiffness diagonal is 4, cross neighbors -1.
+  EXPECT_NEAR(a.at(5, 5), 4.0, 1e-12);
+  EXPECT_NEAR(a.at(5, 6), -1.0, 1e-12);
+  EXPECT_NEAR(a.at(5, 9), -1.0, 1e-12);
+}
+
+TEST(FeLaplacian, SpdOnDistortedMesh) {
+  const CsrMatrix a = gen::paper_fe_3081();
+  EXPECT_TRUE(a.is_symmetric(1e-10));
+  EXPECT_TRUE(a.has_full_diagonal());
+  // SPD <=> all eigenvalues of the scaled matrix positive.
+  const CsrMatrix s = scale_to_unit_diagonal(a);
+  const auto lr = eig::lanczos_extreme(eig::make_operator(s));
+  EXPECT_GT(lr.lambda_min, 0.0);
+}
+
+TEST(FeLaplacian, PaperMatrixDimensions) {
+  const CsrMatrix a = gen::paper_fe_3081();
+  EXPECT_EQ(a.num_rows(), 3081);
+  // Paper: 20,971 nonzeros; the analogue is within ~1%.
+  EXPECT_NEAR(static_cast<double>(a.num_nonzeros()), 20971.0, 500.0);
+}
+
+TEST(FeLaplacian, PaperMatrixDivergesForJacobi) {
+  // Sec. VII-A: "The matrix is not W.D.D., ... and rho(G) > 1."
+  const CsrMatrix s = scale_to_unit_diagonal(gen::paper_fe_3081());
+  EXPECT_FALSE(is_weakly_diag_dominant(s));
+  const auto lr = eig::lanczos_extreme(eig::make_operator(s));
+  const double rho = std::max(std::abs(1.0 - lr.lambda_min),
+                              std::abs(1.0 - lr.lambda_max));
+  EXPECT_GT(rho, 1.0);
+  EXPECT_LT(rho, 1.6);
+}
+
+TEST(FeLaplacian, AboutHalfTheRowsAreWdd) {
+  const CsrMatrix s = scale_to_unit_diagonal(gen::paper_fe_3081());
+  const double f = wdd_fraction(s);
+  EXPECT_GT(f, 0.35);
+  EXPECT_LT(f, 0.6);
+}
+
+TEST(FeLaplacian, DeterministicForFixedSeed) {
+  gen::FeMeshOptions opts;
+  opts.nx = 10;
+  opts.ny = 10;
+  opts.seed = 77;
+  EXPECT_TRUE(gen::fe_laplacian_2d(opts) == gen::fe_laplacian_2d(opts));
+}
+
+TEST(FeLaplacian, JitterNeverInvertsTriangles) {
+  // Extreme jitter exercises the untangling pass; assembly throws on an
+  // inverted triangle, so constructing the matrix is itself the check.
+  gen::FeMeshOptions opts;
+  opts.nx = 30;
+  opts.ny = 30;
+  opts.jitter = 0.49;
+  opts.jitter_fraction = 1.0;
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    opts.seed = seed;
+    EXPECT_NO_THROW({
+      const CsrMatrix a = gen::fe_laplacian_2d(opts);
+      EXPECT_TRUE(a.is_symmetric(1e-10));
+    });
+  }
+}
+
+TEST(FeLaplacian, ShearProducesPositiveOffdiagonals) {
+  gen::FeMeshOptions opts;
+  opts.nx = 8;
+  opts.ny = 8;
+  opts.jitter = 0.0;
+  opts.shear = 1.0;
+  opts.random_diagonals = false;
+  const CsrMatrix a = gen::fe_laplacian_2d(opts);
+  index_t positive_offdiag = 0;
+  for (index_t i = 0; i < a.num_rows(); ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_values(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (cols[k] != i && vals[k] > 1e-12) ++positive_offdiag;
+    }
+  }
+  EXPECT_GT(positive_offdiag, 0);
+}
+
+TEST(FeLaplacian, Dubcova2AnalogueHasExactSize) {
+  // Full-size generation is exercised in the bench; here a reduced scale
+  // checks the sizing rule (scale^2 interior unknowns).
+  const CsrMatrix a = gen::dubcova2_analogue(31);
+  EXPECT_EQ(a.num_rows(), 31 * 31);
+}
+
+TEST(FeLaplacian, RowSumsNearZeroForInteriorRows) {
+  // Stiffness row sums vanish for rows with no boundary neighbor.
+  gen::FeMeshOptions opts;
+  opts.nx = 12;
+  opts.ny = 12;
+  opts.seed = 3;
+  const CsrMatrix a = gen::fe_laplacian_2d(opts);
+  index_t interior_checked = 0;
+  for (index_t j = 1; j + 1 < opts.ny - 0; ++j) {
+    for (index_t i = 1; i + 1 < opts.nx - 0; ++i) {
+      const index_t row = j * opts.nx + i;
+      // Rows adjacent to the Dirichlet boundary lose entries; skip them.
+      if (i <= 1 || j <= 1 || i + 2 >= opts.nx || j + 2 >= opts.ny) continue;
+      double sum = 0.0;
+      for (double v : a.row_values(row)) sum += v;
+      EXPECT_NEAR(sum, 0.0, 1e-10);
+      ++interior_checked;
+    }
+  }
+  EXPECT_GT(interior_checked, 0);
+}
+
+}  // namespace
+}  // namespace ajac

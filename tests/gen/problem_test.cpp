@@ -1,0 +1,42 @@
+#include "ajac/gen/problem.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ajac/gen/fd.hpp"
+#include "ajac/sparse/properties.hpp"
+
+namespace ajac {
+namespace {
+
+TEST(Problem, ScalesToUnitDiagonal) {
+  const auto p = gen::make_problem("fd", gen::fd_laplacian_2d(5, 5), 1);
+  EXPECT_TRUE(has_unit_diagonal(p.a, 1e-14));
+  EXPECT_EQ(p.name, "fd");
+}
+
+TEST(Problem, RandomDataInRange) {
+  const auto p = gen::make_problem("fd", gen::fd_laplacian_2d(8, 8), 2);
+  ASSERT_EQ(p.b.size(), 64u);
+  ASSERT_EQ(p.x0.size(), 64u);
+  for (double v : p.b) {
+    ASSERT_GE(v, -1.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(Problem, SeedControlsData) {
+  const auto p1 = gen::make_problem("fd", gen::fd_laplacian_2d(4, 4), 5);
+  const auto p2 = gen::make_problem("fd", gen::fd_laplacian_2d(4, 4), 5);
+  const auto p3 = gen::make_problem("fd", gen::fd_laplacian_2d(4, 4), 6);
+  EXPECT_EQ(p1.b, p2.b);
+  EXPECT_EQ(p1.x0, p2.x0);
+  EXPECT_NE(p1.b, p3.b);
+}
+
+TEST(Problem, RejectsNonSquare) {
+  const CsrMatrix rect(2, 3, {0, 1, 2}, {0, 1}, {1.0, 1.0});
+  EXPECT_THROW(gen::make_problem("bad", rect, 1), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ajac

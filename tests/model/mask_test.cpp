@@ -1,0 +1,66 @@
+#include "ajac/model/mask.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ajac::model {
+namespace {
+
+TEST(ActiveSet, EmptyByDefault) {
+  ActiveSet s(5);
+  EXPECT_EQ(s.size(), 5);
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_FALSE(s.contains(0));
+  EXPECT_EQ(s.complement().size(), 5u);
+}
+
+TEST(ActiveSet, AllContainsEverything) {
+  const ActiveSet s = ActiveSet::all(4);
+  EXPECT_EQ(s.count(), 4);
+  for (index_t i = 0; i < 4; ++i) EXPECT_TRUE(s.contains(i));
+  EXPECT_TRUE(s.complement().empty());
+}
+
+TEST(ActiveSet, InsertIsIdempotent) {
+  ActiveSet s(3);
+  s.insert(1);
+  s.insert(1);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_TRUE(s.contains(1));
+}
+
+TEST(ActiveSet, FromIndicesSortsAndDeduplicates) {
+  const ActiveSet s = ActiveSet::from_indices(6, {4, 1, 4, 2});
+  EXPECT_EQ(s.count(), 3);
+  EXPECT_TRUE(s.contains(1));
+  EXPECT_TRUE(s.contains(2));
+  EXPECT_TRUE(s.contains(4));
+  const auto& idx = s.indices();
+  EXPECT_TRUE(std::is_sorted(idx.begin(), idx.end()));
+}
+
+TEST(ActiveSet, ComplementIsDelayedRows) {
+  const ActiveSet s = ActiveSet::from_indices(5, {0, 2, 4});
+  const auto d = s.complement();
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d[0], 1);
+  EXPECT_EQ(d[1], 3);
+}
+
+TEST(ActiveSet, ClearResets) {
+  ActiveSet s(4);
+  s.insert(0);
+  s.insert(3);
+  s.clear();
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_FALSE(s.contains(0));
+  EXPECT_FALSE(s.contains(3));
+}
+
+TEST(ActiveSet, OutOfRangeInsertThrows) {
+  ActiveSet s(2);
+  EXPECT_THROW(s.insert(2), std::logic_error);
+  EXPECT_THROW(s.insert(-1), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ajac::model

@@ -1,0 +1,155 @@
+#include "ajac/model/propagation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ajac/gen/fd.hpp"
+#include "ajac/gen/problem.hpp"
+#include "ajac/sparse/csr.hpp"
+#include "ajac/sparse/scaling.hpp"
+#include "ajac/sparse/vector_ops.hpp"
+#include "ajac/util/rng.hpp"
+#include "test_helpers.hpp"
+
+namespace ajac::model {
+namespace {
+
+/// Matrix-free step must agree with x_out = Ghat x_in + Dhat b.
+TEST(Propagation, ApplyStepMatchesDenseFormula) {
+  const auto p = gen::make_problem("fd", gen::fd_laplacian_2d(4, 4), 3);
+  const index_t n = p.a.num_rows();
+  const ActiveSet active = ActiveSet::from_indices(n, {0, 3, 5, 6, 11, 15});
+  Vector inv_diag(static_cast<std::size_t>(n), 1.0);  // unit diagonal
+
+  Vector x_out(p.x0.size());
+  apply_step(p.a, inv_diag, p.b, active, p.x0, x_out);
+
+  const DenseMatrix g = error_propagation_dense(p.a, active);
+  Vector gx(p.x0.size());
+  g.gemv(p.x0, gx);
+  for (index_t i : active.indices()) gx[i] += p.b[i];
+  EXPECT_NEAR(vec::max_abs_diff(x_out, gx), 0.0, 1e-13);
+}
+
+TEST(Propagation, InactiveRowsPassThrough) {
+  const auto p = gen::make_problem("fd", gen::fd_laplacian_2d(3, 3), 5);
+  const index_t n = p.a.num_rows();
+  const ActiveSet active = ActiveSet::from_indices(n, {4});
+  Vector inv_diag(static_cast<std::size_t>(n), 1.0);
+  Vector x_out(p.x0.size());
+  apply_step(p.a, inv_diag, p.b, active, p.x0, x_out);
+  for (index_t i = 0; i < n; ++i) {
+    if (i != 4) EXPECT_DOUBLE_EQ(x_out[i], p.x0[i]);
+  }
+  EXPECT_NE(x_out[4], p.x0[4]);
+}
+
+TEST(Propagation, InplaceMatchesOutOfPlace) {
+  const auto p = gen::make_problem("fd", gen::fd_laplacian_2d(5, 4), 7);
+  const index_t n = p.a.num_rows();
+  const ActiveSet active = ActiveSet::from_indices(n, {1, 2, 3, 9, 17});
+  Vector inv_diag(static_cast<std::size_t>(n), 1.0);
+  Vector expected(p.x0.size());
+  apply_step(p.a, inv_diag, p.b, active, p.x0, expected);
+  Vector x = p.x0;
+  Vector scratch(static_cast<std::size_t>(n));
+  apply_step_inplace(p.a, inv_diag, p.b, active, x, scratch);
+  EXPECT_DOUBLE_EQ(vec::max_abs_diff(x, expected), 0.0);
+}
+
+TEST(Propagation, FullMaskIsJacobiIterationMatrix) {
+  const CsrMatrix a = scale_to_unit_diagonal(gen::fd_laplacian_2d(3, 3));
+  const DenseMatrix g = iteration_matrix_dense(a);
+  // G = I - A for unit-diagonal A.
+  const DenseMatrix dense_a = DenseMatrix::from_csr(a);
+  for (index_t i = 0; i < a.num_rows(); ++i) {
+    for (index_t j = 0; j < a.num_cols(); ++j) {
+      const double expect = (i == j ? 1.0 : 0.0) - dense_a(i, j);
+      EXPECT_NEAR(g(i, j), expect, 1e-14);
+    }
+  }
+}
+
+TEST(Propagation, DelayedRowsAreUnitBasisRows) {
+  // Sec. IV-A: "For a row i that is not relaxed at time k, row i of Ghat(k)
+  // is zero except for a 1 in the diagonal position."
+  const CsrMatrix a = scale_to_unit_diagonal(gen::fd_laplacian_2d(3, 3));
+  const index_t n = a.num_rows();
+  const ActiveSet active = ActiveSet::from_indices(n, {0, 1, 2, 3, 5, 6, 7, 8});
+  const DenseMatrix g = error_propagation_dense(a, active);
+  for (index_t j = 0; j < n; ++j) {
+    EXPECT_DOUBLE_EQ(g(4, j), j == 4 ? 1.0 : 0.0);
+  }
+}
+
+TEST(Propagation, DelayedColumnsAreUnitBasisColumns) {
+  // "Similarly, column i of Hhat(k) is zero except for a 1 in the diagonal
+  // position of that column."
+  const CsrMatrix a = scale_to_unit_diagonal(gen::fd_laplacian_2d(3, 3));
+  const index_t n = a.num_rows();
+  const ActiveSet active = ActiveSet::from_indices(n, {0, 1, 2, 3, 5, 6, 7, 8});
+  const DenseMatrix h = residual_propagation_dense(a, active);
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(h(i, 4), i == 4 ? 1.0 : 0.0);
+  }
+}
+
+TEST(Propagation, ResidualEvolvesByHhat) {
+  // r(k+1) = Hhat r(k) must hold exactly for the masked step.
+  const auto p = gen::make_problem("fd", gen::fd_laplacian_2d(4, 3), 9);
+  const index_t n = p.a.num_rows();
+  const ActiveSet active = ActiveSet::from_indices(n, {0, 2, 5, 7, 8});
+  Vector inv_diag(static_cast<std::size_t>(n), 1.0);
+
+  Vector r0(p.x0.size());
+  p.a.residual(p.x0, p.b, r0);
+  Vector x1(p.x0.size());
+  apply_step(p.a, inv_diag, p.b, active, p.x0, x1);
+  Vector r1(p.x0.size());
+  p.a.residual(x1, p.b, r1);
+
+  const DenseMatrix h = residual_propagation_dense(p.a, active);
+  Vector hr0(r0.size());
+  h.gemv(r0, hr0);
+  EXPECT_NEAR(vec::max_abs_diff(r1, hr0), 0.0, 1e-12);
+}
+
+TEST(Propagation, ErrorEvolvesByGhat) {
+  // e(k+1) = Ghat e(k) against a known exact solution.
+  const CsrMatrix a = scale_to_unit_diagonal(gen::fd_laplacian_2d(3, 4));
+  const index_t n = a.num_rows();
+  Rng rng(21);
+  Vector x_exact(static_cast<std::size_t>(n));
+  vec::fill_uniform(x_exact, rng);
+  Vector b(x_exact.size());
+  a.spmv(x_exact, b);
+  Vector x0(x_exact.size());
+  vec::fill_uniform(x0, rng);
+
+  const ActiveSet active = ActiveSet::from_indices(n, {1, 4, 6, 10});
+  Vector inv_diag(static_cast<std::size_t>(n), 1.0);
+  Vector x1(x0.size());
+  apply_step(a, inv_diag, b, active, x0, x1);
+
+  Vector e0(x0.size());
+  Vector e1(x0.size());
+  vec::sub(x_exact, x0, e0);
+  vec::sub(x_exact, x1, e1);
+  const DenseMatrix g = error_propagation_dense(a, active);
+  Vector ge0(e0.size());
+  g.gemv(e0, ge0);
+  EXPECT_NEAR(vec::max_abs_diff(e1, ge0), 0.0, 1e-12);
+}
+
+TEST(Propagation, NonUnitDiagonalUsesDInverse) {
+  const CsrMatrix a = gen::fd_laplacian_2d(3, 3);  // diagonal 4
+  const index_t n = a.num_rows();
+  Vector inv_diag(static_cast<std::size_t>(n), 0.25);
+  Vector b(static_cast<std::size_t>(n), 1.0);
+  Vector x0(static_cast<std::size_t>(n), 0.0);
+  Vector x1(x0.size());
+  apply_step(a, inv_diag, b, ActiveSet::all(n), x0, x1);
+  for (index_t i = 0; i < n; ++i) EXPECT_DOUBLE_EQ(x1[i], 0.25);
+}
+
+}  // namespace
+}  // namespace ajac::model

@@ -1,0 +1,103 @@
+// Tests of the Eq. 12-16 delayed-system reduction: with a set of rows
+// permanently frozen, iterating the reduced system y <- G~ y + f is
+// exactly the delayed model run restricted to the active rows.
+
+#include <gtest/gtest.h>
+
+#include "ajac/eig/dense_eig.hpp"
+#include "ajac/gen/fd.hpp"
+#include "ajac/gen/problem.hpp"
+#include "ajac/model/executor.hpp"
+#include "ajac/model/propagation.hpp"
+#include "ajac/model/theory.hpp"
+#include "ajac/sparse/csr.hpp"
+#include "ajac/sparse/scaling.hpp"
+#include "test_helpers.hpp"
+
+namespace ajac::model {
+namespace {
+
+class DelayedReductionTest
+    : public ::testing::TestWithParam<std::vector<index_t>> {};
+
+TEST_P(DelayedReductionTest, ReducedIterationMatchesDelayedModelRun) {
+  const auto p = gen::make_problem("fd", gen::fd_laplacian_2d(5, 5), 7);
+  const index_t n = p.a.num_rows();
+  const std::vector<index_t> delayed = GetParam();
+
+  // Run the delayed model for K steps.
+  const index_t steps = 20;
+  ExecutorOptions eo;
+  eo.tolerance = 0.0;
+  eo.max_steps = steps;
+  std::vector<std::pair<index_t, index_t>> delays;
+  for (index_t d : delayed) delays.emplace_back(d, 0);  // never relax
+  DelayedRowsSchedule sched(n, delays);
+  const ModelResult run = run_model(p.a, p.b, p.x0, sched, eo);
+
+  // Iterate the reduced system the same number of steps.
+  const DelayedReduction red =
+      reduce_delayed_system(p.a, p.b, p.x0, delayed);
+  const auto m = static_cast<index_t>(red.active.size());
+  Vector y(static_cast<std::size_t>(m));
+  for (index_t k = 0; k < m; ++k) y[k] = p.x0[red.active[k]];
+  Vector y_next(y.size());
+  for (index_t s = 0; s < steps; ++s) {
+    red.g_tilde.gemv(y, y_next);
+    for (index_t k = 0; k < m; ++k) y_next[k] += red.f[k];
+    y.swap(y_next);
+  }
+
+  for (index_t k = 0; k < m; ++k) {
+    EXPECT_NEAR(y[k], run.x[red.active[k]], 1e-12);
+  }
+  // Delayed components never moved.
+  for (index_t d : delayed) {
+    EXPECT_DOUBLE_EQ(run.x[d], p.x0[d]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DelaySets, DelayedReductionTest,
+    ::testing::Values(std::vector<index_t>{12}, std::vector<index_t>{0, 24},
+                      std::vector<index_t>{3, 7, 11, 19},
+                      std::vector<index_t>{0, 1, 2, 3, 4}));
+
+TEST(DelayedReductionTest2, GTildeIsActiveSubmatrixOfG) {
+  const CsrMatrix a = scale_to_unit_diagonal(gen::fd_laplacian_2d(4, 4));
+  Vector b(16, 0.5);
+  Vector x(16, -0.25);
+  const std::vector<index_t> delayed{2, 9};
+  const DelayedReduction red = reduce_delayed_system(a, b, x, delayed);
+  const DenseMatrix expect = active_submatrix_dense(
+      a, ActiveSet::from_indices(16, red.active));
+  EXPECT_NEAR(red.g_tilde.max_abs_diff(expect), 0.0, 1e-14);
+}
+
+TEST(DelayedReductionTest2, ReducedSpectrumInterlaces) {
+  // The reduced iteration's convergence is governed by eigenvalues that
+  // interlace the full spectrum (Sec. IV-C's conclusion: "convergence for
+  // the propagation matrix will be slow if synchronous Jacobi is slow").
+  const CsrMatrix a = scale_to_unit_diagonal(gen::fd_laplacian_2d(4, 4));
+  Vector b(16, 1.0);
+  Vector x(16, 0.0);
+  const DelayedReduction red = reduce_delayed_system(a, b, x, {5});
+  const auto g = iteration_matrix_dense(a);
+  const auto lam = eig::dense_symmetric_eig(g).eigenvalues;
+  const auto mu = eig::dense_symmetric_eig(red.g_tilde).eigenvalues;
+  EXPECT_LE(interlacing_violation(lam, mu, 1e-10), 0.0);
+}
+
+TEST(DelayedReductionTest2, NoDelaysReducesToFullJacobi) {
+  const auto p = gen::make_problem("fd", gen::fd_laplacian_2d(3, 3), 9);
+  const DelayedReduction red = reduce_delayed_system(p.a, p.b, p.x0, {});
+  EXPECT_EQ(red.active.size(), 9u);
+  const DenseMatrix g = iteration_matrix_dense(p.a);
+  EXPECT_NEAR(red.g_tilde.max_abs_diff(g), 0.0, 1e-14);
+  for (std::size_t i = 0; i < red.f.size(); ++i) {
+    EXPECT_NEAR(red.f[i], p.b[i], 1e-14);  // unit diagonal: f = b
+  }
+}
+
+}  // namespace
+}  // namespace ajac::model

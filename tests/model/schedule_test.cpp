@@ -1,0 +1,141 @@
+#include "ajac/model/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ajac/gen/fd.hpp"
+#include "ajac/sparse/csr.hpp"
+
+namespace ajac::model {
+namespace {
+
+TEST(SynchronousSchedule, AllRowsEveryStep) {
+  SynchronousSchedule s(4);
+  ActiveSet a(4);
+  for (index_t k = 0; k < 5; ++k) {
+    s.active_rows(k, a);
+    EXPECT_EQ(a.count(), 4);
+  }
+}
+
+TEST(SynchronousSchedule, PeriodModelsBarrierWait) {
+  SynchronousSchedule s(3, 10);
+  ActiveSet a(3);
+  s.active_rows(0, a);
+  EXPECT_EQ(a.count(), 3);
+  s.active_rows(1, a);
+  EXPECT_EQ(a.count(), 0);
+  s.active_rows(10, a);
+  EXPECT_EQ(a.count(), 3);
+}
+
+TEST(DelayedRowsSchedule, DelayedRowRelaxesAtMultiples) {
+  DelayedRowsSchedule s(4, {{2, 3}});
+  ActiveSet a(4);
+  s.active_rows(0, a);
+  EXPECT_EQ(a.count(), 4);  // step 0: everyone (0 % 3 == 0)
+  s.active_rows(1, a);
+  EXPECT_EQ(a.count(), 3);
+  EXPECT_FALSE(a.contains(2));
+  s.active_rows(3, a);
+  EXPECT_TRUE(a.contains(2));
+}
+
+TEST(DelayedRowsSchedule, ZeroDelayMeansNeverRelaxes) {
+  DelayedRowsSchedule s(3, {{1, 0}});
+  ActiveSet a(3);
+  for (index_t k = 0; k < 20; ++k) {
+    s.active_rows(k, a);
+    EXPECT_FALSE(a.contains(1));
+    EXPECT_EQ(a.count(), 2);
+  }
+}
+
+TEST(DelayedRowsSchedule, MultipleDelaysIndependent) {
+  DelayedRowsSchedule s(5, {{0, 2}, {4, 3}});
+  ActiveSet a(5);
+  s.active_rows(6, a);  // 6 % 2 == 0 and 6 % 3 == 0
+  EXPECT_EQ(a.count(), 5);
+  s.active_rows(2, a);  // 0 active, 4 not
+  EXPECT_TRUE(a.contains(0));
+  EXPECT_FALSE(a.contains(4));
+}
+
+TEST(RandomSubsetSchedule, ProbabilityExtremes) {
+  RandomSubsetSchedule all(6, 1.0, 1);
+  RandomSubsetSchedule none(6, 0.0, 1);
+  ActiveSet a(6);
+  all.active_rows(0, a);
+  EXPECT_EQ(a.count(), 6);
+  none.active_rows(0, a);
+  EXPECT_EQ(a.count(), 0);
+}
+
+TEST(RandomSubsetSchedule, FractionRoughlyMatches) {
+  RandomSubsetSchedule s(1000, 0.3, 7);
+  ActiveSet a(1000);
+  index_t total = 0;
+  for (index_t k = 0; k < 20; ++k) {
+    s.active_rows(k, a);
+    total += a.count();
+  }
+  EXPECT_NEAR(static_cast<double>(total) / 20000.0, 0.3, 0.03);
+}
+
+TEST(SequentialSchedule, CyclesRowsInOrder) {
+  SequentialSchedule s(3);
+  ActiveSet a(3);
+  for (index_t k = 0; k < 7; ++k) {
+    s.active_rows(k, a);
+    EXPECT_EQ(a.count(), 1);
+    EXPECT_TRUE(a.contains(k % 3));
+  }
+}
+
+TEST(MulticolorSchedule, PartitionsByColor) {
+  MulticolorSchedule s({0, 1, 0, 1, 2}, 3);
+  ActiveSet a(5);
+  s.active_rows(0, a);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_TRUE(a.contains(0));
+  EXPECT_TRUE(a.contains(2));
+  s.active_rows(2, a);
+  EXPECT_EQ(a.count(), 1);
+  EXPECT_TRUE(a.contains(4));
+  s.active_rows(3, a);  // wraps to color 0
+  EXPECT_TRUE(a.contains(0));
+}
+
+TEST(ReplaySchedule, ReplaysAndThenGoesQuiet) {
+  ReplaySchedule s(4, {{0, 1}, {2}, {}});
+  ActiveSet a(4);
+  s.active_rows(0, a);
+  EXPECT_EQ(a.count(), 2);
+  s.active_rows(1, a);
+  EXPECT_TRUE(a.contains(2));
+  s.active_rows(2, a);
+  EXPECT_EQ(a.count(), 0);
+  s.active_rows(99, a);  // past the end
+  EXPECT_EQ(a.count(), 0);
+}
+
+TEST(GreedyColoring, ValidColoringOfGrid) {
+  const CsrMatrix a = gen::fd_laplacian_2d(6, 5);
+  index_t num_colors = 0;
+  const auto colors = greedy_coloring(a, &num_colors);
+  // Bipartite grid: exactly two colors from the greedy sweep.
+  EXPECT_EQ(num_colors, 2);
+  for (index_t i = 0; i < a.num_rows(); ++i) {
+    for (index_t j : a.row_cols(i)) {
+      if (i != j) EXPECT_NE(colors[i], colors[j]);
+    }
+  }
+}
+
+TEST(GreedyColoring, PathNeedsTwoColors) {
+  index_t num_colors = 0;
+  greedy_coloring(gen::fd_laplacian_1d(10), &num_colors);
+  EXPECT_EQ(num_colors, 2);
+}
+
+}  // namespace
+}  // namespace ajac::model

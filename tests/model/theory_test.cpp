@@ -1,0 +1,162 @@
+#include "ajac/model/theory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ajac/eig/dense_eig.hpp"
+#include "ajac/gen/fd.hpp"
+#include "ajac/gen/problem.hpp"
+#include "ajac/model/propagation.hpp"
+#include "ajac/sparse/csr.hpp"
+#include "ajac/sparse/scaling.hpp"
+#include "ajac/sparse/submatrix.hpp"
+#include "test_helpers.hpp"
+
+namespace ajac::model {
+namespace {
+
+class Theorem1Fd : public ::testing::TestWithParam<std::vector<index_t>> {};
+
+TEST_P(Theorem1Fd, NormsAndSpectralRadiiAreOne) {
+  // Theorem 1: W.D.D. A with >= 1 delayed row =>
+  //   ||Ghat||_inf = rho(Ghat) = 1 and ||Hhat||_1 = rho(Hhat) = 1.
+  const CsrMatrix a = scale_to_unit_diagonal(gen::fd_laplacian_2d(4, 4));
+  const index_t n = a.num_rows();
+  const std::vector<index_t> delayed = GetParam();
+  const ActiveSet active =
+      ActiveSet::from_indices(n, complement_rows(n, delayed));
+  const Theorem1Check chk = check_theorem1(a, active);
+  ASSERT_TRUE(chk.has_delayed_row);
+  EXPECT_NEAR(chk.g_norm_inf, 1.0, 1e-12);
+  EXPECT_NEAR(chk.h_norm_1, 1.0, 1e-12);
+  // rho >= 1 witnessed by exact unit eigenpairs; rho <= norm gives equality.
+  EXPECT_NEAR(chk.h_unit_eigvec_residual, 0.0, 1e-12);
+  EXPECT_NEAR(chk.g_unit_eigvec_residual, 0.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DelayedSets, Theorem1Fd,
+    ::testing::Values(std::vector<index_t>{0}, std::vector<index_t>{7},
+                      std::vector<index_t>{15}, std::vector<index_t>{3, 9},
+                      std::vector<index_t>{0, 1, 2, 3},
+                      std::vector<index_t>{5, 6, 9, 10},
+                      std::vector<index_t>{0, 2, 4, 6, 8, 10, 12, 14}));
+
+TEST(Theorem1, NoDelayedRowGivesJacobiNorms) {
+  const CsrMatrix a = scale_to_unit_diagonal(gen::fd_laplacian_2d(3, 3));
+  const Theorem1Check chk = check_theorem1(a, ActiveSet::all(a.num_rows()));
+  EXPECT_FALSE(chk.has_delayed_row);
+  // For the fully active mask, ||G||_inf = max row sum of |G| < 1 only for
+  // strictly dominant rows; the corner rows give 0.5, the center 1.0.
+  EXPECT_LE(chk.g_norm_inf, 1.0 + 1e-12);
+}
+
+TEST(NullVector, FindsExactNullSpace) {
+  // Y = Ghat - I has a zero row for each delayed row.
+  const CsrMatrix a = scale_to_unit_diagonal(gen::fd_laplacian_2d(3, 3));
+  const ActiveSet active = ActiveSet::from_indices(
+      a.num_rows(), complement_rows(a.num_rows(), {4}));
+  DenseMatrix y = error_propagation_dense(a, active);
+  for (index_t i = 0; i < a.num_rows(); ++i) y(i, i) -= 1.0;
+  const Vector v = null_vector(y);
+  Vector yv(v.size());
+  y.gemv(v, yv);
+  for (double val : yv) EXPECT_NEAR(val, 0.0, 1e-10);
+  // Normalized to unit infinity norm.
+  double vmax = 0.0;
+  for (double val : v) vmax = std::max(vmax, std::abs(val));
+  EXPECT_NEAR(vmax, 1.0, 1e-12);
+}
+
+TEST(NullVector, ThrowsOnFullRank) {
+  DenseMatrix eye = DenseMatrix::identity(3);
+  EXPECT_THROW(null_vector(eye), std::logic_error);
+}
+
+TEST(Interlacing, ActiveSubmatrixInterlacesJacobiSpectrum) {
+  // Sec. IV-C: eigenvalues of the active principal submatrix G~ satisfy
+  // lambda_i <= mu_i <= lambda_{i+n-m} (Cauchy interlacing).
+  const CsrMatrix a = scale_to_unit_diagonal(gen::fd_laplacian_2d(4, 4));
+  const index_t n = a.num_rows();
+  const DenseMatrix g = iteration_matrix_dense(a);
+  const auto lam = eig::dense_symmetric_eig(g).eigenvalues;
+
+  for (const std::vector<index_t>& delayed :
+       {std::vector<index_t>{0}, std::vector<index_t>{5, 10},
+        std::vector<index_t>{1, 2, 3, 4, 5}}) {
+    const ActiveSet active =
+        ActiveSet::from_indices(n, complement_rows(n, delayed));
+    const DenseMatrix sub = active_submatrix_dense(a, active);
+    const auto mu = eig::dense_symmetric_eig(sub).eigenvalues;
+    EXPECT_LE(interlacing_violation(lam, mu, 1e-10), 0.0);
+  }
+}
+
+TEST(Interlacing, ViolationDetectorFires) {
+  // mu outside the interlacing band must be flagged.
+  EXPECT_GT(interlacing_violation({0.0, 1.0, 2.0}, {5.0, 6.0}, 0.0), 0.0);
+  EXPECT_LE(interlacing_violation({0.0, 1.0, 2.0}, {0.5, 1.5}, 0.0), 0.0);
+}
+
+TEST(Interlacing, SubmatrixSpectralRadiusBounded) {
+  // rho(G~) <= rho(G) for symmetric G: delays can only shrink the radius.
+  const CsrMatrix a = scale_to_unit_diagonal(gen::fd_laplacian_2d(5, 5));
+  const DenseMatrix g = iteration_matrix_dense(a);
+  const auto lam = eig::dense_symmetric_eig(g).eigenvalues;
+  const double rho_g =
+      std::max(std::abs(lam.front()), std::abs(lam.back()));
+  const ActiveSet active = ActiveSet::from_indices(
+      a.num_rows(), complement_rows(a.num_rows(), {12}));
+  const auto mu =
+      eig::dense_symmetric_eig(active_submatrix_dense(a, active)).eigenvalues;
+  const double rho_sub = std::max(std::abs(mu.front()), std::abs(mu.back()));
+  EXPECT_LE(rho_sub, rho_g + 1e-12);
+}
+
+TEST(DecoupledBlocks, SeparatorSplitsActiveGraph) {
+  // Delaying a full grid column decouples the active submatrix into two
+  // blocks (Sec. IV-D).
+  const index_t nx = 5, ny = 4;
+  const CsrMatrix a = scale_to_unit_diagonal(gen::fd_laplacian_2d(nx, ny));
+  std::vector<index_t> separator;
+  for (index_t j = 0; j < ny; ++j) separator.push_back(j * nx + 2);
+  const ActiveSet active = ActiveSet::from_indices(
+      nx * ny, complement_rows(nx * ny, separator));
+  const auto sizes = decoupled_block_sizes(a, active);
+  ASSERT_EQ(sizes.size(), 2u);
+  EXPECT_EQ(sizes[0], 8);
+  EXPECT_EQ(sizes[1], 8);
+}
+
+TEST(DecoupledBlocks, FullyActiveIsOneBlock) {
+  const CsrMatrix a = scale_to_unit_diagonal(gen::fd_laplacian_2d(3, 3));
+  const auto sizes = decoupled_block_sizes(a, ActiveSet::all(a.num_rows()));
+  ASSERT_EQ(sizes.size(), 1u);
+  EXPECT_EQ(sizes[0], 9);
+}
+
+TEST(DecoupledBlocks, MoreDelaysShrinkLargestBlock) {
+  // Sec. IV-D's mechanism for "more concurrency helps": with more delayed
+  // rows the largest decoupled active block gets smaller, hence a smaller
+  // spectral radius by interlacing.
+  const CsrMatrix a = scale_to_unit_diagonal(gen::fd_laplacian_2d(6, 6));
+  const index_t n = a.num_rows();
+  // Delay two separating columns instead of one.
+  std::vector<index_t> sep1;
+  std::vector<index_t> sep2;
+  for (index_t j = 0; j < 6; ++j) {
+    sep1.push_back(j * 6 + 3);
+    sep2.push_back(j * 6 + 1);
+    sep2.push_back(j * 6 + 3);
+  }
+  const auto sizes1 = decoupled_block_sizes(
+      a, ActiveSet::from_indices(n, complement_rows(n, sep1)));
+  const auto sizes2 = decoupled_block_sizes(
+      a, ActiveSet::from_indices(n, complement_rows(n, sep2)));
+  EXPECT_GT(sizes1.front(), sizes2.front());
+  EXPECT_GT(sizes2.size(), sizes1.size());
+}
+
+}  // namespace
+}  // namespace ajac::model

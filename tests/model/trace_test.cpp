@@ -1,0 +1,146 @@
+#include "ajac/model/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ajac::model {
+namespace {
+
+TEST(Trace, Figure1aIsFullyPropagatable) {
+  // The paper's Fig. 1(a): all four relaxations can be expressed as a
+  // sequence of propagation matrices.
+  const auto analysis = analyze_trace(figure1a_trace());
+  EXPECT_EQ(analysis.total_relaxations, 4);
+  EXPECT_EQ(analysis.propagated_relaxations, 4);
+  EXPECT_DOUBLE_EQ(analysis.fraction, 1.0);
+  EXPECT_EQ(analysis.orphaned, 0);
+}
+
+TEST(Trace, Figure1aReconstructsPaperSteps) {
+  // The paper derives Phi(1)={p4}, Phi(2)={p1,p2}, Phi(3)={p3}.
+  const auto analysis = analyze_trace(figure1a_trace());
+  ASSERT_EQ(analysis.steps.size(), 3u);
+  EXPECT_EQ(analysis.steps[0].rows, (std::vector<index_t>{3}));
+  EXPECT_EQ(analysis.steps[1].rows, (std::vector<index_t>{0, 1}));
+  EXPECT_EQ(analysis.steps[2].rows, (std::vector<index_t>{2}));
+  for (const auto& s : analysis.steps) EXPECT_TRUE(s.propagated);
+}
+
+TEST(Trace, Figure1bLosesExactlyOneRelaxation) {
+  // Fig. 1(b): p3 cannot be expressed; 3 of 4 relaxations are propagated.
+  const auto analysis = analyze_trace(figure1b_trace());
+  EXPECT_EQ(analysis.total_relaxations, 4);
+  EXPECT_EQ(analysis.propagated_relaxations, 3);
+  EXPECT_DOUBLE_EQ(analysis.fraction, 0.75);
+}
+
+TEST(Trace, SynchronousHistoryIsFullyPropagated) {
+  // Lag-1 mutual reads are exactly synchronous Jacobi: 100% propagated,
+  // one parallel step per sweep.
+  const index_t n = 4;
+  RelaxationTrace trace(n);
+  for (index_t sweep = 0; sweep < 5; ++sweep) {
+    for (index_t i = 0; i < n; ++i) {
+      RelaxationEvent e;
+      e.row = i;
+      for (index_t j = 0; j < n; ++j) {
+        if (j != i) e.reads.push_back({j, sweep});
+      }
+      trace.add_event(e);
+    }
+  }
+  const auto analysis = analyze_trace(trace);
+  EXPECT_DOUBLE_EQ(analysis.fraction, 1.0);
+  EXPECT_EQ(analysis.parallel_steps, 5);
+  for (const auto& s : analysis.steps) EXPECT_EQ(s.rows.size(), 4u);
+}
+
+TEST(Trace, GaussSeidelHistoryIsFullyPropagated) {
+  // Each row reads the freshest values (previous rows at the current
+  // sweep, later rows at the previous sweep): sequential steps.
+  const index_t n = 3;
+  RelaxationTrace trace(n);
+  for (index_t sweep = 0; sweep < 3; ++sweep) {
+    for (index_t i = 0; i < n; ++i) {
+      RelaxationEvent e;
+      e.row = i;
+      for (index_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        e.reads.push_back({j, j < i ? sweep + 1 : sweep});
+      }
+      trace.add_event(e);
+    }
+  }
+  const auto analysis = analyze_trace(trace);
+  EXPECT_DOUBLE_EQ(analysis.fraction, 1.0);
+  EXPECT_EQ(analysis.parallel_steps, 9);  // one row per step
+}
+
+TEST(Trace, UniformLagTwoIsMostlyStale) {
+  // Every row reads every other row two versions behind: after a short
+  // prefix nothing can be scheduled exactly.
+  const index_t n = 3;
+  RelaxationTrace trace(n);
+  for (index_t k = 0; k < 6; ++k) {
+    for (index_t i = 0; i < n; ++i) {
+      RelaxationEvent e;
+      e.row = i;
+      for (index_t j = 0; j < n; ++j) {
+        if (j != i) e.reads.push_back({j, std::max<index_t>(0, k - 1)});
+      }
+      trace.add_event(e);
+    }
+  }
+  const auto analysis = analyze_trace(trace);
+  EXPECT_EQ(analysis.total_relaxations, 18);
+  EXPECT_LT(analysis.fraction, 0.5);
+  EXPECT_EQ(analysis.orphaned, 0);
+}
+
+TEST(Trace, IndependentRowsAlwaysPropagate) {
+  // No reads at all: every relaxation is trivially exact.
+  RelaxationTrace trace(2);
+  for (int k = 0; k < 4; ++k) {
+    trace.add_event({0, {}});
+    trace.add_event({1, {}});
+  }
+  const auto analysis = analyze_trace(trace);
+  EXPECT_DOUBLE_EQ(analysis.fraction, 1.0);
+}
+
+TEST(Trace, TruncatedDependencyIsOrphaned) {
+  // Row 0 waits for version 3 of row 1, which the trace never produces.
+  RelaxationTrace trace(2);
+  trace.add_event({1, {}});
+  trace.add_event({0, {{1, 3}}});
+  const auto analysis = analyze_trace(trace);
+  EXPECT_EQ(analysis.orphaned, 1);
+  EXPECT_EQ(analysis.propagated_relaxations, 1);
+}
+
+TEST(Trace, EmptyTraceIsVacuouslyComplete) {
+  RelaxationTrace trace(3);
+  const auto analysis = analyze_trace(trace);
+  EXPECT_EQ(analysis.total_relaxations, 0);
+  EXPECT_DOUBLE_EQ(analysis.fraction, 1.0);
+}
+
+TEST(Trace, RejectsOutOfRangeEvents) {
+  RelaxationTrace trace(2);
+  EXPECT_THROW(trace.add_event({5, {}}), std::logic_error);
+  EXPECT_THROW(trace.add_event({0, {{7, 0}}}), std::logic_error);
+}
+
+TEST(Trace, VersionSkipsAreSchedulable) {
+  // Row 1 reads version 2 of row 0, skipping version 1 entirely: the
+  // scheduler relaxes row 0 twice first. Fully propagated.
+  RelaxationTrace trace(2);
+  trace.add_event({0, {{1, 0}}});
+  trace.add_event({0, {{1, 0}}});
+  trace.add_event({1, {{0, 2}}});
+  const auto analysis = analyze_trace(trace);
+  EXPECT_DOUBLE_EQ(analysis.fraction, 1.0);
+  EXPECT_EQ(analysis.parallel_steps, 3);
+}
+
+}  // namespace
+}  // namespace ajac::model

@@ -1,0 +1,137 @@
+#include "ajac/partition/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "ajac/gen/fd.hpp"
+#include "ajac/sparse/csr.hpp"
+
+namespace ajac::partition {
+namespace {
+
+TEST(ContiguousPartition, BalancedSizes) {
+  const Partition p = contiguous_partition(10, 3);
+  EXPECT_EQ(p.num_parts(), 3);
+  EXPECT_EQ(p.num_rows(), 10);
+  EXPECT_EQ(p.part_size(0), 4);
+  EXPECT_EQ(p.part_size(1), 3);
+  EXPECT_EQ(p.part_size(2), 3);
+}
+
+TEST(ContiguousPartition, OwnerLookup) {
+  const Partition p = contiguous_partition(10, 3);
+  EXPECT_EQ(p.owner(0), 0);
+  EXPECT_EQ(p.owner(3), 0);
+  EXPECT_EQ(p.owner(4), 1);
+  EXPECT_EQ(p.owner(9), 2);
+}
+
+TEST(ContiguousPartition, MorePartsThanTenRows) {
+  const Partition p = contiguous_partition(4, 4);
+  for (index_t k = 0; k < 4; ++k) EXPECT_EQ(p.part_size(k), 1);
+}
+
+TEST(CuthillMckee, ProducesValidPermutation) {
+  const CsrMatrix a = gen::fd_laplacian_2d(7, 5);
+  const Permutation p = cuthill_mckee(a);
+  EXPECT_EQ(p.size(), 35);
+  // Bijection is enforced by the Permutation constructor; check bandwidth
+  // actually shrinks for the grid in its natural ordering permuted badly.
+  const CsrMatrix reordered = p.apply_symmetric(a);
+  index_t bw = 0;
+  for (index_t i = 0; i < reordered.num_rows(); ++i) {
+    for (index_t j : reordered.row_cols(i)) {
+      bw = std::max(bw, std::abs(i - j));
+    }
+  }
+  EXPECT_LE(bw, 7);  // RCM bandwidth of a 7x5 grid is about min(nx, ny)+1
+}
+
+TEST(CuthillMckee, HandlesDisconnectedGraphs) {
+  // Two decoupled diagonal blocks.
+  const CsrMatrix a(4, 4, {0, 1, 2, 3, 4}, {0, 1, 2, 3}, {1, 1, 1, 1});
+  const Permutation p = cuthill_mckee(a);
+  EXPECT_EQ(p.size(), 4);
+}
+
+class GraphGrowing : public ::testing::TestWithParam<index_t> {};
+
+TEST_P(GraphGrowing, PartitionIsBalancedAndCoversAllRows) {
+  const index_t parts = GetParam();
+  const CsrMatrix a = gen::fd_laplacian_2d(16, 16);
+  const auto sys = graph_growing_partition(a, parts, 1);
+  EXPECT_EQ(sys.partition.num_parts(), parts);
+  EXPECT_EQ(sys.partition.num_rows(), a.num_rows());
+  const PartitionStats stats = compute_stats(
+      sys.perm.apply_symmetric(a), sys.partition);
+  EXPECT_LE(stats.imbalance, 0.15);
+  EXPECT_GE(stats.min_part, 1);
+}
+
+TEST_P(GraphGrowing, BeatsNaiveContiguousCut) {
+  const index_t parts = GetParam();
+  const CsrMatrix a = gen::fd_laplacian_2d(16, 16);
+  const auto sys = graph_growing_partition(a, parts, 1);
+  const PartitionStats smart =
+      compute_stats(sys.perm.apply_symmetric(a), sys.partition);
+  const PartitionStats naive =
+      compute_stats(a, contiguous_partition(a.num_rows(), parts));
+  // Graph growing should never be much worse than slab partitioning on a
+  // grid, and usually better for larger part counts.
+  EXPECT_LE(smart.edge_cut, naive.edge_cut * 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(PartCounts, GraphGrowing,
+                         ::testing::Values(2, 4, 8, 16, 32));
+
+TEST(GraphGrowing, SinglePartIsWholeMatrix) {
+  const CsrMatrix a = gen::fd_laplacian_2d(4, 4);
+  const auto sys = graph_growing_partition(a, 1, 1);
+  EXPECT_EQ(sys.partition.num_parts(), 1);
+  EXPECT_EQ(sys.partition.part_size(0), 16);
+  const PartitionStats stats = compute_stats(
+      sys.perm.apply_symmetric(a), sys.partition);
+  EXPECT_EQ(stats.edge_cut, 0);
+}
+
+TEST(GraphGrowing, OnePartPerRow) {
+  const CsrMatrix a = gen::fd_laplacian_2d(4, 4);
+  const auto sys = graph_growing_partition(a, 16, 1);
+  for (index_t k = 0; k < 16; ++k) {
+    EXPECT_EQ(sys.partition.part_size(k), 1);
+  }
+}
+
+TEST(GraphGrowing, PermutedSystemIsEquivalent) {
+  // The permuted matrix is similar to the original: same row value
+  // multisets per corresponding row.
+  const CsrMatrix a = gen::fd_laplacian_2d(6, 6);
+  const auto sys = graph_growing_partition(a, 4, 2);
+  const CsrMatrix pa = sys.perm.apply_symmetric(a);
+  EXPECT_EQ(pa.num_nonzeros(), a.num_nonzeros());
+  EXPECT_TRUE(pa.is_symmetric(0.0));
+  for (index_t i = 0; i < a.num_rows(); ++i) {
+    EXPECT_EQ(pa.row_nnz(i), a.row_nnz(sys.perm.new_to_old(i)));
+  }
+}
+
+TEST(GraphGrowing, RejectsMorePartsThanRows) {
+  const CsrMatrix a = gen::fd_laplacian_2d(2, 2);
+  EXPECT_THROW(graph_growing_partition(a, 5, 1), std::logic_error);
+}
+
+TEST(ComputeStats, CountsCutEdgesOnKnownPartition) {
+  // 1D path of 4 nodes split in the middle: the single cut edge appears
+  // once per direction.
+  const CsrMatrix a = gen::fd_laplacian_1d(4);
+  const PartitionStats stats = compute_stats(a, contiguous_partition(4, 2));
+  EXPECT_EQ(stats.edge_cut, 2);
+  EXPECT_EQ(stats.boundary_rows, 2);
+  EXPECT_EQ(stats.max_part, 2);
+  EXPECT_EQ(stats.min_part, 2);
+  EXPECT_DOUBLE_EQ(stats.imbalance, 0.0);
+}
+
+}  // namespace
+}  // namespace ajac::partition

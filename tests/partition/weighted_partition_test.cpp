@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "ajac/gen/analogues.hpp"
+#include "ajac/gen/fd.hpp"
+#include "ajac/partition/partition.hpp"
+#include "ajac/sparse/coo.hpp"
+#include "ajac/sparse/csr.hpp"
+
+namespace ajac::partition {
+namespace {
+
+/// A matrix with deliberately skewed row densities: a 1D chain plus one
+/// "hub" row coupled to many others (arrow-like pattern).
+CsrMatrix skewed_matrix(index_t n) {
+  CooBuilder coo(n, n);
+  for (index_t i = 0; i < n; ++i) coo.add(i, i, 4.0);
+  for (index_t i = 0; i + 1 < n; ++i) coo.add_symmetric(i, i + 1, -1.0);
+  // Hub: row 0 couples to every 3rd row.
+  for (index_t j = 3; j < n; j += 3) coo.add_symmetric(0, j, -0.01);
+  return coo.to_csr();
+}
+
+index_t part_nnz(const CsrMatrix& a, const Partition& p, index_t k) {
+  index_t nnz = 0;
+  for (index_t i = p.part_begin(k); i < p.part_end(k); ++i) {
+    nnz += a.row_nnz(i);
+  }
+  return nnz;
+}
+
+TEST(WeightedPartition, BalancesNonzerosOnSkewedMatrix) {
+  const CsrMatrix a = skewed_matrix(300);
+  const index_t parts = 6;
+  const auto by_rows = graph_growing_partition(a, parts, 1, false);
+  const auto by_nnz = graph_growing_partition(a, parts, 1, true);
+
+  auto nnz_imbalance = [&](const PartitionedSystem& sys) {
+    const CsrMatrix pa = sys.perm.apply_symmetric(a);
+    index_t max_nnz = 0;
+    for (index_t k = 0; k < parts; ++k) {
+      max_nnz = std::max(max_nnz, part_nnz(pa, sys.partition, k));
+    }
+    const double ideal =
+        static_cast<double>(a.num_nonzeros()) / static_cast<double>(parts);
+    return static_cast<double>(max_nnz) / ideal;
+  };
+  // Weighted partitioning should balance work at least as well as (and on
+  // this skewed matrix, strictly better than) row balancing.
+  EXPECT_LE(nnz_imbalance(by_nnz), nnz_imbalance(by_rows) + 1e-12);
+  EXPECT_LE(nnz_imbalance(by_nnz), 1.35);
+}
+
+TEST(WeightedPartition, StillCoversAllRows) {
+  const CsrMatrix a = skewed_matrix(100);
+  const auto sys = graph_growing_partition(a, 7, 2, true);
+  EXPECT_EQ(sys.partition.num_rows(), 100);
+  EXPECT_EQ(sys.partition.num_parts(), 7);
+  for (index_t k = 0; k < 7; ++k) {
+    EXPECT_GE(sys.partition.part_size(k), 1);
+  }
+}
+
+TEST(WeightedPartition, EqualWeightsMatchRowBalancing) {
+  // On a constant-degree-ish grid both modes produce near-equal sizes.
+  const CsrMatrix a = gen::fd_laplacian_2d(12, 12);
+  const auto by_nnz = graph_growing_partition(a, 8, 1, true);
+  index_t max_size = 0;
+  index_t min_size = a.num_rows();
+  for (index_t k = 0; k < 8; ++k) {
+    max_size = std::max(max_size, by_nnz.partition.part_size(k));
+    min_size = std::min(min_size, by_nnz.partition.part_size(k));
+  }
+  EXPECT_LE(max_size - min_size, 8);
+}
+
+TEST(WeightedPartition, WorksOnTable1Analogue) {
+  const CsrMatrix a = gen::make_analogue("G3_circuit", 0.02);
+  const auto sys = graph_growing_partition(a, 16, 3, true);
+  const CsrMatrix pa = sys.perm.apply_symmetric(a);
+  index_t max_nnz = 0;
+  for (index_t k = 0; k < 16; ++k) {
+    max_nnz = std::max(max_nnz, part_nnz(pa, sys.partition, k));
+  }
+  const double ideal =
+      static_cast<double>(a.num_nonzeros()) / 16.0;
+  EXPECT_LE(static_cast<double>(max_nnz), 1.4 * ideal);
+}
+
+}  // namespace
+}  // namespace ajac::partition

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "ajac/gen/fd.hpp"
+#include "ajac/gen/problem.hpp"
+#include "ajac/runtime/shared_jacobi.hpp"
+#include "ajac/solvers/stationary.hpp"
+#include "ajac/sparse/csr.hpp"
+#include "ajac/sparse/vector_ops.hpp"
+
+namespace ajac::runtime {
+namespace {
+
+TEST(LocalGaussSeidel, SingleThreadIsNaturalGaussSeidel) {
+  // One thread owning everything + in-place sweep = sequential GS,
+  // deterministic and bitwise comparable.
+  const auto p = gen::make_problem("fd", gen::fd_laplacian_2d(7, 6), 3);
+  SharedOptions so;
+  so.num_threads = 1;
+  so.tolerance = 0.0;
+  so.max_iterations = 15;
+  so.record_history = false;
+  so.local_gauss_seidel = true;
+  const SharedResult r = solve_shared(p.a, p.b, p.x0, so);
+
+  solvers::SolveOptions ro;
+  ro.tolerance = 0.0;
+  ro.max_iterations = 15;
+  const auto ref = solvers::gauss_seidel(p.a, p.b, p.x0, ro);
+  EXPECT_DOUBLE_EQ(vec::max_abs_diff(r.x, ref.x), 0.0);
+}
+
+TEST(LocalGaussSeidel, ConvergesWithFewerRelaxationsThanJacobiSweep) {
+  // Single-threaded so the comparison is deterministic (multi-threaded
+  // relaxation counts vary with OS scheduling on oversubscribed cores;
+  // the distsim InnerSweep tests cover the concurrent case).
+  const auto p = gen::make_problem("fd", gen::fd_laplacian_2d(12, 12), 5);
+  SharedOptions base;
+  base.num_threads = 1;
+  base.tolerance = 1e-6;
+  base.max_iterations = 1000000;
+  base.record_history = false;
+
+  SharedOptions gs = base;
+  gs.local_gauss_seidel = true;
+  const SharedResult r_gs = solve_shared(p.a, p.b, p.x0, gs);
+  const SharedResult r_j = solve_shared(p.a, p.b, p.x0, base);
+  ASSERT_TRUE(r_gs.converged);
+  ASSERT_TRUE(r_j.converged);
+  EXPECT_LT(r_gs.total_relaxations, r_j.total_relaxations);
+}
+
+TEST(LocalGaussSeidel, RejectedInSynchronousMode) {
+  const auto p = gen::make_problem("fd", gen::fd_laplacian_2d(4, 4), 7);
+  SharedOptions so;
+  so.num_threads = 2;
+  so.synchronous = true;
+  so.local_gauss_seidel = true;
+  EXPECT_THROW(solve_shared(p.a, p.b, p.x0, so), std::logic_error);
+}
+
+TEST(LocalGaussSeidel, RejectedWithTraceRecording) {
+  const auto p = gen::make_problem("fd", gen::fd_laplacian_2d(4, 4), 9);
+  SharedOptions so;
+  so.num_threads = 2;
+  so.record_trace = true;
+  so.local_gauss_seidel = true;
+  EXPECT_THROW(solve_shared(p.a, p.b, p.x0, so), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ajac::runtime

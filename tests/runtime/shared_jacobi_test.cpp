@@ -1,0 +1,186 @@
+#include "ajac/runtime/shared_jacobi.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ajac/gen/fd.hpp"
+#include "ajac/gen/problem.hpp"
+#include "ajac/model/trace.hpp"
+#include "ajac/solvers/stationary.hpp"
+#include "ajac/sparse/csr.hpp"
+#include "ajac/sparse/vector_ops.hpp"
+
+namespace ajac::runtime {
+namespace {
+
+gen::LinearProblem fd_problem(index_t nx, index_t ny, std::uint64_t seed) {
+  return gen::make_problem("fd", gen::fd_laplacian_2d(nx, ny), seed);
+}
+
+TEST(SharedSync, BitwiseEqualsSequentialJacobi) {
+  // With barriers the shared-memory run is deterministic Jacobi: same
+  // summation order per row, so results are bitwise identical.
+  const auto p = fd_problem(10, 10, 3);
+  SharedOptions so;
+  so.num_threads = 4;
+  so.synchronous = true;
+  so.tolerance = 0.0;
+  so.max_iterations = 40;
+  so.record_history = false;
+  const SharedResult shared = solve_shared(p.a, p.b, p.x0, so);
+
+  solvers::SolveOptions ro;
+  ro.tolerance = 0.0;
+  ro.max_iterations = 40;
+  const auto ref = solvers::jacobi(p.a, p.b, p.x0, ro);
+  EXPECT_DOUBLE_EQ(vec::max_abs_diff(shared.x, ref.x), 0.0);
+  for (index_t it : shared.iterations_per_thread) EXPECT_EQ(it, 40);
+}
+
+TEST(SharedAsync, ConvergesAndVerifiesResidual) {
+  const auto p = fd_problem(12, 12, 5);
+  SharedOptions so;
+  so.num_threads = 4;
+  so.synchronous = false;
+  so.tolerance = 1e-6;
+  so.max_iterations = 200000;
+  so.record_history = false;
+  const SharedResult r = solve_shared(p.a, p.b, p.x0, so);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.final_rel_residual_1, 1e-6 * 1.5);
+  // Cross-check with an independent residual computation.
+  Vector res(p.b.size());
+  p.a.residual(r.x, p.b, res);
+  Vector r0(p.b.size());
+  p.a.residual(p.x0, p.b, r0);
+  EXPECT_LE(vec::norm1(res) / vec::norm1(r0), 1e-6 * 1.5);
+}
+
+TEST(SharedAsync, IterationCapStopsEveryThread) {
+  const auto p = fd_problem(8, 8, 7);
+  SharedOptions so;
+  so.num_threads = 3;
+  so.tolerance = 0.0;  // disabled: pure iteration-count mode (Fig. 5(b))
+  so.max_iterations = 50;
+  so.record_history = false;
+  const SharedResult r = solve_shared(p.a, p.b, p.x0, so);
+  for (index_t it : r.iterations_per_thread) EXPECT_GE(it, 50);
+  EXPECT_GE(r.total_relaxations, 50 * p.a.num_rows());
+}
+
+TEST(SharedAsync, SingleThreadEqualsSequential) {
+  const auto p = fd_problem(6, 6, 9);
+  SharedOptions so;
+  so.num_threads = 1;
+  so.tolerance = 0.0;
+  so.max_iterations = 30;
+  so.record_history = false;
+  const SharedResult r = solve_shared(p.a, p.b, p.x0, so);
+  solvers::SolveOptions ro;
+  ro.tolerance = 0.0;
+  ro.max_iterations = 30;
+  const auto ref = solvers::jacobi(p.a, p.b, p.x0, ro);
+  EXPECT_DOUBLE_EQ(vec::max_abs_diff(r.x, ref.x), 0.0);
+}
+
+TEST(SharedAsync, HistoryIsTimeOrdered) {
+  const auto p = fd_problem(8, 8, 11);
+  SharedOptions so;
+  so.num_threads = 2;
+  so.tolerance = 1e-4;
+  so.max_iterations = 100000;
+  so.record_history = true;
+  const SharedResult r = solve_shared(p.a, p.b, p.x0, so);
+  ASSERT_FALSE(r.history.empty());
+  for (std::size_t k = 1; k < r.history.size(); ++k) {
+    EXPECT_GE(r.history[k].seconds, r.history[k - 1].seconds);
+  }
+}
+
+TEST(SharedAsync, DelayInjectionSlowsDelayedThread) {
+  const auto p = fd_problem(8, 8, 13);
+  SharedOptions so;
+  so.num_threads = 2;
+  so.tolerance = 0.0;
+  so.max_iterations = 25;
+  so.record_history = false;
+  so.delay_us = {400.0, 0.0};  // thread 0 sleeps 400us per iteration
+  const SharedResult r = solve_shared(p.a, p.b, p.x0, so);
+  // Thread 1 runs free while thread 0 crawls: it must do more iterations.
+  EXPECT_GT(r.iterations_per_thread[1], r.iterations_per_thread[0]);
+}
+
+TEST(SharedSync, DelayThrottlesEveryone) {
+  // With barriers all threads match the delayed thread's pace exactly:
+  // equal iteration counts.
+  const auto p = fd_problem(6, 6, 15);
+  SharedOptions so;
+  so.num_threads = 2;
+  so.synchronous = true;
+  so.tolerance = 0.0;
+  so.max_iterations = 10;
+  so.record_history = false;
+  so.delay_us = {300.0, 0.0};
+  const SharedResult r = solve_shared(p.a, p.b, p.x0, so);
+  EXPECT_EQ(r.iterations_per_thread[0], r.iterations_per_thread[1]);
+}
+
+TEST(SharedAsync, TraceRecordsEveryRelaxation) {
+  const auto p = fd_problem(5, 4, 17);
+  SharedOptions so;
+  so.num_threads = 2;
+  so.tolerance = 0.0;
+  so.max_iterations = 10;
+  so.record_trace = true;
+  so.record_history = false;
+  const SharedResult r = solve_shared(p.a, p.b, p.x0, so);
+  ASSERT_TRUE(r.trace.has_value());
+  EXPECT_EQ(static_cast<index_t>(r.trace->events().size()),
+            r.total_relaxations);
+  // Every event's reads are off-diagonal pattern entries of its row.
+  for (const auto& e : r.trace->events()) {
+    EXPECT_EQ(static_cast<index_t>(e.reads.size()),
+              p.a.row_nnz(e.row) - 1);
+  }
+}
+
+TEST(SharedAsync, TraceIsAnalyzable) {
+  const auto p = fd_problem(5, 4, 19);
+  SharedOptions so;
+  so.num_threads = 4;
+  so.tolerance = 0.0;
+  so.max_iterations = 15;
+  so.record_trace = true;
+  so.record_history = false;
+  so.yield = true;
+  const SharedResult r = solve_shared(p.a, p.b, p.x0, so);
+  ASSERT_TRUE(r.trace.has_value());
+  const auto analysis = model::analyze_trace(*r.trace);
+  EXPECT_EQ(analysis.total_relaxations, r.total_relaxations);
+  EXPECT_EQ(analysis.orphaned, 0);
+  EXPECT_GT(analysis.fraction, 0.0);
+}
+
+TEST(SharedOptions, CustomPartitionIsRespected) {
+  const auto p = fd_problem(6, 6, 21);
+  SharedOptions so;
+  so.num_threads = 2;
+  so.tolerance = 0.0;
+  so.max_iterations = 5;
+  so.record_history = false;
+  partition::Partition part;
+  part.block_starts = {0, 30, 36};  // deliberately unbalanced
+  so.partition = part;
+  const SharedResult r = solve_shared(p.a, p.b, p.x0, so);
+  EXPECT_GE(r.total_relaxations, 5 * 36);
+}
+
+TEST(SharedOptions, Validation) {
+  const auto p = fd_problem(4, 4, 23);
+  SharedOptions so;
+  so.num_threads = 2;
+  so.delay_us = {1.0};  // wrong length
+  EXPECT_THROW(solve_shared(p.a, p.b, p.x0, so), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ajac::runtime

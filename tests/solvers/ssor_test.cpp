@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "ajac/gen/fd.hpp"
+#include "ajac/gen/problem.hpp"
+#include "ajac/solvers/stationary.hpp"
+#include "ajac/sparse/csr.hpp"
+#include "ajac/sparse/vector_ops.hpp"
+
+namespace ajac::solvers {
+namespace {
+
+TEST(Ssor, OmegaOneIsForwardThenBackwardGs) {
+  const auto p = gen::make_problem("fd", gen::fd_laplacian_2d(6, 7), 3);
+  SolveOptions o;
+  o.tolerance = 0.0;
+  o.max_iterations = 1;
+  const SolveResult sym = ssor(p.a, p.b, p.x0, 1.0, o);
+  // Manually: forward GS sweep then backward GS sweep.
+  const SolveResult fwd = gauss_seidel(p.a, p.b, p.x0, o);
+  const SolveResult both = gauss_seidel_backward(p.a, p.b, fwd.x, o);
+  EXPECT_DOUBLE_EQ(vec::max_abs_diff(sym.x, both.x), 0.0);
+}
+
+TEST(Ssor, ConvergesOnSpd) {
+  const auto p = gen::make_problem("fd", gen::fd_laplacian_2d(10, 10), 5);
+  SolveOptions o;
+  o.tolerance = 1e-9;
+  o.max_iterations = 100000;
+  const SolveResult r = ssor(p.a, p.b, p.x0, 1.0, o);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(Ssor, FewerIterationsThanPlainGs) {
+  const auto p = gen::make_problem("fd", gen::fd_laplacian_2d(12, 12), 7);
+  SolveOptions o;
+  o.tolerance = 1e-8;
+  o.max_iterations = 100000;
+  const SolveResult sym = ssor(p.a, p.b, p.x0, 1.0, o);
+  const SolveResult gs = gauss_seidel(p.a, p.b, p.x0, o);
+  ASSERT_TRUE(sym.converged);
+  ASSERT_TRUE(gs.converged);
+  // SSOR does two sweeps per iteration, so it needs well under the GS
+  // iteration count (not exactly half: the symmetrized operator's
+  // spectrum differs slightly).
+  EXPECT_LT(sym.iterations, gs.iterations * 0.65);
+}
+
+TEST(Ssor, OverrelaxationHelps) {
+  const auto p = gen::make_problem("fd", gen::fd_laplacian_2d(14, 14), 9);
+  SolveOptions o;
+  o.tolerance = 1e-8;
+  o.max_iterations = 100000;
+  const SolveResult plain = ssor(p.a, p.b, p.x0, 1.0, o);
+  const SolveResult over = ssor(p.a, p.b, p.x0, 1.5, o);
+  ASSERT_TRUE(plain.converged);
+  ASSERT_TRUE(over.converged);
+  EXPECT_LT(over.iterations, plain.iterations);
+}
+
+}  // namespace
+}  // namespace ajac::solvers

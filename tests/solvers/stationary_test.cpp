@@ -1,0 +1,245 @@
+#include "ajac/solvers/stationary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ajac/gen/fd.hpp"
+#include "ajac/gen/fe.hpp"
+#include "ajac/gen/problem.hpp"
+#include "ajac/model/executor.hpp"
+#include "ajac/model/schedule.hpp"
+#include "ajac/sparse/csr.hpp"
+#include "ajac/sparse/vector_ops.hpp"
+#include "test_helpers.hpp"
+
+namespace ajac::solvers {
+namespace {
+
+gen::LinearProblem small_fd(std::uint64_t seed = 3) {
+  return gen::make_problem("fd", gen::fd_laplacian_2d(8, 8), seed);
+}
+
+TEST(Jacobi, ConvergesToTrueSolution) {
+  const auto p = small_fd();
+  SolveOptions o;
+  o.tolerance = 1e-10;
+  o.max_iterations = 100000;
+  const SolveResult r = jacobi(p.a, p.b, p.x0, o);
+  ASSERT_TRUE(r.converged);
+  Vector res(p.b.size());
+  p.a.residual(r.x, p.b, res);
+  Vector r0(p.b.size());
+  p.a.residual(p.x0, p.b, r0);
+  EXPECT_LE(vec::norm1(res), 1e-10 * vec::norm1(r0) * (1 + 1e-10));
+}
+
+TEST(Jacobi, MatchesHandIteration) {
+  // One Jacobi step on a 2x2 system, computed by hand.
+  const CsrMatrix a(2, 2, {0, 2, 4}, {0, 1, 0, 1}, {2, 1, 1, 3});
+  Vector b{3, 5};
+  Vector x0{0, 0};
+  SolveOptions o;
+  o.tolerance = 0.0;
+  o.max_iterations = 1;
+  const SolveResult r = jacobi(a, b, x0, o);
+  EXPECT_DOUBLE_EQ(r.x[0], 1.5);
+  EXPECT_DOUBLE_EQ(r.x[1], 5.0 / 3.0);
+}
+
+TEST(Jacobi, DivergesOnFeMatrix) {
+  // rho(G) > 1 for the paper's FE matrix: the residual must blow up.
+  const auto p = gen::make_problem("fe", gen::paper_fe_3081(), 3);
+  SolveOptions o;
+  o.tolerance = 0.0;
+  o.max_iterations = 400;
+  const SolveResult r = jacobi(p.a, p.b, p.x0, o);
+  EXPECT_FALSE(r.converged);
+  EXPECT_GT(r.final_rel_residual, 10.0);
+}
+
+TEST(WeightedJacobi, DampingCanBeatPlainJacobiOnFe) {
+  // omega = 0.5 damping makes rho(G_omega) = max |1 - 0.5 lambda| < 1 when
+  // lambda in (0, 2.5): the FE matrix becomes convergent.
+  const auto p = gen::make_problem("fe", gen::paper_fe_3081(), 3);
+  SolveOptions o;
+  o.tolerance = 0.0;
+  o.max_iterations = 300;
+  const SolveResult damped = weighted_jacobi(p.a, p.b, p.x0, 0.5, o);
+  EXPECT_LT(damped.final_rel_residual, 1.0);
+}
+
+TEST(GaussSeidel, ConvergesFasterThanJacobiOnSpd) {
+  const auto p = small_fd();
+  SolveOptions o;
+  o.tolerance = 1e-8;
+  o.max_iterations = 100000;
+  const SolveResult gs = gauss_seidel(p.a, p.b, p.x0, o);
+  const SolveResult j = jacobi(p.a, p.b, p.x0, o);
+  ASSERT_TRUE(gs.converged);
+  ASSERT_TRUE(j.converged);
+  EXPECT_LT(gs.iterations, j.iterations);
+  // Classical result: for consistently ordered matrices GS needs about
+  // half the iterations of Jacobi.
+  EXPECT_NEAR(static_cast<double>(j.iterations) /
+                  static_cast<double>(gs.iterations),
+              2.0, 0.5);
+}
+
+TEST(GaussSeidel, ConvergesOnFeMatrixWhereJacobiDoesNot) {
+  // GS always converges for SPD matrices.
+  const auto p = gen::make_problem("fe", gen::paper_fe_3081(), 3);
+  SolveOptions o;
+  o.tolerance = 0.0;
+  o.max_iterations = 200;
+  const SolveResult r = gauss_seidel(p.a, p.b, p.x0, o);
+  EXPECT_LT(r.final_rel_residual, 0.05);
+}
+
+TEST(GaussSeidel, EqualsSequenceOfSingleRowPropagationMatrices) {
+  // Sec. IV-B: relaxing all rows in ascending order one at a time is
+  // precisely Gauss-Seidel with natural ordering.
+  const auto p = small_fd(11);
+  const index_t n = p.a.num_rows();
+  SolveOptions so;
+  so.tolerance = 0.0;
+  so.max_iterations = 5;
+  const SolveResult gs = gauss_seidel(p.a, p.b, p.x0, so);
+
+  model::ExecutorOptions mo;
+  mo.tolerance = 0.0;
+  mo.max_steps = 5 * n;
+  model::SequentialSchedule seq(n);
+  const model::ModelResult m = model::run_model(p.a, p.b, p.x0, seq, mo);
+  EXPECT_NEAR(vec::max_abs_diff(gs.x, m.x), 0.0, 1e-14);
+}
+
+TEST(GaussSeidelBackward, DescendingOrderDiffersButConverges) {
+  const auto p = small_fd(13);
+  SolveOptions o;
+  o.tolerance = 1e-8;
+  o.max_iterations = 10000;
+  const SolveResult fwd = gauss_seidel(p.a, p.b, p.x0, o);
+  const SolveResult bwd = gauss_seidel_backward(p.a, p.b, p.x0, o);
+  EXPECT_TRUE(bwd.converged);
+  // Same fixed point.
+  EXPECT_NEAR(vec::max_abs_diff(fwd.x, bwd.x), 0.0, 1e-6);
+}
+
+TEST(Sor, OmegaOneIsGaussSeidel) {
+  const auto p = small_fd(17);
+  SolveOptions o;
+  o.tolerance = 0.0;
+  o.max_iterations = 7;
+  const SolveResult gs = gauss_seidel(p.a, p.b, p.x0, o);
+  const SolveResult s1 = sor(p.a, p.b, p.x0, 1.0, o);
+  EXPECT_DOUBLE_EQ(vec::max_abs_diff(gs.x, s1.x), 0.0);
+}
+
+TEST(Sor, OptimalOmegaBeatsGaussSeidel) {
+  const auto p = small_fd(19);
+  // Optimal omega for the 8x8-grid Laplacian.
+  const double rho = testing::fd2d_jacobi_rho(8, 8);
+  const double omega = 2.0 / (1.0 + std::sqrt(1.0 - rho * rho));
+  SolveOptions o;
+  o.tolerance = 1e-8;
+  o.max_iterations = 100000;
+  const SolveResult gs = gauss_seidel(p.a, p.b, p.x0, o);
+  const SolveResult s = sor(p.a, p.b, p.x0, omega, o);
+  ASSERT_TRUE(s.converged);
+  EXPECT_LT(s.iterations, gs.iterations);
+}
+
+TEST(MulticolorGaussSeidel, EqualsMulticolorMaskSequence) {
+  // Sec. IV-B Eq. 10: color-by-color masked relaxations.
+  const auto p = small_fd(23);
+  const index_t n = p.a.num_rows();
+  index_t num_colors = 0;
+  const auto colors = model::greedy_coloring(p.a, &num_colors);
+
+  SolveOptions so;
+  so.tolerance = 0.0;
+  so.max_iterations = 4;
+  const SolveResult mc =
+      multicolor_gauss_seidel(p.a, p.b, p.x0, colors, num_colors, so);
+
+  model::ExecutorOptions mo;
+  mo.tolerance = 0.0;
+  mo.max_steps = 4 * num_colors;
+  model::MulticolorSchedule sched(colors, num_colors);
+  const model::ModelResult m = model::run_model(p.a, p.b, p.x0, sched, mo);
+  EXPECT_NEAR(vec::max_abs_diff(mc.x, m.x), 0.0, 1e-14);
+}
+
+TEST(MulticolorGaussSeidel, ConvergesOnGrid) {
+  const auto p = small_fd(29);
+  index_t num_colors = 0;
+  const auto colors = model::greedy_coloring(p.a, &num_colors);
+  SolveOptions o;
+  o.tolerance = 1e-8;
+  o.max_iterations = 10000;
+  const SolveResult r =
+      multicolor_gauss_seidel(p.a, p.b, p.x0, colors, num_colors, o);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(InexactBlockJacobi, SingleBlockSweepIsGsSweep) {
+  // One block covering everything with one inner sweep = one GS sweep.
+  const auto p = small_fd(31);
+  SolveOptions o;
+  o.tolerance = 0.0;
+  o.max_iterations = 3;
+  const SolveResult blk =
+      inexact_block_jacobi(p.a, p.b, p.x0, {0, p.a.num_rows()}, 1, o);
+  const SolveResult gs = gauss_seidel(p.a, p.b, p.x0, o);
+  EXPECT_NEAR(vec::max_abs_diff(blk.x, gs.x), 0.0, 1e-14);
+}
+
+TEST(InexactBlockJacobi, SingletonBlocksAreJacobi) {
+  const auto p = small_fd(37);
+  const index_t n = p.a.num_rows();
+  std::vector<index_t> starts(static_cast<std::size_t>(n) + 1);
+  for (index_t i = 0; i <= n; ++i) starts[i] = i;
+  SolveOptions o;
+  o.tolerance = 0.0;
+  o.max_iterations = 5;
+  const SolveResult blk = inexact_block_jacobi(p.a, p.b, p.x0, starts, 1, o);
+  const SolveResult j = jacobi(p.a, p.b, p.x0, o);
+  EXPECT_NEAR(vec::max_abs_diff(blk.x, j.x), 0.0, 1e-14);
+}
+
+TEST(InexactBlockJacobi, MoreInnerSweepsConvergeFaster) {
+  const auto p = small_fd(41);
+  const std::vector<index_t> starts{0, 16, 32, 48, 64};
+  SolveOptions o;
+  o.tolerance = 1e-8;
+  o.max_iterations = 100000;
+  const SolveResult one = inexact_block_jacobi(p.a, p.b, p.x0, starts, 1, o);
+  const SolveResult three = inexact_block_jacobi(p.a, p.b, p.x0, starts, 3, o);
+  ASSERT_TRUE(one.converged);
+  ASSERT_TRUE(three.converged);
+  EXPECT_LE(three.iterations, one.iterations);
+}
+
+TEST(SolveOptions, HistoryRespectsRecordEvery) {
+  const auto p = small_fd(43);
+  SolveOptions o;
+  o.tolerance = 0.0;
+  o.max_iterations = 20;
+  o.record_every = 5;
+  const SolveResult r = jacobi(p.a, p.b, p.x0, o);
+  EXPECT_EQ(r.history.size(), 5u);  // 0, 5, 10, 15, 20
+}
+
+TEST(SolveOptions, NormSelectionChangesCriterion) {
+  const auto p = small_fd(47);
+  for (ResidualNorm norm :
+       {ResidualNorm::kL1, ResidualNorm::kL2, ResidualNorm::kLinf}) {
+    SolveOptions o;
+    o.tolerance = 1e-6;
+    o.max_iterations = 100000;
+    o.norm = norm;
+    EXPECT_TRUE(jacobi(p.a, p.b, p.x0, o).converged);
+  }
+}
+
+}  // namespace
+}  // namespace ajac::solvers

@@ -1,0 +1,87 @@
+#include "ajac/sparse/coo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ajac/sparse/csr.hpp"
+
+namespace ajac {
+namespace {
+
+TEST(CooBuilder, BuildsSortedCsr) {
+  CooBuilder coo(2, 3);
+  coo.add(1, 2, 3.0);
+  coo.add(0, 1, 1.0);
+  coo.add(1, 0, 2.0);
+  const CsrMatrix a = coo.to_csr();
+  EXPECT_EQ(a.num_rows(), 2);
+  EXPECT_EQ(a.num_cols(), 3);
+  EXPECT_EQ(a.num_nonzeros(), 3);
+  EXPECT_TRUE(a.has_sorted_rows());
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 2), 3.0);
+}
+
+TEST(CooBuilder, DuplicatesAreSummed) {
+  CooBuilder coo(1, 1);
+  coo.add(0, 0, 1.5);
+  coo.add(0, 0, 2.5);
+  coo.add(0, 0, -1.0);
+  const CsrMatrix a = coo.to_csr();
+  EXPECT_EQ(a.num_nonzeros(), 1);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 3.0);
+}
+
+TEST(CooBuilder, DropZerosRemovesCancellation) {
+  CooBuilder coo(1, 2);
+  coo.add(0, 0, 1.0);
+  coo.add(0, 0, -1.0);
+  coo.add(0, 1, 2.0);
+  EXPECT_EQ(coo.to_csr(false).num_nonzeros(), 2);
+  EXPECT_EQ(coo.to_csr(true).num_nonzeros(), 1);
+}
+
+TEST(CooBuilder, AddSymmetricMirrors) {
+  CooBuilder coo(3, 3);
+  coo.add_symmetric(0, 2, -1.0);
+  coo.add_symmetric(1, 1, 4.0);  // diagonal added once
+  const CsrMatrix a = coo.to_csr();
+  EXPECT_DOUBLE_EQ(a.at(0, 2), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(2, 0), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 4.0);
+  EXPECT_EQ(a.num_nonzeros(), 3);
+}
+
+TEST(CooBuilder, EmptyRowsProduceEmptySpans) {
+  CooBuilder coo(3, 3);
+  coo.add(2, 2, 1.0);
+  const CsrMatrix a = coo.to_csr();
+  EXPECT_EQ(a.row_nnz(0), 0);
+  EXPECT_EQ(a.row_nnz(1), 0);
+  EXPECT_EQ(a.row_nnz(2), 1);
+}
+
+TEST(CooBuilder, NumEntriesCountsRawTriplets) {
+  CooBuilder coo(2, 2);
+  coo.add(0, 0, 1.0);
+  coo.add(0, 0, 1.0);
+  EXPECT_EQ(coo.num_entries(), 2u);
+}
+
+TEST(CooBuilder, LargeRandomPatternRoundTrips) {
+  const index_t n = 50;
+  CooBuilder coo(n, n);
+  // Deterministic scattered pattern with duplicates.
+  for (index_t k = 0; k < 500; ++k) {
+    coo.add((k * 7) % n, (k * 13) % n, 1.0);
+  }
+  const CsrMatrix a = coo.to_csr();
+  EXPECT_TRUE(a.has_sorted_rows());
+  // Sum of all values must equal number of triplets.
+  double total = 0.0;
+  for (double v : a.values()) total += v;
+  EXPECT_DOUBLE_EQ(total, 500.0);
+}
+
+}  // namespace
+}  // namespace ajac

@@ -1,0 +1,118 @@
+#include "ajac/sparse/dense.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ajac/gen/fd.hpp"
+#include "ajac/sparse/csr.hpp"
+
+namespace ajac {
+namespace {
+
+TEST(DenseMatrix, IdentityAndIndexing) {
+  DenseMatrix eye = DenseMatrix::identity(3);
+  EXPECT_DOUBLE_EQ(eye(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(eye(0, 1), 0.0);
+  eye(0, 1) = 5.0;
+  EXPECT_DOUBLE_EQ(eye(0, 1), 5.0);
+}
+
+TEST(DenseMatrix, FromCsrMatchesEntries) {
+  const CsrMatrix a = gen::fd_laplacian_2d(3, 2);
+  const DenseMatrix d = DenseMatrix::from_csr(a);
+  for (index_t i = 0; i < a.num_rows(); ++i) {
+    for (index_t j = 0; j < a.num_cols(); ++j) {
+      EXPECT_DOUBLE_EQ(d(i, j), a.at(i, j));
+    }
+  }
+}
+
+TEST(DenseMatrix, GemvMatchesCsrSpmv) {
+  const CsrMatrix a = gen::fd_laplacian_2d(4, 3);
+  const DenseMatrix d = DenseMatrix::from_csr(a);
+  Vector x(static_cast<std::size_t>(a.num_rows()));
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = static_cast<double>(i) - 3.0;
+  Vector y1(x.size());
+  Vector y2(x.size());
+  a.spmv(x, y1);
+  d.gemv(x, y2);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_DOUBLE_EQ(y1[i], y2[i]);
+}
+
+TEST(DenseMatrix, MultiplyAgainstHandComputed) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  DenseMatrix b(2, 2);
+  b(0, 0) = 5;
+  b(0, 1) = 6;
+  b(1, 0) = 7;
+  b(1, 1) = 8;
+  const DenseMatrix c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+TEST(DenseMatrix, TransposeSwapsEntries) {
+  DenseMatrix a(2, 3);
+  a(0, 2) = 7.0;
+  a(1, 0) = -2.0;
+  const DenseMatrix t = a.transpose();
+  EXPECT_EQ(t.num_rows(), 3);
+  EXPECT_EQ(t.num_cols(), 2);
+  EXPECT_DOUBLE_EQ(t(2, 0), 7.0);
+  EXPECT_DOUBLE_EQ(t(0, 1), -2.0);
+}
+
+TEST(DenseMatrix, InducedNorms) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = -2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  EXPECT_DOUBLE_EQ(a.norm_inf(), 7.0);  // max row sum
+  EXPECT_DOUBLE_EQ(a.norm1(), 6.0);     // max col sum
+  EXPECT_DOUBLE_EQ(a.norm_fro(), std::sqrt(1.0 + 4 + 9 + 16));
+}
+
+TEST(DenseMatrix, NormDualityUnderTranspose) {
+  DenseMatrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 2) = -5;
+  a(1, 1) = 2;
+  EXPECT_DOUBLE_EQ(a.norm1(), a.transpose().norm_inf());
+  EXPECT_DOUBLE_EQ(a.norm_inf(), a.transpose().norm1());
+}
+
+TEST(DenseMatrix, SymmetryCheck) {
+  DenseMatrix a(2, 2);
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  EXPECT_TRUE(a.is_symmetric());
+  a(1, 0) = 2.0001;
+  EXPECT_FALSE(a.is_symmetric(1e-8));
+  EXPECT_TRUE(a.is_symmetric(1e-3));
+}
+
+TEST(DenseMatrix, MaxAbsDiff) {
+  DenseMatrix a(2, 2, 1.0);
+  DenseMatrix b(2, 2, 1.0);
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(b), 0.0);
+  b(1, 1) = 3.0;
+  EXPECT_DOUBLE_EQ(a.max_abs_diff(b), 2.0);
+}
+
+TEST(DenseMatrix, FromCsrSumsDuplicateEntries) {
+  // A CSR with duplicate columns in a row (legal storage) accumulates.
+  const CsrMatrix a(1, 2, {0, 2}, {1, 1}, {2.0, 3.0});
+  const DenseMatrix d = DenseMatrix::from_csr(a);
+  EXPECT_DOUBLE_EQ(d(0, 1), 5.0);
+}
+
+}  // namespace
+}  // namespace ajac

@@ -1,0 +1,128 @@
+#include "ajac/sparse/mm_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ajac/gen/fd.hpp"
+#include "ajac/sparse/csr.hpp"
+
+namespace ajac {
+namespace {
+
+TEST(MatrixMarket, RoundTripGeneral) {
+  const CsrMatrix a = gen::fd_laplacian_2d(4, 5);
+  std::stringstream ss;
+  write_matrix_market(a, ss);
+  const CsrMatrix b = read_matrix_market(ss);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(MatrixMarket, ParsesSymmetricStorage) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "% comment line\n"
+      "3 3 4\n"
+      "1 1 2.0\n"
+      "2 1 -1.0\n"
+      "2 2 2.0\n"
+      "3 3 2.0\n");
+  const CsrMatrix a = read_matrix_market(ss);
+  EXPECT_EQ(a.num_rows(), 3);
+  EXPECT_EQ(a.num_nonzeros(), 5);  // off-diagonal expanded
+  EXPECT_DOUBLE_EQ(a.at(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), -1.0);
+}
+
+TEST(MatrixMarket, ParsesPattern) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 1\n"
+      "2 2\n");
+  const CsrMatrix a = read_matrix_market(ss);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 1.0);
+}
+
+TEST(MatrixMarket, ParsesIntegerField) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "2 2 1\n"
+      "1 2 7\n");
+  EXPECT_DOUBLE_EQ(read_matrix_market(ss).at(0, 1), 7.0);
+}
+
+TEST(MatrixMarket, RejectsMissingBanner) {
+  std::stringstream ss("not a matrix\n1 1 0\n");
+  EXPECT_THROW(read_matrix_market(ss), std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsUnsupportedFormat) {
+  std::stringstream ss("%%MatrixMarket matrix array real general\n2 2\n");
+  EXPECT_THROW(read_matrix_market(ss), std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsOutOfRangeIndices) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "3 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(ss), std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsTruncatedFile) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(ss), std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsMissingFile) {
+  EXPECT_THROW(read_matrix_market("/nonexistent/path.mtx"),
+               std::runtime_error);
+}
+
+TEST(MatrixMarket, VectorRoundTrip) {
+  Vector x{1.5, -2.25, 1.0 / 3.0, 0.0};
+  std::stringstream ss;
+  write_vector_market(x, ss);
+  const Vector y = read_vector_market(ss);
+  ASSERT_EQ(y.size(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_DOUBLE_EQ(x[i], y[i]);
+}
+
+TEST(MatrixMarket, VectorRejectsMatrixShapedArray) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix array real general\n"
+      "2 2\n"
+      "1\n2\n3\n4\n");
+  EXPECT_THROW(read_vector_market(ss), std::runtime_error);
+}
+
+TEST(MatrixMarket, VectorRejectsCoordinateFormat) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 1 2\n1 1 1.0\n2 1 2.0\n");
+  EXPECT_THROW(read_vector_market(ss), std::runtime_error);
+}
+
+TEST(MatrixMarket, VectorRejectsTruncatedData) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix array real general\n"
+      "3 1\n"
+      "1.0\n");
+  EXPECT_THROW(read_vector_market(ss), std::runtime_error);
+}
+
+TEST(MatrixMarket, PreservesFullPrecision) {
+  CsrMatrix a(1, 1, {0, 1}, {0}, {1.0 / 3.0});
+  std::stringstream ss;
+  write_matrix_market(a, ss);
+  const CsrMatrix b = read_matrix_market(ss);
+  EXPECT_DOUBLE_EQ(b.at(0, 0), 1.0 / 3.0);
+}
+
+}  // namespace
+}  // namespace ajac

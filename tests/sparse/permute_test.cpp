@@ -1,0 +1,80 @@
+#include "ajac/sparse/permute.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ajac/gen/fd.hpp"
+#include "ajac/sparse/csr.hpp"
+#include "ajac/sparse/vector_ops.hpp"
+#include "ajac/util/rng.hpp"
+
+namespace ajac {
+namespace {
+
+TEST(Permutation, IdentityLeavesEverythingAlone) {
+  const CsrMatrix a = gen::fd_laplacian_2d(3, 3);
+  const Permutation p = Permutation::identity(a.num_rows());
+  EXPECT_TRUE(p.apply_symmetric(a) == a);
+  Vector x{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  EXPECT_EQ(p.apply(x), x);
+}
+
+TEST(Permutation, RejectsNonBijection) {
+  EXPECT_THROW(Permutation({0, 0, 1}), std::logic_error);
+  EXPECT_THROW(Permutation({0, 5}), std::logic_error);
+}
+
+TEST(Permutation, InverseComposesToIdentity) {
+  const Permutation p({2, 0, 3, 1});
+  const Permutation pinv = p.inverse();
+  Vector x{10, 20, 30, 40};
+  EXPECT_EQ(pinv.apply(p.apply(x)), x);
+  EXPECT_EQ(p.apply_inverse(p.apply(x)), x);
+}
+
+TEST(Permutation, NewToOldOldToNewConsistent) {
+  const Permutation p({2, 0, 1});
+  for (index_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(p.old_to_new(p.new_to_old(i)), i);
+  }
+}
+
+TEST(Permutation, SymmetricPermutationPreservesSpectrumAction) {
+  // (P A P^T)(P x) == P (A x) for random x.
+  const CsrMatrix a = gen::fd_laplacian_2d(5, 4);
+  Rng rng(17);
+  std::vector<index_t> order(static_cast<std::size_t>(a.num_rows()));
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<index_t>(i);
+  }
+  for (std::size_t i = order.size() - 1; i > 0; --i) {
+    std::swap(order[i], order[rng.uniform_index(i + 1)]);
+  }
+  const Permutation p(order);
+  const CsrMatrix pa = p.apply_symmetric(a);
+  EXPECT_TRUE(pa.has_sorted_rows());
+  EXPECT_TRUE(pa.is_symmetric(0.0));
+  EXPECT_EQ(pa.num_nonzeros(), a.num_nonzeros());
+
+  Vector x(static_cast<std::size_t>(a.num_rows()));
+  vec::fill_uniform(x, rng);
+  Vector ax(x.size());
+  a.spmv(x, ax);
+  const Vector px = p.apply(x);
+  Vector papx(x.size());
+  pa.spmv(px, papx);
+  EXPECT_NEAR(vec::max_abs_diff(papx, p.apply(ax)), 0.0, 1e-14);
+}
+
+TEST(Permutation, EntryMapping) {
+  const CsrMatrix a = gen::fd_laplacian_2d(4, 3);
+  const Permutation p({5, 3, 1, 0, 2, 4, 7, 6, 9, 8, 11, 10});
+  const CsrMatrix pa = p.apply_symmetric(a);
+  for (index_t i = 0; i < a.num_rows(); ++i) {
+    for (index_t j = 0; j < a.num_cols(); ++j) {
+      EXPECT_DOUBLE_EQ(pa.at(i, j), a.at(p.new_to_old(i), p.new_to_old(j)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ajac

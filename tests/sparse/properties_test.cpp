@@ -1,0 +1,72 @@
+#include "ajac/sparse/properties.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ajac/gen/fd.hpp"
+#include "ajac/gen/fe.hpp"
+#include "ajac/sparse/csr.hpp"
+#include "ajac/sparse/scaling.hpp"
+#include "test_helpers.hpp"
+
+namespace ajac {
+namespace {
+
+TEST(Properties, FdLaplacianIsWdd) {
+  EXPECT_TRUE(is_weakly_diag_dominant(gen::fd_laplacian_2d(6, 9)));
+  EXPECT_TRUE(is_weakly_diag_dominant(gen::fd_laplacian_3d(4, 4, 4)));
+  EXPECT_DOUBLE_EQ(wdd_fraction(gen::fd_laplacian_1d(10)), 1.0);
+}
+
+TEST(Properties, RowWddDetectsViolation) {
+  // Row 0: |1| < |-2| violates W.D.D.; row 1 satisfies it.
+  const CsrMatrix a(2, 2, {0, 2, 4}, {0, 1, 0, 1}, {1, -2, -0.5, 1});
+  EXPECT_FALSE(row_is_wdd(a, 0));
+  EXPECT_TRUE(row_is_wdd(a, 1));
+  EXPECT_FALSE(is_weakly_diag_dominant(a));
+  EXPECT_DOUBLE_EQ(wdd_fraction(a), 0.5);
+}
+
+TEST(Properties, PaperFeMatrixIsHalfWdd) {
+  // Sec. VII-A: "approximately half the rows have the W.D.D. property".
+  const CsrMatrix fe = scale_to_unit_diagonal(gen::paper_fe_3081());
+  const double f = wdd_fraction(fe);
+  EXPECT_GT(f, 0.35);
+  EXPECT_LT(f, 0.6);
+}
+
+TEST(Properties, UnitDiagonalDetection) {
+  EXPECT_FALSE(has_unit_diagonal(gen::fd_laplacian_2d(3, 3)));
+  EXPECT_TRUE(
+      has_unit_diagonal(scale_to_unit_diagonal(gen::fd_laplacian_2d(3, 3)),
+                        1e-14));
+}
+
+TEST(Properties, IrreducibilityOfConnectedGrid) {
+  EXPECT_TRUE(is_irreducible(gen::fd_laplacian_2d(5, 5)));
+}
+
+TEST(Properties, BlockDiagonalIsReducible) {
+  // Two decoupled 1x1 blocks.
+  const CsrMatrix a(2, 2, {0, 1, 2}, {0, 1}, {1.0, 1.0});
+  EXPECT_FALSE(is_irreducible(a));
+}
+
+TEST(Properties, OffdiagDegrees) {
+  const CsrMatrix a = gen::fd_laplacian_2d(3, 3);
+  const auto deg = offdiag_degrees(a);
+  ASSERT_EQ(deg.size(), 9u);
+  EXPECT_EQ(deg[0], 2);  // corner
+  EXPECT_EQ(deg[1], 3);  // edge
+  EXPECT_EQ(deg[4], 4);  // center
+}
+
+TEST(Properties, WddToleratesRoundoff) {
+  // Diagonal exactly equals the off-diagonal sum up to one ulp.
+  const double eps = 1e-16;
+  const CsrMatrix a(2, 2, {0, 2, 4}, {0, 1, 0, 1},
+                    {1.0, -(1.0 + eps), -(1.0 + eps), 1.0});
+  EXPECT_TRUE(row_is_wdd(a, 0));
+}
+
+}  // namespace
+}  // namespace ajac

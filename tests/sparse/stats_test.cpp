@@ -1,0 +1,75 @@
+#include "ajac/sparse/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ajac/gen/fd.hpp"
+#include "ajac/gen/fe.hpp"
+#include "ajac/sparse/csr.hpp"
+
+namespace ajac {
+namespace {
+
+TEST(MatrixStatsTest, GridLaplacianBasics) {
+  const CsrMatrix a = gen::fd_laplacian_2d(5, 4);
+  const MatrixStats s = compute_stats(a);
+  EXPECT_EQ(s.num_rows, 20);
+  EXPECT_EQ(s.num_nonzeros, a.num_nonzeros());
+  EXPECT_EQ(s.bandwidth, 5);  // +-nx coupling
+  EXPECT_EQ(s.min_row_nnz, 3);  // corner
+  EXPECT_EQ(s.max_row_nnz, 5);  // interior
+  EXPECT_TRUE(s.structurally_symmetric);
+  // Negative off-diagonals only.
+  EXPECT_DOUBLE_EQ(s.positive_offdiag_fraction, 0.0);
+  // W.D.D.: diagonal over off-sum >= 1 on every row.
+  EXPECT_GE(s.diag_dominance_min, 1.0);
+}
+
+TEST(MatrixStatsTest, FeMatrixHasPositiveOffdiagonals) {
+  const MatrixStats s = compute_stats(gen::paper_fe_3081());
+  EXPECT_GT(s.positive_offdiag_fraction, 0.05);
+  EXPECT_LT(s.diag_dominance_min, 1.0);  // some rows lose dominance
+  EXPECT_TRUE(s.structurally_symmetric);
+}
+
+TEST(MatrixStatsTest, ProfileOfDiagonalMatrixIsZero) {
+  const CsrMatrix eye = csr_identity(7);
+  const MatrixStats s = compute_stats(eye);
+  EXPECT_EQ(s.profile, 0);
+  EXPECT_EQ(s.bandwidth, 0);
+  EXPECT_DOUBLE_EQ(s.avg_row_nnz, 1.0);
+}
+
+TEST(MatrixStatsTest, DetectsStructuralAsymmetry) {
+  // Entry (0,1) present, (1,0) absent.
+  const CsrMatrix a(2, 2, {0, 2, 3}, {0, 1, 1}, {1.0, 2.0, 1.0});
+  EXPECT_FALSE(compute_stats(a).structurally_symmetric);
+}
+
+TEST(MatrixStatsTest, Profile1dPath) {
+  // Row i of the 1D Laplacian starts at column i-1 => profile = n-1.
+  const MatrixStats s = compute_stats(gen::fd_laplacian_1d(9));
+  EXPECT_EQ(s.profile, 8);
+  EXPECT_EQ(s.bandwidth, 1);
+}
+
+TEST(RowDegreeHistogram, CountsDegrees) {
+  const CsrMatrix a = gen::fd_laplacian_2d(3, 3);
+  const auto hist = row_degree_histogram(a, 6);
+  // 3x3 grid: 4 corners (3 nnz), 4 edges (4 nnz), 1 center (5 nnz).
+  EXPECT_EQ(hist[3], 4);
+  EXPECT_EQ(hist[4], 4);
+  EXPECT_EQ(hist[5], 1);
+  EXPECT_EQ(hist[6], 0);
+}
+
+TEST(RowDegreeHistogram, CapBucketCollectsTail) {
+  const CsrMatrix a = gen::fd_laplacian_2d(4, 4);
+  const auto hist = row_degree_histogram(a, 3);
+  index_t total = 0;
+  for (index_t h : hist) total += h;
+  EXPECT_EQ(total, 16);
+  EXPECT_EQ(hist[3], 16);  // all rows have >= 3 nnz
+}
+
+}  // namespace
+}  // namespace ajac

@@ -1,0 +1,84 @@
+#include "ajac/sparse/submatrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ajac/gen/fd.hpp"
+#include "ajac/sparse/csr.hpp"
+
+namespace ajac {
+namespace {
+
+TEST(Submatrix, PrincipalSubmatrixEntries) {
+  const CsrMatrix a = gen::fd_laplacian_2d(3, 3);
+  const std::vector<index_t> keep{0, 2, 4, 8};
+  const CsrMatrix s = principal_submatrix(a, keep);
+  EXPECT_EQ(s.num_rows(), 4);
+  for (index_t r = 0; r < 4; ++r) {
+    for (index_t c = 0; c < 4; ++c) {
+      EXPECT_DOUBLE_EQ(s.at(r, c), a.at(keep[r], keep[c]));
+    }
+  }
+}
+
+TEST(Submatrix, KeepAllIsIdentityOperation) {
+  const CsrMatrix a = gen::fd_laplacian_2d(4, 2);
+  std::vector<index_t> keep(static_cast<std::size_t>(a.num_rows()));
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    keep[i] = static_cast<index_t>(i);
+  }
+  EXPECT_TRUE(principal_submatrix(a, keep) == a);
+}
+
+TEST(Submatrix, NonIncreasingKeepRejected) {
+  const CsrMatrix a = gen::fd_laplacian_2d(2, 2);
+  EXPECT_THROW(principal_submatrix(a, {1, 0}), std::logic_error);
+}
+
+TEST(Submatrix, RemovingSeparatorDecouples) {
+  // 1D path 0-1-2-3-4; removing node 2 leaves components {0,1} and {3,4}.
+  const CsrMatrix a = gen::fd_laplacian_1d(5);
+  const auto keep = complement_rows(5, {2});
+  const CsrMatrix s = principal_submatrix(a, keep);
+  index_t num = 0;
+  const auto comp = connected_components(s, &num);
+  EXPECT_EQ(num, 2);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_NE(comp[0], comp[2]);
+}
+
+TEST(Submatrix, ConnectedGraphHasOneComponent) {
+  index_t num = 0;
+  connected_components(gen::fd_laplacian_2d(4, 4), &num);
+  EXPECT_EQ(num, 1);
+}
+
+TEST(Submatrix, ComplementRows) {
+  const auto keep = complement_rows(6, {1, 4});
+  ASSERT_EQ(keep.size(), 4u);
+  EXPECT_EQ(keep[0], 0);
+  EXPECT_EQ(keep[1], 2);
+  EXPECT_EQ(keep[2], 3);
+  EXPECT_EQ(keep[3], 5);
+}
+
+TEST(Submatrix, ComplementOfNothingIsEverything) {
+  const auto keep = complement_rows(3, {});
+  EXPECT_EQ(keep.size(), 3u);
+}
+
+TEST(Submatrix, GridSeparatorCreatesManyBlocks) {
+  // Removing a full column of a 5x5 grid splits it into two halves
+  // (Sec. IV-D: removing delayed rows can decouple the graph).
+  const index_t nx = 5, ny = 5;
+  const CsrMatrix a = gen::fd_laplacian_2d(nx, ny);
+  std::vector<index_t> separator;
+  for (index_t j = 0; j < ny; ++j) separator.push_back(j * nx + 2);
+  const auto keep = complement_rows(nx * ny, separator);
+  index_t num = 0;
+  connected_components(principal_submatrix(a, keep), &num);
+  EXPECT_EQ(num, 2);
+}
+
+}  // namespace
+}  // namespace ajac

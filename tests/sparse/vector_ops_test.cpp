@@ -1,0 +1,94 @@
+#include "ajac/sparse/vector_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ajac/util/rng.hpp"
+
+namespace ajac {
+namespace {
+
+TEST(VectorOps, Axpy) {
+  Vector x{1, 2, 3};
+  Vector y{10, 20, 30};
+  vec::axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12);
+  EXPECT_DOUBLE_EQ(y[1], 24);
+  EXPECT_DOUBLE_EQ(y[2], 36);
+}
+
+TEST(VectorOps, Xpby) {
+  Vector x{1, 1};
+  Vector y{3, 5};
+  vec::xpby(x, 0.5, y);
+  EXPECT_DOUBLE_EQ(y[0], 2.5);
+  EXPECT_DOUBLE_EQ(y[1], 3.5);
+}
+
+TEST(VectorOps, Sub) {
+  Vector x{5, 7};
+  Vector y{2, 10};
+  Vector z(2);
+  vec::sub(x, y, z);
+  EXPECT_DOUBLE_EQ(z[0], 3);
+  EXPECT_DOUBLE_EQ(z[1], -3);
+}
+
+TEST(VectorOps, DotAndNorm2Consistent) {
+  Vector x{3, 4};
+  EXPECT_DOUBLE_EQ(vec::dot(x, x), 25.0);
+  EXPECT_DOUBLE_EQ(vec::norm2(x), 5.0);
+}
+
+TEST(VectorOps, NormDefinitions) {
+  Vector x{-1, 2, -3};
+  EXPECT_DOUBLE_EQ(vec::norm1(x), 6.0);
+  EXPECT_DOUBLE_EQ(vec::norm_inf(x), 3.0);
+  EXPECT_DOUBLE_EQ(vec::norm2(x), std::sqrt(14.0));
+}
+
+TEST(VectorOps, NormInequalitiesHold) {
+  Rng rng(8);
+  Vector x(101);
+  vec::fill_uniform(x, rng);
+  const double n1 = vec::norm1(x);
+  const double n2 = vec::norm2(x);
+  const double ninf = vec::norm_inf(x);
+  EXPECT_LE(ninf, n2 + 1e-14);
+  EXPECT_LE(n2, n1 + 1e-14);
+  EXPECT_LE(n1, 101.0 * ninf + 1e-12);
+}
+
+TEST(VectorOps, FillUniformRange) {
+  Rng rng(2);
+  Vector x(1000);
+  vec::fill_uniform(x, rng, -1.0, 1.0);
+  for (double v : x) {
+    ASSERT_GE(v, -1.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(VectorOps, Fill) {
+  Vector x(5);
+  vec::fill(x, 7.5);
+  for (double v : x) EXPECT_DOUBLE_EQ(v, 7.5);
+}
+
+TEST(VectorOps, MaxAbsDiff) {
+  Vector x{1, 2, 3};
+  Vector y{1, 2.5, 2};
+  EXPECT_DOUBLE_EQ(vec::max_abs_diff(x, y), 1.0);
+  EXPECT_DOUBLE_EQ(vec::max_abs_diff(x, x), 0.0);
+}
+
+TEST(VectorOps, EmptyVectorsAreHandled) {
+  Vector x;
+  EXPECT_DOUBLE_EQ(vec::norm1(x), 0.0);
+  EXPECT_DOUBLE_EQ(vec::norm2(x), 0.0);
+  EXPECT_DOUBLE_EQ(vec::norm_inf(x), 0.0);
+}
+
+}  // namespace
+}  // namespace ajac

@@ -1,0 +1,55 @@
+#pragma once
+// Shared fixtures/utilities for the test suite.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ajac/sparse/csr.hpp"
+#include "ajac/sparse/types.hpp"
+
+namespace ajac::testing {
+
+/// Small dense-checkable symmetric matrix with unit diagonal:
+///   A = I - c * (adjacency of a path graph), W.D.D. for c <= 0.5.
+inline CsrMatrix unit_diag_path(index_t n, double c) {
+  std::vector<index_t> row_ptr{0};
+  std::vector<index_t> col_idx;
+  std::vector<double> values;
+  for (index_t i = 0; i < n; ++i) {
+    if (i > 0) {
+      col_idx.push_back(i - 1);
+      values.push_back(-c);
+    }
+    col_idx.push_back(i);
+    values.push_back(1.0);
+    if (i + 1 < n) {
+      col_idx.push_back(i + 1);
+      values.push_back(-c);
+    }
+    row_ptr.push_back(static_cast<index_t>(col_idx.size()));
+  }
+  return CsrMatrix(n, n, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+/// Exact spectral radius of the Jacobi iteration matrix of the 2D 5-point
+/// Laplacian on an nx-by-ny grid: (cos(pi/(nx+1)) + cos(pi/(ny+1)))/2.
+inline double fd2d_jacobi_rho(index_t nx, index_t ny) {
+  return 0.5 * (std::cos(M_PI / static_cast<double>(nx + 1)) +
+                std::cos(M_PI / static_cast<double>(ny + 1)));
+}
+
+/// ||A x - y||_inf.
+inline double apply_diff_inf(const CsrMatrix& a, const Vector& x,
+                             const Vector& y) {
+  Vector ax(static_cast<std::size_t>(a.num_rows()));
+  a.spmv(x, ax);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < ax.size(); ++i) {
+    acc = std::max(acc, std::abs(ax[i] - y[i]));
+  }
+  return acc;
+}
+
+}  // namespace ajac::testing

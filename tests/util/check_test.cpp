@@ -1,0 +1,34 @@
+#include "ajac/util/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ajac {
+namespace {
+
+TEST(Check, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(AJAC_CHECK(1 + 1 == 2));
+}
+
+TEST(Check, FailingCheckThrowsLogicError) {
+  EXPECT_THROW(AJAC_CHECK(false), std::logic_error);
+}
+
+TEST(Check, MessageIncludesExpressionAndText) {
+  try {
+    AJAC_CHECK_MSG(2 < 1, "custom context " << 42);
+    FAIL() << "expected throw";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("custom context 42"), std::string::npos);
+  }
+}
+
+TEST(Check, DcheckCompiles) {
+  // In release builds AJAC_DCHECK is a no-op; in debug it throws. Either
+  // way this must compile and not fire for a true condition.
+  EXPECT_NO_THROW(AJAC_DCHECK(true));
+}
+
+}  // namespace
+}  // namespace ajac

@@ -1,0 +1,121 @@
+#include "ajac/util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ajac {
+namespace {
+
+CliParser make_parser() {
+  CliParser cli("prog", "test program");
+  cli.add_option("n", "100", "problem size");
+  cli.add_option("tol", "1e-3", "tolerance");
+  cli.add_option("name", "fd", "matrix name");
+  cli.add_option("list", "1,2,4", "sweep values");
+  cli.add_flag("verbose", "print more");
+  return cli;
+}
+
+TEST(CliParser, DefaultsApplyWithoutArguments) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get_int("n"), 100);
+  EXPECT_DOUBLE_EQ(cli.get_double("tol"), 1e-3);
+  EXPECT_EQ(cli.get_string("name"), "fd");
+  EXPECT_FALSE(cli.get_bool("verbose"));
+}
+
+TEST(CliParser, EqualsSyntax) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--n=42", "--tol=0.5", "--name=fe"};
+  ASSERT_TRUE(cli.parse(4, argv));
+  EXPECT_EQ(cli.get_int("n"), 42);
+  EXPECT_DOUBLE_EQ(cli.get_double("tol"), 0.5);
+  EXPECT_EQ(cli.get_string("name"), "fe");
+}
+
+TEST(CliParser, SpaceSyntax) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--n", "7"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.get_int("n"), 7);
+}
+
+TEST(CliParser, FlagSetsTrue) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--verbose"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_TRUE(cli.get_bool("verbose"));
+}
+
+TEST(CliParser, IntListParses) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--list=3,5,9"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  const auto v = cli.get_int_list("list");
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 3);
+  EXPECT_EQ(v[1], 5);
+  EXPECT_EQ(v[2], 9);
+}
+
+TEST(CliParser, DoubleListParses) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--list=0.5,2.5"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  const auto v = cli.get_double_list("list");
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_DOUBLE_EQ(v[0], 0.5);
+  EXPECT_DOUBLE_EQ(v[1], 2.5);
+}
+
+TEST(CliParser, UnknownOptionThrows) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_THROW(cli.parse(2, argv), std::invalid_argument);
+}
+
+TEST(CliParser, MalformedIntThrows) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--n=abc"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_THROW(cli.get_int("n"), std::invalid_argument);
+}
+
+TEST(CliParser, MalformedBoolThrows) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--name=fe"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_THROW(cli.get_bool("name"), std::invalid_argument);
+}
+
+TEST(CliParser, HelpReturnsFalse) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(CliParser, PositionalArgumentRejected) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "positional"};
+  EXPECT_THROW(cli.parse(2, argv), std::invalid_argument);
+}
+
+TEST(CliParser, MissingValueThrows) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--n"};
+  EXPECT_THROW(cli.parse(2, argv), std::invalid_argument);
+}
+
+TEST(CliParser, HelpListsOptions) {
+  CliParser cli = make_parser();
+  const std::string help = cli.help();
+  EXPECT_NE(help.find("--n"), std::string::npos);
+  EXPECT_NE(help.find("--verbose"), std::string::npos);
+  EXPECT_NE(help.find("problem size"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ajac

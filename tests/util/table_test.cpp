@@ -1,0 +1,75 @@
+#include "ajac/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace ajac {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({std::string("alpha"), std::int64_t{42}});
+  t.add_row({std::string("b"), 3.5});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+  EXPECT_NE(s.find("3.5"), std::string::npos);
+}
+
+TEST(Table, CsvRoundTripBasics) {
+  Table t({"a", "b"});
+  t.add_row({std::int64_t{1}, 2.5});
+  const std::string csv = t.to_csv();
+  EXPECT_EQ(csv, "a,b\n1,2.5\n");
+}
+
+TEST(Table, CsvQuotesCommasAndQuotes) {
+  Table t({"text"});
+  t.add_row({std::string("hello, world")});
+  t.add_row({std::string("say \"hi\"")});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"hello, world\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, WrongCellCountThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({std::int64_t{1}}), std::logic_error);
+}
+
+TEST(Table, DoubleFormatConfigurable) {
+  Table t({"x"});
+  t.set_double_format("%.2e");
+  t.add_row({12345.678});
+  EXPECT_NE(t.to_csv().find("1.23e+04"), std::string::npos);
+}
+
+TEST(Table, CountsRowsAndCols) {
+  Table t({"a", "b", "c"});
+  EXPECT_EQ(t.num_cols(), 3u);
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.add_row({std::int64_t{1}, std::int64_t{2}, std::int64_t{3}});
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(Table, WriteCsvCreatesFile) {
+  Table t({"k"});
+  t.add_row({std::int64_t{9}});
+  const std::string path = ::testing::TempDir() + "/ajac_table_test.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "k");
+  std::getline(in, line);
+  EXPECT_EQ(line, "9");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ajac

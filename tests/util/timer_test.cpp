@@ -1,0 +1,49 @@
+#include "ajac/util/timer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ajac {
+namespace {
+
+TEST(WallTimer, TimeIsMonotoneNonNegative) {
+  WallTimer t;
+  const double a = t.seconds();
+  const double b = t.seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(WallTimer, ResetRestartsClock) {
+  WallTimer t;
+  spin_wait_us(200.0);
+  const double before = t.seconds();
+  t.reset();
+  const double after = t.seconds();
+  EXPECT_LT(after, before);
+}
+
+TEST(WallTimer, UnitsAreConsistent) {
+  WallTimer t;
+  spin_wait_us(100.0);
+  const double s = t.seconds();
+  const double ms = t.milliseconds();
+  const double us = t.microseconds();
+  EXPECT_NEAR(ms, s * 1e3, s * 1e3 * 0.5);
+  EXPECT_NEAR(us, s * 1e6, s * 1e6 * 0.5);
+}
+
+TEST(SpinWait, WaitsAtLeastRequested) {
+  WallTimer t;
+  spin_wait_us(500.0);
+  EXPECT_GE(t.microseconds(), 500.0);
+}
+
+TEST(SpinWait, ZeroAndNegativeReturnImmediately) {
+  WallTimer t;
+  spin_wait_us(0.0);
+  spin_wait_us(-10.0);
+  EXPECT_LT(t.microseconds(), 1000.0);
+}
+
+}  // namespace
+}  // namespace ajac
