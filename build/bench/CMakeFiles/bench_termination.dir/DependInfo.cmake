@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_termination.cpp" "bench/CMakeFiles/bench_termination.dir/bench_termination.cpp.o" "gcc" "bench/CMakeFiles/bench_termination.dir/bench_termination.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ajac_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ajac_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ajac_distsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ajac_solvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ajac_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ajac_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ajac_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ajac_eig.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ajac_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ajac_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delayed_worker.dir/delayed_worker.cpp.o"
+  "CMakeFiles/delayed_worker.dir/delayed_worker.cpp.o.d"
+  "delayed_worker"
+  "delayed_worker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delayed_worker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

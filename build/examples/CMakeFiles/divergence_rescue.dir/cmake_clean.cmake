@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/divergence_rescue.dir/divergence_rescue.cpp.o"
+  "CMakeFiles/divergence_rescue.dir/divergence_rescue.cpp.o.d"
+  "divergence_rescue"
+  "divergence_rescue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/divergence_rescue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/propagation_model.dir/propagation_model.cpp.o"
+  "CMakeFiles/propagation_model.dir/propagation_model.cpp.o.d"
+  "propagation_model"
+  "propagation_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/propagation_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ajac_core.dir/core/ajac.cpp.o"
+  "CMakeFiles/ajac_core.dir/core/ajac.cpp.o.d"
+  "libajac_core.a"
+  "libajac_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ajac_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

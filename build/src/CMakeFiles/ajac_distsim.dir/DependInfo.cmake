@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/distsim/cost_model.cpp" "src/CMakeFiles/ajac_distsim.dir/distsim/cost_model.cpp.o" "gcc" "src/CMakeFiles/ajac_distsim.dir/distsim/cost_model.cpp.o.d"
+  "/root/repo/src/distsim/dist_jacobi.cpp" "src/CMakeFiles/ajac_distsim.dir/distsim/dist_jacobi.cpp.o" "gcc" "src/CMakeFiles/ajac_distsim.dir/distsim/dist_jacobi.cpp.o.d"
+  "/root/repo/src/distsim/local_block.cpp" "src/CMakeFiles/ajac_distsim.dir/distsim/local_block.cpp.o" "gcc" "src/CMakeFiles/ajac_distsim.dir/distsim/local_block.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ajac_solvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ajac_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ajac_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ajac_eig.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ajac_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ajac_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ajac_distsim.dir/distsim/cost_model.cpp.o"
+  "CMakeFiles/ajac_distsim.dir/distsim/cost_model.cpp.o.d"
+  "CMakeFiles/ajac_distsim.dir/distsim/dist_jacobi.cpp.o"
+  "CMakeFiles/ajac_distsim.dir/distsim/dist_jacobi.cpp.o.d"
+  "CMakeFiles/ajac_distsim.dir/distsim/local_block.cpp.o"
+  "CMakeFiles/ajac_distsim.dir/distsim/local_block.cpp.o.d"
+  "libajac_distsim.a"
+  "libajac_distsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ajac_distsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

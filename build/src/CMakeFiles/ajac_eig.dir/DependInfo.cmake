@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eig/dense_eig.cpp" "src/CMakeFiles/ajac_eig.dir/eig/dense_eig.cpp.o" "gcc" "src/CMakeFiles/ajac_eig.dir/eig/dense_eig.cpp.o.d"
+  "/root/repo/src/eig/lanczos.cpp" "src/CMakeFiles/ajac_eig.dir/eig/lanczos.cpp.o" "gcc" "src/CMakeFiles/ajac_eig.dir/eig/lanczos.cpp.o.d"
+  "/root/repo/src/eig/operators.cpp" "src/CMakeFiles/ajac_eig.dir/eig/operators.cpp.o" "gcc" "src/CMakeFiles/ajac_eig.dir/eig/operators.cpp.o.d"
+  "/root/repo/src/eig/power.cpp" "src/CMakeFiles/ajac_eig.dir/eig/power.cpp.o" "gcc" "src/CMakeFiles/ajac_eig.dir/eig/power.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ajac_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ajac_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

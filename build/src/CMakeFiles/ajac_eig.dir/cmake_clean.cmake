@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ajac_eig.dir/eig/dense_eig.cpp.o"
+  "CMakeFiles/ajac_eig.dir/eig/dense_eig.cpp.o.d"
+  "CMakeFiles/ajac_eig.dir/eig/lanczos.cpp.o"
+  "CMakeFiles/ajac_eig.dir/eig/lanczos.cpp.o.d"
+  "CMakeFiles/ajac_eig.dir/eig/operators.cpp.o"
+  "CMakeFiles/ajac_eig.dir/eig/operators.cpp.o.d"
+  "CMakeFiles/ajac_eig.dir/eig/power.cpp.o"
+  "CMakeFiles/ajac_eig.dir/eig/power.cpp.o.d"
+  "libajac_eig.a"
+  "libajac_eig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ajac_eig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/analogues.cpp" "src/CMakeFiles/ajac_gen.dir/gen/analogues.cpp.o" "gcc" "src/CMakeFiles/ajac_gen.dir/gen/analogues.cpp.o.d"
+  "/root/repo/src/gen/fd.cpp" "src/CMakeFiles/ajac_gen.dir/gen/fd.cpp.o" "gcc" "src/CMakeFiles/ajac_gen.dir/gen/fd.cpp.o.d"
+  "/root/repo/src/gen/fe.cpp" "src/CMakeFiles/ajac_gen.dir/gen/fe.cpp.o" "gcc" "src/CMakeFiles/ajac_gen.dir/gen/fe.cpp.o.d"
+  "/root/repo/src/gen/problem.cpp" "src/CMakeFiles/ajac_gen.dir/gen/problem.cpp.o" "gcc" "src/CMakeFiles/ajac_gen.dir/gen/problem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ajac_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ajac_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ajac_gen.dir/gen/analogues.cpp.o"
+  "CMakeFiles/ajac_gen.dir/gen/analogues.cpp.o.d"
+  "CMakeFiles/ajac_gen.dir/gen/fd.cpp.o"
+  "CMakeFiles/ajac_gen.dir/gen/fd.cpp.o.d"
+  "CMakeFiles/ajac_gen.dir/gen/fe.cpp.o"
+  "CMakeFiles/ajac_gen.dir/gen/fe.cpp.o.d"
+  "CMakeFiles/ajac_gen.dir/gen/problem.cpp.o"
+  "CMakeFiles/ajac_gen.dir/gen/problem.cpp.o.d"
+  "libajac_gen.a"
+  "libajac_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ajac_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

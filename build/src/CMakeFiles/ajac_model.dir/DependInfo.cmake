@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/bounds.cpp" "src/CMakeFiles/ajac_model.dir/model/bounds.cpp.o" "gcc" "src/CMakeFiles/ajac_model.dir/model/bounds.cpp.o.d"
+  "/root/repo/src/model/executor.cpp" "src/CMakeFiles/ajac_model.dir/model/executor.cpp.o" "gcc" "src/CMakeFiles/ajac_model.dir/model/executor.cpp.o.d"
+  "/root/repo/src/model/mask.cpp" "src/CMakeFiles/ajac_model.dir/model/mask.cpp.o" "gcc" "src/CMakeFiles/ajac_model.dir/model/mask.cpp.o.d"
+  "/root/repo/src/model/propagation.cpp" "src/CMakeFiles/ajac_model.dir/model/propagation.cpp.o" "gcc" "src/CMakeFiles/ajac_model.dir/model/propagation.cpp.o.d"
+  "/root/repo/src/model/schedule.cpp" "src/CMakeFiles/ajac_model.dir/model/schedule.cpp.o" "gcc" "src/CMakeFiles/ajac_model.dir/model/schedule.cpp.o.d"
+  "/root/repo/src/model/theory.cpp" "src/CMakeFiles/ajac_model.dir/model/theory.cpp.o" "gcc" "src/CMakeFiles/ajac_model.dir/model/theory.cpp.o.d"
+  "/root/repo/src/model/trace.cpp" "src/CMakeFiles/ajac_model.dir/model/trace.cpp.o" "gcc" "src/CMakeFiles/ajac_model.dir/model/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ajac_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ajac_eig.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ajac_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

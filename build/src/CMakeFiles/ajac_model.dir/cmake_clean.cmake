@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ajac_model.dir/model/bounds.cpp.o"
+  "CMakeFiles/ajac_model.dir/model/bounds.cpp.o.d"
+  "CMakeFiles/ajac_model.dir/model/executor.cpp.o"
+  "CMakeFiles/ajac_model.dir/model/executor.cpp.o.d"
+  "CMakeFiles/ajac_model.dir/model/mask.cpp.o"
+  "CMakeFiles/ajac_model.dir/model/mask.cpp.o.d"
+  "CMakeFiles/ajac_model.dir/model/propagation.cpp.o"
+  "CMakeFiles/ajac_model.dir/model/propagation.cpp.o.d"
+  "CMakeFiles/ajac_model.dir/model/schedule.cpp.o"
+  "CMakeFiles/ajac_model.dir/model/schedule.cpp.o.d"
+  "CMakeFiles/ajac_model.dir/model/theory.cpp.o"
+  "CMakeFiles/ajac_model.dir/model/theory.cpp.o.d"
+  "CMakeFiles/ajac_model.dir/model/trace.cpp.o"
+  "CMakeFiles/ajac_model.dir/model/trace.cpp.o.d"
+  "libajac_model.a"
+  "libajac_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ajac_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

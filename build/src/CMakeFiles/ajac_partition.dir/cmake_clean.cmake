@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ajac_partition.dir/partition/partition.cpp.o"
+  "CMakeFiles/ajac_partition.dir/partition/partition.cpp.o.d"
+  "libajac_partition.a"
+  "libajac_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ajac_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

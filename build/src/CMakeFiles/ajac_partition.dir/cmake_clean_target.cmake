@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libajac_partition.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ajac_runtime.dir/runtime/shared_jacobi.cpp.o"
+  "CMakeFiles/ajac_runtime.dir/runtime/shared_jacobi.cpp.o.d"
+  "libajac_runtime.a"
+  "libajac_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ajac_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ajac_solvers.dir/solvers/krylov.cpp.o"
+  "CMakeFiles/ajac_solvers.dir/solvers/krylov.cpp.o.d"
+  "CMakeFiles/ajac_solvers.dir/solvers/stationary.cpp.o"
+  "CMakeFiles/ajac_solvers.dir/solvers/stationary.cpp.o.d"
+  "libajac_solvers.a"
+  "libajac_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ajac_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/coo.cpp" "src/CMakeFiles/ajac_sparse.dir/sparse/coo.cpp.o" "gcc" "src/CMakeFiles/ajac_sparse.dir/sparse/coo.cpp.o.d"
+  "/root/repo/src/sparse/csr.cpp" "src/CMakeFiles/ajac_sparse.dir/sparse/csr.cpp.o" "gcc" "src/CMakeFiles/ajac_sparse.dir/sparse/csr.cpp.o.d"
+  "/root/repo/src/sparse/dense.cpp" "src/CMakeFiles/ajac_sparse.dir/sparse/dense.cpp.o" "gcc" "src/CMakeFiles/ajac_sparse.dir/sparse/dense.cpp.o.d"
+  "/root/repo/src/sparse/mm_io.cpp" "src/CMakeFiles/ajac_sparse.dir/sparse/mm_io.cpp.o" "gcc" "src/CMakeFiles/ajac_sparse.dir/sparse/mm_io.cpp.o.d"
+  "/root/repo/src/sparse/permute.cpp" "src/CMakeFiles/ajac_sparse.dir/sparse/permute.cpp.o" "gcc" "src/CMakeFiles/ajac_sparse.dir/sparse/permute.cpp.o.d"
+  "/root/repo/src/sparse/properties.cpp" "src/CMakeFiles/ajac_sparse.dir/sparse/properties.cpp.o" "gcc" "src/CMakeFiles/ajac_sparse.dir/sparse/properties.cpp.o.d"
+  "/root/repo/src/sparse/scaling.cpp" "src/CMakeFiles/ajac_sparse.dir/sparse/scaling.cpp.o" "gcc" "src/CMakeFiles/ajac_sparse.dir/sparse/scaling.cpp.o.d"
+  "/root/repo/src/sparse/stats.cpp" "src/CMakeFiles/ajac_sparse.dir/sparse/stats.cpp.o" "gcc" "src/CMakeFiles/ajac_sparse.dir/sparse/stats.cpp.o.d"
+  "/root/repo/src/sparse/submatrix.cpp" "src/CMakeFiles/ajac_sparse.dir/sparse/submatrix.cpp.o" "gcc" "src/CMakeFiles/ajac_sparse.dir/sparse/submatrix.cpp.o.d"
+  "/root/repo/src/sparse/vector_ops.cpp" "src/CMakeFiles/ajac_sparse.dir/sparse/vector_ops.cpp.o" "gcc" "src/CMakeFiles/ajac_sparse.dir/sparse/vector_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ajac_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

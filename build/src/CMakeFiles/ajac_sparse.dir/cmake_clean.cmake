@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ajac_sparse.dir/sparse/coo.cpp.o"
+  "CMakeFiles/ajac_sparse.dir/sparse/coo.cpp.o.d"
+  "CMakeFiles/ajac_sparse.dir/sparse/csr.cpp.o"
+  "CMakeFiles/ajac_sparse.dir/sparse/csr.cpp.o.d"
+  "CMakeFiles/ajac_sparse.dir/sparse/dense.cpp.o"
+  "CMakeFiles/ajac_sparse.dir/sparse/dense.cpp.o.d"
+  "CMakeFiles/ajac_sparse.dir/sparse/mm_io.cpp.o"
+  "CMakeFiles/ajac_sparse.dir/sparse/mm_io.cpp.o.d"
+  "CMakeFiles/ajac_sparse.dir/sparse/permute.cpp.o"
+  "CMakeFiles/ajac_sparse.dir/sparse/permute.cpp.o.d"
+  "CMakeFiles/ajac_sparse.dir/sparse/properties.cpp.o"
+  "CMakeFiles/ajac_sparse.dir/sparse/properties.cpp.o.d"
+  "CMakeFiles/ajac_sparse.dir/sparse/scaling.cpp.o"
+  "CMakeFiles/ajac_sparse.dir/sparse/scaling.cpp.o.d"
+  "CMakeFiles/ajac_sparse.dir/sparse/stats.cpp.o"
+  "CMakeFiles/ajac_sparse.dir/sparse/stats.cpp.o.d"
+  "CMakeFiles/ajac_sparse.dir/sparse/submatrix.cpp.o"
+  "CMakeFiles/ajac_sparse.dir/sparse/submatrix.cpp.o.d"
+  "CMakeFiles/ajac_sparse.dir/sparse/vector_ops.cpp.o"
+  "CMakeFiles/ajac_sparse.dir/sparse/vector_ops.cpp.o.d"
+  "libajac_sparse.a"
+  "libajac_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ajac_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

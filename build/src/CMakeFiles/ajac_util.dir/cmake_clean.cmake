@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ajac_util.dir/util/check.cpp.o"
+  "CMakeFiles/ajac_util.dir/util/check.cpp.o.d"
+  "CMakeFiles/ajac_util.dir/util/cli.cpp.o"
+  "CMakeFiles/ajac_util.dir/util/cli.cpp.o.d"
+  "CMakeFiles/ajac_util.dir/util/rng.cpp.o"
+  "CMakeFiles/ajac_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/ajac_util.dir/util/table.cpp.o"
+  "CMakeFiles/ajac_util.dir/util/table.cpp.o.d"
+  "libajac_util.a"
+  "libajac_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ajac_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ajac_test_core.dir/core/api_test.cpp.o"
+  "CMakeFiles/ajac_test_core.dir/core/api_test.cpp.o.d"
+  "ajac_test_core"
+  "ajac_test_core.pdb"
+  "ajac_test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ajac_test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

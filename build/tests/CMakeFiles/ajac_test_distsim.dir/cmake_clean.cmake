@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ajac_test_distsim.dir/distsim/cost_model_test.cpp.o"
+  "CMakeFiles/ajac_test_distsim.dir/distsim/cost_model_test.cpp.o.d"
+  "CMakeFiles/ajac_test_distsim.dir/distsim/dist_jacobi_test.cpp.o"
+  "CMakeFiles/ajac_test_distsim.dir/distsim/dist_jacobi_test.cpp.o.d"
+  "CMakeFiles/ajac_test_distsim.dir/distsim/local_block_test.cpp.o"
+  "CMakeFiles/ajac_test_distsim.dir/distsim/local_block_test.cpp.o.d"
+  "CMakeFiles/ajac_test_distsim.dir/distsim/rank_stats_test.cpp.o"
+  "CMakeFiles/ajac_test_distsim.dir/distsim/rank_stats_test.cpp.o.d"
+  "CMakeFiles/ajac_test_distsim.dir/distsim/termination_test.cpp.o"
+  "CMakeFiles/ajac_test_distsim.dir/distsim/termination_test.cpp.o.d"
+  "ajac_test_distsim"
+  "ajac_test_distsim.pdb"
+  "ajac_test_distsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ajac_test_distsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/eig/dense_eig_test.cpp" "tests/CMakeFiles/ajac_test_eig.dir/eig/dense_eig_test.cpp.o" "gcc" "tests/CMakeFiles/ajac_test_eig.dir/eig/dense_eig_test.cpp.o.d"
+  "/root/repo/tests/eig/lanczos_test.cpp" "tests/CMakeFiles/ajac_test_eig.dir/eig/lanczos_test.cpp.o" "gcc" "tests/CMakeFiles/ajac_test_eig.dir/eig/lanczos_test.cpp.o.d"
+  "/root/repo/tests/eig/omega_test.cpp" "tests/CMakeFiles/ajac_test_eig.dir/eig/omega_test.cpp.o" "gcc" "tests/CMakeFiles/ajac_test_eig.dir/eig/omega_test.cpp.o.d"
+  "/root/repo/tests/eig/power_test.cpp" "tests/CMakeFiles/ajac_test_eig.dir/eig/power_test.cpp.o" "gcc" "tests/CMakeFiles/ajac_test_eig.dir/eig/power_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ajac_eig.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ajac_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ajac_solvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ajac_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ajac_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ajac_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ajac_test_eig.dir/eig/dense_eig_test.cpp.o"
+  "CMakeFiles/ajac_test_eig.dir/eig/dense_eig_test.cpp.o.d"
+  "CMakeFiles/ajac_test_eig.dir/eig/lanczos_test.cpp.o"
+  "CMakeFiles/ajac_test_eig.dir/eig/lanczos_test.cpp.o.d"
+  "CMakeFiles/ajac_test_eig.dir/eig/omega_test.cpp.o"
+  "CMakeFiles/ajac_test_eig.dir/eig/omega_test.cpp.o.d"
+  "CMakeFiles/ajac_test_eig.dir/eig/power_test.cpp.o"
+  "CMakeFiles/ajac_test_eig.dir/eig/power_test.cpp.o.d"
+  "ajac_test_eig"
+  "ajac_test_eig.pdb"
+  "ajac_test_eig[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ajac_test_eig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

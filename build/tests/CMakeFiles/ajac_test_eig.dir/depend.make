@@ -1,0 +1,2 @@
+# Empty dependencies file for ajac_test_eig.
+# This may be replaced when dependencies are built.

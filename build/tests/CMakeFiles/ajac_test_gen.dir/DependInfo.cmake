@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gen/analogues_test.cpp" "tests/CMakeFiles/ajac_test_gen.dir/gen/analogues_test.cpp.o" "gcc" "tests/CMakeFiles/ajac_test_gen.dir/gen/analogues_test.cpp.o.d"
+  "/root/repo/tests/gen/fd_test.cpp" "tests/CMakeFiles/ajac_test_gen.dir/gen/fd_test.cpp.o" "gcc" "tests/CMakeFiles/ajac_test_gen.dir/gen/fd_test.cpp.o.d"
+  "/root/repo/tests/gen/fe_test.cpp" "tests/CMakeFiles/ajac_test_gen.dir/gen/fe_test.cpp.o" "gcc" "tests/CMakeFiles/ajac_test_gen.dir/gen/fe_test.cpp.o.d"
+  "/root/repo/tests/gen/problem_test.cpp" "tests/CMakeFiles/ajac_test_gen.dir/gen/problem_test.cpp.o" "gcc" "tests/CMakeFiles/ajac_test_gen.dir/gen/problem_test.cpp.o.d"
+  "/root/repo/tests/gen/stencils_test.cpp" "tests/CMakeFiles/ajac_test_gen.dir/gen/stencils_test.cpp.o" "gcc" "tests/CMakeFiles/ajac_test_gen.dir/gen/stencils_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ajac_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ajac_eig.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ajac_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ajac_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

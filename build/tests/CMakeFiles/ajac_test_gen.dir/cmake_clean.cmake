@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ajac_test_gen.dir/gen/analogues_test.cpp.o"
+  "CMakeFiles/ajac_test_gen.dir/gen/analogues_test.cpp.o.d"
+  "CMakeFiles/ajac_test_gen.dir/gen/fd_test.cpp.o"
+  "CMakeFiles/ajac_test_gen.dir/gen/fd_test.cpp.o.d"
+  "CMakeFiles/ajac_test_gen.dir/gen/fe_test.cpp.o"
+  "CMakeFiles/ajac_test_gen.dir/gen/fe_test.cpp.o.d"
+  "CMakeFiles/ajac_test_gen.dir/gen/problem_test.cpp.o"
+  "CMakeFiles/ajac_test_gen.dir/gen/problem_test.cpp.o.d"
+  "CMakeFiles/ajac_test_gen.dir/gen/stencils_test.cpp.o"
+  "CMakeFiles/ajac_test_gen.dir/gen/stencils_test.cpp.o.d"
+  "ajac_test_gen"
+  "ajac_test_gen.pdb"
+  "ajac_test_gen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ajac_test_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ajac_test_integration.dir/integration/equivalence_test.cpp.o"
+  "CMakeFiles/ajac_test_integration.dir/integration/equivalence_test.cpp.o.d"
+  "CMakeFiles/ajac_test_integration.dir/integration/paper_claims_test.cpp.o"
+  "CMakeFiles/ajac_test_integration.dir/integration/paper_claims_test.cpp.o.d"
+  "CMakeFiles/ajac_test_integration.dir/integration/property_sweep_test.cpp.o"
+  "CMakeFiles/ajac_test_integration.dir/integration/property_sweep_test.cpp.o.d"
+  "ajac_test_integration"
+  "ajac_test_integration.pdb"
+  "ajac_test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ajac_test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

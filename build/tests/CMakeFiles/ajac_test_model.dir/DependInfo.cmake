@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/model/block_schedule_test.cpp" "tests/CMakeFiles/ajac_test_model.dir/model/block_schedule_test.cpp.o" "gcc" "tests/CMakeFiles/ajac_test_model.dir/model/block_schedule_test.cpp.o.d"
+  "/root/repo/tests/model/bounds_test.cpp" "tests/CMakeFiles/ajac_test_model.dir/model/bounds_test.cpp.o" "gcc" "tests/CMakeFiles/ajac_test_model.dir/model/bounds_test.cpp.o.d"
+  "/root/repo/tests/model/executor_test.cpp" "tests/CMakeFiles/ajac_test_model.dir/model/executor_test.cpp.o" "gcc" "tests/CMakeFiles/ajac_test_model.dir/model/executor_test.cpp.o.d"
+  "/root/repo/tests/model/mask_test.cpp" "tests/CMakeFiles/ajac_test_model.dir/model/mask_test.cpp.o" "gcc" "tests/CMakeFiles/ajac_test_model.dir/model/mask_test.cpp.o.d"
+  "/root/repo/tests/model/propagation_test.cpp" "tests/CMakeFiles/ajac_test_model.dir/model/propagation_test.cpp.o" "gcc" "tests/CMakeFiles/ajac_test_model.dir/model/propagation_test.cpp.o.d"
+  "/root/repo/tests/model/reduction_test.cpp" "tests/CMakeFiles/ajac_test_model.dir/model/reduction_test.cpp.o" "gcc" "tests/CMakeFiles/ajac_test_model.dir/model/reduction_test.cpp.o.d"
+  "/root/repo/tests/model/schedule_test.cpp" "tests/CMakeFiles/ajac_test_model.dir/model/schedule_test.cpp.o" "gcc" "tests/CMakeFiles/ajac_test_model.dir/model/schedule_test.cpp.o.d"
+  "/root/repo/tests/model/theory_test.cpp" "tests/CMakeFiles/ajac_test_model.dir/model/theory_test.cpp.o" "gcc" "tests/CMakeFiles/ajac_test_model.dir/model/theory_test.cpp.o.d"
+  "/root/repo/tests/model/trace_test.cpp" "tests/CMakeFiles/ajac_test_model.dir/model/trace_test.cpp.o" "gcc" "tests/CMakeFiles/ajac_test_model.dir/model/trace_test.cpp.o.d"
+  "/root/repo/tests/model/two_by_two_test.cpp" "tests/CMakeFiles/ajac_test_model.dir/model/two_by_two_test.cpp.o" "gcc" "tests/CMakeFiles/ajac_test_model.dir/model/two_by_two_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ajac_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ajac_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ajac_solvers.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ajac_eig.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ajac_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ajac_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ajac_test_model.dir/model/block_schedule_test.cpp.o"
+  "CMakeFiles/ajac_test_model.dir/model/block_schedule_test.cpp.o.d"
+  "CMakeFiles/ajac_test_model.dir/model/bounds_test.cpp.o"
+  "CMakeFiles/ajac_test_model.dir/model/bounds_test.cpp.o.d"
+  "CMakeFiles/ajac_test_model.dir/model/executor_test.cpp.o"
+  "CMakeFiles/ajac_test_model.dir/model/executor_test.cpp.o.d"
+  "CMakeFiles/ajac_test_model.dir/model/mask_test.cpp.o"
+  "CMakeFiles/ajac_test_model.dir/model/mask_test.cpp.o.d"
+  "CMakeFiles/ajac_test_model.dir/model/propagation_test.cpp.o"
+  "CMakeFiles/ajac_test_model.dir/model/propagation_test.cpp.o.d"
+  "CMakeFiles/ajac_test_model.dir/model/reduction_test.cpp.o"
+  "CMakeFiles/ajac_test_model.dir/model/reduction_test.cpp.o.d"
+  "CMakeFiles/ajac_test_model.dir/model/schedule_test.cpp.o"
+  "CMakeFiles/ajac_test_model.dir/model/schedule_test.cpp.o.d"
+  "CMakeFiles/ajac_test_model.dir/model/theory_test.cpp.o"
+  "CMakeFiles/ajac_test_model.dir/model/theory_test.cpp.o.d"
+  "CMakeFiles/ajac_test_model.dir/model/trace_test.cpp.o"
+  "CMakeFiles/ajac_test_model.dir/model/trace_test.cpp.o.d"
+  "CMakeFiles/ajac_test_model.dir/model/two_by_two_test.cpp.o"
+  "CMakeFiles/ajac_test_model.dir/model/two_by_two_test.cpp.o.d"
+  "ajac_test_model"
+  "ajac_test_model.pdb"
+  "ajac_test_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ajac_test_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ajac_test_partition.dir/partition/partition_test.cpp.o"
+  "CMakeFiles/ajac_test_partition.dir/partition/partition_test.cpp.o.d"
+  "CMakeFiles/ajac_test_partition.dir/partition/weighted_partition_test.cpp.o"
+  "CMakeFiles/ajac_test_partition.dir/partition/weighted_partition_test.cpp.o.d"
+  "ajac_test_partition"
+  "ajac_test_partition.pdb"
+  "ajac_test_partition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ajac_test_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

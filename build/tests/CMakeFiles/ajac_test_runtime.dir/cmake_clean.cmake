@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ajac_test_runtime.dir/runtime/local_gs_test.cpp.o"
+  "CMakeFiles/ajac_test_runtime.dir/runtime/local_gs_test.cpp.o.d"
+  "CMakeFiles/ajac_test_runtime.dir/runtime/shared_jacobi_test.cpp.o"
+  "CMakeFiles/ajac_test_runtime.dir/runtime/shared_jacobi_test.cpp.o.d"
+  "ajac_test_runtime"
+  "ajac_test_runtime.pdb"
+  "ajac_test_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ajac_test_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

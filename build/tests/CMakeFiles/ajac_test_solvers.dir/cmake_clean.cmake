@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ajac_test_solvers.dir/solvers/krylov_test.cpp.o"
+  "CMakeFiles/ajac_test_solvers.dir/solvers/krylov_test.cpp.o.d"
+  "CMakeFiles/ajac_test_solvers.dir/solvers/ssor_test.cpp.o"
+  "CMakeFiles/ajac_test_solvers.dir/solvers/ssor_test.cpp.o.d"
+  "CMakeFiles/ajac_test_solvers.dir/solvers/stationary_test.cpp.o"
+  "CMakeFiles/ajac_test_solvers.dir/solvers/stationary_test.cpp.o.d"
+  "ajac_test_solvers"
+  "ajac_test_solvers.pdb"
+  "ajac_test_solvers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ajac_test_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

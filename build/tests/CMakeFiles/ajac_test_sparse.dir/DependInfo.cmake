@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sparse/coo_test.cpp" "tests/CMakeFiles/ajac_test_sparse.dir/sparse/coo_test.cpp.o" "gcc" "tests/CMakeFiles/ajac_test_sparse.dir/sparse/coo_test.cpp.o.d"
+  "/root/repo/tests/sparse/csr_test.cpp" "tests/CMakeFiles/ajac_test_sparse.dir/sparse/csr_test.cpp.o" "gcc" "tests/CMakeFiles/ajac_test_sparse.dir/sparse/csr_test.cpp.o.d"
+  "/root/repo/tests/sparse/dense_test.cpp" "tests/CMakeFiles/ajac_test_sparse.dir/sparse/dense_test.cpp.o" "gcc" "tests/CMakeFiles/ajac_test_sparse.dir/sparse/dense_test.cpp.o.d"
+  "/root/repo/tests/sparse/mm_io_test.cpp" "tests/CMakeFiles/ajac_test_sparse.dir/sparse/mm_io_test.cpp.o" "gcc" "tests/CMakeFiles/ajac_test_sparse.dir/sparse/mm_io_test.cpp.o.d"
+  "/root/repo/tests/sparse/permute_test.cpp" "tests/CMakeFiles/ajac_test_sparse.dir/sparse/permute_test.cpp.o" "gcc" "tests/CMakeFiles/ajac_test_sparse.dir/sparse/permute_test.cpp.o.d"
+  "/root/repo/tests/sparse/properties_test.cpp" "tests/CMakeFiles/ajac_test_sparse.dir/sparse/properties_test.cpp.o" "gcc" "tests/CMakeFiles/ajac_test_sparse.dir/sparse/properties_test.cpp.o.d"
+  "/root/repo/tests/sparse/scaling_test.cpp" "tests/CMakeFiles/ajac_test_sparse.dir/sparse/scaling_test.cpp.o" "gcc" "tests/CMakeFiles/ajac_test_sparse.dir/sparse/scaling_test.cpp.o.d"
+  "/root/repo/tests/sparse/stats_test.cpp" "tests/CMakeFiles/ajac_test_sparse.dir/sparse/stats_test.cpp.o" "gcc" "tests/CMakeFiles/ajac_test_sparse.dir/sparse/stats_test.cpp.o.d"
+  "/root/repo/tests/sparse/submatrix_test.cpp" "tests/CMakeFiles/ajac_test_sparse.dir/sparse/submatrix_test.cpp.o" "gcc" "tests/CMakeFiles/ajac_test_sparse.dir/sparse/submatrix_test.cpp.o.d"
+  "/root/repo/tests/sparse/vector_ops_test.cpp" "tests/CMakeFiles/ajac_test_sparse.dir/sparse/vector_ops_test.cpp.o" "gcc" "tests/CMakeFiles/ajac_test_sparse.dir/sparse/vector_ops_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ajac_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ajac_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ajac_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

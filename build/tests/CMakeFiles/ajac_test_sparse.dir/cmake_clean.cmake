@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ajac_test_sparse.dir/sparse/coo_test.cpp.o"
+  "CMakeFiles/ajac_test_sparse.dir/sparse/coo_test.cpp.o.d"
+  "CMakeFiles/ajac_test_sparse.dir/sparse/csr_test.cpp.o"
+  "CMakeFiles/ajac_test_sparse.dir/sparse/csr_test.cpp.o.d"
+  "CMakeFiles/ajac_test_sparse.dir/sparse/dense_test.cpp.o"
+  "CMakeFiles/ajac_test_sparse.dir/sparse/dense_test.cpp.o.d"
+  "CMakeFiles/ajac_test_sparse.dir/sparse/mm_io_test.cpp.o"
+  "CMakeFiles/ajac_test_sparse.dir/sparse/mm_io_test.cpp.o.d"
+  "CMakeFiles/ajac_test_sparse.dir/sparse/permute_test.cpp.o"
+  "CMakeFiles/ajac_test_sparse.dir/sparse/permute_test.cpp.o.d"
+  "CMakeFiles/ajac_test_sparse.dir/sparse/properties_test.cpp.o"
+  "CMakeFiles/ajac_test_sparse.dir/sparse/properties_test.cpp.o.d"
+  "CMakeFiles/ajac_test_sparse.dir/sparse/scaling_test.cpp.o"
+  "CMakeFiles/ajac_test_sparse.dir/sparse/scaling_test.cpp.o.d"
+  "CMakeFiles/ajac_test_sparse.dir/sparse/stats_test.cpp.o"
+  "CMakeFiles/ajac_test_sparse.dir/sparse/stats_test.cpp.o.d"
+  "CMakeFiles/ajac_test_sparse.dir/sparse/submatrix_test.cpp.o"
+  "CMakeFiles/ajac_test_sparse.dir/sparse/submatrix_test.cpp.o.d"
+  "CMakeFiles/ajac_test_sparse.dir/sparse/vector_ops_test.cpp.o"
+  "CMakeFiles/ajac_test_sparse.dir/sparse/vector_ops_test.cpp.o.d"
+  "ajac_test_sparse"
+  "ajac_test_sparse.pdb"
+  "ajac_test_sparse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ajac_test_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

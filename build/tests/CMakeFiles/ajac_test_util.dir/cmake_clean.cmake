@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ajac_test_util.dir/util/check_test.cpp.o"
+  "CMakeFiles/ajac_test_util.dir/util/check_test.cpp.o.d"
+  "CMakeFiles/ajac_test_util.dir/util/cli_test.cpp.o"
+  "CMakeFiles/ajac_test_util.dir/util/cli_test.cpp.o.d"
+  "CMakeFiles/ajac_test_util.dir/util/rng_test.cpp.o"
+  "CMakeFiles/ajac_test_util.dir/util/rng_test.cpp.o.d"
+  "CMakeFiles/ajac_test_util.dir/util/table_test.cpp.o"
+  "CMakeFiles/ajac_test_util.dir/util/table_test.cpp.o.d"
+  "CMakeFiles/ajac_test_util.dir/util/timer_test.cpp.o"
+  "CMakeFiles/ajac_test_util.dir/util/timer_test.cpp.o.d"
+  "ajac_test_util"
+  "ajac_test_util.pdb"
+  "ajac_test_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ajac_test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

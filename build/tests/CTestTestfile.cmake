@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/ajac_test_util[1]_include.cmake")
+include("/root/repo/build/tests/ajac_test_sparse[1]_include.cmake")
+include("/root/repo/build/tests/ajac_test_gen[1]_include.cmake")
+include("/root/repo/build/tests/ajac_test_eig[1]_include.cmake")
+include("/root/repo/build/tests/ajac_test_model[1]_include.cmake")
+include("/root/repo/build/tests/ajac_test_solvers[1]_include.cmake")
+include("/root/repo/build/tests/ajac_test_partition[1]_include.cmake")
+include("/root/repo/build/tests/ajac_test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/ajac_test_distsim[1]_include.cmake")
+include("/root/repo/build/tests/ajac_test_core[1]_include.cmake")
+include("/root/repo/build/tests/ajac_test_integration[1]_include.cmake")
