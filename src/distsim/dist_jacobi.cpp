@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "ajac/sparse/csr.hpp"
+#include "ajac/sparse/validate.hpp"
 #include "ajac/sparse/vector_ops.hpp"
 #include "ajac/util/check.hpp"
 #include "ajac/util/rng.hpp"
@@ -157,6 +158,11 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
                      opts.inner_sweep == InnerSweep::kJacobi,
                  "read-version traces assume the Jacobi inner sweep (all "
                  "owned rows read the same snapshot)");
+  AJAC_DBG_VALIDATE(validate::csr_structure(
+      a, {.require_diagonal = true, .require_square = true}));
+  AJAC_DBG_VALIDATE(partition::validate(part, n));
+  AJAC_DBG_VALIDATE(validate::finite(b, "b"));
+  AJAC_DBG_VALIDATE(validate::finite(x0, "x0"));
 
   const std::vector<LocalBlock> blocks = build_local_blocks(a, part);
   const index_t num_procs = opts.num_processes;

@@ -42,6 +42,12 @@ struct Partition {
 /// naive distributed assignment does.
 [[nodiscard]] Partition contiguous_partition(index_t n, index_t num_parts);
 
+/// Debug-layer validator: throws std::logic_error unless `p` is a valid
+/// partition of rows [0, num_rows) — at least one part, block_starts
+/// starting at 0, non-decreasing (parts disjoint), and ending at num_rows
+/// (parts cover every row). Wire into hot paths via AJAC_DBG_VALIDATE.
+void validate(const Partition& p, index_t num_rows);
+
 struct PartitionedSystem {
   Permutation perm;      ///< new_to_old row order
   Partition partition;   ///< contiguous blocks in the *permuted* order

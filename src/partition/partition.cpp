@@ -30,6 +30,24 @@ Partition contiguous_partition(index_t n, index_t num_parts) {
   return p;
 }
 
+void validate(const Partition& p, index_t num_rows) {
+  AJAC_CHECK_MSG(p.block_starts.size() >= 2,
+                 "partition needs at least one part (block_starts size "
+                     << p.block_starts.size() << ")");
+  AJAC_CHECK_MSG(p.block_starts.front() == 0,
+                 "partition must start at row 0, got "
+                     << p.block_starts.front());
+  for (std::size_t k = 1; k < p.block_starts.size(); ++k) {
+    AJAC_CHECK_MSG(p.block_starts[k - 1] <= p.block_starts[k],
+                   "partition block_starts not monotone at part " << k - 1
+                       << ": " << p.block_starts[k - 1] << " > "
+                       << p.block_starts[k]);
+  }
+  AJAC_CHECK_MSG(p.block_starts.back() == num_rows,
+                 "partition covers rows [0," << p.block_starts.back()
+                     << ") but the system has " << num_rows << " rows");
+}
+
 namespace {
 
 /// BFS from `start`, returning the vertex order and the last level set.

@@ -1,0 +1,151 @@
+#pragma once
+// Shared value array for the asynchronous shared-memory runtime.
+//
+// This is the C++-legal form of the paper's relaxation scheme: "writing or
+// reading an aligned double is atomic on modern Intel processors" (Sec. V)
+// becomes an array of std::atomic<double> accessed with relaxed ordering.
+// The races between plain read() and write() are *intended* — they are
+// what makes the method asynchronous — and because every access is atomic
+// they are benign under both the C++ memory model and ThreadSanitizer
+// (relaxed atomics are never data races, so a TSan run needs no
+// annotations here).
+//
+// When tracing is on, each entry carries a seqlock so a reader can pair a
+// value with the write count ("version") that produced it, feeding the
+// propagation-matrix analysis of Sec. IV-A/Fig. 2. The seqlock uses
+// per-element acquire/release orderings rather than std::atomic_thread_fence:
+// TSan does not model fences, but it models acquire/release accesses
+// precisely, so this formulation is verifiable while the fence-based one is
+// not (and tools/lint.sh bans raw fences outside ajac/util/annotate.hpp).
+//
+// Concurrency contract: any number of concurrent readers; at most one
+// writer per element at a time (in the runtime each row has exactly one
+// owning thread). A second concurrent writer to the same element would
+// corrupt the seqlock protocol; debug builds assert against it.
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "ajac/sparse/types.hpp"
+#include "ajac/util/annotate.hpp"
+#include "ajac/util/check.hpp"
+
+namespace ajac::runtime {
+
+class SharedVector {
+ public:
+  explicit SharedVector(index_t n, bool traced = false)
+      : values_(static_cast<std::size_t>(n)), traced_(traced) {
+    if (traced_) {
+      seq_ = std::vector<std::atomic<std::int64_t>>(
+          static_cast<std::size_t>(n));
+      for (auto& s : seq_) s.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  /// Single-threaded initialization (before the solve's threads start).
+  void init(std::span<const double> x) {
+    AJAC_DBG_CHECK(x.size() == values_.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      values_[i].store(x[i], std::memory_order_relaxed);
+    }
+  }
+
+  /// Plain racy read (the paper's scheme).
+  [[nodiscard]] double read(index_t i) const {
+    AJAC_DBG_CHECK(in_range(i));
+    return values_[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed);
+  }
+
+  /// Read value + version consistently (seqlock). Only valid when traced.
+  ///
+  /// Retry discipline: a reader that observes a write in progress (odd
+  /// sequence number) or a torn interval (s1 != s2) spins with a CPU relax
+  /// hint for a bounded number of attempts, then yields the OS thread —
+  /// on oversubscribed machines the writer may be descheduled mid-write
+  /// and a bare busy-wait would burn its whole time slice.
+  [[nodiscard]] std::pair<double, index_t> read_versioned(index_t i) const {
+    AJAC_DBG_CHECK(in_range(i));
+    AJAC_DBG_CHECK_MSG(traced_, "read_versioned on an untraced SharedVector");
+    const auto& seq = seq_[static_cast<std::size_t>(i)];
+    const auto& value = values_[static_cast<std::size_t>(i)];
+    for (int spins = 0;; ++spins) {
+      // Acquire pairs with the writer's release of the closing sequence
+      // number: after seeing an even s1 we see the matching value.
+      const std::int64_t s1 = seq.load(std::memory_order_acquire);
+      if (!(s1 & 1)) {
+        // The acquire load of the value keeps the s2 load below from being
+        // reordered before it (this replaces the acquire fence of the
+        // classic formulation), and pairs with the writer's release store
+        // of the value: a reader that sees the new value must then see
+        // s2 >= s1 + 1 and retry.
+        const double v = value.load(std::memory_order_acquire);
+        const std::int64_t s2 = seq.load(std::memory_order_relaxed);
+        if (s1 == s2) return {v, static_cast<index_t>(s1 / 2)};
+      }
+      if (spins < kSpinLimit) {
+        cpu_relax();
+      } else {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+  }
+
+  void write(index_t i, double v) {
+    AJAC_DBG_CHECK(in_range(i));
+    if (traced_) {
+      auto& seq = seq_[static_cast<std::size_t>(i)];
+      const std::int64_t s = seq.load(std::memory_order_relaxed);
+      AJAC_DBG_CHECK_MSG(!(s & 1),
+                         "concurrent writers on SharedVector element " << i);
+      seq.store(s + 1, std::memory_order_relaxed);
+      // Release: a reader that acquires this value also sees the odd
+      // sequence number above, so it cannot pair the new value with the
+      // old version (replaces the release fence of the classic seqlock).
+      values_[static_cast<std::size_t>(i)].store(v,
+                                                 std::memory_order_release);
+      seq.store(s + 2, std::memory_order_release);
+    } else {
+      values_[static_cast<std::size_t>(i)].store(v,
+                                                 std::memory_order_relaxed);
+    }
+  }
+
+  /// Number of completed writes to element i (traced vectors only).
+  [[nodiscard]] index_t version(index_t i) const {
+    AJAC_DBG_CHECK(in_range(i));
+    AJAC_DBG_CHECK(traced_);
+    return static_cast<index_t>(
+        seq_[static_cast<std::size_t>(i)].load(std::memory_order_acquire) /
+        2);
+  }
+
+  [[nodiscard]] bool traced() const noexcept { return traced_; }
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+
+  void snapshot(std::span<double> out) const {
+    AJAC_DBG_CHECK(out.size() == values_.size());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = read(static_cast<index_t>(i));
+    }
+  }
+
+ private:
+  static constexpr int kSpinLimit = 64;
+
+  [[nodiscard]] bool in_range(index_t i) const noexcept {
+    return i >= 0 && static_cast<std::size_t>(i) < values_.size();
+  }
+
+  std::vector<std::atomic<double>> values_;
+  std::vector<std::atomic<std::int64_t>> seq_;
+  bool traced_;
+};
+
+}  // namespace ajac::runtime

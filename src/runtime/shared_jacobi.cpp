@@ -7,76 +7,15 @@
 #include <atomic>
 #include <cmath>
 
+#include "ajac/runtime/shared_vector.hpp"
 #include "ajac/sparse/csr.hpp"
+#include "ajac/sparse/validate.hpp"
 #include "ajac/sparse/vector_ops.hpp"
+#include "ajac/util/annotate.hpp"
 #include "ajac/util/check.hpp"
 #include "ajac/util/timer.hpp"
 
 namespace ajac::runtime {
-
-namespace {
-
-/// Shared value array with an optional seqlock per entry so readers can
-/// pair a value with the write count ("version") that produced it.
-class SharedVector {
- public:
-  SharedVector(index_t n, bool traced)
-      : values_(static_cast<std::size_t>(n)), traced_(traced) {
-    if (traced_) {
-      seq_ = std::vector<std::atomic<std::int64_t>>(
-          static_cast<std::size_t>(n));
-      for (auto& s : seq_) s.store(0, std::memory_order_relaxed);
-    }
-  }
-
-  void init(std::span<const double> x) {
-    for (std::size_t i = 0; i < x.size(); ++i) {
-      values_[i].store(x[i], std::memory_order_relaxed);
-    }
-  }
-
-  /// Plain racy read (the paper's scheme).
-  [[nodiscard]] double read(index_t i) const {
-    return values_[i].load(std::memory_order_relaxed);
-  }
-
-  /// Read value + version consistently (seqlock). Only valid when traced.
-  [[nodiscard]] std::pair<double, index_t> read_versioned(index_t i) const {
-    for (;;) {
-      const std::int64_t s1 = seq_[i].load(std::memory_order_acquire);
-      if (s1 & 1) continue;  // write in progress
-      const double v = values_[i].load(std::memory_order_relaxed);
-      std::atomic_thread_fence(std::memory_order_acquire);
-      const std::int64_t s2 = seq_[i].load(std::memory_order_relaxed);
-      if (s1 == s2) return {v, static_cast<index_t>(s1 / 2)};
-    }
-  }
-
-  void write(index_t i, double v) {
-    if (traced_) {
-      const std::int64_t s = seq_[i].load(std::memory_order_relaxed);
-      seq_[i].store(s + 1, std::memory_order_relaxed);
-      std::atomic_thread_fence(std::memory_order_release);
-      values_[i].store(v, std::memory_order_relaxed);
-      seq_[i].store(s + 2, std::memory_order_release);
-    } else {
-      values_[i].store(v, std::memory_order_relaxed);
-    }
-  }
-
-  [[nodiscard]] std::size_t size() const { return values_.size(); }
-
-  void snapshot(std::span<double> out) const {
-    for (std::size_t i = 0; i < out.size(); ++i) out[i] = read(i);
-  }
-
- private:
-  std::vector<std::atomic<double>> values_;
-  std::vector<std::atomic<std::int64_t>> seq_;
-  bool traced_;
-};
-
-}  // namespace
 
 SharedResult solve_shared(const CsrMatrix& a, const Vector& b,
                           const Vector& x0, const SharedOptions& opts) {
@@ -101,6 +40,15 @@ SharedResult solve_shared(const CsrMatrix& a, const Vector& b,
           n, opts.num_threads));
   AJAC_CHECK(part.num_parts() == opts.num_threads);
   AJAC_CHECK(part.num_rows() == n);
+
+  // Debug invariant layer: full structural audit of the inputs before the
+  // threads start (compiled out in release builds).
+  AJAC_DBG_VALIDATE(validate::csr_structure(
+      a, {.require_sorted_rows = true, .require_diagonal = true,
+          .require_finite = true, .require_square = true}));
+  AJAC_DBG_VALIDATE(partition::validate(part, n));
+  AJAC_DBG_VALIDATE(validate::finite(b, "b"));
+  AJAC_DBG_VALIDATE(validate::finite(x0, "x0"));
 
   Vector inv_diag = a.diagonal();
   for (index_t i = 0; i < n; ++i) {
@@ -141,8 +89,14 @@ SharedResult solve_shared(const CsrMatrix& a, const Vector& b,
 
   WallTimer timer;
 
+  // OpenMP fork/join synchronization happens inside libgomp (futexes TSan
+  // cannot see); hand TSan the happens-before edges explicitly. Everything
+  // crossing threads *inside* the region is std::atomic and needs nothing.
+  AJAC_TSAN_RELEASE(&result);
+
 #pragma omp parallel num_threads(static_cast<int>(opts.num_threads))
   {
+    AJAC_TSAN_ACQUIRE(&result);
     const auto t = static_cast<index_t>(omp_get_thread_num());
     const index_t lo = part.part_begin(t);
     const index_t hi = part.part_end(t);
@@ -284,7 +238,9 @@ SharedResult solve_shared(const CsrMatrix& a, const Vector& b,
       }
     }
     result.iterations_per_thread[static_cast<std::size_t>(t)] = iter;
+    AJAC_TSAN_RELEASE(&result);
   }
+  AJAC_TSAN_ACQUIRE(&result);
 
   result.seconds = timer.seconds();
   result.x.resize(static_cast<std::size_t>(n));

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "ajac/sparse/csr.hpp"
+#include "ajac/sparse/validate.hpp"
 #include "ajac/sparse/vector_ops.hpp"
 #include "ajac/util/check.hpp"
 
@@ -14,6 +15,9 @@ CgResult conjugate_gradient(const CsrMatrix& a, const Vector& b,
   const index_t n = a.num_rows();
   AJAC_CHECK(b.size() == static_cast<std::size_t>(n));
   AJAC_CHECK(x0.size() == static_cast<std::size_t>(n));
+  AJAC_DBG_VALIDATE(validate::csr_structure(a, {.require_square = true}));
+  AJAC_DBG_VALIDATE(validate::finite(b, "b"));
+  AJAC_DBG_VALIDATE(validate::finite(x0, "x0"));
 
   Vector inv_diag;
   if (opts.jacobi_preconditioner) {

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "ajac/sparse/csr.hpp"
+#include "ajac/sparse/validate.hpp"
 #include "ajac/sparse/vector_ops.hpp"
 #include "ajac/util/check.hpp"
 
@@ -42,6 +43,9 @@ SolveResult iterate(const CsrMatrix& a, const Vector& b, const Vector& x0,
   AJAC_CHECK(b.size() == static_cast<std::size_t>(n));
   AJAC_CHECK(x0.size() == static_cast<std::size_t>(n));
   AJAC_CHECK(opts.record_every >= 1);
+  AJAC_DBG_VALIDATE(validate::csr_structure(a, {.require_square = true}));
+  AJAC_DBG_VALIDATE(validate::finite(b, "b"));
+  AJAC_DBG_VALIDATE(validate::finite(x0, "x0"));
 
   SolveResult result;
   result.x = x0;

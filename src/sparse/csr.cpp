@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ajac/util/annotate.hpp"
 #include "ajac/util/check.hpp"
 
 namespace ajac {
@@ -57,14 +58,24 @@ void CsrMatrix::spmv_omp(std::span<const double> x, std::span<double> y) const {
   AJAC_DCHECK(y.size() == static_cast<std::size_t>(num_rows_));
   const double* xv = x.data();
   double* yv = y.data();
-#pragma omp parallel for schedule(static)
-  for (index_t i = 0; i < num_rows_; ++i) {
-    double acc = 0.0;
-    for (index_t p = row_ptr_[i]; p < row_ptr_[i + 1]; ++p) {
-      acc += values_[p] * xv[col_idx_[p]];
+  // The fork/join edges live in libgomp futexes TSan cannot see: release
+  // the caller's writes of x/y to the workers on entry, and publish each
+  // worker's slice of y back to the caller on exit (no-ops outside TSan).
+  AJAC_TSAN_RELEASE(this);
+#pragma omp parallel
+  {
+    AJAC_TSAN_ACQUIRE(this);
+#pragma omp for schedule(static)
+    for (index_t i = 0; i < num_rows_; ++i) {
+      double acc = 0.0;
+      for (index_t p = row_ptr_[i]; p < row_ptr_[i + 1]; ++p) {
+        acc += values_[p] * xv[col_idx_[p]];
+      }
+      yv[i] = acc;
     }
-    yv[i] = acc;
+    AJAC_TSAN_RELEASE(this);
   }
+  AJAC_TSAN_ACQUIRE(this);
 }
 
 double CsrMatrix::row_dot(index_t i, std::span<const double> x) const {

@@ -1,0 +1,42 @@
+#pragma once
+// Structural validators for the debug invariant layer.
+//
+// Each validator throws std::logic_error (via AJAC_CHECK_MSG) naming the
+// first violated invariant. They are cheap enough to call at API entry
+// points but are typically wired into hot paths behind AJAC_DBG_VALIDATE,
+// so release builds pay nothing:
+//
+//   AJAC_DBG_VALIDATE(validate::csr_structure(a, {.require_diagonal = true}));
+//
+// The CsrMatrix constructor already rejects malformed row_ptr / column
+// ranges at construction time; these validators additionally cover the
+// invariants the constructor deliberately does not enforce (sorted rows,
+// full diagonal, finite values — values are mutable through
+// mutable_values(), so finiteness can rot after construction).
+
+#include <span>
+
+#include "ajac/sparse/types.hpp"
+
+namespace ajac {
+class CsrMatrix;
+}
+
+namespace ajac::validate {
+
+struct CsrRequirements {
+  bool require_sorted_rows = true;   ///< strictly increasing columns per row
+  bool require_diagonal = false;     ///< (i,i) stored for all i (square only)
+  bool require_finite = true;        ///< no NaN/Inf stored values
+  bool require_square = false;
+};
+
+/// Full structural audit of a CSR matrix: row_ptr monotone and consistent,
+/// column indices in range, plus the requested optional invariants.
+void csr_structure(const CsrMatrix& a, const CsrRequirements& req = {});
+
+/// Every element finite (no NaN/Inf). `what` names the vector in the
+/// failure message, e.g. "b" or "x at iteration boundary".
+void finite(std::span<const double> v, const char* what);
+
+}  // namespace ajac::validate

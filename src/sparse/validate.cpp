@@ -1,0 +1,67 @@
+#include "ajac/sparse/validate.hpp"
+
+#include <cmath>
+
+#include "ajac/sparse/csr.hpp"
+#include "ajac/util/check.hpp"
+
+namespace ajac::validate {
+
+void csr_structure(const CsrMatrix& a, const CsrRequirements& req) {
+  const auto row_ptr = a.row_ptr();
+  const auto col_idx = a.col_idx();
+  const auto values = a.values();
+  const index_t n = a.num_rows();
+
+  AJAC_CHECK_MSG(row_ptr.size() == static_cast<std::size_t>(n) + 1,
+                 "row_ptr size " << row_ptr.size() << " != num_rows + 1");
+  AJAC_CHECK_MSG(row_ptr.front() == 0, "row_ptr must start at 0");
+  AJAC_CHECK_MSG(row_ptr.back() == static_cast<index_t>(col_idx.size()),
+                 "row_ptr end " << row_ptr.back() << " != nnz "
+                                << col_idx.size());
+  AJAC_CHECK(col_idx.size() == values.size());
+  if (req.require_square) {
+    AJAC_CHECK_MSG(a.num_rows() == a.num_cols(),
+                   "matrix is " << a.num_rows() << "x" << a.num_cols()
+                                << ", expected square");
+  }
+
+  for (index_t i = 0; i < n; ++i) {
+    AJAC_CHECK_MSG(row_ptr[i] <= row_ptr[i + 1],
+                   "row_ptr not monotone at row " << i);
+    bool has_diag = false;
+    index_t prev_col = -1;
+    for (index_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+      const index_t j = col_idx[p];
+      AJAC_CHECK_MSG(j >= 0 && j < a.num_cols(),
+                     "row " << i << ": column index " << j
+                            << " out of range [0," << a.num_cols() << ")");
+      if (req.require_sorted_rows) {
+        AJAC_CHECK_MSG(j > prev_col, "row " << i
+                                            << ": columns not strictly "
+                                               "increasing at entry "
+                                            << p << " (col " << j << ")");
+      }
+      prev_col = j;
+      if (j == i) has_diag = true;
+      if (req.require_finite) {
+        AJAC_CHECK_MSG(std::isfinite(values[p]),
+                       "row " << i << ", col " << j << ": non-finite value "
+                              << values[p]);
+      }
+    }
+    if (req.require_diagonal && i < a.num_cols()) {
+      AJAC_CHECK_MSG(has_diag, "row " << i << ": diagonal entry missing");
+    }
+  }
+}
+
+void finite(std::span<const double> v, const char* what) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    AJAC_CHECK_MSG(std::isfinite(v[i]), what << "[" << i
+                                             << "] is non-finite (" << v[i]
+                                             << ")");
+  }
+}
+
+}  // namespace ajac::validate

@@ -1,0 +1,76 @@
+#pragma once
+// ThreadSanitizer annotations and spin-loop hints.
+//
+// The paper's shared-memory runtime deliberately relies on racy relaxed
+// atomics ("writing or reading an aligned double is atomic on modern Intel
+// processors", Sec. V). Those races are *intended* and must be
+// distinguishable from accidental ones, so the whole suite can run under
+// TSan with zero reports:
+//
+//  - All cross-thread data is std::atomic (TSan models C++ atomics
+//    precisely; relaxed accesses are never data races).
+//  - Synchronization TSan cannot see — OpenMP barriers implemented by
+//    libgomp futexes, and the end-of-parallel-region join — is made
+//    visible with the AJAC_TSAN_RELEASE/ACQUIRE pair below, which map to
+//    the __tsan_release/__tsan_acquire runtime hooks and compile to
+//    nothing otherwise.
+//
+// This header is also the single place allowed to touch low-level fence /
+// annotation machinery: tools/lint.sh bans std::atomic_thread_fence and
+// raw __tsan_* calls everywhere else, so every escape from the plain
+// acquire/release discipline is greppable here.
+
+// TSan detection: GCC defines __SANITIZE_THREAD__; clang exposes it via
+// __has_feature. AJAC_TSAN_ANNOTATE can be defined explicitly (the CMake
+// AJAC_SANITIZE=thread preset does) to force the hooks on.
+#if !defined(AJAC_TSAN_ANNOTATE)
+#if defined(__SANITIZE_THREAD__)
+#define AJAC_TSAN_ANNOTATE 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define AJAC_TSAN_ANNOTATE 1
+#endif
+#endif
+#endif
+
+#if defined(AJAC_TSAN_ANNOTATE) && AJAC_TSAN_ANNOTATE
+#include <sanitizer/tsan_interface.h>
+
+/// Publish all prior writes of this thread at `addr`. Pair with
+/// AJAC_TSAN_ACQUIRE(addr) in the thread that reads them after an
+/// out-of-band synchronization point (e.g. an OpenMP region join).
+#define AJAC_TSAN_RELEASE(addr) __tsan_release(const_cast<void*>(static_cast<const volatile void*>(addr)))
+#define AJAC_TSAN_ACQUIRE(addr) __tsan_acquire(const_cast<void*>(static_cast<const volatile void*>(addr)))
+
+#else
+
+#define AJAC_TSAN_RELEASE(addr) \
+  do {                          \
+  } while (false)
+#define AJAC_TSAN_ACQUIRE(addr) \
+  do {                          \
+  } while (false)
+
+#endif  // AJAC_TSAN_ANNOTATE
+
+namespace ajac {
+
+/// True when the TSan happens-before hooks are live (i.e. the build is
+/// thread-sanitized or AJAC_TSAN_ANNOTATE was forced on).
+#if defined(AJAC_TSAN_ANNOTATE) && AJAC_TSAN_ANNOTATE
+inline constexpr bool tsan_enabled = true;
+#else
+inline constexpr bool tsan_enabled = false;
+#endif
+
+/// Polite busy-wait hint: tells the CPU (and SMT sibling) that this is a
+/// spin loop. x86 PAUSE / ARM YIELD; no-op elsewhere.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+  asm volatile("yield" ::: "memory");
+#endif
+}
+
+}  // namespace ajac

@@ -1,9 +1,22 @@
 #pragma once
 // Precondition / invariant checking.
 //
-// AJAC_CHECK is always on (it guards API misuse, file format errors, and
-// numerical preconditions whose violation would silently corrupt results);
-// AJAC_DCHECK compiles away in release builds and guards hot inner loops.
+// Three tiers:
+//  - AJAC_CHECK / AJAC_CHECK_MSG are always on. They guard API misuse,
+//    file format errors, and numerical preconditions whose violation would
+//    silently corrupt results. Failure throws std::logic_error with the
+//    expression, location, and optional streamed message.
+//  - AJAC_DBG_CHECK / AJAC_DBG_CHECK_MSG compile away in release builds
+//    and guard hot inner loops and structural invariants (CSR shape,
+//    partition validity, finite values at iteration boundaries). Enabled
+//    when NDEBUG is not defined; override either way by defining
+//    AJAC_ENABLE_DBG_CHECKS to 1 or 0 (the sanitizer CMake presets force
+//    them on).
+//  - AJAC_DBG_VALIDATE(call) runs a (possibly expensive) void validator
+//    expression under the same gate, e.g.
+//    AJAC_DBG_VALIDATE(validate::csr_structure(a)).
+//
+// AJAC_DCHECK is the historical alias of AJAC_DBG_CHECK.
 
 #include <sstream>
 #include <stdexcept>
@@ -32,10 +45,38 @@ namespace ajac::detail {
     }                                                                   \
   } while (false)
 
-#ifndef NDEBUG
-#define AJAC_DCHECK(expr) AJAC_CHECK(expr)
+#if !defined(AJAC_ENABLE_DBG_CHECKS)
+#if defined(NDEBUG)
+#define AJAC_ENABLE_DBG_CHECKS 0
 #else
-#define AJAC_DCHECK(expr) \
-  do {                    \
+#define AJAC_ENABLE_DBG_CHECKS 1
+#endif
+#endif
+
+#if AJAC_ENABLE_DBG_CHECKS
+#define AJAC_DBG_CHECK(expr) AJAC_CHECK(expr)
+#define AJAC_DBG_CHECK_MSG(expr, msg) AJAC_CHECK_MSG(expr, msg)
+#define AJAC_DBG_VALIDATE(...) \
+  do {                         \
+    __VA_ARGS__;               \
+  } while (false)
+#else
+#define AJAC_DBG_CHECK(expr) \
+  do {                       \
+  } while (false)
+#define AJAC_DBG_CHECK_MSG(expr, msg) \
+  do {                                \
+  } while (false)
+#define AJAC_DBG_VALIDATE(...) \
+  do {                         \
   } while (false)
 #endif
+
+#define AJAC_DCHECK(expr) AJAC_DBG_CHECK(expr)
+
+namespace ajac {
+
+/// True when AJAC_DBG_CHECK / AJAC_DBG_VALIDATE are live in this build.
+inline constexpr bool debug_checks_enabled = AJAC_ENABLE_DBG_CHECKS != 0;
+
+}  // namespace ajac

@@ -121,6 +121,38 @@ TEST(GraphGrowing, RejectsMorePartsThanRows) {
   EXPECT_THROW(graph_growing_partition(a, 5, 1), std::logic_error);
 }
 
+TEST(ValidatePartition, AcceptsWellFormedPartitions) {
+  EXPECT_NO_THROW(validate(contiguous_partition(10, 3), 10));
+  EXPECT_NO_THROW(validate(contiguous_partition(1, 1), 1));
+  // Empty parts are legal (more parts than rows).
+  EXPECT_NO_THROW(validate(contiguous_partition(2, 4), 2));
+}
+
+TEST(ValidatePartition, RejectsCorruptedBlockStarts) {
+  Partition p;
+  p.block_starts = {};  // no parts at all
+  EXPECT_THROW(validate(p, 0), std::logic_error);
+  p.block_starts = {5};  // still no parts
+  EXPECT_THROW(validate(p, 5), std::logic_error);
+  p.block_starts = {1, 5};  // does not start at row 0
+  EXPECT_THROW(validate(p, 5), std::logic_error);
+  p.block_starts = {0, 4, 2, 5};  // overlap: parts not disjoint
+  EXPECT_THROW(validate(p, 5), std::logic_error);
+  p.block_starts = {0, 2, 4};  // does not cover all 5 rows
+  EXPECT_THROW(validate(p, 5), std::logic_error);
+}
+
+TEST(ValidatePartition, FailureNamesTheViolatedInvariant) {
+  Partition p;
+  p.block_starts = {0, 3};
+  try {
+    validate(p, 7);
+    FAIL() << "expected throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("7 rows"), std::string::npos);
+  }
+}
+
 TEST(ComputeStats, CountsCutEdgesOnKnownPartition) {
   // 1D path of 4 nodes split in the middle: the single cut edge appears
   // once per direction.

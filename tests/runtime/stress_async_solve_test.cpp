@@ -1,0 +1,129 @@
+// Concurrency stress harness for the full shared-memory Jacobi runtime
+// (designed to run under ThreadSanitizer: `ctest --preset tsan`).
+//
+// Sweeps solve_shared across thread counts, modes (async, sync, local
+// Gauss-Seidel, traced), and scheduler pressure (yield on/off, injected
+// delays) — the configurations whose interleavings differ most. Each run
+// verifies the solver's own postconditions, so this doubles as a
+// correctness soak when run without instrumentation. Oversubscription is
+// intentional: the host has fewer cores than the largest thread count, so
+// threads get descheduled mid-iteration, which is exactly the regime the
+// paper's termination discussion (Sec. VI) worries about.
+
+#include "ajac/runtime/shared_jacobi.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ajac/gen/fd.hpp"
+#include "ajac/gen/problem.hpp"
+#include "ajac/model/trace.hpp"
+#include "ajac/sparse/csr.hpp"
+#include "ajac/sparse/vector_ops.hpp"
+
+namespace ajac::runtime {
+namespace {
+
+gen::LinearProblem small_problem(std::uint64_t seed) {
+  return gen::make_problem("fd", gen::fd_laplacian_2d(10, 10), seed);
+}
+
+void verify_result(const gen::LinearProblem& p, const SharedResult& r,
+                   double tolerance) {
+  EXPECT_TRUE(r.converged);
+  Vector res(p.b.size());
+  p.a.residual(r.x, p.b, res);
+  Vector r0(p.b.size());
+  p.a.residual(p.x0, p.b, r0);
+  EXPECT_LE(vec::norm1(res) / vec::norm1(r0), tolerance * 1.5);
+}
+
+TEST(StressAsyncSolve, ThreadCountSweep) {
+  const auto p = small_problem(31);
+  for (index_t threads : {1, 2, 4, 8}) {
+    SharedOptions so;
+    so.num_threads = threads;
+    so.tolerance = 1e-5;
+    so.max_iterations = 200000;
+    so.record_history = false;
+    so.yield = true;  // fine-grained round-robin on oversubscribed hosts
+    const SharedResult r = solve_shared(p.a, p.b, p.x0, so);
+    verify_result(p, r, so.tolerance);
+  }
+}
+
+TEST(StressAsyncSolve, SynchronousBarrierSweep) {
+  const auto p = small_problem(33);
+  for (index_t threads : {2, 4}) {
+    SharedOptions so;
+    so.num_threads = threads;
+    so.synchronous = true;
+    so.tolerance = 1e-5;
+    so.max_iterations = 20000;
+    so.record_history = true;
+    const SharedResult r = solve_shared(p.a, p.b, p.x0, so);
+    verify_result(p, r, so.tolerance);
+  }
+}
+
+TEST(StressAsyncSolve, LocalGaussSeidelUnderPressure) {
+  const auto p = small_problem(35);
+  SharedOptions so;
+  so.num_threads = 4;
+  so.local_gauss_seidel = true;
+  so.tolerance = 1e-5;
+  so.max_iterations = 200000;
+  so.record_history = false;
+  so.yield = true;
+  const SharedResult r = solve_shared(p.a, p.b, p.x0, so);
+  verify_result(p, r, so.tolerance);
+}
+
+TEST(StressAsyncSolve, TracedSeqlockUnderPressure) {
+  // Seqlock path exercised by every off-diagonal read of every
+  // relaxation, with yields forcing retries.
+  const auto p = small_problem(37);
+  SharedOptions so;
+  so.num_threads = 4;
+  so.tolerance = 0.0;
+  so.max_iterations = 30;
+  so.record_trace = true;
+  so.record_history = false;
+  so.yield = true;
+  const SharedResult r = solve_shared(p.a, p.b, p.x0, so);
+  ASSERT_TRUE(r.trace.has_value());
+  const auto analysis = model::analyze_trace(*r.trace);
+  EXPECT_EQ(analysis.total_relaxations, r.total_relaxations);
+  EXPECT_EQ(analysis.orphaned, 0);
+}
+
+TEST(StressAsyncSolve, StraggleredThreadsStillVerifyResidual) {
+  const auto p = small_problem(39);
+  SharedOptions so;
+  so.num_threads = 4;
+  so.tolerance = 1e-4;
+  so.max_iterations = 200000;
+  so.record_history = false;
+  so.delay_us = {120.0, 0.0, 60.0, 0.0};  // two stragglers
+  const SharedResult r = solve_shared(p.a, p.b, p.x0, so);
+  verify_result(p, r, so.tolerance);
+}
+
+TEST(StressAsyncSolve, BackToBackSolvesReuseThreadPool) {
+  // OpenMP reuses pooled worker threads across parallel regions, docking
+  // them on futexes between solves. This is the pattern where missing
+  // fork/join happens-before edges (see ajac/util/annotate.hpp) show up,
+  // so hammer several solves in one process.
+  const auto p = small_problem(41);
+  for (int round = 0; round < 5; ++round) {
+    SharedOptions so;
+    so.num_threads = 3;
+    so.tolerance = 1e-4;
+    so.max_iterations = 200000;
+    so.record_history = (round % 2 == 0);
+    const SharedResult r = solve_shared(p.a, p.b, p.x0, so);
+    verify_result(p, r, so.tolerance);
+  }
+}
+
+}  // namespace
+}  // namespace ajac::runtime

@@ -1,0 +1,107 @@
+#include "ajac/sparse/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "ajac/gen/fd.hpp"
+#include "ajac/sparse/csr.hpp"
+
+namespace ajac::validate {
+namespace {
+
+// The CsrMatrix constructor rejects malformed row_ptr and out-of-range
+// columns outright, so corrupted inputs here target the invariants the
+// constructor deliberately leaves unchecked: row ordering, diagonal
+// presence, and value finiteness (values are mutable after construction).
+
+CsrMatrix unsorted_row_matrix() {
+  // Row 0 stores columns {1, 0} — legal for the constructor, but breaks
+  // the binary-searched at() and every kernel that assumes sorted rows.
+  return CsrMatrix(2, 2, {0, 2, 4}, {1, 0, 0, 1}, {2.0, 1.0, 1.0, 2.0});
+}
+
+CsrMatrix missing_diagonal_matrix() {
+  // Row 1 has no (1,1) entry.
+  return CsrMatrix(2, 2, {0, 2, 3}, {0, 1, 0}, {4.0, 1.0, 1.0});
+}
+
+TEST(ValidateCsr, AcceptsGeneratedOperators) {
+  const CsrMatrix a = gen::fd_laplacian_2d(5, 4);
+  EXPECT_NO_THROW(csr_structure(a));
+  EXPECT_NO_THROW(csr_structure(a, {.require_sorted_rows = true,
+                                    .require_diagonal = true,
+                                    .require_finite = true,
+                                    .require_square = true}));
+}
+
+TEST(ValidateCsr, RejectsUnsortedRows) {
+  const CsrMatrix a = unsorted_row_matrix();
+  EXPECT_THROW(csr_structure(a), std::logic_error);
+  // The same matrix passes once the sortedness requirement is waived.
+  EXPECT_NO_THROW(csr_structure(a, {.require_sorted_rows = false}));
+}
+
+TEST(ValidateCsr, UnsortedFailureNamesRowAndColumn) {
+  try {
+    csr_structure(unsorted_row_matrix());
+    FAIL() << "expected throw";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("row 0"), std::string::npos);
+    EXPECT_NE(what.find("not strictly increasing"), std::string::npos);
+  }
+}
+
+TEST(ValidateCsr, DuplicateColumnsCountAsUnsorted) {
+  const CsrMatrix a(1, 2, {0, 2}, {1, 1}, {1.0, 2.0});
+  EXPECT_THROW(csr_structure(a), std::logic_error);
+}
+
+TEST(ValidateCsr, RejectsMissingDiagonalOnlyWhenRequired) {
+  const CsrMatrix a = missing_diagonal_matrix();
+  EXPECT_NO_THROW(csr_structure(a));
+  EXPECT_THROW(csr_structure(a, {.require_diagonal = true}),
+               std::logic_error);
+}
+
+TEST(ValidateCsr, RejectsNonFiniteValues) {
+  CsrMatrix a = gen::fd_laplacian_2d(3, 3);
+  EXPECT_NO_THROW(csr_structure(a));
+  a.mutable_values()[4] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(csr_structure(a), std::logic_error);
+  a.mutable_values()[4] = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(csr_structure(a), std::logic_error);
+  EXPECT_NO_THROW(csr_structure(a, {.require_finite = false}));
+}
+
+TEST(ValidateCsr, RejectsRectangularWhenSquareRequired) {
+  const CsrMatrix a(2, 3, {0, 1, 2}, {0, 1}, {1.0, 1.0});
+  EXPECT_NO_THROW(csr_structure(a, {.require_diagonal = true}));
+  EXPECT_THROW(csr_structure(a, {.require_square = true}),
+               std::logic_error);
+}
+
+TEST(ValidateFinite, AcceptsFiniteAndRejectsNanInfWithIndex) {
+  const Vector good = {0.0, -1.5, 1e300};
+  EXPECT_NO_THROW(finite(good, "good"));
+
+  Vector bad = good;
+  bad[1] = std::numeric_limits<double>::quiet_NaN();
+  try {
+    finite(bad, "rhs");
+    FAIL() << "expected throw";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rhs[1]"), std::string::npos);
+    EXPECT_NE(what.find("non-finite"), std::string::npos);
+  }
+
+  bad[1] = -std::numeric_limits<double>::infinity();
+  EXPECT_THROW(finite(bad, "rhs"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ajac::validate

@@ -30,5 +30,59 @@ TEST(Check, DcheckCompiles) {
   EXPECT_NO_THROW(AJAC_DCHECK(true));
 }
 
+TEST(Check, FailureMessageFormat) {
+  // "AJAC_CHECK failed: (<expr>) at <file>:<line>[ — <message>]"
+  try {
+    AJAC_CHECK(1 == 2);
+    FAIL() << "expected throw";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_EQ(what.find("AJAC_CHECK failed: (1 == 2) at "), 0u);
+    EXPECT_NE(what.find("check_test.cpp:"), std::string::npos);
+  }
+}
+
+TEST(DbgCheck, FiresExactlyWhenDebugChecksAreEnabled) {
+  // AJAC_ENABLE_DBG_CHECKS (default: !NDEBUG, forced by the sanitizer
+  // presets) decides whether the debug tier is live. The constexpr mirror
+  // lets one test body cover both build flavors.
+  if constexpr (debug_checks_enabled) {
+    EXPECT_THROW(AJAC_DBG_CHECK(false), std::logic_error);
+    EXPECT_THROW(AJAC_DBG_CHECK_MSG(false, "ctx " << 7), std::logic_error);
+  } else {
+    EXPECT_NO_THROW(AJAC_DBG_CHECK(false));
+    EXPECT_NO_THROW(AJAC_DBG_CHECK_MSG(false, "ctx " << 7));
+  }
+  EXPECT_NO_THROW(AJAC_DBG_CHECK(true));
+  EXPECT_NO_THROW(AJAC_DBG_CHECK_MSG(true, "never built"));
+}
+
+TEST(DbgCheck, MessageCarriesStreamedContext) {
+  if constexpr (debug_checks_enabled) {
+    try {
+      AJAC_DBG_CHECK_MSG(false, "row " << 3 << " bad");
+      FAIL() << "expected throw";
+    } catch (const std::logic_error& e) {
+      EXPECT_NE(std::string(e.what()).find("row 3 bad"), std::string::npos);
+    }
+  }
+}
+
+TEST(DbgValidate, RunsValidatorOnlyInDebugBuilds) {
+  int runs = 0;
+  auto validator = [&runs] { ++runs; };
+  (void)validator;  // unused when the debug tier is compiled out
+  AJAC_DBG_VALIDATE(validator());
+  EXPECT_EQ(runs, debug_checks_enabled ? 1 : 0);
+}
+
+TEST(DbgCheck, LegacyAliasTracksDbgCheck) {
+  if constexpr (debug_checks_enabled) {
+    EXPECT_THROW(AJAC_DCHECK(false), std::logic_error);
+  } else {
+    EXPECT_NO_THROW(AJAC_DCHECK(false));
+  }
+}
+
 }  // namespace
 }  // namespace ajac
