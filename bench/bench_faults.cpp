@@ -1,0 +1,260 @@
+// Convergence under injected faults (Fig. 2/3-style residual histories).
+//
+// The paper's "surprising results" hinge on asynchronous Jacobi tolerating
+// heterogeneous progress: a slowed worker changes *when* information
+// propagates but not *whether* the method contracts. This harness pushes
+// that claim past what the paper measured by injecting declarative fault
+// plans (ajac/fault/fault_plan.hpp) into both async runtimes:
+//
+//  * shared memory — stragglers, stale-read windows, transient bit flips
+//    in off-diagonal entries, crash-and-recover threads;
+//  * distributed simulator — per-edge message drop/duplicate/reorder,
+//    stragglers, delivery freezes, crash-and-recover ranks.
+//
+// Part C replays a recorded faulty trace through the propagation-matrix
+// model: for fully propagated traces the model reproduces the execution
+// bitwise (Sec. IV-A applies unchanged); stale or bit-flipped executions
+// leave the model's reach, and the replay quantifies the divergence
+// instead (DESIGN.md, "Fault model").
+
+#include <cstdio>
+#include <memory>
+
+#include "ajac/fault/fault_plan.hpp"
+#include "ajac/gen/fd.hpp"
+#include "ajac/model/executor.hpp"
+#include "ajac/runtime/shared_jacobi.hpp"
+#include "ajac/sparse/vector_ops.hpp"
+#include "bench_common.hpp"
+
+using namespace ajac;
+
+namespace {
+
+using PlanPtr = std::shared_ptr<const fault::FaultPlan>;
+
+// ---- Part A: shared-memory runtime --------------------------------------
+
+struct SharedCase {
+  const char* name;
+  PlanPtr plan;
+};
+
+std::vector<SharedCase> shared_cases(std::uint64_t seed) {
+  std::vector<SharedCase> cases;
+  cases.push_back({"none", nullptr});
+
+  auto straggler = std::make_shared<fault::FaultPlan>();
+  straggler->seed = seed;
+  straggler->stragglers.push_back(
+      {.actor = 0, .extra_delay_us = 50.0, .period = 32, .duty = 0.5});
+  cases.push_back({"straggler", straggler});
+
+  auto stale = std::make_shared<fault::FaultPlan>();
+  stale->seed = seed;
+  stale->stale_reads.push_back({.actor = -1, .period = 16, .duty = 0.5});
+  cases.push_back({"stale-reads", stale});
+
+  auto bitflip = std::make_shared<fault::FaultPlan>();
+  bitflip->seed = seed;
+  // Low mantissa bits only: a transient fault that perturbs without
+  // catastrophically inflating an entry, so convergence is delayed, not
+  // destroyed. (--bitflip-bit -1 picks bits at random, exponent excluded.)
+  bitflip->bit_flips.push_back({.actor = -1, .probability = 1e-3, .bit = 20});
+  cases.push_back({"bit-flips", bitflip});
+
+  auto crash = std::make_shared<fault::FaultPlan>();
+  crash->seed = seed;
+  crash->crashes.push_back(
+      {.actor = 0, .crash_iteration = 8, .dead_seconds = 2e-4});
+  cases.push_back({"crash", crash});
+
+  auto crash_reset = std::make_shared<fault::FaultPlan>();
+  crash_reset->seed = seed;
+  crash_reset->crashes.push_back({.actor = 0,
+                                  .crash_iteration = 8,
+                                  .dead_seconds = 2e-4,
+                                  .reset_state_on_recovery = true});
+  cases.push_back({"crash+reset", crash_reset});
+  return cases;
+}
+
+void run_shared(const gen::LinearProblem& p, index_t threads,
+                std::uint64_t seed, const CliParser& cli) {
+  std::printf("== shared-memory async Jacobi under faults (%s, %lld rows) ==\n",
+              p.name.c_str(), static_cast<long long>(p.a.num_rows()));
+  Table table({"fault", "converged", "rel residual", "relaxations",
+               "polish", "events"});
+  table.set_double_format("%.2e");
+  for (const SharedCase& c : shared_cases(seed)) {
+    runtime::SharedOptions o;
+    o.num_threads = threads;
+    o.tolerance = 1e-6;
+    o.max_iterations = 4000;
+    o.record_history = false;
+    o.yield = true;
+    o.fault_plan = c.plan;
+    const auto r = runtime::solve_shared(p.a, p.b, p.x0, o);
+    table.add_row({std::string(c.name),
+                   std::string(r.converged ? "yes" : "no"),
+                   r.final_rel_residual_1, r.total_relaxations,
+                   r.polish_sweeps,
+                   static_cast<index_t>(r.fault_events.size())});
+  }
+  bench::emit(table, cli, "faults_shared");
+  std::printf(
+      "\nEvery fault class converges: stragglers and crashes only delay\n"
+      "propagation, stale windows act like larger message latencies, and\n"
+      "low-bit flips perturb within the contraction's slack. 'polish' > 0\n"
+      "means the serial cleanup had to finish what the faulty parallel\n"
+      "phase left above tolerance.\n\n");
+}
+
+// ---- Part B: distributed simulator ---------------------------------------
+
+struct DistCase {
+  const char* name;
+  PlanPtr plan;
+};
+
+std::vector<DistCase> dist_cases(std::uint64_t seed) {
+  std::vector<DistCase> cases;
+  cases.push_back({"none", nullptr});
+
+  auto drop = std::make_shared<fault::FaultPlan>();
+  drop->seed = seed;
+  drop->message_faults.push_back({.drop_probability = 0.2});
+  cases.push_back({"drop 20%", drop});
+
+  auto dup = std::make_shared<fault::FaultPlan>();
+  dup->seed = seed;
+  dup->message_faults.push_back({.duplicate_probability = 0.2});
+  cases.push_back({"duplicate 20%", dup});
+
+  auto reorder = std::make_shared<fault::FaultPlan>();
+  reorder->seed = seed;
+  reorder->message_faults.push_back(
+      {.reorder_probability = 0.2, .reorder_latency_factor = 8.0});
+  cases.push_back({"reorder 20%", reorder});
+
+  auto straggler = std::make_shared<fault::FaultPlan>();
+  straggler->seed = seed;
+  straggler->stragglers.push_back(
+      {.actor = 0, .delay_factor = 8.0, .period = 64, .duty = 0.5});
+  cases.push_back({"straggler x8", straggler});
+
+  auto stale = std::make_shared<fault::FaultPlan>();
+  stale->seed = seed;
+  stale->stale_reads.push_back({.actor = 1, .period = 32, .duty = 0.5});
+  cases.push_back({"frozen mailbox", stale});
+
+  auto crash = std::make_shared<fault::FaultPlan>();
+  crash->seed = seed;
+  crash->crashes.push_back(
+      {.actor = 0, .crash_iteration = 20, .dead_seconds = 5e-4});
+  cases.push_back({"crash", crash});
+  return cases;
+}
+
+void run_dist(const gen::LinearProblem& p, index_t procs, std::uint64_t seed,
+              const CliParser& cli) {
+  std::printf("== distributed async Jacobi under faults (%s, %lld ranks) ==\n",
+              p.name.c_str(), static_cast<long long>(procs));
+  const auto pp = bench::partition_problem(p, procs, seed);
+  Table table({"fault", "reached tol", "rel residual", "sim ms",
+               "relaxations", "dropped", "dup'd", "events"});
+  table.set_double_format("%.2e");
+  for (const DistCase& c : dist_cases(seed)) {
+    distsim::DistOptions o;
+    o.num_processes = procs;
+    o.max_iterations = 2000;
+    o.tolerance = 1e-6;
+    o.seed = seed;
+    o.fault_plan = c.plan;
+    const auto r = distsim::solve_distributed(pp.a, pp.b, pp.x0, pp.part, o);
+    table.add_row({std::string(c.name),
+                   std::string(r.reached_tolerance ? "yes" : "no"),
+                   r.final_rel_residual_1, r.sim_seconds * 1e3,
+                   r.total_relaxations, r.dropped_messages,
+                   r.duplicated_messages,
+                   static_cast<index_t>(r.fault_events.size())});
+  }
+  bench::emit(table, cli, "faults_dist");
+  std::printf(
+      "\nDropped puts are pure staleness (the next put carries the newest\n"
+      "value anyway), duplicates are absorbed by idempotent ghost slots,\n"
+      "and reordering only matters without ordered_delivery. The racy\n"
+      "update rule keeps crashed ranks' neighbors relaxing throughout.\n\n");
+}
+
+// ---- Part C: model replay of a recorded faulty trace ---------------------
+
+void run_replay(const gen::LinearProblem& p, index_t threads,
+                std::uint64_t seed, const CliParser& cli) {
+  std::printf("== propagation-model replay of a straggler-plan trace ==\n");
+  auto plan = std::make_shared<fault::FaultPlan>();
+  plan->seed = seed;
+  plan->stragglers.push_back(
+      {.actor = 0, .extra_delay_us = 50.0, .period = 16, .duty = 0.5});
+
+  runtime::SharedOptions o;
+  o.num_threads = threads;
+  o.tolerance = 0.0;  // fixed-length run: the trace determines everything
+  o.max_iterations = 50;
+  o.record_history = false;
+  o.record_trace = true;
+  o.yield = true;
+  o.final_polish = false;
+  o.fault_plan = plan;
+  const auto run = runtime::solve_shared(p.a, p.b, p.x0, o);
+
+  model::ExecutorOptions mo;
+  mo.tolerance = 0.0;
+  const auto replay = model::replay_trace(p.a, p.b, p.x0, *run.trace, mo);
+  const double max_diff = vec::max_abs_diff(run.x, replay.result.x);
+
+  Table table({"metric", "value"});
+  table.set_double_format("%.3e");
+  table.add_row({std::string("relaxations (runtime)"), run.total_relaxations});
+  table.add_row({std::string("parallel steps (model)"),
+                 replay.analysis.parallel_steps});
+  table.add_row({std::string("propagated fraction"),
+                 replay.analysis.fraction});
+  table.add_row({std::string("orphaned events"), replay.analysis.orphaned});
+  table.add_row({std::string("max |x_run - x_replay|"), max_diff});
+  table.add_row({std::string("runtime rel residual"),
+                 run.final_rel_residual_1});
+  table.add_row({std::string("replay rel residual"),
+                 replay.result.final_rel_residual_1});
+  bench::emit(table, cli, "faults_replay");
+  std::printf(
+      "\nA fully propagated trace (fraction 1, orphaned 0) replays bitwise:\n"
+      "max |x_run - x_replay| is exactly 0. Stale relaxations (fraction < 1)\n"
+      "are beyond any propagation matrix (Fig. 1(b)) and surface here as a\n"
+      "nonzero difference — the model documents, not bounds, them.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_faults",
+                "Convergence of the async runtimes under injected faults");
+  bench::add_common_options(cli);
+  cli.add_option("threads", "4", "shared-memory worker threads");
+  cli.add_option("procs", "8", "simulated distributed ranks");
+  cli.add_option("grid", "16", "FD grid side (n = grid^2 rows)");
+  if (!cli.parse(argc, argv)) return 0;
+  const auto threads = cli.get_int("threads");
+  const auto procs = cli.get_int("procs");
+  const auto grid = cli.get_int("grid");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  const auto problem = gen::make_problem(
+      "fd" + std::to_string(grid * grid), gen::fd_laplacian_2d(grid, grid),
+      seed);
+
+  run_shared(problem, threads, seed, cli);
+  run_dist(problem, procs, seed, cli);
+  run_replay(problem, threads, seed, cli);
+  return 0;
+}

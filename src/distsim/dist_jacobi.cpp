@@ -140,6 +140,24 @@ double compute_seconds(const ProcessState& ps, const CostModel& cost,
   return work_seconds(ps, cost, jitter) + overhead_seconds(ps, cost, jitter);
 }
 
+/// Per-rank fault-injection state. The specs are resolved once up front;
+/// decisions come from the (stateless) FaultClock, so the simulator's RNGs
+/// are untouched and a faulty run perturbs only what the plan names.
+struct RankFaults {
+  const fault::StragglerSpec* straggler = nullptr;
+  const fault::StaleReadSpec* stale = nullptr;
+  const fault::CrashSpec* crash = nullptr;
+  bool straggler_on = false;
+  bool stale_on = false;
+  bool crashed = false;   ///< the crash fired (at most once)
+  bool down = false;      ///< currently waiting out the dead window
+  double dead_until = 0.0;
+  /// Messages posted per neighbor link — the per-edge counter that keys
+  /// drop/duplicate/reorder decisions.
+  std::vector<index_t> sent_on_link;
+  fault::FaultLog log;
+};
+
 }  // namespace
 
 DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
@@ -167,6 +185,21 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
   const std::vector<LocalBlock> blocks = build_local_blocks(a, part);
   const index_t num_procs = opts.num_processes;
   Rng master(opts.seed);
+
+  const fault::FaultPlan* plan =
+      opts.fault_plan && !opts.fault_plan->empty() ? opts.fault_plan.get()
+                                                   : nullptr;
+  if (plan != nullptr) {
+    AJAC_CHECK_MSG(!opts.synchronous,
+                   "fault injection targets the asynchronous scheme (BSP "
+                   "supersteps serialize every fault away)");
+    AJAC_CHECK_MSG(plan->bit_flips.empty(),
+                   "bit-flip faults are a shared-runtime feature (use "
+                   "solve_shared); the simulator's block relaxations are "
+                   "not instrumented per matrix entry");
+    plan->validate(num_procs);
+  }
+  const fault::FaultClock fclock(plan != nullptr ? plan->seed : 0);
 
   // God's-eye state for residual snapshots: owners publish on commit.
   Vector x_global = x0;
@@ -223,6 +256,24 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
                                      static_cast<index_t>(l));
     }
     std::sort(ps.link_of_sender.begin(), ps.link_of_sender.end());
+  }
+
+  std::vector<RankFaults> rank_faults(
+      plan != nullptr ? static_cast<std::size_t>(num_procs) : 0);
+  if (plan != nullptr) {
+    for (index_t p = 0; p < num_procs; ++p) {
+      RankFaults& rf = rank_faults[p];
+      rf.sent_on_link.assign(procs[p].blk->neighbors.size(), 0);
+      for (const auto& s : plan->stragglers) {
+        if (s.actor == p) rf.straggler = &s;
+      }
+      for (const auto& s : plan->stale_reads) {
+        if (s.actor == p || s.actor == -1) rf.stale = &s;
+      }
+      for (const auto& s : plan->crashes) {
+        if (s.actor == p) rf.crash = &s;
+      }
+    }
   }
 
   record(0.0, 0);
@@ -345,6 +396,60 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
     std::vector<double> latest_norm(static_cast<std::size_t>(num_procs),
                                     -1.0);
 
+    // Every put goes through here: the plan's message faults act on the
+    // (directed edge, per-edge counter) key, so the decision for "the k-th
+    // put from s to r" is the same whatever the event interleaving.
+    auto post_message = [&](ProcessState& src, index_t src_rank,
+                            std::size_t link, ProcessState& dst, Message msg,
+                            double base, double latency) {
+      if (plan != nullptr && !plan->message_faults.empty()) {
+        RankFaults& rf = rank_faults[src_rank];
+        const index_t k = rf.sent_on_link[link]++;
+        const std::uint64_t edge = directed_edge_key(src_rank, msg.receiver);
+        const auto ku = static_cast<std::uint64_t>(k);
+        for (const fault::MessageFaultSpec& s : plan->message_faults) {
+          if ((s.sender >= 0 && s.sender != src_rank) ||
+              (s.receiver >= 0 && s.receiver != msg.receiver)) {
+            continue;
+          }
+          if (fclock.bernoulli(s.drop_probability,
+                               fault::FaultClock::kMessageDrop, edge, ku)) {
+            // The put was issued and died in the network: it counts as
+            // sent but never as in flight (the eager rule's starvation
+            // check is keyed on deliverable messages).
+            rf.log.push_back({fault::FaultKind::kMessageDrop, src_rank, k,
+                              msg.receiver, 0});
+            ++result.dropped_messages;
+            ++src.messages_sent;
+            return;
+          }
+          if (fclock.bernoulli(s.reorder_probability,
+                               fault::FaultClock::kMessageReorder, edge, ku)) {
+            rf.log.push_back({fault::FaultKind::kMessageReorder, src_rank, k,
+                              msg.receiver, 0});
+            latency *= s.reorder_latency_factor;
+          }
+          if (fclock.bernoulli(s.duplicate_probability,
+                               fault::FaultClock::kMessageDuplicate, edge,
+                               ku)) {
+            rf.log.push_back({fault::FaultKind::kMessageDuplicate, src_rank,
+                              k, msg.receiver, 0});
+            Message dup = msg;
+            dup.arrival = base + 2.0 * latency;  // the retransmitted copy
+            dst.mailbox.push(std::move(dup));
+            ++in_flight;
+            ++src.messages_sent;
+            ++result.duplicated_messages;
+          }
+          break;  // first matching spec governs the edge
+        }
+      }
+      msg.arrival = base + latency;
+      dst.mailbox.push(std::move(msg));
+      ++in_flight;
+      ++src.messages_sent;
+    };
+
     while (!queue.empty() && !stop) {
       const auto [t, p] = queue.top();
       queue.pop();
@@ -367,6 +472,47 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
       }
       if (stop) break;
 
+      if (plan != nullptr) {
+        RankFaults& rf = rank_faults[p];
+        if (rf.down) {
+          // Recovery: the rank resumes here. Messages that landed while it
+          // was down are lost — its memory window vanished with it.
+          rf.down = false;
+          rf.log.push_back(
+              {fault::FaultKind::kRecover, p, ps.iterations, 0, 0});
+          while (!ps.mailbox.empty() &&
+                 ps.mailbox.top().arrival <= rf.dead_until) {
+            ps.mailbox.pop();
+            --in_flight;
+            ++result.dropped_messages;
+          }
+          if (rf.crash->reset_state_on_recovery) {
+            const index_t m = ps.blk->num_owned();
+            for (index_t i = 0; i < m; ++i) {
+              ps.x_local[i] = x0[ps.blk->row_begin + i];
+            }
+            for (index_t g = 0; g < ps.blk->num_ghosts(); ++g) {
+              ps.x_local[m + g] = x0[ps.blk->ghost_cols[g]];
+            }
+            std::copy(ps.x_local.begin(), ps.x_local.begin() + m,
+                      x_global.begin() + ps.blk->row_begin);
+            std::fill(ps.last_seq.begin(), ps.last_seq.end(), 0);
+            if (opts.record_trace) {
+              std::fill(ps.ghost_version.begin(), ps.ghost_version.end(), 0);
+            }
+          }
+          ps.has_new_data = true;  // a restarted rank relaxes immediately
+        } else if (rf.crash != nullptr && !rf.crashed &&
+                   ps.iterations >= rf.crash->crash_iteration) {
+          rf.crashed = true;
+          rf.down = true;
+          rf.dead_until = t + rf.crash->dead_seconds;
+          rf.log.push_back({fault::FaultKind::kCrash, p, ps.iterations, 0, 0});
+          queue.emplace(rf.dead_until, p);
+          continue;
+        }
+      }
+
       // Acquire a core first: the relaxation *reads* its inputs when it
       // actually runs, not when the process became ready.
       double t_start = t;
@@ -377,8 +523,31 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
 
       ps.wait_seconds += t_start - t;
 
+      // Stale-read window: while active, the rank stops draining its
+      // mailbox, so every relaxation inside the window reads the ghost
+      // values frozen at window entry (arrived puts wait, they are not
+      // lost). Keyed on the local iteration count, like the shared
+      // runtime's window. Note: with the eager update rule a deferred
+      // rank makes no iteration progress, so the window only ends via the
+      // poll cap — combine stale windows with the racy rule.
+      bool defer_delivery = false;
+      if (plan != nullptr) {
+        RankFaults& rf = rank_faults[p];
+        if (rf.stale != nullptr) {
+          const bool on = fault::duty_active(rf.stale->period, rf.stale->duty,
+                                             ps.iterations);
+          if (on && !rf.stale_on) {
+            rf.log.push_back(
+                {fault::FaultKind::kStaleWindowOn, p, ps.iterations, 0, 0});
+          }
+          rf.stale_on = on;
+          defer_delivery = on;
+        }
+      }
+
       // Deliver every message that has arrived by run time.
-      while (!ps.mailbox.empty() && ps.mailbox.top().arrival <= t_start) {
+      while (!defer_delivery && !ps.mailbox.empty() &&
+             ps.mailbox.top().arrival <= t_start) {
         const Message& msg = ps.mailbox.top();
         ++result.total_messages;
         ++ps.messages_received;
@@ -517,7 +686,23 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
       std::copy(ps.x_local.begin(), ps.x_local.begin() + ps.blk->num_owned(),
                 x_global.begin() + ps.blk->row_begin);
 
-      const double jitter = lognormal(ps.rng, opts.cost.jitter_sigma);
+      double jitter = lognormal(ps.rng, opts.cost.jitter_sigma);
+      if (plan != nullptr) {
+        RankFaults& rf = rank_faults[p];
+        if (rf.straggler != nullptr) {
+          // Duty window of the iteration just performed (0-based): while
+          // active the whole iteration — work and overhead — is slowed.
+          const index_t iter0 = ps.iterations - 1;
+          const bool on = fault::duty_active(rf.straggler->period,
+                                             rf.straggler->duty, iter0);
+          if (on && !rf.straggler_on) {
+            rf.log.push_back(
+                {fault::FaultKind::kStragglerOn, p, iter0, 0, 0});
+          }
+          rf.straggler_on = on;
+          if (on) jitter *= rf.straggler->delay_factor;
+        }
+      }
       const double t_visible = t_start + work_seconds(ps, opts.cost, jitter);
       const double t_done =
           t_visible + overhead_seconds(ps, opts.cost, jitter);
@@ -559,10 +744,8 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
             const double latency =
                 opts.cost.message_time(8) *
                 lognormal(ps.rng, opts.cost.msg_jitter_sigma);
-            msg.arrival = t_start + frac * work_span + latency;
-            dst.mailbox.push(std::move(msg));
-            ++in_flight;
-            ++ps.messages_sent;
+            post_message(ps, p, l, dst, std::move(msg),
+                         t_start + frac * work_span, latency);
           }
           continue;
         }
@@ -578,11 +761,8 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
             opts.cost.message_time(
                 8 * static_cast<index_t>(link.send_rows.size())) *
             lognormal(ps.rng, opts.cost.msg_jitter_sigma);
-        msg.arrival = t_visible + latency;
         msg.link_index = dst_link;
-        dst.mailbox.push(std::move(msg));
-        ++in_flight;
-        ++ps.messages_sent;
+        post_message(ps, p, l, dst, std::move(msg), t_visible, latency);
       }
 
       if (detect && ps.iterations % opts.detection_interval == 0) {
@@ -626,6 +806,11 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
     }
   }
   result.total_relaxations = relaxations;
+  for (const RankFaults& rf : rank_faults) {
+    result.fault_events.insert(result.fault_events.end(), rf.log.begin(),
+                               rf.log.end());
+  }
+  fault::canonicalize(result.fault_events);
   if (opts.record_trace && !opts.synchronous) {
     model::RelaxationTrace trace(n);
     for (const ProcessState& ps : procs) {

@@ -15,11 +15,13 @@
 // The simulator runs thousands of ranks deterministically on one core and
 // reports residual histories against *simulated* wall-clock time.
 
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "ajac/distsim/cost_model.hpp"
 #include "ajac/distsim/local_block.hpp"
+#include "ajac/fault/fault_plan.hpp"
 #include "ajac/model/trace.hpp"
 #include "ajac/sparse/types.hpp"
 
@@ -108,6 +110,13 @@ struct DistOptions {
   /// executions, which a time-sliced single-core OpenMP run cannot
   /// produce.
   bool record_trace = false;
+  /// Fault-injection plan (see ajac/fault/fault_plan.hpp): stragglers,
+  /// stale-delivery windows, per-edge message drop/duplicate/reorder, and
+  /// crash-and-recover ranks. Null or empty disables every hook.
+  /// Asynchronous mode only; bit-flip specs are rejected here (they are a
+  /// shared-runtime fault — the simulator's relaxations are not
+  /// instrumented per matrix entry).
+  std::shared_ptr<const fault::FaultPlan> fault_plan;
 };
 
 /// Per-rank accounting for load/communication analysis.
@@ -149,6 +158,13 @@ struct DistResult {
   double detection_claimed_residual = -1.0;
   double detection_true_residual = -1.0;
   std::optional<model::RelaxationTrace> trace;
+  /// Everything the fault plan injected, in canonical order (empty
+  /// without a plan).
+  fault::FaultLog fault_events;
+  /// Messages lost to drop faults or crashed receivers; these never count
+  /// as in flight (the eager rule's starvation check stays correct).
+  index_t dropped_messages = 0;
+  index_t duplicated_messages = 0;
 };
 
 /// Run distributed Jacobi on A x = b from x0 with the given contiguous

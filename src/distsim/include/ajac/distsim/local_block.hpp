@@ -5,6 +5,7 @@
 // partitioned matrix (Sec. VI: "p_i always locally stores a ghost layer of
 // points that p_j sent to p_i previously").
 
+#include <cstdint>
 #include <vector>
 
 #include "ajac/partition/partition.hpp"
@@ -54,6 +55,15 @@ struct LocalBlock {
     return static_cast<index_t>(col_idx.size());
   }
 };
+
+/// Stable identifier for the directed edge sender → receiver. Used to key
+/// deterministic per-edge decisions (fault injection) so they depend on
+/// the edge and the sender's message counter, never on delivery order.
+[[nodiscard]] constexpr std::uint64_t directed_edge_key(
+    index_t sender, index_t receiver) noexcept {
+  return (static_cast<std::uint64_t>(sender) << 32) ^
+         static_cast<std::uint64_t>(receiver);
+}
 
 /// Build one LocalBlock per part. The matrix must already be ordered so
 /// parts are contiguous (see partition::graph_growing_partition).

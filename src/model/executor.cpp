@@ -87,4 +87,20 @@ ModelResult run_synchronous(const CsrMatrix& a, const Vector& b,
   return run_model(a, b, x0, schedule, opts);
 }
 
+TraceReplay replay_trace(const CsrMatrix& a, const Vector& b,
+                         const Vector& x0, const RelaxationTrace& trace,
+                         const ExecutorOptions& opts) {
+  AJAC_CHECK(trace.num_rows() == a.num_rows());
+  TraceReplay out;
+  out.analysis = analyze_trace(trace);
+  std::vector<std::vector<index_t>> steps;
+  steps.reserve(out.analysis.steps.size());
+  for (const AnalysisStep& s : out.analysis.steps) steps.push_back(s.rows);
+  ReplaySchedule schedule(a.num_rows(), std::move(steps));
+  ExecutorOptions replay_opts = opts;
+  replay_opts.max_steps = out.analysis.parallel_steps;
+  out.result = run_model(a, b, x0, schedule, replay_opts);
+  return out;
+}
+
 }  // namespace ajac::model

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "ajac/model/schedule.hpp"
+#include "ajac/model/trace.hpp"
 #include "ajac/sparse/types.hpp"
 
 namespace ajac {
@@ -61,5 +62,29 @@ struct ModelResult {
 [[nodiscard]] ModelResult run_synchronous(const CsrMatrix& a, const Vector& b,
                                           const Vector& x0,
                                           const ExecutorOptions& opts = {});
+
+struct TraceReplay {
+  PropagationAnalysis analysis;
+  ModelResult result;
+};
+
+/// Replay a recorded execution through the propagation-matrix model: the
+/// trace is reordered into parallel steps Φ(1..L) (analyze_trace) and the
+/// steps run as a ReplaySchedule, ignoring opts.max_steps (the trace fixes
+/// the step count).
+///
+/// For a fully propagated trace (fraction == 1, orphaned == 0) of an
+/// undamped Jacobi execution, the replayed iterate reproduces the recorded
+/// execution bitwise: runtime and model both compute
+/// x_i += d_i^{-1} (b_i - Σ a_ij x_j) with identical operand values in
+/// identical order, and the build disables FP contraction. Stale
+/// relaxations (fraction < 1) make the model read *newer* values than the
+/// execution did, and bit-flip faults change the operative matrix itself —
+/// in both cases the replay documents the divergence rather than bounding
+/// the execution (see DESIGN.md, "Fault model").
+[[nodiscard]] TraceReplay replay_trace(const CsrMatrix& a, const Vector& b,
+                                       const Vector& x0,
+                                       const RelaxationTrace& trace,
+                                       const ExecutorOptions& opts = {});
 
 }  // namespace ajac::model

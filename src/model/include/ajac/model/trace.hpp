@@ -12,6 +12,7 @@
 // "propagated"; relaxations that are forced to read stale versions cannot
 // be expressed by any propagation matrix and are not (Fig. 1(b)).
 
+#include <string>
 #include <vector>
 
 #include "ajac/sparse/types.hpp"
@@ -79,5 +80,18 @@ struct PropagationAnalysis {
 /// (a) is fully propagatable (4/4), (b) is not (3/4).
 [[nodiscard]] RelaxationTrace figure1a_trace();
 [[nodiscard]] RelaxationTrace figure1b_trace();
+
+/// Serialize a trace as compact JSON, one event per line:
+///   {"num_rows": N,
+///    "events": [
+///     {"row": i, "reads": [[j, version], ...]},
+///     ...]}
+/// The format is the golden-file interchange for regression tests and for
+/// replaying recorded (possibly faulty) executions offline.
+[[nodiscard]] std::string to_json(const RelaxationTrace& trace);
+
+/// Parse the to_json format (strict: field order as written, arbitrary
+/// whitespace). Throws std::logic_error on malformed input.
+[[nodiscard]] RelaxationTrace trace_from_json(const std::string& json);
 
 }  // namespace ajac::model

@@ -193,4 +193,142 @@ RelaxationTrace figure1b_trace() {
   return trace;
 }
 
+std::string to_json(const RelaxationTrace& trace) {
+  std::string out;
+  out += "{\"num_rows\": " + std::to_string(trace.num_rows()) +
+         ",\n \"events\": [";
+  bool first_event = true;
+  for (const RelaxationEvent& e : trace.events()) {
+    out += first_event ? "\n" : ",\n";
+    first_event = false;
+    out += "  {\"row\": " + std::to_string(e.row) + ", \"reads\": [";
+    bool first_read = true;
+    for (const RelaxationRead& read : e.reads) {
+      if (!first_read) out += ", ";
+      first_read = false;
+      out += "[" + std::to_string(read.source_row) + ", " +
+             std::to_string(read.version) + "]";
+    }
+    out += "]}";
+  }
+  out += trace.events().empty() ? "]}" : "\n ]}";
+  return out;
+}
+
+namespace {
+
+/// Minimal strict scanner for the to_json trace format. Not a general
+/// JSON parser: keys must appear in the order to_json writes them, which
+/// is all the golden files and fault logs ever contain.
+class JsonCursor {
+ public:
+  explicit JsonCursor(const std::string& text)
+      : p_(text.data()), end_(text.data() + text.size()) {}
+
+  void expect(char c) {
+    skip_ws();
+    AJAC_CHECK_MSG(p_ < end_ && *p_ == c,
+                   "trace JSON: expected '" << c << "' at offset "
+                                            << offset());
+    ++p_;
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    skip_ws();
+    if (p_ < end_ && *p_ == c) {
+      ++p_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect_key(const char* key) {
+    expect('"');
+    for (const char* k = key; *k != '\0'; ++k) {
+      AJAC_CHECK_MSG(p_ < end_ && *p_ == *k,
+                     "trace JSON: expected key \"" << key << "\" at offset "
+                                                   << offset());
+      ++p_;
+    }
+    expect('"');
+    expect(':');
+  }
+
+  [[nodiscard]] index_t parse_int() {
+    skip_ws();
+    const bool negative = p_ < end_ && *p_ == '-';
+    if (negative) ++p_;
+    AJAC_CHECK_MSG(p_ < end_ && *p_ >= '0' && *p_ <= '9',
+                   "trace JSON: expected integer at offset " << offset());
+    index_t value = 0;
+    while (p_ < end_ && *p_ >= '0' && *p_ <= '9') {
+      value = value * 10 + (*p_ - '0');
+      ++p_;
+    }
+    return negative ? -value : value;
+  }
+
+  void expect_end() {
+    skip_ws();
+    AJAC_CHECK_MSG(p_ == end_,
+                   "trace JSON: trailing content at offset " << offset());
+  }
+
+ private:
+  void skip_ws() {
+    while (p_ < end_ &&
+           (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r')) {
+      ++p_;
+    }
+  }
+
+  [[nodiscard]] std::ptrdiff_t offset() const { return end_ - p_; }
+
+  const char* p_;
+  const char* end_;
+};
+
+}  // namespace
+
+RelaxationTrace trace_from_json(const std::string& json) {
+  JsonCursor cur(json);
+  cur.expect('{');
+  cur.expect_key("num_rows");
+  const index_t n = cur.parse_int();
+  AJAC_CHECK_MSG(n >= 1, "trace JSON: num_rows " << n << " < 1");
+  RelaxationTrace trace(n);
+  cur.expect(',');
+  cur.expect_key("events");
+  cur.expect('[');
+  if (!cur.consume(']')) {
+    do {
+      cur.expect('{');
+      cur.expect_key("row");
+      RelaxationEvent event;
+      event.row = cur.parse_int();
+      cur.expect(',');
+      cur.expect_key("reads");
+      cur.expect('[');
+      if (!cur.consume(']')) {
+        do {
+          cur.expect('[');
+          RelaxationRead read;
+          read.source_row = cur.parse_int();
+          cur.expect(',');
+          read.version = cur.parse_int();
+          cur.expect(']');
+          event.reads.push_back(read);
+        } while (cur.consume(','));
+        cur.expect(']');
+      }
+      cur.expect('}');
+      trace.add_event(std::move(event));
+    } while (cur.consume(','));
+    cur.expect(']');
+  }
+  cur.expect('}');
+  cur.expect_end();
+  return trace;
+}
+
 }  // namespace ajac::model

@@ -17,9 +17,11 @@
 // each off-diagonal value it read (a seqlock pairs values with write
 // counters), feeding the propagation-matrix analysis of Sec. IV-A/Fig. 2.
 
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "ajac/fault/fault_plan.hpp"
 #include "ajac/model/trace.hpp"
 #include "ajac/partition/partition.hpp"
 #include "ajac/solvers/common.hpp"
@@ -70,6 +72,12 @@ struct SharedOptions {
   /// tolerance verifiably holds; the sweep count is reported in
   /// SharedResult::polish_sweeps (0 on genuinely parallel hardware).
   bool final_polish = true;
+  /// Fault-injection plan (see ajac/fault/fault_plan.hpp). Null or empty
+  /// keeps the zero-fault path branch-free: the solve dispatches to a
+  /// template instantiation whose injection hooks compile to no-ops.
+  /// Asynchronous mode only — the synchronous barriers define the
+  /// interesting faults away.
+  std::shared_ptr<const fault::FaultPlan> fault_plan;
 };
 
 struct SharedHistoryPoint {
@@ -89,6 +97,10 @@ struct SharedResult {
   std::vector<index_t> iterations_per_thread;
   std::vector<SharedHistoryPoint> history;  ///< merged, time-ordered
   std::optional<model::RelaxationTrace> trace;
+  /// Everything the fault plan injected, in canonical order (empty
+  /// without a plan). Carries logical coordinates only, so two runs of
+  /// the same plan compare bitwise.
+  fault::FaultLog fault_events;
 };
 
 /// Run shared-memory Jacobi (synchronous or asynchronous per options).

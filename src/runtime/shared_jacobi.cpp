@@ -6,6 +6,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <span>
+#include <utility>
 
 #include "ajac/runtime/shared_vector.hpp"
 #include "ajac/sparse/csr.hpp"
@@ -17,44 +19,232 @@
 
 namespace ajac::runtime {
 
-SharedResult solve_shared(const CsrMatrix& a, const Vector& b,
-                          const Vector& x0, const SharedOptions& opts) {
-  AJAC_CHECK(a.num_rows() == a.num_cols());
+namespace {
+
+/// A transiently corrupted matrix read: entry index within the row and the
+/// value (one bit flipped) the relaxation uses instead of the stored one.
+struct FlippedEntry {
+  std::size_t entry = 0;
+  double value = 0.0;
+};
+
+/// Fault context for the default (no plan) path. `enabled` is false and
+/// every hook site in solve_shared_impl is `if constexpr`-guarded, so this
+/// instantiation compiles to exactly the pre-fault solver: the zero-fault
+/// path carries no fault branches at all.
+struct NullFaults {
+  static constexpr bool enabled = false;
+
+  NullFaults(const CsrMatrix& /*a*/, const Vector& /*x0*/,
+             const fault::FaultPlan* /*plan*/, index_t /*thread*/,
+             index_t /*lo*/, index_t /*hi*/, SharedVector& /*x*/) {}
+
+  void begin_iteration(index_t /*iter*/) {}
+  bool flip(index_t /*row*/, std::span<const index_t> /*cols*/,
+            std::span<const double> /*vals*/, FlippedEntry& /*out*/) {
+    return false;
+  }
+  [[nodiscard]] double read(const SharedVector& x, index_t j) const {
+    return x.read(j);
+  }
+  [[nodiscard]] std::pair<double, index_t> read_versioned(
+      const SharedVector& x, index_t j) const {
+    return x.read_versioned(j);
+  }
+  [[nodiscard]] fault::FaultLog take_log() { return {}; }
+};
+
+/// Per-thread fault injector. All state is thread-local; every decision is
+/// a FaultClock hash of (seed, thread, iteration[, row]), so the injected
+/// sequence is independent of how the OS interleaves the threads.
+class ActiveFaults {
+ public:
+  static constexpr bool enabled = true;
+
+  ActiveFaults(const CsrMatrix& a, const Vector& x0,
+               const fault::FaultPlan* plan, index_t thread, index_t lo,
+               index_t hi, SharedVector& x)
+      : clock_(plan->seed), x0_(&x0), x_(&x), thread_(thread), lo_(lo),
+        hi_(hi) {
+    for (const auto& s : plan->stragglers) {
+      if (s.actor == thread) straggler_ = &s;
+    }
+    for (const auto& s : plan->stale_reads) {
+      if (s.actor == thread || s.actor == -1) stale_ = &s;
+    }
+    for (const auto& s : plan->crashes) {
+      if (s.actor == thread) crash_ = &s;
+    }
+    for (const auto& s : plan->bit_flips) {
+      if (s.actor == thread || s.actor == -1) flips_.push_back(&s);
+    }
+    if (stale_ != nullptr) {
+      // The off-block columns this thread's rows read — the "ghost layer"
+      // a stale window freezes. Own-block reads (including the in-place
+      // Gauss-Seidel sweep) always see live values.
+      for (index_t i = lo; i < hi; ++i) {
+        for (const index_t j : a.row_cols(i)) {
+          if (j < lo || j >= hi) ghost_cols_.push_back(j);
+        }
+      }
+      std::sort(ghost_cols_.begin(), ghost_cols_.end());
+      ghost_cols_.erase(std::unique(ghost_cols_.begin(), ghost_cols_.end()),
+                        ghost_cols_.end());
+      ghost_values_.resize(ghost_cols_.size());
+      ghost_versions_.assign(ghost_cols_.size(), 0);
+    }
+  }
+
+  /// Straggler stall, crash-and-recover, and stale-window bookkeeping, in
+  /// that order, at the top of local iteration `iter`.
+  void begin_iteration(index_t iter) {
+    iter_ = iter;
+    if (straggler_ != nullptr) {
+      const bool on =
+          fault::duty_active(straggler_->period, straggler_->duty, iter);
+      if (on && !straggler_on_) {
+        log_.push_back({fault::FaultKind::kStragglerOn, thread_, iter, 0, 0});
+      }
+      straggler_on_ = on;
+      if (on) spin_wait_us(straggler_->extra_delay_us);
+    }
+    if (crash_ != nullptr && !crashed_ && iter >= crash_->crash_iteration) {
+      // A crash in shared memory is a worker that stops participating for
+      // dead_seconds and then resumes — optionally from the initial guess
+      // on its rows (lost memory). The blocking wait is exactly that: no
+      // relaxations, no flag updates, neighbors keep reading its last
+      // published values.
+      crashed_ = true;
+      log_.push_back({fault::FaultKind::kCrash, thread_, iter, 0, 0});
+      spin_wait_us(crash_->dead_seconds * 1e6);
+      if (crash_->reset_state_on_recovery) {
+        for (index_t i = lo_; i < hi_; ++i) x_->write(i, (*x0_)[i]);
+      }
+      log_.push_back({fault::FaultKind::kRecover, thread_, iter, 0, 0});
+    }
+    if (stale_ != nullptr) {
+      const bool on = fault::duty_active(stale_->period, stale_->duty, iter);
+      if (on && !stale_on_) {
+        log_.push_back({fault::FaultKind::kStaleWindowOn, thread_, iter, 0, 0});
+        for (std::size_t k = 0; k < ghost_cols_.size(); ++k) {
+          if (x_->traced()) {
+            const auto [value, version] = x_->read_versioned(ghost_cols_[k]);
+            ghost_values_[k] = value;
+            ghost_versions_[k] = version;
+          } else {
+            ghost_values_[k] = x_->read(ghost_cols_[k]);
+          }
+        }
+      }
+      stale_on_ = on;
+    }
+  }
+
+  /// Transient bit flip for this (iteration, row): returns true and fills
+  /// `out` when one off-diagonal entry should be read corrupted.
+  bool flip(index_t row, std::span<const index_t> cols,
+            std::span<const double> vals, FlippedEntry& out) {
+    for (const fault::BitFlipSpec* s : flips_) {
+      if (iter_ < s->first_iteration || iter_ >= s->last_iteration) continue;
+      if (!clock_.bernoulli(s->probability, fault::FaultClock::kBitFlipTrigger,
+                            static_cast<std::uint64_t>(thread_),
+                            static_cast<std::uint64_t>(iter_),
+                            static_cast<std::uint64_t>(row))) {
+        continue;
+      }
+      std::size_t off_diag = 0;
+      for (const index_t j : cols) off_diag += (j != row) ? 1 : 0;
+      if (off_diag == 0) continue;
+      const std::uint64_t target =
+          clock_.pick(off_diag, fault::FaultClock::kBitFlipEntry,
+                      static_cast<std::uint64_t>(thread_),
+                      static_cast<std::uint64_t>(iter_),
+                      static_cast<std::uint64_t>(row));
+      std::uint64_t seen = 0;
+      std::size_t entry = 0;
+      for (std::size_t p = 0; p < cols.size(); ++p) {
+        if (cols[p] == row) continue;
+        if (seen++ == target) {
+          entry = p;
+          break;
+        }
+      }
+      const int bit =
+          s->bit >= 0
+              ? s->bit
+              : static_cast<int>(clock_.pick(
+                    52, fault::FaultClock::kBitFlipBit,
+                    static_cast<std::uint64_t>(thread_),
+                    static_cast<std::uint64_t>(iter_),
+                    static_cast<std::uint64_t>(row)));
+      out.entry = entry;
+      out.value = fault::flip_bit(vals[entry], bit);
+      log_.push_back({fault::FaultKind::kBitFlip, thread_, iter_, row,
+                      static_cast<index_t>(bit)});
+      return true;
+    }
+    return false;
+  }
+
+  /// Reads go through the injector: inside a stale window, off-block
+  /// columns come from the frozen snapshot instead of the live vector.
+  [[nodiscard]] double read(const SharedVector& x, index_t j) const {
+    if (stale_on_ && (j < lo_ || j >= hi_)) {
+      return ghost_values_[ghost_slot(j)];
+    }
+    return x.read(j);
+  }
+
+  [[nodiscard]] std::pair<double, index_t> read_versioned(const SharedVector& x,
+                                                          index_t j) const {
+    if (stale_on_ && (j < lo_ || j >= hi_)) {
+      const std::size_t k = ghost_slot(j);
+      return {ghost_values_[k], ghost_versions_[k]};
+    }
+    return x.read_versioned(j);
+  }
+
+  [[nodiscard]] fault::FaultLog take_log() { return std::move(log_); }
+
+ private:
+  [[nodiscard]] std::size_t ghost_slot(index_t j) const {
+    const auto it =
+        std::lower_bound(ghost_cols_.begin(), ghost_cols_.end(), j);
+    AJAC_DBG_CHECK(it != ghost_cols_.end() && *it == j);
+    return static_cast<std::size_t>(it - ghost_cols_.begin());
+  }
+
+  fault::FaultClock clock_;
+  const Vector* x0_;
+  SharedVector* x_;
+  index_t thread_;
+  index_t lo_;
+  index_t hi_;
+  index_t iter_ = 0;
+
+  const fault::StragglerSpec* straggler_ = nullptr;
+  const fault::StaleReadSpec* stale_ = nullptr;
+  const fault::CrashSpec* crash_ = nullptr;
+  std::vector<const fault::BitFlipSpec*> flips_;
+
+  bool straggler_on_ = false;
+  bool stale_on_ = false;
+  bool crashed_ = false;
+
+  std::vector<index_t> ghost_cols_;  ///< sorted off-block columns
+  std::vector<double> ghost_values_;
+  std::vector<index_t> ghost_versions_;
+
+  fault::FaultLog log_;
+};
+
+template <class Faults>
+SharedResult solve_shared_impl(const CsrMatrix& a, const Vector& b,
+                               const Vector& x0, const SharedOptions& opts,
+                               const partition::Partition& part,
+                               const Vector& inv_diag,
+                               const fault::FaultPlan* plan) {
   const index_t n = a.num_rows();
-  AJAC_CHECK(b.size() == static_cast<std::size_t>(n));
-  AJAC_CHECK(x0.size() == static_cast<std::size_t>(n));
-  AJAC_CHECK(opts.num_threads >= 1);
-  AJAC_CHECK(opts.max_iterations >= 1);
-  if (!opts.delay_us.empty()) {
-    AJAC_CHECK(opts.delay_us.size() ==
-               static_cast<std::size_t>(opts.num_threads));
-  }
-  AJAC_CHECK_MSG(!(opts.local_gauss_seidel && opts.synchronous),
-                 "the in-place local sweep is only meaningful without "
-                 "barriers (asynchronous mode)");
-  AJAC_CHECK_MSG(!(opts.local_gauss_seidel && opts.record_trace),
-                 "read-version traces assume the Jacobi local sweep");
-
-  const partition::Partition part =
-      opts.partition.value_or(partition::contiguous_partition(
-          n, opts.num_threads));
-  AJAC_CHECK(part.num_parts() == opts.num_threads);
-  AJAC_CHECK(part.num_rows() == n);
-
-  // Debug invariant layer: full structural audit of the inputs before the
-  // threads start (compiled out in release builds).
-  AJAC_DBG_VALIDATE(validate::csr_structure(
-      a, {.require_sorted_rows = true, .require_diagonal = true,
-          .require_finite = true, .require_square = true}));
-  AJAC_DBG_VALIDATE(partition::validate(part, n));
-  AJAC_DBG_VALIDATE(validate::finite(b, "b"));
-  AJAC_DBG_VALIDATE(validate::finite(x0, "x0"));
-
-  Vector inv_diag = a.diagonal();
-  for (index_t i = 0; i < n; ++i) {
-    AJAC_CHECK_MSG(inv_diag[i] != 0.0, "zero diagonal at row " << i);
-    inv_diag[i] = 1.0 / inv_diag[i];
-  }
 
   SharedVector x(n, opts.record_trace);
   SharedVector r(n, /*traced=*/false);
@@ -86,6 +276,8 @@ SharedResult solve_shared(const CsrMatrix& a, const Vector& b,
       static_cast<std::size_t>(opts.num_threads));
   std::vector<std::vector<model::RelaxationEvent>> thread_events(
       static_cast<std::size_t>(opts.num_threads));
+  std::vector<fault::FaultLog> fault_logs(
+      static_cast<std::size_t>(opts.num_threads));
 
   WallTimer timer;
 
@@ -105,6 +297,7 @@ SharedResult solve_shared(const CsrMatrix& a, const Vector& b,
     std::vector<double> local_r(static_cast<std::size_t>(hi - lo));
     auto& my_history = histories[static_cast<std::size_t>(t)];
     auto& my_events = thread_events[static_cast<std::size_t>(t)];
+    Faults faults(a, x0, plan, t, lo, hi, x);
 
     // Verification gate: the flag array is based on racy reads of the
     // shared residual, which can be arbitrarily stale when threads are
@@ -139,6 +332,7 @@ SharedResult solve_shared(const CsrMatrix& a, const Vector& b,
     index_t iter = 0;
     while (stop.load(std::memory_order_relaxed) == 0) {
       if (delay > 0.0) spin_wait_us(delay);
+      if constexpr (Faults::enabled) faults.begin_iteration(iter);
 
       // Step 1: residual on own rows from the shared (racy) x.
       if (opts.local_gauss_seidel) {
@@ -148,8 +342,17 @@ SharedResult solve_shared(const CsrMatrix& a, const Vector& b,
           double acc = b[i];
           const auto cols = a.row_cols(i);
           const auto vals = a.row_values(i);
+          FlippedEntry flipped;
+          bool has_flip = false;
+          if constexpr (Faults::enabled) {
+            has_flip = faults.flip(i, cols, vals, flipped);
+          }
           for (std::size_t pp = 0; pp < cols.size(); ++pp) {
-            acc -= vals[pp] * x.read(cols[pp]);
+            double aij = vals[pp];
+            if constexpr (Faults::enabled) {
+              if (has_flip && flipped.entry == pp) aij = flipped.value;
+            }
+            acc -= aij * faults.read(x, cols[pp]);
           }
           local_r[i - lo] = acc;
           r.write(i, acc);
@@ -162,15 +365,24 @@ SharedResult solve_shared(const CsrMatrix& a, const Vector& b,
           double acc = b[i];
           const auto cols = a.row_cols(i);
           const auto vals = a.row_values(i);
+          FlippedEntry flipped;
+          bool has_flip = false;
+          if constexpr (Faults::enabled) {
+            has_flip = faults.flip(i, cols, vals, flipped);
+          }
           event.reads.reserve(cols.size());
           for (std::size_t p = 0; p < cols.size(); ++p) {
             const index_t j = cols[p];
+            double aij = vals[p];
+            if constexpr (Faults::enabled) {
+              if (has_flip && flipped.entry == p) aij = flipped.value;
+            }
             if (j == i) {
-              acc -= vals[p] * x.read_versioned(j).first;
+              acc -= aij * faults.read_versioned(x, j).first;
               continue;
             }
-            const auto [value, version] = x.read_versioned(j);
-            acc -= vals[p] * value;
+            const auto [value, version] = faults.read_versioned(x, j);
+            acc -= aij * value;
             event.reads.push_back({j, version});
           }
           local_r[i - lo] = acc;
@@ -181,8 +393,17 @@ SharedResult solve_shared(const CsrMatrix& a, const Vector& b,
           double acc = b[i];
           const auto cols = a.row_cols(i);
           const auto vals = a.row_values(i);
+          FlippedEntry flipped;
+          bool has_flip = false;
+          if constexpr (Faults::enabled) {
+            has_flip = faults.flip(i, cols, vals, flipped);
+          }
           for (std::size_t p = 0; p < cols.size(); ++p) {
-            acc -= vals[p] * x.read(cols[p]);
+            double aij = vals[p];
+            if constexpr (Faults::enabled) {
+              if (has_flip && flipped.entry == p) aij = flipped.value;
+            }
+            acc -= aij * faults.read(x, cols[p]);
           }
           local_r[i - lo] = acc;
         }
@@ -238,6 +459,9 @@ SharedResult solve_shared(const CsrMatrix& a, const Vector& b,
       }
     }
     result.iterations_per_thread[static_cast<std::size_t>(t)] = iter;
+    if constexpr (Faults::enabled) {
+      fault_logs[static_cast<std::size_t>(t)] = faults.take_log();
+    }
     AJAC_TSAN_RELEASE(&result);
   }
   AJAC_TSAN_ACQUIRE(&result);
@@ -292,7 +516,70 @@ SharedResult solve_shared(const CsrMatrix& a, const Vector& b,
     }
     result.trace = std::move(trace);
   }
+  if constexpr (Faults::enabled) {
+    for (auto& log : fault_logs) {
+      result.fault_events.insert(result.fault_events.end(), log.begin(),
+                                 log.end());
+    }
+    fault::canonicalize(result.fault_events);
+  }
   return result;
+}
+
+}  // namespace
+
+SharedResult solve_shared(const CsrMatrix& a, const Vector& b,
+                          const Vector& x0, const SharedOptions& opts) {
+  AJAC_CHECK(a.num_rows() == a.num_cols());
+  const index_t n = a.num_rows();
+  AJAC_CHECK(b.size() == static_cast<std::size_t>(n));
+  AJAC_CHECK(x0.size() == static_cast<std::size_t>(n));
+  AJAC_CHECK(opts.num_threads >= 1);
+  AJAC_CHECK(opts.max_iterations >= 1);
+  if (!opts.delay_us.empty()) {
+    AJAC_CHECK(opts.delay_us.size() ==
+               static_cast<std::size_t>(opts.num_threads));
+  }
+  AJAC_CHECK_MSG(!(opts.local_gauss_seidel && opts.synchronous),
+                 "the in-place local sweep is only meaningful without "
+                 "barriers (asynchronous mode)");
+  AJAC_CHECK_MSG(!(opts.local_gauss_seidel && opts.record_trace),
+                 "read-version traces assume the Jacobi local sweep");
+
+  const partition::Partition part =
+      opts.partition.value_or(partition::contiguous_partition(
+          n, opts.num_threads));
+  AJAC_CHECK(part.num_parts() == opts.num_threads);
+  AJAC_CHECK(part.num_rows() == n);
+
+  // Debug invariant layer: full structural audit of the inputs before the
+  // threads start (compiled out in release builds).
+  AJAC_DBG_VALIDATE(validate::csr_structure(
+      a, {.require_sorted_rows = true, .require_diagonal = true,
+          .require_finite = true, .require_square = true}));
+  AJAC_DBG_VALIDATE(partition::validate(part, n));
+  AJAC_DBG_VALIDATE(validate::finite(b, "b"));
+  AJAC_DBG_VALIDATE(validate::finite(x0, "x0"));
+
+  Vector inv_diag = a.diagonal();
+  for (index_t i = 0; i < n; ++i) {
+    AJAC_CHECK_MSG(inv_diag[i] != 0.0, "zero diagonal at row " << i);
+    inv_diag[i] = 1.0 / inv_diag[i];
+  }
+
+  const fault::FaultPlan* plan =
+      opts.fault_plan && !opts.fault_plan->empty() ? opts.fault_plan.get()
+                                                   : nullptr;
+  if (plan != nullptr) {
+    AJAC_CHECK_MSG(!opts.synchronous,
+                   "fault injection targets the asynchronous runtime (the "
+                   "synchronous barriers serialize every fault away)");
+    plan->validate(opts.num_threads);
+    return solve_shared_impl<ActiveFaults>(a, b, x0, opts, part, inv_diag,
+                                           plan);
+  }
+  return solve_shared_impl<NullFaults>(a, b, x0, opts, part, inv_diag,
+                                       nullptr);
 }
 
 }  // namespace ajac::runtime

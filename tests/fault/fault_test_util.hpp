@@ -1,0 +1,26 @@
+#pragma once
+// Helpers shared by the fault-injection test suites.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "ajac/fault/fault_plan.hpp"
+
+namespace ajac::testing {
+
+/// If the current test has failed and AJAC_FAULT_LOG_DIR is set, dump the
+/// fault log as JSON into that directory (CI uploads it as an artifact, so
+/// a red determinism run ships the exact event sequence it saw).
+inline void dump_fault_log_if_failed(const std::string& name,
+                                     const fault::FaultLog& log) {
+  if (!::testing::Test::HasFailure()) return;
+  const char* dir = std::getenv("AJAC_FAULT_LOG_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  std::ofstream out(std::string(dir) + "/" + name + ".json");
+  out << fault::to_json(log) << "\n";
+}
+
+}  // namespace ajac::testing

@@ -19,16 +19,23 @@
 #include "ajac/model/trace.hpp"
 #include "ajac/sparse/csr.hpp"
 #include "ajac/sparse/vector_ops.hpp"
+#include "test_helpers.hpp"
 
 namespace ajac::runtime {
 namespace {
 
-gen::LinearProblem small_problem(std::uint64_t seed) {
-  return gen::make_problem("fd", gen::fd_laplacian_2d(10, 10), seed);
+// Problem draws are salted off ajac::testing::test_seed(), so a failing
+// configuration reproduces with AJAC_TEST_SEED=<logged value>.
+gen::LinearProblem small_problem(std::uint64_t salt) {
+  return gen::make_problem("fd", gen::fd_laplacian_2d(10, 10),
+                           ajac::testing::test_seed(salt));
 }
 
 void verify_result(const gen::LinearProblem& p, const SharedResult& r,
                    double tolerance) {
+  SCOPED_TRACE(::testing::Message()
+               << "reproduce with AJAC_TEST_SEED="
+               << ajac::testing::test_seed() << " (base seed)");
   EXPECT_TRUE(r.converged);
   Vector res(p.b.size());
   p.a.residual(r.x, p.b, res);

@@ -1,0 +1,182 @@
+// Property-based permutation / principal-submatrix tests on ~200 seeded
+// cases: P A P^T entry mapping, inverse round trips, vector consistency,
+// and submatrix extraction against the dense definition. These are the
+// invariants the partitioner and the Sec. IV-C delayed-row analysis lean
+// on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "ajac/sparse/coo.hpp"
+#include "ajac/sparse/csr.hpp"
+#include "ajac/sparse/permute.hpp"
+#include "ajac/sparse/submatrix.hpp"
+#include "ajac/util/rng.hpp"
+#include "test_helpers.hpp"
+
+namespace ajac {
+namespace {
+
+constexpr int kCases = 200;
+
+CsrMatrix random_square(Rng& rng, index_t n) {
+  CooBuilder coo(n, n);
+  const auto entries = rng.uniform_index(
+      static_cast<std::uint64_t>(n * n) / 2 + 1);
+  for (std::uint64_t k = 0; k < entries; ++k) {
+    coo.add(static_cast<index_t>(rng.uniform_index(n)),
+            static_cast<index_t>(rng.uniform_index(n)),
+            rng.uniform(-2.0, 2.0));
+  }
+  return coo.to_csr();
+}
+
+Permutation random_permutation(Rng& rng, index_t n) {
+  std::vector<index_t> p(static_cast<std::size_t>(n));
+  std::iota(p.begin(), p.end(), index_t{0});
+  for (std::size_t i = p.size(); i > 1; --i) {
+    std::swap(p[i - 1], p[rng.uniform_index(i)]);
+  }
+  return Permutation(std::move(p));
+}
+
+Vector random_vector(Rng& rng, index_t n) {
+  Vector x(static_cast<std::size_t>(n));
+  for (double& v : x) v = rng.uniform(-1.0, 1.0);
+  return x;
+}
+
+TEST(PropPermute, SymmetricApplyMapsEntriesExactly) {
+  // (P A P^T)_{ij} == A_{new_to_old(i), new_to_old(j)}, checked densely.
+  for (int c = 0; c < kCases; ++c) {
+    SCOPED_TRACE(::testing::Message()
+                 << "case " << c << ", AJAC_TEST_SEED base "
+                 << ajac::testing::test_seed());
+    Rng rng(ajac::testing::test_seed(9000 + static_cast<std::uint64_t>(c)));
+    const index_t n = 1 + static_cast<index_t>(rng.uniform_index(14));
+    const CsrMatrix a = random_square(rng, n);
+    const Permutation perm = random_permutation(rng, n);
+    const CsrMatrix pa = perm.apply_symmetric(a);
+    ASSERT_EQ(pa.num_rows(), n);
+    ASSERT_EQ(pa.num_nonzeros(), a.num_nonzeros());
+    ASSERT_TRUE(pa.has_sorted_rows());
+    for (index_t i = 0; i < n; ++i) {
+      for (index_t j = 0; j < n; ++j) {
+        ASSERT_EQ(pa.at(i, j), a.at(perm.new_to_old(i), perm.new_to_old(j)));
+      }
+    }
+  }
+}
+
+TEST(PropPermute, InverseUndoesApply) {
+  for (int c = 0; c < kCases; ++c) {
+    SCOPED_TRACE(::testing::Message()
+                 << "case " << c << ", AJAC_TEST_SEED base "
+                 << ajac::testing::test_seed());
+    Rng rng(ajac::testing::test_seed(10000 + static_cast<std::uint64_t>(c)));
+    const index_t n = 1 + static_cast<index_t>(rng.uniform_index(20));
+    const CsrMatrix a = random_square(rng, n);
+    const Permutation perm = random_permutation(rng, n);
+    const Permutation inv = perm.inverse();
+    EXPECT_EQ(inv.apply_symmetric(perm.apply_symmetric(a)), a);
+    const Vector x = random_vector(rng, n);
+    const Vector round1 = perm.apply_inverse(perm.apply(x));
+    const Vector round2 = inv.apply(perm.apply(x));
+    for (index_t i = 0; i < n; ++i) {
+      ASSERT_EQ(round1[i], x[i]);
+      ASSERT_EQ(round2[i], x[i]);
+    }
+    // old_to_new and new_to_old are mutually inverse index maps.
+    for (index_t i = 0; i < n; ++i) {
+      ASSERT_EQ(perm.old_to_new(perm.new_to_old(i)), i);
+      ASSERT_EQ(inv.new_to_old(i), perm.old_to_new(i));
+    }
+  }
+}
+
+TEST(PropPermute, SpmvCommutesWithPermutation) {
+  // P (A x) == (P A P^T)(P x): permuting the system and the vector gives
+  // the permuted product. This is the identity the partitioned solvers
+  // rely on when they reorder a problem part-major and solve the permuted
+  // system instead.
+  for (int c = 0; c < kCases; ++c) {
+    SCOPED_TRACE(::testing::Message()
+                 << "case " << c << ", AJAC_TEST_SEED base "
+                 << ajac::testing::test_seed());
+    Rng rng(ajac::testing::test_seed(11000 + static_cast<std::uint64_t>(c)));
+    const index_t n = 1 + static_cast<index_t>(rng.uniform_index(18));
+    const CsrMatrix a = random_square(rng, n);
+    const Permutation perm = random_permutation(rng, n);
+    const Vector x = random_vector(rng, n);
+    Vector ax(static_cast<std::size_t>(n));
+    a.spmv(x, ax);
+    const Vector lhs = perm.apply(ax);
+    const CsrMatrix pa = perm.apply_symmetric(a);
+    const Vector px = perm.apply(x);
+    Vector rhs(static_cast<std::size_t>(n));
+    pa.spmv(px, rhs);
+    for (index_t i = 0; i < n; ++i) {
+      // Row entries are re-sorted by the permutation, so the accumulation
+      // order differs; rounding-level tolerance.
+      ASSERT_NEAR(lhs[i], rhs[i], 1e-12);
+    }
+  }
+}
+
+TEST(PropSubmatrix, PrincipalSubmatrixMatchesDenseDefinition) {
+  for (int c = 0; c < kCases; ++c) {
+    SCOPED_TRACE(::testing::Message()
+                 << "case " << c << ", AJAC_TEST_SEED base "
+                 << ajac::testing::test_seed());
+    Rng rng(ajac::testing::test_seed(12000 + static_cast<std::uint64_t>(c)));
+    const index_t n = 1 + static_cast<index_t>(rng.uniform_index(16));
+    const CsrMatrix a = random_square(rng, n);
+    // Random strictly increasing non-empty keep set.
+    std::vector<index_t> keep;
+    for (index_t i = 0; i < n; ++i) {
+      if (rng.uniform() < 0.5) keep.push_back(i);
+    }
+    if (keep.empty()) keep.push_back(static_cast<index_t>(rng.uniform_index(n)));
+    const CsrMatrix sub = principal_submatrix(a, keep);
+    const auto m = static_cast<index_t>(keep.size());
+    ASSERT_EQ(sub.num_rows(), m);
+    ASSERT_EQ(sub.num_cols(), m);
+    for (index_t i = 0; i < m; ++i) {
+      for (index_t j = 0; j < m; ++j) {
+        ASSERT_EQ(sub.at(i, j), a.at(keep[i], keep[j]));
+      }
+    }
+  }
+}
+
+TEST(PropSubmatrix, KeepEverythingIsIdentityAndComplementPartitions) {
+  for (int c = 0; c < kCases; ++c) {
+    SCOPED_TRACE(::testing::Message()
+                 << "case " << c << ", AJAC_TEST_SEED base "
+                 << ajac::testing::test_seed());
+    Rng rng(ajac::testing::test_seed(13000 + static_cast<std::uint64_t>(c)));
+    const index_t n = 1 + static_cast<index_t>(rng.uniform_index(16));
+    const CsrMatrix a = random_square(rng, n);
+    std::vector<index_t> all(static_cast<std::size_t>(n));
+    std::iota(all.begin(), all.end(), index_t{0});
+    EXPECT_EQ(principal_submatrix(a, all), a);
+
+    std::vector<index_t> removed;
+    for (index_t i = 0; i < n; ++i) {
+      if (rng.uniform() < 0.3) removed.push_back(i);
+    }
+    const std::vector<index_t> kept = complement_rows(n, removed);
+    ASSERT_EQ(kept.size() + removed.size(), static_cast<std::size_t>(n));
+    ASSERT_TRUE(std::is_sorted(kept.begin(), kept.end()));
+    std::vector<index_t> merged = kept;
+    merged.insert(merged.end(), removed.begin(), removed.end());
+    std::sort(merged.begin(), merged.end());
+    EXPECT_EQ(merged, all);
+  }
+}
+
+}  // namespace
+}  // namespace ajac

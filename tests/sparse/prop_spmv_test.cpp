@@ -1,0 +1,158 @@
+// Property-based SpMV tests: serial and OpenMP kernels against a dense
+// reference on ~200 seeded random matrices, plus algebraic identities
+// (linearity, transpose adjointness, residual consistency).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ajac/sparse/coo.hpp"
+#include "ajac/sparse/csr.hpp"
+#include "ajac/sparse/dense.hpp"
+#include "ajac/sparse/vector_ops.hpp"
+#include "ajac/util/rng.hpp"
+#include "test_helpers.hpp"
+
+namespace ajac {
+namespace {
+
+constexpr int kCases = 200;
+
+CsrMatrix random_matrix(Rng& rng, index_t rows, index_t cols) {
+  CooBuilder coo(rows, cols);
+  const auto entries = rng.uniform_index(
+      static_cast<std::uint64_t>(rows * cols) / 2 + 1);
+  for (std::uint64_t k = 0; k < entries; ++k) {
+    coo.add(static_cast<index_t>(rng.uniform_index(rows)),
+            static_cast<index_t>(rng.uniform_index(cols)),
+            rng.uniform(-2.0, 2.0));
+  }
+  return coo.to_csr();
+}
+
+Vector random_vector(Rng& rng, index_t n) {
+  Vector x(static_cast<std::size_t>(n));
+  for (double& v : x) v = rng.uniform(-1.0, 1.0);
+  return x;
+}
+
+Vector dense_spmv(const CsrMatrix& a, const Vector& x) {
+  const DenseMatrix d = DenseMatrix::from_csr(a);
+  Vector y(static_cast<std::size_t>(a.num_rows()), 0.0);
+  for (index_t i = 0; i < a.num_rows(); ++i) {
+    double acc = 0.0;
+    for (index_t j = 0; j < a.num_cols(); ++j) acc += d(i, j) * x[j];
+    y[static_cast<std::size_t>(i)] = acc;
+  }
+  return y;
+}
+
+TEST(PropSpmv, SerialAndOmpMatchDenseReference) {
+  for (int c = 0; c < kCases; ++c) {
+    SCOPED_TRACE(::testing::Message()
+                 << "case " << c << ", AJAC_TEST_SEED base "
+                 << ajac::testing::test_seed());
+    Rng rng(ajac::testing::test_seed(5000 + static_cast<std::uint64_t>(c)));
+    const index_t rows = 1 + static_cast<index_t>(rng.uniform_index(24));
+    const index_t cols = 1 + static_cast<index_t>(rng.uniform_index(24));
+    const CsrMatrix a = random_matrix(rng, rows, cols);
+    const Vector x = random_vector(rng, cols);
+    const Vector ref = dense_spmv(a, x);
+    Vector y(static_cast<std::size_t>(rows));
+    a.spmv(x, y);
+    Vector y_omp(static_cast<std::size_t>(rows));
+    a.spmv_omp(x, y_omp);
+    for (index_t i = 0; i < rows; ++i) {
+      // The dense loop sums in column order over zeros too; allow
+      // rounding-level difference from the sparse accumulation order.
+      ASSERT_NEAR(y[i], ref[i], 1e-12);
+      // Same row, same entry order => serial and OMP agree bitwise.
+      ASSERT_EQ(y_omp[i], y[i]);
+      ASSERT_EQ(a.row_dot(i, x), y[i]);
+    }
+  }
+}
+
+TEST(PropSpmv, LinearityInTheVector) {
+  for (int c = 0; c < kCases; ++c) {
+    SCOPED_TRACE(::testing::Message()
+                 << "case " << c << ", AJAC_TEST_SEED base "
+                 << ajac::testing::test_seed());
+    Rng rng(ajac::testing::test_seed(6000 + static_cast<std::uint64_t>(c)));
+    const index_t n = 1 + static_cast<index_t>(rng.uniform_index(20));
+    const CsrMatrix a = random_matrix(rng, n, n);
+    const Vector x = random_vector(rng, n);
+    const Vector y = random_vector(rng, n);
+    const double alpha = rng.uniform(-2.0, 2.0);
+    Vector xy(static_cast<std::size_t>(n));
+    for (index_t i = 0; i < n; ++i) xy[i] = alpha * x[i] + y[i];
+    Vector a_xy(static_cast<std::size_t>(n));
+    a.spmv(xy, a_xy);
+    Vector ax(static_cast<std::size_t>(n));
+    a.spmv(x, ax);
+    Vector ay(static_cast<std::size_t>(n));
+    a.spmv(y, ay);
+    for (index_t i = 0; i < n; ++i) {
+      ASSERT_NEAR(a_xy[i], alpha * ax[i] + ay[i], 1e-12);
+    }
+  }
+}
+
+TEST(PropSpmv, TransposeIsTheAdjoint) {
+  // <A x, y> == <x, A^T y> for all x, y.
+  for (int c = 0; c < kCases; ++c) {
+    SCOPED_TRACE(::testing::Message()
+                 << "case " << c << ", AJAC_TEST_SEED base "
+                 << ajac::testing::test_seed());
+    Rng rng(ajac::testing::test_seed(7000 + static_cast<std::uint64_t>(c)));
+    const index_t rows = 1 + static_cast<index_t>(rng.uniform_index(16));
+    const index_t cols = 1 + static_cast<index_t>(rng.uniform_index(16));
+    const CsrMatrix a = random_matrix(rng, rows, cols);
+    const CsrMatrix at = a.transpose();
+    ASSERT_EQ(at.num_rows(), cols);
+    ASSERT_EQ(at.num_cols(), rows);
+    ASSERT_EQ(at.transpose(), a);  // involution
+    const Vector x = random_vector(rng, cols);
+    const Vector y = random_vector(rng, rows);
+    Vector ax(static_cast<std::size_t>(rows));
+    a.spmv(x, ax);
+    Vector aty(static_cast<std::size_t>(cols));
+    at.spmv(y, aty);
+    double lhs = 0.0;
+    for (index_t i = 0; i < rows; ++i) lhs += ax[i] * y[i];
+    double rhs = 0.0;
+    for (index_t j = 0; j < cols; ++j) rhs += x[j] * aty[j];
+    ASSERT_NEAR(lhs, rhs, 1e-10);
+  }
+}
+
+TEST(PropSpmv, ResidualIsBMinusAx) {
+  for (int c = 0; c < kCases; ++c) {
+    SCOPED_TRACE(::testing::Message()
+                 << "case " << c << ", AJAC_TEST_SEED base "
+                 << ajac::testing::test_seed());
+    Rng rng(ajac::testing::test_seed(8000 + static_cast<std::uint64_t>(c)));
+    const index_t n = 1 + static_cast<index_t>(rng.uniform_index(20));
+    const CsrMatrix a = random_matrix(rng, n, n);
+    const Vector x = random_vector(rng, n);
+    const Vector b = random_vector(rng, n);
+    Vector r(static_cast<std::size_t>(n));
+    a.residual(x, b, r);
+    Vector ax(static_cast<std::size_t>(n));
+    a.spmv(x, ax);
+    for (index_t i = 0; i < n; ++i) {
+      // residual() subtracts entry by entry from b while spmv sums first;
+      // the accumulation orders differ, so compare to rounding level.
+      ASSERT_NEAR(r[i], b[i] - ax[i], 1e-12);
+    }
+    // Residual at an exact "solution" of the homogeneous problem: r == b
+    // when x == 0.
+    const Vector zero(static_cast<std::size_t>(n), 0.0);
+    a.residual(zero, b, r);
+    for (index_t i = 0; i < n; ++i) ASSERT_EQ(r[i], b[i]);
+  }
+}
+
+}  // namespace
+}  // namespace ajac

@@ -4,11 +4,27 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstdlib>
 
 #include "ajac/sparse/csr.hpp"
 #include "ajac/sparse/types.hpp"
 
 namespace ajac::testing {
+
+/// Base seed for randomized and stress tests. Fixed by default so runs are
+/// reproducible; override with AJAC_TEST_SEED=<n> to explore other
+/// problem/schedule draws. Tests must surface the value they used (e.g.
+/// via SCOPED_TRACE) so a failure names the seed that reproduces it.
+inline std::uint64_t test_seed(std::uint64_t salt = 0) {
+  std::uint64_t base = 0xa5a1c0de;
+  if (const char* env = std::getenv("AJAC_TEST_SEED")) {
+    char* end = nullptr;
+    const auto parsed = std::strtoull(env, &end, 10);
+    if (end != env) base = parsed;
+  }
+  return base + salt;
+}
 
 /// Small dense-checkable symmetric matrix with unit diagonal:
 ///   A = I - c * (adjacency of a path graph), W.D.D. for c <= 0.5.
