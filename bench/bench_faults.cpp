@@ -18,11 +18,14 @@
 // instead (DESIGN.md, "Fault model").
 
 #include <cstdio>
+#include <map>
 #include <memory>
 
 #include "ajac/fault/fault_plan.hpp"
 #include "ajac/gen/fd.hpp"
 #include "ajac/model/executor.hpp"
+#include "ajac/obs/metrics.hpp"
+#include "ajac/obs/trace_sink.hpp"
 #include "ajac/runtime/shared_jacobi.hpp"
 #include "ajac/sparse/vector_ops.hpp"
 #include "bench_common.hpp"
@@ -234,6 +237,57 @@ void run_replay(const gen::LinearProblem& p, index_t threads,
       "nonzero difference — the model documents, not bounds, them.\n");
 }
 
+// ---- Part D: observability artifacts (--metrics-json / --trace-out) ------
+
+/// One obs-instrumented faulty run (straggler plan, traced reads so the
+/// staleness histogram fills): writes the metrics snapshot and/or a
+/// Perfetto-loadable timeline. This is the run CI archives as an artifact.
+void run_observed(const gen::LinearProblem& p, index_t threads,
+                  std::uint64_t seed, const CliParser& cli) {
+  const std::string metrics_path = cli.get_string("metrics-json");
+  const std::string trace_path = cli.get_string("trace-out");
+  if (metrics_path.empty() && trace_path.empty()) return;
+
+  auto plan = std::make_shared<fault::FaultPlan>();
+  plan->seed = seed;
+  plan->stragglers.push_back(
+      {.actor = 0, .extra_delay_us = 50.0, .period = 16, .duty = 0.5});
+
+  obs::MetricsRegistry reg;
+  runtime::SharedOptions o;
+  o.num_threads = threads;
+  o.tolerance = 1e-6;
+  o.max_iterations = 4000;
+  o.record_history = false;
+  o.record_trace = true;  // seqlock versions feed the staleness histogram
+  o.yield = true;
+  o.fault_plan = plan;
+  o.metrics = &reg;
+  const auto r = runtime::solve_shared(p.a, p.b, p.x0, o);
+
+  if (!metrics_path.empty()) {
+    std::map<std::string, std::string> md;
+    md["bench"] = "bench_faults";
+    md["case"] = "straggler+trace";
+    md["matrix"] = p.name;
+    md["threads"] = std::to_string(threads);
+    md["converged"] = r.converged ? "true" : "false";
+    md["git_sha"] = AJAC_GIT_SHA;
+    md["compiler"] = __VERSION__;
+    obs::write_file(metrics_path, obs::to_json(reg.snapshot(), md));
+    std::printf("(metrics snapshot written to %s)\n", metrics_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    obs::TraceEventSink sink;
+    sink.add_registry(reg, "solve_shared straggler run");
+    sink.write(trace_path);
+    std::printf(
+        "(timeline with %zu events written to %s — load it in Perfetto or "
+        "chrome://tracing)\n",
+        sink.num_events(), trace_path.c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -243,6 +297,12 @@ int main(int argc, char** argv) {
   cli.add_option("threads", "4", "shared-memory worker threads");
   cli.add_option("procs", "8", "simulated distributed ranks");
   cli.add_option("grid", "16", "FD grid side (n = grid^2 rows)");
+  cli.add_option("metrics-json", "",
+                 "write an obs metrics snapshot of an instrumented "
+                 "straggler run to this path");
+  cli.add_option("trace-out", "",
+                 "write a Chrome trace-event timeline of the same run to "
+                 "this path");
   if (!cli.parse(argc, argv)) return 0;
   const auto threads = cli.get_int("threads");
   const auto procs = cli.get_int("procs");
@@ -256,5 +316,6 @@ int main(int argc, char** argv) {
   run_shared(problem, threads, seed, cli);
   run_dist(problem, procs, seed, cli);
   run_replay(problem, threads, seed, cli);
+  run_observed(problem, threads, seed, cli);
   return 0;
 }

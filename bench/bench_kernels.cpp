@@ -1,18 +1,35 @@
 // Kernel microbenchmarks (google-benchmark): the primitives underneath
 // every experiment — SpMV, residual, masked propagation step, norms,
-// coloring, partitioning, and the trace analysis.
+// coloring, partitioning, the trace analysis, and the shared-memory solve
+// with metrics off vs. on (the observability overhead gate in CI compares
+// the last two).
+//
+// Custom main: `--json <path>` is translated to google-benchmark's
+// --benchmark_out/--benchmark_out_format=json pair, and run metadata (git
+// sha, compiler, OpenMP width) is stamped into the report context.
 
 #include <benchmark/benchmark.h>
+#include <omp.h>
+
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "ajac/gen/fd.hpp"
 #include "ajac/gen/problem.hpp"
 #include "ajac/model/propagation.hpp"
 #include "ajac/model/schedule.hpp"
 #include "ajac/model/trace.hpp"
+#include "ajac/obs/metrics.hpp"
 #include "ajac/partition/partition.hpp"
+#include "ajac/runtime/shared_jacobi.hpp"
 #include "ajac/sparse/csr.hpp"
 #include "ajac/sparse/vector_ops.hpp"
 #include "ajac/util/rng.hpp"
+
+#ifndef AJAC_GIT_SHA
+#define AJAC_GIT_SHA "unknown"
+#endif
 
 namespace {
 
@@ -128,4 +145,79 @@ void BM_TraceAnalysis(benchmark::State& state) {
 }
 BENCHMARK(BM_TraceAnalysis)->Arg(68)->Arg(272);
 
+// Fixed-length asynchronous solve, identical configuration with and
+// without a metrics registry: the pair measures the observability layer's
+// overhead (CI fails if the instrumented run is > 5% slower).
+runtime::SharedOptions solve_opts() {
+  runtime::SharedOptions o;
+  o.num_threads = 2;
+  o.tolerance = 0.0;  // fixed iteration count: both variants do equal work
+  o.max_iterations = 50;
+  o.record_history = false;
+  o.final_polish = false;
+  o.yield = true;
+  return o;
+}
+
+void BM_SolveSharedAsync(benchmark::State& state) {
+  const auto p = gen::make_problem("fd", grid(32), 1);
+  const runtime::SharedOptions o = solve_opts();
+  for (auto _ : state) {
+    const auto r = runtime::solve_shared(p.a, p.b, p.x0, o);
+    benchmark::DoNotOptimize(r.total_relaxations);
+  }
+  state.SetItemsProcessed(state.iterations() * 50 * p.a.num_rows());
+}
+BENCHMARK(BM_SolveSharedAsync)->UseRealTime();
+
+void BM_SolveSharedAsyncMetrics(benchmark::State& state) {
+  const auto p = gen::make_problem("fd", grid(32), 1);
+  runtime::SharedOptions o = solve_opts();
+  obs::MetricsRegistry reg;
+  o.metrics = &reg;
+  for (auto _ : state) {
+    const auto r = runtime::solve_shared(p.a, p.b, p.x0, o);
+    benchmark::DoNotOptimize(r.total_relaxations);
+  }
+  state.SetItemsProcessed(state.iterations() * 50 * p.a.num_rows());
+}
+BENCHMARK(BM_SolveSharedAsyncMetrics)->UseRealTime();
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+      continue;
+    }
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  std::string out_flag;
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!json_path.empty()) {
+    out_flag = "--benchmark_out=" + json_path;
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  benchmark::AddCustomContext("git_sha", AJAC_GIT_SHA);
+  benchmark::AddCustomContext("compiler", __VERSION__);
+  benchmark::AddCustomContext("omp_max_threads",
+                              std::to_string(omp_get_max_threads()));
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

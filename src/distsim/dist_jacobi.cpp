@@ -4,6 +4,7 @@
 #include <cmath>
 #include <queue>
 
+#include "ajac/obs/metrics.hpp"
 #include "ajac/sparse/csr.hpp"
 #include "ajac/sparse/validate.hpp"
 #include "ajac/sparse/vector_ops.hpp"
@@ -200,6 +201,17 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
     plan->validate(num_procs);
   }
   const fault::FaultClock fclock(plan != nullptr ? plan->seed : 0);
+
+  // Metrics are observation-only plain branches: the simulator is
+  // single-threaded and deterministic in *simulated* time, so recording
+  // cannot perturb the run (timestamps below are sim-time microseconds).
+  obs::MetricsRegistry* const metrics = opts.metrics;
+  if (metrics != nullptr) {
+    metrics->set_actor_kind("rank");
+    metrics->reset(num_procs,
+                   static_cast<std::size_t>(opts.max_iterations) + 64);
+  }
+  auto slot = [&](index_t p) -> obs::ActorSlot& { return metrics->actor(p); };
 
   // God's-eye state for residual snapshots: owners publish on commit.
   Vector x_global = x0;
@@ -419,6 +431,12 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
             // check is keyed on deliverable messages).
             rf.log.push_back({fault::FaultKind::kMessageDrop, src_rank, k,
                               msg.receiver, 0});
+            if (metrics != nullptr) {
+              slot(src_rank).add(obs::Counter::kMessagesDropped);
+              slot(src_rank).add(obs::Counter::kFaultEvents);
+              slot(src_rank).instant(obs::TraceKind::kMessageDrop, base * 1e6,
+                                     msg.receiver);
+            }
             ++result.dropped_messages;
             ++src.messages_sent;
             return;
@@ -427,6 +445,11 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
                                fault::FaultClock::kMessageReorder, edge, ku)) {
             rf.log.push_back({fault::FaultKind::kMessageReorder, src_rank, k,
                               msg.receiver, 0});
+            if (metrics != nullptr) {
+              slot(src_rank).add(obs::Counter::kFaultEvents);
+              slot(src_rank).instant(obs::TraceKind::kMessageReorder,
+                                     base * 1e6, msg.receiver);
+            }
             latency *= s.reorder_latency_factor;
           }
           if (fclock.bernoulli(s.duplicate_probability,
@@ -434,6 +457,12 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
                                ku)) {
             rf.log.push_back({fault::FaultKind::kMessageDuplicate, src_rank,
                               k, msg.receiver, 0});
+            if (metrics != nullptr) {
+              slot(src_rank).add(obs::Counter::kMessagesDuplicated);
+              slot(src_rank).add(obs::Counter::kFaultEvents);
+              slot(src_rank).instant(obs::TraceKind::kMessageDuplicate,
+                                     base * 1e6, msg.receiver);
+            }
             Message dup = msg;
             dup.arrival = base + 2.0 * latency;  // the retransmitted copy
             dst.mailbox.push(std::move(dup));
@@ -443,6 +472,10 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
           }
           break;  // first matching spec governs the edge
         }
+      }
+      if (metrics != nullptr) {
+        slot(src_rank).record(obs::Hist::kMessageLatencyUs,
+                              static_cast<std::uint64_t>(latency * 1e6));
       }
       msg.arrival = base + latency;
       dst.mailbox.push(std::move(msg));
@@ -480,11 +513,18 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
           rf.down = false;
           rf.log.push_back(
               {fault::FaultKind::kRecover, p, ps.iterations, 0, 0});
+          if (metrics != nullptr) {
+            slot(p).add(obs::Counter::kFaultEvents);
+            slot(p).instant(obs::TraceKind::kRecover, t * 1e6, ps.iterations);
+          }
           while (!ps.mailbox.empty() &&
                  ps.mailbox.top().arrival <= rf.dead_until) {
             ps.mailbox.pop();
             --in_flight;
             ++result.dropped_messages;
+            if (metrics != nullptr) {
+              slot(p).add(obs::Counter::kMessagesDropped);
+            }
           }
           if (rf.crash->reset_state_on_recovery) {
             const index_t m = ps.blk->num_owned();
@@ -508,6 +548,10 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
           rf.down = true;
           rf.dead_until = t + rf.crash->dead_seconds;
           rf.log.push_back({fault::FaultKind::kCrash, p, ps.iterations, 0, 0});
+          if (metrics != nullptr) {
+            slot(p).add(obs::Counter::kFaultEvents);
+            slot(p).instant(obs::TraceKind::kCrash, t * 1e6, ps.iterations);
+          }
           queue.emplace(rf.dead_until, p);
           continue;
         }
@@ -539,6 +583,11 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
           if (on && !rf.stale_on) {
             rf.log.push_back(
                 {fault::FaultKind::kStaleWindowOn, p, ps.iterations, 0, 0});
+            if (metrics != nullptr) {
+              slot(p).add(obs::Counter::kFaultEvents);
+              slot(p).instant(obs::TraceKind::kStaleWindowOn, t_start * 1e6,
+                              ps.iterations);
+            }
           }
           rf.stale_on = on;
           defer_delivery = on;
@@ -546,12 +595,23 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
       }
 
       // Deliver every message that has arrived by run time.
+      if (metrics != nullptr && !defer_delivery) {
+        // Pending puts (arrived or still in the network) at drain time.
+        slot(p).record(obs::Hist::kQueueDepth, ps.mailbox.size());
+      }
       while (!defer_delivery && !ps.mailbox.empty() &&
              ps.mailbox.top().arrival <= t_start) {
         const Message& msg = ps.mailbox.top();
         ++result.total_messages;
         ++ps.messages_received;
         --in_flight;
+        if (metrics != nullptr) {
+          // How many iterations the sender has advanced past this put: the
+          // lag a ghost value carries when it lands.
+          const index_t lag = procs[msg.sender].iterations - msg.seq;
+          slot(p).record(obs::Hist::kGhostReadAge,
+                         static_cast<std::uint64_t>(lag > 0 ? lag : 0));
+        }
         const index_t link_idx = msg.link_index;
         const NeighborLink& link = ps.blk->neighbors[link_idx];
         const bool stale = msg.seq < ps.last_seq[link_idx];
@@ -576,6 +636,10 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
       if (ps.stop_at <= t_start) {
         // Stop broadcast arrived: halt without relaxing further.
         ps.done = true;
+        if (metrics != nullptr) {
+          slot(p).instant(obs::TraceKind::kStop, t_start * 1e6,
+                          ps.iterations);
+        }
         result.iterations_per_process[p] = ps.iterations;
         if (opts.cost.cores > 0 && opts.cost.cores < num_procs) {
           core_free.push(t_start);
@@ -606,6 +670,9 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
           result.detection_claimed_residual = sum / r0_1;
           a.residual(x_global, b, r_scratch);
           result.detection_true_residual = vec::norm1(r_scratch) / r0_1;
+          if (metrics != nullptr) {
+            slot(0).instant(obs::TraceKind::kDetection, t_start * 1e6);
+          }
           // Tree broadcast of the stop: log2(P) latency hops.
           const double bcast =
               opts.cost.message_time(8) *
@@ -698,6 +765,11 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
           if (on && !rf.straggler_on) {
             rf.log.push_back(
                 {fault::FaultKind::kStragglerOn, p, iter0, 0, 0});
+            if (metrics != nullptr) {
+              slot(p).add(obs::Counter::kFaultEvents);
+              slot(p).instant(obs::TraceKind::kStragglerOn, t_start * 1e6,
+                              iter0);
+            }
           }
           rf.straggler_on = on;
           if (on) jitter *= rf.straggler->delay_factor;
@@ -714,6 +786,12 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
                        (t_done - t_start) / std::max(1.0, opts.cost.smt_factor));
       }
       ps.time = t_done;
+      if (metrics != nullptr) {
+        slot(p).record(obs::Hist::kIterationUs,
+                       static_cast<std::uint64_t>((t_done - t_start) * 1e6));
+        slot(p).span(obs::TraceKind::kIteration, t_start * 1e6, t_done * 1e6,
+                     ps.iterations - 1);
+      }
 
       // Push boundary values to neighbors (RMA puts issued once the
       // values exist, landing after the network latency).
@@ -778,6 +856,11 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
 
       if (ps.iterations >= opts.max_iterations) {
         ps.done = true;
+        if (metrics != nullptr) {
+          slot(p).add(obs::Counter::kFlagRaises);
+          slot(p).instant(obs::TraceKind::kFlagRaise, t_done * 1e6,
+                          ps.iterations);
+        }
         result.iterations_per_process[p] = ps.iterations;
       } else {
         queue.emplace(t_done, p);
@@ -793,6 +876,22 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
 
   for (index_t p = 0; p < num_procs; ++p) {
     result.iterations_per_process[p] = procs[p].iterations;
+  }
+  if (metrics != nullptr) {
+    // Aggregate counters once at the end — they are derivable from the
+    // per-process state, so the hot loop never touches them.
+    for (index_t p = 0; p < num_procs; ++p) {
+      obs::ActorSlot& s = slot(p);
+      s.add(obs::Counter::kIterations,
+            static_cast<std::uint64_t>(procs[p].iterations));
+      s.add(obs::Counter::kRelaxations,
+            static_cast<std::uint64_t>(procs[p].iterations) *
+                static_cast<std::uint64_t>(procs[p].blk->num_owned()));
+      s.add(obs::Counter::kMessagesSent,
+            static_cast<std::uint64_t>(procs[p].messages_sent));
+      s.add(obs::Counter::kMessagesReceived,
+            static_cast<std::uint64_t>(procs[p].messages_received));
+    }
   }
   if (!opts.synchronous) {
     result.rank_stats.resize(static_cast<std::size_t>(num_procs));

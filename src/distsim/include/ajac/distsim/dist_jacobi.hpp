@@ -29,6 +29,10 @@ namespace ajac {
 class CsrMatrix;
 }
 
+namespace ajac::obs {
+class MetricsRegistry;
+}
+
 namespace ajac::distsim {
 
 /// When may a process relax? (ablation of Sec. III related work)
@@ -117,6 +121,14 @@ struct DistOptions {
   /// shared-runtime fault — the simulator's relaxations are not
   /// instrumented per matrix entry).
   std::shared_ptr<const fault::FaultPlan> fault_plan;
+  /// Observability sink (see ajac/obs/metrics.hpp): per-rank iteration and
+  /// message counters, message-latency / queue-depth / ghost-age
+  /// histograms, and a sim-time timeline (iteration spans, crash/recover
+  /// and message-fault instants, the detection broadcast) exportable via
+  /// obs::TraceEventSink. Timestamps are *simulated* microseconds. The
+  /// simulator is single-threaded, so recording is plain branches; null
+  /// leaves the run untouched.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Per-rank accounting for load/communication analysis.

@@ -1,0 +1,85 @@
+#pragma once
+// Minimal JSON emission and parsing for the observability subsystem.
+//
+// The repo deliberately carries no third-party JSON dependency; the metrics
+// snapshot (obs::to_json), the Chrome trace exporter (obs::TraceEventSink),
+// and the bench --json reports all emit through JsonWriter, and the schema
+// tests read files back through parse_json. The parser is a strict
+// recursive-descent RFC 8259 subset: objects, arrays, strings (with the
+// standard escapes), finite numbers, booleans, and null. It exists for
+// validation and tests, not speed.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ajac::obs {
+
+/// Append-only JSON emitter. Callers drive the nesting explicitly
+/// (begin_object / key / value / end_object); the writer tracks where
+/// commas belong. Non-finite doubles are emitted as null — JSON has no
+/// NaN/Inf and a metrics file must stay loadable by strict parsers.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member key; must be followed by exactly one value or container.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double d);
+  JsonWriter& value(std::int64_t i);
+  JsonWriter& value(std::uint64_t u);
+  JsonWriter& value(int i) { return value(static_cast<std::int64_t>(i)); }
+  JsonWriter& value(bool b);
+  JsonWriter& null();
+
+  /// The document built so far. Valid once every container is closed.
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+  /// Escape one string as a JSON string literal (with quotes).
+  static std::string quote(std::string_view s);
+
+ private:
+  void comma();
+
+  std::string out_;
+  std::vector<bool> needs_comma_;  ///< one entry per open container
+};
+
+/// Parsed JSON document node. A deliberately small DOM: numbers are kept
+/// as double (every value this repo emits fits), object keys are unique.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+
+  /// Object member or nullptr (also nullptr when this is not an object).
+  [[nodiscard]] const JsonValue* find(const std::string& k) const;
+};
+
+/// Parse a complete JSON document; throws std::logic_error (via AJAC_CHECK)
+/// on any syntax error, trailing garbage, or non-finite number.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
+
+/// Write `text` to `path` (create/truncate); throws on I/O failure.
+void write_file(const std::string& path, std::string_view text);
+
+}  // namespace ajac::obs

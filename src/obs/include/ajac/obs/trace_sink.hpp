@@ -1,0 +1,58 @@
+#pragma once
+// Chrome trace-event / Perfetto exporter for MetricsRegistry timelines.
+//
+// Produces the JSON Object Format of the Trace Event specification
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+// a top-level {"traceEvents": [...]} whose entries are complete ("X")
+// events for spans and instant ("i") events for markers, plus metadata
+// ("M") events naming each process and actor lane. The file loads directly
+// in https://ui.perfetto.dev or chrome://tracing; timestamps are
+// microseconds (wall-clock for solve_shared, simulated for
+// solve_distributed — the two should not share one sink).
+//
+// Usage:
+//   obs::MetricsRegistry reg;
+//   opts.metrics = &reg;
+//   auto result = runtime::solve_shared(a, b, x0, opts);
+//   obs::TraceEventSink sink;
+//   sink.add_registry(reg, "solve_shared");
+//   sink.write("run.trace.json");
+
+#include <string>
+#include <vector>
+
+#include "ajac/obs/metrics.hpp"
+
+namespace ajac::obs {
+
+class TraceEventSink {
+ public:
+  /// Copy every timeline event out of `reg` as one trace process named
+  /// `process_name`; actor t becomes thread lane "<actor_kind> t". Can be
+  /// called several times (each registry gets the next pid) to compare
+  /// runs side by side in one Perfetto view.
+  void add_registry(const MetricsRegistry& reg,
+                    const std::string& process_name);
+
+  /// Number of events collected so far (excluding metadata records).
+  [[nodiscard]] std::size_t num_events() const noexcept;
+
+  /// Render the {"traceEvents": [...]} document.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Write to_json() to `path` (create/truncate).
+  void write(const std::string& path) const;
+
+ private:
+  struct Lane {
+    int pid = 0;
+    int tid = 0;
+    std::string name;  ///< lane metadata name ("thread 3")
+    std::vector<TraceEvent> events;
+  };
+
+  std::vector<std::string> process_names_;  ///< index = pid
+  std::vector<Lane> lanes_;
+};
+
+}  // namespace ajac::obs

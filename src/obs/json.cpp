@@ -1,0 +1,339 @@
+#include "ajac/obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "ajac/util/check.hpp"
+
+namespace ajac::obs {
+
+// ---------------------------------------------------------------- writer --
+
+void JsonWriter::comma() {
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) out_ += ',';
+    needs_comma_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  AJAC_CHECK(!needs_comma_.empty());
+  needs_comma_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma();
+  out_ += '[';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  AJAC_CHECK(!needs_comma_.empty());
+  needs_comma_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  comma();
+  out_ += quote(name);
+  out_ += ':';
+  // The value following a key must not emit another comma.
+  if (!needs_comma_.empty()) needs_comma_.back() = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  comma();
+  out_ += quote(s);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double d) {
+  if (!std::isfinite(d)) return null();
+  comma();
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t i) {
+  comma();
+  out_ += std::to_string(i);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t u) {
+  comma();
+  out_ += std::to_string(u);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  comma();
+  out_ += b ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  comma();
+  out_ += "null";
+  return *this;
+}
+
+std::string JsonWriter::quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+// ---------------------------------------------------------------- parser --
+
+const JsonValue* JsonValue::find(const std::string& k) const {
+  if (kind != Kind::kObject) return nullptr;
+  const auto it = object.find(k);
+  return it != object.end() ? &it->second : nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    AJAC_CHECK_MSG(pos_ == text_.size(),
+                   "JSON: trailing garbage at offset " << pos_);
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    AJAC_CHECK_MSG(pos_ < text_.size(), "JSON: unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    AJAC_CHECK_MSG(peek() == c, "JSON: expected '" << c << "' at offset "
+                                                   << pos_ << ", found '"
+                                                   << text_[pos_] << "'");
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    if (peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_word(std::string_view w) {
+    skip_ws();
+    if (text_.substr(pos_, w.size()) == w) {
+      pos_ += w.size();
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    JsonValue v;
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"':
+        v.kind = JsonValue::Kind::kString;
+        v.string = parse_string();
+        return v;
+      case 't':
+        AJAC_CHECK_MSG(consume_word("true"), "JSON: bad literal");
+        v.kind = JsonValue::Kind::kBool;
+        v.boolean = true;
+        return v;
+      case 'f':
+        AJAC_CHECK_MSG(consume_word("false"), "JSON: bad literal");
+        v.kind = JsonValue::Kind::kBool;
+        return v;
+      case 'n':
+        AJAC_CHECK_MSG(consume_word("null"), "JSON: bad literal");
+        return v;
+      default:
+        v.kind = JsonValue::Kind::kNumber;
+        v.number = parse_number();
+        return v;
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    if (consume('}')) return v;
+    do {
+      std::string k = parse_string();
+      expect(':');
+      const bool inserted = v.object.emplace(std::move(k), parse_value()).second;
+      AJAC_CHECK_MSG(inserted, "JSON: duplicate object key");
+    } while (consume(','));
+    expect('}');
+    return v;
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    if (consume(']')) return v;
+    do {
+      v.array.push_back(parse_value());
+    } while (consume(','));
+    expect(']');
+    return v;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      AJAC_CHECK_MSG(pos_ < text_.size(), "JSON: unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      AJAC_CHECK_MSG(pos_ < text_.size(), "JSON: unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          AJAC_CHECK_MSG(pos_ + 4 <= text_.size(), "JSON: bad \\u escape");
+          unsigned cp = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else AJAC_CHECK_MSG(false, "JSON: bad hex digit in \\u escape");
+          }
+          // The emitter only produces \u escapes for control characters;
+          // decode the BMP code point as UTF-8.
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xc0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+          }
+          break;
+        }
+        default:
+          AJAC_CHECK_MSG(false, "JSON: unknown escape '\\" << e << "'");
+      }
+    }
+  }
+
+  double parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    auto digits = [&] {
+      const std::size_t d0 = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+      AJAC_CHECK_MSG(pos_ > d0, "JSON: malformed number at offset " << start);
+    };
+    digits();
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      digits();
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      digits();
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    const double d = std::strtod(token.c_str(), nullptr);
+    AJAC_CHECK_MSG(std::isfinite(d), "JSON: non-finite number " << token);
+    return d;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+void write_file(const std::string& path, std::string_view text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  AJAC_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  out.flush();
+  AJAC_CHECK_MSG(out.good(), "short write to " << path);
+}
+
+}  // namespace ajac::obs

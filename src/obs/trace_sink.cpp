@@ -1,0 +1,83 @@
+#include "ajac/obs/trace_sink.hpp"
+
+#include "ajac/obs/json.hpp"
+
+namespace ajac::obs {
+
+void TraceEventSink::add_registry(const MetricsRegistry& reg,
+                                  const std::string& process_name) {
+  const int pid = static_cast<int>(process_names_.size());
+  process_names_.push_back(process_name);
+  for (index_t t = 0; t < reg.num_actors(); ++t) {
+    Lane lane;
+    lane.pid = pid;
+    lane.tid = static_cast<int>(t);
+    lane.name = reg.actor_kind() + " " + std::to_string(t);
+    lane.events = reg.actor(t).events;
+    lanes_.push_back(std::move(lane));
+  }
+}
+
+std::size_t TraceEventSink::num_events() const noexcept {
+  std::size_t n = 0;
+  for (const Lane& lane : lanes_) n += lane.events.size();
+  return n;
+}
+
+std::string TraceEventSink::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("displayTimeUnit").value("ms");
+  w.key("traceEvents").begin_array();
+  for (std::size_t pid = 0; pid < process_names_.size(); ++pid) {
+    w.begin_object();
+    w.key("name").value("process_name");
+    w.key("ph").value("M");
+    w.key("pid").value(static_cast<std::int64_t>(pid));
+    w.key("tid").value(std::int64_t{0});
+    w.key("args").begin_object();
+    w.key("name").value(process_names_[pid]);
+    w.end_object();
+    w.end_object();
+  }
+  for (const Lane& lane : lanes_) {
+    w.begin_object();
+    w.key("name").value("thread_name");
+    w.key("ph").value("M");
+    w.key("pid").value(std::int64_t{lane.pid});
+    w.key("tid").value(std::int64_t{lane.tid});
+    w.key("args").begin_object();
+    w.key("name").value(lane.name);
+    w.end_object();
+    w.end_object();
+    for (const TraceEvent& e : lane.events) {
+      w.begin_object();
+      w.key("name").value(trace_kind_name(e.kind));
+      if (e.is_span()) {
+        w.key("ph").value("X");
+        w.key("ts").value(e.ts_us);
+        w.key("dur").value(e.dur_us);
+      } else {
+        w.key("ph").value("i");
+        w.key("ts").value(e.ts_us);
+        w.key("s").value("t");  // thread-scoped instant
+      }
+      w.key("pid").value(std::int64_t{lane.pid});
+      w.key("tid").value(std::int64_t{lane.tid});
+      w.key("args").begin_object();
+      w.key("arg0").value(e.arg0);
+      w.key("arg1").value(e.arg1);
+      w.end_object();
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+void TraceEventSink::write(const std::string& path) const {
+  write_file(path, to_json());
+}
+
+}  // namespace ajac::obs

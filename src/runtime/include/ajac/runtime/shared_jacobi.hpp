@@ -31,6 +31,10 @@ namespace ajac {
 class CsrMatrix;
 }
 
+namespace ajac::obs {
+class MetricsRegistry;
+}
+
 namespace ajac::runtime {
 
 struct SharedOptions {
@@ -78,6 +82,17 @@ struct SharedOptions {
   /// Asynchronous mode only — the synchronous barriers define the
   /// interesting faults away.
   std::shared_ptr<const fault::FaultPlan> fault_plan;
+  /// Observability sink (see ajac/obs/metrics.hpp): per-thread relaxation
+  /// counts and rates, seqlock retry counts, a read-staleness histogram
+  /// (record_trace runs — staleness needs the seqlock versions), residual-
+  /// check and spin-wait time, and a timeline of iteration spans /
+  /// flag-raise / fault instants exportable via obs::TraceEventSink. The
+  /// registry is reset for num_threads actors on entry; snapshot it after
+  /// the solve returns. Null keeps the uninstrumented path branch-free:
+  /// the solve dispatches to a template instantiation whose recording
+  /// hooks compile to no-ops (same pattern as the fault hooks), so results
+  /// are bitwise those of a build without the metrics layer.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct SharedHistoryPoint {

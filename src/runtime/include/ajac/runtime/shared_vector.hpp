@@ -69,7 +69,12 @@ class SharedVector {
   /// hint for a bounded number of attempts, then yields the OS thread —
   /// on oversubscribed machines the writer may be descheduled mid-write
   /// and a bare busy-wait would burn its whole time slice.
-  [[nodiscard]] std::pair<double, index_t> read_versioned(index_t i) const {
+  ///
+  /// `retries`, when non-null, is incremented once per failed attempt —
+  /// the seqlock contention signal the metrics layer reports. The counter
+  /// must be thread-local to the caller (it is written without atomics).
+  [[nodiscard]] std::pair<double, index_t> read_versioned(
+      index_t i, std::uint64_t* retries = nullptr) const {
     AJAC_DBG_CHECK(in_range(i));
     AJAC_DBG_CHECK_MSG(traced_, "read_versioned on an untraced SharedVector");
     const auto& seq = seq_[static_cast<std::size_t>(i)];
@@ -88,6 +93,7 @@ class SharedVector {
         const std::int64_t s2 = seq.load(std::memory_order_relaxed);
         if (s1 == s2) return {v, static_cast<index_t>(s1 / 2)};
       }
+      if (retries != nullptr) ++*retries;
       if (spins < kSpinLimit) {
         cpu_relax();
       } else {

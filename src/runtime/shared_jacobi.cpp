@@ -9,6 +9,7 @@
 #include <span>
 #include <utility>
 
+#include "ajac/obs/metrics.hpp"
 #include "ajac/runtime/shared_vector.hpp"
 #include "ajac/sparse/csr.hpp"
 #include "ajac/sparse/validate.hpp"
@@ -48,8 +49,8 @@ struct NullFaults {
     return x.read(j);
   }
   [[nodiscard]] std::pair<double, index_t> read_versioned(
-      const SharedVector& x, index_t j) const {
-    return x.read_versioned(j);
+      const SharedVector& x, index_t j, std::uint64_t* retries) const {
+    return x.read_versioned(j, retries);
   }
   [[nodiscard]] fault::FaultLog take_log() { return {}; }
 };
@@ -106,7 +107,10 @@ class ActiveFaults {
         log_.push_back({fault::FaultKind::kStragglerOn, thread_, iter, 0, 0});
       }
       straggler_on_ = on;
-      if (on) spin_wait_us(straggler_->extra_delay_us);
+      if (on) {
+        spin_wait_us(straggler_->extra_delay_us);
+        stalled_us_ += straggler_->extra_delay_us;
+      }
     }
     if (crash_ != nullptr && !crashed_ && iter >= crash_->crash_iteration) {
       // A crash in shared memory is a worker that stops participating for
@@ -117,6 +121,7 @@ class ActiveFaults {
       crashed_ = true;
       log_.push_back({fault::FaultKind::kCrash, thread_, iter, 0, 0});
       spin_wait_us(crash_->dead_seconds * 1e6);
+      stalled_us_ += crash_->dead_seconds * 1e6;
       if (crash_->reset_state_on_recovery) {
         for (index_t i = lo_; i < hi_; ++i) x_->write(i, (*x0_)[i]);
       }
@@ -195,14 +200,22 @@ class ActiveFaults {
     return x.read(j);
   }
 
-  [[nodiscard]] std::pair<double, index_t> read_versioned(const SharedVector& x,
-                                                          index_t j) const {
+  [[nodiscard]] std::pair<double, index_t> read_versioned(
+      const SharedVector& x, index_t j, std::uint64_t* retries) const {
     if (stale_on_ && (j < lo_ || j >= hi_)) {
       const std::size_t k = ghost_slot(j);
       return {ghost_values_[k], ghost_versions_[k]};
     }
-    return x.read_versioned(j);
+    return x.read_versioned(j, retries);
   }
+
+  /// Append-only within the thread; the metrics layer diffs its size to
+  /// timestamp this iteration's injections.
+  [[nodiscard]] const fault::FaultLog& log() const { return log_; }
+
+  /// Cumulative injected stall (straggler delays + crash dead time), in
+  /// microseconds; the metrics layer diffs it per iteration.
+  [[nodiscard]] double stalled_us() const { return stalled_us_; }
 
   [[nodiscard]] fault::FaultLog take_log() { return std::move(log_); }
 
@@ -230,6 +243,7 @@ class ActiveFaults {
   bool straggler_on_ = false;
   bool stale_on_ = false;
   bool crashed_ = false;
+  double stalled_us_ = 0.0;
 
   std::vector<index_t> ghost_cols_;  ///< sorted off-block columns
   std::vector<double> ghost_values_;
@@ -238,7 +252,154 @@ class ActiveFaults {
   fault::FaultLog log_;
 };
 
-template <class Faults>
+/// Metrics context for the default (no registry) path. Mirrors NullFaults:
+/// `enabled` is false and every hook site is `if constexpr`-guarded, so the
+/// uninstrumented solve carries no metrics branches, no extra timer reads,
+/// and produces bitwise the results of a build without the metrics layer.
+struct NullMetrics {
+  static constexpr bool enabled = false;
+
+  NullMetrics(obs::MetricsRegistry* /*reg*/, index_t /*thread*/,
+              const WallTimer& /*timer*/) {}
+
+  void iteration_begin() {}
+  void spin_wait(double /*us*/) {}
+  template <class Faults>
+  void sync_faults(const Faults& /*faults*/) {}
+  void staleness(index_t /*iter*/, index_t /*version*/) {}
+  [[nodiscard]] std::uint64_t* retry_sink() { return nullptr; }
+  void residual_check_begin() {}
+  void residual_check_end() {}
+  void iteration_end(index_t /*iter*/, index_t /*rows*/) {}
+  void flag_update(bool /*my_done*/, index_t /*iter*/) {}
+  void stop_decided() {}
+};
+
+[[nodiscard]] obs::TraceKind fault_trace_kind(fault::FaultKind k) {
+  switch (k) {
+    case fault::FaultKind::kStragglerOn: return obs::TraceKind::kStragglerOn;
+    case fault::FaultKind::kStaleWindowOn:
+      return obs::TraceKind::kStaleWindowOn;
+    case fault::FaultKind::kMessageDrop: return obs::TraceKind::kMessageDrop;
+    case fault::FaultKind::kMessageDuplicate:
+      return obs::TraceKind::kMessageDuplicate;
+    case fault::FaultKind::kMessageReorder:
+      return obs::TraceKind::kMessageReorder;
+    case fault::FaultKind::kBitFlip: return obs::TraceKind::kBitFlip;
+    case fault::FaultKind::kCrash: return obs::TraceKind::kCrash;
+    case fault::FaultKind::kRecover: return obs::TraceKind::kRecover;
+  }
+  return obs::TraceKind::kBitFlip;  // unreachable
+}
+
+/// Per-thread recorder writing into this thread's ActorSlot. All state is
+/// thread-local; the only shared object touched is the slot, which has a
+/// single writer by the registry's threading contract.
+class ActiveMetrics {
+ public:
+  static constexpr bool enabled = true;
+
+  ActiveMetrics(obs::MetricsRegistry* reg, index_t thread,
+                const WallTimer& timer)
+      : slot_(&reg->actor(thread)), timer_(&timer) {}
+
+  void iteration_begin() { t0_us_ = timer_->seconds() * 1e6; }
+
+  /// Injected busy-wait (per-thread delay or straggler stall), attributed
+  /// by duration rather than timed: the wait is synthetic and exact.
+  void spin_wait(double us) {
+    slot_->add(obs::Counter::kSpinWaitNs,
+               static_cast<std::uint64_t>(us * 1e3));
+  }
+
+  /// Timestamp the injections the fault layer just performed. Its log is
+  /// append-only within the thread, so entries past the last seen size are
+  /// this iteration's; they become timeline instants (arg0 = the log
+  /// entry's detail field: row for bit flips, 0 otherwise).
+  template <class Faults>
+  void sync_faults(const Faults& faults) {
+    if constexpr (Faults::enabled) {
+      const double stalled = faults.stalled_us();
+      if (stalled > seen_stall_us_) {
+        slot_->add(obs::Counter::kSpinWaitNs,
+                   static_cast<std::uint64_t>((stalled - seen_stall_us_) *
+                                              1e3));
+        seen_stall_us_ = stalled;
+      }
+      const fault::FaultLog& log = faults.log();
+      if (log.size() == seen_faults_) return;
+      const double now_us = timer_->seconds() * 1e6;
+      for (; seen_faults_ < log.size(); ++seen_faults_) {
+        const fault::FaultEvent& e = log[seen_faults_];
+        slot_->add(obs::Counter::kFaultEvents);
+        slot_->instant(fault_trace_kind(e.kind), now_us, e.detail, e.detail2);
+      }
+    }
+  }
+
+  /// One cross-block versioned read: how many versions behind a synchronous
+  /// schedule it was. Under lockstep Jacobi a reader in local iteration
+  /// `iter` (0-based) sees version `iter` of every neighbor; the shortfall
+  /// is the staleness l of the paper's Φ(l) propagation analysis.
+  void staleness(index_t iter, index_t version) {
+    const std::uint64_t lag =
+        version < iter ? static_cast<std::uint64_t>(iter - version) : 0;
+    slot_->record(obs::Hist::kReadStaleness, lag);
+  }
+
+  /// Thread-local seqlock retry accumulator, flushed per iteration.
+  [[nodiscard]] std::uint64_t* retry_sink() { return &retries_; }
+
+  void residual_check_begin() { tr0_us_ = timer_->seconds() * 1e6; }
+  void residual_check_end() {
+    const double us = timer_->seconds() * 1e6 - tr0_us_;
+    slot_->add(obs::Counter::kResidualCheckNs,
+               static_cast<std::uint64_t>(us * 1e3));
+    slot_->record(obs::Hist::kResidualCheckUs,
+                  static_cast<std::uint64_t>(us));
+  }
+
+  void iteration_end(index_t iter, index_t rows) {
+    const double t1_us = timer_->seconds() * 1e6;
+    slot_->add(obs::Counter::kIterations);
+    slot_->add(obs::Counter::kRelaxations, static_cast<std::uint64_t>(rows));
+    if (retries_ != 0) {
+      slot_->add(obs::Counter::kSeqlockRetries, retries_);
+      retries_ = 0;
+    }
+    slot_->record(obs::Hist::kIterationUs,
+                  static_cast<std::uint64_t>(t1_us - t0_us_));
+    slot_->span(obs::TraceKind::kIteration, t0_us_, t1_us, iter);
+  }
+
+  void flag_update(bool my_done, index_t iter) {
+    if (my_done == flag_up_) return;
+    flag_up_ = my_done;
+    const double now_us = timer_->seconds() * 1e6;
+    if (my_done) {
+      slot_->add(obs::Counter::kFlagRaises);
+      slot_->instant(obs::TraceKind::kFlagRaise, now_us, iter);
+    } else {
+      slot_->instant(obs::TraceKind::kFlagLower, now_us, iter);
+    }
+  }
+
+  void stop_decided() {
+    slot_->instant(obs::TraceKind::kStop, timer_->seconds() * 1e6);
+  }
+
+ private:
+  obs::ActorSlot* slot_;
+  const WallTimer* timer_;
+  double t0_us_ = 0.0;
+  double tr0_us_ = 0.0;
+  double seen_stall_us_ = 0.0;
+  std::uint64_t retries_ = 0;
+  std::size_t seen_faults_ = 0;
+  bool flag_up_ = false;
+};
+
+template <class Faults, class Metrics>
 SharedResult solve_shared_impl(const CsrMatrix& a, const Vector& b,
                                const Vector& x0, const SharedOptions& opts,
                                const partition::Partition& part,
@@ -297,7 +458,16 @@ SharedResult solve_shared_impl(const CsrMatrix& a, const Vector& b,
     std::vector<double> local_r(static_cast<std::size_t>(hi - lo));
     auto& my_history = histories[static_cast<std::size_t>(t)];
     auto& my_events = thread_events[static_cast<std::size_t>(t)];
+    if (opts.record_history) {
+      // Reserve outside the timed loop: a reallocating push_back inside the
+      // relaxation loop would stall this thread mid-run and perturb the
+      // asynchronous interleaving being measured. Threads can run past
+      // max_iterations (they keep relaxing until every flag is up), so this
+      // is a hint, not a bound.
+      my_history.reserve(static_cast<std::size_t>(opts.max_iterations) + 64);
+    }
     Faults faults(a, x0, plan, t, lo, hi, x);
+    Metrics metrics(opts.metrics, t, timer);
 
     // Verification gate: the flag array is based on racy reads of the
     // shared residual, which can be arbitrarily stale when threads are
@@ -326,13 +496,21 @@ SharedResult solve_shared_impl(const CsrMatrix& a, const Vector& b,
         }
         tol_met = fresh / r0_norm <= opts.tolerance;
       }
-      if (all_at_max || tol_met) stop.store(1, std::memory_order_relaxed);
+      if (all_at_max || tol_met) {
+        stop.store(1, std::memory_order_relaxed);
+        if constexpr (Metrics::enabled) metrics.stop_decided();
+      }
     };
 
     index_t iter = 0;
     while (stop.load(std::memory_order_relaxed) == 0) {
-      if (delay > 0.0) spin_wait_us(delay);
+      if constexpr (Metrics::enabled) metrics.iteration_begin();
+      if (delay > 0.0) {
+        spin_wait_us(delay);
+        if constexpr (Metrics::enabled) metrics.spin_wait(delay);
+      }
       if constexpr (Faults::enabled) faults.begin_iteration(iter);
+      if constexpr (Metrics::enabled) metrics.sync_faults(faults);
 
       // Step 1: residual on own rows from the shared (racy) x.
       if (opts.local_gauss_seidel) {
@@ -378,11 +556,14 @@ SharedResult solve_shared_impl(const CsrMatrix& a, const Vector& b,
               if (has_flip && flipped.entry == p) aij = flipped.value;
             }
             if (j == i) {
-              acc -= aij * faults.read_versioned(x, j).first;
+              acc -= aij *
+                     faults.read_versioned(x, j, metrics.retry_sink()).first;
               continue;
             }
-            const auto [value, version] = faults.read_versioned(x, j);
+            const auto [value, version] =
+                faults.read_versioned(x, j, metrics.retry_sink());
             acc -= aij * value;
+            if constexpr (Metrics::enabled) metrics.staleness(iter, version);
             event.reads.push_back({j, version});
           }
           local_r[i - lo] = acc;
@@ -428,10 +609,16 @@ SharedResult solve_shared_impl(const CsrMatrix& a, const Vector& b,
 
       // Step 3: convergence check — norm of the whole shared residual
       // (racy reads, the paper's scheme).
+      if constexpr (Metrics::enabled) metrics.residual_check_begin();
       double norm = 0.0;
       for (index_t i = 0; i < n; ++i) norm += std::abs(r.read(i));
       const double rel = norm / r0_norm;
+      if constexpr (Metrics::enabled) metrics.residual_check_end();
       if (opts.record_history) {
+        // `rel` sums racy relaxed reads of r that interleave with other
+        // threads' writes: this point records the residual *as this thread
+        // saw it*, not a consistent global norm. The serial post-run check
+        // (final_rel_residual_1) is the trustworthy value.
         my_history.push_back({timer.seconds(), t, iter, rel});
       }
       const bool my_done =
@@ -439,6 +626,7 @@ SharedResult solve_shared_impl(const CsrMatrix& a, const Vector& b,
           iter >= opts.max_iterations;
       flags[static_cast<std::size_t>(t)].store(my_done ? 1 : 0,
                                                std::memory_order_relaxed);
+      if constexpr (Metrics::enabled) metrics.flag_update(my_done, iter);
 
       if (opts.synchronous) {
 #pragma omp barrier
@@ -453,6 +641,7 @@ SharedResult solve_shared_impl(const CsrMatrix& a, const Vector& b,
         // barriers, and all see the verified stop decision together.
 #pragma omp barrier
       }
+      if constexpr (Metrics::enabled) metrics.iteration_end(iter - 1, hi - lo);
       if (opts.yield &&
           stop.load(std::memory_order_relaxed) == 0) {
         sched_yield();
@@ -480,6 +669,8 @@ SharedResult solve_shared_impl(const CsrMatrix& a, const Vector& b,
   // verifiably holds (bounded — the state is near the fixed point).
   if (opts.final_polish && opts.tolerance > 0.0 &&
       result.final_rel_residual_1 > opts.tolerance) {
+    [[maybe_unused]] double polish_t0_us = 0.0;
+    if constexpr (Metrics::enabled) polish_t0_us = timer.seconds() * 1e6;
     const index_t polish_cap = 20 * opts.num_threads + 200;
     while (result.polish_sweeps < polish_cap &&
            result.final_rel_residual_1 > opts.tolerance) {
@@ -490,6 +681,19 @@ SharedResult solve_shared_impl(const CsrMatrix& a, const Vector& b,
       result.final_rel_residual_1 = vec::norm1(final_r) / r0_norm;
       ++result.polish_sweeps;
     }
+    if constexpr (Metrics::enabled) {
+      obs::ActorSlot& slot0 = opts.metrics->actor(0);
+      slot0.add(obs::Counter::kPolishSweeps,
+                static_cast<std::uint64_t>(result.polish_sweeps));
+      slot0.span(obs::TraceKind::kPolish, polish_t0_us,
+                 timer.seconds() * 1e6, result.polish_sweeps);
+    }
+  }
+  if constexpr (Metrics::enabled) {
+    // The whole solve (parallel phase + serial verification + polish) as
+    // one span on actor 0's lane.
+    opts.metrics->actor(0).span(obs::TraceKind::kSolve, 0.0,
+                                timer.seconds() * 1e6);
   }
   result.converged =
       opts.tolerance > 0.0 && result.final_rel_residual_1 <= opts.tolerance;
@@ -575,11 +779,34 @@ SharedResult solve_shared(const CsrMatrix& a, const Vector& b,
                    "fault injection targets the asynchronous runtime (the "
                    "synchronous barriers serialize every fault away)");
     plan->validate(opts.num_threads);
-    return solve_shared_impl<ActiveFaults>(a, b, x0, opts, part, inv_diag,
-                                           plan);
   }
-  return solve_shared_impl<NullFaults>(a, b, x0, opts, part, inv_diag,
-                                       nullptr);
+
+  obs::MetricsRegistry* metrics = opts.metrics;
+  if (metrics != nullptr) {
+    metrics->set_actor_kind("thread");
+    // Hint: one iteration span per local iteration plus a handful of
+    // instants; reserving here keeps the timed loop reallocation-free.
+    metrics->reset(opts.num_threads,
+                   static_cast<std::size_t>(opts.max_iterations) + 64);
+  }
+
+  // 2x2 dispatch: faults and metrics each compile to no-ops when off, so
+  // the common (no plan, no registry) path is exactly the plain solver.
+  if (plan != nullptr && metrics != nullptr) {
+    return solve_shared_impl<ActiveFaults, ActiveMetrics>(a, b, x0, opts,
+                                                          part, inv_diag,
+                                                          plan);
+  }
+  if (plan != nullptr) {
+    return solve_shared_impl<ActiveFaults, NullMetrics>(a, b, x0, opts, part,
+                                                        inv_diag, plan);
+  }
+  if (metrics != nullptr) {
+    return solve_shared_impl<NullFaults, ActiveMetrics>(a, b, x0, opts, part,
+                                                        inv_diag, nullptr);
+  }
+  return solve_shared_impl<NullFaults, NullMetrics>(a, b, x0, opts, part,
+                                                    inv_diag, nullptr);
 }
 
 }  // namespace ajac::runtime

@@ -5,6 +5,10 @@
 
 #include "ajac/sparse/types.hpp"
 
+namespace ajac::obs {
+class MetricsRegistry;
+}
+
 namespace ajac::solvers {
 
 enum class ResidualNorm { kL1, kL2, kLinf };
@@ -14,6 +18,10 @@ struct SolveOptions {
   ResidualNorm norm = ResidualNorm::kL1;  ///< paper plots 1-norms
   index_t max_iterations = 10000;   ///< sweeps over all rows
   index_t record_every = 1;         ///< history granularity
+  /// Observability sink (see ajac/obs/metrics.hpp): per-sweep wall-clock
+  /// timings and iteration spans on a single "solver" lane. Null leaves
+  /// the solve untouched.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct IterationPoint {

@@ -30,6 +30,9 @@ struct CgOptions {
   double tolerance = 1e-8;       ///< on ||r||_2 / ||r0||_2
   index_t max_iterations = 10000;
   bool jacobi_preconditioner = false;  ///< M = D
+  /// Observability sink (see ajac/obs/metrics.hpp): per-iteration timings
+  /// on a single "solver" lane. Null leaves the solve untouched.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Conjugate gradients for SPD A. Breaks down (returns converged=false)

@@ -2,10 +2,12 @@
 
 #include <cmath>
 
+#include "ajac/obs/metrics.hpp"
 #include "ajac/sparse/csr.hpp"
 #include "ajac/sparse/validate.hpp"
 #include "ajac/sparse/vector_ops.hpp"
 #include "ajac/util/check.hpp"
+#include "ajac/util/timer.hpp"
 
 namespace ajac::solvers {
 
@@ -51,7 +53,23 @@ CgResult conjugate_gradient(const CsrMatrix& a, const Vector& b,
   double rz = vec::dot(r, z);
   ++result.synchronizations;
 
+  obs::MetricsRegistry* const metrics = opts.metrics;
+  if (metrics != nullptr) {
+    metrics->set_actor_kind("solver");
+    metrics->reset(1, static_cast<std::size_t>(opts.max_iterations) + 8);
+  }
+  WallTimer timer;
+  auto record_iteration = [&](index_t k, double t0_us) {
+    const double t1_us = timer.seconds() * 1e6;
+    obs::ActorSlot& s = metrics->actor(0);
+    s.add(obs::Counter::kIterations);
+    s.record(obs::Hist::kIterationUs,
+             static_cast<std::uint64_t>(t1_us - t0_us));
+    s.span(obs::TraceKind::kIteration, t0_us, t1_us, k);
+  };
+
   for (index_t k = 1; k <= opts.max_iterations; ++k) {
+    const double t0_us = metrics != nullptr ? timer.seconds() * 1e6 : 0.0;
     a.spmv(p, ap);
     const double pap = vec::dot(p, ap);
     ++result.synchronizations;
@@ -75,6 +93,7 @@ CgResult conjugate_gradient(const CsrMatrix& a, const Vector& b,
     const double rel = vec::norm2(r) / denom;
     result.iterations = k;
     result.history.push_back({k, rel});
+    if (metrics != nullptr) record_iteration(k, t0_us);
     if (rel <= opts.tolerance) {
       result.converged = true;
       break;
@@ -82,6 +101,10 @@ CgResult conjugate_gradient(const CsrMatrix& a, const Vector& b,
     const double beta = rz_next / rz;
     rz = rz_next;
     vec::xpby(z, beta, p);
+  }
+  if (metrics != nullptr) {
+    metrics->actor(0).span(obs::TraceKind::kSolve, 0.0,
+                           timer.seconds() * 1e6, result.iterations);
   }
   result.final_rel_residual = result.history.back().rel_residual;
   return result;

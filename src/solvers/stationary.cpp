@@ -2,10 +2,12 @@
 
 #include <cmath>
 
+#include "ajac/obs/metrics.hpp"
 #include "ajac/sparse/csr.hpp"
 #include "ajac/sparse/validate.hpp"
 #include "ajac/sparse/vector_ops.hpp"
 #include "ajac/util/check.hpp"
+#include "ajac/util/timer.hpp"
 
 namespace ajac::solvers {
 
@@ -55,9 +57,28 @@ SolveResult iterate(const CsrMatrix& a, const Vector& b, const Vector& x0,
   const double denom = r0 > 0.0 ? r0 : 1.0;
   result.history.push_back({0, r0 / denom});
 
+  // Metrics are plain branches here: the solver is sequential and the
+  // recording sits outside the sweep itself.
+  obs::MetricsRegistry* const metrics = opts.metrics;
+  if (metrics != nullptr) {
+    metrics->set_actor_kind("solver");
+    metrics->reset(1, static_cast<std::size_t>(opts.max_iterations) + 8);
+  }
+  WallTimer timer;
+
   for (index_t k = 1; k <= opts.max_iterations; ++k) {
+    const double t0_us = metrics != nullptr ? timer.seconds() * 1e6 : 0.0;
     sweep(result.x, r);
     a.residual(result.x, b, r);
+    if (metrics != nullptr) {
+      const double t1_us = timer.seconds() * 1e6;
+      obs::ActorSlot& s = metrics->actor(0);
+      s.add(obs::Counter::kIterations);
+      s.add(obs::Counter::kRelaxations, static_cast<std::uint64_t>(n));
+      s.record(obs::Hist::kIterationUs,
+               static_cast<std::uint64_t>(t1_us - t0_us));
+      s.span(obs::TraceKind::kIteration, t0_us, t1_us, k);
+    }
     const double rel = residual_norm(r, opts.norm) / denom;
     result.iterations = k;
     if (k % opts.record_every == 0) result.history.push_back({k, rel});
@@ -67,6 +88,10 @@ SolveResult iterate(const CsrMatrix& a, const Vector& b, const Vector& x0,
       break;
     }
     if (!std::isfinite(rel)) break;  // diverged past double range
+  }
+  if (metrics != nullptr) {
+    metrics->actor(0).span(obs::TraceKind::kSolve, 0.0,
+                           timer.seconds() * 1e6, result.iterations);
   }
   result.final_rel_residual = result.history.back().rel_residual;
   return result;

@@ -165,4 +165,13 @@ std::string CliParser::help() const {
   return oss.str();
 }
 
+std::vector<std::pair<std::string, std::string>> CliParser::dump() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(options_.size());
+  for (const auto& [key, opt] : options_) {
+    out.emplace_back(key, get_string(key));
+  }
+  return out;
+}
+
 }  // namespace ajac

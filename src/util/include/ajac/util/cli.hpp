@@ -9,6 +9,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace ajac {
@@ -39,6 +40,11 @@ class CliParser {
       const std::string& key) const;
 
   [[nodiscard]] std::string help() const;
+
+  /// Every registered option with its effective (parsed or default) value,
+  /// sorted by key. Bench JSON reports record these as run metadata so a
+  /// result file identifies the exact configuration that produced it.
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> dump() const;
 
  private:
   struct Option {

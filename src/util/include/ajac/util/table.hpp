@@ -37,6 +37,15 @@ class Table {
   [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
   [[nodiscard]] std::size_t num_cols() const { return columns_.size(); }
 
+  /// Raw access for alternative serializers (the bench --json reports);
+  /// cells keep their original types, unlike the printf-formatted CSV.
+  [[nodiscard]] const std::vector<std::string>& column_names() const {
+    return columns_;
+  }
+  [[nodiscard]] const std::vector<std::vector<TableCell>>& rows() const {
+    return rows_;
+  }
+
  private:
   [[nodiscard]] std::string format_cell(const TableCell& cell) const;
 

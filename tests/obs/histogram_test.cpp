@@ -1,0 +1,124 @@
+#include "ajac/obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace ajac::obs {
+namespace {
+
+TEST(ObsHistogram, BucketOfPowerOfTwoBoundaries) {
+  // Bucket k is exactly the set of values with bit_width k: bucket 0 is
+  // {0}, bucket k >= 1 is [2^(k-1), 2^k).
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4), 3u);
+  for (std::size_t k = 1; k < 64; ++k) {
+    const std::uint64_t lo = std::uint64_t{1} << (k - 1);
+    const std::uint64_t hi = (std::uint64_t{1} << k) - 1;
+    EXPECT_EQ(Histogram::bucket_of(lo), k) << "k=" << k;
+    EXPECT_EQ(Histogram::bucket_of(hi), k) << "k=" << k;
+    EXPECT_EQ(Histogram::bucket_of(hi + 1), k + 1) << "k=" << k;
+  }
+  EXPECT_EQ(Histogram::bucket_of(~std::uint64_t{0}), 64u);
+}
+
+TEST(ObsHistogram, BucketLowHighRoundTrip) {
+  // Every bucket's reported [low, high] range must map back onto itself.
+  for (std::size_t k = 0; k < Histogram::kNumBuckets; ++k) {
+    EXPECT_EQ(Histogram::bucket_of(Histogram::bucket_low(k)), k) << "k=" << k;
+    EXPECT_EQ(Histogram::bucket_of(Histogram::bucket_high(k)), k) << "k=" << k;
+    EXPECT_LE(Histogram::bucket_low(k), Histogram::bucket_high(k));
+  }
+  EXPECT_EQ(Histogram::bucket_low(0), 0u);
+  EXPECT_EQ(Histogram::bucket_high(0), 0u);
+  EXPECT_EQ(Histogram::bucket_high(64), ~std::uint64_t{0});
+}
+
+TEST(ObsHistogram, EmptyHistogramIsAllZero) {
+  const Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);  // not the sentinel ~0
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+}
+
+TEST(ObsHistogram, MinMaxSumTrackExtremes) {
+  Histogram h;
+  h.record(7);
+  h.record(0);
+  h.record(1000);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 1007u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_NEAR(h.mean(), 1007.0 / 3.0, 1e-12);
+}
+
+TEST(ObsHistogram, MaxUint64LandsInOverflowBucket) {
+  Histogram h;
+  h.record(~std::uint64_t{0});
+  EXPECT_EQ(h.bucket_count(64), 1u);
+  EXPECT_EQ(h.max(), ~std::uint64_t{0});
+  EXPECT_EQ(h.percentile(1.0), ~std::uint64_t{0});
+}
+
+TEST(ObsHistogram, PercentileExactForPointMass) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(42);
+  EXPECT_EQ(h.percentile(0.0), 42u);
+  EXPECT_EQ(h.percentile(0.5), 42u);
+  EXPECT_EQ(h.percentile(1.0), 42u);
+}
+
+TEST(ObsHistogram, PercentileClampedToObservedExtremes) {
+  Histogram h;
+  h.record(5);
+  h.record(6);
+  h.record(900);
+  EXPECT_EQ(h.percentile(0.0), 5u);
+  EXPECT_EQ(h.percentile(1.0), 900u);
+  // The median lives in bucket 3 ([4,7]) and must stay within it.
+  const std::uint64_t p50 = h.percentile(0.5);
+  EXPECT_GE(p50, 5u);
+  EXPECT_LE(p50, 7u);
+}
+
+TEST(ObsHistogram, MergeEqualsRecordingIntoOne) {
+  Histogram a;
+  Histogram b;
+  Histogram both;
+  for (std::uint64_t v : {0ull, 1ull, 3ull, 128ull}) {
+    a.record(v);
+    both.record(v);
+  }
+  for (std::uint64_t v : {2ull, 1ull << 40, 77ull}) {
+    b.record(v);
+    both.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_EQ(a.sum(), both.sum());
+  EXPECT_EQ(a.min(), both.min());
+  EXPECT_EQ(a.max(), both.max());
+  for (std::size_t k = 0; k < Histogram::kNumBuckets; ++k) {
+    EXPECT_EQ(a.bucket_count(k), both.bucket_count(k)) << "k=" << k;
+  }
+}
+
+TEST(ObsHistogram, MergeEmptyIsIdentity) {
+  Histogram a;
+  a.record(9);
+  const std::uint64_t before_min = a.min();
+  a.merge(Histogram{});
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), before_min);
+  EXPECT_EQ(a.max(), 9u);
+}
+
+}  // namespace
+}  // namespace ajac::obs

@@ -1,0 +1,98 @@
+#include "ajac/obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ajac::obs {
+namespace {
+
+TEST(ObsJson, WriterNestsObjectsAndArrays) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("a").value(std::int64_t{1});
+  w.key("b").begin_array();
+  w.value("x");
+  w.value(2.5);
+  w.value(true);
+  w.null();
+  w.end_array();
+  w.key("c").begin_object().end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"a":1,"b":["x",2.5,true,null],"c":{}})");
+}
+
+TEST(ObsJson, WriterEscapesStrings) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("s").value("quote\" backslash\\ newline\n tab\t");
+  w.end_object();
+  const JsonValue doc = parse_json(w.str());
+  EXPECT_EQ(doc.find("s")->string, "quote\" backslash\\ newline\n tab\t");
+}
+
+TEST(ObsJson, WriterEmitsNonFiniteAsNull) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(1.0);
+  w.end_array();
+  EXPECT_EQ(w.str(), "[null,null,1]");
+}
+
+TEST(ObsJson, WriterRoundTripsUint64Exactly) {
+  // Large counters are emitted as integer literals, not doubles.
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::uint64_t{1} << 53);
+  w.value(std::int64_t{-42});
+  w.end_array();
+  EXPECT_EQ(w.str(), "[9007199254740992,-42]");
+}
+
+TEST(ObsJson, ParseRoundTripsNestedDocument) {
+  const char* text =
+      R"({"k":"v","n":-1.5e2,"arr":[1,2,{"inner":false}],"null":null})";
+  const JsonValue doc = parse_json(text);
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("k")->string, "v");
+  EXPECT_DOUBLE_EQ(doc.find("n")->number, -150.0);
+  ASSERT_EQ(doc.find("arr")->array.size(), 3u);
+  EXPECT_FALSE(doc.find("arr")->array[2].find("inner")->boolean);
+  EXPECT_EQ(doc.find("null")->kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(ObsJson, ParseHandlesStringEscapes) {
+  const JsonValue doc = parse_json(R"(["a\"b", "A\n\t\\"])");
+  ASSERT_EQ(doc.array.size(), 2u);
+  EXPECT_EQ(doc.array[0].string, "a\"b");
+  EXPECT_EQ(doc.array[1].string, "A\n\t\\");
+}
+
+TEST(ObsJson, ParseRejectsMalformedInput) {
+  EXPECT_THROW((void)parse_json("{"), std::logic_error);
+  EXPECT_THROW((void)parse_json("[1,]"), std::logic_error);
+  EXPECT_THROW((void)parse_json("{\"a\":1} trailing"), std::logic_error);
+  EXPECT_THROW((void)parse_json("{'a':1}"), std::logic_error);
+  EXPECT_THROW((void)parse_json(""), std::logic_error);
+}
+
+TEST(ObsJson, WriteFileRoundTrips) {
+  const std::string path =
+      ::testing::TempDir() + "/obs_json_roundtrip_test.json";
+  write_file(path, R"({"ok":true})");
+  FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  const JsonValue doc = parse_json(std::string_view(buf, n));
+  EXPECT_TRUE(doc.find("ok")->boolean);
+}
+
+}  // namespace
+}  // namespace ajac::obs

@@ -1,0 +1,143 @@
+#include "ajac/obs/trace_sink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "ajac/obs/json.hpp"
+
+namespace ajac::obs {
+namespace {
+
+MetricsRegistry two_actor_registry() {
+  MetricsRegistry reg;
+  reg.set_actor_kind("thread");
+  reg.reset(2);
+  reg.actor(0).span(TraceKind::kIteration, 10.0, 25.0, /*arg0=*/3);
+  reg.actor(0).instant(TraceKind::kFlagRaise, 25.0, /*arg0=*/3);
+  reg.actor(1).span(TraceKind::kSolve, 0.0, 100.0);
+  reg.actor(1).instant(TraceKind::kStop, 90.0);
+  return reg;
+}
+
+/// Check one event object against the Chrome trace-event format: the
+/// required members, their types, and the span/instant-specific fields.
+void expect_valid_event(const JsonValue& e) {
+  ASSERT_TRUE(e.is_object());
+  ASSERT_NE(e.find("ph"), nullptr);
+  const std::string& ph = e.find("ph")->string;
+  ASSERT_NE(e.find("name"), nullptr);
+  EXPECT_TRUE(e.find("name")->is_string());
+  ASSERT_NE(e.find("pid"), nullptr);
+  ASSERT_NE(e.find("tid"), nullptr);
+  if (ph == "M") {
+    EXPECT_TRUE(e.find("args")->find("name")->is_string());
+    return;
+  }
+  ASSERT_NE(e.find("ts"), nullptr);
+  EXPECT_TRUE(e.find("ts")->is_number());
+  if (ph == "X") {
+    ASSERT_NE(e.find("dur"), nullptr);
+    EXPECT_GE(e.find("dur")->number, 0.0);
+  } else if (ph == "i") {
+    // Instants need a scope; we emit thread-scoped markers.
+    ASSERT_NE(e.find("s"), nullptr);
+    EXPECT_EQ(e.find("s")->string, "t");
+  } else {
+    FAIL() << "unexpected phase " << ph;
+  }
+}
+
+TEST(ObsTraceSink, EmitsValidChromeTraceJson) {
+  const MetricsRegistry reg = two_actor_registry();
+  TraceEventSink sink;
+  sink.add_registry(reg, "solve_shared");
+  EXPECT_EQ(sink.num_events(), 4u);
+
+  const JsonValue doc = parse_json(sink.to_json());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("displayTimeUnit")->string, "ms");
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  // 1 process_name + 2 thread_name metadata records + 4 events.
+  ASSERT_EQ(events->array.size(), 7u);
+  for (const JsonValue& e : events->array) expect_valid_event(e);
+}
+
+TEST(ObsTraceSink, MetadataNamesProcessAndLanes) {
+  const MetricsRegistry reg = two_actor_registry();
+  TraceEventSink sink;
+  sink.add_registry(reg, "solve_shared");
+  const JsonValue doc = parse_json(sink.to_json());
+
+  std::set<std::string> meta_names;
+  for (const JsonValue& e : doc.find("traceEvents")->array) {
+    if (e.find("ph")->string == "M") {
+      meta_names.insert(e.find("args")->find("name")->string);
+    }
+  }
+  EXPECT_TRUE(meta_names.count("solve_shared"));
+  EXPECT_TRUE(meta_names.count("thread 0"));
+  EXPECT_TRUE(meta_names.count("thread 1"));
+}
+
+TEST(ObsTraceSink, SpanDurationAndArgsSurvive) {
+  const MetricsRegistry reg = two_actor_registry();
+  TraceEventSink sink;
+  sink.add_registry(reg, "run");
+  const JsonValue doc = parse_json(sink.to_json());
+
+  bool found_iteration = false;
+  for (const JsonValue& e : doc.find("traceEvents")->array) {
+    if (e.find("name")->string != "iteration") continue;
+    found_iteration = true;
+    EXPECT_EQ(e.find("ph")->string, "X");
+    EXPECT_DOUBLE_EQ(e.find("ts")->number, 10.0);
+    EXPECT_DOUBLE_EQ(e.find("dur")->number, 15.0);
+    EXPECT_EQ(e.find("args")->find("arg0")->number, 3.0);
+    EXPECT_EQ(e.find("tid")->number, 0.0);
+  }
+  EXPECT_TRUE(found_iteration);
+}
+
+TEST(ObsTraceSink, MultipleRegistriesGetDistinctPids) {
+  const MetricsRegistry a = two_actor_registry();
+  MetricsRegistry b;
+  b.set_actor_kind("rank");
+  b.reset(1);
+  b.actor(0).instant(TraceKind::kDetection, 1.0);
+
+  TraceEventSink sink;
+  sink.add_registry(a, "shared");
+  sink.add_registry(b, "distsim");
+  const JsonValue doc = parse_json(sink.to_json());
+
+  std::set<double> pids;
+  for (const JsonValue& e : doc.find("traceEvents")->array) {
+    pids.insert(e.find("pid")->number);
+  }
+  EXPECT_EQ(pids.size(), 2u);
+}
+
+TEST(ObsTraceSink, WriteProducesLoadableFile) {
+  const MetricsRegistry reg = two_actor_registry();
+  TraceEventSink sink;
+  sink.add_registry(reg, "run");
+  const std::string path = ::testing::TempDir() + "/obs_trace_sink_test.json";
+  sink.write(path);
+
+  FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  const JsonValue doc = parse_json(text);
+  EXPECT_TRUE(doc.find("traceEvents")->is_array());
+}
+
+}  // namespace
+}  // namespace ajac::obs

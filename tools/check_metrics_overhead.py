@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Gate the observability layer's overhead from a bench_kernels JSON report.
+
+Reads a google-benchmark JSON file (produced by `bench_kernels --json ...`)
+and compares the metrics-enabled asynchronous solve against the disabled
+one:
+
+    BM_SolveSharedAsync/real_time         (metrics == nullptr)
+    BM_SolveSharedAsyncMetrics/real_time  (live MetricsRegistry)
+
+The instrumented run may be at most --max-overhead-pct slower in
+items_per_second (default 5, the CI budget; the ISSUE acceptance bound for
+a null registry is 2 — pass --max-overhead-pct 2 against a pair of runs
+that both use metrics == nullptr to check that claim). Exit status: 0 ok,
+1 over budget or benchmarks missing, 2 bad input.
+
+Usage: tools/check_metrics_overhead.py report.json [--max-overhead-pct 5]
+"""
+
+import argparse
+import json
+import sys
+
+BASELINE = "BM_SolveSharedAsync/real_time"
+INSTRUMENTED = "BM_SolveSharedAsyncMetrics/real_time"
+
+
+def items_per_second(report: dict, name: str) -> float:
+    # With --benchmark_repetitions the report carries one entry per
+    # repetition plus aggregates; use the mean aggregate when present,
+    # otherwise the (single) plain iteration entry.
+    fallback = None
+    for bench in report.get("benchmarks", []):
+        run_name = bench.get("run_name", bench.get("name"))
+        if run_name != name:
+            continue
+        rate = bench.get("items_per_second")
+        if rate is None:
+            continue
+        if bench.get("aggregate_name") == "mean":
+            return float(rate)
+        if bench.get("run_type", "iteration") == "iteration" and fallback is None:
+            fallback = float(rate)
+    if fallback is None:
+        raise KeyError(name)
+    return fallback
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="bench_kernels --json output file")
+    parser.add_argument("--max-overhead-pct", type=float, default=5.0,
+                        help="maximum tolerated slowdown in percent")
+    args = parser.parse_args()
+
+    try:
+        with open(args.report, encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_metrics_overhead: cannot read {args.report}: {e}",
+              file=sys.stderr)
+        return 2
+
+    try:
+        base = items_per_second(report, BASELINE)
+        inst = items_per_second(report, INSTRUMENTED)
+    except KeyError as e:
+        print(f"check_metrics_overhead: benchmark {e} missing from report "
+              f"(run bench_kernels without a filter excluding SolveShared)",
+              file=sys.stderr)
+        return 1
+
+    if base <= 0:
+        print("check_metrics_overhead: baseline items_per_second is zero",
+              file=sys.stderr)
+        return 2
+
+    overhead_pct = (base - inst) / base * 100.0
+    verdict = "OK" if overhead_pct <= args.max_overhead_pct else "FAIL"
+    print(f"check_metrics_overhead: {verdict} — "
+          f"disabled {base:,.0f} items/s, enabled {inst:,.0f} items/s, "
+          f"overhead {overhead_pct:+.2f}% (budget {args.max_overhead_pct}%)")
+    return 0 if verdict == "OK" else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,12 @@
 #                    addressed as "ajac/<module>/<name>.hpp" so moving a file
 #                    breaks loudly at build time instead of silently resolving.
 #   no-using-std     no file-scope `using namespace std`.
+#   clock-ban        no raw std::chrono clock reads (steady_clock /
+#                    system_clock / high_resolution_clock ::now) outside
+#                    ajac/util/timer.hpp and src/obs. Timestamps must flow
+#                    through WallTimer so instrumented and uninstrumented
+#                    runs read the clock at the same sites and the distsim
+#                    stays on simulated time.
 #   checked-entry    public solver/runtime entry points validate their inputs:
 #                    each listed translation unit must contain AJAC_CHECK (or
 #                    an explicit validation throw, as in the IO parsers).
@@ -88,6 +94,17 @@ fi
 HITS=$(grep -n '^using namespace std' "${ALL_SOURCES[@]}" || true)
 if [ -n "$HITS" ]; then
   fail "file-scope 'using namespace std':" "$HITS"
+fi
+
+# --- clock-ban -------------------------------------------------------------
+HITS=$(grep -nE '(steady_clock|system_clock|high_resolution_clock)[[:space:]]*::[[:space:]]*now' \
+  "${ALL_SOURCES[@]}" \
+  | grep -vE '^[^:]+:[0-9]+:[[:space:]]*(//|\*)' \
+  | grep -v '^src/util/include/ajac/util/timer\.hpp:' \
+  | grep -v '^src/obs/' \
+  | grep -v 'lint:allow-clock' || true)
+if [ -n "$HITS" ]; then
+  fail "raw std::chrono clock read outside ajac/util/timer.hpp and src/obs (use WallTimer):" "$HITS"
 fi
 
 # --- checked-entry ---------------------------------------------------------
