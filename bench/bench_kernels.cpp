@@ -11,6 +11,7 @@
 #include <benchmark/benchmark.h>
 #include <omp.h>
 
+#include <algorithm>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -145,13 +146,21 @@ void BM_TraceAnalysis(benchmark::State& state) {
 }
 BENCHMARK(BM_TraceAnalysis)->Arg(68)->Arg(272);
 
-// Fixed-length asynchronous solve, identical configuration with and
-// without a metrics registry: the pair measures the observability layer's
-// overhead (CI fails if the instrumented run is > 5% slower).
-runtime::SharedOptions solve_opts() {
+// Fixed-length asynchronous solves on a grid(edge) FD Laplacian at the
+// machine's full OpenMP width (minimum 2, so the async interleaving is
+// real even on single-core hosts). Three variants:
+//   BM_SolveSharedAsync         reference kernels, no registry
+//   BM_SolveSharedAsyncMetrics  reference kernels, live MetricsRegistry
+//     (the pair is CI's observability overhead gate, <= 5%)
+//   BM_SolveSharedBlocked       partition-aware blocked kernels
+//     (vs BM_SolveSharedAsync at 256: CI's kernel speedup gate,
+//      tools/check_kernel_speedup.py asserts Blocked >= Reference)
+runtime::SharedOptions solve_opts(runtime::KernelKind kernel) {
   runtime::SharedOptions o;
-  o.num_threads = 2;
-  o.tolerance = 0.0;  // fixed iteration count: both variants do equal work
+  o.num_threads =
+      std::max<index_t>(2, static_cast<index_t>(omp_get_max_threads()));
+  o.kernel = kernel;
+  o.tolerance = 0.0;  // fixed iteration count: all variants do equal work
   o.max_iterations = 50;
   o.record_history = false;
   o.final_polish = false;
@@ -160,19 +169,20 @@ runtime::SharedOptions solve_opts() {
 }
 
 void BM_SolveSharedAsync(benchmark::State& state) {
-  const auto p = gen::make_problem("fd", grid(32), 1);
-  const runtime::SharedOptions o = solve_opts();
+  const auto p = gen::make_problem("fd", grid(state.range(0)), 1);
+  const runtime::SharedOptions o =
+      solve_opts(runtime::KernelKind::kReference);
   for (auto _ : state) {
     const auto r = runtime::solve_shared(p.a, p.b, p.x0, o);
     benchmark::DoNotOptimize(r.total_relaxations);
   }
   state.SetItemsProcessed(state.iterations() * 50 * p.a.num_rows());
 }
-BENCHMARK(BM_SolveSharedAsync)->UseRealTime();
+BENCHMARK(BM_SolveSharedAsync)->Arg(32)->Arg(256)->UseRealTime();
 
 void BM_SolveSharedAsyncMetrics(benchmark::State& state) {
-  const auto p = gen::make_problem("fd", grid(32), 1);
-  runtime::SharedOptions o = solve_opts();
+  const auto p = gen::make_problem("fd", grid(state.range(0)), 1);
+  runtime::SharedOptions o = solve_opts(runtime::KernelKind::kReference);
   obs::MetricsRegistry reg;
   o.metrics = &reg;
   for (auto _ : state) {
@@ -181,7 +191,18 @@ void BM_SolveSharedAsyncMetrics(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 50 * p.a.num_rows());
 }
-BENCHMARK(BM_SolveSharedAsyncMetrics)->UseRealTime();
+BENCHMARK(BM_SolveSharedAsyncMetrics)->Arg(32)->UseRealTime();
+
+void BM_SolveSharedBlocked(benchmark::State& state) {
+  const auto p = gen::make_problem("fd", grid(state.range(0)), 1);
+  const runtime::SharedOptions o = solve_opts(runtime::KernelKind::kBlocked);
+  for (auto _ : state) {
+    const auto r = runtime::solve_shared(p.a, p.b, p.x0, o);
+    benchmark::DoNotOptimize(r.total_relaxations);
+  }
+  state.SetItemsProcessed(state.iterations() * 50 * p.a.num_rows());
+}
+BENCHMARK(BM_SolveSharedBlocked)->Arg(32)->Arg(256)->UseRealTime();
 
 }  // namespace
 

@@ -70,6 +70,13 @@ Backend parse_backend(const std::string& name) {
       "' (sequential | model | shared | distsim)");
 }
 
+runtime::KernelKind parse_kernel(const std::string& name) {
+  if (name == "blocked") return runtime::KernelKind::kBlocked;
+  if (name == "reference") return runtime::KernelKind::kReference;
+  throw std::invalid_argument("unknown kernel '" + name +
+                              "' (blocked | reference)");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -83,6 +90,8 @@ int main(int argc, char** argv) {
   cli.add_option("tolerance", "1e-8", "relative residual 1-norm target");
   cli.add_option("max-iterations", "1000000", "iteration cap");
   cli.add_option("seed", "1", "random seed (b, x0, partitioner, noise)");
+  cli.add_option("kernel", "blocked",
+                 "shared backend kernels: blocked | reference");
   cli.add_flag("sync", "run the synchronous variant");
   cli.add_flag("stats", "print matrix statistics before solving");
   if (!cli.parse(argc, argv)) return 0;
@@ -113,6 +122,7 @@ int main(int argc, char** argv) {
     cfg.tolerance = cli.get_double("tolerance");
     cfg.max_iterations = cli.get_int("max-iterations");
     cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    cfg.shared_kernel = parse_kernel(cli.get_string("kernel"));
 
     const Solution sol = solve_spd(a, b, cfg);
     std::printf(

@@ -52,6 +52,7 @@ Solution solve(const CsrMatrix& a, const Vector& b, const Vector& x0,
       opts.tolerance = config.tolerance;
       opts.max_iterations = config.max_iterations;
       opts.record_history = false;
+      opts.kernel = config.shared_kernel;
       const runtime::SharedResult r = runtime::solve_shared(a, b, x0, opts);
       sol.seconds = r.seconds;
       sol.x = r.x;

@@ -46,6 +46,10 @@ struct SolveConfig {
   /// kDistributedSim: reorder with the built-in partitioner first (highly
   /// recommended; mirrors the paper's METIS step).
   bool partition_first = true;
+  /// kSharedMemory: relaxation kernel family — the partition-aware blocked
+  /// kernels (default) or the reference kernels that read every column
+  /// through the shared vector.
+  runtime::KernelKind shared_kernel = runtime::KernelKind::kBlocked;
 };
 
 struct Solution {

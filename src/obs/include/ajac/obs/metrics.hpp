@@ -63,6 +63,8 @@ enum class Counter : std::size_t {
   kResidualCheckNs,     ///< time in the racy convergence-norm scan
   kPolishSweeps,        ///< sequential cleanup sweeps after the run
   kFaultEvents,         ///< fault injections observed by this actor
+  kLocalReads,          ///< blocked kernel: entries read from the private mirror
+  kGhostReads,          ///< blocked kernel: entries read through SharedVector
   kMessagesSent,        ///< distsim: puts issued (incl. dropped/duplicated)
   kMessagesReceived,    ///< distsim: puts delivered
   kMessagesDropped,     ///< distsim: puts lost to faults or dead ranks

@@ -17,6 +17,8 @@ const char* counter_name(Counter c) noexcept {
     case Counter::kResidualCheckNs: return "residual_check_ns";
     case Counter::kPolishSweeps: return "polish_sweeps";
     case Counter::kFaultEvents: return "fault_events";
+    case Counter::kLocalReads: return "local_reads";
+    case Counter::kGhostReads: return "ghost_reads";
     case Counter::kMessagesSent: return "messages_sent";
     case Counter::kMessagesReceived: return "messages_received";
     case Counter::kMessagesDropped: return "messages_dropped";

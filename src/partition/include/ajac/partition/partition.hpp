@@ -11,6 +11,7 @@
 #include "ajac/sparse/types.hpp"
 
 namespace ajac {
+class BlockedCsr;
 class CsrMatrix;
 }
 
@@ -84,5 +85,12 @@ struct PartitionStats {
 
 [[nodiscard]] PartitionStats compute_stats(const CsrMatrix& a,
                                            const Partition& p);
+
+/// Build the partition-aware blocked layout for `a`: one BlockedCsr block
+/// per part of `p`, with each block's columns pre-classified as local
+/// (inside the part's own row range) or ghost (owned by another part).
+/// Validates `p` against the matrix first. This is the factory the
+/// shared-memory runtime's Blocked kernel path consumes.
+[[nodiscard]] BlockedCsr blocked_csr(const CsrMatrix& a, const Partition& p);
 
 }  // namespace ajac::partition

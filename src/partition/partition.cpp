@@ -4,6 +4,7 @@
 #include <numeric>
 #include <queue>
 
+#include "ajac/sparse/blocked_csr.hpp"
 #include "ajac/sparse/csr.hpp"
 #include "ajac/util/check.hpp"
 #include "ajac/util/rng.hpp"
@@ -334,6 +335,11 @@ PartitionStats compute_stats(const CsrMatrix& a, const Partition& p) {
   stats.imbalance =
       ideal > 0.0 ? static_cast<double>(stats.max_part) / ideal - 1.0 : 0.0;
   return stats;
+}
+
+BlockedCsr blocked_csr(const CsrMatrix& a, const Partition& p) {
+  validate(p, a.num_rows());
+  return BlockedCsr(a, p.block_starts);
 }
 
 }  // namespace ajac::partition

@@ -1,0 +1,263 @@
+#pragma once
+// Fused relaxation kernels over the partition-aware BlockedCsr layout
+// (sparse/blocked_csr.hpp) — the KernelKind::kBlocked path of solve_shared.
+//
+// The owning thread keeps a private mirror (OwnBlockState) of its own slice
+// of the shared x: it is the only writer of those elements, so the mirror
+// is exact by construction and local column reads need no atomics, no
+// seqlock, and no cache-line ping-pong. Only ghost columns — values owned
+// by other threads — go through the SharedVector (and the fault injector,
+// which may serve frozen stale-window snapshots for exactly those columns).
+//
+// Bitwise contract with the reference kernels: every kernel accumulates a
+// row's residual in the row's original CSR entry order (BlockedCsr
+// preserves it), reads values that are bitwise those the reference path
+// would read from the same vector state, and commits in ascending row
+// order with the same `x + inv_diag * r` expression. Given identical read
+// values — guaranteed at num_threads=1 and in synchronous mode, where x is
+// stable throughout step 1 — blocked and reference solves are bitwise
+// identical. The kernel-equivalence suite (tests/runtime/kernel_equiv_*)
+// holds this line.
+//
+// Faults template parameter: the per-thread injector of shared_jacobi.cpp
+// (NullFaults compiles every hook away). Bit flips index entries by their
+// position within the row, which the blocked layout preserves, so the flip
+// decision and the corrupted entry match the reference path exactly.
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "ajac/model/trace.hpp"
+#include "ajac/runtime/shared_vector.hpp"
+#include "ajac/sparse/blocked_csr.hpp"
+#include "ajac/sparse/csr.hpp"
+#include "ajac/sparse/types.hpp"
+
+namespace ajac::runtime {
+
+/// A transiently corrupted matrix read: entry index within the row and the
+/// value (one bit flipped) the relaxation uses instead of the stored one.
+struct FlippedEntry {
+  std::size_t entry = 0;
+  double value = 0.0;
+};
+
+/// Thread-private mirror of the thread's own rows of the shared x. The
+/// owner is the sole writer of those elements, so the mirror (and, when
+/// tracing, the write-count mirror) is exact — local reads come from here.
+struct OwnBlockState {
+  std::vector<double> x;           ///< x[lo..hi), kept exact by commit
+  std::vector<index_t> version;    ///< seqlock versions; empty when untraced
+};
+
+/// (Re)load the mirror from the shared vector. Called once inside the
+/// parallel region (first touch: the owning thread allocates and fills its
+/// own mirror) and again after a crash-with-state-reset fault wrote x0
+/// directly to the shared x behind the mirror's back.
+inline void refresh_own_block(const BlockedCsr::Block& blk,
+                              const SharedVector& x, OwnBlockState& own) {
+  const auto rows = static_cast<std::size_t>(blk.num_rows());
+  own.x.resize(rows);
+  for (index_t i = blk.lo; i < blk.hi; ++i) {
+    own.x[static_cast<std::size_t>(i - blk.lo)] = x.read(i);
+  }
+  if (x.traced()) {
+    own.version.resize(rows);
+    for (index_t i = blk.lo; i < blk.hi; ++i) {
+      own.version[static_cast<std::size_t>(i - blk.lo)] = x.version(i);
+    }
+  }
+}
+
+/// Residual on the block's interior rows — every column local, so the
+/// inner loop touches only private arrays: no atomics, no seqlocks, no
+/// branches (the fault hooks compile away under NullFaults), and a memory
+/// access pattern the vectorizer can handle. Summation stays in CSR entry
+/// order; only loads are vectorizable, never the accumulation order.
+///
+/// Each row's residual is published to the shared r as it is computed —
+/// the blocked kernels fuse away the reference path's separate publication
+/// pass. Reads of r are racy by contract (the paper's stopping scheme), so
+/// other threads observing a row's residual one pass earlier is legal; at
+/// one thread and in synchronous mode the values every consumer sees are
+/// unchanged, keeping the bitwise contract intact.
+template <class Faults>
+inline void relax_interior(const BlockedCsr::Block& blk, const CsrMatrix& a,
+                           std::span<const double> b,
+                           const OwnBlockState& own, Faults& faults,
+                           SharedVector& r) {
+  for (const index_t i : blk.interior_rows) {
+    const auto li = static_cast<std::size_t>(i - blk.lo);
+    const auto begin = static_cast<std::size_t>(blk.row_ptr[li]);
+    const auto end = static_cast<std::size_t>(blk.row_ptr[li + 1]);
+    double acc = b[static_cast<std::size_t>(i)];
+    if constexpr (Faults::enabled) {
+      const auto row = a.row(i);
+      FlippedEntry flipped;
+      const bool has_flip = faults.flip(i, row.cols, row.vals, flipped);
+      for (std::size_t p = begin; p < end; ++p) {
+        double aij = blk.values[p];
+        if (has_flip && p - begin == flipped.entry) aij = flipped.value;
+        acc -= aij * own.x[static_cast<std::size_t>(blk.col_code[p])];
+      }
+    } else {
+      for (std::size_t p = begin; p < end; ++p) {
+        acc -= blk.values[p] *
+               own.x[static_cast<std::size_t>(blk.col_code[p])];
+      }
+    }
+    r.write(i, acc);
+  }
+}
+
+/// Residual on the block's boundary rows: local entries from the mirror,
+/// ghost entries through the injector (live relaxed-atomic reads, or the
+/// frozen snapshot inside a stale window). Publishes each row's residual
+/// to r like relax_interior.
+template <class Faults>
+inline void relax_boundary(const BlockedCsr::Block& blk, const CsrMatrix& a,
+                           std::span<const double> b,
+                           const OwnBlockState& own, const SharedVector& x,
+                           Faults& faults, SharedVector& r) {
+  for (const index_t i : blk.boundary_rows) {
+    const auto li = static_cast<std::size_t>(i - blk.lo);
+    const auto begin = static_cast<std::size_t>(blk.row_ptr[li]);
+    const auto end = static_cast<std::size_t>(blk.row_ptr[li + 1]);
+    double acc = b[static_cast<std::size_t>(i)];
+    FlippedEntry flipped;
+    bool has_flip = false;
+    if constexpr (Faults::enabled) {
+      const auto row = a.row(i);
+      has_flip = faults.flip(i, row.cols, row.vals, flipped);
+    }
+    for (std::size_t p = begin; p < end; ++p) {
+      double aij = blk.values[p];
+      if constexpr (Faults::enabled) {
+        if (has_flip && p - begin == flipped.entry) aij = flipped.value;
+      }
+      const index_t code = blk.col_code[p];
+      const double xj =
+          BlockedCsr::is_ghost(code)
+              ? faults.read(x, blk.ghost_cols[static_cast<std::size_t>(
+                                   BlockedCsr::ghost_slot(code))])
+              : own.x[static_cast<std::size_t>(code)];
+      acc -= aij * xj;
+    }
+    r.write(i, acc);
+  }
+}
+
+/// Commit the Jacobi correction on the block, ascending row order: the
+/// same `x_i + inv_diag_i * r_i` the reference step 2 evaluates (the
+/// mirror read replaces x.read — exact, single writer), then keep the
+/// mirror and its version count in sync with the shared write.
+inline void commit_block(const BlockedCsr::Block& blk, OwnBlockState& own,
+                         SharedVector& x, const SharedVector& r) {
+  for (index_t i = blk.lo; i < blk.hi; ++i) {
+    const auto li = static_cast<std::size_t>(i - blk.lo);
+    const double nx = own.x[li] + blk.inv_diag[li] * r.read(i);
+    x.write(i, nx);
+    own.x[li] = nx;
+  }
+  // Every x.write above bumped the element's seqlock once.
+  for (auto& v : own.version) ++v;
+}
+
+/// In-place forward Gauss-Seidel sweep over the block (ascending rows, so
+/// interior/boundary fusion does not apply): each row's update is visible
+/// to the following rows via the mirror and to other threads via x
+/// immediately, matching the reference sweep bitwise.
+template <class Faults>
+inline void relax_block_gs(const BlockedCsr::Block& blk, const CsrMatrix& a,
+                           std::span<const double> b, OwnBlockState& own,
+                           SharedVector& x, SharedVector& r, Faults& faults) {
+  for (index_t i = blk.lo; i < blk.hi; ++i) {
+    const auto li = static_cast<std::size_t>(i - blk.lo);
+    const auto begin = static_cast<std::size_t>(blk.row_ptr[li]);
+    const auto end = static_cast<std::size_t>(blk.row_ptr[li + 1]);
+    double acc = b[static_cast<std::size_t>(i)];
+    FlippedEntry flipped;
+    bool has_flip = false;
+    if constexpr (Faults::enabled) {
+      const auto row = a.row(i);
+      has_flip = faults.flip(i, row.cols, row.vals, flipped);
+    }
+    for (std::size_t p = begin; p < end; ++p) {
+      double aij = blk.values[p];
+      if constexpr (Faults::enabled) {
+        if (has_flip && p - begin == flipped.entry) aij = flipped.value;
+      }
+      const index_t code = blk.col_code[p];
+      const double xj =
+          BlockedCsr::is_ghost(code)
+              ? faults.read(x, blk.ghost_cols[static_cast<std::size_t>(
+                                   BlockedCsr::ghost_slot(code))])
+              : own.x[static_cast<std::size_t>(code)];
+      acc -= aij * xj;
+    }
+    r.write(i, acc);
+    const double nx = own.x[li] + blk.inv_diag[li] * acc;
+    x.write(i, nx);
+    own.x[li] = nx;
+  }
+}
+
+/// Traced relaxation (record_trace runs): like relax_interior +
+/// relax_boundary but pairing every off-diagonal read with its seqlock
+/// version for the propagation analysis. Local reads take the version from
+/// the mirror — the owner is the only writer, so the mirrored count *is*
+/// the seqlock version, with none of the seqlock's retry protocol.
+/// Publishes each row's residual to r like relax_interior.
+template <class Faults, class Metrics>
+inline void relax_traced(const BlockedCsr::Block& blk, const CsrMatrix& a,
+                         std::span<const double> b, const OwnBlockState& own,
+                         const SharedVector& x, Faults& faults,
+                         Metrics& metrics, index_t iter, SharedVector& r,
+                         std::vector<model::RelaxationEvent>& events) {
+  auto relax_row = [&](index_t i) {
+    const auto li = static_cast<std::size_t>(i - blk.lo);
+    const auto begin = static_cast<std::size_t>(blk.row_ptr[li]);
+    const auto end = static_cast<std::size_t>(blk.row_ptr[li + 1]);
+    model::RelaxationEvent event;
+    event.row = i;
+    event.reads.reserve(end - begin);
+    double acc = b[static_cast<std::size_t>(i)];
+    FlippedEntry flipped;
+    bool has_flip = false;
+    if constexpr (Faults::enabled) {
+      const auto row = a.row(i);
+      has_flip = faults.flip(i, row.cols, row.vals, flipped);
+    }
+    for (std::size_t p = begin; p < end; ++p) {
+      double aij = blk.values[p];
+      if constexpr (Faults::enabled) {
+        if (has_flip && p - begin == flipped.entry) aij = flipped.value;
+      }
+      const index_t code = blk.col_code[p];
+      if (!BlockedCsr::is_ghost(code)) {
+        acc -= aij * own.x[static_cast<std::size_t>(code)];
+        const index_t j = blk.lo + code;
+        if (j == i) continue;
+        const index_t version = own.version[static_cast<std::size_t>(code)];
+        if constexpr (Metrics::enabled) metrics.staleness(iter, version);
+        event.reads.push_back({j, version});
+        continue;
+      }
+      const index_t j =
+          blk.ghost_cols[static_cast<std::size_t>(BlockedCsr::ghost_slot(code))];
+      const auto [value, version] =
+          faults.read_versioned(x, j, metrics.retry_sink());
+      acc -= aij * value;
+      if constexpr (Metrics::enabled) metrics.staleness(iter, version);
+      event.reads.push_back({j, version});
+    }
+    r.write(i, acc);
+    events.push_back(std::move(event));
+  };
+  for (const index_t i : blk.interior_rows) relax_row(i);
+  for (const index_t i : blk.boundary_rows) relax_row(i);
+}
+
+}  // namespace ajac::runtime

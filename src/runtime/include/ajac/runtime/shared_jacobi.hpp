@@ -37,6 +37,19 @@ class MetricsRegistry;
 
 namespace ajac::runtime {
 
+/// Which relaxation kernels the solve dispatches to.
+enum class KernelKind {
+  /// Unsplit CSR rows, every column read through the SharedVector — the
+  /// paper's scheme verbatim; kept as the differential-testing oracle.
+  kReference,
+  /// Partition-aware local/ghost split (sparse/blocked_csr.hpp): own-block
+  /// columns come from a thread-private mirror, interior rows skip the
+  /// shared vector entirely, only boundary-row ghost columns pay for
+  /// synchronized reads. Bitwise-equivalent to kReference whenever the two
+  /// would read the same values (num_threads=1, synchronous mode).
+  kBlocked,
+};
+
 struct SharedOptions {
   index_t num_threads = 4;
   bool synchronous = false;
@@ -93,6 +106,10 @@ struct SharedOptions {
   /// hooks compile to no-ops (same pattern as the fault hooks), so results
   /// are bitwise those of a build without the metrics layer.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Relaxation kernels (see KernelKind). The blocked layer is the default;
+  /// kReference selects the original unsplit path (differential testing,
+  /// perf baselines).
+  KernelKind kernel = KernelKind::kBlocked;
 };
 
 struct SharedHistoryPoint {

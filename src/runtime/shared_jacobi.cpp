@@ -6,11 +6,14 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <optional>
 #include <span>
 #include <utility>
 
 #include "ajac/obs/metrics.hpp"
+#include "ajac/runtime/blocked_kernels.hpp"
 #include "ajac/runtime/shared_vector.hpp"
+#include "ajac/sparse/blocked_csr.hpp"
 #include "ajac/sparse/csr.hpp"
 #include "ajac/sparse/validate.hpp"
 #include "ajac/sparse/vector_ops.hpp"
@@ -22,12 +25,8 @@ namespace ajac::runtime {
 
 namespace {
 
-/// A transiently corrupted matrix read: entry index within the row and the
-/// value (one bit flipped) the relaxation uses instead of the stored one.
-struct FlippedEntry {
-  std::size_t entry = 0;
-  double value = 0.0;
-};
+// FlippedEntry lives in blocked_kernels.hpp now: the blocked kernels apply
+// the same transient corruption the reference loops below do.
 
 /// Fault context for the default (no plan) path. `enabled` is false and
 /// every hook site in solve_shared_impl is `if constexpr`-guarded, so this
@@ -41,6 +40,7 @@ struct NullFaults {
              index_t /*lo*/, index_t /*hi*/, SharedVector& /*x*/) {}
 
   void begin_iteration(index_t /*iter*/) {}
+  [[nodiscard]] bool consume_state_reset() { return false; }
   bool flip(index_t /*row*/, std::span<const index_t> /*cols*/,
             std::span<const double> /*vals*/, FlippedEntry& /*out*/) {
     return false;
@@ -124,6 +124,9 @@ class ActiveFaults {
       stalled_us_ += crash_->dead_seconds * 1e6;
       if (crash_->reset_state_on_recovery) {
         for (index_t i = lo_; i < hi_; ++i) x_->write(i, (*x0_)[i]);
+        // The write went behind any thread-private mirror of the own rows;
+        // the blocked kernel path polls consume_state_reset() and reloads.
+        state_reset_ = true;
       }
       log_.push_back({fault::FaultKind::kRecover, thread_, iter, 0, 0});
     }
@@ -143,6 +146,12 @@ class ActiveFaults {
       }
       stale_on_ = on;
     }
+  }
+
+  /// True exactly once after a crash recovery rewrote this thread's rows of
+  /// the shared x from the initial guess (lost memory). Consuming clears it.
+  [[nodiscard]] bool consume_state_reset() {
+    return std::exchange(state_reset_, false);
   }
 
   /// Transient bit flip for this (iteration, row): returns true and fills
@@ -243,6 +252,7 @@ class ActiveFaults {
   bool straggler_on_ = false;
   bool stale_on_ = false;
   bool crashed_ = false;
+  bool state_reset_ = false;
   double stalled_us_ = 0.0;
 
   std::vector<index_t> ghost_cols_;  ///< sorted off-block columns
@@ -267,6 +277,7 @@ struct NullMetrics {
   template <class Faults>
   void sync_faults(const Faults& /*faults*/) {}
   void staleness(index_t /*iter*/, index_t /*version*/) {}
+  void read_mix(index_t /*local_entries*/, index_t /*ghost_entries*/) {}
   [[nodiscard]] std::uint64_t* retry_sink() { return nullptr; }
   void residual_check_begin() {}
   void residual_check_end() {}
@@ -347,6 +358,18 @@ class ActiveMetrics {
     slot_->record(obs::Hist::kReadStaleness, lag);
   }
 
+  /// Blocked kernels only: how many matrix entries this iteration resolved
+  /// from the thread-private mirror vs through the SharedVector. The counts
+  /// are precomputed per block (local_nnz/ghost_nnz), so the hook costs two
+  /// counter adds per iteration, nothing per entry. The reference path
+  /// leaves both lanes at zero.
+  void read_mix(index_t local_entries, index_t ghost_entries) {
+    slot_->add(obs::Counter::kLocalReads,
+               static_cast<std::uint64_t>(local_entries));
+    slot_->add(obs::Counter::kGhostReads,
+               static_cast<std::uint64_t>(ghost_entries));
+  }
+
   /// Thread-local seqlock retry accumulator, flushed per iteration.
   [[nodiscard]] std::uint64_t* retry_sink() { return &retries_; }
 
@@ -399,12 +422,13 @@ class ActiveMetrics {
   bool flag_up_ = false;
 };
 
-template <class Faults, class Metrics>
+template <class Faults, class Metrics, bool Blocked>
 SharedResult solve_shared_impl(const CsrMatrix& a, const Vector& b,
                                const Vector& x0, const SharedOptions& opts,
                                const partition::Partition& part,
                                const Vector& inv_diag,
-                               const fault::FaultPlan* plan) {
+                               const fault::FaultPlan* plan,
+                               const BlockedCsr* blocked) {
   const index_t n = a.num_rows();
 
   SharedVector x(n, opts.record_trace);
@@ -455,7 +479,12 @@ SharedResult solve_shared_impl(const CsrMatrix& a, const Vector& b,
     const index_t hi = part.part_end(t);
     const double delay =
         opts.delay_us.empty() ? 0.0 : opts.delay_us[static_cast<std::size_t>(t)];
-    std::vector<double> local_r(static_cast<std::size_t>(hi - lo));
+    // Relax->commit carrier for the reference kernels. The blocked kernels
+    // need no private carrier: each thread is the sole writer of its own
+    // rows of the shared r, so the residual published during step 1 reads
+    // back bit-exact in commit_block.
+    std::vector<double> local_r(
+        Blocked ? std::size_t{0} : static_cast<std::size_t>(hi - lo));
     auto& my_history = histories[static_cast<std::size_t>(t)];
     auto& my_events = thread_events[static_cast<std::size_t>(t)];
     if (opts.record_history) {
@@ -468,6 +497,15 @@ SharedResult solve_shared_impl(const CsrMatrix& a, const Vector& b,
     }
     Faults faults(a, x0, plan, t, lo, hi, x);
     Metrics metrics(opts.metrics, t, timer);
+
+    // Blocked path: thread-private mirror of the own rows, allocated and
+    // filled here so the owning thread first-touches its own pages.
+    [[maybe_unused]] const BlockedCsr::Block* blk = nullptr;
+    [[maybe_unused]] OwnBlockState own;
+    if constexpr (Blocked) {
+      blk = &blocked->block(t);
+      refresh_own_block(*blk, x, own);
+    }
 
     // Verification gate: the flag array is based on racy reads of the
     // shared residual, which can be arbitrarily stale when threads are
@@ -487,8 +525,7 @@ SharedResult solve_shared_impl(const CsrMatrix& a, const Vector& b,
         double fresh = 0.0;
         for (index_t i = 0; i < n; ++i) {
           double acc = b[i];
-          const auto cols = a.row_cols(i);
-          const auto vals = a.row_values(i);
+          const auto [cols, vals] = a.row(i);
           for (std::size_t p = 0; p < cols.size(); ++p) {
             acc -= vals[p] * x.read(cols[p]);
           }
@@ -510,87 +547,112 @@ SharedResult solve_shared_impl(const CsrMatrix& a, const Vector& b,
         if constexpr (Metrics::enabled) metrics.spin_wait(delay);
       }
       if constexpr (Faults::enabled) faults.begin_iteration(iter);
+      if constexpr (Faults::enabled && Blocked) {
+        // A crash recovery with state reset rewrote the shared x on the own
+        // rows behind the mirror; reload it (versions included) before any
+        // kernel reads through it.
+        if (faults.consume_state_reset()) refresh_own_block(*blk, x, own);
+      }
       if constexpr (Metrics::enabled) metrics.sync_faults(faults);
 
       // Step 1: residual on own rows from the shared (racy) x.
       if (opts.local_gauss_seidel) {
         // In-place forward sweep: each row's update is visible to the
         // following rows (and to other threads) immediately.
-        for (index_t i = lo; i < hi; ++i) {
-          double acc = b[i];
-          const auto cols = a.row_cols(i);
-          const auto vals = a.row_values(i);
-          FlippedEntry flipped;
-          bool has_flip = false;
-          if constexpr (Faults::enabled) {
-            has_flip = faults.flip(i, cols, vals, flipped);
-          }
-          for (std::size_t pp = 0; pp < cols.size(); ++pp) {
-            double aij = vals[pp];
+        if constexpr (Blocked) {
+          relax_block_gs(*blk, a, b, own, x, r, faults);
+        } else {
+          for (index_t i = lo; i < hi; ++i) {
+            double acc = b[i];
+            const auto [cols, vals] = a.row(i);
+            FlippedEntry flipped;
+            bool has_flip = false;
             if constexpr (Faults::enabled) {
-              if (has_flip && flipped.entry == pp) aij = flipped.value;
+              has_flip = faults.flip(i, cols, vals, flipped);
             }
-            acc -= aij * faults.read(x, cols[pp]);
+            for (std::size_t pp = 0; pp < cols.size(); ++pp) {
+              double aij = vals[pp];
+              if constexpr (Faults::enabled) {
+                if (has_flip && flipped.entry == pp) aij = flipped.value;
+              }
+              acc -= aij * faults.read(x, cols[pp]);
+            }
+            local_r[i - lo] = acc;
+            r.write(i, acc);
+            x.write(i, x.read(i) + inv_diag[i] * acc);
           }
-          local_r[i - lo] = acc;
-          r.write(i, acc);
-          x.write(i, x.read(i) + inv_diag[i] * acc);
         }
       } else if (opts.record_trace) {
-        for (index_t i = lo; i < hi; ++i) {
-          model::RelaxationEvent event;
-          event.row = i;
-          double acc = b[i];
-          const auto cols = a.row_cols(i);
-          const auto vals = a.row_values(i);
-          FlippedEntry flipped;
-          bool has_flip = false;
-          if constexpr (Faults::enabled) {
-            has_flip = faults.flip(i, cols, vals, flipped);
-          }
-          event.reads.reserve(cols.size());
-          for (std::size_t p = 0; p < cols.size(); ++p) {
-            const index_t j = cols[p];
-            double aij = vals[p];
+        if constexpr (Blocked) {
+          relax_traced(*blk, a, b, own, x, faults, metrics, iter, r,
+                       my_events);
+        } else {
+          for (index_t i = lo; i < hi; ++i) {
+            model::RelaxationEvent event;
+            event.row = i;
+            double acc = b[i];
+            const auto [cols, vals] = a.row(i);
+            FlippedEntry flipped;
+            bool has_flip = false;
             if constexpr (Faults::enabled) {
-              if (has_flip && flipped.entry == p) aij = flipped.value;
+              has_flip = faults.flip(i, cols, vals, flipped);
             }
-            if (j == i) {
-              acc -= aij *
-                     faults.read_versioned(x, j, metrics.retry_sink()).first;
-              continue;
+            event.reads.reserve(cols.size());
+            for (std::size_t p = 0; p < cols.size(); ++p) {
+              const index_t j = cols[p];
+              double aij = vals[p];
+              if constexpr (Faults::enabled) {
+                if (has_flip && flipped.entry == p) aij = flipped.value;
+              }
+              if (j == i) {
+                acc -= aij *
+                       faults.read_versioned(x, j, metrics.retry_sink()).first;
+                continue;
+              }
+              const auto [value, version] =
+                  faults.read_versioned(x, j, metrics.retry_sink());
+              acc -= aij * value;
+              if constexpr (Metrics::enabled) metrics.staleness(iter, version);
+              event.reads.push_back({j, version});
             }
-            const auto [value, version] =
-                faults.read_versioned(x, j, metrics.retry_sink());
-            acc -= aij * value;
-            if constexpr (Metrics::enabled) metrics.staleness(iter, version);
-            event.reads.push_back({j, version});
+            local_r[i - lo] = acc;
+            my_events.push_back(std::move(event));
           }
-          local_r[i - lo] = acc;
-          my_events.push_back(std::move(event));
         }
       } else {
-        for (index_t i = lo; i < hi; ++i) {
-          double acc = b[i];
-          const auto cols = a.row_cols(i);
-          const auto vals = a.row_values(i);
-          FlippedEntry flipped;
-          bool has_flip = false;
-          if constexpr (Faults::enabled) {
-            has_flip = faults.flip(i, cols, vals, flipped);
-          }
-          for (std::size_t p = 0; p < cols.size(); ++p) {
-            double aij = vals[p];
+        if constexpr (Blocked) {
+          relax_interior(*blk, a, b, own, faults, r);
+          relax_boundary(*blk, a, b, own, x, faults, r);
+        } else {
+          for (index_t i = lo; i < hi; ++i) {
+            double acc = b[i];
+            const auto [cols, vals] = a.row(i);
+            FlippedEntry flipped;
+            bool has_flip = false;
             if constexpr (Faults::enabled) {
-              if (has_flip && flipped.entry == p) aij = flipped.value;
+              has_flip = faults.flip(i, cols, vals, flipped);
             }
-            acc -= aij * faults.read(x, cols[p]);
+            for (std::size_t p = 0; p < cols.size(); ++p) {
+              double aij = vals[p];
+              if constexpr (Faults::enabled) {
+                if (has_flip && flipped.entry == p) aij = flipped.value;
+              }
+              acc -= aij * faults.read(x, cols[p]);
+            }
+            local_r[i - lo] = acc;
           }
-          local_r[i - lo] = acc;
         }
       }
-      if (!opts.local_gauss_seidel) {
-        for (index_t i = lo; i < hi; ++i) r.write(i, local_r[i - lo]);
+      if constexpr (Metrics::enabled && Blocked) {
+        metrics.read_mix(blk->local_nnz, blk->ghost_nnz);
+      }
+      if constexpr (!Blocked) {
+        // The blocked kernels publish each row's residual to r as part of
+        // step 1 (and the GS sweep writes it in-place on both paths); only
+        // the reference Jacobi step needs this separate pass.
+        if (!opts.local_gauss_seidel) {
+          for (index_t i = lo; i < hi; ++i) r.write(i, local_r[i - lo]);
+        }
       }
 
       if (opts.synchronous) {
@@ -599,8 +661,12 @@ SharedResult solve_shared_impl(const CsrMatrix& a, const Vector& b,
 
       // Step 2: correct own rows (already done in-place for the GS sweep).
       if (!opts.local_gauss_seidel) {
-        for (index_t i = lo; i < hi; ++i) {
-          x.write(i, x.read(i) + inv_diag[i] * local_r[i - lo]);
+        if constexpr (Blocked) {
+          commit_block(*blk, own, x, r);
+        } else {
+          for (index_t i = lo; i < hi; ++i) {
+            x.write(i, x.read(i) + inv_diag[i] * local_r[i - lo]);
+          }
         }
       }
       ++iter;
@@ -730,6 +796,23 @@ SharedResult solve_shared_impl(const CsrMatrix& a, const Vector& b,
   return result;
 }
 
+/// Fold the runtime kernel choice into the compile-time Blocked flag, so
+/// the faults/metrics dispatch below stays a flat 2x2.
+template <class Faults, class Metrics>
+SharedResult dispatch_kernel(const CsrMatrix& a, const Vector& b,
+                             const Vector& x0, const SharedOptions& opts,
+                             const partition::Partition& part,
+                             const Vector& inv_diag,
+                             const fault::FaultPlan* plan,
+                             const BlockedCsr* blocked) {
+  if (blocked != nullptr) {
+    return solve_shared_impl<Faults, Metrics, true>(a, b, x0, opts, part,
+                                                    inv_diag, plan, blocked);
+  }
+  return solve_shared_impl<Faults, Metrics, false>(a, b, x0, opts, part,
+                                                   inv_diag, plan, nullptr);
+}
+
 }  // namespace
 
 SharedResult solve_shared(const CsrMatrix& a, const Vector& b,
@@ -790,23 +873,34 @@ SharedResult solve_shared(const CsrMatrix& a, const Vector& b,
                    static_cast<std::size_t>(opts.max_iterations) + 64);
   }
 
-  // 2x2 dispatch: faults and metrics each compile to no-ops when off, so
-  // the common (no plan, no registry) path is exactly the plain solver.
+  // The blocked layout is built once per solve, before the threads start
+  // (its constructor runs its own first-touch parallel fill). Construction
+  // is O(nnz) with a binary search only on ghost entries.
+  std::optional<BlockedCsr> blocked_a;
+  if (opts.kernel == KernelKind::kBlocked) {
+    blocked_a.emplace(a, std::span<const index_t>(part.block_starts));
+  }
+  const BlockedCsr* blocked = blocked_a ? &*blocked_a : nullptr;
+
+  // 2x2 (x2 for the kernel choice) dispatch: faults and metrics each
+  // compile to no-ops when off, so the common (no plan, no registry) path
+  // is exactly the plain solver.
   if (plan != nullptr && metrics != nullptr) {
-    return solve_shared_impl<ActiveFaults, ActiveMetrics>(a, b, x0, opts,
-                                                          part, inv_diag,
-                                                          plan);
+    return dispatch_kernel<ActiveFaults, ActiveMetrics>(a, b, x0, opts, part,
+                                                        inv_diag, plan,
+                                                        blocked);
   }
   if (plan != nullptr) {
-    return solve_shared_impl<ActiveFaults, NullMetrics>(a, b, x0, opts, part,
-                                                        inv_diag, plan);
+    return dispatch_kernel<ActiveFaults, NullMetrics>(a, b, x0, opts, part,
+                                                      inv_diag, plan, blocked);
   }
   if (metrics != nullptr) {
-    return solve_shared_impl<NullFaults, ActiveMetrics>(a, b, x0, opts, part,
-                                                        inv_diag, nullptr);
+    return dispatch_kernel<NullFaults, ActiveMetrics>(a, b, x0, opts, part,
+                                                      inv_diag, nullptr,
+                                                      blocked);
   }
-  return solve_shared_impl<NullFaults, NullMetrics>(a, b, x0, opts, part,
-                                                    inv_diag, nullptr);
+  return dispatch_kernel<NullFaults, NullMetrics>(a, b, x0, opts, part,
+                                                  inv_diag, nullptr, blocked);
 }
 
 }  // namespace ajac::runtime

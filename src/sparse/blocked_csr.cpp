@@ -1,0 +1,152 @@
+#include "ajac/sparse/blocked_csr.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "ajac/sparse/csr.hpp"
+#include "ajac/util/annotate.hpp"
+
+namespace ajac {
+
+namespace {
+
+void validate_block_starts(std::span<const index_t> block_starts,
+                           index_t num_rows) {
+  if (block_starts.size() < 2) {
+    throw std::logic_error("BlockedCsr: block_starts needs >= 2 entries");
+  }
+  if (block_starts.front() != 0) {
+    throw std::logic_error("BlockedCsr: block_starts must begin at 0");
+  }
+  if (block_starts.back() != num_rows) {
+    throw std::logic_error("BlockedCsr: block_starts must end at num_rows");
+  }
+  for (std::size_t t = 1; t < block_starts.size(); ++t) {
+    if (block_starts[t] < block_starts[t - 1]) {
+      throw std::logic_error("BlockedCsr: block_starts must be non-decreasing");
+    }
+  }
+}
+
+/// Fill one block from its rows of `a`. Runs on the thread that will later
+/// relax the block (first touch).
+BlockedCsr::Block build_block(const CsrMatrix& a, index_t lo, index_t hi) {
+  BlockedCsr::Block blk;
+  blk.lo = lo;
+  blk.hi = hi;
+  const index_t rows = hi - lo;
+
+  blk.row_ptr.resize(static_cast<std::size_t>(rows) + 1, 0);
+  index_t nnz = 0;
+  for (index_t i = lo; i < hi; ++i) {
+    nnz += a.row_nnz(i);
+    blk.row_ptr[static_cast<std::size_t>(i - lo) + 1] = nnz;
+  }
+
+  // Pass 1: collect the block's ghost columns (sorted, unique) so ghost
+  // slots are independent of entry order within rows.
+  for (index_t i = lo; i < hi; ++i) {
+    for (const index_t j : a.row_cols(i)) {
+      if (j < lo || j >= hi) blk.ghost_cols.push_back(j);
+    }
+  }
+  std::sort(blk.ghost_cols.begin(), blk.ghost_cols.end());
+  blk.ghost_cols.erase(
+      std::unique(blk.ghost_cols.begin(), blk.ghost_cols.end()),
+      blk.ghost_cols.end());
+
+  // The block's rows are contiguous in the parent CSR, so the value slice
+  // is a zero-copy view (row_values of an empty row still points at the
+  // right offset).
+  if (rows > 0) {
+    blk.values = {a.row_values(lo).data(), static_cast<std::size_t>(nnz)};
+  }
+
+  // Pass 2: encode entries in their original order and split rows into
+  // interior (no ghost entries) and boundary.
+  blk.col_code.reserve(static_cast<std::size_t>(nnz));
+  blk.interior_rows.reserve(static_cast<std::size_t>(rows));
+  blk.inv_diag.resize(static_cast<std::size_t>(rows), 0.0);
+  for (index_t i = lo; i < hi; ++i) {
+    const auto cols = a.row_cols(i);
+    const auto vals = a.row_values(i);
+    bool has_ghost = false;
+    for (std::size_t p = 0; p < cols.size(); ++p) {
+      const index_t j = cols[p];
+      if (j == i && vals[p] != 0.0) {
+        blk.inv_diag[static_cast<std::size_t>(i - lo)] = 1.0 / vals[p];
+      }
+      if (j >= lo && j < hi) {
+        blk.col_code.push_back(j - lo);
+        ++blk.local_nnz;
+      } else {
+        const auto it = std::lower_bound(blk.ghost_cols.begin(),
+                                         blk.ghost_cols.end(), j);
+        const auto slot =
+            static_cast<index_t>(it - blk.ghost_cols.begin());
+        blk.col_code.push_back(BlockedCsr::ghost_code(slot));
+        ++blk.ghost_nnz;
+        has_ghost = true;
+      }
+    }
+    (has_ghost ? blk.boundary_rows : blk.interior_rows).push_back(i);
+  }
+  return blk;
+}
+
+}  // namespace
+
+BlockedCsr::BlockedCsr(const CsrMatrix& a,
+                       std::span<const index_t> block_starts) {
+  validate_block_starts(block_starts, a.num_rows());
+  num_rows_ = a.num_rows();
+  num_cols_ = a.num_cols();
+  nnz_ = a.num_nonzeros();
+  const auto num_blocks = static_cast<index_t>(block_starts.size()) - 1;
+  blocks_.resize(static_cast<std::size_t>(num_blocks));
+
+  // schedule(static,1) pins block t to thread t % num_threads — the same
+  // assignment solve_shared's parallel region uses — so first touch places
+  // each block's arrays near its relaxing thread. The fork/join edges live
+  // in uninstrumented libgomp, so hand them to TSan explicitly (the same
+  // pattern solve_shared uses around its parallel region).
+  AJAC_TSAN_RELEASE(&blocks_);
+#pragma omp parallel for schedule(static, 1)
+  for (index_t t = 0; t < num_blocks; ++t) {
+    AJAC_TSAN_ACQUIRE(&blocks_);
+    blocks_[static_cast<std::size_t>(t)] =
+        build_block(a, block_starts[t], block_starts[t + 1]);
+    AJAC_TSAN_RELEASE(&blocks_);
+  }
+  AJAC_TSAN_ACQUIRE(&blocks_);
+}
+
+CsrMatrix BlockedCsr::reassemble() const {
+  std::vector<index_t> row_ptr;
+  std::vector<index_t> col_idx;
+  std::vector<double> values;
+  row_ptr.reserve(static_cast<std::size_t>(num_rows_) + 1);
+  col_idx.reserve(static_cast<std::size_t>(nnz_));
+  values.reserve(static_cast<std::size_t>(nnz_));
+  row_ptr.push_back(0);
+  for (const Block& blk : blocks_) {
+    for (index_t r = 0; r < blk.num_rows(); ++r) {
+      const auto begin = static_cast<std::size_t>(blk.row_ptr[r]);
+      const auto end = static_cast<std::size_t>(blk.row_ptr[r + 1]);
+      for (std::size_t p = begin; p < end; ++p) {
+        const index_t code = blk.col_code[p];
+        col_idx.push_back(is_ghost(code)
+                              ? blk.ghost_cols[static_cast<std::size_t>(
+                                    ghost_slot(code))]
+                              : blk.lo + code);
+        values.push_back(blk.values[p]);
+      }
+      row_ptr.push_back(static_cast<index_t>(col_idx.size()));
+    }
+  }
+  return CsrMatrix(num_rows_, num_cols_, std::move(row_ptr),
+                   std::move(col_idx), std::move(values));
+}
+
+}  // namespace ajac

@@ -36,6 +36,20 @@ class CsrMatrix {
   }
   [[nodiscard]] std::span<double> mutable_values() noexcept { return values_; }
 
+  /// Columns and values of row i, fetched with a single pair of row_ptr
+  /// loads. Hot loops that need both spans should call row(i) once rather
+  /// than row_cols(i) + row_values(i), which reads row_ptr twice each.
+  struct RowView {
+    std::span<const index_t> cols;
+    std::span<const double> vals;
+    [[nodiscard]] std::size_t size() const noexcept { return cols.size(); }
+  };
+  [[nodiscard]] RowView row(index_t i) const {
+    const auto begin = static_cast<std::size_t>(row_ptr_[i]);
+    const auto len = static_cast<std::size_t>(row_ptr_[i + 1]) - begin;
+    return {{col_idx_.data() + begin, len}, {values_.data() + begin, len}};
+  }
+
   /// Column indices / values of row i.
   [[nodiscard]] std::span<const index_t> row_cols(index_t i) const {
     return {col_idx_.data() + row_ptr_[i],

@@ -256,6 +256,46 @@ TEST(SharedFaultDeterminism, SameSeedSameLog) {
                                           second.fault_events);
 }
 
+// The determinism contract is kernel-independent: fault decisions hash
+// logical coordinates (seed, thread, iteration, row) that both kernel
+// paths visit identically, so the blocked layer reproduces the reference
+// path's below-cap log, not merely its own.
+TEST(SharedFaultDeterminism, SameSeedSameLogBlockedKernel) {
+  const auto p = problem();
+  auto o = base_options(4);
+  o.tolerance = 0.0;
+  o.max_iterations = 48;
+  o.final_polish = false;
+  auto plan = make_plan();
+  plan->stragglers.push_back(
+      {.actor = 0, .extra_delay_us = 5.0, .period = 16, .duty = 0.5});
+  plan->stale_reads.push_back({.actor = 1, .period = 8, .duty = 0.5});
+  plan->bit_flips.push_back({.actor = -1, .probability = 0.02, .bit = -1});
+  plan->crashes.push_back({.actor = 3,
+                           .crash_iteration = 7,
+                           .dead_seconds = 1e-5,
+                           .reset_state_on_recovery = true});
+  o.fault_plan = plan;
+  o.kernel = KernelKind::kBlocked;
+  const SharedResult first = solve_shared(p.a, p.b, p.x0, o);
+  const SharedResult second = solve_shared(p.a, p.b, p.x0, o);
+  o.kernel = KernelKind::kReference;
+  const SharedResult reference = solve_shared(p.a, p.b, p.x0, o);
+  const fault::FaultLog log1 = below_cap(first.fault_events, o.max_iterations);
+  const fault::FaultLog log2 = below_cap(second.fault_events, o.max_iterations);
+  const fault::FaultLog log_ref =
+      below_cap(reference.fault_events, o.max_iterations);
+  EXPECT_FALSE(log1.empty());
+  EXPECT_EQ(log1, log2);
+  EXPECT_EQ(log1, log_ref);
+  ajac::testing::dump_fault_log_if_failed("shared_determinism_blocked_run1",
+                                          first.fault_events);
+  ajac::testing::dump_fault_log_if_failed("shared_determinism_blocked_run2",
+                                          second.fault_events);
+  ajac::testing::dump_fault_log_if_failed("shared_determinism_blocked_ref",
+                                          reference.fault_events);
+}
+
 TEST(SharedFaultDeterminism, DifferentSeedsDiverge) {
   const auto p = problem();
   auto o = base_options(4);

@@ -103,6 +103,78 @@ TEST(StressAsyncSolve, TracedSeqlockUnderPressure) {
   EXPECT_EQ(analysis.orphaned, 0);
 }
 
+TEST(StressAsyncSolve, BlockedKernelThreadSweep) {
+  // The default kernel is already Blocked; pin it explicitly so this test
+  // keeps stressing the blocked path (private mirror + ghost reads + the
+  // BlockedCsr constructor's own parallel first-touch fill) even if the
+  // default ever changes. Oversubscribed + yield maximizes interleavings
+  // of boundary-row ghost reads against neighbor commits under TSan.
+  const auto p = small_problem(43);
+  for (index_t threads : {1, 2, 4, 8}) {
+    SharedOptions so;
+    so.num_threads = threads;
+    so.kernel = KernelKind::kBlocked;
+    so.tolerance = 1e-5;
+    so.max_iterations = 200000;
+    so.record_history = false;
+    so.yield = true;
+    const SharedResult r = solve_shared(p.a, p.b, p.x0, so);
+    verify_result(p, r, so.tolerance);
+  }
+}
+
+TEST(StressAsyncSolve, ReferenceKernelStillSound) {
+  // The reference path remains the differential-testing oracle; keep it
+  // under the same TSan pressure as the blocked default.
+  const auto p = small_problem(45);
+  for (index_t threads : {2, 4}) {
+    SharedOptions so;
+    so.num_threads = threads;
+    so.kernel = KernelKind::kReference;
+    so.tolerance = 1e-5;
+    so.max_iterations = 200000;
+    so.record_history = false;
+    so.yield = true;
+    const SharedResult r = solve_shared(p.a, p.b, p.x0, so);
+    verify_result(p, r, so.tolerance);
+  }
+}
+
+TEST(StressAsyncSolve, BlockedTracedSeqlockUnderPressure) {
+  // Blocked + record_trace: ghost reads go through the versioned seqlock
+  // while local reads bypass it via the mirror; the mirror's version
+  // bookkeeping must agree with the seqlock's (analyze_trace would report
+  // orphaned reads if a mirrored version never materialized).
+  const auto p = small_problem(47);
+  SharedOptions so;
+  so.num_threads = 4;
+  so.kernel = KernelKind::kBlocked;
+  so.tolerance = 0.0;
+  so.max_iterations = 30;
+  so.record_trace = true;
+  so.record_history = false;
+  so.yield = true;
+  const SharedResult r = solve_shared(p.a, p.b, p.x0, so);
+  ASSERT_TRUE(r.trace.has_value());
+  const auto analysis = model::analyze_trace(*r.trace);
+  EXPECT_EQ(analysis.total_relaxations, r.total_relaxations);
+  EXPECT_EQ(analysis.orphaned, 0);
+}
+
+TEST(StressAsyncSolve, BlockedLocalGaussSeidelUnderPressure) {
+  const auto p = small_problem(49);
+  SharedOptions so;
+  so.num_threads = 4;
+  so.kernel = KernelKind::kBlocked;
+  so.local_gauss_seidel = true;
+  so.tolerance = 1e-5;
+  so.max_iterations = 200000;
+  so.record_history = false;
+  so.yield = true;
+  const SharedResult r = solve_shared(p.a, p.b, p.x0, so);
+  verify_result(p, r, so.tolerance);
+}
+
 TEST(StressAsyncSolve, StraggleredThreadsStillVerifyResidual) {
   const auto p = small_problem(39);
   SharedOptions so;

@@ -1,0 +1,247 @@
+// Property-based tests for the partition-aware BlockedCsr layout:
+// ~200 seeded random sparsity patterns x random (possibly degenerate)
+// contiguous partitions per property. Seeds derive from
+// ajac::testing::test_seed(), so AJAC_TEST_SEED explores fresh draws and
+// any failure names the seed that reproduces it.
+
+#include "ajac/sparse/blocked_csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "ajac/sparse/coo.hpp"
+#include "ajac/sparse/csr.hpp"
+#include "ajac/util/rng.hpp"
+#include "test_helpers.hpp"
+
+namespace ajac {
+namespace {
+
+constexpr int kCases = 200;
+
+/// Random square matrix: arbitrary sparsity (duplicates summed by the
+/// builder), diagonal entries present on a random subset of rows only —
+/// BlockedCsr must not require a full diagonal. Sizes start at n = 1 so
+/// singleton rows and 1x1 matrices are drawn regularly.
+CsrMatrix random_matrix(Rng& rng) {
+  const index_t n = 1 + static_cast<index_t>(rng.uniform_index(24));
+  CooBuilder coo(n, n);
+  const auto entries = rng.uniform_index(
+      static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n) + 1);
+  for (std::uint64_t k = 0; k < entries; ++k) {
+    coo.add(static_cast<index_t>(rng.uniform_index(n)),
+            static_cast<index_t>(rng.uniform_index(n)),
+            rng.uniform(-2.0, 2.0));
+  }
+  for (index_t i = 0; i < n; ++i) {
+    if (rng.uniform() < 0.6) coo.add(i, i, rng.uniform(0.5, 4.0));
+  }
+  return coo.to_csr();
+}
+
+/// Random contiguous block starts over [0, n]: sorted cut points with
+/// repeats allowed, so empty blocks occur all the time.
+std::vector<index_t> random_block_starts(Rng& rng, index_t n) {
+  const auto parts = 1 + rng.uniform_index(6);
+  std::vector<index_t> starts{0};
+  for (std::uint64_t p = 1; p < parts; ++p) {
+    starts.push_back(static_cast<index_t>(
+        rng.uniform_index(static_cast<std::uint64_t>(n) + 1)));
+  }
+  std::sort(starts.begin(), starts.end());
+  starts.push_back(n);
+  return starts;
+}
+
+TEST(PropBlockedCsr, ReassemblyReproducesTheOriginalExactly) {
+  for (int c = 0; c < kCases; ++c) {
+    SCOPED_TRACE(::testing::Message()
+                 << "case " << c << ", AJAC_TEST_SEED base "
+                 << ajac::testing::test_seed());
+    Rng rng(ajac::testing::test_seed(5000 + static_cast<std::uint64_t>(c)));
+    const CsrMatrix a = random_matrix(rng);
+    const auto starts = random_block_starts(rng, a.num_rows());
+    const BlockedCsr blocked(a, starts);
+    ASSERT_EQ(blocked.num_rows(), a.num_rows());
+    ASSERT_EQ(blocked.num_cols(), a.num_cols());
+    ASSERT_EQ(blocked.num_nonzeros(), a.num_nonzeros());
+    ASSERT_EQ(blocked.num_blocks(),
+              static_cast<index_t>(starts.size()) - 1);
+    // The split is lossless: decoding every (block, code) pair gives back
+    // the source matrix bit for bit, entry order included.
+    ASSERT_EQ(blocked.reassemble(), a);
+  }
+}
+
+TEST(PropBlockedCsr, InteriorRowsProvablyHaveNoGhostColumns) {
+  for (int c = 0; c < kCases; ++c) {
+    SCOPED_TRACE(::testing::Message()
+                 << "case " << c << ", AJAC_TEST_SEED base "
+                 << ajac::testing::test_seed());
+    Rng rng(ajac::testing::test_seed(6000 + static_cast<std::uint64_t>(c)));
+    const CsrMatrix a = random_matrix(rng);
+    const auto starts = random_block_starts(rng, a.num_rows());
+    const BlockedCsr blocked(a, starts);
+    for (index_t t = 0; t < blocked.num_blocks(); ++t) {
+      const auto& blk = blocked.block(t);
+      // interior + boundary is exactly the block's row range, ascending,
+      // with no row in both lists.
+      std::vector<index_t> merged;
+      std::merge(blk.interior_rows.begin(), blk.interior_rows.end(),
+                 blk.boundary_rows.begin(), blk.boundary_rows.end(),
+                 std::back_inserter(merged));
+      ASSERT_EQ(merged.size(), static_cast<std::size_t>(blk.num_rows()));
+      for (std::size_t k = 0; k < merged.size(); ++k) {
+        ASSERT_EQ(merged[k], blk.lo + static_cast<index_t>(k));
+      }
+      const auto row_has_ghost = [&](index_t i) {
+        const auto li = static_cast<std::size_t>(i - blk.lo);
+        for (index_t p = blk.row_ptr[li]; p < blk.row_ptr[li + 1]; ++p) {
+          if (BlockedCsr::is_ghost(blk.col_code[static_cast<std::size_t>(p)]))
+            return true;
+        }
+        return false;
+      };
+      for (const index_t i : blk.interior_rows) {
+        ASSERT_FALSE(row_has_ghost(i)) << "interior row " << i;
+      }
+      for (const index_t i : blk.boundary_rows) {
+        ASSERT_TRUE(row_has_ghost(i)) << "boundary row " << i;
+      }
+    }
+  }
+}
+
+TEST(PropBlockedCsr, CodesDecodeToTheOriginalColumns) {
+  for (int c = 0; c < kCases; ++c) {
+    SCOPED_TRACE(::testing::Message()
+                 << "case " << c << ", AJAC_TEST_SEED base "
+                 << ajac::testing::test_seed());
+    Rng rng(ajac::testing::test_seed(7000 + static_cast<std::uint64_t>(c)));
+    const CsrMatrix a = random_matrix(rng);
+    const auto starts = random_block_starts(rng, a.num_rows());
+    const BlockedCsr blocked(a, starts);
+    index_t local_total = 0;
+    index_t ghost_total = 0;
+    for (index_t t = 0; t < blocked.num_blocks(); ++t) {
+      const auto& blk = blocked.block(t);
+      ASSERT_TRUE(std::is_sorted(blk.ghost_cols.begin(),
+                                 blk.ghost_cols.end()));
+      ASSERT_EQ(std::adjacent_find(blk.ghost_cols.begin(),
+                                   blk.ghost_cols.end()),
+                blk.ghost_cols.end());
+      for (const index_t g : blk.ghost_cols) {
+        ASSERT_TRUE(g < blk.lo || g >= blk.hi)
+            << "ghost column " << g << " inside [" << blk.lo << ", "
+            << blk.hi << ")";
+      }
+      for (index_t i = blk.lo; i < blk.hi; ++i) {
+        const auto li = static_cast<std::size_t>(i - blk.lo);
+        const auto cols = a.row_cols(i);
+        const auto vals = a.row_values(i);
+        ASSERT_EQ(static_cast<std::size_t>(blk.row_ptr[li + 1] -
+                                           blk.row_ptr[li]),
+                  cols.size());
+        for (std::size_t p = 0; p < cols.size(); ++p) {
+          const auto bp = static_cast<std::size_t>(blk.row_ptr[li]) + p;
+          const index_t code = blk.col_code[bp];
+          const index_t decoded =
+              BlockedCsr::is_ghost(code)
+                  ? blk.ghost_cols[static_cast<std::size_t>(
+                        BlockedCsr::ghost_slot(code))]
+                  : blk.lo + code;
+          ASSERT_EQ(decoded, cols[p]) << "row " << i << " entry " << p;
+          ASSERT_EQ(blk.values[bp], vals[p]) << "row " << i << " entry " << p;
+        }
+      }
+      local_total += blk.local_nnz;
+      ghost_total += blk.ghost_nnz;
+      ASSERT_EQ(blk.local_nnz + blk.ghost_nnz,
+                blk.row_ptr[static_cast<std::size_t>(blk.num_rows())]);
+    }
+    ASSERT_EQ(local_total + ghost_total, a.num_nonzeros());
+  }
+}
+
+TEST(PropBlockedCsr, InvDiagMatchesTheStoredDiagonal) {
+  for (int c = 0; c < kCases; ++c) {
+    SCOPED_TRACE(::testing::Message()
+                 << "case " << c << ", AJAC_TEST_SEED base "
+                 << ajac::testing::test_seed());
+    Rng rng(ajac::testing::test_seed(8000 + static_cast<std::uint64_t>(c)));
+    const CsrMatrix a = random_matrix(rng);
+    const auto starts = random_block_starts(rng, a.num_rows());
+    const BlockedCsr blocked(a, starts);
+    for (index_t t = 0; t < blocked.num_blocks(); ++t) {
+      const auto& blk = blocked.block(t);
+      for (index_t i = blk.lo; i < blk.hi; ++i) {
+        const double d = a.at(i, i);
+        const double expected = d != 0.0 ? 1.0 / d : 0.0;
+        ASSERT_EQ(blk.inv_diag[static_cast<std::size_t>(i - blk.lo)],
+                  expected)
+            << "row " << i;
+      }
+    }
+  }
+}
+
+TEST(PropBlockedCsr, DegenerateShapesAreHandled) {
+  // Deterministic edge cases on top of the random sweeps: all-empty
+  // blocks, a single all-of-the-matrix block, a 1x1 matrix, and one block
+  // per row (every off-diagonal entry a ghost).
+  {
+    const CsrMatrix a = csr_identity(4);
+    const BlockedCsr blocked(a, std::vector<index_t>{0, 0, 4, 4, 4});
+    ASSERT_EQ(blocked.num_blocks(), 4);
+    EXPECT_EQ(blocked.block(0).num_rows(), 0);
+    EXPECT_EQ(blocked.block(1).num_rows(), 4);
+    EXPECT_EQ(blocked.block(2).num_rows(), 0);
+    EXPECT_EQ(blocked.block(3).num_rows(), 0);
+    EXPECT_EQ(blocked.reassemble(), a);
+    EXPECT_TRUE(blocked.block(1).boundary_rows.empty());
+  }
+  {
+    CooBuilder coo(1, 1);
+    coo.add(0, 0, 2.5);
+    const CsrMatrix a = coo.to_csr();
+    const BlockedCsr blocked(a, std::vector<index_t>{0, 1});
+    ASSERT_EQ(blocked.num_blocks(), 1);
+    EXPECT_EQ(blocked.block(0).interior_rows,
+              std::vector<index_t>{0});
+    EXPECT_EQ(blocked.block(0).inv_diag[0], 1.0 / 2.5);
+    EXPECT_EQ(blocked.reassemble(), a);
+  }
+  {
+    // Tridiagonal with one row per block: both neighbors of every interior
+    // row are ghosts, so every row with an off-diagonal entry is boundary.
+    CooBuilder coo(5, 5);
+    for (index_t i = 0; i < 5; ++i) {
+      coo.add(i, i, 2.0);
+      if (i > 0) coo.add(i, i - 1, -1.0);
+      if (i < 4) coo.add(i, i + 1, -1.0);
+    }
+    const CsrMatrix a = coo.to_csr();
+    const BlockedCsr blocked(a, std::vector<index_t>{0, 1, 2, 3, 4, 5});
+    for (index_t t = 0; t < 5; ++t) {
+      EXPECT_TRUE(blocked.block(t).interior_rows.empty());
+      EXPECT_EQ(blocked.block(t).boundary_rows,
+                std::vector<index_t>{t});
+    }
+    EXPECT_EQ(blocked.reassemble(), a);
+  }
+}
+
+TEST(PropBlockedCsr, InvalidBlockStartsAreRejected) {
+  const CsrMatrix a = csr_identity(3);
+  EXPECT_THROW(BlockedCsr(a, std::vector<index_t>{0}), std::logic_error);
+  EXPECT_THROW(BlockedCsr(a, std::vector<index_t>{1, 3}), std::logic_error);
+  EXPECT_THROW(BlockedCsr(a, std::vector<index_t>{0, 2}), std::logic_error);
+  EXPECT_THROW(BlockedCsr(a, std::vector<index_t>{0, 2, 1, 3}),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace ajac

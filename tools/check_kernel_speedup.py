@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Gate the blocked kernels' throughput from a bench_kernels JSON report.
+
+Reads a google-benchmark JSON file (produced by `bench_kernels --json ...`)
+and compares the partition-aware blocked asynchronous solve against the
+reference one on the 256x256 FD Laplacian:
+
+    BM_SolveSharedAsync/256/real_time    (KernelKind::kReference)
+    BM_SolveSharedBlocked/256/real_time  (KernelKind::kBlocked)
+
+The blocked run must reach at least --min-speedup times the reference's
+items_per_second (default 1.0: the blocked default may never be slower than
+the reference oracle). Exit status: 0 ok, 1 too slow or benchmarks missing,
+2 bad input.
+
+Usage: tools/check_kernel_speedup.py report.json [--min-speedup 1.0]
+"""
+
+import argparse
+import json
+import sys
+
+REFERENCE = "BM_SolveSharedAsync/256/real_time"
+BLOCKED = "BM_SolveSharedBlocked/256/real_time"
+
+
+def items_per_second(report: dict, name: str) -> float:
+    # With --benchmark_repetitions the report carries one entry per
+    # repetition plus aggregates; use the mean aggregate when present,
+    # otherwise the (single) plain iteration entry.
+    fallback = None
+    for bench in report.get("benchmarks", []):
+        run_name = bench.get("run_name", bench.get("name"))
+        if run_name != name:
+            continue
+        rate = bench.get("items_per_second")
+        if rate is None:
+            continue
+        if bench.get("aggregate_name") == "mean":
+            return float(rate)
+        if bench.get("run_type", "iteration") == "iteration" and fallback is None:
+            fallback = float(rate)
+    if fallback is None:
+        raise KeyError(name)
+    return fallback
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="bench_kernels --json output file")
+    parser.add_argument("--min-speedup", type=float, default=1.0,
+                        help="minimum blocked/reference throughput ratio")
+    args = parser.parse_args()
+
+    try:
+        with open(args.report, encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_kernel_speedup: cannot read {args.report}: {e}",
+              file=sys.stderr)
+        return 2
+
+    try:
+        ref = items_per_second(report, REFERENCE)
+        blk = items_per_second(report, BLOCKED)
+    except KeyError as e:
+        print(f"check_kernel_speedup: benchmark {e} missing from report "
+              f"(run bench_kernels without a filter excluding SolveShared)",
+              file=sys.stderr)
+        return 1
+
+    if ref <= 0:
+        print("check_kernel_speedup: reference items_per_second is zero",
+              file=sys.stderr)
+        return 2
+
+    speedup = blk / ref
+    verdict = "OK" if speedup >= args.min_speedup else "FAIL"
+    print(f"check_kernel_speedup: {verdict} — "
+          f"reference {ref:,.0f} items/s, blocked {blk:,.0f} items/s, "
+          f"speedup {speedup:.3f}x (floor {args.min_speedup}x)")
+    return 0 if verdict == "OK" else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

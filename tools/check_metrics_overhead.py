@@ -5,8 +5,8 @@ Reads a google-benchmark JSON file (produced by `bench_kernels --json ...`)
 and compares the metrics-enabled asynchronous solve against the disabled
 one:
 
-    BM_SolveSharedAsync/real_time         (metrics == nullptr)
-    BM_SolveSharedAsyncMetrics/real_time  (live MetricsRegistry)
+    BM_SolveSharedAsync/32/real_time         (metrics == nullptr)
+    BM_SolveSharedAsyncMetrics/32/real_time  (live MetricsRegistry)
 
 The instrumented run may be at most --max-overhead-pct slower in
 items_per_second (default 5, the CI budget; the ISSUE acceptance bound for
@@ -21,8 +21,8 @@ import argparse
 import json
 import sys
 
-BASELINE = "BM_SolveSharedAsync/real_time"
-INSTRUMENTED = "BM_SolveSharedAsyncMetrics/real_time"
+BASELINE = "BM_SolveSharedAsync/32/real_time"
+INSTRUMENTED = "BM_SolveSharedAsyncMetrics/32/real_time"
 
 
 def items_per_second(report: dict, name: str) -> float:
