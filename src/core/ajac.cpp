@@ -132,4 +132,56 @@ Solution solve_spd(const CsrMatrix& a, const Vector& b,
   return sol;
 }
 
+BatchSolution solve_batch(const CsrMatrix& a, const MultiVector& b,
+                          const MultiVector& x0, const SolveConfig& config) {
+  AJAC_CHECK(a.num_rows() == a.num_cols());
+  AJAC_CHECK(config.parallelism >= 1);
+  AJAC_CHECK_MSG(config.backend == Backend::kSharedMemory,
+                 "batched solves run on the shared-memory backend only");
+  AJAC_CHECK_MSG(config.num_rhs == b.num_cols(),
+                 "config.num_rhs must equal b.num_cols()");
+  runtime::SharedOptions opts;
+  opts.num_threads = config.parallelism;
+  opts.synchronous = config.synchronous;
+  opts.tolerance = config.tolerance;
+  opts.max_iterations = config.max_iterations;
+  opts.record_history = false;
+  opts.kernel = config.shared_kernel;
+  runtime::SharedBatchResult r = runtime::solve_shared_batch(a, b, x0, opts);
+  BatchSolution sol;
+  sol.x = std::move(r.x);
+  sol.converged = std::move(r.converged);
+  sol.rel_residual_1 = std::move(r.final_rel_residual_1);
+  sol.iterations = std::move(r.stop_iteration);
+  sol.relaxations = std::move(r.relaxations_per_column);
+  sol.seconds = r.seconds;
+  return sol;
+}
+
+BatchSolution solve_spd_batch(const CsrMatrix& a, const MultiVector& b,
+                              const SolveConfig& config) {
+  const index_t n = a.num_rows();
+  const index_t k = b.num_cols();
+  // Scale the system once; each RHS column scales by the same D^{-1/2}.
+  Vector probe(static_cast<std::size_t>(n), 0.0);
+  const CsrMatrix scaled = scale_to_unit_diagonal(a, &probe);
+  const Vector d = a.diagonal();
+  MultiVector scaled_b(n, k);
+  for (index_t i = 0; i < n; ++i) {
+    const double s = 1.0 / std::sqrt(d[static_cast<std::size_t>(i)]);
+    const double* src = b.row(i);
+    double* dst = scaled_b.row(i);
+    for (index_t c = 0; c < k; ++c) dst[c] = src[c] * s;
+  }
+  MultiVector x0(n, k);
+  BatchSolution sol = solve_batch(scaled, scaled_b, x0, config);
+  // The scaled system solves D^{1/2} x, so map back: x = D^{-1/2} y.
+  for (index_t i = 0; i < n; ++i) {
+    const double s = 1.0 / std::sqrt(d[static_cast<std::size_t>(i)]);
+    double* row = sol.x.row(i);
+    for (index_t c = 0; c < k; ++c) row[c] *= s;
+  }
+  return sol;
+}
+
 }  // namespace ajac

@@ -22,6 +22,7 @@
 #include "ajac/runtime/shared_jacobi.hpp"
 #include "ajac/solvers/stationary.hpp"
 #include "ajac/sparse/csr.hpp"
+#include "ajac/sparse/multi_vector.hpp"
 
 namespace ajac {
 
@@ -50,6 +51,11 @@ struct SolveConfig {
   /// kernels (default) or the reference kernels that read every column
   /// through the shared vector.
   runtime::KernelKind shared_kernel = runtime::KernelKind::kBlocked;
+  /// kSharedMemory: number of right-hand sides solved together. 1 runs the
+  /// single-RHS path; > 1 routes through solve_shared_batch (b must carry
+  /// exactly num_rhs columns via solve_batch), amortizing every matrix
+  /// traversal over the batch.
+  index_t num_rhs = 1;
 };
 
 struct Solution {
@@ -71,5 +77,30 @@ struct Solution {
 /// requested backend, and maps the solution back to the original scaling.
 [[nodiscard]] Solution solve_spd(const CsrMatrix& a, const Vector& b,
                                  const SolveConfig& config);
+
+/// Batched solve: everything in Solution, one entry per column.
+struct BatchSolution {
+  MultiVector x;                   ///< n x k solution batch
+  std::vector<bool> converged;     ///< per column
+  Vector rel_residual_1;           ///< per column
+  std::vector<index_t> iterations; ///< per column: verified-stop iteration
+  std::vector<index_t> relaxations;  ///< per column: active row relaxations
+  double seconds = 0.0;
+};
+
+/// Solve A x(:,c) = b(:,c) for all k columns at once on the shared-memory
+/// backend (config.num_rhs must equal b.num_cols(); other backends have no
+/// batched path). Shares each CSR traversal across the batch; see
+/// runtime::solve_shared_batch for the per-column convergence contract.
+[[nodiscard]] BatchSolution solve_batch(const CsrMatrix& a,
+                                        const MultiVector& b,
+                                        const MultiVector& x0,
+                                        const SolveConfig& config);
+
+/// Batched analogue of solve_spd: scales A to unit diagonal, solves all
+/// columns at once, and maps each column back to the original scaling.
+[[nodiscard]] BatchSolution solve_spd_batch(const CsrMatrix& a,
+                                            const MultiVector& b,
+                                            const SolveConfig& config);
 
 }  // namespace ajac

@@ -65,6 +65,7 @@ enum class Counter : std::size_t {
   kFaultEvents,         ///< fault injections observed by this actor
   kLocalReads,          ///< blocked kernel: entries read from the private mirror
   kGhostReads,          ///< blocked kernel: entries read through SharedVector
+  kLaneRelaxations,     ///< batch path: row relaxations x active columns
   kMessagesSent,        ///< distsim: puts issued (incl. dropped/duplicated)
   kMessagesReceived,    ///< distsim: puts delivered
   kMessagesDropped,     ///< distsim: puts lost to faults or dead ranks
@@ -85,6 +86,8 @@ enum class Hist : std::size_t {
   kMessageLatencyUs,   ///< distsim: network latency per issued put
   kQueueDepth,         ///< distsim: mailbox depth when the rank drains it
   kGhostReadAge,       ///< distsim: sender-iteration lag of applied ghosts
+  kBatchOccupancy,     ///< batch path: active (unconverged) columns per iteration
+  kColumnRelaxations,  ///< batch path: per-column active relaxation totals
   kCount
 };
 inline constexpr std::size_t kNumHists = static_cast<std::size_t>(Hist::kCount);

@@ -25,6 +25,7 @@
 #include "ajac/model/trace.hpp"
 #include "ajac/partition/partition.hpp"
 #include "ajac/solvers/common.hpp"
+#include "ajac/sparse/multi_vector.hpp"
 #include "ajac/sparse/types.hpp"
 
 namespace ajac {
@@ -139,5 +140,43 @@ struct SharedResult {
 [[nodiscard]] SharedResult solve_shared(const CsrMatrix& a, const Vector& b,
                                         const Vector& x0,
                                         const SharedOptions& opts);
+
+/// Result of a batched (multi-RHS) shared-memory solve. Everything that was
+/// a scalar per run in SharedResult becomes one entry per column; the
+/// columns are independent systems sharing one matrix traversal.
+struct SharedBatchResult {
+  MultiVector x;                      ///< n x k solution batch
+  double seconds = 0.0;               ///< total wall-clock
+  std::vector<bool> converged;        ///< per column, final serial check
+  Vector final_rel_residual_1;        ///< per column, computed serially
+  std::vector<index_t> stop_iteration;  ///< per column: verified-stop iteration
+  std::vector<index_t> polish_sweeps;   ///< per column (see final_polish)
+  /// Per column: row relaxations performed while the column was still
+  /// converging (frozen lanes keep riding in the SIMD unit but no longer
+  /// count as useful work).
+  std::vector<index_t> relaxations_per_column;
+  index_t total_relaxations = 0;      ///< sum of relaxations_per_column
+  std::vector<index_t> iterations_per_thread;
+  /// Injected faults in canonical order (empty without a plan); decisions
+  /// use the same (seed, thread, iteration, row) FaultClock coordinates as
+  /// the single-RHS path, one decision per row applied to all k lanes.
+  fault::FaultLog fault_events;
+};
+
+/// Run shared-memory Jacobi on k right-hand sides at once (b and x0 are
+/// n x k; column c of the result solves A x = b(:,c) from x0(:,c)). The
+/// batch shares every CSR gather across the k columns and keeps per-column
+/// convergence state: a column whose verified stop has fired is frozen
+/// (excluded from flags, commits, and the residual check) while the other
+/// columns keep iterating. In synchronous mode, and asynchronously at one
+/// thread, each column is bitwise identical to the corresponding single-RHS
+/// solve_shared run.
+///
+/// Unsupported on the batch path (checked): record_trace, record_history,
+/// and local_gauss_seidel.
+[[nodiscard]] SharedBatchResult solve_shared_batch(const CsrMatrix& a,
+                                                   const MultiVector& b,
+                                                   const MultiVector& x0,
+                                                   const SharedOptions& opts);
 
 }  // namespace ajac::runtime

@@ -1,0 +1,210 @@
+#pragma once
+// Shared value array for the *batched* asynchronous shared-memory runtime:
+// the multi-RHS analogue of SharedVector (see shared_vector.hpp for the
+// base memory-model discussion).
+//
+// Layout matches sparse::MultiVector — row-major n x k with a padded lead
+// dimension — so a relaxation of row i touches k contiguous atomic
+// doubles. Plain reads and writes stay per-lane relaxed atomics: races
+// are intended, exactly as in the scalar runtime, and each lane c is an
+// independent instance of the paper's scheme.
+//
+// The seqlock, however, is per ROW, not per element. The single-writer
+// contract of the runtime is per-row ownership, and a batched writer
+// publishes all k lanes of row i in one protected interval:
+//
+//   writer:  seq[i].store(s+1, relaxed)        // open (odd)
+//            values[i*lead + c].store(release)  for c = 0..k-1
+//            seq[i].store(s+2, release)         // close (even)
+//   reader:  s1 = seq[i].load(acquire); if (s1 odd) retry
+//            v[c] = values[i*lead + c].load(acquire)  for c = 0..k-1
+//            s2 = seq[i].load(relaxed); if (s1 != s2) retry
+//
+// One version number per row means all k columns share one version
+// stream: a versioned read returns a k-wide row snapshot tagged with the
+// single write count that produced *all* of it. That is exactly what the
+// Sec. IV trace analysis needs — the batch path relaxes all k lanes of a
+// row from one set of input reads, so "which update of row j did this
+// relaxation consume" is a per-row question, and recording it per lane
+// would add k-1 redundant counters per row while allowing the lanes of
+// one recorded read to disagree. The acquire/release choreography is the
+// per-element seqlock's (TSan-modelable, no fences), with the value
+// acquire loads collectively standing in for the read fence: any lane
+// load that observes a new value forces the trailing s2 load to observe
+// the bumped sequence number and retry.
+//
+// Concurrency contract: any number of concurrent readers; at most one
+// writer per row at a time. Rows are cache-line-aligned (base allocation
+// via CacheAlignedAllocator + lead padding for k > 1), so per-thread row
+// blocks never false-share; k = 1 keeps lead 1 and degenerates to the
+// SharedVector layout and guarantees.
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "ajac/sparse/multi_vector.hpp"
+#include "ajac/sparse/types.hpp"
+#include "ajac/util/aligned.hpp"
+#include "ajac/util/annotate.hpp"
+#include "ajac/util/check.hpp"
+
+namespace ajac::runtime {
+
+class SharedMultiVector {
+ public:
+  SharedMultiVector(index_t n, index_t k, bool traced = false)
+      : n_(n), k_(k), lead_(MultiVector::default_lead(k)), traced_(traced),
+        values_(static_cast<std::size_t>(n) * static_cast<std::size_t>(lead_)) {
+    AJAC_CHECK(n >= 0 && k >= 1);
+    if (traced_) {
+      seq_ = SeqArray(static_cast<std::size_t>(n));
+      for (auto& s : seq_) s.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  [[nodiscard]] index_t num_rows() const noexcept { return n_; }
+  [[nodiscard]] index_t num_cols() const noexcept { return k_; }
+  [[nodiscard]] bool traced() const noexcept { return traced_; }
+
+  /// Single-threaded initialization (before the solve's threads start).
+  void init(const MultiVector& x) {
+    AJAC_DBG_CHECK(x.num_rows() == n_ && x.num_cols() == k_);
+    for (index_t i = 0; i < n_; ++i) {
+      const double* xr = x.row(i);
+      std::atomic<double>* vr = row_ptr(i);
+      for (index_t c = 0; c < k_; ++c) {
+        vr[c].store(xr[c], std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Plain racy read of one lane.
+  [[nodiscard]] double read(index_t i, index_t c) const {
+    AJAC_DBG_CHECK(in_range(i) && c >= 0 && c < k_);
+    return row_ptr(i)[c].load(std::memory_order_relaxed);
+  }
+
+  /// Plain racy read of all k lanes of row i into `out`. The lanes are
+  /// read independently (relaxed), so the row may be torn across a
+  /// concurrent write — by contract that is fine on the untraced path,
+  /// just as scalar reads may interleave arbitrarily with writes.
+  void read_row(index_t i, std::span<double> out) const {
+    AJAC_DBG_CHECK(in_range(i));
+    AJAC_DBG_CHECK(out.size() == static_cast<std::size_t>(k_));
+    const std::atomic<double>* vr = row_ptr(i);
+    for (index_t c = 0; c < k_; ++c) {
+      out[static_cast<std::size_t>(c)] =
+          vr[c].load(std::memory_order_relaxed);
+    }
+  }
+
+  /// Seqlock read: all k lanes of row i as one consistent snapshot, plus
+  /// the row version that produced it. Only valid when traced. Retry
+  /// discipline matches SharedVector::read_versioned (bounded spin, then
+  /// yield); `retries` counts failed attempts for the metrics layer.
+  index_t read_row_versioned(index_t i, std::span<double> out,
+                             std::uint64_t* retries = nullptr) const {
+    AJAC_DBG_CHECK(in_range(i));
+    AJAC_DBG_CHECK(out.size() == static_cast<std::size_t>(k_));
+    AJAC_DBG_CHECK_MSG(traced_,
+                       "read_row_versioned on an untraced SharedMultiVector");
+    const auto& seq = seq_[static_cast<std::size_t>(i)];
+    const std::atomic<double>* vr = row_ptr(i);
+    for (int spins = 0;; ++spins) {
+      const std::int64_t s1 = seq.load(std::memory_order_acquire);
+      if (!(s1 & 1)) {
+        for (index_t c = 0; c < k_; ++c) {
+          out[static_cast<std::size_t>(c)] =
+              vr[c].load(std::memory_order_acquire);
+        }
+        const std::int64_t s2 = seq.load(std::memory_order_relaxed);
+        if (s1 == s2) return static_cast<index_t>(s1 / 2);
+      }
+      if (retries != nullptr) ++*retries;
+      if (spins < kSpinLimit) {
+        cpu_relax();
+      } else {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+  }
+
+  /// Publish all k lanes of row i. One seqlock interval covers the whole
+  /// row, so the row version advances once per relaxation of row i no
+  /// matter how many columns the batch carries.
+  void write_row(index_t i, std::span<const double> v) {
+    AJAC_DBG_CHECK(in_range(i));
+    AJAC_DBG_CHECK(v.size() == static_cast<std::size_t>(k_));
+    std::atomic<double>* vr = row_ptr(i);
+    if (traced_) {
+      auto& seq = seq_[static_cast<std::size_t>(i)];
+      const std::int64_t s = seq.load(std::memory_order_relaxed);
+      AJAC_DBG_CHECK_MSG(
+          !(s & 1), "concurrent writers on SharedMultiVector row " << i);
+      seq.store(s + 1, std::memory_order_relaxed);
+      for (index_t c = 0; c < k_; ++c) {
+        vr[c].store(v[static_cast<std::size_t>(c)],
+                    std::memory_order_release);
+      }
+      seq.store(s + 2, std::memory_order_release);
+    } else {
+      for (index_t c = 0; c < k_; ++c) {
+        vr[c].store(v[static_cast<std::size_t>(c)],
+                    std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Number of completed writes to row i (traced vectors only).
+  [[nodiscard]] index_t version(index_t i) const {
+    AJAC_DBG_CHECK(in_range(i));
+    AJAC_DBG_CHECK(traced_);
+    return static_cast<index_t>(
+        seq_[static_cast<std::size_t>(i)].load(std::memory_order_acquire) /
+        2);
+  }
+
+  void snapshot(MultiVector& out) const {
+    AJAC_DBG_CHECK(out.num_rows() == n_ && out.num_cols() == k_);
+    std::vector<double> row(static_cast<std::size_t>(k_));
+    for (index_t i = 0; i < n_; ++i) {
+      read_row(i, row);
+      double* orow = out.row(i);
+      for (index_t c = 0; c < k_; ++c) {
+        orow[c] = row[static_cast<std::size_t>(c)];
+      }
+    }
+  }
+
+ private:
+  static constexpr int kSpinLimit = 64;
+
+  [[nodiscard]] bool in_range(index_t i) const noexcept { return i >= 0 && i < n_; }
+
+  [[nodiscard]] std::atomic<double>* row_ptr(index_t i) {
+    return values_.data() +
+           static_cast<std::size_t>(i) * static_cast<std::size_t>(lead_);
+  }
+  [[nodiscard]] const std::atomic<double>* row_ptr(index_t i) const {
+    return values_.data() +
+           static_cast<std::size_t>(i) * static_cast<std::size_t>(lead_);
+  }
+
+  using ValueArray =
+      std::vector<std::atomic<double>, CacheAlignedAllocator<std::atomic<double>>>;
+  using SeqArray = std::vector<std::atomic<std::int64_t>,
+                               CacheAlignedAllocator<std::atomic<std::int64_t>>>;
+
+  index_t n_;
+  index_t k_;
+  index_t lead_;
+  bool traced_;
+  ValueArray values_;
+  SeqArray seq_;
+};
+
+}  // namespace ajac::runtime

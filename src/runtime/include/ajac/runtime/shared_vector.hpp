@@ -22,6 +22,20 @@
 // writer per element at a time (in the runtime each row has exactly one
 // owning thread). A second concurrent writer to the same element would
 // corrupt the seqlock protocol; debug builds assert against it.
+//
+// False sharing at block boundaries: the runtime partitions rows into
+// contiguous per-thread blocks, so the only elements two threads both
+// write are the ones on either side of a block boundary — and if those
+// land in one 64-byte cache line, the neighbouring threads ping-pong that
+// line on every relaxation even though they never write the same element.
+// Both arrays therefore use CacheAlignedAllocator: the base address is
+// line-aligned, so element 8m sits exactly on a line boundary and any
+// boundary at a multiple of 8 rows (all equal-block partitions of the
+// power-of-two bench problems) shares no lines at all; for odd-sized
+// blocks at most the single straddling line is shared, never an
+// accidental extra one from a misaligned base. SharedMultiVector gives
+// the stronger guarantee — its padded lead makes every row a whole number
+// of lines, so block boundaries (always row-granular) never share a line.
 
 #include <atomic>
 #include <cstdint>
@@ -31,6 +45,7 @@
 #include <vector>
 
 #include "ajac/sparse/types.hpp"
+#include "ajac/util/aligned.hpp"
 #include "ajac/util/annotate.hpp"
 #include "ajac/util/check.hpp"
 
@@ -41,8 +56,7 @@ class SharedVector {
   explicit SharedVector(index_t n, bool traced = false)
       : values_(static_cast<std::size_t>(n)), traced_(traced) {
     if (traced_) {
-      seq_ = std::vector<std::atomic<std::int64_t>>(
-          static_cast<std::size_t>(n));
+      seq_ = SeqArray(static_cast<std::size_t>(n));
       for (auto& s : seq_) s.store(0, std::memory_order_relaxed);
     }
   }
@@ -149,8 +163,13 @@ class SharedVector {
     return i >= 0 && static_cast<std::size_t>(i) < values_.size();
   }
 
-  std::vector<std::atomic<double>> values_;
-  std::vector<std::atomic<std::int64_t>> seq_;
+  using ValueArray =
+      std::vector<std::atomic<double>, CacheAlignedAllocator<std::atomic<double>>>;
+  using SeqArray = std::vector<std::atomic<std::int64_t>,
+                               CacheAlignedAllocator<std::atomic<std::int64_t>>>;
+
+  ValueArray values_;
+  SeqArray seq_;
   bool traced_;
 };
 

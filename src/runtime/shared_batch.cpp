@@ -1,0 +1,527 @@
+// Batched (multi-RHS) shared-memory Jacobi: k independent systems sharing
+// one matrix traversal (see solve_shared_batch in shared_jacobi.hpp).
+//
+// Control flow replicates solve_shared_impl (shared_jacobi.cpp) with every
+// per-run scalar widened to k lanes and the convergence machinery made
+// per-column: per-(thread, column) flags, a per-column verified stop, and a
+// per-column freeze. The bitwise contract — column c of a synchronous (or
+// 1-thread asynchronous) batch equals the single-RHS solve of column c —
+// rests on three invariants held throughout this file:
+//
+//   1. Per lane, every arithmetic expression (residual accumulation in CSR
+//      entry order, `x + inv_diag * r`, the ascending-row residual-norm
+//      sum, the verify scan, the polish sweep) is the scalar path's
+//      expression evaluated on the same values in the same order.
+//   2. A column freezes at exactly the iteration boundary where its
+//      single-RHS run would have exited the while loop: the verified stop
+//      of iteration m masks the column's commits from iteration m+1 on, so
+//      its x never moves again (frozen lanes keep riding in the SIMD unit,
+//      republishing identical bits).
+//   3. Frozen columns are excluded from flags, verify, and the stop
+//      decision, so the remaining columns' control flow is unaffected by
+//      how many neighbors already converged.
+
+#include <omp.h>
+#include <sched.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "ajac/obs/metrics.hpp"
+#include "ajac/runtime/blocked_kernels.hpp"
+#include "ajac/runtime/shared_jacobi.hpp"
+#include "ajac/runtime/shared_multi_vector.hpp"
+#include "ajac/sparse/blocked_csr.hpp"
+#include "ajac/sparse/csr.hpp"
+#include "ajac/sparse/multi_vector.hpp"
+#include "ajac/sparse/validate.hpp"
+#include "ajac/sparse/vector_ops.hpp"
+#include "ajac/util/annotate.hpp"
+#include "ajac/util/check.hpp"
+#include "ajac/util/timer.hpp"
+#include "solve_hooks.hpp"
+
+namespace ajac::runtime {
+
+namespace {
+
+using detail::ActiveBatchFaults;
+using detail::ActiveMetrics;
+using detail::NullBatchFaults;
+using detail::NullMetrics;
+
+template <class Faults, class Metrics, bool Blocked>
+SharedBatchResult solve_shared_batch_impl(
+    const CsrMatrix& a, const MultiVector& b, const MultiVector& x0,
+    const SharedOptions& opts, const partition::Partition& part,
+    const Vector& inv_diag, const fault::FaultPlan* plan,
+    const BlockedCsr* blocked) {
+  const index_t n = a.num_rows();
+  const index_t k = b.num_cols();
+  const auto k_sz = static_cast<std::size_t>(k);
+
+  SharedMultiVector x(n, k, /*traced=*/false);
+  SharedMultiVector r(n, k, /*traced=*/false);
+  x.init(x0);
+  MultiVector r0(n, k);
+  mv::residual(a, x0, b, r0);
+  r.init(r0);
+  // Per-column r0 norm, bitwise the scalar path's (mv::colwise_norm1 sums
+  // rows ascending, exactly vec::norm1 of the column).
+  Vector r0_norm(k_sz);
+  mv::colwise_norm1(r0, r0_norm);
+  for (double& v : r0_norm) v = v > 0.0 ? v : 1.0;
+
+  // flags[t * k + c]: thread t's stopping criterion for column c.
+  std::vector<std::atomic<int>> flags(
+      static_cast<std::size_t>(opts.num_threads) * k_sz);
+  for (auto& f : flags) f.store(0, std::memory_order_relaxed);
+  std::vector<std::atomic<int>> col_stopped(k_sz);
+  for (auto& s : col_stopped) s.store(0, std::memory_order_relaxed);
+  std::vector<std::atomic<index_t>> iter_counts(
+      static_cast<std::size_t>(opts.num_threads));
+  for (auto& c : iter_counts) c.store(0, std::memory_order_relaxed);
+  std::atomic<int> stop{0};
+
+  SharedBatchResult result;
+  result.iterations_per_thread.assign(
+      static_cast<std::size_t>(opts.num_threads), 0);
+  result.stop_iteration.assign(k_sz, 0);
+  result.relaxations_per_column.assign(k_sz, 0);
+  std::vector<std::vector<index_t>> col_relax(
+      static_cast<std::size_t>(opts.num_threads));
+  std::vector<fault::FaultLog> fault_logs(
+      static_cast<std::size_t>(opts.num_threads));
+
+  WallTimer timer;
+
+  // Fork/join happens-before edges for TSan (libgomp futexes are invisible
+  // to it); everything crossing threads inside the region is std::atomic.
+  AJAC_TSAN_RELEASE(&result);
+
+#pragma omp parallel num_threads(static_cast<int>(opts.num_threads))
+  {
+    AJAC_TSAN_ACQUIRE(&result);
+    const auto t = static_cast<index_t>(omp_get_thread_num());
+    const index_t lo = part.part_begin(t);
+    const index_t hi = part.part_end(t);
+    const index_t rows = hi - lo;
+    const double delay =
+        opts.delay_us.empty() ? 0.0
+                              : opts.delay_us[static_cast<std::size_t>(t)];
+
+    // All per-iteration scratch is sized here, before the loop: the hot
+    // path performs no allocation (satellite requirement — the per-column
+    // norm reduction in particular runs in the hoisted `norms` buffer).
+    std::vector<double> active(k_sz, 1.0);  ///< 1.0 = column still converging
+    std::vector<double> norms(k_sz, 0.0);
+    std::vector<double> acc(k_sz, 0.0);
+    std::vector<double> ghost(k_sz, 0.0);
+    std::vector<double> rrow(k_sz, 0.0);
+    std::vector<double> xrow(k_sz, 0.0);
+    auto& my_col_relax = col_relax[static_cast<std::size_t>(t)];
+    my_col_relax.assign(k_sz, 0);
+    // Relax->commit carrier for the reference kernels (batch analogue of
+    // local_r); the blocked kernels publish residual rows inline instead.
+    MultiVector local_r(Blocked ? 0 : rows, k);
+
+    Faults faults(a, x0, plan, t, lo, hi, x);
+    Metrics metrics(opts.metrics, t, timer);
+
+    [[maybe_unused]] const BlockedCsr::Block* blk = nullptr;
+    [[maybe_unused]] OwnBlockBatchState own;
+    if constexpr (Blocked) {
+      blk = &blocked->block(t);
+      refresh_own_block_batch(*blk, x, own);
+    }
+
+    // Per-column verification gate, mirroring verify_and_maybe_stop of the
+    // single-RHS path: flags rest on racy residual reads, so before a
+    // column actually stops, recompute a fresh residual of that column
+    // from the current shared x (or check the true iteration counters).
+    auto verify_column = [&](index_t c, index_t iter) {
+      bool all_at_max = true;
+      for (auto& cnt : iter_counts) {
+        if (cnt.load(std::memory_order_relaxed) < opts.max_iterations) {
+          all_at_max = false;
+          break;
+        }
+      }
+      bool tol_met = false;
+      if (!all_at_max && opts.tolerance > 0.0) {
+        double fresh = 0.0;
+        for (index_t i = 0; i < n; ++i) {
+          double row_acc = b(i, c);
+          const auto [cols, vals] = a.row(i);
+          for (std::size_t p = 0; p < cols.size(); ++p) {
+            row_acc -= vals[p] * x.read(cols[p], c);
+          }
+          fresh += std::abs(row_acc);
+        }
+        tol_met = fresh / r0_norm[static_cast<std::size_t>(c)] <=
+                  opts.tolerance;
+      }
+      if (all_at_max || tol_met) {
+        if (col_stopped[static_cast<std::size_t>(c)].exchange(
+                1, std::memory_order_relaxed) == 0) {
+          // Winner records where the column stopped; read after the join.
+          result.stop_iteration[static_cast<std::size_t>(c)] = iter;
+        }
+      }
+    };
+
+    index_t iter = 0;
+    while (stop.load(std::memory_order_relaxed) == 0) {
+      if constexpr (Metrics::enabled) metrics.iteration_begin();
+      if (delay > 0.0) {
+        spin_wait_us(delay);
+        if constexpr (Metrics::enabled) metrics.spin_wait(delay);
+      }
+      if constexpr (Faults::enabled) faults.begin_iteration(iter);
+      if constexpr (Faults::enabled && Blocked) {
+        if (faults.consume_state_reset()) refresh_own_block_batch(*blk, x, own);
+      }
+      if constexpr (Metrics::enabled) metrics.sync_faults(faults);
+
+      // Refresh the freeze mask. col_stopped only ever goes 0 -> 1, so a
+      // racy read is safe: once a thread observes a column stopped it stays
+      // stopped. In synchronous mode the stores happen before the previous
+      // iteration's closing barrier, so all threads flip the mask together
+      // — the alignment the bitwise contract needs.
+      index_t active_cols = 0;
+      for (index_t c = 0; c < k; ++c) {
+        const bool on =
+            col_stopped[static_cast<std::size_t>(c)].load(
+                std::memory_order_relaxed) == 0;
+        active[static_cast<std::size_t>(c)] = on ? 1.0 : 0.0;
+        active_cols += on ? 1 : 0;
+      }
+
+      // Step 1: batched residual on own rows from the shared (racy) x.
+      // All k lanes are computed, frozen ones included — a frozen lane
+      // recomputes its (already final) residual from a frozen column,
+      // which costs nothing extra and keeps the SIMD loop maskless.
+      if constexpr (Blocked) {
+        relax_interior_batch(*blk, a, b, own, faults, r, acc);
+        relax_boundary_batch(*blk, a, b, own, x, faults, r, acc, ghost);
+      } else {
+        for (index_t i = lo; i < hi; ++i) {
+          const auto [cols, vals] = a.row(i);
+          const double* br = b.row(i);
+          double* lr = local_r.row(i - lo);
+#pragma omp simd
+          for (index_t c = 0; c < k; ++c) lr[c] = br[c];
+          FlippedEntry flipped;
+          bool has_flip = false;
+          if constexpr (Faults::enabled) {
+            has_flip = faults.flip(i, cols, vals, flipped);
+          }
+          for (std::size_t p = 0; p < cols.size(); ++p) {
+            double aij = vals[p];
+            if constexpr (Faults::enabled) {
+              if (has_flip && flipped.entry == p) aij = flipped.value;
+            }
+            faults.read_row(x, cols[p], xrow);
+#pragma omp simd
+            for (index_t c = 0; c < k; ++c) {
+              lr[c] -= aij * xrow[static_cast<std::size_t>(c)];
+            }
+          }
+        }
+        for (index_t i = lo; i < hi; ++i) {
+          r.write_row(i, {local_r.row(i - lo), k_sz});
+        }
+      }
+      if constexpr (Metrics::enabled && Blocked) {
+        metrics.read_mix(blk->local_nnz, blk->ghost_nnz);
+      }
+
+      if (opts.synchronous) {
+#pragma omp barrier
+      }
+
+      // Step 2: correct own rows — masked per column (invariant 2).
+      if constexpr (Blocked) {
+        commit_block_batch(*blk, own, x, r, active, rrow);
+      } else {
+        for (index_t i = lo; i < hi; ++i) {
+          x.read_row(i, xrow);
+          const double* lr = local_r.row(i - lo);
+          const double inv = inv_diag[i];
+#pragma omp simd
+          for (index_t c = 0; c < k; ++c) {
+            const double nx =
+                xrow[static_cast<std::size_t>(c)] + inv * lr[c];
+            xrow[static_cast<std::size_t>(c)] =
+                active[static_cast<std::size_t>(c)] != 0.0
+                    ? nx
+                    : xrow[static_cast<std::size_t>(c)];
+          }
+          x.write_row(i, xrow);
+        }
+      }
+      ++iter;
+      iter_counts[static_cast<std::size_t>(t)].store(
+          iter, std::memory_order_relaxed);
+      for (index_t c = 0; c < k; ++c) {
+        if (active[static_cast<std::size_t>(c)] != 0.0) {
+          my_col_relax[static_cast<std::size_t>(c)] += rows;
+        }
+      }
+      if constexpr (Metrics::enabled) {
+        metrics.batch_iteration(rows, active_cols);
+      }
+
+      // Step 3: per-column convergence check — the whole shared residual,
+      // racy reads, accumulated column-blocked into the hoisted `norms`
+      // buffer (rows ascending per column, bitwise the scalar scan).
+      if constexpr (Metrics::enabled) metrics.residual_check_begin();
+      std::fill(norms.begin(), norms.end(), 0.0);
+      for (index_t i = 0; i < n; ++i) {
+        r.read_row(i, rrow);
+#pragma omp simd
+        for (index_t c = 0; c < k; ++c) {
+          norms[static_cast<std::size_t>(c)] +=
+              std::abs(rrow[static_cast<std::size_t>(c)]);
+        }
+      }
+      if constexpr (Metrics::enabled) metrics.residual_check_end();
+
+      bool my_all_done = true;
+      for (index_t c = 0; c < k; ++c) {
+        if (active[static_cast<std::size_t>(c)] == 0.0) continue;
+        const double rel =
+            norms[static_cast<std::size_t>(c)] /
+            r0_norm[static_cast<std::size_t>(c)];
+        const bool my_done =
+            (opts.tolerance > 0.0 && rel <= opts.tolerance) ||
+            iter >= opts.max_iterations;
+        flags[static_cast<std::size_t>(t) * k_sz +
+              static_cast<std::size_t>(c)]
+            .store(my_done ? 1 : 0, std::memory_order_relaxed);
+        my_all_done = my_all_done && my_done;
+      }
+      if constexpr (Metrics::enabled) {
+        if (active_cols > 0) metrics.flag_update(my_all_done, iter);
+      }
+
+      if (opts.synchronous) {
+#pragma omp barrier
+      }
+      for (index_t c = 0; c < k; ++c) {
+        if (col_stopped[static_cast<std::size_t>(c)].load(
+                std::memory_order_relaxed) != 0) {
+          continue;
+        }
+        int done_count = 0;
+        for (index_t tt = 0; tt < opts.num_threads; ++tt) {
+          done_count += flags[static_cast<std::size_t>(tt) * k_sz +
+                              static_cast<std::size_t>(c)]
+                            .load(std::memory_order_relaxed);
+        }
+        if (done_count == static_cast<int>(opts.num_threads)) {
+          verify_column(c, iter);
+        }
+      }
+      index_t stopped = 0;
+      for (auto& s : col_stopped) {
+        stopped += s.load(std::memory_order_relaxed) != 0 ? 1 : 0;
+      }
+      if (stopped == k && stop.exchange(1, std::memory_order_relaxed) == 0) {
+        if constexpr (Metrics::enabled) metrics.stop_decided();
+      }
+      if (opts.synchronous) {
+        // Keep lockstep: every thread must pass the same number of
+        // barriers, and all see the verified stop decisions together.
+#pragma omp barrier
+      }
+      if constexpr (Metrics::enabled) metrics.iteration_end(iter - 1, rows);
+      if (opts.yield && stop.load(std::memory_order_relaxed) == 0) {
+        sched_yield();
+      }
+    }
+    result.iterations_per_thread[static_cast<std::size_t>(t)] = iter;
+    if constexpr (Faults::enabled) {
+      fault_logs[static_cast<std::size_t>(t)] = faults.take_log();
+    }
+    AJAC_TSAN_RELEASE(&result);
+  }
+  AJAC_TSAN_ACQUIRE(&result);
+
+  result.seconds = timer.seconds();
+  result.x = MultiVector(n, k);
+  x.snapshot(result.x);
+
+  // Per-column serial verification + polish, each column exactly the
+  // single-RHS epilogue on its extracted column (invariant 1).
+  result.converged.assign(k_sz, false);
+  result.final_rel_residual_1.assign(k_sz, 0.0);
+  result.polish_sweeps.assign(k_sz, 0);
+  [[maybe_unused]] double polish_t0_us = 0.0;
+  if constexpr (Metrics::enabled) polish_t0_us = timer.seconds() * 1e6;
+  index_t total_polish = 0;
+  for (index_t c = 0; c < k; ++c) {
+    const auto cs = static_cast<std::size_t>(c);
+    Vector xc = result.x.column(c);
+    const Vector bc = b.column(c);
+    Vector final_r(static_cast<std::size_t>(n));
+    a.residual(xc, bc, final_r);
+    double rel = vec::norm1(final_r) / r0_norm[cs];
+    if (opts.final_polish && opts.tolerance > 0.0 && rel > opts.tolerance) {
+      const index_t polish_cap = 20 * opts.num_threads + 200;
+      index_t sweeps = 0;
+      while (sweeps < polish_cap && rel > opts.tolerance) {
+        for (index_t i = 0; i < n; ++i) {
+          xc[static_cast<std::size_t>(i)] += inv_diag[i] * final_r[i];
+        }
+        a.residual(xc, bc, final_r);
+        rel = vec::norm1(final_r) / r0_norm[cs];
+        ++sweeps;
+      }
+      result.polish_sweeps[cs] = sweeps;
+      total_polish += sweeps;
+      result.x.set_column(c, xc);
+    }
+    result.final_rel_residual_1[cs] = rel;
+    result.converged[cs] = opts.tolerance > 0.0 && rel <= opts.tolerance;
+  }
+  if constexpr (Metrics::enabled) {
+    obs::ActorSlot& slot0 = opts.metrics->actor(0);
+    if (total_polish > 0) {
+      slot0.add(obs::Counter::kPolishSweeps,
+                static_cast<std::uint64_t>(total_polish));
+      slot0.span(obs::TraceKind::kPolish, polish_t0_us,
+                 timer.seconds() * 1e6, total_polish);
+    }
+    slot0.span(obs::TraceKind::kSolve, 0.0, timer.seconds() * 1e6);
+  }
+
+  for (index_t c = 0; c < k; ++c) {
+    index_t sum = 0;
+    for (index_t t = 0; t < opts.num_threads; ++t) {
+      sum += col_relax[static_cast<std::size_t>(t)][static_cast<std::size_t>(c)];
+    }
+    result.relaxations_per_column[static_cast<std::size_t>(c)] = sum;
+    result.total_relaxations += sum;
+    if constexpr (Metrics::enabled) {
+      opts.metrics->actor(0).record(obs::Hist::kColumnRelaxations,
+                                    static_cast<std::uint64_t>(sum));
+    }
+  }
+
+  if constexpr (Faults::enabled) {
+    for (auto& log : fault_logs) {
+      result.fault_events.insert(result.fault_events.end(), log.begin(),
+                                 log.end());
+    }
+    fault::canonicalize(result.fault_events);
+  }
+  return result;
+}
+
+/// Fold the runtime kernel choice into the compile-time Blocked flag, so
+/// the faults/metrics dispatch below stays a flat 2x2.
+template <class Faults, class Metrics>
+SharedBatchResult dispatch_batch_kernel(
+    const CsrMatrix& a, const MultiVector& b, const MultiVector& x0,
+    const SharedOptions& opts, const partition::Partition& part,
+    const Vector& inv_diag, const fault::FaultPlan* plan,
+    const BlockedCsr* blocked) {
+  if (blocked != nullptr) {
+    return solve_shared_batch_impl<Faults, Metrics, true>(
+        a, b, x0, opts, part, inv_diag, plan, blocked);
+  }
+  return solve_shared_batch_impl<Faults, Metrics, false>(
+      a, b, x0, opts, part, inv_diag, plan, nullptr);
+}
+
+}  // namespace
+
+SharedBatchResult solve_shared_batch(const CsrMatrix& a, const MultiVector& b,
+                                     const MultiVector& x0,
+                                     const SharedOptions& opts) {
+  AJAC_CHECK(a.num_rows() == a.num_cols());
+  const index_t n = a.num_rows();
+  AJAC_CHECK(b.num_rows() == n && x0.num_rows() == n);
+  AJAC_CHECK(b.num_cols() >= 1);
+  AJAC_CHECK_MSG(b.num_cols() == x0.num_cols(),
+                 "b and x0 must carry the same number of columns");
+  AJAC_CHECK(opts.num_threads >= 1);
+  AJAC_CHECK(opts.max_iterations >= 1);
+  if (!opts.delay_us.empty()) {
+    AJAC_CHECK(opts.delay_us.size() ==
+               static_cast<std::size_t>(opts.num_threads));
+  }
+  AJAC_CHECK_MSG(!opts.record_trace,
+                 "read-version traces are single-RHS only (the batch seqlock "
+                 "is per row; use solve_shared for Sec. IV trace runs)");
+  AJAC_CHECK_MSG(!opts.record_history,
+                 "per-thread residual histories are single-RHS only; batch "
+                 "runs report per-column results instead");
+  AJAC_CHECK_MSG(!opts.local_gauss_seidel,
+                 "the in-place local sweep has no batched kernel");
+
+  const partition::Partition part =
+      opts.partition.value_or(partition::contiguous_partition(
+          n, opts.num_threads));
+  AJAC_CHECK(part.num_parts() == opts.num_threads);
+  AJAC_CHECK(part.num_rows() == n);
+
+  AJAC_DBG_VALIDATE(validate::csr_structure(
+      a, {.require_sorted_rows = true, .require_diagonal = true,
+          .require_finite = true, .require_square = true}));
+  AJAC_DBG_VALIDATE(partition::validate(part, n));
+  AJAC_DBG_VALIDATE(validate::finite(b.raw(), "b"));
+  AJAC_DBG_VALIDATE(validate::finite(x0.raw(), "x0"));
+
+  Vector inv_diag = a.diagonal();
+  for (index_t i = 0; i < n; ++i) {
+    AJAC_CHECK_MSG(inv_diag[i] != 0.0, "zero diagonal at row " << i);
+    inv_diag[i] = 1.0 / inv_diag[i];
+  }
+
+  const fault::FaultPlan* plan =
+      opts.fault_plan && !opts.fault_plan->empty() ? opts.fault_plan.get()
+                                                   : nullptr;
+  if (plan != nullptr) {
+    AJAC_CHECK_MSG(!opts.synchronous,
+                   "fault injection targets the asynchronous runtime (the "
+                   "synchronous barriers serialize every fault away)");
+    plan->validate(opts.num_threads);
+  }
+
+  obs::MetricsRegistry* metrics = opts.metrics;
+  if (metrics != nullptr) {
+    metrics->set_actor_kind("thread");
+    metrics->reset(opts.num_threads,
+                   static_cast<std::size_t>(opts.max_iterations) + 64);
+  }
+
+  std::optional<BlockedCsr> blocked_a;
+  if (opts.kernel == KernelKind::kBlocked) {
+    blocked_a.emplace(a, std::span<const index_t>(part.block_starts));
+  }
+  const BlockedCsr* blocked = blocked_a ? &*blocked_a : nullptr;
+
+  if (plan != nullptr && metrics != nullptr) {
+    return dispatch_batch_kernel<ActiveBatchFaults, ActiveMetrics>(
+        a, b, x0, opts, part, inv_diag, plan, blocked);
+  }
+  if (plan != nullptr) {
+    return dispatch_batch_kernel<ActiveBatchFaults, NullMetrics>(
+        a, b, x0, opts, part, inv_diag, plan, blocked);
+  }
+  if (metrics != nullptr) {
+    return dispatch_batch_kernel<NullBatchFaults, ActiveMetrics>(
+        a, b, x0, opts, part, inv_diag, nullptr, blocked);
+  }
+  return dispatch_batch_kernel<NullBatchFaults, NullMetrics>(
+      a, b, x0, opts, part, inv_diag, nullptr, blocked);
+}
+
+}  // namespace ajac::runtime

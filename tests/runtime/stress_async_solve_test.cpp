@@ -18,6 +18,7 @@
 #include "ajac/gen/problem.hpp"
 #include "ajac/model/trace.hpp"
 #include "ajac/sparse/csr.hpp"
+#include "ajac/sparse/multi_vector.hpp"
 #include "ajac/sparse/vector_ops.hpp"
 #include "test_helpers.hpp"
 
@@ -185,6 +186,53 @@ TEST(StressAsyncSolve, StraggleredThreadsStillVerifyResidual) {
   so.delay_us = {120.0, 0.0, 60.0, 0.0};  // two stragglers
   const SharedResult r = solve_shared(p.a, p.b, p.x0, so);
   verify_result(p, r, so.tolerance);
+}
+
+TEST(StressAsyncSolve, BatchSolveThreadSweep) {
+  // Batched multi-RHS path under TSan pressure: the per-row seqlock of
+  // SharedMultiVector publishes whole k-wide rows while neighbors read
+  // them racily, and per-column verified stops flip at different times —
+  // the interleavings the scalar stress tests cannot reach. Verifies each
+  // column's postcondition like verify_result does for scalars.
+  const auto p = small_problem(51);
+  const index_t n = p.a.num_rows();
+  const index_t k = 4;
+  MultiVector b(n, k);
+  MultiVector x0(n, k);
+  for (index_t c = 0; c < k; ++c) {
+    // Distinct per-column scalings so columns freeze at different
+    // iterations (column convergence is scale-invariant only in exact
+    // arithmetic; the offsets also shift x0 relative to the solution).
+    const double s = 1.0 + 0.5 * static_cast<double>(c);
+    for (index_t i = 0; i < n; ++i) {
+      b(i, c) = s * p.b[static_cast<std::size_t>(i)];
+      x0(i, c) = p.x0[static_cast<std::size_t>(i)] / s;
+    }
+  }
+  Vector r0(p.b.size());
+  for (index_t threads : {1, 2, 4, 8}) {
+    for (const bool synchronous : {false, true}) {
+      SharedOptions so;
+      so.num_threads = threads;
+      so.synchronous = synchronous;
+      so.tolerance = 1e-5;
+      so.max_iterations = synchronous ? 20000 : 200000;
+      so.record_history = false;
+      so.yield = true;
+      const SharedBatchResult r = solve_shared_batch(p.a, b, x0, so);
+      for (index_t c = 0; c < k; ++c) {
+        SCOPED_TRACE(::testing::Message()
+                     << threads << " threads, sync=" << synchronous
+                     << ", column " << c << ", AJAC_TEST_SEED="
+                     << ajac::testing::test_seed());
+        EXPECT_TRUE(r.converged[static_cast<std::size_t>(c)]);
+        Vector res(p.b.size());
+        p.a.residual(r.x.column(c), b.column(c), res);
+        p.a.residual(x0.column(c), b.column(c), r0);
+        EXPECT_LE(vec::norm1(res) / vec::norm1(r0), so.tolerance * 1.5);
+      }
+    }
+  }
 }
 
 TEST(StressAsyncSolve, BackToBackSolvesReuseThreadPool) {

@@ -1,0 +1,217 @@
+// Concurrency stress harness for SharedMultiVector's per-ROW seqlock
+// (designed to run under ThreadSanitizer: `ctest --preset tsan`).
+//
+// The per-row seqlock's claim is stronger than the scalar SharedVector's:
+// read_row_versioned must return all k lanes of a row as one consistent
+// snapshot — every lane from the *same* write — paired with the version of
+// that write. The harness encodes (row, version, lane) into every written
+// value, so a snapshot mixing lanes from two writes, or pairing a snapshot
+// with the wrong version, decodes to a mismatch and fails loudly. The
+// untraced path promises less (per-lane relaxed atomics may tear across a
+// concurrent write) and is checked for exactly that weaker contract: each
+// lane individually is some committed value of that (row, lane).
+//
+// Intensity is tunable via AJAC_STRESS_ITERS (writes per row per writer).
+
+#include "ajac/runtime/shared_multi_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "ajac/sparse/multi_vector.hpp"
+#include "ajac/util/rng.hpp"
+
+namespace ajac::runtime {
+namespace {
+
+index_t stress_iters(index_t dflt) {
+  if (const char* env = std::getenv("AJAC_STRESS_ITERS")) {
+    const long v = std::atol(env);
+    // Upper bound keeps encode() exactly representable in a double.
+    if (v > 0) return static_cast<index_t>(std::min(v, 1000000L));
+  }
+  return dflt;
+}
+
+/// Value written to lane c of row i at version v: decodable, and exactly
+/// representable in a double for all stress sizes (< 2^53).
+double encode(index_t row, index_t version, index_t lane) {
+  return static_cast<double>((row * 1048576 + version) * 16 + lane);
+}
+
+void maybe_yield(Rng& rng) {
+  if (rng.uniform_index(64) == 0) std::this_thread::yield();
+}
+
+void init_rows(SharedMultiVector& v, index_t n, index_t k) {
+  MultiVector x0(n, k);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t c = 0; c < k; ++c) x0(i, c) = encode(i, 0, c);
+  }
+  v.init(x0);
+}
+
+TEST(StressSharedMultiVector, RowSnapshotsNeverMixWrites) {
+  constexpr index_t kRows = 6;
+  constexpr index_t kLanes = 8;
+  const index_t kWrites = stress_iters(2000);
+  constexpr int kReaders = 3;
+
+  SharedMultiVector v(kRows, kLanes, /*traced=*/true);
+  init_rows(v, kRows, kLanes);
+
+  std::atomic<bool> stop{false};
+  std::atomic<index_t> torn{0};
+
+  // Single writer sweeps all rows (single-writer-per-row contract);
+  // readers hammer versioned row snapshots concurrently.
+  std::thread writer([&] {
+    Rng rng(42);
+    std::vector<double> row(kLanes);
+    for (index_t w = 1; w <= kWrites; ++w) {
+      for (index_t i = 0; i < kRows; ++i) {
+        for (index_t c = 0; c < kLanes; ++c) {
+          row[static_cast<std::size_t>(c)] = encode(i, w, c);
+        }
+        v.write_row(i, row);
+        maybe_yield(rng);
+      }
+    }
+    stop.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::thread> readers;
+  for (int rdr = 0; rdr < kReaders; ++rdr) {
+    readers.emplace_back([&, rdr] {
+      Rng rng(1000 + static_cast<std::uint64_t>(rdr));
+      std::vector<double> snap(kLanes);
+      while (!stop.load(std::memory_order_acquire)) {
+        const auto i = static_cast<index_t>(rng.uniform_index(kRows));
+        const index_t version = v.read_row_versioned(i, snap);
+        for (index_t c = 0; c < kLanes; ++c) {
+          if (snap[static_cast<std::size_t>(c)] != encode(i, version, c)) {
+            torn.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        maybe_yield(rng);
+      }
+    });
+  }
+
+  writer.join();
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(torn.load(), 0);
+  std::vector<double> snap(kLanes);
+  for (index_t i = 0; i < kRows; ++i) {
+    EXPECT_EQ(v.version(i), kWrites);
+    EXPECT_EQ(v.read_row_versioned(i, snap), kWrites);
+    for (index_t c = 0; c < kLanes; ++c) {
+      EXPECT_EQ(snap[static_cast<std::size_t>(c)], encode(i, kWrites, c));
+    }
+  }
+}
+
+TEST(StressSharedMultiVector, ManyWritersDistinctRows) {
+  // The runtime's actual sharing pattern: each thread owns a contiguous
+  // row block, publishes whole rows of its block, and snapshot-reads
+  // anyone's rows (its neighbors' boundary rows in the real solver).
+  constexpr index_t kPerThread = 3;
+  constexpr int kThreads = 4;
+  constexpr index_t kRows = kPerThread * kThreads;
+  constexpr index_t kLanes = 4;
+  const index_t kWrites = stress_iters(2000);
+
+  SharedMultiVector v(kRows, kLanes, /*traced=*/true);
+  init_rows(v, kRows, kLanes);
+
+  std::atomic<index_t> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(7 + static_cast<std::uint64_t>(t));
+      const index_t lo = t * kPerThread;
+      std::vector<double> row(kLanes);
+      std::vector<double> snap(kLanes);
+      for (index_t w = 1; w <= kWrites; ++w) {
+        for (index_t i = lo; i < lo + kPerThread; ++i) {
+          for (index_t c = 0; c < kLanes; ++c) {
+            row[static_cast<std::size_t>(c)] = encode(i, w, c);
+          }
+          v.write_row(i, row);
+        }
+        const auto j = static_cast<index_t>(rng.uniform_index(kRows));
+        const index_t version = v.read_row_versioned(j, snap);
+        for (index_t c = 0; c < kLanes; ++c) {
+          if (snap[static_cast<std::size_t>(c)] != encode(j, version, c)) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        maybe_yield(rng);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  for (index_t i = 0; i < kRows; ++i) {
+    EXPECT_EQ(v.version(i), kWrites);
+  }
+}
+
+TEST(StressSharedMultiVector, UntracedRowReadsSeeOnlyCommittedLanes) {
+  // The solver's hot path: no seqlock, per-lane relaxed atomics. A row
+  // read may tear across a concurrent write_row, but each lane must still
+  // be some value actually written to that (row, lane).
+  constexpr index_t kRows = 3;
+  constexpr index_t kLanes = 4;
+  const index_t kWrites = stress_iters(5000);
+
+  SharedMultiVector v(kRows, kLanes, /*traced=*/false);
+  init_rows(v, kRows, kLanes);
+
+  std::atomic<bool> stop{false};
+  std::atomic<index_t> bad{0};
+  std::thread writer([&] {
+    std::vector<double> row(kLanes);
+    for (index_t w = 1; w <= kWrites; ++w) {
+      for (index_t i = 0; i < kRows; ++i) {
+        for (index_t c = 0; c < kLanes; ++c) {
+          row[static_cast<std::size_t>(c)] = encode(i, w, c);
+        }
+        v.write_row(i, row);
+      }
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  std::thread reader([&] {
+    Rng rng(99);
+    std::vector<double> snap(kLanes);
+    while (!stop.load(std::memory_order_acquire)) {
+      const auto i = static_cast<index_t>(rng.uniform_index(kRows));
+      v.read_row(i, snap);
+      for (index_t c = 0; c < kLanes; ++c) {
+        const auto decoded =
+            static_cast<index_t>(snap[static_cast<std::size_t>(c)]);
+        const index_t lane = decoded % 16;
+        const index_t version = (decoded / 16) % 1048576;
+        const index_t row_id = decoded / 16 / 1048576;
+        if (lane != c || row_id != i || version > kWrites) {
+          bad.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      maybe_yield(rng);
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_EQ(bad.load(), 0);
+}
+
+}  // namespace
+}  // namespace ajac::runtime

@@ -10,14 +10,19 @@ reference one on the 256x256 FD Laplacian:
 
 The blocked run must reach at least --min-speedup times the reference's
 items_per_second (default 1.0: the blocked default may never be slower than
-the reference oracle). Exit status: 0 ok, 1 too slow or benchmarks missing,
-2 bad input.
+the reference oracle), minus a small noise allowance. Throughput comes from
+the *median* over --benchmark_repetitions, not the mean — on shared CI
+runners a single descheduled repetition drags the mean far below steady
+state, while the median shrugs it off — and --noise-tolerance-pct (default
+3) relaxes the floor by the residual run-to-run jitter two medians still
+carry. Exit status: 0 ok, 1 too slow or benchmarks missing, 2 bad input.
 
 Usage: tools/check_kernel_speedup.py report.json [--min-speedup 1.0]
 """
 
 import argparse
 import json
+import statistics
 import sys
 
 REFERENCE = "BM_SolveSharedAsync/256/real_time"
@@ -26,9 +31,10 @@ BLOCKED = "BM_SolveSharedBlocked/256/real_time"
 
 def items_per_second(report: dict, name: str) -> float:
     # With --benchmark_repetitions the report carries one entry per
-    # repetition plus aggregates; use the mean aggregate when present,
-    # otherwise the (single) plain iteration entry.
-    fallback = None
+    # repetition plus aggregates. Prefer the median aggregate; otherwise
+    # compute the median of the repetition entries ourselves (also covers
+    # the single-run case, where the median of one value is that value).
+    rates = []
     for bench in report.get("benchmarks", []):
         run_name = bench.get("run_name", bench.get("name"))
         if run_name != name:
@@ -36,13 +42,13 @@ def items_per_second(report: dict, name: str) -> float:
         rate = bench.get("items_per_second")
         if rate is None:
             continue
-        if bench.get("aggregate_name") == "mean":
+        if bench.get("aggregate_name") == "median":
             return float(rate)
-        if bench.get("run_type", "iteration") == "iteration" and fallback is None:
-            fallback = float(rate)
-    if fallback is None:
+        if bench.get("run_type", "iteration") == "iteration":
+            rates.append(float(rate))
+    if not rates:
         raise KeyError(name)
-    return fallback
+    return statistics.median(rates)
 
 
 def main() -> int:
@@ -50,6 +56,9 @@ def main() -> int:
     parser.add_argument("report", help="bench_kernels --json output file")
     parser.add_argument("--min-speedup", type=float, default=1.0,
                         help="minimum blocked/reference throughput ratio")
+    parser.add_argument("--noise-tolerance-pct", type=float, default=3.0,
+                        help="run-to-run jitter allowance subtracted from "
+                             "the floor, in percent")
     args = parser.parse_args()
 
     try:
@@ -75,10 +84,12 @@ def main() -> int:
         return 2
 
     speedup = blk / ref
-    verdict = "OK" if speedup >= args.min_speedup else "FAIL"
+    floor = args.min_speedup * (1.0 - args.noise_tolerance_pct / 100.0)
+    verdict = "OK" if speedup >= floor else "FAIL"
     print(f"check_kernel_speedup: {verdict} — "
           f"reference {ref:,.0f} items/s, blocked {blk:,.0f} items/s, "
-          f"speedup {speedup:.3f}x (floor {args.min_speedup}x)")
+          f"speedup {speedup:.3f}x (floor {args.min_speedup}x "
+          f"- {args.noise_tolerance_pct}% noise = {floor:.3f}x)")
     return 0 if verdict == "OK" else 1
 
 

@@ -2,16 +2,21 @@
 """Gate the observability layer's overhead from a bench_kernels JSON report.
 
 Reads a google-benchmark JSON file (produced by `bench_kernels --json ...`)
-and compares the metrics-enabled asynchronous solve against the disabled
-one:
+and compares each metrics-enabled solve against its disabled twin:
 
     BM_SolveSharedAsync/32/real_time         (metrics == nullptr)
     BM_SolveSharedAsyncMetrics/32/real_time  (live MetricsRegistry)
 
-The instrumented run may be at most --max-overhead-pct slower in
+    BM_SolveSharedBatchMetricsOff/real_time  (k=8 batch, metrics == nullptr)
+    BM_SolveSharedBatchMetrics/real_time     (k=8 batch, live registry)
+
+Each instrumented run may be at most --max-overhead-pct slower in
 items_per_second (default 5, the CI budget; the ISSUE acceptance bound for
 a null registry is 2 — pass --max-overhead-pct 2 against a pair of runs
-that both use metrics == nullptr to check that claim). Exit status: 0 ok,
+that both use metrics == nullptr to check that claim). The batch pair is
+checked only when present in the report, so the gate still works on older
+baselines. Throughput is the median over --benchmark_repetitions (see
+check_kernel_speedup.py for why median, not mean). Exit status: 0 ok,
 1 over budget or benchmarks missing, 2 bad input.
 
 Usage: tools/check_metrics_overhead.py report.json [--max-overhead-pct 5]
@@ -19,17 +24,23 @@ Usage: tools/check_metrics_overhead.py report.json [--max-overhead-pct 5]
 
 import argparse
 import json
+import statistics
 import sys
 
-BASELINE = "BM_SolveSharedAsync/32/real_time"
-INSTRUMENTED = "BM_SolveSharedAsyncMetrics/32/real_time"
+PAIRS = [
+    ("scalar", "BM_SolveSharedAsync/32/real_time",
+     "BM_SolveSharedAsyncMetrics/32/real_time", True),
+    ("batch k=8", "BM_SolveSharedBatchMetricsOff/real_time",
+     "BM_SolveSharedBatchMetrics/real_time", False),
+]
 
 
 def items_per_second(report: dict, name: str) -> float:
     # With --benchmark_repetitions the report carries one entry per
-    # repetition plus aggregates; use the mean aggregate when present,
-    # otherwise the (single) plain iteration entry.
-    fallback = None
+    # repetition plus aggregates. Prefer the median aggregate; otherwise
+    # compute the median of the repetition entries ourselves (also covers
+    # the single-run case).
+    rates = []
     for bench in report.get("benchmarks", []):
         run_name = bench.get("run_name", bench.get("name"))
         if run_name != name:
@@ -37,13 +48,13 @@ def items_per_second(report: dict, name: str) -> float:
         rate = bench.get("items_per_second")
         if rate is None:
             continue
-        if bench.get("aggregate_name") == "mean":
+        if bench.get("aggregate_name") == "median":
             return float(rate)
-        if bench.get("run_type", "iteration") == "iteration" and fallback is None:
-            fallback = float(rate)
-    if fallback is None:
+        if bench.get("run_type", "iteration") == "iteration":
+            rates.append(float(rate))
+    if not rates:
         raise KeyError(name)
-    return fallback
+    return statistics.median(rates)
 
 
 def main() -> int:
@@ -61,26 +72,35 @@ def main() -> int:
               file=sys.stderr)
         return 2
 
-    try:
-        base = items_per_second(report, BASELINE)
-        inst = items_per_second(report, INSTRUMENTED)
-    except KeyError as e:
-        print(f"check_metrics_overhead: benchmark {e} missing from report "
-              f"(run bench_kernels without a filter excluding SolveShared)",
-              file=sys.stderr)
-        return 1
+    status = 0
+    for label, baseline, instrumented, required in PAIRS:
+        try:
+            base = items_per_second(report, baseline)
+            inst = items_per_second(report, instrumented)
+        except KeyError as e:
+            if not required:
+                print(f"check_metrics_overhead: {label} pair absent "
+                      f"({e} not in report), skipping")
+                continue
+            print(f"check_metrics_overhead: benchmark {e} missing from "
+                  f"report (run bench_kernels without a filter excluding "
+                  f"SolveShared)", file=sys.stderr)
+            return 1
 
-    if base <= 0:
-        print("check_metrics_overhead: baseline items_per_second is zero",
-              file=sys.stderr)
-        return 2
+        if base <= 0:
+            print(f"check_metrics_overhead: {label} baseline "
+                  f"items_per_second is zero", file=sys.stderr)
+            return 2
 
-    overhead_pct = (base - inst) / base * 100.0
-    verdict = "OK" if overhead_pct <= args.max_overhead_pct else "FAIL"
-    print(f"check_metrics_overhead: {verdict} — "
-          f"disabled {base:,.0f} items/s, enabled {inst:,.0f} items/s, "
-          f"overhead {overhead_pct:+.2f}% (budget {args.max_overhead_pct}%)")
-    return 0 if verdict == "OK" else 1
+        overhead_pct = (base - inst) / base * 100.0
+        verdict = "OK" if overhead_pct <= args.max_overhead_pct else "FAIL"
+        print(f"check_metrics_overhead: {verdict} [{label}] — "
+              f"disabled {base:,.0f} items/s, enabled {inst:,.0f} items/s, "
+              f"overhead {overhead_pct:+.2f}% "
+              f"(budget {args.max_overhead_pct}%)")
+        if verdict != "OK":
+            status = 1
+    return status
 
 
 if __name__ == "__main__":

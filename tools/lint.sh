@@ -114,6 +114,7 @@ fi
 # entry-point TU.
 ENTRY_POINTS=(
   src/runtime/shared_jacobi.cpp
+  src/runtime/shared_batch.cpp
   src/solvers/stationary.cpp
   src/solvers/krylov.cpp
   src/distsim/dist_jacobi.cpp
