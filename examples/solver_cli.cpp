@@ -1,6 +1,6 @@
 // solver_cli: a command-line driver over the full public API.
 //
-//   ./examples/solver_cli --matrix fd:128x128 --backend distsim \
+//   ./examples/solver_cli --matrix fd:128x128 --backend distsim
 //       --parallelism 64 --tolerance 1e-8 --history out.csv
 //
 // Matrices come from a Matrix Market file (`--matrix path.mtx`), the

@@ -211,6 +211,8 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
     metrics->reset(num_procs,
                    static_cast<std::size_t>(opts.max_iterations) + 64);
   }
+  // The simulation runs on a single thread, which therefore holds every
+  // rank's SoleWriterRole; call sites bind the slot and claim it.
   auto slot = [&](index_t p) -> obs::ActorSlot& { return metrics->actor(p); };
 
   // God's-eye state for residual snapshots: owners publish on commit.
@@ -432,9 +434,11 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
             rf.log.push_back({fault::FaultKind::kMessageDrop, src_rank, k,
                               msg.receiver, 0});
             if (metrics != nullptr) {
-              slot(src_rank).add(obs::Counter::kMessagesDropped);
-              slot(src_rank).add(obs::Counter::kFaultEvents);
-              slot(src_rank).instant(obs::TraceKind::kMessageDrop, base * 1e6,
+              obs::ActorSlot& sl = slot(src_rank);
+              sl.owner.assert_held();  // one simulation thread owns every slot
+              sl.add(obs::Counter::kMessagesDropped);
+              sl.add(obs::Counter::kFaultEvents);
+              sl.instant(obs::TraceKind::kMessageDrop, base * 1e6,
                                      msg.receiver);
             }
             ++result.dropped_messages;
@@ -446,8 +450,10 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
             rf.log.push_back({fault::FaultKind::kMessageReorder, src_rank, k,
                               msg.receiver, 0});
             if (metrics != nullptr) {
-              slot(src_rank).add(obs::Counter::kFaultEvents);
-              slot(src_rank).instant(obs::TraceKind::kMessageReorder,
+              obs::ActorSlot& sl = slot(src_rank);
+              sl.owner.assert_held();  // one simulation thread owns every slot
+              sl.add(obs::Counter::kFaultEvents);
+              sl.instant(obs::TraceKind::kMessageReorder,
                                      base * 1e6, msg.receiver);
             }
             latency *= s.reorder_latency_factor;
@@ -458,9 +464,11 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
             rf.log.push_back({fault::FaultKind::kMessageDuplicate, src_rank,
                               k, msg.receiver, 0});
             if (metrics != nullptr) {
-              slot(src_rank).add(obs::Counter::kMessagesDuplicated);
-              slot(src_rank).add(obs::Counter::kFaultEvents);
-              slot(src_rank).instant(obs::TraceKind::kMessageDuplicate,
+              obs::ActorSlot& sl = slot(src_rank);
+              sl.owner.assert_held();  // one simulation thread owns every slot
+              sl.add(obs::Counter::kMessagesDuplicated);
+              sl.add(obs::Counter::kFaultEvents);
+              sl.instant(obs::TraceKind::kMessageDuplicate,
                                      base * 1e6, msg.receiver);
             }
             Message dup = msg;
@@ -474,7 +482,9 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
         }
       }
       if (metrics != nullptr) {
-        slot(src_rank).record(obs::Hist::kMessageLatencyUs,
+        obs::ActorSlot& sl = slot(src_rank);
+        sl.owner.assert_held();  // one simulation thread owns every slot
+        sl.record(obs::Hist::kMessageLatencyUs,
                               static_cast<std::uint64_t>(latency * 1e6));
       }
       msg.arrival = base + latency;
@@ -514,8 +524,10 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
           rf.log.push_back(
               {fault::FaultKind::kRecover, p, ps.iterations, 0, 0});
           if (metrics != nullptr) {
-            slot(p).add(obs::Counter::kFaultEvents);
-            slot(p).instant(obs::TraceKind::kRecover, t * 1e6, ps.iterations);
+            obs::ActorSlot& sl = slot(p);
+            sl.owner.assert_held();  // one simulation thread owns every slot
+            sl.add(obs::Counter::kFaultEvents);
+            sl.instant(obs::TraceKind::kRecover, t * 1e6, ps.iterations);
           }
           while (!ps.mailbox.empty() &&
                  ps.mailbox.top().arrival <= rf.dead_until) {
@@ -523,7 +535,9 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
             --in_flight;
             ++result.dropped_messages;
             if (metrics != nullptr) {
-              slot(p).add(obs::Counter::kMessagesDropped);
+              obs::ActorSlot& sl = slot(p);
+              sl.owner.assert_held();  // one simulation thread owns every slot
+              sl.add(obs::Counter::kMessagesDropped);
             }
           }
           if (rf.crash->reset_state_on_recovery) {
@@ -549,8 +563,10 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
           rf.dead_until = t + rf.crash->dead_seconds;
           rf.log.push_back({fault::FaultKind::kCrash, p, ps.iterations, 0, 0});
           if (metrics != nullptr) {
-            slot(p).add(obs::Counter::kFaultEvents);
-            slot(p).instant(obs::TraceKind::kCrash, t * 1e6, ps.iterations);
+            obs::ActorSlot& sl = slot(p);
+            sl.owner.assert_held();  // one simulation thread owns every slot
+            sl.add(obs::Counter::kFaultEvents);
+            sl.instant(obs::TraceKind::kCrash, t * 1e6, ps.iterations);
           }
           queue.emplace(rf.dead_until, p);
           continue;
@@ -584,8 +600,10 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
             rf.log.push_back(
                 {fault::FaultKind::kStaleWindowOn, p, ps.iterations, 0, 0});
             if (metrics != nullptr) {
-              slot(p).add(obs::Counter::kFaultEvents);
-              slot(p).instant(obs::TraceKind::kStaleWindowOn, t_start * 1e6,
+              obs::ActorSlot& sl = slot(p);
+              sl.owner.assert_held();  // one simulation thread owns every slot
+              sl.add(obs::Counter::kFaultEvents);
+              sl.instant(obs::TraceKind::kStaleWindowOn, t_start * 1e6,
                               ps.iterations);
             }
           }
@@ -597,7 +615,9 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
       // Deliver every message that has arrived by run time.
       if (metrics != nullptr && !defer_delivery) {
         // Pending puts (arrived or still in the network) at drain time.
-        slot(p).record(obs::Hist::kQueueDepth, ps.mailbox.size());
+        obs::ActorSlot& sl = slot(p);
+        sl.owner.assert_held();  // one simulation thread owns every slot
+        sl.record(obs::Hist::kQueueDepth, ps.mailbox.size());
       }
       while (!defer_delivery && !ps.mailbox.empty() &&
              ps.mailbox.top().arrival <= t_start) {
@@ -609,7 +629,9 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
           // How many iterations the sender has advanced past this put: the
           // lag a ghost value carries when it lands.
           const index_t lag = procs[msg.sender].iterations - msg.seq;
-          slot(p).record(obs::Hist::kGhostReadAge,
+          obs::ActorSlot& sl = slot(p);
+          sl.owner.assert_held();  // one simulation thread owns every slot
+          sl.record(obs::Hist::kGhostReadAge,
                          static_cast<std::uint64_t>(lag > 0 ? lag : 0));
         }
         const index_t link_idx = msg.link_index;
@@ -637,7 +659,9 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
         // Stop broadcast arrived: halt without relaxing further.
         ps.done = true;
         if (metrics != nullptr) {
-          slot(p).instant(obs::TraceKind::kStop, t_start * 1e6,
+          obs::ActorSlot& sl = slot(p);
+          sl.owner.assert_held();  // one simulation thread owns every slot
+          sl.instant(obs::TraceKind::kStop, t_start * 1e6,
                           ps.iterations);
         }
         result.iterations_per_process[p] = ps.iterations;
@@ -671,7 +695,9 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
           a.residual(x_global, b, r_scratch);
           result.detection_true_residual = vec::norm1(r_scratch) / r0_1;
           if (metrics != nullptr) {
-            slot(0).instant(obs::TraceKind::kDetection, t_start * 1e6);
+            obs::ActorSlot& sl = slot(0);
+            sl.owner.assert_held();  // one simulation thread owns every slot
+            sl.instant(obs::TraceKind::kDetection, t_start * 1e6);
           }
           // Tree broadcast of the stop: log2(P) latency hops.
           const double bcast =
@@ -766,8 +792,10 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
             rf.log.push_back(
                 {fault::FaultKind::kStragglerOn, p, iter0, 0, 0});
             if (metrics != nullptr) {
-              slot(p).add(obs::Counter::kFaultEvents);
-              slot(p).instant(obs::TraceKind::kStragglerOn, t_start * 1e6,
+              obs::ActorSlot& sl = slot(p);
+              sl.owner.assert_held();  // one simulation thread owns every slot
+              sl.add(obs::Counter::kFaultEvents);
+              sl.instant(obs::TraceKind::kStragglerOn, t_start * 1e6,
                               iter0);
             }
           }
@@ -787,9 +815,11 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
       }
       ps.time = t_done;
       if (metrics != nullptr) {
-        slot(p).record(obs::Hist::kIterationUs,
+        obs::ActorSlot& sl = slot(p);
+        sl.owner.assert_held();  // one simulation thread owns every slot
+        sl.record(obs::Hist::kIterationUs,
                        static_cast<std::uint64_t>((t_done - t_start) * 1e6));
-        slot(p).span(obs::TraceKind::kIteration, t_start * 1e6, t_done * 1e6,
+        sl.span(obs::TraceKind::kIteration, t_start * 1e6, t_done * 1e6,
                      ps.iterations - 1);
       }
 
@@ -857,8 +887,10 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
       if (ps.iterations >= opts.max_iterations) {
         ps.done = true;
         if (metrics != nullptr) {
-          slot(p).add(obs::Counter::kFlagRaises);
-          slot(p).instant(obs::TraceKind::kFlagRaise, t_done * 1e6,
+          obs::ActorSlot& sl = slot(p);
+          sl.owner.assert_held();  // one simulation thread owns every slot
+          sl.add(obs::Counter::kFlagRaises);
+          sl.instant(obs::TraceKind::kFlagRaise, t_done * 1e6,
                           ps.iterations);
         }
         result.iterations_per_process[p] = ps.iterations;
@@ -882,6 +914,7 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
     // per-process state, so the hot loop never touches them.
     for (index_t p = 0; p < num_procs; ++p) {
       obs::ActorSlot& s = slot(p);
+      s.owner.assert_held();  // one simulation thread owns every slot
       s.add(obs::Counter::kIterations,
             static_cast<std::uint64_t>(procs[p].iterations));
       s.add(obs::Counter::kRelaxations,

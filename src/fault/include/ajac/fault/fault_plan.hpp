@@ -13,10 +13,11 @@
 // there is no stateful RNG shared between actors — so the decision sequence
 // is a function of the plan alone, independent of thread interleaving,
 // simulator event order, and wall-clock time. Two runs of the same plan at
-// the same thread/rank count produce bitwise-identical fault logs — in the
-// shared runtime, restricted to iterations below max_iterations, because
-// the paper's flag-array termination lets threads overrun the cap by a
-// scheduler-timed amount while slower flags are still down (the
+// the same thread/rank count produce bitwise-identical fault logs. In the
+// shared runtime that includes capped runs: a thread that reaches
+// max_iterations parks (polling the termination flags) instead of
+// overrunning the cap while slower flags are still down, so the executed
+// (thread, iteration) set — and with it the full log — is exact (the
 // determinism suites assert exactly this, including under TSan).
 //
 // The zero-fault path stays branch-free: a null/empty plan makes

@@ -8,7 +8,7 @@ namespace ajac::model {
 void apply_step(const CsrMatrix& a, std::span<const double> inv_diag,
                 std::span<const double> b, const ActiveSet& active,
                 std::span<const double> x_in, std::span<double> x_out) {
-  const index_t n = a.num_rows();
+  [[maybe_unused]] const index_t n = a.num_rows();
   AJAC_DCHECK(active.size() == n);
   AJAC_DCHECK(x_in.data() != x_out.data());
   AJAC_DCHECK(x_in.size() == static_cast<std::size_t>(n));

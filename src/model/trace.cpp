@@ -206,8 +206,13 @@ std::string to_json(const RelaxationTrace& trace) {
     for (const RelaxationRead& read : e.reads) {
       if (!first_read) out += ", ";
       first_read = false;
-      out += "[" + std::to_string(read.source_row) + ", " +
-             std::to_string(read.version) + "]";
+      // Sequential appends: GCC 12's -Wrestrict misfires on the chained
+      // operator+ form here (GCC PR105651).
+      out += '[';
+      out += std::to_string(read.source_row);
+      out += ", ";
+      out += std::to_string(read.version);
+      out += ']';
     }
     out += "]}";
   }

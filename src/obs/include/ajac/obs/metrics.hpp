@@ -34,7 +34,12 @@
 //
 // Threading contract: reset() and snapshot() are single-threaded (call
 // them before starting / after joining the workers); between them, actor t
-// may only be touched by worker t.
+// may only be touched by worker t. That contract is machine-checked
+// (-Wthread-safety): every ActorSlot carries a SoleWriterRole capability
+// guarding its counters, histograms, and timeline, and every recording
+// method requires it — a worker claims `slot.owner.assert_held()` for its
+// own slot, and the post-join aggregation claims the read side with
+// `slot.owner.assert_shared()`.
 
 #include <array>
 #include <bit>
@@ -44,6 +49,7 @@
 #include <vector>
 
 #include "ajac/sparse/types.hpp"
+#include "ajac/util/annotate.hpp"
 
 namespace ajac::obs {
 
@@ -207,31 +213,37 @@ struct MetricsConfig {
 };
 
 /// One worker's private recording area. alignas keeps the hot counters of
-/// adjacent actors on different cache lines.
+/// adjacent actors on different cache lines. The single-writer contract is
+/// a capability: recording requires `owner` held exclusively (the worker's
+/// claim), reading it after the join requires it shared.
 struct alignas(64) ActorSlot {
-  std::array<std::uint64_t, kNumCounters> counters{};
-  std::array<Histogram, kNumHists> histograms{};
-  std::vector<TraceEvent> events;
-  std::uint64_t dropped_events = 0;
+  /// Sole-writer role of this slot; worker t claims slot t's at entry.
+  SoleWriterRole owner;
 
-  void add(Counter c, std::uint64_t v = 1) noexcept {
+  std::array<std::uint64_t, kNumCounters> counters AJAC_SOLE_WRITER(owner) =
+      {};
+  std::array<Histogram, kNumHists> histograms AJAC_SOLE_WRITER(owner) = {};
+  std::vector<TraceEvent> events AJAC_SOLE_WRITER(owner);
+  std::uint64_t dropped_events AJAC_SOLE_WRITER(owner) = 0;
+
+  void add(Counter c, std::uint64_t v = 1) noexcept AJAC_REQUIRES(owner) {
     counters[static_cast<std::size_t>(c)] += v;
   }
-  void record(Hist h, std::uint64_t v) noexcept {
+  void record(Hist h, std::uint64_t v) noexcept AJAC_REQUIRES(owner) {
     histograms[static_cast<std::size_t>(h)].record(v);
   }
   void span(TraceKind kind, double t0_us, double t1_us, std::int64_t arg0 = 0,
-            std::int64_t arg1 = 0) {
+            std::int64_t arg1 = 0) AJAC_REQUIRES(owner) {
     push({t0_us, t1_us > t0_us ? t1_us - t0_us : 0.0, kind, arg0, arg1});
   }
   void instant(TraceKind kind, double ts_us, std::int64_t arg0 = 0,
-               std::int64_t arg1 = 0) {
+               std::int64_t arg1 = 0) AJAC_REQUIRES(owner) {
     push({ts_us, -1.0, kind, arg0, arg1});
   }
 
  private:
   friend class MetricsRegistry;
-  void push(TraceEvent e) {
+  void push(TraceEvent e) AJAC_REQUIRES(owner) {
     if (!timeline_) return;
     if (events.size() < max_events_) {
       events.push_back(e);

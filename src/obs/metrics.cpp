@@ -104,6 +104,9 @@ void MetricsRegistry::reset(index_t num_actors, std::size_t events_hint) {
       std::min(std::max<std::size_t>(events_hint, 64),
                cfg_.max_events_per_actor);
   for (ActorSlot& s : slots_) {
+    // Single-threaded setup phase: no worker has started, so this thread
+    // momentarily holds every slot's sole-writer role.
+    s.owner.assert_held();
     s.timeline_ = cfg_.timeline;
     s.max_events_ = cfg_.timeline ? cfg_.max_events_per_actor : 0;
     if (cfg_.timeline) s.events.reserve(reserve);
@@ -115,6 +118,8 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   snap.num_actors = num_actors();
   snap.per_actor.reserve(slots_.size());
   for (const ActorSlot& s : slots_) {
+    // Post-join aggregation: the workers are gone, reading is safe.
+    s.owner.assert_shared();
     snap.per_actor.push_back(s.counters);
     for (std::size_t c = 0; c < kNumCounters; ++c) {
       snap.totals[c] += s.counters[c];

@@ -13,7 +13,10 @@ void TraceEventSink::add_registry(const MetricsRegistry& reg,
     lane.pid = pid;
     lane.tid = static_cast<int>(t);
     lane.name = reg.actor_kind() + " " + std::to_string(t);
-    lane.events = reg.actor(t).events;
+    const ActorSlot& slot = reg.actor(t);
+    // Export runs after the joined solve; claim the read side of the slot.
+    slot.owner.assert_shared();
+    lane.events = slot.events;
     lanes_.push_back(std::move(lane));
   }
 }

@@ -36,6 +36,7 @@
 #include "ajac/sparse/csr.hpp"
 #include "ajac/sparse/multi_vector.hpp"
 #include "ajac/sparse/types.hpp"
+#include "ajac/util/annotate.hpp"
 
 namespace ajac::runtime {
 
@@ -49,9 +50,14 @@ struct FlippedEntry {
 /// Thread-private mirror of the thread's own rows of the shared x. The
 /// owner is the sole writer of those elements, so the mirror (and, when
 /// tracing, the write-count mirror) is exact — local reads come from here.
+/// The mirror arrays are guarded by the owner role: only the owning thread
+/// (which claims `owner` at region entry) may touch them, and every kernel
+/// below declares which roles it needs.
 struct OwnBlockState {
-  std::vector<double> x;           ///< x[lo..hi), kept exact by commit
-  std::vector<index_t> version;    ///< seqlock versions; empty when untraced
+  SoleWriterRole owner;  ///< claimed by the owning thread at region entry
+  std::vector<double> x AJAC_SOLE_WRITER(owner);  ///< x[lo..hi), kept exact
+  std::vector<index_t> version
+      AJAC_SOLE_WRITER(owner);  ///< seqlock versions; empty when untraced
 };
 
 /// (Re)load the mirror from the shared vector. Called once inside the
@@ -59,7 +65,8 @@ struct OwnBlockState {
 /// own mirror) and again after a crash-with-state-reset fault wrote x0
 /// directly to the shared x behind the mirror's back.
 inline void refresh_own_block(const BlockedCsr::Block& blk,
-                              const SharedVector& x, OwnBlockState& own) {
+                              const SharedVector& x, OwnBlockState& own)
+    AJAC_REQUIRES(own.owner) {
   const auto rows = static_cast<std::size_t>(blk.num_rows());
   own.x.resize(rows);
   for (index_t i = blk.lo; i < blk.hi; ++i) {
@@ -89,7 +96,8 @@ template <class Faults>
 inline void relax_interior(const BlockedCsr::Block& blk, const CsrMatrix& a,
                            std::span<const double> b,
                            const OwnBlockState& own, Faults& faults,
-                           SharedVector& r) {
+                           SharedVector& r)
+    AJAC_REQUIRES_SHARED(own.owner) AJAC_REQUIRES(r.writer_role()) {
   for (const index_t i : blk.interior_rows) {
     const auto li = static_cast<std::size_t>(i - blk.lo);
     const auto begin = static_cast<std::size_t>(blk.row_ptr[li]);
@@ -122,7 +130,8 @@ template <class Faults>
 inline void relax_boundary(const BlockedCsr::Block& blk, const CsrMatrix& a,
                            std::span<const double> b,
                            const OwnBlockState& own, const SharedVector& x,
-                           Faults& faults, SharedVector& r) {
+                           Faults& faults, SharedVector& r)
+    AJAC_REQUIRES_SHARED(own.owner) AJAC_REQUIRES(r.writer_role()) {
   for (const index_t i : blk.boundary_rows) {
     const auto li = static_cast<std::size_t>(i - blk.lo);
     const auto begin = static_cast<std::size_t>(blk.row_ptr[li]);
@@ -156,7 +165,8 @@ inline void relax_boundary(const BlockedCsr::Block& blk, const CsrMatrix& a,
 /// mirror read replaces x.read — exact, single writer), then keep the
 /// mirror and its version count in sync with the shared write.
 inline void commit_block(const BlockedCsr::Block& blk, OwnBlockState& own,
-                         SharedVector& x, const SharedVector& r) {
+                         SharedVector& x, const SharedVector& r)
+    AJAC_REQUIRES(own.owner, x.writer_role()) {
   for (index_t i = blk.lo; i < blk.hi; ++i) {
     const auto li = static_cast<std::size_t>(i - blk.lo);
     const double nx = own.x[li] + blk.inv_diag[li] * r.read(i);
@@ -174,7 +184,8 @@ inline void commit_block(const BlockedCsr::Block& blk, OwnBlockState& own,
 template <class Faults>
 inline void relax_block_gs(const BlockedCsr::Block& blk, const CsrMatrix& a,
                            std::span<const double> b, OwnBlockState& own,
-                           SharedVector& x, SharedVector& r, Faults& faults) {
+                           SharedVector& x, SharedVector& r, Faults& faults)
+    AJAC_REQUIRES(own.owner, x.writer_role(), r.writer_role()) {
   for (index_t i = blk.lo; i < blk.hi; ++i) {
     const auto li = static_cast<std::size_t>(i - blk.lo);
     const auto begin = static_cast<std::size_t>(blk.row_ptr[li]);
@@ -217,8 +228,13 @@ inline void relax_traced(const BlockedCsr::Block& blk, const CsrMatrix& a,
                          std::span<const double> b, const OwnBlockState& own,
                          const SharedVector& x, Faults& faults,
                          Metrics& metrics, index_t iter, SharedVector& r,
-                         std::vector<model::RelaxationEvent>& events) {
+                         std::vector<model::RelaxationEvent>& events)
+    AJAC_REQUIRES_SHARED(own.owner) AJAC_REQUIRES(r.writer_role()) {
   auto relax_row = [&](index_t i) {
+    // Lambdas are analyzed as separate functions: re-claim the enclosing
+    // kernel's roles (held by its REQUIRES contract) for this body.
+    own.owner.assert_shared();
+    r.writer_role().assert_held();
     const auto li = static_cast<std::size_t>(i - blk.lo);
     const auto begin = static_cast<std::size_t>(blk.row_ptr[li]);
     const auto end = static_cast<std::size_t>(blk.row_ptr[li + 1]);
@@ -280,7 +296,8 @@ inline void relax_traced(const BlockedCsr::Block& blk, const CsrMatrix& a,
 /// (batch analogue of OwnBlockState; the batch path is never traced, so no
 /// version mirror is needed).
 struct OwnBlockBatchState {
-  MultiVector x;  ///< rows [lo, hi) x k, kept exact by commit_block_batch
+  SoleWriterRole owner;  ///< claimed by the owning thread at region entry
+  MultiVector x AJAC_SOLE_WRITER(owner);  ///< rows [lo, hi) x k, kept exact
 };
 
 /// (Re)load the mirror from the shared batch vector. Called once inside the
@@ -288,7 +305,8 @@ struct OwnBlockBatchState {
 /// fault rewrote the shared rows behind the mirror's back.
 inline void refresh_own_block_batch(const BlockedCsr::Block& blk,
                                     const SharedMultiVector& x,
-                                    OwnBlockBatchState& own) {
+                                    OwnBlockBatchState& own)
+    AJAC_REQUIRES(own.owner) {
   const index_t k = x.num_cols();
   if (own.x.num_rows() != blk.num_rows() || own.x.num_cols() != k) {
     own.x = MultiVector(blk.num_rows(), k);
@@ -305,7 +323,8 @@ template <class Faults>
 inline void relax_interior_batch(const BlockedCsr::Block& blk,
                                  const CsrMatrix& a, const MultiVector& b,
                                  const OwnBlockBatchState& own, Faults& faults,
-                                 SharedMultiVector& r, std::span<double> acc) {
+                                 SharedMultiVector& r, std::span<double> acc)
+    AJAC_REQUIRES_SHARED(own.owner) AJAC_REQUIRES(r.writer_role()) {
   const index_t k = b.num_cols();
   for (const index_t i : blk.interior_rows) {
     const auto li = static_cast<std::size_t>(i - blk.lo);
@@ -346,7 +365,8 @@ inline void relax_boundary_batch(const BlockedCsr::Block& blk,
                                  const OwnBlockBatchState& own,
                                  const SharedMultiVector& x, Faults& faults,
                                  SharedMultiVector& r, std::span<double> acc,
-                                 std::span<double> ghost) {
+                                 std::span<double> ghost)
+    AJAC_REQUIRES_SHARED(own.owner) AJAC_REQUIRES(r.writer_role()) {
   const index_t k = b.num_cols();
   for (const index_t i : blk.boundary_rows) {
     const auto li = static_cast<std::size_t>(i - blk.lo);
@@ -398,7 +418,8 @@ inline void commit_block_batch(const BlockedCsr::Block& blk,
                                OwnBlockBatchState& own, SharedMultiVector& x,
                                const SharedMultiVector& r,
                                std::span<const double> active,
-                               std::span<double> rrow) {
+                               std::span<double> rrow)
+    AJAC_REQUIRES(own.owner, x.writer_role()) {
   const index_t k = x.num_cols();
   for (index_t i = blk.lo; i < blk.hi; ++i) {
     const auto li = static_cast<std::size_t>(i - blk.lo);

@@ -34,7 +34,10 @@
 // the bumped sequence number and retry.
 //
 // Concurrency contract: any number of concurrent readers; at most one
-// writer per row at a time. Rows are cache-line-aligned (base allocation
+// writer per row at a time. As in SharedVector, the writer side is
+// machine-checked: init() and write_row() require the SoleWriterRole
+// capability claimed via writer_role().assert_held(); readers need
+// nothing. Rows are cache-line-aligned (base allocation
 // via CacheAlignedAllocator + lead padding for k > 1), so per-thread row
 // blocks never false-share; k = 1 keeps lead 1 and degenerates to the
 // SharedVector layout and guarantees.
@@ -61,8 +64,15 @@ class SharedMultiVector {
     AJAC_CHECK(n >= 0 && k >= 1);
     if (traced_) {
       seq_ = SeqArray(static_cast<std::size_t>(n));
+      // racy-ok(init): single-threaded construction, no reader exists yet.
       for (auto& s : seq_) s.store(0, std::memory_order_relaxed);
     }
+  }
+
+  /// The sole-writer capability of this vector (see SharedVector).
+  [[nodiscard]] const SoleWriterRole& writer_role() const
+      AJAC_RETURN_CAPABILITY(writer_role_) {
+    return writer_role_;
   }
 
   [[nodiscard]] index_t num_rows() const noexcept { return n_; }
@@ -70,12 +80,13 @@ class SharedMultiVector {
   [[nodiscard]] bool traced() const noexcept { return traced_; }
 
   /// Single-threaded initialization (before the solve's threads start).
-  void init(const MultiVector& x) {
+  void init(const MultiVector& x) AJAC_REQUIRES(writer_role_) {
     AJAC_DBG_CHECK(x.num_rows() == n_ && x.num_cols() == k_);
     for (index_t i = 0; i < n_; ++i) {
       const double* xr = x.row(i);
       std::atomic<double>* vr = row_ptr(i);
       for (index_t c = 0; c < k_; ++c) {
+        // racy-ok(init): single-threaded setup; the OpenMP fork publishes it.
         vr[c].store(xr[c], std::memory_order_relaxed);
       }
     }
@@ -84,6 +95,7 @@ class SharedMultiVector {
   /// Plain racy read of one lane.
   [[nodiscard]] double read(index_t i, index_t c) const {
     AJAC_DBG_CHECK(in_range(i) && c >= 0 && c < k_);
+    // racy-ok(intended-race): the paper's racy read, one lane.
     return row_ptr(i)[c].load(std::memory_order_relaxed);
   }
 
@@ -96,6 +108,8 @@ class SharedMultiVector {
     AJAC_DBG_CHECK(out.size() == static_cast<std::size_t>(k_));
     const std::atomic<double>* vr = row_ptr(i);
     for (index_t c = 0; c < k_; ++c) {
+      // racy-ok(intended-race): untraced row read; lanes may tear across a
+      // concurrent write_row by contract.
       out[static_cast<std::size_t>(c)] =
           vr[c].load(std::memory_order_relaxed);
     }
@@ -120,6 +134,8 @@ class SharedMultiVector {
           out[static_cast<std::size_t>(c)] =
               vr[c].load(std::memory_order_acquire);
         }
+        // racy-ok(seqlock-validate): ordered after the lane reads by the
+        // acquire value loads above.
         const std::int64_t s2 = seq.load(std::memory_order_relaxed);
         if (s1 == s2) return static_cast<index_t>(s1 / 2);
       }
@@ -136,15 +152,19 @@ class SharedMultiVector {
   /// Publish all k lanes of row i. One seqlock interval covers the whole
   /// row, so the row version advances once per relaxation of row i no
   /// matter how many columns the batch carries.
-  void write_row(index_t i, std::span<const double> v) {
+  void write_row(index_t i, std::span<const double> v)
+      AJAC_REQUIRES(writer_role_) {
     AJAC_DBG_CHECK(in_range(i));
     AJAC_DBG_CHECK(v.size() == static_cast<std::size_t>(k_));
     std::atomic<double>* vr = row_ptr(i);
     if (traced_) {
       auto& seq = seq_[static_cast<std::size_t>(i)];
+      // racy-ok(seqlock-open): only the sole writer mutates the row's seq.
       const std::int64_t s = seq.load(std::memory_order_relaxed);
       AJAC_DBG_CHECK_MSG(
           !(s & 1), "concurrent writers on SharedMultiVector row " << i);
+      // racy-ok(seqlock-open): opening (odd) store; a reader seeing it
+      // retries, publication rides on the release stores below.
       seq.store(s + 1, std::memory_order_relaxed);
       for (index_t c = 0; c < k_; ++c) {
         vr[c].store(v[static_cast<std::size_t>(c)],
@@ -153,6 +173,7 @@ class SharedMultiVector {
       seq.store(s + 2, std::memory_order_release);
     } else {
       for (index_t c = 0; c < k_; ++c) {
+        // racy-ok(intended-race): the paper's racy write (untraced path).
         vr[c].store(v[static_cast<std::size_t>(c)],
                     std::memory_order_relaxed);
       }
@@ -205,6 +226,7 @@ class SharedMultiVector {
   bool traced_;
   ValueArray values_;
   SeqArray seq_;
+  SoleWriterRole writer_role_;
 };
 
 }  // namespace ajac::runtime

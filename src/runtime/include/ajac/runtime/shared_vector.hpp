@@ -23,6 +23,13 @@
 // owning thread). A second concurrent writer to the same element would
 // corrupt the seqlock protocol; debug builds assert against it.
 //
+// The writer side of that contract is machine-checked: init() and write()
+// require the vector's SoleWriterRole capability (-Wthread-safety), which
+// a worker claims with `x.writer_role().assert_held()` once the partition
+// has made it the sole writer of its rows. Readers never need the role —
+// concurrent racy reads are the point — so read()/read_versioned()/
+// version()/snapshot() are unannotated.
+//
 // False sharing at block boundaries: the runtime partitions rows into
 // contiguous per-thread blocks, so the only elements two threads both
 // write are the ones on either side of a block boundary — and if those
@@ -57,14 +64,24 @@ class SharedVector {
       : values_(static_cast<std::size_t>(n)), traced_(traced) {
     if (traced_) {
       seq_ = SeqArray(static_cast<std::size_t>(n));
+      // racy-ok(init): single-threaded construction, no reader exists yet.
       for (auto& s : seq_) s.store(0, std::memory_order_relaxed);
     }
   }
 
+  /// The sole-writer capability of this vector. The runtime's partition
+  /// (one owning thread per row block) is what actually confers the role;
+  /// claim it with writer_role().assert_held() before mutating.
+  [[nodiscard]] const SoleWriterRole& writer_role() const
+      AJAC_RETURN_CAPABILITY(writer_role_) {
+    return writer_role_;
+  }
+
   /// Single-threaded initialization (before the solve's threads start).
-  void init(std::span<const double> x) {
+  void init(std::span<const double> x) AJAC_REQUIRES(writer_role_) {
     AJAC_DBG_CHECK(x.size() == values_.size());
     for (std::size_t i = 0; i < x.size(); ++i) {
+      // racy-ok(init): single-threaded setup; the OpenMP fork publishes it.
       values_[i].store(x[i], std::memory_order_relaxed);
     }
   }
@@ -72,6 +89,8 @@ class SharedVector {
   /// Plain racy read (the paper's scheme).
   [[nodiscard]] double read(index_t i) const {
     AJAC_DBG_CHECK(in_range(i));
+    // racy-ok(intended-race): the paper's racy read; tearing-free because
+    // the element is an aligned atomic double.
     return values_[static_cast<std::size_t>(i)].load(
         std::memory_order_relaxed);
   }
@@ -104,6 +123,8 @@ class SharedVector {
         // of the value: a reader that sees the new value must then see
         // s2 >= s1 + 1 and retry.
         const double v = value.load(std::memory_order_acquire);
+        // racy-ok(seqlock-validate): the closing check may be relaxed — the
+        // acquire value load above already orders it after the value read.
         const std::int64_t s2 = seq.load(std::memory_order_relaxed);
         if (s1 == s2) return {v, static_cast<index_t>(s1 / 2)};
       }
@@ -117,13 +138,18 @@ class SharedVector {
     }
   }
 
-  void write(index_t i, double v) {
+  void write(index_t i, double v) AJAC_REQUIRES(writer_role_) {
     AJAC_DBG_CHECK(in_range(i));
     if (traced_) {
       auto& seq = seq_[static_cast<std::size_t>(i)];
+      // racy-ok(seqlock-open): only the sole writer mutates seq, so its own
+      // last store is the only thing this load can observe.
       const std::int64_t s = seq.load(std::memory_order_relaxed);
       AJAC_DBG_CHECK_MSG(!(s & 1),
                          "concurrent writers on SharedVector element " << i);
+      // racy-ok(seqlock-open): opening (odd) store needs no release — a
+      // reader seeing it simply retries; the value + closing stores below
+      // carry the publication.
       seq.store(s + 1, std::memory_order_relaxed);
       // Release: a reader that acquires this value also sees the odd
       // sequence number above, so it cannot pair the new value with the
@@ -132,6 +158,7 @@ class SharedVector {
                                                  std::memory_order_release);
       seq.store(s + 2, std::memory_order_release);
     } else {
+      // racy-ok(intended-race): the paper's racy write (untraced path).
       values_[static_cast<std::size_t>(i)].store(v,
                                                  std::memory_order_relaxed);
     }
@@ -171,6 +198,7 @@ class SharedVector {
   ValueArray values_;
   SeqArray seq_;
   bool traced_;
+  SoleWriterRole writer_role_;
 };
 
 }  // namespace ajac::runtime

@@ -67,6 +67,10 @@ SharedBatchResult solve_shared_batch_impl(
 
   SharedMultiVector x(n, k, /*traced=*/false);
   SharedMultiVector r(n, k, /*traced=*/false);
+  // Single-threaded setup: this thread is momentarily the sole writer of
+  // both shared vectors (the workers have not been forked yet).
+  x.writer_role().assert_held();
+  r.writer_role().assert_held();
   x.init(x0);
   MultiVector r0(n, k);
   mv::residual(a, x0, b, r0);
@@ -80,11 +84,14 @@ SharedBatchResult solve_shared_batch_impl(
   // flags[t * k + c]: thread t's stopping criterion for column c.
   std::vector<std::atomic<int>> flags(
       static_cast<std::size_t>(opts.num_threads) * k_sz);
+  // racy-ok(init): single-threaded setup; the OpenMP fork publishes it.
   for (auto& f : flags) f.store(0, std::memory_order_relaxed);
   std::vector<std::atomic<int>> col_stopped(k_sz);
+  // racy-ok(init): single-threaded setup; the OpenMP fork publishes it.
   for (auto& s : col_stopped) s.store(0, std::memory_order_relaxed);
   std::vector<std::atomic<index_t>> iter_counts(
       static_cast<std::size_t>(opts.num_threads));
+  // racy-ok(init): single-threaded setup; the OpenMP fork publishes it.
   for (auto& c : iter_counts) c.store(0, std::memory_order_relaxed);
   std::atomic<int> stop{0};
 
@@ -135,6 +142,14 @@ SharedBatchResult solve_shared_batch_impl(
 
     [[maybe_unused]] const BlockedCsr::Block* blk = nullptr;
     [[maybe_unused]] OwnBlockBatchState own;
+
+    // The partition makes this thread the sole writer of rows [lo, hi) of
+    // x and r, and of its private mirror: claim the roles every protocol
+    // write and kernel call below requires (claims, not locks).
+    x.writer_role().assert_held();
+    r.writer_role().assert_held();
+    own.owner.assert_held();
+
     if constexpr (Blocked) {
       blk = &blocked->block(t);
       refresh_own_block_batch(*blk, x, own);
@@ -147,6 +162,8 @@ SharedBatchResult solve_shared_batch_impl(
     auto verify_column = [&](index_t c, index_t iter) {
       bool all_at_max = true;
       for (auto& cnt : iter_counts) {
+        // racy-ok(monotonic): counters only grow; a stale read can only
+        // delay the stop decision, never produce a premature one.
         if (cnt.load(std::memory_order_relaxed) < opts.max_iterations) {
           all_at_max = false;
           break;
@@ -167,6 +184,8 @@ SharedBatchResult solve_shared_batch_impl(
                   opts.tolerance;
       }
       if (all_at_max || tol_met) {
+        // racy-ok(monotonic): 0 -> 1 latch; the exchange only elects the
+        // single writer of stop_iteration (read after the join).
         if (col_stopped[static_cast<std::size_t>(c)].exchange(
                 1, std::memory_order_relaxed) == 0) {
           // Winner records where the column stopped; read after the join.
@@ -175,8 +194,52 @@ SharedBatchResult solve_shared_batch_impl(
       }
     };
 
+    // Per-column stop poll: verify any column whose every per-thread flag
+    // is up, then broadcast the global stop once all columns are stopped.
+    auto poll_column_stops = [&](index_t it) {
+      for (index_t c = 0; c < k; ++c) {
+        // racy-ok(monotonic): 0 -> 1 latch; stale reads only defer work.
+        if (col_stopped[static_cast<std::size_t>(c)].load(
+                std::memory_order_relaxed) != 0) {
+          continue;
+        }
+        int done_count = 0;
+        for (index_t tt = 0; tt < opts.num_threads; ++tt) {
+          // racy-ok(flag): flag hints; verify_column re-checks for real.
+          done_count += flags[static_cast<std::size_t>(tt) * k_sz +
+                              static_cast<std::size_t>(c)]
+                            .load(std::memory_order_relaxed);
+        }
+        if (done_count == static_cast<int>(opts.num_threads)) {
+          verify_column(c, it);
+        }
+      }
+      index_t stopped = 0;
+      for (auto& s : col_stopped) {
+        // racy-ok(monotonic): 0 -> 1 latch, polled.
+        stopped += s.load(std::memory_order_relaxed) != 0 ? 1 : 0;
+      }
+      // racy-ok(stop): 0 -> 1 broadcast; the exchange elects the single
+      // recorder of the stop event, results are read after the join.
+      if (stopped == k && stop.exchange(1, std::memory_order_relaxed) == 0) {
+        if constexpr (Metrics::enabled) metrics.stop_decided();
+      }
+    };
+
     index_t iter = 0;
+    // racy-ok(stop): stop only transitions 0 -> 1; a stale read costs one
+    // extra polling pass, nothing more.
     while (stop.load(std::memory_order_relaxed) == 0) {
+      if (iter >= opts.max_iterations) {
+        // Parked at the iteration cap (see shared_jacobi.cpp): relaxing
+        // past the cap would make the executed (thread, iteration) set —
+        // and with it the fault log — scheduler-timed. This thread's flags
+        // for every active column went up when iter reached the cap; keep
+        // polling the other threads' flags until every column stops.
+        poll_column_stops(iter);
+        sched_yield();
+        continue;
+      }
       if constexpr (Metrics::enabled) metrics.iteration_begin();
       if (delay > 0.0) {
         spin_wait_us(delay);
@@ -195,6 +258,8 @@ SharedBatchResult solve_shared_batch_impl(
       // — the alignment the bitwise contract needs.
       index_t active_cols = 0;
       for (index_t c = 0; c < k; ++c) {
+        // racy-ok(monotonic): 0 -> 1 latch; observing the stop late keeps
+        // the lane riding (and republishing identical bits) one more pass.
         const bool on =
             col_stopped[static_cast<std::size_t>(c)].load(
                 std::memory_order_relaxed) == 0;
@@ -266,6 +331,8 @@ SharedBatchResult solve_shared_batch_impl(
         }
       }
       ++iter;
+      // racy-ok(monotonic): published for the verification gate; it only
+      // needs an eventually-fresh lower bound.
       iter_counts[static_cast<std::size_t>(t)].store(
           iter, std::memory_order_relaxed);
       for (index_t c = 0; c < k; ++c) {
@@ -301,6 +368,9 @@ SharedBatchResult solve_shared_batch_impl(
         const bool my_done =
             (opts.tolerance > 0.0 && rel <= opts.tolerance) ||
             iter >= opts.max_iterations;
+        // racy-ok(flag): the paper's termination flags rest on racy
+        // residual reads by design; verify_column re-checks before a
+        // column actually stops.
         flags[static_cast<std::size_t>(t) * k_sz +
               static_cast<std::size_t>(c)]
             .store(my_done ? 1 : 0, std::memory_order_relaxed);
@@ -313,34 +383,14 @@ SharedBatchResult solve_shared_batch_impl(
       if (opts.synchronous) {
 #pragma omp barrier
       }
-      for (index_t c = 0; c < k; ++c) {
-        if (col_stopped[static_cast<std::size_t>(c)].load(
-                std::memory_order_relaxed) != 0) {
-          continue;
-        }
-        int done_count = 0;
-        for (index_t tt = 0; tt < opts.num_threads; ++tt) {
-          done_count += flags[static_cast<std::size_t>(tt) * k_sz +
-                              static_cast<std::size_t>(c)]
-                            .load(std::memory_order_relaxed);
-        }
-        if (done_count == static_cast<int>(opts.num_threads)) {
-          verify_column(c, iter);
-        }
-      }
-      index_t stopped = 0;
-      for (auto& s : col_stopped) {
-        stopped += s.load(std::memory_order_relaxed) != 0 ? 1 : 0;
-      }
-      if (stopped == k && stop.exchange(1, std::memory_order_relaxed) == 0) {
-        if constexpr (Metrics::enabled) metrics.stop_decided();
-      }
+      poll_column_stops(iter);
       if (opts.synchronous) {
         // Keep lockstep: every thread must pass the same number of
         // barriers, and all see the verified stop decisions together.
 #pragma omp barrier
       }
       if constexpr (Metrics::enabled) metrics.iteration_end(iter - 1, rows);
+      // racy-ok(stop): monotonic 0 -> 1, polled.
       if (opts.yield && stop.load(std::memory_order_relaxed) == 0) {
         sched_yield();
       }
@@ -392,6 +442,8 @@ SharedBatchResult solve_shared_batch_impl(
   }
   if constexpr (Metrics::enabled) {
     obs::ActorSlot& slot0 = opts.metrics->actor(0);
+    // Post-join epilogue: the workers are gone, this thread owns slot 0.
+    slot0.owner.assert_held();
     if (total_polish > 0) {
       slot0.add(obs::Counter::kPolishSweeps,
                 static_cast<std::uint64_t>(total_polish));
@@ -409,8 +461,10 @@ SharedBatchResult solve_shared_batch_impl(
     result.relaxations_per_column[static_cast<std::size_t>(c)] = sum;
     result.total_relaxations += sum;
     if constexpr (Metrics::enabled) {
-      opts.metrics->actor(0).record(obs::Hist::kColumnRelaxations,
-                                    static_cast<std::uint64_t>(sum));
+      obs::ActorSlot& sl = opts.metrics->actor(0);
+      sl.owner.assert_held();  // post-join epilogue
+      sl.record(obs::Hist::kColumnRelaxations,
+                static_cast<std::uint64_t>(sum));
     }
   }
 

@@ -45,6 +45,10 @@ SharedResult solve_shared_impl(const CsrMatrix& a, const Vector& b,
 
   SharedVector x(n, opts.record_trace);
   SharedVector r(n, /*traced=*/false);
+  // Single-threaded setup: this thread is momentarily the sole writer of
+  // both shared vectors (the workers have not been forked yet).
+  x.writer_role().assert_held();
+  r.writer_role().assert_held();
   x.init(x0);
   {
     Vector r0(static_cast<std::size_t>(n));
@@ -60,9 +64,11 @@ SharedResult solve_shared_impl(const CsrMatrix& a, const Vector& b,
 
   std::vector<std::atomic<int>> flags(
       static_cast<std::size_t>(opts.num_threads));
+  // racy-ok(init): single-threaded setup; the OpenMP fork publishes it.
   for (auto& f : flags) f.store(0, std::memory_order_relaxed);
   std::vector<std::atomic<index_t>> iter_counts(
       static_cast<std::size_t>(opts.num_threads));
+  // racy-ok(init): single-threaded setup; the OpenMP fork publishes it.
   for (auto& c : iter_counts) c.store(0, std::memory_order_relaxed);
   std::atomic<int> stop{0};
 
@@ -102,10 +108,10 @@ SharedResult solve_shared_impl(const CsrMatrix& a, const Vector& b,
     if (opts.record_history) {
       // Reserve outside the timed loop: a reallocating push_back inside the
       // relaxation loop would stall this thread mid-run and perturb the
-      // asynchronous interleaving being measured. Threads can run past
-      // max_iterations (they keep relaxing until every flag is up), so this
-      // is a hint, not a bound.
-      my_history.reserve(static_cast<std::size_t>(opts.max_iterations) + 64);
+      // asynchronous interleaving being measured. Threads park once they
+      // reach max_iterations, so the local iteration count (and therefore
+      // the history) is bounded by it exactly.
+      my_history.reserve(static_cast<std::size_t>(opts.max_iterations));
     }
     Faults faults(a, x0, plan, t, lo, hi, x);
     Metrics metrics(opts.metrics, t, timer);
@@ -114,6 +120,15 @@ SharedResult solve_shared_impl(const CsrMatrix& a, const Vector& b,
     // filled here so the owning thread first-touches its own pages.
     [[maybe_unused]] const BlockedCsr::Block* blk = nullptr;
     [[maybe_unused]] OwnBlockState own;
+
+    // The partition makes this thread the sole writer of rows [lo, hi) of
+    // x and r, and of its private mirror: claim the roles every protocol
+    // write and kernel call below requires. Claims, not locks — ownership
+    // is established by the partition, so there is nothing to acquire.
+    x.writer_role().assert_held();
+    r.writer_role().assert_held();
+    own.owner.assert_held();
+
     if constexpr (Blocked) {
       blk = &blocked->block(t);
       refresh_own_block(*blk, x, own);
@@ -127,6 +142,8 @@ SharedResult solve_shared_impl(const CsrMatrix& a, const Vector& b,
     auto verify_and_maybe_stop = [&]() {
       bool all_at_max = true;
       for (auto& c : iter_counts) {
+        // racy-ok(monotonic): counters only grow; a stale read can only
+        // delay the stop decision, never produce a premature one.
         if (c.load(std::memory_order_relaxed) < opts.max_iterations) {
           all_at_max = false;
           break;
@@ -146,13 +163,33 @@ SharedResult solve_shared_impl(const CsrMatrix& a, const Vector& b,
         tol_met = fresh / r0_norm <= opts.tolerance;
       }
       if (all_at_max || tol_met) {
+        // racy-ok(stop): 0 -> 1 broadcast; readers poll it and there is no
+        // dependent data to publish (results are read after the join).
         stop.store(1, std::memory_order_relaxed);
         if constexpr (Metrics::enabled) metrics.stop_decided();
       }
     };
 
     index_t iter = 0;
+    // racy-ok(stop): stop only transitions 0 -> 1; a stale read costs one
+    // extra polling pass, nothing more.
     while (stop.load(std::memory_order_relaxed) == 0) {
+      if (iter >= opts.max_iterations) {
+        // Parked at the iteration cap. Relaxing further would make the
+        // executed (thread, iteration) set — and with it the fault log and
+        // relaxation totals — depend on how long the slower threads take
+        // to flag, i.e. on scheduler timing. This thread's own flag went
+        // up when iter reached the cap, so just keep polling the others
+        // and re-verifying until the stop is decided.
+        int parked_done = 0;
+        // racy-ok(flag): flags are hints; verify_and_maybe_stop re-checks.
+        for (auto& f : flags) parked_done += f.load(std::memory_order_relaxed);
+        if (parked_done == static_cast<int>(opts.num_threads)) {
+          verify_and_maybe_stop();
+        }
+        sched_yield();
+        continue;
+      }
       if constexpr (Metrics::enabled) metrics.iteration_begin();
       if (delay > 0.0) {
         spin_wait_us(delay);
@@ -282,6 +319,8 @@ SharedResult solve_shared_impl(const CsrMatrix& a, const Vector& b,
         }
       }
       ++iter;
+      // racy-ok(monotonic): published for the verification gate; it only
+      // needs an eventually-fresh lower bound.
       iter_counts[static_cast<std::size_t>(t)].store(
           iter, std::memory_order_relaxed);
 
@@ -302,6 +341,8 @@ SharedResult solve_shared_impl(const CsrMatrix& a, const Vector& b,
       const bool my_done =
           (opts.tolerance > 0.0 && rel <= opts.tolerance) ||
           iter >= opts.max_iterations;
+      // racy-ok(flag): the paper's termination flags rest on racy residual
+      // reads by design; the verification gate re-checks before stopping.
       flags[static_cast<std::size_t>(t)].store(my_done ? 1 : 0,
                                                std::memory_order_relaxed);
       if constexpr (Metrics::enabled) metrics.flag_update(my_done, iter);
@@ -310,6 +351,7 @@ SharedResult solve_shared_impl(const CsrMatrix& a, const Vector& b,
 #pragma omp barrier
       }
       int done_count = 0;
+      // racy-ok(flag): hint scan; a stale flag only defers verification.
       for (auto& f : flags) done_count += f.load(std::memory_order_relaxed);
       if (done_count == static_cast<int>(opts.num_threads)) {
         verify_and_maybe_stop();
@@ -320,6 +362,7 @@ SharedResult solve_shared_impl(const CsrMatrix& a, const Vector& b,
 #pragma omp barrier
       }
       if constexpr (Metrics::enabled) metrics.iteration_end(iter - 1, hi - lo);
+      // racy-ok(stop): monotonic 0 -> 1, polled.
       if (opts.yield &&
           stop.load(std::memory_order_relaxed) == 0) {
         sched_yield();
@@ -361,6 +404,8 @@ SharedResult solve_shared_impl(const CsrMatrix& a, const Vector& b,
     }
     if constexpr (Metrics::enabled) {
       obs::ActorSlot& slot0 = opts.metrics->actor(0);
+      // Post-join epilogue: the workers are gone, this thread owns slot 0.
+      slot0.owner.assert_held();
       slot0.add(obs::Counter::kPolishSweeps,
                 static_cast<std::uint64_t>(result.polish_sweeps));
       slot0.span(obs::TraceKind::kPolish, polish_t0_us,
@@ -369,9 +414,10 @@ SharedResult solve_shared_impl(const CsrMatrix& a, const Vector& b,
   }
   if constexpr (Metrics::enabled) {
     // The whole solve (parallel phase + serial verification + polish) as
-    // one span on actor 0's lane.
-    opts.metrics->actor(0).span(obs::TraceKind::kSolve, 0.0,
-                                timer.seconds() * 1e6);
+    // one span on actor 0's lane. Post-join: this thread owns the slot.
+    obs::ActorSlot& slot0 = opts.metrics->actor(0);
+    slot0.owner.assert_held();
+    slot0.span(obs::TraceKind::kSolve, 0.0, timer.seconds() * 1e6);
   }
   result.converged =
       opts.tolerance > 0.0 && result.final_rel_residual_1 <= opts.tolerance;

@@ -127,6 +127,9 @@ class ActiveFaults {
       spin_wait_us(crash_->dead_seconds * 1e6);
       stalled_us_ += crash_->dead_seconds * 1e6;
       if (crash_->reset_state_on_recovery) {
+        // This injector belongs to the thread owning rows [lo_, hi_), so
+        // the sole-writer role on x holds here by the partition contract.
+        x_->writer_role().assert_held();
         for (index_t i = lo_; i < hi_; ++i) x_->write(i, (*x0_)[i]);
         // The write went behind any thread-private mirror of the own rows;
         // the blocked kernel path polls consume_state_reset() and reloads.
@@ -350,6 +353,8 @@ class ActiveBatchFaults {
       spin_wait_us(crash_->dead_seconds * 1e6);
       stalled_us_ += crash_->dead_seconds * 1e6;
       if (crash_->reset_state_on_recovery) {
+        // Sole-writer role on x holds: this thread owns rows [lo_, hi_).
+        x_->writer_role().assert_held();
         for (index_t i = lo_; i < hi_; ++i) {
           x_->write_row(i, {x0_->row(i), static_cast<std::size_t>(k_)});
         }
@@ -520,7 +525,10 @@ struct NullMetrics {
 
 /// Per-thread recorder writing into this thread's ActorSlot. All state is
 /// thread-local; the only shared object touched is the slot, which has a
-/// single writer by the registry's threading contract.
+/// single writer by the registry's threading contract. Each recording
+/// method claims the slot's sole-writer role (assert_held) before touching
+/// it — the claim is what lets -Wthread-safety verify every slot mutation
+/// flows through the owning thread's recorder.
 class ActiveMetrics {
  public:
   static constexpr bool enabled = true;
@@ -534,6 +542,7 @@ class ActiveMetrics {
   /// Injected busy-wait (per-thread delay or straggler stall), attributed
   /// by duration rather than timed: the wait is synthetic and exact.
   void spin_wait(double us) {
+    slot_->owner.assert_held();
     slot_->add(obs::Counter::kSpinWaitNs,
                static_cast<std::uint64_t>(us * 1e3));
   }
@@ -545,6 +554,7 @@ class ActiveMetrics {
   template <class Faults>
   void sync_faults(const Faults& faults) {
     if constexpr (Faults::enabled) {
+      slot_->owner.assert_held();
       const double stalled = faults.stalled_us();
       if (stalled > seen_stall_us_) {
         slot_->add(obs::Counter::kSpinWaitNs,
@@ -568,6 +578,7 @@ class ActiveMetrics {
   /// `iter` (0-based) sees version `iter` of every neighbor; the shortfall
   /// is the staleness l of the paper's Φ(l) propagation analysis.
   void staleness(index_t iter, index_t version) {
+    slot_->owner.assert_held();
     const std::uint64_t lag =
         version < iter ? static_cast<std::uint64_t>(iter - version) : 0;
     slot_->record(obs::Hist::kReadStaleness, lag);
@@ -579,6 +590,7 @@ class ActiveMetrics {
   /// counter adds per iteration, nothing per entry. The reference path
   /// leaves both lanes at zero.
   void read_mix(index_t local_entries, index_t ghost_entries) {
+    slot_->owner.assert_held();
     slot_->add(obs::Counter::kLocalReads,
                static_cast<std::uint64_t>(local_entries));
     slot_->add(obs::Counter::kGhostReads,
@@ -590,6 +602,7 @@ class ActiveMetrics {
 
   void residual_check_begin() { tr0_us_ = timer_->seconds() * 1e6; }
   void residual_check_end() {
+    slot_->owner.assert_held();
     const double us = timer_->seconds() * 1e6 - tr0_us_;
     slot_->add(obs::Counter::kResidualCheckNs,
                static_cast<std::uint64_t>(us * 1e3));
@@ -598,6 +611,7 @@ class ActiveMetrics {
   }
 
   void iteration_end(index_t iter, index_t rows) {
+    slot_->owner.assert_held();
     const double t1_us = timer_->seconds() * 1e6;
     slot_->add(obs::Counter::kIterations);
     slot_->add(obs::Counter::kRelaxations, static_cast<std::uint64_t>(rows));
@@ -615,6 +629,7 @@ class ActiveMetrics {
   /// only active lanes are useful work) and the occupancy sample for the
   /// batch-efficiency histogram.
   void batch_iteration(index_t rows, index_t active_cols) {
+    slot_->owner.assert_held();
     slot_->add(obs::Counter::kLaneRelaxations,
                static_cast<std::uint64_t>(rows) *
                    static_cast<std::uint64_t>(active_cols));
@@ -624,6 +639,7 @@ class ActiveMetrics {
 
   void flag_update(bool my_done, index_t iter) {
     if (my_done == flag_up_) return;
+    slot_->owner.assert_held();
     flag_up_ = my_done;
     const double now_us = timer_->seconds() * 1e6;
     if (my_done) {
@@ -635,6 +651,7 @@ class ActiveMetrics {
   }
 
   void stop_decided() {
+    slot_->owner.assert_held();
     slot_->instant(obs::TraceKind::kStop, timer_->seconds() * 1e6);
   }
 

@@ -62,6 +62,7 @@ CgResult conjugate_gradient(const CsrMatrix& a, const Vector& b,
   auto record_iteration = [&](index_t k, double t0_us) {
     const double t1_us = timer.seconds() * 1e6;
     obs::ActorSlot& s = metrics->actor(0);
+    s.owner.assert_held();  // single-threaded solver: it owns its slot
     s.add(obs::Counter::kIterations);
     s.record(obs::Hist::kIterationUs,
              static_cast<std::uint64_t>(t1_us - t0_us));
@@ -103,8 +104,10 @@ CgResult conjugate_gradient(const CsrMatrix& a, const Vector& b,
     vec::xpby(z, beta, p);
   }
   if (metrics != nullptr) {
-    metrics->actor(0).span(obs::TraceKind::kSolve, 0.0,
-                           timer.seconds() * 1e6, result.iterations);
+    obs::ActorSlot& s = metrics->actor(0);
+    s.owner.assert_held();  // single-threaded solver: it owns its slot
+    s.span(obs::TraceKind::kSolve, 0.0, timer.seconds() * 1e6,
+           result.iterations);
   }
   result.final_rel_residual = result.history.back().rel_residual;
   return result;

@@ -73,6 +73,7 @@ SolveResult iterate(const CsrMatrix& a, const Vector& b, const Vector& x0,
     if (metrics != nullptr) {
       const double t1_us = timer.seconds() * 1e6;
       obs::ActorSlot& s = metrics->actor(0);
+      s.owner.assert_held();  // single-threaded solver: it owns its slot
       s.add(obs::Counter::kIterations);
       s.add(obs::Counter::kRelaxations, static_cast<std::uint64_t>(n));
       s.record(obs::Hist::kIterationUs,
@@ -90,8 +91,10 @@ SolveResult iterate(const CsrMatrix& a, const Vector& b, const Vector& x0,
     if (!std::isfinite(rel)) break;  // diverged past double range
   }
   if (metrics != nullptr) {
-    metrics->actor(0).span(obs::TraceKind::kSolve, 0.0,
-                           timer.seconds() * 1e6, result.iterations);
+    obs::ActorSlot& s = metrics->actor(0);
+    s.owner.assert_held();  // single-threaded solver: it owns its slot
+    s.span(obs::TraceKind::kSolve, 0.0, timer.seconds() * 1e6,
+           result.iterations);
   }
   result.final_rel_residual = result.history.back().rel_residual;
   return result;

@@ -1,5 +1,6 @@
 #pragma once
-// ThreadSanitizer annotations and spin-loop hints.
+// Concurrency annotations: Clang thread-safety capabilities, ThreadSanitizer
+// happens-before hooks, and spin-loop hints.
 //
 // The paper's shared-memory runtime deliberately relies on racy relaxed
 // atomics ("writing or reading an aligned double is atomic on modern Intel
@@ -53,7 +54,84 @@
 
 #endif  // AJAC_TSAN_ANNOTATE
 
+// ---------------------------------------------------------------------------
+// Clang thread-safety analysis (-Wthread-safety) attributes.
+//
+// The runtime's concurrency rules are ownership roles, not mutexes: each
+// worker thread is the SOLE WRITER of its own rows of the shared vectors,
+// of its private block mirror, and of its metrics slot, while any thread
+// may read concurrently through the racy/seqlock protocols. -Wthread-safety
+// cannot prove the seqlock's acquire/release choreography correct — that is
+// the TSan stress suite's job — but it can prove the *role discipline*:
+// every mutation flows through a path that explicitly claimed the
+// sole-writer capability, so publishing outside the protocol methods or
+// writing guarded state from an unclaimed context fails the dedicated CI
+// build (CMake preset `thread-safety`, clang only). Roles are claimed with
+// assert_held(): ownership is established by the row partition / the
+// registry's threading contract, never by locking, so there is nothing to
+// acquire at runtime and the assertion compiles to nothing.
+//
+// The macros expand to nothing outside clang, so the gcc tier-1 build is
+// untouched.
+#if defined(__clang__) && !defined(SWIG)
+#define AJAC_TSA(x) __attribute__((x))
+#else
+#define AJAC_TSA(x)
+#endif
+
+/// Class attribute: instances of this type are capabilities ("role" — a
+/// responsibility a thread claims, rather than a lock it takes).
+#define AJAC_CAPABILITY(name) AJAC_TSA(capability(name))
+
+/// Member attribute: reads require the capability shared, writes exclusive.
+#define AJAC_GUARDED_BY(cap) AJAC_TSA(guarded_by(cap))
+#define AJAC_PT_GUARDED_BY(cap) AJAC_TSA(pt_guarded_by(cap))
+
+/// Sole-writer data: thread-private mirrors and single-writer metrics
+/// slots. Alias of AJAC_GUARDED_BY, named for what the role means here.
+#define AJAC_SOLE_WRITER(cap) AJAC_TSA(guarded_by(cap))
+
+/// Function attributes: the caller must hold the capability (exclusively /
+/// shared) for the duration of the call.
+#define AJAC_REQUIRES(...) AJAC_TSA(requires_capability(__VA_ARGS__))
+#define AJAC_REQUIRES_SHARED(...) \
+  AJAC_TSA(requires_shared_capability(__VA_ARGS__))
+
+/// Function attributes: calling acquires / releases the capability.
+#define AJAC_ACQUIRE(...) AJAC_TSA(acquire_capability(__VA_ARGS__))
+#define AJAC_ACQUIRE_SHARED(...) \
+  AJAC_TSA(acquire_shared_capability(__VA_ARGS__))
+#define AJAC_RELEASE(...) AJAC_TSA(release_capability(__VA_ARGS__))
+#define AJAC_RELEASE_SHARED(...) \
+  AJAC_TSA(release_shared_capability(__VA_ARGS__))
+
+/// Function attributes: calling asserts the capability is held without
+/// acquiring it — the claim step for partition-established ownership.
+#define AJAC_ASSERT_CAPABILITY(...) AJAC_TSA(assert_capability(__VA_ARGS__))
+#define AJAC_ASSERT_SHARED_CAPABILITY(...) \
+  AJAC_TSA(assert_shared_capability(__VA_ARGS__))
+
+/// Accessor attribute: this function returns a reference to the named
+/// capability, so `obj.role()` and the member it returns unify.
+#define AJAC_RETURN_CAPABILITY(cap) AJAC_TSA(lock_returned(cap))
+
+/// Escape hatch; every use needs a comment saying why analysis is wrong.
+#define AJAC_NO_THREAD_SAFETY_ANALYSIS AJAC_TSA(no_thread_safety_analysis)
+
 namespace ajac {
+
+/// Zero-state capability standing for "the current thread is the designated
+/// sole writer of this object (or of its slice of a shared structure)".
+/// Never locked: a worker claims the role with assert_held() once its
+/// ownership is established out-of-band (the row partition, the metrics
+/// registry's one-slot-per-worker contract), and the single-threaded setup
+/// / teardown phases claim it the same way. assert_shared() is the
+/// post-join read-side claim used when a single thread aggregates every
+/// worker's slots.
+struct AJAC_CAPABILITY("role") SoleWriterRole {
+  void assert_held() const AJAC_ASSERT_CAPABILITY() {}
+  void assert_shared() const AJAC_ASSERT_SHARED_CAPABILITY() {}
+};
 
 /// True when the TSan happens-before hooks are live (i.e. the build is
 /// thread-sanitized or AJAC_TSAN_ANNOTATE was forced on).

@@ -40,18 +40,6 @@ std::shared_ptr<fault::FaultPlan> make_plan() {
   return plan;
 }
 
-// Events below the iteration cap. The paper's flag-array termination lets a
-// thread overrun max_iterations while slower flags are still down, so the
-// tail past the cap is scheduler-timed; everything below it is a pure
-// function of the plan and the thread count.
-fault::FaultLog below_cap(const fault::FaultLog& log, index_t cap) {
-  fault::FaultLog out;
-  for (const fault::FaultEvent& e : log) {
-    if (e.counter < cap) out.push_back(e);
-  }
-  return out;
-}
-
 TEST(SharedFaults, SingleThreadPlanMatchesNoPlanBitwise) {
   // With one thread the async solve is deterministic, and a plan without
   // stale reads or bit flips must not perturb the arithmetic: the hooks
@@ -148,10 +136,10 @@ TEST(SharedFaults, StragglerLogsWindowEntries) {
       {.actor = 0, .extra_delay_us = 1.0, .period = 16, .duty = 0.5});
   o.fault_plan = plan;
   const SharedResult r = solve_shared(p.a, p.b, p.x0, o);
-  // Window entries at iterations 0, 16, 32, 48 of actor 0 and nothing else
-  // (overrun iterations past the cap may add further entries; those are
-  // scheduler-timed, so only the below-cap slice is asserted exactly).
-  const fault::FaultLog log = below_cap(r.fault_events, o.max_iterations);
+  // Window entries at iterations 0, 16, 32, 48 of actor 0 and nothing
+  // else: threads park at the iteration cap rather than overrun it, so
+  // the whole log — not just a below-cap slice — is exact.
+  const fault::FaultLog& log = r.fault_events;
   ASSERT_EQ(log.size(), 4u);
   for (std::size_t k = 0; k < log.size(); ++k) {
     EXPECT_EQ(log[k].kind, fault::FaultKind::kStragglerOn);
@@ -225,11 +213,12 @@ TEST(SharedFaults, PlanValidatedAgainstThreadCount) {
   EXPECT_THROW(solve_shared(p.a, p.b, p.x0, o), std::logic_error);
 }
 
-// Same plan, same thread count => bitwise-identical fault logs below the
-// iteration cap, no matter how the OS interleaves the threads. Every
-// decision is a pure hash of logical coordinates, so the log is a slice of
-// a fixed decision table; the only run-dependent part is *which*
-// coordinates execute, and that is pinned for iterations < max_iterations.
+// Same plan, same thread count => bitwise-identical fault logs, no matter
+// how the OS interleaves the threads. Every decision is a pure hash of
+// logical coordinates, so the log is a slice of a fixed decision table —
+// and because threads park at the iteration cap instead of overrunning
+// it, the executed coordinate set is exactly [0, max_iterations) per
+// thread. The full log is compared, with no below-cap filtering.
 TEST(SharedFaultDeterminism, SameSeedSameLog) {
   const auto p = problem();
   auto o = base_options(4);
@@ -246,10 +235,8 @@ TEST(SharedFaultDeterminism, SameSeedSameLog) {
   o.fault_plan = plan;
   const SharedResult first = solve_shared(p.a, p.b, p.x0, o);
   const SharedResult second = solve_shared(p.a, p.b, p.x0, o);
-  const fault::FaultLog log1 = below_cap(first.fault_events, o.max_iterations);
-  const fault::FaultLog log2 = below_cap(second.fault_events, o.max_iterations);
-  EXPECT_FALSE(log1.empty());
-  EXPECT_EQ(log1, log2);
+  EXPECT_FALSE(first.fault_events.empty());
+  EXPECT_EQ(first.fault_events, second.fault_events);
   ajac::testing::dump_fault_log_if_failed("shared_determinism_run1",
                                           first.fault_events);
   ajac::testing::dump_fault_log_if_failed("shared_determinism_run2",
@@ -259,7 +246,7 @@ TEST(SharedFaultDeterminism, SameSeedSameLog) {
 // The determinism contract is kernel-independent: fault decisions hash
 // logical coordinates (seed, thread, iteration, row) that both kernel
 // paths visit identically, so the blocked layer reproduces the reference
-// path's below-cap log, not merely its own.
+// path's log exactly, not merely its own.
 TEST(SharedFaultDeterminism, SameSeedSameLogBlockedKernel) {
   const auto p = problem();
   auto o = base_options(4);
@@ -281,13 +268,9 @@ TEST(SharedFaultDeterminism, SameSeedSameLogBlockedKernel) {
   const SharedResult second = solve_shared(p.a, p.b, p.x0, o);
   o.kernel = KernelKind::kReference;
   const SharedResult reference = solve_shared(p.a, p.b, p.x0, o);
-  const fault::FaultLog log1 = below_cap(first.fault_events, o.max_iterations);
-  const fault::FaultLog log2 = below_cap(second.fault_events, o.max_iterations);
-  const fault::FaultLog log_ref =
-      below_cap(reference.fault_events, o.max_iterations);
-  EXPECT_FALSE(log1.empty());
-  EXPECT_EQ(log1, log2);
-  EXPECT_EQ(log1, log_ref);
+  EXPECT_FALSE(first.fault_events.empty());
+  EXPECT_EQ(first.fault_events, second.fault_events);
+  EXPECT_EQ(first.fault_events, reference.fault_events);
   ajac::testing::dump_fault_log_if_failed("shared_determinism_blocked_run1",
                                           first.fault_events);
   ajac::testing::dump_fault_log_if_failed("shared_determinism_blocked_run2",
@@ -310,10 +293,8 @@ TEST(SharedFaultDeterminism, DifferentSeedsDiverge) {
   const SharedResult a = solve_shared(p.a, p.b, p.x0, o);
   o.fault_plan = plan_b;
   const SharedResult b = solve_shared(p.a, p.b, p.x0, o);
-  const fault::FaultLog log_a = below_cap(a.fault_events, o.max_iterations);
-  const fault::FaultLog log_b = below_cap(b.fault_events, o.max_iterations);
-  EXPECT_FALSE(log_a.empty());
-  EXPECT_NE(log_a, log_b);
+  EXPECT_FALSE(a.fault_events.empty());
+  EXPECT_NE(a.fault_events, b.fault_events);
 }
 
 }  // namespace

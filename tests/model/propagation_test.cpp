@@ -38,7 +38,9 @@ TEST(Propagation, InactiveRowsPassThrough) {
   Vector x_out(p.x0.size());
   apply_step(p.a, inv_diag, p.b, active, p.x0, x_out);
   for (index_t i = 0; i < n; ++i) {
-    if (i != 4) EXPECT_DOUBLE_EQ(x_out[i], p.x0[i]);
+    if (i != 4) {
+      EXPECT_DOUBLE_EQ(x_out[i], p.x0[i]);
+    }
   }
   EXPECT_NE(x_out[4], p.x0[4]);
 }

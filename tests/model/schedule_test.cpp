@@ -126,14 +126,16 @@ TEST(GreedyColoring, ValidColoringOfGrid) {
   EXPECT_EQ(num_colors, 2);
   for (index_t i = 0; i < a.num_rows(); ++i) {
     for (index_t j : a.row_cols(i)) {
-      if (i != j) EXPECT_NE(colors[i], colors[j]);
+      if (i != j) {
+        EXPECT_NE(colors[i], colors[j]);
+      }
     }
   }
 }
 
 TEST(GreedyColoring, PathNeedsTwoColors) {
   index_t num_colors = 0;
-  greedy_coloring(gen::fd_laplacian_1d(10), &num_colors);
+  static_cast<void>(greedy_coloring(gen::fd_laplacian_1d(10), &num_colors));
   EXPECT_EQ(num_colors, 2);
 }
 

@@ -100,13 +100,34 @@ TEST(SharedAsync, DelayInjectionSlowsDelayedThread) {
   const auto p = fd_problem(8, 8, 13);
   SharedOptions so;
   so.num_threads = 2;
+  so.tolerance = 1e-6;
+  so.max_iterations = 2000000;
+  so.record_history = false;
+  so.delay_us = {1000.0, 0.0};  // thread 0 sleeps 1ms per iteration
+  const SharedResult r = solve_shared(p.a, p.b, p.x0, so);
+  // The solve stops by convergence, far below the iteration cap (the
+  // delay and tolerance are sized so not even the free thread can reach
+  // it and park): thread 1 runs free while thread 0 crawls, so it relaxes
+  // its rows many more times before the verified stop fires.
+  ASSERT_TRUE(r.converged);
+  EXPECT_GT(r.iterations_per_thread[1], r.iterations_per_thread[0]);
+}
+
+TEST(SharedAsync, IterationCapIsExactDespiteDelay) {
+  // With tolerance 0 every thread must park at the cap rather than run
+  // past it while stragglers catch up: the executed (thread, iteration)
+  // set is exactly [0, max_iterations) per thread, independent of how
+  // lopsided the schedule is.
+  const auto p = fd_problem(8, 8, 13);
+  SharedOptions so;
+  so.num_threads = 2;
   so.tolerance = 0.0;
   so.max_iterations = 25;
   so.record_history = false;
-  so.delay_us = {400.0, 0.0};  // thread 0 sleeps 400us per iteration
+  so.delay_us = {400.0, 0.0};
   const SharedResult r = solve_shared(p.a, p.b, p.x0, so);
-  // Thread 1 runs free while thread 0 crawls: it must do more iterations.
-  EXPECT_GT(r.iterations_per_thread[1], r.iterations_per_thread[0]);
+  EXPECT_EQ(r.iterations_per_thread[0], 25);
+  EXPECT_EQ(r.iterations_per_thread[1], 25);
 }
 
 TEST(SharedSync, DelayThrottlesEveryone) {

@@ -95,6 +95,7 @@ TEST(StressSharedMultiVector, RowSnapshotsNeverMixWrites) {
         const index_t version = v.read_row_versioned(i, snap);
         for (index_t c = 0; c < kLanes; ++c) {
           if (snap[static_cast<std::size_t>(c)] != encode(i, version, c)) {
+            // racy-ok(monotonic): test-harness failure counter, read after join.
             torn.fetch_add(1, std::memory_order_relaxed);
           }
         }
@@ -149,6 +150,7 @@ TEST(StressSharedMultiVector, ManyWritersDistinctRows) {
         const index_t version = v.read_row_versioned(j, snap);
         for (index_t c = 0; c < kLanes; ++c) {
           if (snap[static_cast<std::size_t>(c)] != encode(j, version, c)) {
+            // racy-ok(monotonic): test-harness failure counter, read after join.
             mismatches.fetch_add(1, std::memory_order_relaxed);
           }
         }
@@ -202,6 +204,7 @@ TEST(StressSharedMultiVector, UntracedRowReadsSeeOnlyCommittedLanes) {
         const index_t version = (decoded / 16) % 1048576;
         const index_t row_id = decoded / 16 / 1048576;
         if (lane != c || row_id != i || version > kWrites) {
+          // racy-ok(monotonic): test-harness failure counter, read after join.
           bad.fetch_add(1, std::memory_order_relaxed);
         }
       }

@@ -88,6 +88,7 @@ TEST(StressSharedVector, SeqlockNeverPairsValueWithWrongVersion) {
             static_cast<index_t>(rng.uniform_index(kElements));
         const auto [value, version] = v.read_versioned(i);
         if (value != encode(i, version)) {
+          // racy-ok(monotonic): test-harness failure counter, read after join.
           torn.fetch_add(1, std::memory_order_relaxed);
         }
         // Plain racy read: must still be *some* committed value of this
@@ -95,6 +96,7 @@ TEST(StressSharedVector, SeqlockNeverPairsValueWithWrongVersion) {
         const double racy = v.read(i);
         const auto decoded = static_cast<index_t>(racy);
         if (decoded / 1048576 != i || decoded % 1048576 > kWrites) {
+          // racy-ok(monotonic): test-harness failure counter, read after join.
           torn.fetch_add(1, std::memory_order_relaxed);
         }
         ++count;
@@ -145,6 +147,7 @@ TEST(StressSharedVector, ManyWritersDistinctElements) {
             static_cast<index_t>(rng.uniform_index(kElements));
         const auto [value, version] = v.read_versioned(j);
         if (value != encode(j, version)) {
+          // racy-ok(monotonic): test-harness failure counter, read after join.
           mismatches.fetch_add(1, std::memory_order_relaxed);
         }
         maybe_yield(rng);
@@ -187,6 +190,7 @@ TEST(StressSharedVector, UntracedRacyReadsSeeOnlyCommittedValues) {
       const auto decoded = static_cast<index_t>(value);
       const bool committed = value == 0.0 || (decoded / 1048576 == i &&
                                               decoded % 1048576 <= kWrites);
+      // racy-ok(monotonic): test-harness failure counter, read after join.
       if (!committed) bad.fetch_add(1, std::memory_order_relaxed);
       maybe_yield(rng);
     }

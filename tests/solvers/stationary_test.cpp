@@ -151,7 +151,7 @@ TEST(Sor, OptimalOmegaBeatsGaussSeidel) {
 TEST(MulticolorGaussSeidel, EqualsMulticolorMaskSequence) {
   // Sec. IV-B Eq. 10: color-by-color masked relaxations.
   const auto p = small_fd(23);
-  const index_t n = p.a.num_rows();
+  [[maybe_unused]] const index_t n = p.a.num_rows();
   index_t num_colors = 0;
   const auto colors = model::greedy_coloring(p.a, &num_colors);
 

@@ -162,7 +162,9 @@ TEST(PropCooCsr, DropZerosRemovesExactCancellations) {
         EXPECT_EQ(dropped.at(i, cols[p]), vals[p]);
       }
     }
-    if (cancelled == 0) EXPECT_EQ(dropped, kept);
+    if (cancelled == 0) {
+      EXPECT_EQ(dropped, kept);
+    }
   }
 }
 

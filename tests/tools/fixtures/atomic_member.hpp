@@ -1,0 +1,13 @@
+#pragma once
+// audit-as: src/model/include/ajac/model/leaky_state.hpp
+// Golden fixture: a raw std::atomic member in a module that is sequential
+// by contract. Expected finding: atomic-scope.
+#include <atomic>
+
+namespace ajac::model {
+
+struct LeakyState {
+  std::atomic<long> updates{0};
+};
+
+}  // namespace ajac::model

@@ -1,0 +1,11 @@
+// audit-as: src/runtime/clean_fixture.cpp
+// Golden fixture: obeys every rule — tagged relaxed access with a
+// registered tag, quoted module include path mentioned only in comments,
+// no raw clock, no seqlock pokes. Expected findings: none.
+#include <atomic>
+
+int clean(std::atomic<int>& a) {
+  // racy-ok(monotonic): counter only grows; a stale read defers, never
+  // reverses, the caller's decision.
+  return a.load(std::memory_order_relaxed);
+}

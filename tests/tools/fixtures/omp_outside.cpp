@@ -1,0 +1,12 @@
+// audit-as: src/gen/parallel_fill.cpp
+// Golden fixture: an OpenMP region outside the runtime/bench/sparse-kernel
+// allowlist — threads the fault injector and metrics registry would never
+// know about. Expected finding: omp-allowlist.
+#include <vector>
+
+void fill(std::vector<double>& v) {
+#pragma omp parallel for
+  for (long i = 0; i < static_cast<long>(v.size()); ++i) {
+    v[static_cast<std::size_t>(i)] = static_cast<double>(i);
+  }
+}

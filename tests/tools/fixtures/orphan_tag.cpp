@@ -1,0 +1,12 @@
+// Golden fixture: a racy-ok comment whose access was edited away.
+// Expected finding: racy-ok-orphan.
+#include <atomic>
+
+int orphan(std::atomic<int>& a) {
+  // racy-ok(monotonic): counter only grows; stale reads defer a decision.
+  int x = 1;
+  x += 2;
+  x += 3;
+  x += 4;
+  return x + a.load(std::memory_order_acquire);
+}

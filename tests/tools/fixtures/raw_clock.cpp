@@ -1,0 +1,10 @@
+// audit-as: src/solvers/timed_sweep.cpp
+// Golden fixture: an inline wall-clock read outside timer.hpp/src/obs,
+// which desynchronizes instrumented and uninstrumented runs.
+// Expected finding: clock-ban.
+#include <chrono>
+
+double now_seconds() {
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double>(t).count();
+}

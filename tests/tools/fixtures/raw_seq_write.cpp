@@ -1,0 +1,11 @@
+// audit-as: src/runtime/peek_version.cpp
+// Golden fixture: a seqlock counter poked outside the protocol headers —
+// an innocent-looking "peek" that skips the retry discipline. The access
+// uses acquire ordering so the only violation is the protocol one.
+// Expected finding: seqlock-protocol.
+#include <atomic>
+#include <cstdint>
+
+long peek(const std::atomic<std::int64_t>* seq_, int i) {
+  return static_cast<long>(seq_[i].load(std::memory_order_acquire) / 2);
+}

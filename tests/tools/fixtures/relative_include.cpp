@@ -1,0 +1,5 @@
+// Golden fixture: a relative project include, which silently re-resolves
+// when either file moves. Expected finding: include-hygiene.
+#include "../util/helpers.hpp"
+
+int fixture_value() { return 1; }

@@ -1,0 +1,8 @@
+// Golden fixture: a racy-ok tag that is not registered in racy_ok.toml.
+// Expected finding: racy-ok-unknown-tag.
+#include <atomic>
+
+int unknown_tag(std::atomic<int>& a) {
+  // racy-ok(totally-fine): a category minted ad hoc at the call site.
+  return a.load(std::memory_order_relaxed);
+}

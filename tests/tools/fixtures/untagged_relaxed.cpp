@@ -1,0 +1,7 @@
+// Golden fixture: a relaxed atomic access with no racy-ok justification.
+// Expected finding: racy-ok-tag.
+#include <atomic>
+
+int untagged(std::atomic<int>& a) {
+  return a.load(std::memory_order_relaxed);
+}

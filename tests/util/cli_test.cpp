@@ -81,14 +81,14 @@ TEST(CliParser, MalformedIntThrows) {
   CliParser cli = make_parser();
   const char* argv[] = {"prog", "--n=abc"};
   ASSERT_TRUE(cli.parse(2, argv));
-  EXPECT_THROW(cli.get_int("n"), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(cli.get_int("n")), std::invalid_argument);
 }
 
 TEST(CliParser, MalformedBoolThrows) {
   CliParser cli = make_parser();
   const char* argv[] = {"prog", "--name=fe"};
   ASSERT_TRUE(cli.parse(2, argv));
-  EXPECT_THROW(cli.get_bool("name"), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(cli.get_bool("name")), std::invalid_argument);
 }
 
 TEST(CliParser, HelpReturnsFalse) {
