@@ -1,0 +1,224 @@
+// Row-selection policy comparison (natural sweep vs uniform-random vs
+// residual-weighted) plus an empirical check of the randomized rate bound.
+//
+// Part A measures the realized tail contraction of uniform single-row
+// relaxation on unit-diagonal SPD matrices and compares the contraction
+// *gap* (1 - rate) against the Avron/Druinsky/Gupta (arXiv:1304.6475)
+// prediction lambda_min(A-hat)/n — the same measurement the tier-1 suite
+// pins (tests/runtime/policy_rate_test.cpp), here over larger windows and
+// emitted as a machine-checkable table (tools/check_policy_rates.py gates
+// the ratio in CI).
+//
+// Part B races the three policies end to end through solve_shared on a
+// well-conditioned FD Laplacian (where natural order is hard to beat — the
+// sampled policies pay their variance for nothing) and on a skewed
+// two-rate fixture (a slow near-indefinite block buried in a fast
+// diagonally dominant one), where residual weighting concentrates its
+// draws on the slow block and wins on relaxations-to-tolerance.
+
+#include <omp.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ajac/eig/lanczos.hpp"
+#include "ajac/eig/operators.hpp"
+#include "ajac/gen/fd.hpp"
+#include "ajac/gen/fe.hpp"
+#include "ajac/runtime/row_policy.hpp"
+#include "ajac/runtime/shared_jacobi.hpp"
+#include "ajac/sparse/scaling.hpp"
+#include "ajac/sparse/vector_ops.hpp"
+#include "ajac/util/rng.hpp"
+#include "bench_common.hpp"
+
+using namespace ajac;
+
+namespace {
+
+// ---- Part A: uniform tail rate vs the randomized bound -------------------
+
+double energy(const CsrMatrix& ahat, const Vector& x, const Vector& xstar) {
+  const auto n = x.size();
+  Vector e(n);
+  Vector ae(n);
+  for (std::size_t i = 0; i < n; ++i) e[i] = x[i] - xstar[i];
+  ahat.spmv(e, ae);
+  return vec::dot(e, ae);
+}
+
+/// Geometric per-relaxation contraction of the A-norm error energy over
+/// the window after `burn_in` sweeps, driving sequential coordinate
+/// descent with the RowSampler's own uniform stream.
+double measured_tail_contraction(const CsrMatrix& ahat, std::uint64_t seed,
+                                 index_t iters, index_t burn_in) {
+  const index_t n = ahat.num_rows();
+  const auto n_sz = static_cast<std::size_t>(n);
+  Vector xstar(n_sz);
+  Rng rng(seed);
+  vec::fill_uniform(xstar, rng);
+  Vector b(n_sz);
+  ahat.spmv(xstar, b);
+  Vector x(n_sz, 0.0);
+
+  runtime::RowSampler sampler(runtime::RowPolicy::kUniformRandom, seed,
+                              /*worker=*/0, 0, n, 1);
+  double e_burn = 0.0;
+  for (index_t iter = 0; iter < iters; ++iter) {
+    if (iter == burn_in) e_burn = energy(ahat, x, xstar);
+    for (index_t slot = 0; slot < n; ++slot) {
+      const index_t i = sampler.next(iter, slot);
+      const double r = b[static_cast<std::size_t>(i)] - ahat.row_dot(i, x);
+      x[static_cast<std::size_t>(i)] += r;  // unit diagonal
+    }
+  }
+  const double e_end = energy(ahat, x, xstar);
+  const double relaxations =
+      static_cast<double>(iters - burn_in) * static_cast<double>(n);
+  return std::pow(e_end / e_burn, 1.0 / relaxations);
+}
+
+void run_rates(std::uint64_t seed, index_t grid, const CliParser& cli) {
+  std::printf("== uniform-random tail rate vs the randomized bound ==\n");
+  struct RateCase {
+    std::string name;
+    CsrMatrix ahat;
+    index_t iters;
+    index_t burn_in;
+  };
+  std::vector<RateCase> cases;
+  cases.push_back({"fd" + std::to_string(grid * grid),
+                   scale_to_unit_diagonal(gen::fd_laplacian_2d(grid, grid)),
+                   400, 100});
+  gen::FeMeshOptions mesh;
+  mesh.nx = 12;
+  mesh.ny = 12;
+  mesh.seed = seed;
+  cases.push_back({"fe144",
+                   scale_to_unit_diagonal(gen::fe_laplacian_2d(mesh)), 500,
+                   150});
+
+  Table table({"matrix", "n", "lambda_min", "gap theory", "gap measured",
+               "gap ratio"});
+  table.set_double_format("%.4e");
+  for (const RateCase& c : cases) {
+    const auto eig_r = eig::lanczos_extreme(eig::make_operator(c.ahat));
+    const double n = static_cast<double>(c.ahat.num_rows());
+    const double gap_t = eig_r.lambda_min / n;
+    const double rate =
+        measured_tail_contraction(c.ahat, seed, c.iters, c.burn_in);
+    const double gap_m = 1.0 - rate;
+    table.add_row({c.name, c.ahat.num_rows(), eig_r.lambda_min, gap_t, gap_m,
+                   gap_m / gap_t});
+  }
+  bench::emit(table, cli, "policy_rates");
+  std::printf(
+      "\nThe expectation bound guarantees gap >= lambda_min/n per uniform\n"
+      "relaxation; concentration on the minimal eigenvector drives the tail\n"
+      "gap down to it from above, so the ratio sits in a narrow band just\n"
+      "above 1 (CI gates it via tools/check_policy_rates.py).\n\n");
+}
+
+// ---- Part B: end-to-end policy race ---------------------------------------
+
+/// Two-rate block-diagonal fixture: rows [0, n_slow) form a slow, nearly
+/// indefinite tridiagonal block (off-diagonal -0.499), the rest a strongly
+/// diagonally dominant one (-0.2). The residual stays skewed onto the slow
+/// block, which is exactly the regime residual weighting targets.
+CsrMatrix make_skewed(index_t n, index_t n_slow) {
+  std::vector<index_t> row_ptr{0};
+  std::vector<index_t> col_idx;
+  std::vector<double> values;
+  for (index_t i = 0; i < n; ++i) {
+    const index_t block_lo = i < n_slow ? 0 : n_slow;
+    const index_t block_hi = i < n_slow ? n_slow : n;
+    const double off = i < n_slow ? -0.499 : -0.2;
+    if (i > block_lo) {
+      col_idx.push_back(i - 1);
+      values.push_back(off);
+    }
+    col_idx.push_back(i);
+    values.push_back(1.0);
+    if (i + 1 < block_hi) {
+      col_idx.push_back(i + 1);
+      values.push_back(off);
+    }
+    row_ptr.push_back(static_cast<index_t>(col_idx.size()));
+  }
+  return CsrMatrix(n, n, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+void run_solve(std::uint64_t seed, index_t grid, index_t threads,
+               const CliParser& cli) {
+  std::printf("== relaxations-to-tolerance by policy (%lld threads) ==\n",
+              static_cast<long long>(threads));
+  struct Problem {
+    std::string name;
+    CsrMatrix a;
+  };
+  std::vector<Problem> problems;
+  problems.push_back(
+      {"fd" + std::to_string(grid * grid), gen::fd_laplacian_2d(grid, grid)});
+  problems.push_back({"skewed", make_skewed(256, 16)});
+
+  Table table({"problem", "policy", "converged", "relaxations", "wall ms"});
+  table.set_double_format("%.3e");
+  for (const Problem& p : problems) {
+    Vector b(static_cast<std::size_t>(p.a.num_rows()));
+    Rng rng(seed + 1);
+    vec::fill_uniform(b, rng);
+    const Vector x0(static_cast<std::size_t>(p.a.num_rows()), 0.0);
+    for (const runtime::RowPolicy policy :
+         {runtime::RowPolicy::kNaturalOrder,
+          runtime::RowPolicy::kUniformRandom,
+          runtime::RowPolicy::kResidualWeighted}) {
+      runtime::SharedOptions o;
+      o.num_threads = threads;
+      o.tolerance = 1e-8;
+      o.max_iterations = 200000;
+      o.record_history = false;
+      o.final_polish = false;
+      o.yield = true;
+      o.policy = policy;
+      o.policy_seed = seed;
+      o.weight_refresh = 2;
+      const double t0 = omp_get_wtime();
+      const auto r = runtime::solve_shared(p.a, b, x0, o);
+      const double ms = (omp_get_wtime() - t0) * 1e3;
+      table.add_row({p.name, std::string(runtime::policy_name(policy)),
+                     std::string(r.converged ? "yes" : "no"),
+                     r.total_relaxations, ms});
+    }
+  }
+  bench::emit(table, cli, "policy_solve");
+  std::printf(
+      "\nOn the well-conditioned FD grid the policies are within ~25%% of\n"
+      "each other in relaxations (every row needs work; natural wins on\n"
+      "wall-clock because sweeping is cheaper than sampling). On the skewed\n"
+      "fixture natural order wastes 15/16 of every sweep on the\n"
+      "long-converged fast block while the weighted policy concentrates\n"
+      "there and wins ~10x on relaxations-to-tolerance (the CI gate checks\n"
+      "the margin via tools/check_policy_rates.py).\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_policies",
+                "Row-selection policies: rate-bound check and policy race");
+  bench::add_common_options(cli);
+  cli.add_option("threads", "1",
+                 "worker threads for the end-to-end race (1 = deterministic)");
+  cli.add_option("grid", "16", "FD grid side (n = grid^2 rows)");
+  if (!cli.parse(argc, argv)) return 0;
+  const auto threads = cli.get_int("threads");
+  const auto grid = cli.get_int("grid");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  run_rates(seed, grid, cli);
+  run_solve(seed, grid, threads, cli);
+  return 0;
+}

@@ -78,6 +78,14 @@ runtime::KernelKind parse_kernel(const std::string& name) {
                               "' (blocked | reference)");
 }
 
+runtime::RowPolicy parse_policy(const std::string& name) {
+  if (name == "natural") return runtime::RowPolicy::kNaturalOrder;
+  if (name == "uniform") return runtime::RowPolicy::kUniformRandom;
+  if (name == "weighted") return runtime::RowPolicy::kResidualWeighted;
+  throw std::invalid_argument("unknown policy '" + name +
+                              "' (natural | uniform | weighted)");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -93,6 +101,11 @@ int main(int argc, char** argv) {
   cli.add_option("seed", "1", "random seed (b, x0, partitioner, noise)");
   cli.add_option("kernel", "blocked",
                  "shared backend kernels: blocked | reference");
+  cli.add_option("policy", "natural",
+                 "async row-selection policy: natural | uniform | weighted "
+                 "(shared and distsim backends)");
+  cli.add_option("weight-refresh", "8",
+                 "weighted policy: iterations between |r_i| weight rebuilds");
   cli.add_option("nrhs", "1",
                  "right-hand sides solved together (shared backend; > 1 "
                  "uses the batched SIMD path with seeded random columns)");
@@ -128,6 +141,8 @@ int main(int argc, char** argv) {
     cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
     cfg.shared_kernel = parse_kernel(cli.get_string("kernel"));
     cfg.num_rhs = cli.get_int("nrhs");
+    cfg.policy = parse_policy(cli.get_string("policy"));
+    cfg.weight_refresh = cli.get_int("weight-refresh");
 
     if (cfg.num_rhs > 1) {
       const index_t n = a.num_rows();

@@ -53,6 +53,9 @@ Solution solve(const CsrMatrix& a, const Vector& b, const Vector& x0,
       opts.max_iterations = config.max_iterations;
       opts.record_history = false;
       opts.kernel = config.shared_kernel;
+      opts.policy = config.policy;
+      opts.weight_refresh = config.weight_refresh;
+      opts.policy_seed = config.seed;
       const runtime::SharedResult r = runtime::solve_shared(a, b, x0, opts);
       sol.seconds = r.seconds;
       sol.x = r.x;
@@ -73,6 +76,8 @@ Solution solve(const CsrMatrix& a, const Vector& b, const Vector& x0,
       opts.max_iterations = config.max_iterations;
       opts.tolerance = config.tolerance;
       opts.seed = config.seed;
+      opts.policy = config.policy;
+      opts.weight_refresh = config.weight_refresh;
 
       const CsrMatrix* matrix = &a;
       const Vector* rhs = &b;
@@ -147,6 +152,9 @@ BatchSolution solve_batch(const CsrMatrix& a, const MultiVector& b,
   opts.max_iterations = config.max_iterations;
   opts.record_history = false;
   opts.kernel = config.shared_kernel;
+  opts.policy = config.policy;
+  opts.weight_refresh = config.weight_refresh;
+  opts.policy_seed = config.seed;
   runtime::SharedBatchResult r = runtime::solve_shared_batch(a, b, x0, opts);
   BatchSolution sol;
   sol.x = std::move(r.x);

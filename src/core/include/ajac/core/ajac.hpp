@@ -56,6 +56,15 @@ struct SolveConfig {
   /// exactly num_rhs columns via solve_batch), amortizing every matrix
   /// traversal over the batch.
   index_t num_rhs = 1;
+  /// kSharedMemory / kDistributedSim: row-selection policy for the
+  /// asynchronous sweep. kNaturalOrder (default) keeps the runtimes
+  /// bitwise identical to their pre-policy behavior; the sampled policies
+  /// draw rows from counter-based streams seeded by `seed` (see
+  /// runtime::RowPolicy). Asynchronous mode only.
+  runtime::RowPolicy policy = runtime::RowPolicy::kNaturalOrder;
+  /// Sampled kResidualWeighted policy: iterations between |r_i| weight
+  /// rebuilds (must be >= 1).
+  index_t weight_refresh = 8;
 };
 
 struct Solution {

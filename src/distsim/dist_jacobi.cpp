@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <queue>
 
 #include "ajac/obs/metrics.hpp"
+#include "ajac/runtime/row_policy.hpp"
 #include "ajac/sparse/csr.hpp"
 #include "ajac/sparse/validate.hpp"
 #include "ajac/sparse/vector_ops.hpp"
@@ -25,6 +27,11 @@ struct Message {
   /// Non-empty for row-level puts: ghost slots (receiver-local) written by
   /// `values`; empty = the whole link in recv_slots order.
   std::vector<index_t> slots;
+  /// Per-value sender row versions (sampled policies under record_trace
+  /// only): with sampled draws a rank's rows carry different relaxation
+  /// counts, so `seq` alone no longer identifies which update of row j a
+  /// ghost read consumed. Empty = every value carries `seq`.
+  std::vector<index_t> versions;
 };
 
 struct MessageLater {
@@ -53,8 +60,15 @@ struct ProcessState {
   index_t polls = 0;
   Rng rng{0};
   std::priority_queue<Message, std::vector<Message>, MessageLater> mailbox;
-  /// Trace mode: version of each ghost slot (sender iteration count).
+  /// Trace mode: version of each ghost slot (sender iteration count, or
+  /// the sender's per-row relaxation count under a sampled policy).
   std::vector<index_t> ghost_version;
+  /// Sampled policies: the rank's per-row relaxation-draw stream.
+  std::optional<runtime::RowSampler> sampler;
+  /// Trace mode + sampled policy: per-owned-row relaxation counts (the
+  /// per-row analogue of `iterations`). Never reset — the Sec. IV trace
+  /// model needs monotone counters even across crash recovery.
+  std::vector<index_t> own_version;
   std::vector<model::RelaxationEvent> events;
   /// Highest seq applied per neighbor link (ordered_delivery / stats).
   std::vector<index_t> last_seq;
@@ -118,6 +132,82 @@ double relax_dispatch(ProcessState& ps, std::span<const double> b_local,
                                       : relax_block_gs(ps, b_local);
 }
 
+/// Sampled-policy local iteration: `num_owned` draws from the rank's
+/// counter-based row stream, each relaxing its row in place (later draws
+/// see earlier draws' values, like the shared runtime's sampled path).
+/// Weighted draws refresh their stencil-smoothed residual prefix sums on
+/// the sampler's cadence from the pre-draw local view. When `record` is set, every draw logs a
+/// relaxation event whose owned reads carry per-row relaxation counts
+/// (ps.own_version) rather than the block iteration count. Returns the
+/// post-sweep local residual 1-norm — draws may visit rows unevenly, so
+/// the per-draw residuals do not sum to a block norm the way the sweeping
+/// kernels' do; one exact pass keeps the termination-detection reports
+/// honest.
+double relax_block_sampled(ProcessState& ps, std::span<const double> b_local,
+                           bool record) {
+  const LocalBlock& blk = *ps.blk;
+  const index_t m = blk.num_owned();
+  runtime::RowSampler& sampler = *ps.sampler;
+  const index_t iter = ps.iterations;
+  if (sampler.refresh_due(iter)) {
+    // Two passes, mirroring the shared runtime's refresh: the TRUE local
+    // residual of every owned row (ghosts at their mailbox values), then
+    // the stencil-smoothed weight (|A| |r|)_i over the owned rows — see
+    // row_policy.hpp. ps.updates is the Jacobi carrier, unused on the
+    // sampled path, so it serves as the snapshot scratch here.
+    for (index_t i = 0; i < m; ++i) {
+      double acc = b_local[i];
+      for (index_t p = blk.row_ptr[i]; p < blk.row_ptr[i + 1]; ++p) {
+        acc -= blk.values[p] * ps.x_local[blk.col_idx[p]];
+      }
+      ps.updates[i] = std::abs(acc);
+    }
+    sampler.refresh_weights([&](index_t i) {
+      double w = 0.0;
+      for (index_t p = blk.row_ptr[i]; p < blk.row_ptr[i + 1]; ++p) {
+        const index_t c = blk.col_idx[p];
+        if (c < m) w += std::abs(blk.values[p]) * ps.updates[c];
+      }
+      return w;
+    });
+  }
+  for (index_t slot = 0; slot < m; ++slot) {
+    const index_t i = sampler.next(iter, slot);
+    double acc = b_local[i];
+    if (record) {
+      model::RelaxationEvent event;
+      event.row = blk.row_begin + i;
+      for (index_t p = blk.row_ptr[i]; p < blk.row_ptr[i + 1]; ++p) {
+        const index_t c = blk.col_idx[p];
+        acc -= blk.values[p] * ps.x_local[c];
+        if (c < m) {
+          if (c == i) continue;
+          event.reads.push_back({blk.row_begin + c, ps.own_version[c]});
+        } else {
+          event.reads.push_back(
+              {blk.ghost_cols[c - m], ps.ghost_version[c - m]});
+        }
+      }
+      ps.events.push_back(std::move(event));
+      ++ps.own_version[i];
+    } else {
+      for (index_t p = blk.row_ptr[i]; p < blk.row_ptr[i + 1]; ++p) {
+        acc -= blk.values[p] * ps.x_local[blk.col_idx[p]];
+      }
+    }
+    ps.x_local[i] += ps.inv_diag[i] * acc;
+  }
+  double local_norm = 0.0;
+  for (index_t i = 0; i < m; ++i) {
+    double acc = b_local[i];
+    for (index_t p = blk.row_ptr[i]; p < blk.row_ptr[i + 1]; ++p) {
+      acc -= blk.values[p] * ps.x_local[blk.col_idx[p]];
+    }
+    local_norm += std::abs(acc);
+  }
+  return local_norm;
+}
+
 /// Time to compute the relaxation itself (the SpMV + correction). The
 /// updated values become remotely visible after this — the put is issued
 /// as soon as they exist.
@@ -177,6 +267,15 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
                      opts.inner_sweep == InnerSweep::kJacobi,
                  "read-version traces assume the Jacobi inner sweep (all "
                  "owned rows read the same snapshot)");
+  const bool sampled = runtime::is_sampled(opts.policy);
+  AJAC_CHECK_MSG(!(sampled && opts.synchronous),
+                 "sampled row policies relax in place and have no "
+                 "synchronous meaning (asynchronous mode only)");
+  AJAC_CHECK_MSG(!sampled || opts.inner_sweep == InnerSweep::kJacobi,
+                 "sampled row policies define their own in-place schedule; "
+                 "the Gauss-Seidel inner sweep does not compose with them");
+  AJAC_CHECK_MSG(opts.weight_refresh >= 1,
+                 "weight_refresh must be a positive iteration cadence");
   AJAC_DBG_VALIDATE(validate::csr_structure(
       a, {.require_diagonal = true, .require_square = true}));
   AJAC_DBG_VALIDATE(partition::validate(part, n));
@@ -264,6 +363,16 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
     if (opts.record_trace) {
       ps.ghost_version.assign(
           static_cast<std::size_t>(ps.blk->num_ghosts()), 0);
+    }
+    if (sampled) {
+      // Same coordinate discipline as the shared runtime: draws are a
+      // deterministic function of (seed, rank, iteration, slot), so the
+      // event interleaving cannot perturb them.
+      ps.sampler.emplace(opts.policy, opts.seed, p, index_t{0}, m,
+                         opts.weight_refresh);
+      if (opts.record_trace) {
+        ps.own_version.assign(static_cast<std::size_t>(m), 0);
+      }
     }
     for (std::size_t l = 0; l < ps.blk->neighbors.size(); ++l) {
       ps.link_of_sender.emplace_back(ps.blk->neighbors[l].neighbor,
@@ -646,7 +755,8 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
           for (std::size_t k = 0; k < slots.size(); ++k) {
             ps.x_local[m + slots[k]] = msg.values[k];
             if (opts.record_trace) {
-              ps.ghost_version[slots[k]] = msg.seq;
+              ps.ghost_version[slots[k]] =
+                  msg.versions.empty() ? msg.seq : msg.versions[k];
             }
           }
           ps.last_seq[link_idx] = std::max(ps.last_seq[link_idx], msg.seq);
@@ -747,7 +857,7 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
           }
         }
       }
-      if (opts.record_trace) {
+      if (opts.record_trace && !sampled) {
         const LocalBlock& blk = *ps.blk;
         const index_t m = blk.num_owned();
         for (index_t i = 0; i < m; ++i) {
@@ -767,12 +877,12 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
           ps.events.push_back(std::move(event));
         }
       }
-      const double local_norm = relax_dispatch(
-          ps,
-          std::span<const double>(
-              b.data() + ps.blk->row_begin,
-              static_cast<std::size_t>(ps.blk->num_owned())),
-          opts.inner_sweep);
+      const std::span<const double> b_local(
+          b.data() + ps.blk->row_begin,
+          static_cast<std::size_t>(ps.blk->num_owned()));
+      const double local_norm =
+          sampled ? relax_block_sampled(ps, b_local, opts.record_trace)
+                  : relax_dispatch(ps, b_local, opts.inner_sweep);
       ++ps.iterations;
       ps.has_new_data = false;
       relaxations += ps.blk->num_owned();
@@ -847,6 +957,9 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
             msg.link_index = dst_link;
             msg.values.push_back(ps.x_local[local_row]);
             msg.slots.push_back(recv_slots[k]);
+            if (sampled && opts.record_trace) {
+              msg.versions.push_back(ps.own_version[local_row]);
+            }
             const double frac =
                 static_cast<double>(local_row + 1) / static_cast<double>(m);
             const double latency =
@@ -864,6 +977,9 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
         msg.values.reserve(link.send_rows.size());
         for (index_t row : link.send_rows) {
           msg.values.push_back(ps.x_local[row - ps.blk->row_begin]);
+          if (sampled && opts.record_trace) {
+            msg.versions.push_back(ps.own_version[row - ps.blk->row_begin]);
+          }
         }
         const double latency =
             opts.cost.message_time(

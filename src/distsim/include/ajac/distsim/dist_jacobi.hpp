@@ -23,6 +23,7 @@
 #include "ajac/distsim/local_block.hpp"
 #include "ajac/fault/fault_plan.hpp"
 #include "ajac/model/trace.hpp"
+#include "ajac/runtime/row_policy.hpp"
 #include "ajac/sparse/types.hpp"
 
 namespace ajac {
@@ -101,6 +102,16 @@ struct DistOptions {
   /// delayed_process gets speed divided by delay_factor.
   index_t delayed_process = -1;
   double delay_factor = 1.0;
+  /// Row-selection policy for the local sweep (asynchronous mode with the
+  /// kJacobi inner sweep only). Sampled policies draw `num_owned` rows per
+  /// local iteration from a per-rank counter-based stream — the same
+  /// (seed, actor, iteration, slot) coordinate discipline as the shared
+  /// runtime — and relax each drawn row in place. kNaturalOrder leaves
+  /// the simulator bitwise unchanged.
+  runtime::RowPolicy policy = runtime::RowPolicy::kNaturalOrder;
+  /// Sampled kResidualWeighted: local iterations between |r_i| weight
+  /// rebuilds (must be >= 1).
+  index_t weight_refresh = 8;
   CostModel cost;
   std::uint64_t seed = 99;
   /// Asynchronous-mode termination scheme (see Termination).

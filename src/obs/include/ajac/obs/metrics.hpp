@@ -76,6 +76,7 @@ enum class Counter : std::size_t {
   kMessagesReceived,    ///< distsim: puts delivered
   kMessagesDropped,     ///< distsim: puts lost to faults or dead ranks
   kMessagesDuplicated,  ///< distsim: retransmitted copies injected
+  kWeightRefreshes,     ///< sampled policies: |r_i| prefix-sum rebuilds
   kCount
 };
 inline constexpr std::size_t kNumCounters =
@@ -94,6 +95,8 @@ enum class Hist : std::size_t {
   kGhostReadAge,       ///< distsim: sender-iteration lag of applied ghosts
   kBatchOccupancy,     ///< batch path: active (unconverged) columns per iteration
   kColumnRelaxations,  ///< batch path: per-column active relaxation totals
+  kRowRelaxations,     ///< sampled policies: per-row relaxation totals
+  kRowSelectionSkew,   ///< sampled policies: per-thread max/mean row count, %
   kCount
 };
 inline constexpr std::size_t kNumHists = static_cast<std::size_t>(Hist::kCount);

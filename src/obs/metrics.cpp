@@ -24,6 +24,7 @@ const char* counter_name(Counter c) noexcept {
     case Counter::kMessagesReceived: return "messages_received";
     case Counter::kMessagesDropped: return "messages_dropped";
     case Counter::kMessagesDuplicated: return "messages_duplicated";
+    case Counter::kWeightRefreshes: return "weight_refreshes";
     case Counter::kCount: break;
   }
   return "unknown";
@@ -39,6 +40,8 @@ const char* hist_name(Hist h) noexcept {
     case Hist::kGhostReadAge: return "ghost_read_age";
     case Hist::kBatchOccupancy: return "batch_occupancy";
     case Hist::kColumnRelaxations: return "column_relaxations";
+    case Hist::kRowRelaxations: return "row_relaxations";
+    case Hist::kRowSelectionSkew: return "row_selection_skew";
     case Hist::kCount: break;
   }
   return "unknown";

@@ -278,6 +278,103 @@ inline void relax_traced(const BlockedCsr::Block& blk, const CsrMatrix& a,
   for (const index_t i : blk.boundary_rows) relax_row(i);
 }
 
+/// One sampled in-place relaxation of own row i (the row a RowSampler
+/// drew): residual from the latest mirror/ghost values, published to r,
+/// then the correction committed immediately — like one row of
+/// relax_block_gs, except the row order comes from the policy instead of
+/// the ascending sweep. Later draws of the same local iteration see the
+/// update through the mirror; other threads see it through x.
+template <class Faults>
+inline void relax_row_sampled(const BlockedCsr::Block& blk, const CsrMatrix& a,
+                              std::span<const double> b, OwnBlockState& own,
+                              SharedVector& x, SharedVector& r, Faults& faults,
+                              index_t i)
+    AJAC_REQUIRES(own.owner, x.writer_role(), r.writer_role()) {
+  const auto li = static_cast<std::size_t>(i - blk.lo);
+  const auto begin = static_cast<std::size_t>(blk.row_ptr[li]);
+  const auto end = static_cast<std::size_t>(blk.row_ptr[li + 1]);
+  double acc = b[static_cast<std::size_t>(i)];
+  FlippedEntry flipped;
+  bool has_flip = false;
+  if constexpr (Faults::enabled) {
+    const auto row = a.row(i);
+    has_flip = faults.flip(i, row.cols, row.vals, flipped);
+  }
+  for (std::size_t p = begin; p < end; ++p) {
+    double aij = blk.values[p];
+    if constexpr (Faults::enabled) {
+      if (has_flip && p - begin == flipped.entry) aij = flipped.value;
+    }
+    const index_t code = blk.col_code[p];
+    const double xj =
+        BlockedCsr::is_ghost(code)
+            ? faults.read(x, blk.ghost_cols[static_cast<std::size_t>(
+                                 BlockedCsr::ghost_slot(code))])
+            : own.x[static_cast<std::size_t>(code)];
+    acc -= aij * xj;
+  }
+  r.write(i, acc);
+  const double nx = own.x[li] + blk.inv_diag[li] * acc;
+  x.write(i, nx);
+  own.x[li] = nx;
+}
+
+/// Traced sampled relaxation: relax_row_sampled plus the read-version
+/// recording of relax_traced. The in-place commit bumps the row's seqlock
+/// once, so the version mirror advances with the write — a row drawn twice
+/// in one iteration records two distinct versions, exactly what the
+/// propagation analysis needs to order repeated relaxations.
+template <class Faults, class Metrics>
+inline void relax_row_sampled_traced(
+    const BlockedCsr::Block& blk, const CsrMatrix& a, std::span<const double> b,
+    OwnBlockState& own, SharedVector& x, Faults& faults, Metrics& metrics,
+    index_t iter, SharedVector& r,
+    std::vector<model::RelaxationEvent>& events, index_t i)
+    AJAC_REQUIRES(own.owner, x.writer_role(), r.writer_role()) {
+  const auto li = static_cast<std::size_t>(i - blk.lo);
+  const auto begin = static_cast<std::size_t>(blk.row_ptr[li]);
+  const auto end = static_cast<std::size_t>(blk.row_ptr[li + 1]);
+  model::RelaxationEvent event;
+  event.row = i;
+  event.reads.reserve(end - begin);
+  double acc = b[static_cast<std::size_t>(i)];
+  FlippedEntry flipped;
+  bool has_flip = false;
+  if constexpr (Faults::enabled) {
+    const auto row = a.row(i);
+    has_flip = faults.flip(i, row.cols, row.vals, flipped);
+  }
+  for (std::size_t p = begin; p < end; ++p) {
+    double aij = blk.values[p];
+    if constexpr (Faults::enabled) {
+      if (has_flip && p - begin == flipped.entry) aij = flipped.value;
+    }
+    const index_t code = blk.col_code[p];
+    if (!BlockedCsr::is_ghost(code)) {
+      acc -= aij * own.x[static_cast<std::size_t>(code)];
+      const index_t j = blk.lo + code;
+      if (j == i) continue;
+      const index_t version = own.version[static_cast<std::size_t>(code)];
+      if constexpr (Metrics::enabled) metrics.staleness(iter, version);
+      event.reads.push_back({j, version});
+      continue;
+    }
+    const index_t j =
+        blk.ghost_cols[static_cast<std::size_t>(BlockedCsr::ghost_slot(code))];
+    const auto [value, version] =
+        faults.read_versioned(x, j, metrics.retry_sink());
+    acc -= aij * value;
+    if constexpr (Metrics::enabled) metrics.staleness(iter, version);
+    event.reads.push_back({j, version});
+  }
+  r.write(i, acc);
+  const double nx = own.x[li] + blk.inv_diag[li] * acc;
+  x.write(i, nx);
+  own.x[li] = nx;
+  ++own.version[li];  // the x.write bumped the element's seqlock once
+  events.push_back(std::move(event));
+}
+
 // ---------------------------------------------------------------------------
 // Multi-RHS (batched) kernels. Same structure as their scalar counterparts,
 // but every per-row scalar becomes k contiguous lanes: the CSR gather
@@ -433,6 +530,65 @@ inline void commit_block_batch(const BlockedCsr::Block& blk,
     }
     x.write_row(i, {ox, static_cast<std::size_t>(k)});
   }
+}
+
+/// One sampled in-place batched relaxation of own row i: the k-lane
+/// residual is computed from the latest mirror/ghost rows (one gather,
+/// k FMAs — same amortization as relax_boundary_batch), published to r,
+/// and the correction committed immediately with the per-column freeze
+/// blend of commit_block_batch. Frozen lanes keep their bits, so a
+/// column's final state stays policy-schedule-only — which draws happened
+/// — never perturbed by the other columns' lifetimes.
+template <class Faults>
+inline void relax_row_sampled_batch(
+    const BlockedCsr::Block& blk, const CsrMatrix& a, const MultiVector& b,
+    OwnBlockBatchState& own, SharedMultiVector& x, Faults& faults,
+    SharedMultiVector& r, std::span<const double> active,
+    std::span<double> acc, std::span<double> ghost, index_t i)
+    AJAC_REQUIRES(own.owner, x.writer_role(), r.writer_role()) {
+  const index_t k = b.num_cols();
+  const auto li = static_cast<std::size_t>(i - blk.lo);
+  const auto begin = static_cast<std::size_t>(blk.row_ptr[li]);
+  const auto end = static_cast<std::size_t>(blk.row_ptr[li + 1]);
+  const double* br = b.row(i);
+#pragma omp simd
+  for (index_t c = 0; c < k; ++c) acc[static_cast<std::size_t>(c)] = br[c];
+  FlippedEntry flipped;
+  bool has_flip = false;
+  if constexpr (Faults::enabled) {
+    const auto row = a.row(i);
+    has_flip = faults.flip(i, row.cols, row.vals, flipped);
+  }
+  for (std::size_t p = begin; p < end; ++p) {
+    double aij = blk.values[p];
+    if constexpr (Faults::enabled) {
+      if (has_flip && p - begin == flipped.entry) aij = flipped.value;
+    }
+    const index_t code = blk.col_code[p];
+    const double* xr;
+    if (BlockedCsr::is_ghost(code)) {
+      faults.read_row(x,
+                      blk.ghost_cols[static_cast<std::size_t>(
+                          BlockedCsr::ghost_slot(code))],
+                      ghost.subspan(0, static_cast<std::size_t>(k)));
+      xr = ghost.data();
+    } else {
+      xr = own.x.row(static_cast<index_t>(code));
+    }
+#pragma omp simd
+    for (index_t c = 0; c < k; ++c) {
+      acc[static_cast<std::size_t>(c)] -= aij * xr[c];
+    }
+  }
+  r.write_row(i, acc.subspan(0, static_cast<std::size_t>(k)));
+  double* ox = own.x.row(static_cast<index_t>(li));
+  const double inv = blk.inv_diag[li];
+#pragma omp simd
+  for (index_t c = 0; c < k; ++c) {
+    const double nx = ox[c] + inv * acc[static_cast<std::size_t>(c)];
+    ox[c] = active[static_cast<std::size_t>(c)] != 0.0 ? nx : ox[c];
+  }
+  x.write_row(i, {ox, static_cast<std::size_t>(k)});
 }
 
 }  // namespace ajac::runtime

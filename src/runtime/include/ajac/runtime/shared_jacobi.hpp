@@ -24,6 +24,7 @@
 #include "ajac/fault/fault_plan.hpp"
 #include "ajac/model/trace.hpp"
 #include "ajac/partition/partition.hpp"
+#include "ajac/runtime/row_policy.hpp"
 #include "ajac/solvers/common.hpp"
 #include "ajac/sparse/multi_vector.hpp"
 #include "ajac/sparse/types.hpp"
@@ -111,6 +112,23 @@ struct SharedOptions {
   /// kReference selects the original unsplit path (differential testing,
   /// perf baselines).
   KernelKind kernel = KernelKind::kBlocked;
+  /// Row-selection policy (see ajac/runtime/row_policy.hpp). The default
+  /// natural-order sweep is the paper's schedule and leaves the solve
+  /// bitwise identical to a build without the policy layer. Sampled
+  /// policies draw block-size rows per local iteration and relax them in
+  /// place; asynchronous mode only (with barriers, a sampled schedule has
+  /// no natural synchronous meaning), and exclusive with
+  /// local_gauss_seidel (sampling *is* the in-place schedule).
+  RowPolicy policy = RowPolicy::kNaturalOrder;
+  /// Residual-weighted sampling rebuilds its |r_i| prefix sum every this
+  /// many local iterations (at the iteration boundary, from a consistent
+  /// own-row snapshot). Smaller tracks the residual more closely; larger
+  /// amortizes the rebuild.
+  index_t weight_refresh = 8;
+  /// Seed of the policy draw streams. PolicyClock salts it, so the same
+  /// value may safely seed the fault plan: policy draws never perturb
+  /// fault decisions and vice versa.
+  std::uint64_t policy_seed = 0x5eedfa17ULL;
 };
 
 struct SharedHistoryPoint {

@@ -34,6 +34,7 @@
 
 #include "ajac/obs/metrics.hpp"
 #include "ajac/runtime/blocked_kernels.hpp"
+#include "ajac/runtime/row_policy.hpp"
 #include "ajac/runtime/shared_jacobi.hpp"
 #include "ajac/runtime/shared_multi_vector.hpp"
 #include "ajac/sparse/blocked_csr.hpp"
@@ -139,6 +140,26 @@ SharedBatchResult solve_shared_batch_impl(
 
     Faults faults(a, x0, plan, t, lo, hi, x);
     Metrics metrics(opts.metrics, t, timer);
+
+    // Sampled row-selection policy: per-thread counter-based stream over
+    // the own rows, same (policy_seed, thread, iter, slot) coordinates as
+    // the single-RHS path — k = 1 batch runs draw the same rows bitwise.
+    const bool sampled = is_sampled(opts.policy);
+    std::optional<RowSampler> sampler;
+    // Scratch for the weighted refresh: lane-max |true residual| of each
+    // own row, first pass of the stencil-smoothed weights (see below).
+    std::vector<double> snapshot_r;
+    if (sampled) {
+      sampler.emplace(opts.policy, opts.policy_seed, t, lo, hi,
+                      opts.weight_refresh);
+      if (opts.policy == RowPolicy::kResidualWeighted) {
+        snapshot_r.assign(static_cast<std::size_t>(rows), 0.0);
+      }
+    }
+    [[maybe_unused]] std::vector<std::uint32_t> pick_counts;
+    if constexpr (Metrics::enabled) {
+      if (sampled) pick_counts.assign(static_cast<std::size_t>(rows), 0);
+    }
 
     [[maybe_unused]] const BlockedCsr::Block* blk = nullptr;
     [[maybe_unused]] OwnBlockBatchState own;
@@ -271,7 +292,100 @@ SharedBatchResult solve_shared_batch_impl(
       // All k lanes are computed, frozen ones included — a frozen lane
       // recomputes its (already final) residual from a frozen column,
       // which costs nothing extra and keeps the SIMD loop maskless.
-      if constexpr (Blocked) {
+      if (sampled) {
+        // Sampled policies relax in place: each draw recomputes row i's
+        // residual and commits the masked correction immediately, so the
+        // separate step-2 commit below is skipped. Draw count per local
+        // iteration equals the block size, keeping the iteration /
+        // relaxation bookkeeping identical to the sweeping kernels.
+        if (sampler->refresh_due(iter)) {
+          // Two passes, mirroring the single-RHS refresh: lane-max |true
+          // residual| of each own row recomputed from an x snapshot (not
+          // the published r, whose pre-update values go stale under
+          // in-place draws), then the stencil-smoothed weight (|A| |r|)_i
+          // over the own block — see row_policy.hpp. Reads bypass fault
+          // injection: the policy stream must not consume fault decisions.
+          for (index_t i = lo; i < hi; ++i) {
+            const auto [cols, vals] = a.row(i);
+            const double* br = b.row(i);
+            for (index_t c = 0; c < k; ++c) {
+              rrow[static_cast<std::size_t>(c)] = br[c];
+            }
+            for (std::size_t p = 0; p < cols.size(); ++p) {
+              x.read_row(cols[p], xrow);
+              for (index_t c = 0; c < k; ++c) {
+                rrow[static_cast<std::size_t>(c)] -=
+                    vals[p] * xrow[static_cast<std::size_t>(c)];
+              }
+            }
+            double m = 0.0;
+            for (index_t c = 0; c < k; ++c) {
+              m = std::max(m, std::abs(rrow[static_cast<std::size_t>(c)]));
+            }
+            snapshot_r[static_cast<std::size_t>(i - lo)] = m;
+          }
+          sampler->refresh_weights([&](index_t i) {
+            const auto [cols, vals] = a.row(i);
+            double w = 0.0;
+            for (std::size_t p = 0; p < cols.size(); ++p) {
+              const index_t j = cols[p];
+              if (j >= lo && j < hi) {
+                w += std::abs(vals[p]) *
+                     snapshot_r[static_cast<std::size_t>(j - lo)];
+              }
+            }
+            return w;
+          });
+          if constexpr (Metrics::enabled) metrics.weight_refresh();
+        }
+        for (index_t slot = 0; slot < rows; ++slot) {
+          const index_t i = sampler->next(iter, slot);
+          if constexpr (Metrics::enabled) {
+            ++pick_counts[static_cast<std::size_t>(i - lo)];
+          }
+          if constexpr (Blocked) {
+            relax_row_sampled_batch(*blk, a, b, own, x, faults, r, active,
+                                    acc, ghost, i);
+          } else {
+            const auto [cols, vals] = a.row(i);
+            const double* br = b.row(i);
+#pragma omp simd
+            for (index_t c = 0; c < k; ++c) {
+              acc[static_cast<std::size_t>(c)] = br[c];
+            }
+            FlippedEntry flipped;
+            bool has_flip = false;
+            if constexpr (Faults::enabled) {
+              has_flip = faults.flip(i, cols, vals, flipped);
+            }
+            for (std::size_t p = 0; p < cols.size(); ++p) {
+              double aij = vals[p];
+              if constexpr (Faults::enabled) {
+                if (has_flip && flipped.entry == p) aij = flipped.value;
+              }
+              faults.read_row(x, cols[p], xrow);
+#pragma omp simd
+              for (index_t c = 0; c < k; ++c) {
+                acc[static_cast<std::size_t>(c)] -=
+                    aij * xrow[static_cast<std::size_t>(c)];
+              }
+            }
+            r.write_row(i, {acc.data(), k_sz});
+            x.read_row(i, xrow);
+            const double inv = inv_diag[i];
+#pragma omp simd
+            for (index_t c = 0; c < k; ++c) {
+              const double nx = xrow[static_cast<std::size_t>(c)] +
+                                inv * acc[static_cast<std::size_t>(c)];
+              xrow[static_cast<std::size_t>(c)] =
+                  active[static_cast<std::size_t>(c)] != 0.0
+                      ? nx
+                      : xrow[static_cast<std::size_t>(c)];
+            }
+            x.write_row(i, xrow);
+          }
+        }
+      } else if constexpr (Blocked) {
         relax_interior_batch(*blk, a, b, own, faults, r, acc);
         relax_boundary_batch(*blk, a, b, own, x, faults, r, acc, ghost);
       } else {
@@ -310,24 +424,27 @@ SharedBatchResult solve_shared_batch_impl(
 #pragma omp barrier
       }
 
-      // Step 2: correct own rows — masked per column (invariant 2).
-      if constexpr (Blocked) {
-        commit_block_batch(*blk, own, x, r, active, rrow);
-      } else {
-        for (index_t i = lo; i < hi; ++i) {
-          x.read_row(i, xrow);
-          const double* lr = local_r.row(i - lo);
-          const double inv = inv_diag[i];
+      // Step 2: correct own rows — masked per column (invariant 2). The
+      // sampled policies already committed in place per draw.
+      if (!sampled) {
+        if constexpr (Blocked) {
+          commit_block_batch(*blk, own, x, r, active, rrow);
+        } else {
+          for (index_t i = lo; i < hi; ++i) {
+            x.read_row(i, xrow);
+            const double* lr = local_r.row(i - lo);
+            const double inv = inv_diag[i];
 #pragma omp simd
-          for (index_t c = 0; c < k; ++c) {
-            const double nx =
-                xrow[static_cast<std::size_t>(c)] + inv * lr[c];
-            xrow[static_cast<std::size_t>(c)] =
-                active[static_cast<std::size_t>(c)] != 0.0
-                    ? nx
-                    : xrow[static_cast<std::size_t>(c)];
+            for (index_t c = 0; c < k; ++c) {
+              const double nx =
+                  xrow[static_cast<std::size_t>(c)] + inv * lr[c];
+              xrow[static_cast<std::size_t>(c)] =
+                  active[static_cast<std::size_t>(c)] != 0.0
+                      ? nx
+                      : xrow[static_cast<std::size_t>(c)];
+            }
+            x.write_row(i, xrow);
           }
-          x.write_row(i, xrow);
         }
       }
       ++iter;
@@ -396,6 +513,9 @@ SharedBatchResult solve_shared_batch_impl(
       }
     }
     result.iterations_per_thread[static_cast<std::size_t>(t)] = iter;
+    if constexpr (Metrics::enabled) {
+      if (sampled) metrics.policy_counts(pick_counts);
+    }
     if constexpr (Faults::enabled) {
       fault_logs[static_cast<std::size_t>(t)] = faults.take_log();
     }
@@ -519,6 +639,11 @@ SharedBatchResult solve_shared_batch(const CsrMatrix& a, const MultiVector& b,
                  "runs report per-column results instead");
   AJAC_CHECK_MSG(!opts.local_gauss_seidel,
                  "the in-place local sweep has no batched kernel");
+  AJAC_CHECK_MSG(!(is_sampled(opts.policy) && opts.synchronous),
+                 "sampled row policies relax in place and have no "
+                 "synchronous meaning (asynchronous mode only)");
+  AJAC_CHECK_MSG(opts.weight_refresh >= 1,
+                 "weight_refresh must be a positive iteration cadence");
 
   const partition::Partition part =
       opts.partition.value_or(partition::contiguous_partition(

@@ -116,6 +116,28 @@ SharedResult solve_shared_impl(const CsrMatrix& a, const Vector& b,
     Faults faults(a, x0, plan, t, lo, hi, x);
     Metrics metrics(opts.metrics, t, timer);
 
+    // Sampled row policies: per-thread sampler (no shared state; see
+    // row_policy.hpp for the draw-coordinate discipline) and, when
+    // instrumented, the per-row draw counts behind the row-selection-skew
+    // metric. Natural order pays for neither.
+    const bool sampled = is_sampled(opts.policy);
+    std::optional<RowSampler> sampler;
+    // Scratch for the weighted refresh: |true residual| of each own row,
+    // computed in a first pass so the weight of row i can sum its whole
+    // stencil (see the refresh below). Sized once, outside the timed loop.
+    std::vector<double> snapshot_r;
+    if (sampled) {
+      sampler.emplace(opts.policy, opts.policy_seed, t, lo, hi,
+                      opts.weight_refresh);
+      if (opts.policy == RowPolicy::kResidualWeighted) {
+        snapshot_r.assign(static_cast<std::size_t>(hi - lo), 0.0);
+      }
+    }
+    [[maybe_unused]] std::vector<std::uint32_t> pick_counts;
+    if constexpr (Metrics::enabled) {
+      if (sampled) pick_counts.assign(static_cast<std::size_t>(hi - lo), 0);
+    }
+
     // Blocked path: thread-private mirror of the own rows, allocated and
     // filled here so the owning thread first-touches its own pages.
     [[maybe_unused]] const BlockedCsr::Block* blk = nullptr;
@@ -205,7 +227,105 @@ SharedResult solve_shared_impl(const CsrMatrix& a, const Vector& b,
       if constexpr (Metrics::enabled) metrics.sync_faults(faults);
 
       // Step 1: residual on own rows from the shared (racy) x.
-      if (opts.local_gauss_seidel) {
+      if (sampled) {
+        // Sampled policies: block-size in-place relaxations of drawn rows
+        // (iteration counting, termination, and total_relaxations keep
+        // their natural-order meaning). The weighted sampler rebuilds its
+        // prefix sum here, at the iteration boundary, in two passes: the
+        // TRUE residual of every own row recomputed from an x snapshot
+        // (never the published r, whose pre-update values go stale under
+        // in-place draws), then the stencil-smoothed weight (|A| |r|)_i
+        // over the own block — see row_policy.hpp for why both the
+        // recompute and the smoothing are load-bearing. Weights read x
+        // directly, bypassing fault injection: the policy stream must not
+        // consume fault decisions.
+        if (sampler->refresh_due(iter)) {
+          for (index_t i = lo; i < hi; ++i) {
+            const auto [cols, vals] = a.row(i);
+            double acc = b[i];
+            for (std::size_t p = 0; p < cols.size(); ++p) {
+              acc -= vals[p] * x.read_snapshot(cols[p]);
+            }
+            snapshot_r[static_cast<std::size_t>(i - lo)] = std::abs(acc);
+          }
+          sampler->refresh_weights([&](index_t i) {
+            const auto [cols, vals] = a.row(i);
+            double w = 0.0;
+            for (std::size_t p = 0; p < cols.size(); ++p) {
+              const index_t j = cols[p];
+              if (j >= lo && j < hi) {
+                w += std::abs(vals[p]) *
+                     snapshot_r[static_cast<std::size_t>(j - lo)];
+              }
+            }
+            return w;
+          });
+          if constexpr (Metrics::enabled) metrics.weight_refresh();
+        }
+        const index_t draws = hi - lo;
+        for (index_t slot = 0; slot < draws; ++slot) {
+          const index_t i = sampler->next(iter, slot);
+          if constexpr (Metrics::enabled) {
+            ++pick_counts[static_cast<std::size_t>(i - lo)];
+          }
+          if constexpr (Blocked) {
+            if (opts.record_trace) {
+              relax_row_sampled_traced(*blk, a, b, own, x, faults, metrics,
+                                       iter, r, my_events, i);
+            } else {
+              relax_row_sampled(*blk, a, b, own, x, r, faults, i);
+            }
+          } else if (opts.record_trace) {
+            model::RelaxationEvent event;
+            event.row = i;
+            double acc = b[i];
+            const auto [cols, vals] = a.row(i);
+            FlippedEntry flipped;
+            bool has_flip = false;
+            if constexpr (Faults::enabled) {
+              has_flip = faults.flip(i, cols, vals, flipped);
+            }
+            event.reads.reserve(cols.size());
+            for (std::size_t p = 0; p < cols.size(); ++p) {
+              const index_t j = cols[p];
+              double aij = vals[p];
+              if constexpr (Faults::enabled) {
+                if (has_flip && flipped.entry == p) aij = flipped.value;
+              }
+              if (j == i) {
+                acc -= aij *
+                       faults.read_versioned(x, j, metrics.retry_sink()).first;
+                continue;
+              }
+              const auto [value, version] =
+                  faults.read_versioned(x, j, metrics.retry_sink());
+              acc -= aij * value;
+              if constexpr (Metrics::enabled) metrics.staleness(iter, version);
+              event.reads.push_back({j, version});
+            }
+            r.write(i, acc);
+            x.write(i, x.read(i) + inv_diag[i] * acc);
+            my_events.push_back(std::move(event));
+          } else {
+            double acc = b[i];
+            const auto [cols, vals] = a.row(i);
+            FlippedEntry flipped;
+            bool has_flip = false;
+            if constexpr (Faults::enabled) {
+              has_flip = faults.flip(i, cols, vals, flipped);
+            }
+            for (std::size_t p = 0; p < cols.size(); ++p) {
+              double aij = vals[p];
+              if constexpr (Faults::enabled) {
+                if (has_flip && flipped.entry == p) aij = flipped.value;
+              }
+              acc -= aij * faults.read(x, cols[p]);
+            }
+            r.write(i, acc);
+            x.write(i, x.read(i) + inv_diag[i] * acc);
+          }
+        }
+      } else if (opts.local_gauss_seidel) {
         // In-place forward sweep: each row's update is visible to the
         // following rows (and to other threads) immediately.
         if constexpr (Blocked) {
@@ -297,9 +417,10 @@ SharedResult solve_shared_impl(const CsrMatrix& a, const Vector& b,
       }
       if constexpr (!Blocked) {
         // The blocked kernels publish each row's residual to r as part of
-        // step 1 (and the GS sweep writes it in-place on both paths); only
-        // the reference Jacobi step needs this separate pass.
-        if (!opts.local_gauss_seidel) {
+        // step 1 (the GS sweep and the sampled policies write it in-place
+        // on both paths); only the reference Jacobi step needs this
+        // separate pass.
+        if (!opts.local_gauss_seidel && !sampled) {
           for (index_t i = lo; i < hi; ++i) r.write(i, local_r[i - lo]);
         }
       }
@@ -308,8 +429,9 @@ SharedResult solve_shared_impl(const CsrMatrix& a, const Vector& b,
 #pragma omp barrier
       }
 
-      // Step 2: correct own rows (already done in-place for the GS sweep).
-      if (!opts.local_gauss_seidel) {
+      // Step 2: correct own rows (already done in-place for the GS sweep
+      // and the sampled policies).
+      if (!opts.local_gauss_seidel && !sampled) {
         if constexpr (Blocked) {
           commit_block(*blk, own, x, r);
         } else {
@@ -369,6 +491,9 @@ SharedResult solve_shared_impl(const CsrMatrix& a, const Vector& b,
       }
     }
     result.iterations_per_thread[static_cast<std::size_t>(t)] = iter;
+    if constexpr (Metrics::enabled) {
+      if (sampled) metrics.policy_counts(pick_counts);
+    }
     if constexpr (Faults::enabled) {
       fault_logs[static_cast<std::size_t>(t)] = faults.take_log();
     }
@@ -490,6 +615,14 @@ SharedResult solve_shared(const CsrMatrix& a, const Vector& b,
                  "barriers (asynchronous mode)");
   AJAC_CHECK_MSG(!(opts.local_gauss_seidel && opts.record_trace),
                  "read-version traces assume the Jacobi local sweep");
+  AJAC_CHECK_MSG(!(is_sampled(opts.policy) && opts.synchronous),
+                 "sampled row policies relax in place and have no "
+                 "synchronous meaning (asynchronous mode only)");
+  AJAC_CHECK_MSG(!(is_sampled(opts.policy) && opts.local_gauss_seidel),
+                 "sampled row policies define their own in-place schedule; "
+                 "local_gauss_seidel does not compose with them");
+  AJAC_CHECK_MSG(opts.weight_refresh >= 1,
+                 "weight_refresh must be a positive iteration cadence");
 
   const partition::Partition part =
       opts.partition.value_or(partition::contiguous_partition(

@@ -504,6 +504,8 @@ struct NullMetrics {
   void batch_iteration(index_t /*rows*/, index_t /*active_cols*/) {}
   void flag_update(bool /*my_done*/, index_t /*iter*/) {}
   void stop_decided() {}
+  void weight_refresh() {}
+  void policy_counts(std::span<const std::uint32_t> /*counts*/) {}
 };
 
 [[nodiscard]] inline obs::TraceKind fault_trace_kind(fault::FaultKind k) {
@@ -653,6 +655,33 @@ class ActiveMetrics {
   void stop_decided() {
     slot_->owner.assert_held();
     slot_->instant(obs::TraceKind::kStop, timer_->seconds() * 1e6);
+  }
+
+  /// Sampled row policies: one |r_i| prefix-sum rebuild happened.
+  void weight_refresh() {
+    slot_->owner.assert_held();
+    slot_->add(obs::Counter::kWeightRefreshes);
+  }
+
+  /// Sampled row policies, once per thread after its loop: the per-row
+  /// relaxation counts (kRowRelaxations histogram — natural order would be
+  /// a point mass at the iteration count) and the block's selection skew,
+  /// max over mean as a percentage (100 = perfectly even; residual-weighted
+  /// runs on skewed problems push it far above).
+  void policy_counts(std::span<const std::uint32_t> counts) {
+    if (counts.empty()) return;
+    slot_->owner.assert_held();
+    std::uint64_t total = 0;
+    std::uint64_t max = 0;
+    for (const std::uint32_t c : counts) {
+      slot_->record(obs::Hist::kRowRelaxations, c);
+      total += c;
+      if (c > max) max = c;
+    }
+    if (total == 0) return;
+    const std::uint64_t skew_pct =
+        max * 100 * static_cast<std::uint64_t>(counts.size()) / total;
+    slot_->record(obs::Hist::kRowSelectionSkew, skew_pct);
   }
 
  private:

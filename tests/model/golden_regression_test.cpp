@@ -31,6 +31,7 @@
 #include "ajac/model/executor.hpp"
 #include "ajac/model/trace.hpp"
 #include "ajac/partition/partition.hpp"
+#include "ajac/runtime/row_policy.hpp"
 #include "ajac/sparse/csr.hpp"
 
 namespace ajac::model {
@@ -84,7 +85,9 @@ std::string format_history(const TraceReplay& replay) {
   return out;
 }
 
-RelaxationTrace record_trace(index_t procs, index_t iterations) {
+RelaxationTrace record_trace(
+    index_t procs, index_t iterations,
+    runtime::RowPolicy policy = runtime::RowPolicy::kNaturalOrder) {
   const auto p = golden_problem();
   distsim::DistOptions o;
   o.num_processes = procs;
@@ -92,12 +95,16 @@ RelaxationTrace record_trace(index_t procs, index_t iterations) {
   o.tolerance = 0.0;
   o.seed = kGoldenSeed;
   o.record_trace = true;
+  o.policy = policy;
+  o.weight_refresh = 4;
   const auto part = partition::contiguous_partition(p.a.num_rows(), procs);
   const auto r = distsim::solve_distributed(p.a, p.b, p.x0, part, o);
   return *r.trace;
 }
 
-void run_case(const std::string& name, index_t procs, index_t iterations) {
+void run_case(
+    const std::string& name, index_t procs, index_t iterations,
+    runtime::RowPolicy policy = runtime::RowPolicy::kNaturalOrder) {
   const std::string trace_file = golden_path(name + "_trace.json");
   const std::string history_file = golden_path(name + "_history.txt");
   const auto p = golden_problem();
@@ -105,7 +112,7 @@ void run_case(const std::string& name, index_t procs, index_t iterations) {
   opts.tolerance = 0.0;
 
   if (regen_requested()) {
-    const RelaxationTrace trace = record_trace(procs, iterations);
+    const RelaxationTrace trace = record_trace(procs, iterations, policy);
     write_file(trace_file, to_json(trace) + "\n");
     const TraceReplay replay = replay_trace(p.a, p.b, p.x0, trace, opts);
     write_file(history_file, format_history(replay));
@@ -154,6 +161,17 @@ void run_case(const std::string& name, index_t procs, index_t iterations) {
 TEST(GoldenPropagation, Fd16x16EightRanks) { run_case("fd16_p8", 8, 6); }
 
 TEST(GoldenPropagation, Fd16x16FourRanks) { run_case("fd16_p4", 4, 10); }
+
+// Sampled row policies: the recorded (row, read-version) streams — per-row
+// relaxation counters under repeated draws — must replay through the Φ(l)
+// analysis and the model executor to the committed histories bitwise.
+TEST(GoldenPropagation, Fd16x16FourRanksUniform) {
+  run_case("fd16_uniform_p4", 4, 10, runtime::RowPolicy::kUniformRandom);
+}
+
+TEST(GoldenPropagation, Fd16x16FourRanksWeighted) {
+  run_case("fd16_weighted_p4", 4, 10, runtime::RowPolicy::kResidualWeighted);
+}
 
 // The paper's Fig. 1 traces as micro-goldens: their analyses are fully
 // determined by Sec. IV-A and must never drift.

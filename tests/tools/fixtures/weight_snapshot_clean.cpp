@@ -1,0 +1,12 @@
+// audit-as: src/runtime/weight_snapshot_fixture.cpp
+// Golden fixture: the weight-snapshot racy-ok category, introduced for the
+// residual-weighted row policy's once-per-cadence |r_i| reads, is a
+// registered tag. A relaxed load blessed with it must audit clean.
+// Expected findings: none.
+#include <atomic>
+
+double weight_snapshot(std::atomic<double>& r) {
+  // racy-ok(weight-snapshot): heuristic sampling weight captured once per
+  // refresh cadence; staleness biases row choice, never correctness.
+  return r.load(std::memory_order_relaxed);
+}

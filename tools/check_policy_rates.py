@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Gate the row-selection policy guarantees from a bench_policies report.
+
+Reads the JSON report written by `bench_policies --json ...` and checks the
+two claims the policy subsystem makes:
+
+ 1. Rate bound (table `policy_rates`): the measured tail contraction gap of
+    uniform-random relaxation stays within [--ratio-lo, --ratio-hi] times
+    the Avron/Druinsky/Gupta prediction lambda_min/n on every matrix. Too
+    low means the sampler is broken (a correct uniform sampler can never
+    beat... fall below the expectation bound); too high means the tail is
+    not tracking lambda_min (wrong matrix, wrong burn-in, or a rate
+    measurement bug).
+
+ 2. Skewed-residual win (table `policy_solve`): on the `skewed` fixture the
+    residual-weighted policy must converge in at most 1/--min-speedup of
+    natural order's relaxations. The measured win is ~10x; the default
+    floor of 3x catches a regression to parity (which is exactly what
+    raw-|r_i| weighting without stencil smoothing degrades to — see
+    src/runtime/include/ajac/runtime/row_policy.hpp) while leaving room
+    for seed-to-seed variance. Relaxation counts for fixed seeds are
+    deterministic at 1 thread, so --noise-tolerance-pct only matters if CI
+    ever runs the bench multi-threaded.
+
+Exit status: 0 ok, 1 a gate failed or a table/row is missing, 2 bad input.
+
+Usage: tools/check_policy_rates.py report.json [--min-speedup 3.0]
+"""
+
+import argparse
+import json
+import sys
+
+
+def table_rows(report: dict, name: str):
+    table = report.get("tables", {}).get(name)
+    if table is None:
+        raise KeyError(name)
+    columns = table["columns"]
+    return [dict(zip(columns, row)) for row in table["rows"]]
+
+
+def check_rates(report: dict, lo: float, hi: float) -> list:
+    failures = []
+    rows = table_rows(report, "policy_rates")
+    if not rows:
+        failures.append("policy_rates table is empty")
+    for row in rows:
+        ratio = float(row["gap ratio"])
+        ok = lo <= ratio <= hi
+        print(f"check_policy_rates: {'OK' if ok else 'FAIL'} — "
+              f"{row['matrix']}: measured/theory gap ratio {ratio:.3f} "
+              f"(allowed [{lo}, {hi}])")
+        if not ok:
+            failures.append(f"{row['matrix']} gap ratio {ratio:.3f}")
+    return failures
+
+
+def check_skewed_win(report: dict, min_speedup: float,
+                     noise_pct: float) -> list:
+    relaxations = {}
+    for row in table_rows(report, "policy_solve"):
+        if row["problem"] == "skewed":
+            if row["converged"] != "yes":
+                return [f"skewed/{row['policy']} did not converge"]
+            relaxations[row["policy"]] = float(row["relaxations"])
+    missing = {"natural", "weighted"} - set(relaxations)
+    if missing:
+        return [f"policy_solve lacks skewed rows for {sorted(missing)}"]
+
+    speedup = relaxations["natural"] / relaxations["weighted"]
+    floor = min_speedup * (1.0 - noise_pct / 100.0)
+    ok = speedup >= floor
+    print(f"check_policy_rates: {'OK' if ok else 'FAIL'} — skewed fixture: "
+          f"natural {relaxations['natural']:,.0f} relaxations, weighted "
+          f"{relaxations['weighted']:,.0f}, speedup {speedup:.2f}x "
+          f"(floor {min_speedup}x - {noise_pct}% noise = {floor:.2f}x)")
+    return [] if ok else [f"skewed speedup {speedup:.2f}x < {floor:.2f}x"]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="bench_policies --json output file")
+    parser.add_argument("--ratio-lo", type=float, default=0.85,
+                        help="minimum measured/theoretical gap ratio")
+    parser.add_argument("--ratio-hi", type=float, default=2.5,
+                        help="maximum measured/theoretical gap ratio")
+    parser.add_argument("--min-speedup", type=float, default=3.0,
+                        help="minimum natural/weighted relaxation ratio on "
+                             "the skewed fixture")
+    parser.add_argument("--noise-tolerance-pct", type=float, default=3.0,
+                        help="jitter allowance subtracted from the speedup "
+                             "floor, in percent")
+    args = parser.parse_args()
+
+    try:
+        with open(args.report, encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_policy_rates: cannot read {args.report}: {e}",
+              file=sys.stderr)
+        return 2
+
+    try:
+        failures = check_rates(report, args.ratio_lo, args.ratio_hi)
+        failures += check_skewed_win(report, args.min_speedup,
+                                     args.noise_tolerance_pct)
+    except (KeyError, TypeError, ValueError) as e:
+        print(f"check_policy_rates: malformed report {args.report}: {e} "
+              f"(run bench_policies --json to produce it)", file=sys.stderr)
+        return 1
+
+    if failures:
+        print(f"check_policy_rates: {len(failures)} gate(s) failed: "
+              f"{'; '.join(failures)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
