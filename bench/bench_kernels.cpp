@@ -22,6 +22,8 @@
 #include "ajac/model/schedule.hpp"
 #include "ajac/model/trace.hpp"
 #include "ajac/obs/metrics.hpp"
+#include "ajac/obs/monitor.hpp"
+#include "ajac/obs/stream.hpp"
 #include "ajac/partition/partition.hpp"
 #include "ajac/runtime/shared_jacobi.hpp"
 #include "ajac/sparse/csr.hpp"
@@ -193,6 +195,29 @@ void BM_SolveSharedAsyncMetrics(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 50 * p.a.num_rows());
 }
 BENCHMARK(BM_SolveSharedAsyncMetrics)->Arg(32)->UseRealTime();
+
+// Live-telemetry twin of BM_SolveSharedAsync: hub attached, monitor
+// draining on its background thread while the solve runs — the worst
+// realistic streaming configuration. The pair is CI's streaming overhead
+// gate (tools/check_metrics_overhead.py, <= 5%).
+void BM_SolveSharedAsyncStreaming(benchmark::State& state) {
+  const auto p = gen::make_problem("fd", grid(state.range(0)), 1);
+  runtime::SharedOptions o = solve_opts(runtime::KernelKind::kReference);
+  obs::TelemetryOptions topts;
+  topts.max_actors = o.num_threads;
+  obs::TelemetryHub hub(topts);
+  obs::ConvergenceMonitor monitor(hub);
+  o.stream = &hub;
+  monitor.start();
+  for (auto _ : state) {
+    const auto r = runtime::solve_shared(p.a, p.b, p.x0, o);
+    benchmark::DoNotOptimize(r.total_relaxations);
+  }
+  monitor.stop();
+  benchmark::DoNotOptimize(monitor.estimates().beacons);
+  state.SetItemsProcessed(state.iterations() * 50 * p.a.num_rows());
+}
+BENCHMARK(BM_SolveSharedAsyncStreaming)->Arg(32)->UseRealTime();
 
 void BM_SolveSharedBlocked(benchmark::State& state) {
   const auto p = gen::make_problem("fd", grid(state.range(0)), 1);

@@ -185,9 +185,12 @@ void run_solve(std::uint64_t seed, index_t grid, index_t threads,
       o.policy = policy;
       o.policy_seed = seed;
       o.weight_refresh = 2;
+      obs::MetricsRegistry reg;
+      o.metrics = &reg;
       const double t0 = omp_get_wtime();
       const auto r = runtime::solve_shared(p.a, b, x0, o);
       const double ms = (omp_get_wtime() - t0) * 1e3;
+      bench::record_policy_counters(reg);
       table.add_row({p.name, std::string(runtime::policy_name(policy)),
                      std::string(r.converged ? "yes" : "no"),
                      r.total_relaxations, ms});

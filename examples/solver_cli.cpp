@@ -7,7 +7,10 @@
 // built-in generators (`fd:NXxNY`, `fd3:NXxNYxNZ`, `fe:NXxNY`), or a
 // Table-I analogue by name (`analogue:thermal2`).
 
+#include <algorithm>
 #include <cstdio>
+#include <fstream>
+#include <memory>
 #include <stdexcept>
 #include <string>
 
@@ -15,6 +18,9 @@
 #include "ajac/gen/analogues.hpp"
 #include "ajac/gen/fd.hpp"
 #include "ajac/gen/fe.hpp"
+#include "ajac/obs/monitor.hpp"
+#include "ajac/obs/stream.hpp"
+#include "ajac/obs/trace_sink.hpp"
 #include "ajac/sparse/mm_io.hpp"
 #include "ajac/sparse/stats.hpp"
 #include "ajac/util/cli.hpp"
@@ -109,6 +115,20 @@ int main(int argc, char** argv) {
   cli.add_option("nrhs", "1",
                  "right-hand sides solved together (shared backend; > 1 "
                  "uses the batched SIMD path with seeded random columns)");
+  cli.add_option("telemetry-ndjson", "",
+                 "stream live telemetry (beacons + estimates) as NDJSON to "
+                 "this path; tail it with tools/ajac_top.py (empty = off)");
+  cli.add_option("telemetry-perfetto", "",
+                 "write telemetry counter tracks as a Perfetto trace to "
+                 "this path after the solve (empty = off)");
+  cli.add_option("telemetry-stride", "8",
+                 "iterations between telemetry beacons per actor");
+  cli.add_option("telemetry-window-us", "0",
+                 "straggler-detector window width in beacon-time us "
+                 "(0 = auto: 100000 wall-clock us for shared, 1000 "
+                 "simulated us for distsim; threads oversubscribing "
+                 "physical cores need windows well above an OS "
+                 "scheduling quantum or every thread reads as stalled)");
   cli.add_flag("sync", "run the synchronous variant");
   cli.add_flag("stats", "print matrix statistics before solving");
   if (!cli.parse(argc, argv)) return 0;
@@ -144,6 +164,68 @@ int main(int argc, char** argv) {
     cfg.policy = parse_policy(cli.get_string("policy"));
     cfg.weight_refresh = cli.get_int("weight-refresh");
 
+    // Live telemetry: a hub the solver publishes beacons into and a
+    // monitor draining it on a background thread while the solve runs.
+    const std::string ndjson_path = cli.get_string("telemetry-ndjson");
+    const std::string perfetto_path = cli.get_string("telemetry-perfetto");
+    std::unique_ptr<obs::TelemetryHub> hub;
+    std::unique_ptr<obs::ConvergenceMonitor> monitor;
+    std::ofstream ndjson_out;
+    std::unique_ptr<obs::NdjsonSink> ndjson_sink;
+    std::unique_ptr<obs::TraceEventSink> trace;
+    std::unique_ptr<obs::TraceCounterSink> counter_sink;
+    if (!ndjson_path.empty() || !perfetto_path.empty()) {
+      obs::TelemetryOptions topts;
+      topts.beacon_stride = cli.get_int("telemetry-stride");
+      topts.max_actors = std::max<index_t>(cfg.parallelism, 1);
+      hub = std::make_unique<obs::TelemetryHub>(topts);
+      obs::ConvergenceMonitor::Options mopts;
+      const double window_us = cli.get_double("telemetry-window-us");
+      mopts.window_us =
+          window_us > 0.0
+              ? window_us
+              : (cfg.backend == Backend::kDistributedSim ? 1000.0 : 100000.0);
+      monitor = std::make_unique<obs::ConvergenceMonitor>(*hub, mopts);
+      if (!ndjson_path.empty()) {
+        ndjson_out.open(ndjson_path);
+        if (!ndjson_out) {
+          throw std::runtime_error("cannot open " + ndjson_path);
+        }
+        ndjson_sink = std::make_unique<obs::NdjsonSink>(ndjson_out);
+        monitor->add_sink(ndjson_sink.get());
+      }
+      if (!perfetto_path.empty()) {
+        trace = std::make_unique<obs::TraceEventSink>();
+        counter_sink = std::make_unique<obs::TraceCounterSink>(*trace);
+        monitor->add_sink(counter_sink.get());
+      }
+      cfg.stream = hub.get();
+      monitor->start();
+    }
+    auto finish_telemetry = [&] {
+      if (monitor == nullptr) return;
+      monitor->stop();  // joins the drainer and flushes trailing beacons
+      const obs::MonitorEstimates est = monitor->estimates();
+      std::printf(
+          "telemetry: %llu beacons (%llu dropped), rho-hat=%.4f, "
+          "iter-imbalance=%.3f, stragglers=%zu\n",
+          static_cast<unsigned long long>(est.beacons),
+          static_cast<unsigned long long>(est.dropped), est.rho_hat,
+          est.iteration_imbalance, est.stragglers.size());
+      for (const obs::StragglerFlag& s : est.stragglers) {
+        std::printf(
+            "  straggler: actor %lld at %.0f us (rate %.3g vs median "
+            "%.3g relaxations/us)\n",
+            static_cast<long long>(s.actor), s.detected_ts_us, s.rate,
+            s.median_rate);
+      }
+      if (trace != nullptr) {
+        trace->write(perfetto_path);
+        std::printf("telemetry: wrote Perfetto trace %s (%zu events)\n",
+                    perfetto_path.c_str(), trace->num_events());
+      }
+    };
+
     if (cfg.num_rhs > 1) {
       const index_t n = a.num_rows();
       const index_t k = cfg.num_rhs;
@@ -154,6 +236,7 @@ int main(int argc, char** argv) {
         for (index_t c = 0; c < k; ++c) row[c] = rng.uniform(-1.0, 1.0);
       }
       const BatchSolution sol = solve_spd_batch(a, bk, cfg);
+      finish_telemetry();
       bool all_converged = true;
       index_t total_relax = 0;
       for (index_t c = 0; c < k; ++c) {
@@ -176,6 +259,7 @@ int main(int argc, char** argv) {
     }
 
     const Solution sol = solve_spd(a, b, cfg);
+    finish_telemetry();
     std::printf(
         "%s %s: converged=%s rel.residual=%.3e iterations=%lld "
         "relaxations/n=%.1f %s=%.4gs\n",

@@ -56,6 +56,7 @@ Solution solve(const CsrMatrix& a, const Vector& b, const Vector& x0,
       opts.policy = config.policy;
       opts.weight_refresh = config.weight_refresh;
       opts.policy_seed = config.seed;
+      opts.stream = config.stream;
       const runtime::SharedResult r = runtime::solve_shared(a, b, x0, opts);
       sol.seconds = r.seconds;
       sol.x = r.x;
@@ -78,6 +79,7 @@ Solution solve(const CsrMatrix& a, const Vector& b, const Vector& x0,
       opts.seed = config.seed;
       opts.policy = config.policy;
       opts.weight_refresh = config.weight_refresh;
+      opts.stream = config.stream;
 
       const CsrMatrix* matrix = &a;
       const Vector* rhs = &b;
@@ -155,6 +157,7 @@ BatchSolution solve_batch(const CsrMatrix& a, const MultiVector& b,
   opts.policy = config.policy;
   opts.weight_refresh = config.weight_refresh;
   opts.policy_seed = config.seed;
+  opts.stream = config.stream;
   runtime::SharedBatchResult r = runtime::solve_shared_batch(a, b, x0, opts);
   BatchSolution sol;
   sol.x = std::move(r.x);

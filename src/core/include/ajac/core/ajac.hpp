@@ -65,6 +65,10 @@ struct SolveConfig {
   /// Sampled kResidualWeighted policy: iterations between |r_i| weight
   /// rebuilds (must be >= 1).
   index_t weight_refresh = 8;
+  /// kSharedMemory / kDistributedSim: live telemetry hub (see
+  /// ajac/obs/stream.hpp). nullptr disables streaming; the off path is
+  /// bitwise identical to a build without telemetry.
+  obs::TelemetryHub* stream = nullptr;
 };
 
 struct Solution {

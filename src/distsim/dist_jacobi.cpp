@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "ajac/obs/metrics.hpp"
+#include "ajac/obs/stream.hpp"
 #include "ajac/runtime/row_policy.hpp"
 #include "ajac/sparse/csr.hpp"
 #include "ajac/sparse/validate.hpp"
@@ -314,12 +315,24 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
   // rank's SoleWriterRole; call sites bind the slot and claim it.
   auto slot = [&](index_t p) -> obs::ActorSlot& { return metrics->actor(p); };
 
+  // Telemetry beacons (observation-only plain branches, like metrics):
+  // per-rank progress samples stamped in simulated microseconds.
+  obs::TelemetryHub* const stream = opts.stream;
+  index_t stream_stride = 1;
+  if (stream != nullptr) {
+    stream->begin_run(num_procs, "rank", opts.tolerance,
+                      obs::ResidualConvention::kOwnBlockSum,
+                      /*sim_time=*/true);
+    stream_stride = std::max<index_t>(1, stream->options().beacon_stride);
+  }
+
   // God's-eye state for residual snapshots: owners publish on commit.
   Vector x_global = x0;
   Vector r_scratch(static_cast<std::size_t>(n));
   a.residual(x_global, b, r_scratch);
   const double r0_1 = std::max(vec::norm1(r_scratch), 1e-300);
   const double r0_2 = std::max(vec::norm2(r_scratch), 1e-300);
+  if (stream != nullptr) stream->set_residual_scale(r0_1);
 
   DistResult result;
   result.iterations_per_process.assign(static_cast<std::size_t>(num_procs),
@@ -399,6 +412,43 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
     }
   }
 
+  // Publish one beacon for rank p. The one simulation thread is the sole
+  // writer of every ring; own_norm_1 is the rank's own-block residual
+  // 1-norm (absolute — the monitor divides by residual_scale).
+  auto publish_beacon = [&](index_t p, double sim_seconds,
+                            double own_norm_1) {
+    obs::EventRing& ring = stream->ring(p);
+    ring.writer.assert_held();
+    const ProcessState& ps = procs[p];
+    const auto m = static_cast<std::uint64_t>(ps.blk->num_owned());
+    obs::Beacon bcn;
+    bcn.ts_us = sim_seconds * 1e6;
+    bcn.iteration = ps.iterations;
+    bcn.relaxations = static_cast<std::uint64_t>(ps.iterations) * m;
+    bcn.own_residual_1 = own_norm_1;
+    bcn.policy_draws =
+        sampled ? static_cast<std::uint64_t>(ps.iterations) * m : 0;
+    bcn.weight_refreshes = 0;
+    ring.publish(bcn);
+  };
+  // Terminal beacon: own-block residual recomputed from the committed
+  // global state (the rank may stop without having relaxed this event).
+  auto publish_final_beacon = [&](index_t p, double sim_seconds) {
+    if (stream == nullptr) return;
+    const LocalBlock& blk = *procs[p].blk;
+    double own = 0.0;
+    for (index_t i = blk.row_begin; i < blk.row_begin + blk.num_owned();
+         ++i) {
+      double acc = b[i];
+      const auto [cols, vals] = a.row(i);
+      for (std::size_t q = 0; q < cols.size(); ++q) {
+        acc -= vals[q] * x_global[cols[q]];
+      }
+      own += std::abs(acc);
+    }
+    publish_beacon(p, sim_seconds, own);
+  };
+
   record(0.0, 0);
 
   const double avg_iter_time = [&] {
@@ -462,7 +512,22 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
       }
       t += compute_term + max_comm + opts.cost.barrier_time(num_procs);
       const double rel = record(t, relaxations);
-      if (opts.tolerance > 0.0 && rel <= opts.tolerance) {
+      const bool tol_hit = opts.tolerance > 0.0 && rel <= opts.tolerance;
+      if (stream != nullptr && (iter % stream_stride == 0 || tol_hit ||
+                                iter == opts.max_iterations)) {
+        // record() just refreshed r_scratch from the committed state; the
+        // per-rank own-block slices fall out of it directly.
+        for (index_t p = 0; p < num_procs; ++p) {
+          const LocalBlock& blk = *procs[p].blk;
+          double own = 0.0;
+          for (index_t i = blk.row_begin;
+               i < blk.row_begin + blk.num_owned(); ++i) {
+            own += std::abs(r_scratch[i]);
+          }
+          publish_beacon(p, t, own);
+        }
+      }
+      if (tol_hit) {
         result.reached_tolerance = true;
         break;
       }
@@ -774,6 +839,7 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
           sl.instant(obs::TraceKind::kStop, t_start * 1e6,
                           ps.iterations);
         }
+        publish_final_beacon(p, t_start);
         result.iterations_per_process[p] = ps.iterations;
         if (opts.cost.cores > 0 && opts.cost.cores < num_procs) {
           core_free.push(t_start);
@@ -833,6 +899,7 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
             });
         if (starved || ps.polls > opts.max_iterations * 64) {
           ps.done = true;
+          publish_final_beacon(p, t);
           result.iterations_per_process[p] = ps.iterations;
           continue;
         }
@@ -932,6 +999,9 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
         sl.span(obs::TraceKind::kIteration, t_start * 1e6, t_done * 1e6,
                      ps.iterations - 1);
       }
+      if (stream != nullptr && ps.iterations % stream_stride == 0) {
+        publish_beacon(p, t_done, local_norm);
+      }
 
       // Push boundary values to neighbors (RMA puts issued once the
       // values exist, landing after the network latency).
@@ -1008,6 +1078,10 @@ DistResult solve_distributed(const CsrMatrix& a, const Vector& b,
           sl.add(obs::Counter::kFlagRaises);
           sl.instant(obs::TraceKind::kFlagRaise, t_done * 1e6,
                           ps.iterations);
+        }
+        if (stream != nullptr && ps.iterations % stream_stride != 0) {
+          // Terminal beacon when the stride missed the last iteration.
+          publish_beacon(p, t_done, local_norm);
         }
         result.iterations_per_process[p] = ps.iterations;
       } else {

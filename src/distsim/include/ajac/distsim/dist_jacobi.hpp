@@ -32,6 +32,7 @@ class CsrMatrix;
 
 namespace ajac::obs {
 class MetricsRegistry;
+class TelemetryHub;
 }
 
 namespace ajac::distsim {
@@ -140,6 +141,14 @@ struct DistOptions {
   /// simulator is single-threaded, so recording is plain branches; null
   /// leaves the run untouched.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Live telemetry hub (see ajac/obs/stream.hpp): each rank publishes
+  /// coarse progress beacons (iteration, own-block residual 1-norm,
+  /// relaxation and policy-draw counts) into its own ring every
+  /// `beacon_stride`-th local iteration, with *simulated*-microsecond
+  /// timestamps, plus a terminal beacon when the rank stops. The simulator
+  /// is single-threaded, so publishing is plain branches; null leaves the
+  /// run untouched. The hub must be sized for num_processes actors.
+  obs::TelemetryHub* stream = nullptr;
 };
 
 /// Per-rank accounting for load/communication analysis.

@@ -55,7 +55,7 @@ namespace ajac::obs {
 
 /// Version of the JSON snapshot schema emitted by obs::to_json. Bump when
 /// renaming/removing fields; additions are backward compatible.
-inline constexpr int kMetricsSchemaVersion = 1;
+inline constexpr int kMetricsSchemaVersion = 2;
 
 /// Monotone per-actor counters. Shared-runtime and distsim populate
 /// disjoint subsets; unused counters stay zero and are still emitted (the
@@ -77,6 +77,7 @@ enum class Counter : std::size_t {
   kMessagesDropped,     ///< distsim: puts lost to faults or dead ranks
   kMessagesDuplicated,  ///< distsim: retransmitted copies injected
   kWeightRefreshes,     ///< sampled policies: |r_i| prefix-sum rebuilds
+  kPolicyDraws,         ///< sampled policies: rows drawn from the sampler
   kCount
 };
 inline constexpr std::size_t kNumCounters =

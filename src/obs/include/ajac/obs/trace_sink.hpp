@@ -34,7 +34,18 @@ class TraceEventSink {
   void add_registry(const MetricsRegistry& reg,
                     const std::string& process_name);
 
-  /// Number of events collected so far (excluding metadata records).
+  /// Append one sample to the named counter track (Perfetto "C" events:
+  /// each track renders as a stepped line chart above the span lanes).
+  /// Tracks live in their own "telemetry" process appended after every
+  /// add_registry() pid; samples are emitted in insertion order, so feed
+  /// them in nondecreasing ts (the ConvergenceMonitor's merged-stream
+  /// order satisfies this). Used by obs::TraceCounterSink to put the live
+  /// convergence series (rel_residual, rho_hat, iteration lag) alongside
+  /// the timeline.
+  void counter(const std::string& track, double ts_us, double value);
+
+  /// Number of events collected so far (excluding metadata records;
+  /// counter samples included).
   [[nodiscard]] std::size_t num_events() const noexcept;
 
   /// Render the {"traceEvents": [...]} document.
@@ -51,8 +62,18 @@ class TraceEventSink {
     std::vector<TraceEvent> events;
   };
 
+  struct CounterSample {
+    double ts_us = 0.0;
+    double value = 0.0;
+  };
+  struct CounterTrack {
+    std::string name;
+    std::vector<CounterSample> samples;
+  };
+
   std::vector<std::string> process_names_;  ///< index = pid
   std::vector<Lane> lanes_;
+  std::vector<CounterTrack> counters_;
 };
 
 }  // namespace ajac::obs

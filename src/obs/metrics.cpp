@@ -25,6 +25,7 @@ const char* counter_name(Counter c) noexcept {
     case Counter::kMessagesDropped: return "messages_dropped";
     case Counter::kMessagesDuplicated: return "messages_duplicated";
     case Counter::kWeightRefreshes: return "weight_refreshes";
+    case Counter::kPolicyDraws: return "policy_draws";
     case Counter::kCount: break;
   }
   return "unknown";

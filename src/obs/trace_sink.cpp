@@ -21,9 +21,21 @@ void TraceEventSink::add_registry(const MetricsRegistry& reg,
   }
 }
 
+void TraceEventSink::counter(const std::string& track, double ts_us,
+                             double value) {
+  for (CounterTrack& t : counters_) {
+    if (t.name == track) {
+      t.samples.push_back({ts_us, value});
+      return;
+    }
+  }
+  counters_.push_back({track, {{ts_us, value}}});
+}
+
 std::size_t TraceEventSink::num_events() const noexcept {
   std::size_t n = 0;
   for (const Lane& lane : lanes_) n += lane.events.size();
+  for (const CounterTrack& t : counters_) n += t.samples.size();
   return n;
 }
 
@@ -72,6 +84,35 @@ std::string TraceEventSink::to_json() const {
       w.key("arg1").value(e.arg1);
       w.end_object();
       w.end_object();
+    }
+  }
+  // Counter tracks render in their own process, after every registry pid,
+  // so the live series sit in one group above/below the span lanes.
+  if (!counters_.empty()) {
+    const auto counter_pid =
+        static_cast<std::int64_t>(process_names_.size());
+    w.begin_object();
+    w.key("name").value("process_name");
+    w.key("ph").value("M");
+    w.key("pid").value(counter_pid);
+    w.key("tid").value(std::int64_t{0});
+    w.key("args").begin_object();
+    w.key("name").value("telemetry");
+    w.end_object();
+    w.end_object();
+    for (const CounterTrack& t : counters_) {
+      for (const CounterSample& sample : t.samples) {
+        w.begin_object();
+        w.key("name").value(t.name);
+        w.key("ph").value("C");
+        w.key("ts").value(sample.ts_us);
+        w.key("pid").value(counter_pid);
+        w.key("tid").value(std::int64_t{0});
+        w.key("args").begin_object();
+        w.key("value").value(sample.value);
+        w.end_object();
+        w.end_object();
+      }
     }
   }
   w.end_array();

@@ -35,6 +35,7 @@ class CsrMatrix;
 
 namespace ajac::obs {
 class MetricsRegistry;
+class TelemetryHub;
 }
 
 namespace ajac::runtime {
@@ -108,6 +109,16 @@ struct SharedOptions {
   /// hooks compile to no-ops (same pattern as the fault hooks), so results
   /// are bitwise those of a build without the metrics layer.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Live telemetry hub (see ajac/obs/stream.hpp): each thread publishes
+  /// coarse progress beacons (iteration, own-block residual, relaxation
+  /// and policy-draw counts) into its own lock-free ring every
+  /// `beacon_stride`-th iteration, for a ConvergenceMonitor to consume
+  /// concurrently. Null keeps the non-streaming path branch-free — the
+  /// solve dispatches to a template instantiation whose publish hooks
+  /// compile to no-ops, so results are bitwise those of a build without
+  /// the telemetry layer. The hub must outlive the solve and be sized for
+  /// num_threads actors (TelemetryOptions::max_actors).
+  obs::TelemetryHub* stream = nullptr;
   /// Relaxation kernels (see KernelKind). The blocked layer is the default;
   /// kReference selects the original unsplit path (differential testing,
   /// perf baselines).

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "ajac/obs/metrics.hpp"
+#include "ajac/obs/stream.hpp"
 #include "ajac/runtime/blocked_kernels.hpp"
 #include "ajac/runtime/row_policy.hpp"
 #include "ajac/runtime/shared_jacobi.hpp"
@@ -53,10 +54,12 @@ namespace {
 
 using detail::ActiveBatchFaults;
 using detail::ActiveMetrics;
+using detail::ActiveStream;
 using detail::NullBatchFaults;
 using detail::NullMetrics;
+using detail::NullStream;
 
-template <class Faults, class Metrics, bool Blocked>
+template <class Faults, class Metrics, class Stream, bool Blocked>
 SharedBatchResult solve_shared_batch_impl(
     const CsrMatrix& a, const MultiVector& b, const MultiVector& x0,
     const SharedOptions& opts, const partition::Partition& part,
@@ -140,6 +143,11 @@ SharedBatchResult solve_shared_batch_impl(
 
     Faults faults(a, x0, plan, t, lo, hi, x);
     Metrics metrics(opts.metrics, t, timer);
+    Stream stream(opts.stream, t, timer);
+    // Own-block per-column partial norms for the beacon (hoisted with the
+    // rest of the per-iteration scratch; sized 0 on the null path).
+    [[maybe_unused]] std::vector<double> own_norms(
+        Stream::enabled ? k_sz : std::size_t{0}, 0.0);
 
     // Sampled row-selection policy: per-thread counter-based stream over
     // the own rows, same (policy_seed, thread, iter, slot) coordinates as
@@ -248,6 +256,7 @@ SharedBatchResult solve_shared_batch_impl(
     };
 
     index_t iter = 0;
+    [[maybe_unused]] double last_own_rel = 0.0;
     // racy-ok(stop): stop only transitions 0 -> 1; a stale read costs one
     // extra polling pass, nothing more.
     while (stop.load(std::memory_order_relaxed) == 0) {
@@ -337,6 +346,7 @@ SharedBatchResult solve_shared_batch_impl(
             return w;
           });
           if constexpr (Metrics::enabled) metrics.weight_refresh();
+          if constexpr (Stream::enabled) stream.weight_refresh();
         }
         for (index_t slot = 0; slot < rows; ++slot) {
           const index_t i = sampler->next(iter, slot);
@@ -466,15 +476,50 @@ SharedBatchResult solve_shared_batch_impl(
       // buffer (rows ascending per column, bitwise the scalar scan).
       if constexpr (Metrics::enabled) metrics.residual_check_begin();
       std::fill(norms.begin(), norms.end(), 0.0);
-      for (index_t i = 0; i < n; ++i) {
-        r.read_row(i, rrow);
+      if constexpr (Stream::enabled) {
+        // Same scan with the own rows' terms mirrored into the per-column
+        // own-block accumulators for the beacon: every term still lands in
+        // `norms` in the original row order, so the streamed run's residual
+        // check is bitwise the unstreamed one's.
+        std::fill(own_norms.begin(), own_norms.end(), 0.0);
+        for (index_t i = 0; i < n; ++i) {
+          r.read_row(i, rrow);
+          if (i >= lo && i < hi) {
 #pragma omp simd
-        for (index_t c = 0; c < k; ++c) {
-          norms[static_cast<std::size_t>(c)] +=
-              std::abs(rrow[static_cast<std::size_t>(c)]);
+            for (index_t c = 0; c < k; ++c) {
+              const double v = std::abs(rrow[static_cast<std::size_t>(c)]);
+              norms[static_cast<std::size_t>(c)] += v;
+              own_norms[static_cast<std::size_t>(c)] += v;
+            }
+          } else {
+#pragma omp simd
+            for (index_t c = 0; c < k; ++c) {
+              norms[static_cast<std::size_t>(c)] +=
+                  std::abs(rrow[static_cast<std::size_t>(c)]);
+            }
+          }
+        }
+      } else {
+        for (index_t i = 0; i < n; ++i) {
+          r.read_row(i, rrow);
+#pragma omp simd
+          for (index_t c = 0; c < k; ++c) {
+            norms[static_cast<std::size_t>(c)] +=
+                std::abs(rrow[static_cast<std::size_t>(c)]);
+          }
         }
       }
       if constexpr (Metrics::enabled) metrics.residual_check_end();
+      if constexpr (Stream::enabled) {
+        // Beacon value under kUpperBoundMax: worst still-relative lane,
+        // max over columns of (own-block column norm / column r0 norm).
+        double worst = 0.0;
+        for (index_t c = 0; c < k; ++c) {
+          worst = std::max(worst, own_norms[static_cast<std::size_t>(c)] /
+                                      r0_norm[static_cast<std::size_t>(c)]);
+        }
+        last_own_rel = worst;
+      }
 
       bool my_all_done = true;
       for (index_t c = 0; c < k; ++c) {
@@ -507,10 +552,26 @@ SharedBatchResult solve_shared_batch_impl(
 #pragma omp barrier
       }
       if constexpr (Metrics::enabled) metrics.iteration_end(iter - 1, rows);
+      if constexpr (Stream::enabled) {
+        if (stream.due(iter)) {
+          stream.publish(iter, rows, last_own_rel,
+                         sampled ? static_cast<std::uint64_t>(iter) *
+                                       static_cast<std::uint64_t>(rows)
+                                 : 0);
+        }
+      }
       // racy-ok(stop): monotonic 0 -> 1, polled.
       if (opts.yield && stop.load(std::memory_order_relaxed) == 0) {
         sched_yield();
       }
+    }
+    if constexpr (Stream::enabled) {
+      // Terminal beacon: the monitor always sees this thread's final state
+      // even when the last iteration missed the stride.
+      stream.finish(iter, rows, last_own_rel,
+                    sampled ? static_cast<std::uint64_t>(iter) *
+                                  static_cast<std::uint64_t>(rows)
+                            : 0);
     }
     result.iterations_per_thread[static_cast<std::size_t>(t)] = iter;
     if constexpr (Metrics::enabled) {
@@ -599,19 +660,35 @@ SharedBatchResult solve_shared_batch_impl(
 }
 
 /// Fold the runtime kernel choice into the compile-time Blocked flag, so
-/// the faults/metrics dispatch below stays a flat 2x2.
-template <class Faults, class Metrics>
+/// the faults/metrics dispatch below stays a flat 2x2 (x stream).
+template <class Faults, class Metrics, class Stream>
 SharedBatchResult dispatch_batch_kernel(
     const CsrMatrix& a, const MultiVector& b, const MultiVector& x0,
     const SharedOptions& opts, const partition::Partition& part,
     const Vector& inv_diag, const fault::FaultPlan* plan,
     const BlockedCsr* blocked) {
   if (blocked != nullptr) {
-    return solve_shared_batch_impl<Faults, Metrics, true>(
+    return solve_shared_batch_impl<Faults, Metrics, Stream, true>(
         a, b, x0, opts, part, inv_diag, plan, blocked);
   }
-  return solve_shared_batch_impl<Faults, Metrics, false>(
+  return solve_shared_batch_impl<Faults, Metrics, Stream, false>(
       a, b, x0, opts, part, inv_diag, plan, nullptr);
+}
+
+/// Fold the telemetry-hub choice into the Stream hook axis; the null path
+/// instantiates NullStream, whose hooks compile away entirely.
+template <class Faults, class Metrics>
+SharedBatchResult dispatch_batch_stream(
+    const CsrMatrix& a, const MultiVector& b, const MultiVector& x0,
+    const SharedOptions& opts, const partition::Partition& part,
+    const Vector& inv_diag, const fault::FaultPlan* plan,
+    const BlockedCsr* blocked) {
+  if (opts.stream != nullptr) {
+    return dispatch_batch_kernel<Faults, Metrics, ActiveStream>(
+        a, b, x0, opts, part, inv_diag, plan, blocked);
+  }
+  return dispatch_batch_kernel<Faults, Metrics, NullStream>(
+      a, b, x0, opts, part, inv_diag, plan, blocked);
 }
 
 }  // namespace
@@ -687,19 +764,25 @@ SharedBatchResult solve_shared_batch(const CsrMatrix& a, const MultiVector& b,
   }
   const BlockedCsr* blocked = blocked_a ? &*blocked_a : nullptr;
 
+  if (opts.stream != nullptr) {
+    opts.stream->begin_run(opts.num_threads, "thread", opts.tolerance,
+                           obs::ResidualConvention::kUpperBoundMax,
+                           /*sim_time=*/false);
+  }
+
   if (plan != nullptr && metrics != nullptr) {
-    return dispatch_batch_kernel<ActiveBatchFaults, ActiveMetrics>(
+    return dispatch_batch_stream<ActiveBatchFaults, ActiveMetrics>(
         a, b, x0, opts, part, inv_diag, plan, blocked);
   }
   if (plan != nullptr) {
-    return dispatch_batch_kernel<ActiveBatchFaults, NullMetrics>(
+    return dispatch_batch_stream<ActiveBatchFaults, NullMetrics>(
         a, b, x0, opts, part, inv_diag, plan, blocked);
   }
   if (metrics != nullptr) {
-    return dispatch_batch_kernel<NullBatchFaults, ActiveMetrics>(
+    return dispatch_batch_stream<NullBatchFaults, ActiveMetrics>(
         a, b, x0, opts, part, inv_diag, nullptr, blocked);
   }
-  return dispatch_batch_kernel<NullBatchFaults, NullMetrics>(
+  return dispatch_batch_stream<NullBatchFaults, NullMetrics>(
       a, b, x0, opts, part, inv_diag, nullptr, blocked);
 }
 

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "ajac/obs/metrics.hpp"
+#include "ajac/obs/stream.hpp"
 #include "ajac/runtime/blocked_kernels.hpp"
 #include "ajac/runtime/shared_vector.hpp"
 #include "ajac/sparse/blocked_csr.hpp"
@@ -31,10 +32,12 @@ namespace {
 // batched solver translation unit (shared_batch.cpp).
 using detail::ActiveFaults;
 using detail::ActiveMetrics;
+using detail::ActiveStream;
 using detail::NullFaults;
 using detail::NullMetrics;
+using detail::NullStream;
 
-template <class Faults, class Metrics, bool Blocked>
+template <class Faults, class Metrics, class Stream, bool Blocked>
 SharedResult solve_shared_impl(const CsrMatrix& a, const Vector& b,
                                const Vector& x0, const SharedOptions& opts,
                                const partition::Partition& part,
@@ -61,6 +64,11 @@ SharedResult solve_shared_impl(const CsrMatrix& a, const Vector& b,
     const double nrm = vec::norm1(tmp);
     return nrm > 0.0 ? nrm : 1.0;
   }();
+  if constexpr (Stream::enabled) {
+    // Telemetry denominator for the monitor's global residual estimate;
+    // single-threaded setup, before any beacon of this run.
+    opts.stream->set_residual_scale(r0_norm);
+  }
 
   std::vector<std::atomic<int>> flags(
       static_cast<std::size_t>(opts.num_threads));
@@ -115,6 +123,7 @@ SharedResult solve_shared_impl(const CsrMatrix& a, const Vector& b,
     }
     Faults faults(a, x0, plan, t, lo, hi, x);
     Metrics metrics(opts.metrics, t, timer);
+    Stream stream(opts.stream, t, timer);
 
     // Sampled row policies: per-thread sampler (no shared state; see
     // row_policy.hpp for the draw-coordinate discipline) and, when
@@ -193,6 +202,7 @@ SharedResult solve_shared_impl(const CsrMatrix& a, const Vector& b,
     };
 
     index_t iter = 0;
+    [[maybe_unused]] double last_own_norm = 0.0;
     // racy-ok(stop): stop only transitions 0 -> 1; a stale read costs one
     // extra polling pass, nothing more.
     while (stop.load(std::memory_order_relaxed) == 0) {
@@ -261,6 +271,7 @@ SharedResult solve_shared_impl(const CsrMatrix& a, const Vector& b,
             return w;
           });
           if constexpr (Metrics::enabled) metrics.weight_refresh();
+          if constexpr (Stream::enabled) stream.weight_refresh();
         }
         const index_t draws = hi - lo;
         for (index_t slot = 0; slot < draws; ++slot) {
@@ -450,7 +461,23 @@ SharedResult solve_shared_impl(const CsrMatrix& a, const Vector& b,
       // (racy reads, the paper's scheme).
       if constexpr (Metrics::enabled) metrics.residual_check_begin();
       double norm = 0.0;
-      for (index_t i = 0; i < n; ++i) norm += std::abs(r.read(i));
+      if constexpr (Stream::enabled) {
+        // Same scan with the own-block terms mirrored into a second
+        // accumulator for the beacon: every term still lands in `norm` in
+        // the original row order, so the streamed run's residual check is
+        // bitwise the unstreamed one's.
+        double own_sum = 0.0;
+        for (index_t i = 0; i < lo; ++i) norm += std::abs(r.read(i));
+        for (index_t i = lo; i < hi; ++i) {
+          const double v = std::abs(r.read(i));
+          norm += v;
+          own_sum += v;
+        }
+        for (index_t i = hi; i < n; ++i) norm += std::abs(r.read(i));
+        last_own_norm = own_sum;
+      } else {
+        for (index_t i = 0; i < n; ++i) norm += std::abs(r.read(i));
+      }
       const double rel = norm / r0_norm;
       if constexpr (Metrics::enabled) metrics.residual_check_end();
       if (opts.record_history) {
@@ -484,11 +511,27 @@ SharedResult solve_shared_impl(const CsrMatrix& a, const Vector& b,
 #pragma omp barrier
       }
       if constexpr (Metrics::enabled) metrics.iteration_end(iter - 1, hi - lo);
+      if constexpr (Stream::enabled) {
+        if (stream.due(iter)) {
+          stream.publish(iter, hi - lo, last_own_norm,
+                         sampled ? static_cast<std::uint64_t>(iter) *
+                                       static_cast<std::uint64_t>(hi - lo)
+                                 : 0);
+        }
+      }
       // racy-ok(stop): monotonic 0 -> 1, polled.
       if (opts.yield &&
           stop.load(std::memory_order_relaxed) == 0) {
         sched_yield();
       }
+    }
+    if constexpr (Stream::enabled) {
+      // Terminal beacon: the monitor always sees this thread's final state
+      // even when the last iteration missed the stride.
+      stream.finish(iter, hi - lo, last_own_norm,
+                    sampled ? static_cast<std::uint64_t>(iter) *
+                                  static_cast<std::uint64_t>(hi - lo)
+                            : 0);
     }
     result.iterations_per_thread[static_cast<std::size_t>(t)] = iter;
     if constexpr (Metrics::enabled) {
@@ -580,8 +623,8 @@ SharedResult solve_shared_impl(const CsrMatrix& a, const Vector& b,
 }
 
 /// Fold the runtime kernel choice into the compile-time Blocked flag, so
-/// the faults/metrics dispatch below stays a flat 2x2.
-template <class Faults, class Metrics>
+/// the faults/metrics dispatch below stays a flat 2x2 (x stream).
+template <class Faults, class Metrics, class Stream>
 SharedResult dispatch_kernel(const CsrMatrix& a, const Vector& b,
                              const Vector& x0, const SharedOptions& opts,
                              const partition::Partition& part,
@@ -589,11 +632,28 @@ SharedResult dispatch_kernel(const CsrMatrix& a, const Vector& b,
                              const fault::FaultPlan* plan,
                              const BlockedCsr* blocked) {
   if (blocked != nullptr) {
-    return solve_shared_impl<Faults, Metrics, true>(a, b, x0, opts, part,
-                                                    inv_diag, plan, blocked);
+    return solve_shared_impl<Faults, Metrics, Stream, true>(
+        a, b, x0, opts, part, inv_diag, plan, blocked);
   }
-  return solve_shared_impl<Faults, Metrics, false>(a, b, x0, opts, part,
-                                                   inv_diag, plan, nullptr);
+  return solve_shared_impl<Faults, Metrics, Stream, false>(
+      a, b, x0, opts, part, inv_diag, plan, nullptr);
+}
+
+/// Fold the telemetry-hub choice into the Stream hook axis; the null path
+/// instantiates NullStream, whose hooks compile away entirely.
+template <class Faults, class Metrics>
+SharedResult dispatch_stream(const CsrMatrix& a, const Vector& b,
+                             const Vector& x0, const SharedOptions& opts,
+                             const partition::Partition& part,
+                             const Vector& inv_diag,
+                             const fault::FaultPlan* plan,
+                             const BlockedCsr* blocked) {
+  if (opts.stream != nullptr) {
+    return dispatch_kernel<Faults, Metrics, ActiveStream>(
+        a, b, x0, opts, part, inv_diag, plan, blocked);
+  }
+  return dispatch_kernel<Faults, Metrics, NullStream>(a, b, x0, opts, part,
+                                                      inv_diag, plan, blocked);
 }
 
 }  // namespace
@@ -673,24 +733,30 @@ SharedResult solve_shared(const CsrMatrix& a, const Vector& b,
   }
   const BlockedCsr* blocked = blocked_a ? &*blocked_a : nullptr;
 
-  // 2x2 (x2 for the kernel choice) dispatch: faults and metrics each
-  // compile to no-ops when off, so the common (no plan, no registry) path
-  // is exactly the plain solver.
+  if (opts.stream != nullptr) {
+    opts.stream->begin_run(opts.num_threads, "thread", opts.tolerance,
+                           obs::ResidualConvention::kOwnBlockSum,
+                           /*sim_time=*/false);
+  }
+
+  // 2x2 (x2 kernel, x2 stream) dispatch: faults, metrics, and telemetry
+  // each compile to no-ops when off, so the common (no plan, no registry,
+  // no hub) path is exactly the plain solver.
   if (plan != nullptr && metrics != nullptr) {
-    return dispatch_kernel<ActiveFaults, ActiveMetrics>(a, b, x0, opts, part,
+    return dispatch_stream<ActiveFaults, ActiveMetrics>(a, b, x0, opts, part,
                                                         inv_diag, plan,
                                                         blocked);
   }
   if (plan != nullptr) {
-    return dispatch_kernel<ActiveFaults, NullMetrics>(a, b, x0, opts, part,
+    return dispatch_stream<ActiveFaults, NullMetrics>(a, b, x0, opts, part,
                                                       inv_diag, plan, blocked);
   }
   if (metrics != nullptr) {
-    return dispatch_kernel<NullFaults, ActiveMetrics>(a, b, x0, opts, part,
+    return dispatch_stream<NullFaults, ActiveMetrics>(a, b, x0, opts, part,
                                                       inv_diag, nullptr,
                                                       blocked);
   }
-  return dispatch_kernel<NullFaults, NullMetrics>(a, b, x0, opts, part,
+  return dispatch_stream<NullFaults, NullMetrics>(a, b, x0, opts, part,
                                                   inv_diag, nullptr, blocked);
 }
 

@@ -21,6 +21,7 @@
 
 #include "ajac/fault/fault_plan.hpp"
 #include "ajac/obs/metrics.hpp"
+#include "ajac/obs/stream.hpp"
 #include "ajac/runtime/blocked_kernels.hpp"
 #include "ajac/runtime/shared_multi_vector.hpp"
 #include "ajac/runtime/shared_vector.hpp"
@@ -679,6 +680,7 @@ class ActiveMetrics {
       if (c > max) max = c;
     }
     if (total == 0) return;
+    slot_->add(obs::Counter::kPolicyDraws, total);
     const std::uint64_t skew_pct =
         max * 100 * static_cast<std::uint64_t>(counts.size()) / total;
     slot_->record(obs::Hist::kRowSelectionSkew, skew_pct);
@@ -693,6 +695,77 @@ class ActiveMetrics {
   std::uint64_t retries_ = 0;
   std::size_t seen_faults_ = 0;
   bool flag_up_ = false;
+};
+
+/// Telemetry-stream context for the default (no hub) path. Like the other
+/// Null hooks every call site is `if constexpr (Stream::enabled)`-guarded,
+/// so this instantiation is the pre-telemetry solver verbatim — including
+/// the step-3 norm accumulation, which is only split into own/foreign
+/// partial sums on the streaming instantiation (results stay bitwise
+/// identical to a build without telemetry at all).
+struct NullStream {
+  static constexpr bool enabled = false;
+
+  NullStream(obs::TelemetryHub* /*hub*/, index_t /*thread*/,
+             const WallTimer& /*timer*/) {}
+
+  [[nodiscard]] bool due(index_t /*iter*/) const { return false; }
+  void weight_refresh() {}
+  void publish(index_t /*iter*/, index_t /*rows*/, double /*own_norm*/,
+               std::uint64_t /*draws*/) {}
+  void finish(index_t /*iter*/, index_t /*rows*/, double /*own_norm*/,
+              std::uint64_t /*draws*/) {}
+};
+
+/// Per-thread beacon publisher. Owns (claims) this thread's EventRing via
+/// the hub's one-ring-per-actor contract; publish() is wait-free and
+/// touches nothing shared but the ring, so the observed solve's memory
+/// traffic gains only a strided handful of atomic stores.
+class ActiveStream {
+ public:
+  static constexpr bool enabled = true;
+
+  ActiveStream(obs::TelemetryHub* hub, index_t thread,
+               const WallTimer& timer)
+      : ring_(&hub->ring(thread)),
+        timer_(&timer),
+        stride_(std::max<index_t>(1, hub->options().beacon_stride)) {}
+
+  /// True on iterations that should publish (iter is 1-based here: the
+  /// call sites test after `++iter`).
+  [[nodiscard]] bool due(index_t iter) const { return iter % stride_ == 0; }
+
+  void weight_refresh() { ++weight_refreshes_; }
+
+  void publish(index_t iter, index_t rows, double own_norm,
+               std::uint64_t draws) {
+    obs::Beacon b;
+    b.ts_us = timer_->seconds() * 1e6;
+    b.iteration = iter;
+    b.relaxations =
+        static_cast<std::uint64_t>(iter) * static_cast<std::uint64_t>(rows);
+    b.own_residual_1 = own_norm;
+    b.policy_draws = draws;
+    b.weight_refreshes = weight_refreshes_;
+    ring_->writer.assert_held();
+    ring_->publish(b);
+    last_iter_ = iter;
+  }
+
+  /// Final beacon at loop exit, so the monitor always sees the terminal
+  /// state; skipped when the last iteration already published at stride.
+  void finish(index_t iter, index_t rows, double own_norm,
+              std::uint64_t draws) {
+    if (iter == last_iter_ || iter <= 0) return;
+    publish(iter, rows, own_norm, draws);
+  }
+
+ private:
+  obs::EventRing* ring_;
+  const WallTimer* timer_;
+  index_t stride_;
+  index_t last_iter_ = 0;
+  std::uint64_t weight_refreshes_ = 0;
 };
 
 }  // namespace ajac::runtime::detail

@@ -125,6 +125,7 @@ TEST(ObsRegistry, ToJsonIsParseableAndComplete) {
   reg.reset(2);
   reg.actor(0).add(Counter::kMessagesSent, 5);
   reg.actor(1).add(Counter::kMessagesSent, 7);
+  reg.actor(1).add(Counter::kPolicyDraws, 3);
   reg.actor(0).record(Hist::kMessageLatencyUs, 120);
   const std::string text =
       to_json(reg.snapshot(), {{"matrix", "fd-8x8"}, {"threads", "2"}});
@@ -145,6 +146,15 @@ TEST(ObsRegistry, ToJsonIsParseableAndComplete) {
   EXPECT_EQ(sent->find("total")->number, 12.0);
   ASSERT_EQ(sent->find("per_actor")->array.size(), 2u);
   EXPECT_EQ(sent->find("per_actor")->array[1].number, 7.0);
+
+  // Schema v2 added the policy_draws counter: pin the version and the
+  // exported name so a rename or version slip is caught here rather than
+  // by downstream trend tooling (the bench reports embed both).
+  EXPECT_EQ(kMetricsSchemaVersion, 2);
+  const JsonValue* draws = counters->find("policy_draws");
+  ASSERT_NE(draws, nullptr);
+  EXPECT_EQ(draws->find("total")->number, 3.0);
+  EXPECT_EQ(draws->find("per_actor")->array[1].number, 3.0);
 
   const JsonValue* hists = doc.find("histograms");
   ASSERT_NE(hists, nullptr);

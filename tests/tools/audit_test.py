@@ -36,6 +36,8 @@ EXPECTED = {
     "orphan_tag.cpp": ["racy-ok-orphan"],
     "atomic_member.hpp": ["atomic-scope"],
     "raw_seq_write.cpp": ["seqlock-protocol"],
+    "ring_seq_outside.cpp": ["seqlock-protocol"],
+    "ring_seq_allowed.hpp": [],
     "omp_outside.cpp": ["omp-allowlist"],
     "relative_include.cpp": ["include-hygiene"],
     "raw_clock.cpp": ["clock-ban"],

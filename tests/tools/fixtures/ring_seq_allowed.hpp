@@ -1,0 +1,22 @@
+// audit-as: src/obs/include/ajac/obs/event_ring.hpp
+// Golden fixture: the telemetry event ring is the third seqlock protocol
+// header — its per-slot sequence counter accesses (the publish-side odd/
+// even stores and the poll-side validated loads) must audit clean when
+// scoped to that path.
+// Expected findings: none.
+#include <atomic>
+#include <cstdint>
+
+struct FixtureSlot {
+  std::atomic<std::uint64_t> seq{0};
+};
+
+inline void open_slot(FixtureSlot& s, std::uint64_t h) {
+  // racy-ok(seqlock-open): odd value parks readers until the matching
+  // release store of 2h+2 publishes the payload.
+  s.seq.store(2 * h + 1, std::memory_order_relaxed);
+}
+
+inline bool validate_slot(const FixtureSlot& s, std::uint64_t want) {
+  return s.seq.load(std::memory_order_acquire) == want;
+}

@@ -1,0 +1,13 @@
+// audit-as: src/obs/ring_peek.cpp
+// Golden fixture: a telemetry-ring slot sequence counter poked from a
+// consumer TU instead of going through EventRing::publish()/poll(). The
+// slot seqlock is protocol-scoped exactly like the shared-vector one;
+// only ajac/obs/event_ring.hpp may touch the counter directly.
+// Expected finding: seqlock-protocol.
+#include <atomic>
+#include <cstdint>
+
+bool slot_ready(const std::atomic<std::uint64_t>& slot_seq,
+                std::uint64_t want) {
+  return slot_seq.load(std::memory_order_acquire) == want;
+}

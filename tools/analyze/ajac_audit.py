@@ -131,14 +131,16 @@ Fix: move the shared state into a runtime/obs/fault type, or pass it in
 from the runtime layer instead of declaring it locally.""",
     "seqlock-protocol": """\
 The seqlock sequence counters (identifiers containing `seq`) may only be
-loaded or stored inside the two protocol headers,
-ajac/runtime/shared_vector.hpp and ajac/runtime/shared_multi_vector.hpp.
+loaded or stored inside the protocol headers:
+ajac/runtime/shared_vector.hpp, ajac/runtime/shared_multi_vector.hpp and
+ajac/obs/event_ring.hpp (the telemetry ring's per-slot seqlock).
 The seqlock's correctness is a whole-protocol property — the odd/even
 discipline, the acquire/release pairing, the single-writer invariant —
 and a counter access outside the protocol methods can break it in ways
 no local inspection will catch (e.g. an innocent-looking `seq.load` used
 to "peek" at a version without the retry loop). Everyone else uses the
-public API: read(), read_versioned(), write(), version().
+public API: read(), read_versioned(), write(), version() — or, for the
+event ring, publish() and poll().
 
 Fix: route the access through the protocol methods, or extend the
 protocol header if the operation is genuinely new.""",
@@ -186,6 +188,7 @@ ATOMIC_ALLOWED_FILES = ("src/util/include/ajac/util/annotate.hpp",)
 SEQLOCK_ALLOWED_FILES = (
     "src/runtime/include/ajac/runtime/shared_vector.hpp",
     "src/runtime/include/ajac/runtime/shared_multi_vector.hpp",
+    "src/obs/include/ajac/obs/event_ring.hpp",
 )
 OMP_ALLOWED_PREFIXES = ("src/runtime/", "bench/")
 OMP_ALLOWED_FILES = (

@@ -10,6 +10,9 @@ and compares each metrics-enabled solve against its disabled twin:
     BM_SolveSharedBatchMetricsOff/real_time  (k=8 batch, metrics == nullptr)
     BM_SolveSharedBatchMetrics/real_time     (k=8 batch, live registry)
 
+    BM_SolveSharedAsync/32/real_time           (stream == nullptr)
+    BM_SolveSharedAsyncStreaming/32/real_time  (live TelemetryHub + monitor)
+
 Each instrumented run may be at most --max-overhead-pct slower in
 items_per_second (default 5, the CI budget; the ISSUE acceptance bound for
 a null registry is 2 — pass --max-overhead-pct 2 against a pair of runs
@@ -32,6 +35,8 @@ PAIRS = [
      "BM_SolveSharedAsyncMetrics/32/real_time", True),
     ("batch k=8", "BM_SolveSharedBatchMetricsOff/real_time",
      "BM_SolveSharedBatchMetrics/real_time", False),
+    ("scalar streaming", "BM_SolveSharedAsync/32/real_time",
+     "BM_SolveSharedAsyncStreaming/32/real_time", True),
 ]
 
 
