@@ -1,0 +1,132 @@
+// Real concurrent mesh vs. the discrete-event simulator's prediction.
+//
+// src/distsim models asynchronous Jacobi's message-passing protocol as a
+// discrete-event simulation; src/mesh runs the same protocol on real
+// std::threads and real SPSC queues. The simulator predicts how many
+// local iterations the method needs on a given partition; the mesh
+// measures what actual concurrency delivers. The headline claim — the
+// one tools/check_mesh_convergence.py gates in CI — is that the real
+// runtime's iteration counts stay within a small documented factor of
+// the simulated prediction: the simulator is a *model* of the mesh, not
+// a separate method.
+//
+// Iteration counts, not wall-clock, are the comparison axis: simulated
+// seconds and wall seconds are incommensurable, but a local iteration is
+// the same unit of work in both.
+//
+// The mesh runs with yield enabled so oversubscribed CI hosts interleave
+// agents at iteration granularity (the same knob every async experiment
+// in this repo uses); without it, iteration counts on a 1-core runner
+// measure the OS scheduler's time slices instead of asynchronous Jacobi.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "ajac/distsim/dist_jacobi.hpp"
+#include "ajac/gen/fd.hpp"
+#include "ajac/gen/problem.hpp"
+#include "ajac/mesh/mesh_jacobi.hpp"
+#include "ajac/mesh/row_sets.hpp"
+#include "ajac/partition/partition.hpp"
+#include "ajac/util/table.hpp"
+#include "bench_common.hpp"
+
+using namespace ajac;
+
+namespace {
+
+index_t max_of(const std::vector<index_t>& v) {
+  index_t out = 0;
+  for (index_t x : v) out = std::max(out, x);
+  return out;
+}
+
+void run_sweep(const gen::LinearProblem& p, double tol,
+               const CliParser& cli) {
+  std::printf(
+      "== mesh (real threads) vs distsim (simulated) iteration counts "
+      "(%s, %lld rows, tol %.1e) ==\n",
+      p.name.c_str(), static_cast<long long>(p.a.num_rows()), tol);
+
+  // Same contiguous partition on both sides: the comparison is between
+  // runtimes, not between partitioners.
+  Table table({"agents", "distsim iters", "mesh iters", "mesh sync iters",
+               "mesh/distsim", "mesh converged", "mesh ms"});
+  table.set_double_format("%.3g");
+  Table traffic({"agents", "sent", "received", "fault dropped",
+                 "queue full", "edges ms"});
+  for (const index_t agents : {1, 2, 4, 8}) {
+    const auto part = partition::contiguous_partition(p.a.num_rows(), agents);
+
+    distsim::DistOptions dopts;
+    dopts.num_processes = agents;
+    dopts.synchronous = false;
+    dopts.tolerance = tol;
+    dopts.max_iterations = 1000000;
+    const auto dist =
+        distsim::solve_distributed(p.a, p.b, p.x0, part, dopts);
+    const index_t dist_iters = max_of(dist.iterations_per_process);
+
+    mesh::MeshOptions mo;
+    mo.num_agents = agents;
+    mo.synchronous = false;
+    mo.tolerance = tol;
+    // Generous cap: a non-converged row would make the gate meaningless,
+    // so give the mesh room and let the ratio column tell the story.
+    mo.max_iterations = std::max<index_t>(20 * dist_iters, 20000);
+    mo.record_history = false;
+    mo.yield = true;
+    mo.row_sets = mesh::row_sets_from_partition(part);
+    const auto run = mesh::solve_mesh(p.a, p.b, p.x0, mo);
+    const index_t mesh_iters = max_of(run.iterations_per_agent);
+
+    mesh::MeshOptions so = mo;
+    so.synchronous = true;
+    so.yield = false;
+    const auto sync_run = mesh::solve_mesh(p.a, p.b, p.x0, so);
+    const index_t sync_iters = max_of(sync_run.iterations_per_agent);
+
+    table.add_row({agents, dist_iters, mesh_iters, sync_iters,
+                   static_cast<double>(mesh_iters) /
+                       static_cast<double>(std::max<index_t>(dist_iters, 1)),
+                   std::string(run.converged ? "yes" : "no"),
+                   run.seconds * 1e3});
+    traffic.add_row({agents, run.messages_sent, run.messages_received,
+                     run.messages_dropped, run.queue_full_drops,
+                     run.seconds * 1e3});
+  }
+  bench::emit(table, cli, "mesh_vs_distsim");
+  std::printf(
+      "\nThe async mesh lands near the simulator's prediction — often\n"
+      "slightly below it: fine-grained interleaving lets later agents\n"
+      "read earlier agents' same-sweep commits (a Gauss-Seidel flavor the\n"
+      "paper calls out as async Jacobi's upside), while heavy staleness\n"
+      "pushes counts the other way. The documented CI bound on the\n"
+      "mesh/distsim ratio at 4+ agents lives in\n"
+      "tools/check_mesh_convergence.py (--max-iteration-factor).\n\n");
+  bench::emit(traffic, cli, "mesh_traffic");
+  std::printf(
+      "\n'fault dropped' is zero without a plan; 'queue full' counts\n"
+      "drop-newest backpressure, which rises with oversubscription (a\n"
+      "parked or preempted consumer stops draining its rings).\n\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli("bench_mesh",
+                "Concurrent mesh runtime vs distsim-predicted convergence");
+  bench::add_common_options(cli);
+  cli.add_option("grid", "24", "FD grid side (n = grid^2 rows)");
+  cli.add_option("tolerance", "1e-6", "relative residual target");
+  if (!cli.parse(argc, argv)) return 0;
+  const auto grid = cli.get_int("grid");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  const auto problem = gen::make_problem(
+      "fd" + std::to_string(grid * grid), gen::fd_laplacian_2d(grid, grid),
+      seed);
+  run_sweep(problem, cli.get_double("tolerance"), cli);
+  return 0;
+}

@@ -72,9 +72,10 @@ Backend parse_backend(const std::string& name) {
   if (name == "model") return Backend::kModel;
   if (name == "shared") return Backend::kSharedMemory;
   if (name == "distsim") return Backend::kDistributedSim;
+  if (name == "mesh") return Backend::kMesh;
   throw std::invalid_argument(
       "unknown backend '" + name +
-      "' (sequential | model | shared | distsim)");
+      "' (sequential | model | shared | distsim | mesh)");
 }
 
 runtime::KernelKind parse_kernel(const std::string& name) {
@@ -100,8 +101,11 @@ int main(int argc, char** argv) {
                  "matrix spec: fd:NXxNY | fd3:NXxNYxNZ | fe:NXxNY | "
                  "analogue:<name> | path.mtx");
   cli.add_option("backend", "shared",
-                 "sequential | model | shared | distsim");
+                 "sequential | model | shared | distsim | mesh");
   cli.add_option("parallelism", "8", "threads / simulated ranks");
+  cli.add_option("agents", "0",
+                 "mesh backend: number of message-passing agents "
+                 "(0 = use --parallelism)");
   cli.add_option("tolerance", "1e-8", "relative residual 1-norm target");
   cli.add_option("max-iterations", "1000000", "iteration cap");
   cli.add_option("seed", "1", "random seed (b, x0, partitioner, noise)");
@@ -155,6 +159,9 @@ int main(int argc, char** argv) {
     SolveConfig cfg;
     cfg.backend = parse_backend(cli.get_string("backend"));
     cfg.parallelism = cli.get_int("parallelism");
+    if (cfg.backend == Backend::kMesh && cli.get_int("agents") > 0) {
+      cfg.parallelism = cli.get_int("agents");
+    }
     cfg.synchronous = cli.get_bool("sync");
     cfg.tolerance = cli.get_double("tolerance");
     cfg.max_iterations = cli.get_int("max-iterations");

@@ -1,6 +1,7 @@
 #include "ajac/core/ajac.hpp"
 
 #include <cmath>
+#include <thread>
 
 #include "ajac/sparse/scaling.hpp"
 #include "ajac/sparse/vector_ops.hpp"
@@ -64,6 +65,32 @@ Solution solve(const CsrMatrix& a, const Vector& b, const Vector& x0,
       sol.rel_residual_1 = r.final_rel_residual_1;
       index_t max_iter = 0;
       for (index_t it : r.iterations_per_thread) {
+        max_iter = std::max(max_iter, it);
+      }
+      sol.iterations = max_iter;
+      sol.relaxations = r.total_relaxations;
+      return sol;
+    }
+    case Backend::kMesh: {
+      mesh::MeshOptions opts;
+      opts.num_agents = config.parallelism;
+      opts.synchronous = config.synchronous;
+      opts.tolerance = config.tolerance;
+      opts.max_iterations = config.max_iterations;
+      opts.record_history = false;
+      // Oversubscribed host: without a per-iteration yield each agent
+      // burns its whole scheduling quantum relaxing against frozen ghost
+      // values and iteration counts measure the OS scheduler, not the
+      // algorithm (DESIGN.md §5g).
+      opts.yield = static_cast<unsigned>(config.parallelism) >
+                   std::thread::hardware_concurrency();
+      const mesh::MeshResult r = mesh::solve_mesh(a, b, x0, opts);
+      sol.seconds = r.seconds;
+      sol.x = r.x;
+      sol.converged = r.converged;
+      sol.rel_residual_1 = r.final_rel_residual_1;
+      index_t max_iter = 0;
+      for (index_t it : r.iterations_per_agent) {
         max_iter = std::max(max_iter, it);
       }
       sol.iterations = max_iter;

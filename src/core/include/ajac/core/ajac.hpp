@@ -10,6 +10,7 @@
 //   ajac/solvers/*    sequential stationary baselines
 //   ajac/runtime/*    shared-memory async Jacobi (OpenMP)
 //   ajac/distsim/*    distributed-memory async Jacobi (discrete-event sim)
+//   ajac/mesh/*       concurrent message-passing mesh (std::thread + SPSC)
 //
 // This header provides one-call entry points for the common cases.
 
@@ -17,6 +18,7 @@
 
 #include "ajac/distsim/dist_jacobi.hpp"
 #include "ajac/gen/problem.hpp"
+#include "ajac/mesh/mesh_jacobi.hpp"
 #include "ajac/model/executor.hpp"
 #include "ajac/partition/partition.hpp"
 #include "ajac/runtime/shared_jacobi.hpp"
@@ -35,6 +37,7 @@ enum class Backend {
   kModel,          ///< propagation-matrix model executor
   kSharedMemory,   ///< OpenMP threads, shared arrays (paper Sec. V)
   kDistributedSim, ///< discrete-event distributed runtime (paper Sec. VI)
+  kMesh,           ///< real message-passing agents (std::thread + queues)
 };
 
 struct SolveConfig {

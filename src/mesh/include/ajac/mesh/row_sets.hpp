@@ -1,0 +1,59 @@
+#pragma once
+// Row-ownership sets for the concurrent mesh runtime (src/mesh).
+//
+// Unlike the shared-memory runtime's contiguous Partition, a mesh agent
+// owns an arbitrary *set* of rows: non-contiguous assignments model
+// scattered subdomains, and sets may overlap (two agents both relaxing a
+// boundary row, Skywing-style redundant ownership). The only global
+// requirement is coverage — every row must have at least one owner —
+// because an orphaned row would never be relaxed and the iteration could
+// not converge.
+//
+// Per-agent invariants (checked by validate, which throws std::logic_error
+// on violation so malformed shapes are rejected up front, before any
+// thread is spawned):
+//   - at least one agent, and every agent owns at least one row (an empty
+//     agent would publish nothing, park immediately, and deadlock the
+//     synchronous barrier schedule — rejected, not silently tolerated);
+//   - each agent's rows are sorted, unique, and in [0, num_rows);
+//   - the union of all sets covers [0, num_rows).
+
+#include <vector>
+
+#include "ajac/sparse/types.hpp"
+
+namespace ajac::partition {
+struct Partition;
+}
+
+namespace ajac::mesh {
+
+/// One sorted, duplicate-free row set per agent. Sets may overlap and need
+/// not be contiguous; together they must cover every row.
+struct RowSets {
+  std::vector<std::vector<index_t>> owned;
+
+  [[nodiscard]] index_t num_agents() const noexcept {
+    return static_cast<index_t>(owned.size());
+  }
+};
+
+/// Disjoint contiguous sets matching partition::contiguous_partition — the
+/// default mesh layout and the one the sync-mode bitwise-equivalence
+/// contract against solve_shared is stated for.
+[[nodiscard]] RowSets contiguous_row_sets(index_t num_rows,
+                                          index_t num_agents);
+
+/// Row sets mirroring an existing contiguous Partition (e.g. the output of
+/// graph_growing_partition after permutation), for distsim cross-runs.
+[[nodiscard]] RowSets row_sets_from_partition(const partition::Partition& part);
+
+/// Enforce the structural invariants listed in the header comment; throws
+/// std::logic_error naming the first violation.
+void validate(const RowSets& sets, index_t num_rows);
+
+/// True when no row has more than one owner. Trace recording requires it:
+/// per-row commit versions are only well-defined with a unique writer.
+[[nodiscard]] bool disjoint(const RowSets& sets, index_t num_rows);
+
+}  // namespace ajac::mesh

@@ -1,0 +1,128 @@
+#pragma once
+// Bounded single-producer / single-consumer ring for one directed mesh
+// edge: fixed-width packets of boundary values, one slot per packet.
+//
+// Memory model (simpler than the SharedVector seqlock, and verified by the
+// TSan stress suite in tests/mesh/stress_mesh_test.cpp):
+//
+//   - The payload slots are PLAIN doubles, not atomics. Publication rides
+//     entirely on the two index atomics: the producer's release store of
+//     tail_ publishes the slot it just filled, and the consumer's acquire
+//     load of tail_ makes those plain writes visible before it reads them.
+//     Symmetrically, the consumer's release store of head_ retires a slot,
+//     and the producer's acquire load of head_ orders slot reuse after the
+//     consumer's last plain read. No fences (tools/lint.sh bans them), no
+//     per-element versioning: with exactly one writer and one reader per
+//     index, acquire/release on the indices alone is a complete protocol,
+//     and TSan models it precisely.
+//
+//   - Each index has a single writer (tail_: the producer; head_: the
+//     consumer), so a thread's read of its OWN index is always fresh and
+//     can be relaxed (racy-ok tag `own-index`, see tools/analyze/
+//     racy_ok.toml). The Clang thread-safety roles below make the
+//     single-writer contract machine-checked: try_push requires the
+//     producer role, try_pop the consumer role.
+//
+//   - Backpressure is drop-newest: try_push on a full ring refuses the
+//     packet and returns false (the caller counts it as a queue_full
+//     drop). Asynchronous Jacobi tolerates lost boundary updates — a
+//     fresher packet is always coming — so blocking the producer would
+//     only import the synchronous schedule through the back door.
+//
+// Identifier hygiene: the head_/tail_ names (rather than anything
+// "sequence"-flavored) keep the concurrency auditor's seqlock-protocol
+// rule scoped to the real seqlocks in src/runtime.
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ajac/sparse/types.hpp"
+#include "ajac/util/annotate.hpp"
+#include "ajac/util/check.hpp"
+
+namespace ajac::mesh {
+
+class SpscQueue {
+ public:
+  /// `width` values per packet (one per boundary row of the edge),
+  /// `capacity` packets in flight before drop-newest kicks in.
+  SpscQueue(std::size_t width, std::size_t capacity)
+      : width_(width),
+        capacity_(capacity),
+        headers_(capacity),
+        values_(width * capacity) {
+    AJAC_CHECK(width >= 1);
+    AJAC_CHECK(capacity >= 1);
+  }
+
+  [[nodiscard]] std::size_t width() const noexcept { return width_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Producer side: enqueue one packet (header = sender's local iteration
+  /// at commit time). Returns false — packet dropped — when the ring is
+  /// full. Requires the producer role: exactly one thread per queue may
+  /// ever call this.
+  [[nodiscard]] bool try_push(index_t header, std::span<const double> values)
+      AJAC_REQUIRES(producer) {
+    AJAC_DBG_CHECK(values.size() == width_);
+    // racy-ok(own-index): tail_ has a single writer — this producer — so
+    // its own relaxed read is always the freshest value.
+    const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    // Acquire pairs with the consumer's release store in try_pop: slot
+    // reuse below happens-after the consumer's last plain read of it.
+    if (t - head_.load(std::memory_order_acquire) == capacity_) {
+      return false;
+    }
+    const std::size_t slot = static_cast<std::size_t>(t % capacity_);
+    headers_[slot] = header;
+    double* dst = values_.data() + slot * width_;
+    for (std::size_t k = 0; k < width_; ++k) dst[k] = values[k];
+    // Release publishes the plain payload writes above; pairs with the
+    // consumer's acquire load of tail_.
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: dequeue the oldest packet into `values` (sized to
+  /// width()). Returns false when the ring is empty. Requires the consumer
+  /// role: exactly one thread per queue may ever call this.
+  [[nodiscard]] bool try_pop(index_t& header, std::span<double> values)
+      AJAC_REQUIRES(consumer) {
+    AJAC_DBG_CHECK(values.size() == width_);
+    // racy-ok(own-index): head_ has a single writer — this consumer.
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    // Acquire pairs with the producer's release store of tail_: the plain
+    // payload reads below happen-after the producer filled the slot.
+    if (h == tail_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    const std::size_t slot = static_cast<std::size_t>(h % capacity_);
+    header = headers_[slot];
+    const double* src = values_.data() + slot * width_;
+    for (std::size_t k = 0; k < width_; ++k) values[k] = src[k];
+    // Release retires the slot; pairs with the producer's acquire load of
+    // head_ before it reuses the storage.
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Single-writer roles (claims, not locks — see SoleWriterRole). The
+  /// mesh driver wires one agent to each end at spawn time and claims the
+  /// role once per thread.
+  SoleWriterRole producer;
+  SoleWriterRole consumer;
+
+ private:
+  std::size_t width_;
+  std::size_t capacity_;
+  // The index atomics live on separate cache lines so the producer's
+  // tail_ stores never false-share with the consumer's head_ stores.
+  alignas(64) std::atomic<std::uint64_t> head_{0};  ///< next slot to pop
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  ///< next slot to fill
+  std::vector<index_t> headers_;  ///< plain; published via the indices
+  std::vector<double> values_;    ///< plain; slot-strided packet payloads
+};
+
+}  // namespace ajac::mesh

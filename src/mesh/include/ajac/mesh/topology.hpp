@@ -1,0 +1,70 @@
+#pragma once
+// Static communication topology of a mesh run, derived once from the
+// matrix sparsity pattern and the row-ownership sets before any thread is
+// spawned.
+//
+// An agent's GHOST columns are exactly the off-owned columns of its rows:
+// every column its stencil reads that it does not own itself. A directed
+// edge p -> q exists iff p owns at least one of q's ghost columns; the
+// edge's row list is that intersection, and one SPSC queue per edge
+// carries (header = sender iteration, values) packets for those rows.
+// With overlapping ownership a ghost can have several owners — the
+// receiver then has one inbound edge per owner and applies packets in
+// arrival order (last write wins), which the property suite pins down.
+
+#include <cstdint>
+#include <vector>
+
+#include "ajac/mesh/row_sets.hpp"
+#include "ajac/sparse/types.hpp"
+
+namespace ajac {
+class CsrMatrix;
+}
+
+namespace ajac::mesh {
+
+/// One directed communication edge: `rows` (sorted) are the sender-owned
+/// rows the receiver reads as ghosts; a packet carries one value per row.
+struct MeshEdge {
+  index_t sender = 0;
+  index_t receiver = 0;
+  std::vector<index_t> rows;
+};
+
+/// Per-agent view of the topology. `in_edges` / `out_edges` index into
+/// MeshTopology::edges.
+struct AgentBlock {
+  std::vector<index_t> rows;        ///< owned rows, sorted, unique
+  std::vector<index_t> ghost_cols;  ///< off-owned columns read by own rows
+  std::vector<index_t> in_edges;
+  std::vector<index_t> out_edges;
+};
+
+struct MeshTopology {
+  index_t num_rows = 0;
+  bool disjoint = true;  ///< no row has two owners (trace mode needs this)
+  std::vector<AgentBlock> agents;
+  std::vector<MeshEdge> edges;
+
+  [[nodiscard]] index_t num_agents() const noexcept {
+    return static_cast<index_t>(agents.size());
+  }
+};
+
+/// Stable identifier for the directed edge sender -> receiver; keys the
+/// deterministic per-edge fault decisions with the same convention as
+/// distsim::directed_edge_key, so a plan means the same thing against the
+/// simulator and the real mesh.
+[[nodiscard]] constexpr std::uint64_t directed_edge_key(
+    index_t sender, index_t receiver) noexcept {
+  return (static_cast<std::uint64_t>(sender) << 32) ^
+         static_cast<std::uint64_t>(receiver);
+}
+
+/// Build the topology. Validates `sets` against the matrix first (throws
+/// std::logic_error on malformed shapes, see row_sets.hpp).
+[[nodiscard]] MeshTopology build_topology(const CsrMatrix& a,
+                                          const RowSets& sets);
+
+}  // namespace ajac::mesh

@@ -1,0 +1,806 @@
+#include "ajac/mesh/mesh_jacobi.hpp"
+
+#include <sched.h>
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <deque>
+#include <optional>
+#include <span>
+#include <thread>
+#include <utility>
+
+#include "ajac/mesh/processor.hpp"
+#include "ajac/mesh/spsc_queue.hpp"
+#include "ajac/mesh/topology.hpp"
+#include "ajac/obs/metrics.hpp"
+#include "ajac/runtime/shared_vector.hpp"
+#include "ajac/sparse/csr.hpp"
+#include "ajac/sparse/validate.hpp"
+#include "ajac/sparse/vector_ops.hpp"
+#include "ajac/util/annotate.hpp"
+#include "ajac/util/check.hpp"
+#include "ajac/util/timer.hpp"
+
+namespace ajac::mesh {
+
+namespace {
+
+/// Per-agent queue traffic tallies, folded into MeshResult (and the
+/// metrics slot) after the join.
+struct AgentTotals {
+  index_t sent = 0;
+  index_t received = 0;
+  index_t dropped = 0;
+  index_t duplicated = 0;
+  index_t queue_full = 0;
+};
+
+/// Fault context for the default (no plan) path: `enabled` is false and
+/// every hook site below is `if constexpr`-guarded, so this instantiation
+/// compiles to the plain mesh driver (same Null/Active pattern as
+/// src/runtime/solve_hooks.hpp).
+struct NullMeshFaults {
+  static constexpr bool enabled = false;
+
+  NullMeshFaults(const fault::FaultPlan* /*plan*/, index_t /*agent*/) {}
+
+  void begin_iteration(index_t /*iter*/) {}
+  [[nodiscard]] bool stale_window_active() const { return false; }
+  [[nodiscard]] bool consume_state_reset() { return false; }
+  [[nodiscard]] bool drop_message(std::uint64_t /*edge*/, index_t /*recv*/,
+                                  index_t /*k*/) {
+    return false;
+  }
+  [[nodiscard]] bool duplicate_message(std::uint64_t /*edge*/,
+                                       index_t /*recv*/, index_t /*k*/) {
+    return false;
+  }
+  [[nodiscard]] fault::FaultLog take_log() { return {}; }
+};
+
+/// Per-agent fault injector. Straggler / crash / stale-window decisions
+/// are keyed on the local iteration exactly like the shared runtime's
+/// ActiveFaults; message drop / duplicate decisions are keyed on
+/// (directed edge, sender's per-edge packet counter) exactly like
+/// distsim, so the injected sequence is a pure function of the plan —
+/// independent of scheduling — and one plan means the same thing on the
+/// simulator and the real mesh.
+class ActiveMeshFaults {
+ public:
+  static constexpr bool enabled = true;
+
+  ActiveMeshFaults(const fault::FaultPlan* plan, index_t agent)
+      : clock_(plan->seed), agent_(agent) {
+    for (const auto& s : plan->stragglers) {
+      if (s.actor == agent) straggler_ = &s;
+    }
+    for (const auto& s : plan->stale_reads) {
+      if (s.actor == agent || s.actor == -1) stale_ = &s;
+    }
+    for (const auto& s : plan->crashes) {
+      if (s.actor == agent) crash_ = &s;
+    }
+    for (const auto& s : plan->message_faults) {
+      if (s.sender == -1 || s.sender == agent) msg_specs_.push_back(&s);
+    }
+  }
+
+  /// Straggler stall, crash-and-recover, and stale-window bookkeeping, in
+  /// that order, at the top of local iteration `iter` (the shared
+  /// runtime's sequencing, so one plan injects at the same logical
+  /// instants in both runtimes).
+  void begin_iteration(index_t iter) {
+    if (straggler_ != nullptr) {
+      const bool on =
+          fault::duty_active(straggler_->period, straggler_->duty, iter);
+      if (on && !straggler_on_) {
+        log_.push_back({fault::FaultKind::kStragglerOn, agent_, iter, 0, 0});
+      }
+      straggler_on_ = on;
+      if (on) spin_wait_us(straggler_->extra_delay_us);
+    }
+    if (crash_ != nullptr && !crashed_ && iter >= crash_->crash_iteration) {
+      // A mesh crash is an agent that stops participating for
+      // dead_seconds and resumes — optionally from the initial guess on
+      // its rows (lost memory; the driver performs the reset). Packets
+      // that arrive while it is down pile up in its bounded inbound rings
+      // and the overflow is dropped: the mesh analogue of distsim's
+      // "messages to a dead rank are lost".
+      crashed_ = true;
+      log_.push_back({fault::FaultKind::kCrash, agent_, iter, 0, 0});
+      spin_wait_us(crash_->dead_seconds * 1e6);
+      state_reset_ = crash_->reset_state_on_recovery;
+      log_.push_back({fault::FaultKind::kRecover, agent_, iter, 0, 0});
+    }
+    if (stale_ != nullptr) {
+      const bool on = fault::duty_active(stale_->period, stale_->duty, iter);
+      if (on && !stale_on_) {
+        log_.push_back({fault::FaultKind::kStaleWindowOn, agent_, iter, 0, 0});
+      }
+      stale_on_ = on;
+    }
+  }
+
+  /// While active the driver skips its queue drains, freezing the ghost
+  /// values in place — the message-passing realization of the shared
+  /// runtime's frozen off-block snapshot.
+  [[nodiscard]] bool stale_window_active() const { return stale_on_; }
+
+  /// True exactly once after a crash recovery requested a state reset;
+  /// consuming clears it.
+  [[nodiscard]] bool consume_state_reset() {
+    return std::exchange(state_reset_, false);
+  }
+
+  [[nodiscard]] bool drop_message(std::uint64_t edge, index_t receiver,
+                                  index_t k) {
+    for (const fault::MessageFaultSpec* s : msg_specs_) {
+      if (s->receiver >= 0 && s->receiver != receiver) continue;
+      if (clock_.bernoulli(s->drop_probability,
+                           fault::FaultClock::kMessageDrop, edge,
+                           static_cast<std::uint64_t>(k))) {
+        log_.push_back(
+            {fault::FaultKind::kMessageDrop, agent_, k, receiver, 0});
+        return true;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool duplicate_message(std::uint64_t edge, index_t receiver,
+                                       index_t k) {
+    for (const fault::MessageFaultSpec* s : msg_specs_) {
+      if (s->receiver >= 0 && s->receiver != receiver) continue;
+      if (clock_.bernoulli(s->duplicate_probability,
+                           fault::FaultClock::kMessageDuplicate, edge,
+                           static_cast<std::uint64_t>(k))) {
+        log_.push_back(
+            {fault::FaultKind::kMessageDuplicate, agent_, k, receiver, 0});
+        return true;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] fault::FaultLog take_log() { return std::move(log_); }
+
+ private:
+  fault::FaultClock clock_;
+  index_t agent_;
+  const fault::StragglerSpec* straggler_ = nullptr;
+  const fault::StaleReadSpec* stale_ = nullptr;
+  const fault::CrashSpec* crash_ = nullptr;
+  std::vector<const fault::MessageFaultSpec*> msg_specs_;
+  bool straggler_on_ = false;
+  bool stale_on_ = false;
+  bool crashed_ = false;
+  bool state_reset_ = false;
+  fault::FaultLog log_;
+};
+
+/// Metrics context for the uninstrumented path.
+struct NullMeshMetrics {
+  static constexpr bool enabled = false;
+
+  NullMeshMetrics(obs::MetricsRegistry* /*reg*/, index_t /*agent*/,
+                  const WallTimer& /*timer*/) {}
+
+  void iteration_begin() {}
+  void iteration_end(index_t /*iter*/, index_t /*own_rows*/) {}
+  void flag_update(bool /*done*/) {}
+  void stop_decided() {}
+  void drain_summary(index_t /*popped*/) {}
+  void ghost_age(index_t /*iter*/, index_t /*header*/) {}
+  void fold_totals(const AgentTotals& /*totals*/,
+                   const fault::FaultLog& /*log*/) {}
+};
+
+/// Per-agent metrics slot feeding obs::MetricsRegistry (EventRing-backed
+/// timeline + counters/histograms), one "agent" lane per mesh agent.
+class ActiveMeshMetrics {
+ public:
+  static constexpr bool enabled = true;
+
+  ActiveMeshMetrics(obs::MetricsRegistry* reg, index_t agent,
+                    const WallTimer& timer)
+      : slot_(&reg->actor(agent)), timer_(&timer) {
+    // One slot per agent by the registry's contract: this thread is the
+    // slot's sole writer for the whole run.
+    slot_->owner.assert_held();
+  }
+
+  void iteration_begin() { t0_us_ = timer_->microseconds(); }
+
+  void iteration_end(index_t iter, index_t own_rows) {
+    slot_->owner.assert_held();
+    const double t1 = timer_->microseconds();
+    slot_->add(obs::Counter::kIterations);
+    slot_->add(obs::Counter::kRelaxations,
+               static_cast<std::uint64_t>(own_rows));
+    slot_->record(obs::Hist::kIterationUs,
+                  static_cast<std::uint64_t>(t1 - t0_us_));
+    slot_->span(obs::TraceKind::kIteration, t0_us_, t1, iter);
+  }
+
+  void flag_update(bool done) {
+    slot_->owner.assert_held();
+    if (done && !flag_up_) slot_->add(obs::Counter::kFlagRaises);
+    flag_up_ = done;
+  }
+
+  void stop_decided() {
+    slot_->owner.assert_held();
+    slot_->instant(obs::TraceKind::kStop, timer_->microseconds());
+  }
+
+  /// Mailbox depth observed by one drain pass (popped packet count).
+  void drain_summary(index_t popped) {
+    slot_->owner.assert_held();
+    slot_->record(obs::Hist::kQueueDepth, static_cast<std::uint64_t>(popped));
+  }
+
+  /// Sender-iteration lag of an applied ghost packet.
+  void ghost_age(index_t iter, index_t header) {
+    slot_->owner.assert_held();
+    const index_t age = iter > header ? iter - header : 0;
+    slot_->record(obs::Hist::kGhostReadAge, static_cast<std::uint64_t>(age));
+  }
+
+  void fold_totals(const AgentTotals& totals, const fault::FaultLog& log) {
+    slot_->owner.assert_held();
+    slot_->add(obs::Counter::kMessagesSent,
+               static_cast<std::uint64_t>(totals.sent));
+    slot_->add(obs::Counter::kMessagesReceived,
+               static_cast<std::uint64_t>(totals.received));
+    slot_->add(obs::Counter::kMessagesDropped,
+               static_cast<std::uint64_t>(totals.dropped));
+    slot_->add(obs::Counter::kMessagesDuplicated,
+               static_cast<std::uint64_t>(totals.duplicated));
+    slot_->add(obs::Counter::kQueueFullDrops,
+               static_cast<std::uint64_t>(totals.queue_full));
+    slot_->add(obs::Counter::kFaultEvents,
+               static_cast<std::uint64_t>(log.size()));
+  }
+
+ private:
+  obs::ActorSlot* slot_;
+  const WallTimer* timer_;
+  double t0_us_ = 0.0;
+  bool flag_up_ = false;
+};
+
+template <bool Sync, class Faults, class Metrics>
+MeshResult solve_mesh_impl(const CsrMatrix& a, const Vector& b,
+                           const Vector& x0, const MeshOptions& opts,
+                           const MeshTopology& topo, const Vector& inv_diag,
+                           const fault::FaultPlan* plan) {
+  const index_t n = a.num_rows();
+  const index_t na = topo.num_agents();
+
+  // Control-plane boards (see mesh_jacobi.hpp): untraced SharedVectors
+  // holding every agent's committed x and staged residual, read only by
+  // the termination protocol — never by a relaxation. Untraced writes are
+  // single relaxed stores, so overlapping owners committing the same row
+  // are a benign last-write-wins race (and write identical values in
+  // synchronous mode).
+  runtime::SharedVector x_board(n, /*traced=*/false);
+  runtime::SharedVector r_board(n, /*traced=*/false);
+  // Single-threaded setup: momentarily the sole writer of both boards.
+  x_board.writer_role().assert_held();
+  r_board.writer_role().assert_held();
+  x_board.init(x0);
+  {
+    Vector r0(static_cast<std::size_t>(n));
+    a.residual(x0, b, r0);
+    r_board.init(r0);
+  }
+  const double r0_norm = [&] {
+    Vector tmp(static_cast<std::size_t>(n));
+    a.residual(x0, b, tmp);
+    const double nrm = vec::norm1(tmp);
+    return nrm > 0.0 ? nrm : 1.0;
+  }();
+
+  std::vector<std::atomic<int>> flags(static_cast<std::size_t>(na));
+  // racy-ok(init): single-threaded setup; std::thread creation publishes.
+  for (auto& f : flags) f.store(0, std::memory_order_relaxed);
+  std::vector<std::atomic<index_t>> iter_counts(static_cast<std::size_t>(na));
+  // racy-ok(init): single-threaded setup; std::thread creation publishes.
+  for (auto& c : iter_counts) c.store(0, std::memory_order_relaxed);
+  std::atomic<int> stop{0};
+
+  // One SPSC ring per directed edge, sized to the edge's boundary width.
+  // deque, not vector: the ring is immovable (index atomics), and deque
+  // emplaces in place without relocation.
+  std::deque<SpscQueue> queues;
+  for (const MeshEdge& e : topo.edges) {
+    queues.emplace_back(e.rows.size(),
+                        static_cast<std::size_t>(opts.queue_capacity));
+  }
+
+  MeshResult result;
+  result.iterations_per_agent.assign(static_cast<std::size_t>(na), 0);
+  std::vector<std::vector<MeshHistoryPoint>> histories(
+      static_cast<std::size_t>(na));
+  std::vector<std::vector<model::RelaxationEvent>> agent_events(
+      static_cast<std::size_t>(na));
+  std::vector<fault::FaultLog> fault_logs(static_cast<std::size_t>(na));
+  std::vector<AgentTotals> agent_totals(static_cast<std::size_t>(na));
+
+  // Lockstep gate for the synchronous schedule (solve_shared's three
+  // barriers per iteration). std::barrier is TSan-native, unlike the
+  // OpenMP barriers the shared runtime has to annotate around.
+  std::optional<std::barrier<>> gate;
+  if constexpr (Sync) gate.emplace(static_cast<std::ptrdiff_t>(na));
+
+  WallTimer timer;
+
+  auto agent_main = [&](index_t t) {
+    const AgentBlock& blk = topo.agents[static_cast<std::size_t>(t)];
+    const auto own_rows = static_cast<index_t>(blk.rows.size());
+
+    // The agent's full-length local view: own rows hold its committed
+    // iterates, ghost columns hold the last applied packet values, and
+    // every other entry stays at x0 (never read — the stencil of the own
+    // rows touches only own + ghost columns). Full length buys free
+    // support for arbitrary non-contiguous and overlapping row sets: no
+    // index translation anywhere in the hot loop.
+    Vector x_local = x0;
+    std::vector<double> staged(static_cast<std::size_t>(own_rows));
+    // Per-column versions for trace mode: commit count of own rows,
+    // packet-header-derived count of ghosts (disjoint sets only, so both
+    // are well-defined). Sized only when tracing.
+    std::vector<index_t> versions;
+    if (opts.record_trace) {
+      versions.assign(static_cast<std::size_t>(n), 0);
+    }
+    std::size_t max_width = 1;
+    for (const index_t e : blk.in_edges) {
+      max_width = std::max(max_width, queues[static_cast<std::size_t>(e)].width());
+    }
+    for (const index_t e : blk.out_edges) {
+      max_width = std::max(max_width, queues[static_cast<std::size_t>(e)].width());
+    }
+    std::vector<double> packet_buf(max_width);
+
+    // Claim the single-writer roles this agent's topology position grants
+    // it: its rows of both boards, the producer end of its outbound
+    // queues, the consumer end of its inbound queues. Claims, not locks —
+    // ownership is established by the topology (see SoleWriterRole).
+    x_board.writer_role().assert_held();
+    r_board.writer_role().assert_held();
+    for (const index_t e : blk.out_edges) {
+      queues[static_cast<std::size_t>(e)].producer.assert_held();
+    }
+    for (const index_t e : blk.in_edges) {
+      queues[static_cast<std::size_t>(e)].consumer.assert_held();
+    }
+
+    Faults faults(plan, t);
+    Metrics metrics(opts.metrics, t, timer);
+    AgentTotals totals;
+    auto& my_history = histories[static_cast<std::size_t>(t)];
+    auto& my_events = agent_events[static_cast<std::size_t>(t)];
+    if (opts.record_history) {
+      // Reserve outside the timed loop (reallocation mid-run would
+      // perturb the asynchronous interleaving); parked agents never pass
+      // max_iterations, so this bound is exact.
+      my_history.reserve(static_cast<std::size_t>(opts.max_iterations));
+    }
+    std::vector<index_t> sent_on_edge(blk.out_edges.size(), 0);
+
+    const JacobiProcessor proc(a, b, inv_diag);
+    static_assert(
+        IterativeProcessorFor<JacobiProcessor,
+                              decltype([](index_t) { return 0.0; })>);
+
+    index_t iter = 0;
+
+    // Apply every packet currently queued on the inbound edges to the
+    // local ghost entries (arrival order; with overlapping owners the
+    // last applied packet wins).
+    auto drain = [&](bool traced) {
+      index_t popped = 0;
+      for (const index_t e : blk.in_edges) {
+        SpscQueue& q = queues[static_cast<std::size_t>(e)];
+        const MeshEdge& edge = topo.edges[static_cast<std::size_t>(e)];
+        index_t header = 0;
+        std::span<double> buf(packet_buf.data(), q.width());
+        while (q.try_pop(header, buf)) {
+          ++popped;
+          for (std::size_t k = 0; k < edge.rows.size(); ++k) {
+            x_local[edge.rows[k]] = buf[k];
+          }
+          if (traced) {
+            // A packet carries the sender's commits of iteration
+            // `header`, i.e. its (header + 1)-th committed values.
+            for (const index_t row : edge.rows) {
+              versions[static_cast<std::size_t>(row)] = header + 1;
+            }
+          }
+          if constexpr (Metrics::enabled) metrics.ghost_age(iter, header);
+        }
+      }
+      totals.received += popped;
+      if constexpr (Metrics::enabled) metrics.drain_summary(popped);
+    };
+
+    // Ship the committed boundary values to every subscriber, applying
+    // the per-edge drop / duplicate decisions. A refused push (full
+    // ring) counts as queue_full backpressure, not as a fault: it
+    // consumes no FaultClock decision, so the fault log stays a pure
+    // function of the plan.
+    auto publish = [&] {
+      for (std::size_t ei = 0; ei < blk.out_edges.size(); ++ei) {
+        const index_t e = blk.out_edges[ei];
+        SpscQueue& q = queues[static_cast<std::size_t>(e)];
+        const MeshEdge& edge = topo.edges[static_cast<std::size_t>(e)];
+        const index_t k = sent_on_edge[ei]++;
+        [[maybe_unused]] const std::uint64_t key =
+            directed_edge_key(edge.sender, edge.receiver);
+        if constexpr (Faults::enabled) {
+          if (faults.drop_message(key, edge.receiver, k)) {
+            ++totals.dropped;
+            continue;
+          }
+        }
+        for (std::size_t p = 0; p < edge.rows.size(); ++p) {
+          packet_buf[p] = x_local[edge.rows[p]];
+        }
+        const std::span<const double> payload(packet_buf.data(),
+                                              edge.rows.size());
+        ++totals.sent;
+        if (!q.try_push(iter, payload)) ++totals.queue_full;
+        if constexpr (Faults::enabled) {
+          if (faults.duplicate_message(key, edge.receiver, k)) {
+            ++totals.duplicated;
+            ++totals.sent;
+            if (!q.try_push(iter, payload)) ++totals.queue_full;
+          }
+        }
+      }
+    };
+
+    // Verified stop, verbatim the shared runtime's: the flags rest on
+    // racy residual reads, so before latching `stop` either prove every
+    // agent hit the cap or recompute a fresh residual from the x board.
+    auto verify_and_maybe_stop = [&] {
+      bool all_at_max = true;
+      for (auto& c : iter_counts) {
+        // racy-ok(monotonic): counters only grow; a stale read can only
+        // delay the stop decision, never produce a premature one.
+        if (c.load(std::memory_order_relaxed) < opts.max_iterations) {
+          all_at_max = false;
+          break;
+        }
+      }
+      bool tol_met = false;
+      if (!all_at_max && opts.tolerance > 0.0) {
+        double fresh = 0.0;
+        for (index_t i = 0; i < n; ++i) {
+          double acc = b[i];
+          const auto [cols, vals] = a.row(i);
+          for (std::size_t p = 0; p < cols.size(); ++p) {
+            acc -= vals[p] * x_board.read(cols[p]);
+          }
+          fresh += std::abs(acc);
+        }
+        tol_met = fresh / r0_norm <= opts.tolerance;
+      }
+      if (all_at_max || tol_met) {
+        // racy-ok(stop): 0 -> 1 broadcast; readers poll it and the
+        // results are read after the join.
+        stop.store(1, std::memory_order_relaxed);
+        if constexpr (Metrics::enabled) metrics.stop_decided();
+      }
+    };
+
+    // racy-ok(stop): stop only transitions 0 -> 1; a stale read costs one
+    // extra polling pass, nothing more.
+    while (stop.load(std::memory_order_relaxed) == 0) {
+      if (iter >= opts.max_iterations) {
+        // Park-at-cap, identical policy to solve_shared: relaxing past
+        // the cap would make the executed (agent, iteration) set — and
+        // with it the fault log and relaxation totals — scheduler-
+        // dependent. Poll the flags and re-verify until stop is decided.
+        // (Unreachable in synchronous mode: lockstep flags all rise at
+        // the cap iteration and verify latches stop before re-entry.)
+        int parked_done = 0;
+        // racy-ok(flag): flags are hints; verify_and_maybe_stop re-checks.
+        for (auto& f : flags) parked_done += f.load(std::memory_order_relaxed);
+        if (parked_done == static_cast<int>(na)) verify_and_maybe_stop();
+        sched_yield();
+        continue;
+      }
+      if constexpr (Metrics::enabled) metrics.iteration_begin();
+      if constexpr (Faults::enabled) {
+        faults.begin_iteration(iter);
+        if (faults.consume_state_reset()) {
+          // Crash recovery with lost memory: restart the own rows from
+          // the initial guess, locally and on the board (so the verified
+          // stop sees the reset state). Neighbors keep their last
+          // received values until the next publish.
+          for (const index_t i : blk.rows) {
+            x_local[i] = x0[i];
+            x_board.write(i, x0[i]);
+          }
+        }
+      }
+      if constexpr (!Sync) {
+        // Asynchronous ghost refresh. Inside a stale window the drains
+        // are skipped: the ghosts freeze at their last applied values
+        // while packets queue up behind the window.
+        bool frozen = false;
+        if constexpr (Faults::enabled) frozen = faults.stale_window_active();
+        if (!frozen) drain(opts.record_trace);
+      }
+
+      // Step 1: stage every owned row from the local view (Jacobi
+      // discipline: all stages read the pre-commit state) and publish
+      // the staged residuals to the r board for the termination norm.
+      if (opts.record_trace) {
+        for (index_t k = 0; k < own_rows; ++k) {
+          const index_t i = blk.rows[static_cast<std::size_t>(k)];
+          model::RelaxationEvent event;
+          event.row = i;
+          event.reads.reserve(a.row_cols(i).size());
+          staged[static_cast<std::size_t>(k)] =
+              proc.stage(i, [&](index_t j) {
+                if (j != i) {
+                  event.reads.push_back(
+                      {j, versions[static_cast<std::size_t>(j)]});
+                }
+                return x_local[j];
+              });
+          r_board.write(i, staged[static_cast<std::size_t>(k)]);
+          my_events.push_back(std::move(event));
+        }
+      } else {
+        for (index_t k = 0; k < own_rows; ++k) {
+          const index_t i = blk.rows[static_cast<std::size_t>(k)];
+          staged[static_cast<std::size_t>(k)] =
+              proc.stage(i, [&](index_t j) { return x_local[j]; });
+          r_board.write(i, staged[static_cast<std::size_t>(k)]);
+        }
+      }
+
+      // Step 2: commit the staged updates, mirror them to the x board,
+      // and ship the new boundary values.
+      for (index_t k = 0; k < own_rows; ++k) {
+        const index_t i = blk.rows[static_cast<std::size_t>(k)];
+        x_local[i] =
+            proc.apply(i, x_local[i], staged[static_cast<std::size_t>(k)]);
+        x_board.write(i, x_local[i]);
+      }
+      if (opts.record_trace) {
+        for (const index_t i : blk.rows) {
+          versions[static_cast<std::size_t>(i)] = iter + 1;
+        }
+      }
+      publish();
+
+      if constexpr (Sync) {
+        // Lockstep point 1 (solve_shared's stage/commit barrier): every
+        // agent's iteration-k values are committed and queued; drain so
+        // the next stage reads a complete synchronous state.
+        gate->arrive_and_wait();
+        drain(opts.record_trace);
+      }
+
+      ++iter;
+      // racy-ok(monotonic): published for the verification gate; it only
+      // needs an eventually-fresh lower bound.
+      iter_counts[static_cast<std::size_t>(t)].store(
+          iter, std::memory_order_relaxed);
+
+      // Step 3: convergence check — racy 1-norm of the whole residual
+      // board in natural row order (bitwise solve_shared's scan).
+      double norm = 0.0;
+      for (index_t i = 0; i < n; ++i) norm += std::abs(r_board.read(i));
+      const double rel = norm / r0_norm;
+      if (opts.record_history) {
+        my_history.push_back({timer.seconds(), t, iter, rel});
+      }
+      const bool my_done =
+          (opts.tolerance > 0.0 && rel <= opts.tolerance) ||
+          iter >= opts.max_iterations;
+      // racy-ok(flag): the paper's termination flags rest on racy
+      // residual reads by design; the verification gate re-checks.
+      flags[static_cast<std::size_t>(t)].store(my_done ? 1 : 0,
+                                               std::memory_order_relaxed);
+      if constexpr (Metrics::enabled) metrics.flag_update(my_done);
+
+      if constexpr (Sync) gate->arrive_and_wait();
+      int done_count = 0;
+      // racy-ok(flag): hint scan; a stale flag only defers verification.
+      for (auto& f : flags) done_count += f.load(std::memory_order_relaxed);
+      if (done_count == static_cast<int>(na)) verify_and_maybe_stop();
+      if constexpr (Sync) {
+        // Keep lockstep: every agent passes the same number of barriers
+        // and sees the verified stop decision together.
+        gate->arrive_and_wait();
+      }
+      if constexpr (Metrics::enabled) metrics.iteration_end(iter - 1, own_rows);
+      if constexpr (!Sync) {
+        // racy-ok(stop): monotonic 0 -> 1, polled.
+        if (opts.yield && stop.load(std::memory_order_relaxed) == 0) {
+          sched_yield();
+        }
+      }
+    }
+
+    result.iterations_per_agent[static_cast<std::size_t>(t)] = iter;
+    agent_totals[static_cast<std::size_t>(t)] = totals;
+    if constexpr (Faults::enabled) {
+      fault_logs[static_cast<std::size_t>(t)] = faults.take_log();
+    }
+    if constexpr (Metrics::enabled) {
+      metrics.fold_totals(totals, fault_logs[static_cast<std::size_t>(t)]);
+    }
+  };
+
+  // std::thread creation/join are TSan-native happens-before edges, so
+  // unlike the OpenMP runtime no manual annotations are needed around the
+  // parallel region.
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(na));
+  for (index_t t = 0; t < na; ++t) workers.emplace_back(agent_main, t);
+  for (auto& w : workers) w.join();
+
+  result.seconds = timer.seconds();
+  result.x.resize(static_cast<std::size_t>(n));
+  x_board.snapshot(result.x);
+
+  // Independent serial verification of the final residual.
+  Vector final_r(static_cast<std::size_t>(n));
+  a.residual(result.x, b, final_r);
+  result.final_rel_residual_1 = vec::norm1(final_r) / r0_norm;
+
+  // An agent descheduled mid-iteration may have committed a stale update
+  // after the verified stop; polish sequentially until the tolerance
+  // verifiably holds (bounded — the state is near the fixed point). Same
+  // cap formula as solve_shared so the two backends stay comparable.
+  if (opts.final_polish && opts.tolerance > 0.0 &&
+      result.final_rel_residual_1 > opts.tolerance) {
+    const index_t polish_cap = 20 * na + 200;
+    while (result.polish_sweeps < polish_cap &&
+           result.final_rel_residual_1 > opts.tolerance) {
+      for (index_t i = 0; i < n; ++i) {
+        result.x[i] += inv_diag[i] * final_r[i];
+      }
+      a.residual(result.x, b, final_r);
+      result.final_rel_residual_1 = vec::norm1(final_r) / r0_norm;
+      ++result.polish_sweeps;
+    }
+  }
+  result.converged =
+      opts.tolerance > 0.0 && result.final_rel_residual_1 <= opts.tolerance;
+
+  for (index_t t = 0; t < na; ++t) {
+    result.total_relaxations +=
+        result.iterations_per_agent[static_cast<std::size_t>(t)] *
+        static_cast<index_t>(topo.agents[static_cast<std::size_t>(t)].rows.size());
+    const AgentTotals& totals = agent_totals[static_cast<std::size_t>(t)];
+    result.messages_sent += totals.sent;
+    result.messages_received += totals.received;
+    result.messages_dropped += totals.dropped;
+    result.messages_duplicated += totals.duplicated;
+    result.queue_full_drops += totals.queue_full;
+  }
+
+  for (auto& h : histories) {
+    result.history.insert(result.history.end(), h.begin(), h.end());
+  }
+  std::sort(result.history.begin(), result.history.end(),
+            [](const MeshHistoryPoint& p1, const MeshHistoryPoint& p2) {
+              return p1.seconds < p2.seconds;
+            });
+
+  if (opts.record_trace) {
+    model::RelaxationTrace trace(n);
+    // Per-row order is preserved: disjoint row sets give every row a
+    // unique owner, and each agent appends its events in execution order.
+    for (const auto& events : agent_events) {
+      for (const auto& e : events) trace.add_event(e);
+    }
+    result.trace = std::move(trace);
+  }
+  if constexpr (Faults::enabled) {
+    for (auto& log : fault_logs) {
+      result.fault_events.insert(result.fault_events.end(), log.begin(),
+                                 log.end());
+    }
+    fault::canonicalize(result.fault_events);
+  }
+  return result;
+}
+
+template <bool Sync>
+MeshResult dispatch_hooks(const CsrMatrix& a, const Vector& b,
+                          const Vector& x0, const MeshOptions& opts,
+                          const MeshTopology& topo, const Vector& inv_diag,
+                          const fault::FaultPlan* plan) {
+  if (plan != nullptr && opts.metrics != nullptr) {
+    return solve_mesh_impl<Sync, ActiveMeshFaults, ActiveMeshMetrics>(
+        a, b, x0, opts, topo, inv_diag, plan);
+  }
+  if (plan != nullptr) {
+    return solve_mesh_impl<Sync, ActiveMeshFaults, NullMeshMetrics>(
+        a, b, x0, opts, topo, inv_diag, plan);
+  }
+  if (opts.metrics != nullptr) {
+    return solve_mesh_impl<Sync, NullMeshFaults, ActiveMeshMetrics>(
+        a, b, x0, opts, topo, inv_diag, nullptr);
+  }
+  return solve_mesh_impl<Sync, NullMeshFaults, NullMeshMetrics>(
+      a, b, x0, opts, topo, inv_diag, nullptr);
+}
+
+}  // namespace
+
+MeshResult solve_mesh(const CsrMatrix& a, const Vector& b, const Vector& x0,
+                      const MeshOptions& opts) {
+  AJAC_CHECK(a.num_rows() == a.num_cols());
+  const index_t n = a.num_rows();
+  AJAC_CHECK(b.size() == static_cast<std::size_t>(n));
+  AJAC_CHECK(x0.size() == static_cast<std::size_t>(n));
+  AJAC_CHECK(opts.num_agents >= 1);
+  AJAC_CHECK(opts.max_iterations >= 1);
+  AJAC_CHECK(opts.queue_capacity >= 1);
+
+  const RowSets sets = opts.row_sets.has_value()
+                           ? *opts.row_sets
+                           : contiguous_row_sets(n, opts.num_agents);
+  AJAC_CHECK_MSG(sets.num_agents() == opts.num_agents,
+                 "row_sets must define exactly num_agents sets");
+  const MeshTopology topo = build_topology(a, sets);
+  AJAC_CHECK_MSG(!opts.record_trace || topo.disjoint,
+                 "trace recording needs disjoint row sets (per-row commit "
+                 "versions require a unique writer)");
+
+  AJAC_DBG_VALIDATE(validate::csr_structure(
+      a, {.require_sorted_rows = true, .require_diagonal = true,
+          .require_finite = true, .require_square = true}));
+  AJAC_DBG_VALIDATE(validate::finite(b, "b"));
+  AJAC_DBG_VALIDATE(validate::finite(x0, "x0"));
+
+  Vector inv_diag = a.diagonal();
+  for (index_t i = 0; i < n; ++i) {
+    AJAC_CHECK_MSG(inv_diag[i] != 0.0, "zero diagonal at row " << i);
+    inv_diag[i] = 1.0 / inv_diag[i];
+  }
+
+  const fault::FaultPlan* plan =
+      opts.fault_plan && !opts.fault_plan->empty() ? opts.fault_plan.get()
+                                                   : nullptr;
+  if (plan != nullptr) {
+    AJAC_CHECK_MSG(!opts.synchronous,
+                   "fault injection targets the asynchronous mesh (the "
+                   "synchronous barriers serialize every fault away)");
+    plan->validate(opts.num_agents);
+    AJAC_CHECK_MSG(plan->bit_flips.empty(),
+                   "bit-flip injection instruments the shared-memory "
+                   "kernels, not the mesh");
+    for (const auto& s : plan->message_faults) {
+      AJAC_CHECK_MSG(s.reorder_probability == 0.0,
+                     "message reordering is meaningless on the mesh's FIFO "
+                     "SPSC queues (use distsim for reorder scenarios)");
+    }
+  }
+
+  obs::MetricsRegistry* metrics = opts.metrics;
+  if (metrics != nullptr) {
+    metrics->set_actor_kind("agent");
+    metrics->reset(opts.num_agents,
+                   static_cast<std::size_t>(opts.max_iterations) + 64);
+  }
+
+  if (opts.synchronous) {
+    return dispatch_hooks<true>(a, b, x0, opts, topo, inv_diag, plan);
+  }
+  return dispatch_hooks<false>(a, b, x0, opts, topo, inv_diag, plan);
+}
+
+}  // namespace ajac::mesh

@@ -1,0 +1,84 @@
+#include "ajac/mesh/row_sets.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "ajac/partition/partition.hpp"
+
+namespace ajac::mesh {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::logic_error("mesh::RowSets: " + what);
+}
+
+}  // namespace
+
+RowSets contiguous_row_sets(index_t num_rows, index_t num_agents) {
+  return row_sets_from_partition(
+      partition::contiguous_partition(num_rows, num_agents));
+}
+
+RowSets row_sets_from_partition(const partition::Partition& part) {
+  RowSets sets;
+  sets.owned.resize(static_cast<std::size_t>(part.num_parts()));
+  for (index_t p = 0; p < part.num_parts(); ++p) {
+    auto& rows = sets.owned[static_cast<std::size_t>(p)];
+    rows.reserve(static_cast<std::size_t>(part.part_size(p)));
+    for (index_t i = part.part_begin(p); i < part.part_end(p); ++i) {
+      rows.push_back(i);
+    }
+  }
+  return sets;
+}
+
+void validate(const RowSets& sets, index_t num_rows) {
+  if (sets.owned.empty()) fail("no agents");
+  if (num_rows <= 0) fail("num_rows must be positive");
+  std::vector<char> covered(static_cast<std::size_t>(num_rows), 0);
+  for (std::size_t t = 0; t < sets.owned.size(); ++t) {
+    const auto& rows = sets.owned[t];
+    if (rows.empty()) {
+      std::ostringstream os;
+      os << "agent " << t << " owns no rows";
+      fail(os.str());
+    }
+    index_t prev = -1;
+    for (const index_t i : rows) {
+      if (i < 0 || i >= num_rows) {
+        std::ostringstream os;
+        os << "agent " << t << " owns out-of-range row " << i;
+        fail(os.str());
+      }
+      if (i <= prev) {
+        std::ostringstream os;
+        os << "agent " << t << " rows not sorted/unique at row " << i;
+        fail(os.str());
+      }
+      prev = i;
+      covered[static_cast<std::size_t>(i)] = 1;
+    }
+  }
+  for (index_t i = 0; i < num_rows; ++i) {
+    if (covered[static_cast<std::size_t>(i)] == 0) {
+      std::ostringstream os;
+      os << "row " << i << " has no owner";
+      fail(os.str());
+    }
+  }
+}
+
+bool disjoint(const RowSets& sets, index_t num_rows) {
+  std::vector<char> seen(static_cast<std::size_t>(num_rows), 0);
+  for (const auto& rows : sets.owned) {
+    for (const index_t i : rows) {
+      if (i < 0 || i >= num_rows) return false;
+      if (seen[static_cast<std::size_t>(i)] != 0) return false;
+      seen[static_cast<std::size_t>(i)] = 1;
+    }
+  }
+  return true;
+}
+
+}  // namespace ajac::mesh

@@ -1,0 +1,59 @@
+#include "ajac/mesh/topology.hpp"
+
+#include <algorithm>
+
+#include "ajac/sparse/csr.hpp"
+#include "ajac/util/check.hpp"
+
+namespace ajac::mesh {
+
+MeshTopology build_topology(const CsrMatrix& a, const RowSets& sets) {
+  AJAC_CHECK(a.num_rows() == a.num_cols());
+  const index_t n = a.num_rows();
+  validate(sets, n);
+
+  MeshTopology topo;
+  topo.num_rows = n;
+  topo.disjoint = disjoint(sets, n);
+  topo.agents.resize(sets.owned.size());
+
+  for (std::size_t t = 0; t < sets.owned.size(); ++t) {
+    AgentBlock& blk = topo.agents[t];
+    blk.rows = sets.owned[t];
+    // Ghosts: every column the agent's stencil reads minus what it owns.
+    std::vector<index_t> cols;
+    for (const index_t i : blk.rows) {
+      for (const index_t j : a.row_cols(i)) cols.push_back(j);
+    }
+    std::sort(cols.begin(), cols.end());
+    cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+    blk.ghost_cols.reserve(cols.size());
+    std::set_difference(cols.begin(), cols.end(), blk.rows.begin(),
+                        blk.rows.end(), std::back_inserter(blk.ghost_cols));
+  }
+
+  // One directed edge per (owner, reader) pair with a nonempty boundary.
+  // Quadratic in the agent count, which is single digits to low tens here;
+  // the per-pair intersection is linear in the sorted sets.
+  const auto na = static_cast<index_t>(sets.owned.size());
+  for (index_t p = 0; p < na; ++p) {
+    for (index_t q = 0; q < na; ++q) {
+      if (p == q) continue;
+      const AgentBlock& sender = topo.agents[static_cast<std::size_t>(p)];
+      const AgentBlock& receiver = topo.agents[static_cast<std::size_t>(q)];
+      std::vector<index_t> boundary;
+      std::set_intersection(sender.rows.begin(), sender.rows.end(),
+                            receiver.ghost_cols.begin(),
+                            receiver.ghost_cols.end(),
+                            std::back_inserter(boundary));
+      if (boundary.empty()) continue;
+      const auto e = static_cast<index_t>(topo.edges.size());
+      topo.edges.push_back({p, q, std::move(boundary)});
+      topo.agents[static_cast<std::size_t>(p)].out_edges.push_back(e);
+      topo.agents[static_cast<std::size_t>(q)].in_edges.push_back(e);
+    }
+  }
+  return topo;
+}
+
+}  // namespace ajac::mesh

@@ -78,6 +78,7 @@ enum class Counter : std::size_t {
   kMessagesDuplicated,  ///< distsim: retransmitted copies injected
   kWeightRefreshes,     ///< sampled policies: |r_i| prefix-sum rebuilds
   kPolicyDraws,         ///< sampled policies: rows drawn from the sampler
+  kQueueFullDrops,      ///< mesh: packets refused by a full SPSC ring
   kCount
 };
 inline constexpr std::size_t kNumCounters =

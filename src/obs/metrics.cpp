@@ -26,6 +26,7 @@ const char* counter_name(Counter c) noexcept {
     case Counter::kMessagesDuplicated: return "messages_duplicated";
     case Counter::kWeightRefreshes: return "weight_refreshes";
     case Counter::kPolicyDraws: return "policy_draws";
+    case Counter::kQueueFullDrops: return "queue_full_drops";
     case Counter::kCount: break;
   }
   return "unknown";

@@ -1,0 +1,231 @@
+// Golden regression tests for faulty mesh executions: committed
+// relaxation traces recorded from the real concurrent mesh under fault
+// injection replay through analyze_trace + the model executor, and the
+// reconstructed residual history must match the committed values digit
+// for digit (Release builds compare bitwise; debug builds allow last-ulp
+// slack). The committed fault logs double as the determinism contract:
+// fault decisions are keyed on logical coordinates only, so a fresh run
+// of the same plan — on any scheduler, any machine — must reproduce the
+// canonicalized log exactly.
+//
+// The traces themselves are scheduling-dependent (that is the point of a
+// real concurrent runtime), so they are recorded once and committed; the
+// replay of a committed trace is deterministic. Both golden cases use
+// pure-delay faults (a straggler window; a crash WITHOUT state reset), so
+// the recorded read-versions describe a genuine undamped Jacobi execution
+// and Phi(l) replays it cleanly.
+//
+// To regenerate after an *intentional* change:
+//
+//   AJAC_REGEN_GOLDEN=1 ./ajac_test_mesh --gtest_filter='MeshGoldenFault.*'
+//
+// which rewrites the mesh_* files under tests/model/golden/ in the source
+// tree (the test still asserts afterwards, so a regen run is
+// self-checking). Commit the diff deliberately.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ajac/fault/fault_plan.hpp"
+#include "ajac/gen/fd.hpp"
+#include "ajac/gen/problem.hpp"
+#include "ajac/mesh/mesh_jacobi.hpp"
+#include "ajac/model/executor.hpp"
+#include "ajac/model/trace.hpp"
+#include "ajac/sparse/csr.hpp"
+
+namespace ajac::mesh {
+namespace {
+
+// Fixed on purpose: goldens pin one exact execution, AJAC_TEST_SEED must
+// not move them. Same problem as the model goldens (fd16 at seed 4242),
+// distinct file prefix.
+constexpr std::uint64_t kGoldenSeed = 4242;
+
+gen::LinearProblem golden_problem() {
+  return gen::make_problem("fd16", gen::fd_laplacian_2d(16, 16), kGoldenSeed);
+}
+
+std::string golden_path(const std::string& name) {
+  return std::string(AJAC_GOLDEN_DIR) + "/" + name;
+}
+
+bool regen_requested() {
+  const char* env = std::getenv("AJAC_REGEN_GOLDEN");
+  return env != nullptr && *env != '\0' && *env != '0';
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing golden file " << path
+                         << " (regenerate with AJAC_REGEN_GOLDEN=1)";
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  ASSERT_TRUE(out.good()) << "cannot write golden file " << path;
+  out << content;
+}
+
+/// %.17g round-trips doubles exactly, so the history file is bit-stable.
+std::string format_history(const model::TraceReplay& replay) {
+  char buf[64];
+  std::string out;
+  out += "steps " + std::to_string(replay.analysis.parallel_steps);
+  out +=
+      " propagated " + std::to_string(replay.analysis.propagated_relaxations);
+  out += " total " + std::to_string(replay.analysis.total_relaxations);
+  out += " orphaned " + std::to_string(replay.analysis.orphaned);
+  out += "\n";
+  for (const model::HistoryPoint& pt : replay.result.history) {
+    std::snprintf(buf, sizeof(buf), "%.17g\n", pt.rel_residual_1);
+    out += buf;
+  }
+  return out;
+}
+
+std::shared_ptr<fault::FaultPlan> straggler_plan() {
+  auto plan = std::make_shared<fault::FaultPlan>();
+  plan->seed = kGoldenSeed;
+  fault::StragglerSpec spec;
+  spec.actor = 1;
+  spec.extra_delay_us = 50.0;
+  spec.period = 4;
+  spec.duty = 0.5;
+  plan->stragglers.push_back(spec);
+  return plan;
+}
+
+std::shared_ptr<fault::FaultPlan> crash_plan() {
+  auto plan = std::make_shared<fault::FaultPlan>();
+  plan->seed = kGoldenSeed;
+  fault::CrashSpec crash;
+  crash.actor = 2;
+  crash.crash_iteration = 4;
+  crash.dead_seconds = 2e-4;
+  crash.reset_state_on_recovery = false;  // pure delay: trace stays Jacobi
+  plan->crashes.push_back(crash);
+  // Deterministic per-edge message faults ride along: their decisions are
+  // part of the committed log.
+  fault::MessageFaultSpec msg;
+  msg.drop_probability = 0.1;
+  msg.duplicate_probability = 0.1;
+  plan->message_faults.push_back(msg);
+  return plan;
+}
+
+MeshResult run_mesh(const std::shared_ptr<fault::FaultPlan>& plan,
+                    index_t agents, index_t iterations, bool record_trace) {
+  const auto p = golden_problem();
+  MeshOptions mo;
+  mo.num_agents = agents;
+  mo.synchronous = false;
+  mo.tolerance = 0.0;  // exact iteration counts: the log is schedule-free
+  mo.max_iterations = iterations;
+  mo.record_history = false;
+  mo.record_trace = record_trace;
+  mo.final_polish = false;
+  mo.yield = true;
+  mo.fault_plan = plan;
+  return solve_mesh(p.a, p.b, p.x0, mo);
+}
+
+void run_case(const std::string& name,
+              const std::shared_ptr<fault::FaultPlan>& plan, index_t agents,
+              index_t iterations) {
+  const std::string trace_file = golden_path(name + "_trace.json");
+  const std::string history_file = golden_path(name + "_history.txt");
+  const std::string faults_file = golden_path(name + "_faults.txt");
+  const auto p = golden_problem();
+  model::ExecutorOptions eo;
+  eo.tolerance = 0.0;
+
+  if (regen_requested()) {
+    const MeshResult rec = run_mesh(plan, agents, iterations, true);
+    ASSERT_TRUE(rec.trace.has_value());
+    write_file(trace_file, model::to_json(*rec.trace) + "\n");
+    const auto replay = model::replay_trace(p.a, p.b, p.x0, *rec.trace, eo);
+    write_file(history_file, format_history(replay));
+    write_file(faults_file, fault::to_json(rec.fault_events) + "\n");
+  }
+
+  // 1) The committed trace replays to the committed history.
+  const model::RelaxationTrace trace =
+      model::trace_from_json(read_file(trace_file));
+  ASSERT_EQ(trace.num_rows(), p.a.num_rows());
+  const auto replay = model::replay_trace(p.a, p.b, p.x0, trace, eo);
+
+  std::istringstream golden(read_file(history_file));
+  std::string key;
+  index_t steps = 0;
+  index_t propagated = 0;
+  index_t total = 0;
+  index_t orphaned = 0;
+  golden >> key >> steps;
+  ASSERT_EQ(key, "steps");
+  golden >> key >> propagated;
+  ASSERT_EQ(key, "propagated");
+  golden >> key >> total;
+  ASSERT_EQ(key, "total");
+  golden >> key >> orphaned;
+  ASSERT_EQ(key, "orphaned");
+  EXPECT_EQ(replay.analysis.parallel_steps, steps);
+  EXPECT_EQ(replay.analysis.propagated_relaxations, propagated);
+  EXPECT_EQ(replay.analysis.total_relaxations, total);
+  EXPECT_EQ(replay.analysis.orphaned, orphaned);
+  // Every relaxation of a fixed-length run is in the trace.
+  EXPECT_EQ(replay.analysis.total_relaxations,
+            iterations * p.a.num_rows());
+
+  std::vector<double> residuals;
+  double value = 0.0;
+  while (golden >> value) residuals.push_back(value);
+  ASSERT_EQ(replay.result.history.size(), residuals.size());
+  for (std::size_t k = 0; k < residuals.size(); ++k) {
+#ifdef NDEBUG
+    // Release: the committed history is bit-stable.
+    EXPECT_EQ(replay.result.history[k].rel_residual_1, residuals[k])
+        << "history point " << k;
+#else
+    EXPECT_NEAR(replay.result.history[k].rel_residual_1, residuals[k],
+                1e-14 * (1.0 + residuals[k]))
+        << "history point " << k;
+#endif
+  }
+
+  // 2) A fresh concurrent run reproduces the committed fault log exactly:
+  // decisions are functions of (seed, agent, iteration, per-edge counter),
+  // never of scheduling. The log arrives canonicalized.
+  const MeshResult fresh = run_mesh(plan, agents, iterations, false);
+  EXPECT_EQ(fault::to_json(fresh.fault_events) + "\n",
+            read_file(faults_file));
+  for (index_t it : fresh.iterations_per_agent) EXPECT_EQ(it, iterations);
+
+  // 3) And a second run agrees with the first in every decision total.
+  const MeshResult again = run_mesh(plan, agents, iterations, false);
+  EXPECT_EQ(fault::to_json(again.fault_events),
+            fault::to_json(fresh.fault_events));
+  EXPECT_EQ(again.messages_dropped, fresh.messages_dropped);
+  EXPECT_EQ(again.messages_duplicated, fresh.messages_duplicated);
+}
+
+TEST(MeshGoldenFault, StragglerFourAgents) {
+  run_case("mesh_straggler_p4", straggler_plan(), 4, 8);
+}
+
+TEST(MeshGoldenFault, CrashRecoverFourAgents) {
+  run_case("mesh_crash_p4", crash_plan(), 4, 8);
+}
+
+}  // namespace
+}  // namespace ajac::mesh

@@ -1,0 +1,323 @@
+// Property suite for mesh row-ownership sets and the derived topology.
+//
+// ~200 seeded random ownership shapes (varying agent counts, overlap
+// fractions, contiguous / scattered layouts) are pushed through validate
+// + build_topology and checked against brute-force recomputation:
+//
+//   - ghost columns are EXACTLY the off-owned columns of an agent's rows;
+//   - the union of an agent's inbound edge row lists is exactly its ghost
+//     set restricted to owned columns of some sender (with coverage, all
+//     of it), with no edge carrying a row the receiver doesn't read;
+//   - disjoint() agrees with a brute-force owner count;
+//   - degenerate shapes (no agents, empty agent, out-of-range rows,
+//     unsorted / duplicate rows, uncovered rows) are rejected up front by
+//     validate with std::logic_error, not discovered mid-solve;
+//   - full overlap (every agent owns every row) means nobody reads a
+//     ghost: no edges, and the solve still converges;
+//   - a subset of shapes runs a real solve on a small path matrix to
+//     prove arbitrary valid ownership converges end to end.
+//
+// Failures print the case seed: rerun with AJAC_TEST_SEED=<n> to
+// reproduce a specific draw.
+
+#include "ajac/mesh/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "ajac/mesh/mesh_jacobi.hpp"
+#include "ajac/mesh/row_sets.hpp"
+#include "ajac/partition/partition.hpp"
+#include "ajac/sparse/csr.hpp"
+#include "ajac/util/rng.hpp"
+#include "test_helpers.hpp"
+
+namespace ajac::mesh {
+namespace {
+
+/// Random valid ownership: every row gets a home agent, then each
+/// (agent, row) pair additionally joins with probability `overlap_p`
+/// (overlap) and rows may be scattered (non-contiguous by construction).
+RowSets random_row_sets(Rng& rng, index_t num_rows, index_t num_agents,
+                        double overlap_p) {
+  RowSets sets;
+  sets.owned.resize(static_cast<std::size_t>(num_agents));
+  for (index_t i = 0; i < num_rows; ++i) {
+    const auto home =
+        static_cast<std::size_t>(rng.uniform_index(
+            static_cast<std::uint64_t>(num_agents)));
+    for (std::size_t t = 0; t < sets.owned.size(); ++t) {
+      if (t == home || rng.uniform() < overlap_p) {
+        sets.owned[t].push_back(i);
+      }
+    }
+  }
+  // An agent can come up empty under an unlucky draw; give it one row so
+  // the shape is valid (empty agents are a *rejection* case, tested
+  // separately).
+  for (std::size_t t = 0; t < sets.owned.size(); ++t) {
+    if (sets.owned[t].empty()) {
+      const auto i = static_cast<index_t>(
+          rng.uniform_index(static_cast<std::uint64_t>(num_rows)));
+      sets.owned[t].push_back(i);
+    }
+  }
+  return sets;
+}
+
+/// Brute-force ghost set: all columns referenced by the agent's rows that
+/// the agent does not own.
+std::vector<index_t> brute_force_ghosts(const CsrMatrix& a,
+                                        const std::vector<index_t>& owned) {
+  const std::set<index_t> mine(owned.begin(), owned.end());
+  std::set<index_t> ghosts;
+  for (const index_t i : owned) {
+    for (const index_t j : a.row_cols(i)) {
+      if (mine.count(j) == 0) ghosts.insert(j);
+    }
+  }
+  return {ghosts.begin(), ghosts.end()};
+}
+
+TEST(PropMeshPartition, GhostsAndEdgesMatchBruteForce) {
+  const std::uint64_t seed = testing::test_seed(/*salt=*/210);
+  Rng rng(seed);
+  for (int c = 0; c < 120; ++c) {
+    SCOPED_TRACE(::testing::Message() << "case " << c << " seed " << seed);
+    const index_t n = 4 + static_cast<index_t>(rng.uniform_index(60));
+    const index_t agents =
+        1 + static_cast<index_t>(
+                rng.uniform_index(static_cast<std::uint64_t>(
+                    std::min<index_t>(n, 6))));
+    const double overlap_p = rng.uniform() < 0.5 ? 0.0 : 0.25 * rng.uniform();
+    const CsrMatrix a = testing::unit_diag_path(n, 0.45);
+    const RowSets sets = random_row_sets(rng, n, agents, overlap_p);
+    ASSERT_NO_THROW(validate(sets, n));
+    const MeshTopology topo = build_topology(a, sets);
+    ASSERT_EQ(topo.num_agents(), agents);
+    ASSERT_EQ(topo.num_rows, n);
+
+    // disjoint() == brute-force owner count.
+    std::vector<int> owners(static_cast<std::size_t>(n), 0);
+    for (const auto& rows : sets.owned) {
+      for (const index_t i : rows) ++owners[static_cast<std::size_t>(i)];
+    }
+    const bool brute_disjoint =
+        std::all_of(owners.begin(), owners.end(),
+                    [](int k) { return k == 1; });
+    EXPECT_EQ(topo.disjoint, brute_disjoint);
+    EXPECT_EQ(disjoint(sets, n), brute_disjoint);
+
+    for (index_t t = 0; t < agents; ++t) {
+      const AgentBlock& blk = topo.agents[static_cast<std::size_t>(t)];
+      EXPECT_EQ(blk.rows, sets.owned[static_cast<std::size_t>(t)]);
+
+      // Property 1: ghosts are exactly the off-owned stencil columns.
+      EXPECT_EQ(blk.ghost_cols, brute_force_ghosts(a, blk.rows));
+
+      // Property 2: inbound edges tile the ghost set. Every edge row is
+      // a ghost the receiver reads and a row the sender owns; the union
+      // over inbound edges covers every ghost (coverage guarantees each
+      // ghost has at least one owner).
+      const std::set<index_t> ghosts(blk.ghost_cols.begin(),
+                                     blk.ghost_cols.end());
+      std::set<index_t> from_edges;
+      for (const index_t e : blk.in_edges) {
+        const MeshEdge& edge = topo.edges[static_cast<std::size_t>(e)];
+        EXPECT_EQ(edge.receiver, t);
+        EXPECT_TRUE(std::is_sorted(edge.rows.begin(), edge.rows.end()));
+        EXPECT_FALSE(edge.rows.empty());
+        const auto& sender_rows =
+            sets.owned[static_cast<std::size_t>(edge.sender)];
+        for (const index_t row : edge.rows) {
+          EXPECT_TRUE(ghosts.count(row) != 0)
+              << "edge " << edge.sender << "->" << t
+              << " carries non-ghost row " << row;
+          EXPECT_TRUE(std::binary_search(sender_rows.begin(),
+                                         sender_rows.end(), row))
+              << "edge " << edge.sender << "->" << t
+              << " carries row " << row << " the sender does not own";
+          from_edges.insert(row);
+        }
+      }
+      EXPECT_EQ(from_edges, ghosts);
+
+      // in/out edge lists are consistent views of the same edge table.
+      for (const index_t e : blk.out_edges) {
+        EXPECT_EQ(topo.edges[static_cast<std::size_t>(e)].sender, t);
+      }
+    }
+  }
+}
+
+TEST(PropMeshPartition, MalformedShapesAreRejectedUpFront) {
+  const index_t n = 12;
+  const CsrMatrix a = testing::unit_diag_path(n, 0.4);
+
+  // No agents at all.
+  EXPECT_THROW(validate(RowSets{}, n), std::logic_error);
+
+  // An empty agent (would deadlock the synchronous barrier schedule).
+  {
+    RowSets s = contiguous_row_sets(n, 3);
+    s.owned[1].clear();
+    EXPECT_THROW(validate(s, n), std::logic_error);
+    EXPECT_THROW(static_cast<void>(build_topology(a, s)), std::logic_error);
+  }
+  // Out-of-range row.
+  {
+    RowSets s = contiguous_row_sets(n, 3);
+    s.owned[2].push_back(n);
+    EXPECT_THROW(validate(s, n), std::logic_error);
+  }
+  {
+    RowSets s = contiguous_row_sets(n, 3);
+    s.owned[0].insert(s.owned[0].begin(), -1);
+    EXPECT_THROW(validate(s, n), std::logic_error);
+  }
+  // Unsorted and duplicate rows.
+  {
+    RowSets s = contiguous_row_sets(n, 3);
+    std::swap(s.owned[0][0], s.owned[0][1]);
+    EXPECT_THROW(validate(s, n), std::logic_error);
+  }
+  {
+    RowSets s = contiguous_row_sets(n, 3);
+    s.owned[0].push_back(s.owned[0].back());
+    EXPECT_THROW(validate(s, n), std::logic_error);
+  }
+  // Coverage hole: row without an owner.
+  {
+    RowSets s = contiguous_row_sets(n, 3);
+    s.owned[1].erase(s.owned[1].begin());
+    EXPECT_THROW(validate(s, n), std::logic_error);
+  }
+  // The solve rejects them too (same validate runs before any thread).
+  {
+    RowSets s = contiguous_row_sets(n, 3);
+    s.owned[1].clear();
+    MeshOptions mo;
+    mo.num_agents = 3;
+    mo.row_sets = s;
+    const Vector b(static_cast<std::size_t>(n), 1.0);
+    const Vector x0(static_cast<std::size_t>(n), 0.0);
+    EXPECT_THROW(static_cast<void>(solve_mesh(a, b, x0, mo)),
+                 std::logic_error);
+  }
+}
+
+TEST(PropMeshPartition, DegenerateValidShapes) {
+  const index_t n = 10;
+  const CsrMatrix a = testing::unit_diag_path(n, 0.4);
+  const Vector b(static_cast<std::size_t>(n), 1.0);
+  const Vector x0(static_cast<std::size_t>(n), 0.0);
+
+  // Single agent owning everything: no edges, plain sequential Jacobi.
+  {
+    const RowSets s = contiguous_row_sets(n, 1);
+    const MeshTopology topo = build_topology(a, s);
+    EXPECT_TRUE(topo.edges.empty());
+    EXPECT_TRUE(topo.agents[0].ghost_cols.empty());
+  }
+  // One row per agent: maximal communication.
+  {
+    const RowSets s = contiguous_row_sets(n, n);
+    ASSERT_NO_THROW(validate(s, n));
+    const MeshTopology topo = build_topology(a, s);
+    // Path stencil: interior agents read both neighbors.
+    EXPECT_EQ(topo.agents[static_cast<std::size_t>(n / 2)].ghost_cols.size(),
+              2u);
+    MeshOptions mo;
+    mo.num_agents = n;
+    mo.row_sets = s;
+    mo.synchronous = true;
+    mo.tolerance = 1e-10;
+    mo.max_iterations = 5000;
+    mo.record_history = false;
+    const auto run = solve_mesh(a, b, x0, mo);
+    EXPECT_TRUE(run.converged);
+  }
+  // Full overlap: every agent owns every row, so nobody reads a ghost
+  // and the topology has no edges; the solve is num_agents redundant
+  // sequential iterations that agree bitwise on the board.
+  {
+    RowSets s;
+    s.owned.resize(3);
+    for (auto& rows : s.owned) {
+      rows.resize(static_cast<std::size_t>(n));
+      for (index_t i = 0; i < n; ++i) rows[static_cast<std::size_t>(i)] = i;
+    }
+    ASSERT_NO_THROW(validate(s, n));
+    EXPECT_FALSE(disjoint(s, n));
+    const MeshTopology topo = build_topology(a, s);
+    EXPECT_TRUE(topo.edges.empty());
+    for (const AgentBlock& blk : topo.agents) {
+      EXPECT_TRUE(blk.ghost_cols.empty());
+    }
+    MeshOptions mo;
+    mo.num_agents = 3;
+    mo.row_sets = s;
+    mo.synchronous = true;
+    mo.tolerance = 1e-10;
+    mo.max_iterations = 5000;
+    mo.record_history = false;
+    const auto run = solve_mesh(a, b, x0, mo);
+    EXPECT_TRUE(run.converged);
+    EXPECT_EQ(run.messages_sent, 0);
+  }
+}
+
+// Default layout matches the shared runtime's contiguous partition.
+TEST(PropMeshPartition, ContiguousSetsMirrorPartition) {
+  for (const index_t n : {1, 7, 16, 33}) {
+    for (const index_t agents : {1, 2, 3, 5}) {
+      if (agents > n) continue;
+      SCOPED_TRACE(::testing::Message() << "n=" << n << " agents=" << agents);
+      const RowSets s = contiguous_row_sets(n, agents);
+      ASSERT_NO_THROW(validate(s, n));
+      EXPECT_TRUE(disjoint(s, n));
+      const auto part = partition::contiguous_partition(n, agents);
+      const RowSets from_part = row_sets_from_partition(part);
+      ASSERT_EQ(from_part.num_agents(), s.num_agents());
+      for (index_t t = 0; t < agents; ++t) {
+        EXPECT_EQ(from_part.owned[static_cast<std::size_t>(t)],
+                  s.owned[static_cast<std::size_t>(t)]);
+      }
+    }
+  }
+}
+
+// End-to-end: a sample of random valid shapes must actually solve. Kept
+// to a subset of draws (synchronous, tiny matrix) so the property suite
+// stays fast.
+TEST(PropMeshPartition, RandomShapesSolveEndToEnd) {
+  const std::uint64_t seed = testing::test_seed(/*salt=*/211);
+  Rng rng(seed);
+  const index_t n = 24;
+  const CsrMatrix a = testing::unit_diag_path(n, 0.45);
+  const Vector b(static_cast<std::size_t>(n), 1.0);
+  const Vector x0(static_cast<std::size_t>(n), 0.0);
+  for (int c = 0; c < 40; ++c) {
+    SCOPED_TRACE(::testing::Message() << "case " << c << " seed " << seed);
+    const index_t agents = 1 + static_cast<index_t>(rng.uniform_index(4));
+    const double overlap_p = 0.3 * rng.uniform();
+    const RowSets sets = random_row_sets(rng, n, agents, overlap_p);
+    MeshOptions mo;
+    mo.num_agents = agents;
+    mo.row_sets = sets;
+    mo.synchronous = true;
+    mo.tolerance = 1e-9;
+    mo.max_iterations = 4000;
+    mo.record_history = false;
+    const auto run = solve_mesh(a, b, x0, mo);
+    EXPECT_TRUE(run.converged);
+    EXPECT_LE(testing::apply_diff_inf(a, run.x, b), 1e-7);
+  }
+}
+
+}  // namespace
+}  // namespace ajac::mesh

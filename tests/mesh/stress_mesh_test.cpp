@@ -1,0 +1,238 @@
+// Concurrency stress harness for the mesh runtime (designed to run under
+// ThreadSanitizer: `cmake --preset tsan && ctest --preset tsan`).
+//
+// The SPSC ring's correctness claim is that a popped packet is exactly
+// one pushed packet: the plain payload slots are published solely by the
+// release/acquire hand-off on the index atomics, so a torn or reordered
+// read would surface as a payload inconsistent with its header. The
+// harness makes the claim checkable by encoding the (slot, header)
+// identity into every value of a packet — any mixing of two packets, or
+// a read overlapping a producer's in-place refill, decodes to a mismatch
+// and fails loudly. FIFO order (strictly increasing headers on one edge)
+// is asserted at the same time.
+//
+// The solve-level tests run the full asynchronous mesh — fault plans
+// active — under the sanitizer, and pin the determinism contract: two
+// runs of the same plan at tolerance 0 produce identical canonicalized
+// fault logs, identical traffic decisions, and identical per-agent
+// iteration counts, regardless of scheduling.
+//
+// Intensity is tunable via AJAC_STRESS_ITERS (packets per producer).
+
+#include "ajac/mesh/spsc_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "ajac/fault/fault_plan.hpp"
+#include "ajac/gen/fd.hpp"
+#include "ajac/gen/problem.hpp"
+#include "ajac/mesh/mesh_jacobi.hpp"
+#include "ajac/util/rng.hpp"
+#include "test_helpers.hpp"
+
+namespace ajac::mesh {
+namespace {
+
+index_t stress_iters(index_t dflt) {
+  if (const char* env = std::getenv("AJAC_STRESS_ITERS")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<index_t>(std::min(v, 1000000L));
+  }
+  return dflt;
+}
+
+/// Value carried in slot k of the packet with header h: decodable and
+/// exactly representable in a double for all stress sizes.
+double encode(index_t header, std::size_t k) {
+  return static_cast<double>(header * 64 + static_cast<index_t>(k));
+}
+
+void maybe_yield(Rng& rng) {
+  if (rng.uniform_index(64) == 0) std::this_thread::yield();
+}
+
+TEST(StressMesh, QueueHandOffNeverTearsOrReorders) {
+  constexpr std::size_t kWidth = 7;
+  constexpr std::size_t kCapacity = 4;  // tiny ring: constant wrap + reuse
+  const index_t kPackets = stress_iters(20000);
+
+  SpscQueue q(kWidth, kCapacity);
+  std::vector<index_t> popped_headers;
+  popped_headers.reserve(static_cast<std::size_t>(kPackets));
+
+  std::thread producer([&] {
+    q.producer.assert_held();
+    Rng rng(testing::test_seed(/*salt=*/31));
+    std::vector<double> payload(kWidth);
+    for (index_t h = 0; h < kPackets; ++h) {
+      for (std::size_t k = 0; k < kWidth; ++k) payload[k] = encode(h, k);
+      // Spin until accepted: the stress wants every packet observed, so
+      // backpressure becomes a retry instead of a drop.
+      while (!q.try_push(h, payload)) std::this_thread::yield();
+      maybe_yield(rng);
+    }
+  });
+
+  std::thread consumer([&] {
+    q.consumer.assert_held();
+    Rng rng(testing::test_seed(/*salt=*/32));
+    std::vector<double> buf(kWidth);
+    while (static_cast<index_t>(popped_headers.size()) < kPackets) {
+      index_t header = 0;
+      if (!q.try_pop(header, buf)) {
+        std::this_thread::yield();
+        continue;
+      }
+      for (std::size_t k = 0; k < kWidth; ++k) {
+        // A torn read, or payload from a different packet than the
+        // header claims, decodes to the wrong (header, slot) pair.
+        ASSERT_EQ(buf[k], encode(header, k))
+            << "packet " << header << " slot " << k;
+      }
+      popped_headers.push_back(header);
+      maybe_yield(rng);
+    }
+  });
+
+  producer.join();
+  consumer.join();
+
+  // FIFO on one edge: every packet arrives, in send order.
+  ASSERT_EQ(static_cast<index_t>(popped_headers.size()), kPackets);
+  for (std::size_t k = 0; k < popped_headers.size(); ++k) {
+    ASSERT_EQ(popped_headers[k], static_cast<index_t>(k));
+  }
+}
+
+// Drop-newest backpressure in a single-threaded setting: exact, countable
+// behavior of the full ring.
+TEST(StressMesh, FullRingRefusesNewestAndRecovers) {
+  SpscQueue q(/*width=*/2, /*capacity=*/3);
+  q.producer.assert_held();
+  q.consumer.assert_held();
+  const std::vector<double> payload{1.0, 2.0};
+  EXPECT_TRUE(q.try_push(0, payload));
+  EXPECT_TRUE(q.try_push(1, payload));
+  EXPECT_TRUE(q.try_push(2, payload));
+  EXPECT_FALSE(q.try_push(3, payload));  // full: newest refused
+
+  index_t header = -1;
+  std::vector<double> buf(2);
+  EXPECT_TRUE(q.try_pop(header, buf));
+  EXPECT_EQ(header, 0);  // oldest survives; the refused packet is gone
+  EXPECT_TRUE(q.try_push(4, payload));  // capacity freed
+  EXPECT_TRUE(q.try_pop(header, buf));
+  EXPECT_EQ(header, 1);
+  EXPECT_TRUE(q.try_pop(header, buf));
+  EXPECT_EQ(header, 2);
+  EXPECT_TRUE(q.try_pop(header, buf));
+  EXPECT_EQ(header, 4);
+  EXPECT_FALSE(q.try_pop(header, buf));
+}
+
+std::shared_ptr<fault::FaultPlan> stress_plan(std::uint64_t seed) {
+  auto plan = std::make_shared<fault::FaultPlan>();
+  plan->seed = seed;
+  fault::StragglerSpec straggler;
+  straggler.actor = 1;
+  straggler.extra_delay_us = 30.0;
+  straggler.period = 8;
+  straggler.duty = 0.5;
+  plan->stragglers.push_back(straggler);
+  fault::StaleReadSpec stale;
+  stale.actor = 2;
+  stale.period = 16;
+  stale.duty = 0.25;
+  plan->stale_reads.push_back(stale);
+  fault::MessageFaultSpec msg;
+  msg.drop_probability = 0.05;
+  msg.duplicate_probability = 0.05;
+  plan->message_faults.push_back(msg);
+  fault::CrashSpec crash;
+  crash.actor = 0;
+  crash.crash_iteration = 12;
+  crash.dead_seconds = 2e-4;
+  crash.reset_state_on_recovery = true;
+  plan->crashes.push_back(crash);
+  return plan;
+}
+
+// The whole asynchronous machine — queues, boards, flags, fault hooks —
+// racing under the sanitizer, with every fault family active at once.
+TEST(StressMesh, AsyncSolveWithFaultsRunsRaceFree) {
+  const auto p = gen::make_problem("fd10", gen::fd_laplacian_2d(10, 10),
+                                   testing::test_seed(/*salt=*/33));
+  MeshOptions mo;
+  mo.num_agents = 4;
+  mo.synchronous = false;
+  mo.tolerance = 0.0;  // fixed-length run: every agent does exactly the cap
+  mo.max_iterations = stress_iters(64);
+  mo.queue_capacity = 4;  // force constant wrap-around and backpressure
+  mo.record_history = false;
+  mo.yield = true;
+  mo.fault_plan = stress_plan(testing::test_seed(/*salt=*/34));
+  const auto run = solve_mesh(p.a, p.b, p.x0, mo);
+  for (index_t it : run.iterations_per_agent) {
+    EXPECT_EQ(it, mo.max_iterations);
+  }
+  EXPECT_GT(run.messages_sent, 0);
+  EXPECT_GT(run.messages_received, 0);
+  EXPECT_FALSE(run.fault_events.empty());
+}
+
+// Determinism: fault decisions are keyed on logical coordinates (agent,
+// iteration, per-edge counter), never on scheduling, so two runs of the
+// same plan at tolerance 0 must agree exactly — canonicalized logs,
+// drop/duplicate totals, per-agent iteration counts.
+TEST(StressMesh, SameSeedSamePlanGivesIdenticalFaultLogs) {
+  const auto p = gen::make_problem("fd10", gen::fd_laplacian_2d(10, 10),
+                                   testing::test_seed(/*salt=*/35));
+  auto run_once = [&] {
+    MeshOptions mo;
+    mo.num_agents = 4;
+    mo.synchronous = false;
+    mo.tolerance = 0.0;
+    mo.max_iterations = 48;
+    mo.record_history = false;
+    mo.yield = true;
+    mo.fault_plan = stress_plan(testing::test_seed(/*salt=*/36));
+    return solve_mesh(p.a, p.b, p.x0, mo);
+  };
+  const auto first = run_once();
+  const auto second = run_once();
+  ASSERT_EQ(first.fault_events.size(), second.fault_events.size());
+  for (std::size_t k = 0; k < first.fault_events.size(); ++k) {
+    EXPECT_TRUE(first.fault_events[k] == second.fault_events[k])
+        << "fault event " << k << " differs between runs";
+  }
+  EXPECT_EQ(fault::to_json(first.fault_events),
+            fault::to_json(second.fault_events));
+  EXPECT_EQ(first.messages_dropped, second.messages_dropped);
+  EXPECT_EQ(first.messages_duplicated, second.messages_duplicated);
+  EXPECT_EQ(first.iterations_per_agent, second.iterations_per_agent);
+  // Sent counts are decision-determined too: every iteration publishes
+  // each out-edge exactly once minus dropped plus duplicated.
+  EXPECT_EQ(first.messages_sent, second.messages_sent);
+}
+
+// Synchronous lockstep under the sanitizer: barriers + queues + boards.
+TEST(StressMesh, SyncSolveRunsRaceFree) {
+  const auto p = gen::make_problem("fd10", gen::fd_laplacian_2d(10, 10),
+                                   testing::test_seed(/*salt=*/37));
+  MeshOptions mo;
+  mo.num_agents = 4;
+  mo.synchronous = true;
+  mo.tolerance = 1e-8;
+  mo.max_iterations = 2000;
+  mo.record_history = true;
+  const auto run = solve_mesh(p.a, p.b, p.x0, mo);
+  EXPECT_TRUE(run.converged);
+}
+
+}  // namespace
+}  // namespace ajac::mesh

@@ -183,7 +183,12 @@ clock inline.""",
 }
 
 # Path scopes (matched against the *effective* path, honoring audit-as).
-ATOMIC_ALLOWED_PREFIXES = ("src/runtime/", "src/obs/", "src/fault/")
+ATOMIC_ALLOWED_PREFIXES = (
+    "src/runtime/",
+    "src/obs/",
+    "src/fault/",
+    "src/mesh/",
+)
 ATOMIC_ALLOWED_FILES = ("src/util/include/ajac/util/annotate.hpp",)
 SEQLOCK_ALLOWED_FILES = (
     "src/runtime/include/ajac/runtime/shared_vector.hpp",

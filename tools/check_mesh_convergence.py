@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Gate the mesh runtime's convergence against the distsim prediction.
+
+Reads an ajac-bench-report JSON file (produced by `bench_mesh --json ...`)
+and checks, for every swept agent count at or above --min-agents, that
+
+  * the asynchronous mesh converged, and
+  * its iteration count is at most --max-iteration-factor times the
+    discrete-event simulator's prediction for the same partition.
+
+The factor defaults to 3.0. That is deliberately loose: on a quiet
+multi-core host the mesh with yield enabled typically needs *fewer*
+iterations than distsim predicts (fine-grained interleaving gives later
+agents same-sweep data, a Gauss-Seidel flavor), so the observed ratio sits
+near or below 1. The slack absorbs oversubscribed CI runners, where the OS
+scheduler — not the algorithm — decides how stale boundary values get. A
+ratio beyond 3 means information is not propagating through the queues at
+all (e.g. agents spinning on frozen ghosts), which is the failure mode
+this gate exists to catch.
+
+Counts below --min-agents (default 4) are reported but not gated: with 1-2
+agents the mesh is nearly sequential and the ratio says little about
+message passing.
+
+Exit status: 0 ok, 1 gate violated or table missing, 2 bad input.
+
+Usage: tools/check_mesh_convergence.py report.json [--max-iteration-factor 3.0]
+"""
+
+import argparse
+import json
+import sys
+
+TABLE = "mesh_vs_distsim"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="bench_mesh --json output file")
+    parser.add_argument("--max-iteration-factor", type=float, default=3.0,
+                        help="maximum mesh/distsim iteration ratio at "
+                             "gated agent counts (default 3.0)")
+    parser.add_argument("--min-agents", type=int, default=4,
+                        help="gate only rows with at least this many "
+                             "agents (default 4)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.report, encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_mesh_convergence: cannot read {args.report}: {e}",
+              file=sys.stderr)
+        return 2
+
+    if report.get("kind") != "ajac-bench-report":
+        print(f"check_mesh_convergence: {args.report} is not an "
+              f"ajac-bench-report (kind={report.get('kind')!r})",
+              file=sys.stderr)
+        return 2
+    table = report.get("tables", {}).get(TABLE)
+    if table is None:
+        print(f"check_mesh_convergence: table '{TABLE}' missing from "
+              f"report (run bench_mesh --json)", file=sys.stderr)
+        return 1
+
+    columns = table.get("columns", [])
+    try:
+        col = {name: columns.index(name) for name in
+               ("agents", "distsim iters", "mesh iters", "mesh converged")}
+    except ValueError as e:
+        print(f"check_mesh_convergence: unexpected columns {columns}: {e}",
+              file=sys.stderr)
+        return 2
+
+    status = 0
+    gated_rows = 0
+    for row in table.get("rows", []):
+        agents = int(row[col["agents"]])
+        dist_iters = int(row[col["distsim iters"]])
+        mesh_iters = int(row[col["mesh iters"]])
+        converged = str(row[col["mesh converged"]]) == "yes"
+        ratio = mesh_iters / max(dist_iters, 1)
+        gated = agents >= args.min_agents
+        if gated:
+            gated_rows += 1
+        ok = (not gated) or (converged and
+                             ratio <= args.max_iteration_factor)
+        verdict = "OK" if ok else "FAIL"
+        note = "" if gated else " (informational)"
+        print(f"check_mesh_convergence: {verdict} [{agents} agents] — "
+              f"distsim {dist_iters}, mesh {mesh_iters}, "
+              f"ratio {ratio:.3f} (budget {args.max_iteration_factor}), "
+              f"converged {'yes' if converged else 'NO'}{note}")
+        if not ok:
+            status = 1
+
+    if gated_rows == 0:
+        print(f"check_mesh_convergence: no rows with agents >= "
+              f"{args.min_agents} to gate", file=sys.stderr)
+        return 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,9 +1,18 @@
 #!/usr/bin/env python3
-"""Diff two google-benchmark JSON reports benchmark by benchmark.
+"""Diff two benchmark JSON reports entry by entry.
 
-Pairs every benchmark present in both files by run_name and reports the
-median real_time delta (and items_per_second when both carry it), so a CI
-run can show the performance trend against the committed baseline:
+Accepts two report schemas, detected per file:
+
+  * google-benchmark JSON (bench_kernels --json): entries are paired by
+    run_name and compared on the median real_time (and items_per_second
+    when both carry it).
+  * ajac-bench-report JSON (the table benches: bench_fig2, bench_faults,
+    bench_policies, bench_mesh --json): every numeric cell becomes an
+    entry named `table[row-key].column` (row key = first column), and the
+    cell value is compared directly — for these the value columns are raw
+    table numbers (iterations, counts, ms), not nanoseconds.
+
+So a CI run can show the performance trend against the committed baseline:
 
     tools/compare_bench.py BENCH_baseline.json fresh.json
 
@@ -30,6 +39,29 @@ import statistics
 import sys
 
 
+def load_table_report(report: dict) -> dict[str, dict[str, float]]:
+    """ajac-bench-report tables flattened to `table[row-key].column`.
+
+    Each numeric cell maps to a single 'real_time' sample so the delta
+    machinery below applies unchanged; the docstring's caveat about raw
+    table numbers applies. Rows are keyed by their first column, which
+    every table bench uses as the sweep variable (size, agents, ...).
+    """
+    out: dict[str, dict[str, float]] = {}
+    for tname, table in report.get("tables", {}).items():
+        columns = table.get("columns", [])
+        for row in table.get("rows", []):
+            if not row:
+                continue
+            key = str(row[0])
+            for idx, cell in enumerate(row[1:], start=1):
+                if not isinstance(cell, (int, float)):
+                    continue
+                name = f"{tname}[{key}].{columns[idx]}"
+                out[name] = {"real_time": float(cell)}
+    return out
+
+
 def load_medians(path: str) -> dict[str, dict[str, float]]:
     """run_name -> {metric: median} for real_time and items_per_second."""
     try:
@@ -37,6 +69,8 @@ def load_medians(path: str) -> dict[str, dict[str, float]]:
             report = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         raise SystemExit(f"error: cannot read {path}: {e}")
+    if report.get("kind") == "ajac-bench-report":
+        return load_table_report(report)
     samples: dict[str, dict[str, list[float]]] = {}
     aggregates: dict[str, dict[str, float]] = {}
     for bench in report.get("benchmarks", []):
@@ -87,7 +121,9 @@ def main() -> int:
 
     print(f"baseline:  {args.baseline}")
     print(f"candidate: {args.candidate}")
-    print(f"{'benchmark':<48} {'base ns':>12} {'cand ns':>12} "
+    # "value" is median real_time ns for google-benchmark entries and the
+    # raw table cell for ajac-bench-report entries.
+    print(f"{'benchmark':<48} {'base value':>12} {'cand value':>12} "
           f"{'delta':>8}  {'thpt':>8}")
     worst = 0.0
     worst_name = ""
@@ -107,7 +143,7 @@ def main() -> int:
         ct = cand[name].get("items_per_second")
         if bt and ct:
             thpt = f"{100.0 * (ct - bt) / bt:+7.1f}%"
-        print(f"{name:<48} {b:>12.0f} {c:>12.0f} "
+        print(f"{name:<48} {b:>12.6g} {c:>12.6g} "
               f"{delta_pct:>+7.1f}{label} {thpt:>8}")
         if delta_pct > worst:
             worst = delta_pct
