@@ -12,6 +12,8 @@
 #include <omp.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -27,6 +29,7 @@
 #include "ajac/partition/partition.hpp"
 #include "ajac/runtime/shared_jacobi.hpp"
 #include "ajac/sparse/csr.hpp"
+#include "ajac/sparse/mm_io.hpp"
 #include "ajac/sparse/multi_vector.hpp"
 #include "ajac/sparse/vector_ops.hpp"
 #include "ajac/util/rng.hpp"
@@ -230,6 +233,21 @@ void BM_SolveSharedBlocked(benchmark::State& state) {
 }
 BENCHMARK(BM_SolveSharedBlocked)->Arg(32)->Arg(256)->UseRealTime();
 
+// Bandwidth-engineered kernels (SELL-C-sigma interior + dense ghost
+// buffers). The micro sizes here are a smoke-level comparison point; the
+// large-n story this path exists for is measured by bench_scale, whose
+// report CI gates with tools/check_kernel_speedup.py --scale.
+void BM_SolveSharedSellCS(benchmark::State& state) {
+  const auto p = gen::make_problem("fd", grid(state.range(0)), 1);
+  const runtime::SharedOptions o = solve_opts(runtime::KernelKind::kSellCS);
+  for (auto _ : state) {
+    const auto r = runtime::solve_shared(p.a, p.b, p.x0, o);
+    benchmark::DoNotOptimize(r.total_relaxations);
+  }
+  state.SetItemsProcessed(state.iterations() * 50 * p.a.num_rows());
+}
+BENCHMARK(BM_SolveSharedSellCS)->Arg(32)->Arg(256)->UseRealTime();
+
 // Batched multi-RHS solves, blocked kernels, fixed 50 iterations, k random
 // right-hand sides. Items = row *updates* (rows x k per iteration), so
 // items_per_second measures aggregate throughput: the k=8 / k=1 ratio is
@@ -307,10 +325,43 @@ void BM_SolveSharedBatchMetrics(benchmark::State& state) {
 }
 BENCHMARK(BM_SolveSharedBatchMetrics)->UseRealTime();
 
+// Problem behind the --n / --matrix dynamic registrations; owned here so
+// the registered lambdas (which may run long after main's locals would
+// have died in a refactor) capture a stable pointer.
+std::shared_ptr<const gen::LinearProblem> custom_problem;
+
+void register_custom_solves(const std::string& label) {
+  struct NamedKernel {
+    const char* name;
+    runtime::KernelKind kind;
+  };
+  static constexpr NamedKernel kKernels[] = {
+      {"BM_SolveSharedAsync", runtime::KernelKind::kReference},
+      {"BM_SolveSharedBlocked", runtime::KernelKind::kBlocked},
+      {"BM_SolveSharedSellCS", runtime::KernelKind::kSellCS},
+  };
+  for (const NamedKernel& k : kKernels) {
+    benchmark::RegisterBenchmark(
+        (std::string(k.name) + "/" + label).c_str(),
+        [kind = k.kind](benchmark::State& state) {
+          const gen::LinearProblem& p = *custom_problem;
+          const runtime::SharedOptions o = solve_opts(kind);
+          for (auto _ : state) {
+            const auto r = runtime::solve_shared(p.a, p.b, p.x0, o);
+            benchmark::DoNotOptimize(r.total_relaxations);
+          }
+          state.SetItemsProcessed(state.iterations() * 50 * p.a.num_rows());
+        })
+        ->UseRealTime();
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string json_path;
+  std::string custom_edge;
+  std::string custom_mtx;
   std::vector<char*> args;
   args.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
@@ -323,7 +374,47 @@ int main(int argc, char** argv) {
       json_path = arg.substr(7);
       continue;
     }
+    // --n EDGE: additionally run the three shared-solve kernels on an
+    // fd:EDGExEDGE Laplacian (sizes beyond the wired-in Arg list).
+    if (arg == "--n" && i + 1 < argc) {
+      custom_edge = argv[++i];
+      continue;
+    }
+    if (arg.rfind("--n=", 0) == 0) {
+      custom_edge = arg.substr(4);
+      continue;
+    }
+    // --matrix FILE.mtx: same three kernels on an imported Matrix Market
+    // matrix (scaled to unit diagonal like every other problem here).
+    if (arg == "--matrix" && i + 1 < argc) {
+      custom_mtx = argv[++i];
+      continue;
+    }
+    if (arg.rfind("--matrix=", 0) == 0) {
+      custom_mtx = arg.substr(9);
+      continue;
+    }
     args.push_back(argv[i]);
+  }
+  if (!custom_edge.empty() && !custom_mtx.empty()) {
+    std::fprintf(stderr, "bench_kernels: pass --n or --matrix, not both\n");
+    return 1;
+  }
+  try {
+    if (!custom_edge.empty()) {
+      const auto edge = static_cast<ajac::index_t>(std::stoll(custom_edge));
+      custom_problem = std::make_shared<gen::LinearProblem>(
+          gen::make_problem("fd", grid(edge), 1));
+      register_custom_solves("n=" + custom_edge);
+    } else if (!custom_mtx.empty()) {
+      custom_problem = std::make_shared<gen::LinearProblem>(gen::make_problem(
+          custom_mtx, ajac::read_matrix_market(custom_mtx), 1));
+      register_custom_solves("mtx");
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_kernels: cannot set up custom problem: %s\n",
+                 e.what());
+    return 1;
   }
   std::string out_flag;
   std::string fmt_flag = "--benchmark_out_format=json";
@@ -334,6 +425,16 @@ int main(int argc, char** argv) {
   }
   benchmark::AddCustomContext("git_sha", AJAC_GIT_SHA);
   benchmark::AddCustomContext("compiler", __VERSION__);
+  // The stock "library_build_type" field describes how the *benchmark
+  // library* was compiled (often debug for distro packages); this one
+  // describes the code actually under test.
+  benchmark::AddCustomContext("ajac_build_type",
+#ifdef NDEBUG
+                              "release"
+#else
+                              "debug"
+#endif
+  );
   benchmark::AddCustomContext("omp_max_threads",
                               std::to_string(omp_get_max_threads()));
   int bench_argc = static_cast<int>(args.size());

@@ -81,8 +81,22 @@ Backend parse_backend(const std::string& name) {
 runtime::KernelKind parse_kernel(const std::string& name) {
   if (name == "blocked") return runtime::KernelKind::kBlocked;
   if (name == "reference") return runtime::KernelKind::kReference;
+  if (name == "sellcs") return runtime::KernelKind::kSellCS;
   throw std::invalid_argument("unknown kernel '" + name +
-                              "' (blocked | reference)");
+                              "' (blocked | reference | sellcs)");
+}
+
+bool parse_balance(const std::string& name) {
+  if (name == "nnz") return true;
+  if (name == "rows") return false;
+  throw std::invalid_argument("unknown balance '" + name + "' (rows | nnz)");
+}
+
+runtime::GhostPrecision parse_ghost_precision(const std::string& name) {
+  if (name == "fp64") return runtime::GhostPrecision::kFp64;
+  if (name == "fp32") return runtime::GhostPrecision::kFp32;
+  throw std::invalid_argument("unknown ghost precision '" + name +
+                              "' (fp64 | fp32)");
 }
 
 runtime::RowPolicy parse_policy(const std::string& name) {
@@ -110,7 +124,16 @@ int main(int argc, char** argv) {
   cli.add_option("max-iterations", "1000000", "iteration cap");
   cli.add_option("seed", "1", "random seed (b, x0, partitioner, noise)");
   cli.add_option("kernel", "blocked",
-                 "shared backend kernels: blocked | reference");
+                 "shared backend kernels: blocked | reference | sellcs "
+                 "(sellcs = SELL-C-sigma interior + dense ghost buffers, "
+                 "for large problems)");
+  cli.add_option("balance", "nnz",
+                 "shared backend partition balance: nnz (contiguous blocks "
+                 "equalized by nonzero count; default) | rows (equal row "
+                 "counts; reference kernel always uses rows)");
+  cli.add_option("ghost-precision", "fp64",
+                 "sellcs kernel: precision of published ghost values, "
+                 "fp64 | fp32 (residuals and termination stay fp64)");
   cli.add_option("policy", "natural",
                  "async row-selection policy: natural | uniform | weighted "
                  "(shared and distsim backends)");
@@ -167,6 +190,8 @@ int main(int argc, char** argv) {
     cfg.max_iterations = cli.get_int("max-iterations");
     cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
     cfg.shared_kernel = parse_kernel(cli.get_string("kernel"));
+    cfg.balance_by_nnz = parse_balance(cli.get_string("balance"));
+    cfg.ghost_precision = parse_ghost_precision(cli.get_string("ghost-precision"));
     cfg.num_rhs = cli.get_int("nrhs");
     cfg.policy = parse_policy(cli.get_string("policy"));
     cfg.weight_refresh = cli.get_int("weight-refresh");

@@ -54,10 +54,20 @@ Solution solve(const CsrMatrix& a, const Vector& b, const Vector& x0,
       opts.max_iterations = config.max_iterations;
       opts.record_history = false;
       opts.kernel = config.shared_kernel;
+      opts.ghost_precision = config.ghost_precision;
       opts.policy = config.policy;
       opts.weight_refresh = config.weight_refresh;
       opts.policy_seed = config.seed;
       opts.stream = config.stream;
+      // nnz-balanced blocks for the partition-aware kernels (the facade
+      // default). The runtime's own default stays row-balanced, so direct
+      // SharedOptions users — and every recorded golden trace — are
+      // untouched.
+      if (config.balance_by_nnz && config.parallelism > 1 &&
+          config.shared_kernel != runtime::KernelKind::kReference) {
+        opts.partition =
+            partition::nnz_balanced_partition(a, config.parallelism);
+      }
       const runtime::SharedResult r = runtime::solve_shared(a, b, x0, opts);
       sol.seconds = r.seconds;
       sol.x = r.x;
@@ -181,10 +191,16 @@ BatchSolution solve_batch(const CsrMatrix& a, const MultiVector& b,
   opts.max_iterations = config.max_iterations;
   opts.record_history = false;
   opts.kernel = config.shared_kernel;
+  opts.ghost_precision = config.ghost_precision;
   opts.policy = config.policy;
   opts.weight_refresh = config.weight_refresh;
   opts.policy_seed = config.seed;
   opts.stream = config.stream;
+  // Same facade-level nnz balancing as the single-RHS path.
+  if (config.balance_by_nnz && config.parallelism > 1 &&
+      config.shared_kernel != runtime::KernelKind::kReference) {
+    opts.partition = partition::nnz_balanced_partition(a, config.parallelism);
+  }
   runtime::SharedBatchResult r = runtime::solve_shared_batch(a, b, x0, opts);
   BatchSolution sol;
   sol.x = std::move(r.x);

@@ -51,9 +51,23 @@ struct SolveConfig {
   /// recommended; mirrors the paper's METIS step).
   bool partition_first = true;
   /// kSharedMemory: relaxation kernel family — the partition-aware blocked
-  /// kernels (default) or the reference kernels that read every column
-  /// through the shared vector.
+  /// kernels (default), the reference kernels that read every column
+  /// through the shared vector, or the bandwidth-engineered kSellCS path
+  /// for large problems (SELL-C-sigma interior, dense ghost buffers; see
+  /// runtime::KernelKind).
   runtime::KernelKind shared_kernel = runtime::KernelKind::kBlocked;
+  /// kSharedMemory, blocked/kSellCS kernels: balance the contiguous row
+  /// partition by nonzero count instead of row count (default). On graded
+  /// meshes and Matrix Market imports row-balanced blocks can differ 2x+
+  /// in nnz, and the slowest block sets the convergence clock. Row
+  /// balancing remains available for reproducing older runs; an explicit
+  /// runtime partition always wins over this switch. The reference kernel
+  /// ignores it (its baselines are defined on row-balanced blocks).
+  bool balance_by_nnz = true;
+  /// kSharedMemory with shared_kernel == kSellCS: precision at which
+  /// committed iterates are published for neighbours' ghost reads
+  /// (runtime::GhostPrecision). Residuals and termination stay fp64.
+  runtime::GhostPrecision ghost_precision = runtime::GhostPrecision::kFp64;
   /// kSharedMemory: number of right-hand sides solved together. 1 runs the
   /// single-RHS path; > 1 routes through solve_shared_batch (b must carry
   /// exactly num_rhs columns via solve_batch), amortizing every matrix

@@ -79,6 +79,7 @@ enum class Counter : std::size_t {
   kWeightRefreshes,     ///< sampled policies: |r_i| prefix-sum rebuilds
   kPolicyDraws,         ///< sampled policies: rows drawn from the sampler
   kQueueFullDrops,      ///< mesh: packets refused by a full SPSC ring
+  kGhostRefreshes,      ///< sellcs: dense ghost-buffer refreshes performed
   kCount
 };
 inline constexpr std::size_t kNumCounters =

@@ -27,6 +27,7 @@ const char* counter_name(Counter c) noexcept {
     case Counter::kWeightRefreshes: return "weight_refreshes";
     case Counter::kPolicyDraws: return "policy_draws";
     case Counter::kQueueFullDrops: return "queue_full_drops";
+    case Counter::kGhostRefreshes: return "ghost_refreshes";
     case Counter::kCount: break;
   }
   return "unknown";

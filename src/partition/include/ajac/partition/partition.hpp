@@ -43,6 +43,18 @@ struct Partition {
 /// naive distributed assignment does.
 [[nodiscard]] Partition contiguous_partition(index_t n, index_t num_parts);
 
+/// Contiguous blocks balanced by nonzero count instead of row count: part
+/// boundaries are cut where the nnz prefix sum crosses each k/num_parts
+/// fraction of the total, so every thread streams roughly the same number
+/// of matrix entries per sweep. For matrices with skewed row densities the
+/// row-balanced split hands the densest block up to several times the work
+/// of the lightest one — the straggler the paper's asynchronous runs keep
+/// waiting on. Keeps the matrix's existing row order (no permutation), so
+/// it composes with BlockedCsr exactly like contiguous_partition. When
+/// enough rows remain, every part is guaranteed at least one row.
+[[nodiscard]] Partition nnz_balanced_partition(const CsrMatrix& a,
+                                               index_t num_parts);
+
 /// Debug-layer validator: throws std::logic_error unless `p` is a valid
 /// partition of rows [0, num_rows) — at least one part, block_starts
 /// starting at 0, non-decreasing (parts disjoint), and ending at num_rows

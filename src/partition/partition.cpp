@@ -31,6 +31,46 @@ Partition contiguous_partition(index_t n, index_t num_parts) {
   return p;
 }
 
+Partition nnz_balanced_partition(const CsrMatrix& a, index_t num_parts) {
+  AJAC_CHECK(num_parts >= 1);
+  const index_t n = a.num_rows();
+  // Prefix sum of row nnz; boundary k sits at the prefix entry nearest to
+  // k/num_parts of the total (binary search), clamped so no part is empty
+  // while rows remain and the tail parts can still each get one row. Each
+  // cut lands within one row's nonzeros of its target, so no part exceeds
+  // the ideal share by more than ~two maximal rows.
+  std::vector<index_t> prefix(static_cast<std::size_t>(n) + 1, 0);
+  for (index_t i = 0; i < n; ++i) {
+    prefix[static_cast<std::size_t>(i) + 1] =
+        prefix[static_cast<std::size_t>(i)] + a.row_nnz(i);
+  }
+  const index_t total = prefix[static_cast<std::size_t>(n)];
+  Partition p;
+  p.block_starts.resize(static_cast<std::size_t>(num_parts) + 1);
+  p.block_starts[0] = 0;
+  for (index_t k = 1; k < num_parts; ++k) {
+    const index_t target =
+        static_cast<index_t>((static_cast<double>(total) * k) / num_parts);
+    const auto it =
+        std::lower_bound(prefix.begin() + 1, prefix.end(), target);
+    auto cut = it == prefix.end()
+                   ? n
+                   : static_cast<index_t>(it - prefix.begin());
+    if (cut > 0 && it != prefix.end() &&
+        target - prefix[static_cast<std::size_t>(cut) - 1] <
+            prefix[static_cast<std::size_t>(cut)] - target) {
+      --cut;  // the previous row boundary is closer to the target
+    }
+    const index_t prev = p.block_starts[static_cast<std::size_t>(k) - 1];
+    const index_t parts_left = num_parts - k;  // parts after this boundary
+    cut = std::max(cut, std::min(prev + 1, n - parts_left));
+    cut = std::min(cut, std::max(prev, n - parts_left));
+    p.block_starts[static_cast<std::size_t>(k)] = std::max(cut, prev);
+  }
+  p.block_starts[static_cast<std::size_t>(num_parts)] = n;
+  return p;
+}
+
 void validate(const Partition& p, index_t num_rows) {
   AJAC_CHECK_MSG(p.block_starts.size() >= 2,
                  "partition needs at least one part (block_starts size "

@@ -721,6 +721,12 @@ SharedBatchResult solve_shared_batch(const CsrMatrix& a, const MultiVector& b,
                  "synchronous meaning (asynchronous mode only)");
   AJAC_CHECK_MSG(opts.weight_refresh >= 1,
                  "weight_refresh must be a positive iteration cadence");
+  AJAC_CHECK_MSG(opts.kernel != KernelKind::kSellCS,
+                 "the bandwidth-engineered kSellCS data plane has no batched "
+                 "kernel (use kBlocked for multi-RHS runs)");
+  AJAC_CHECK_MSG(opts.ghost_precision == GhostPrecision::kFp64,
+                 "fp32 ghost publication is kSellCS-only, which the batch "
+                 "path does not support");
 
   const partition::Partition part =
       opts.partition.value_or(partition::contiguous_partition(

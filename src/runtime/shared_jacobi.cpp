@@ -13,8 +13,10 @@
 #include "ajac/obs/metrics.hpp"
 #include "ajac/obs/stream.hpp"
 #include "ajac/runtime/blocked_kernels.hpp"
+#include "ajac/runtime/sell_kernels.hpp"
 #include "ajac/runtime/shared_vector.hpp"
 #include "ajac/sparse/blocked_csr.hpp"
+#include "ajac/sparse/sell_csr.hpp"
 #include "ajac/sparse/csr.hpp"
 #include "ajac/sparse/validate.hpp"
 #include "ajac/sparse/vector_ops.hpp"
@@ -37,13 +39,18 @@ using detail::NullFaults;
 using detail::NullMetrics;
 using detail::NullStream;
 
+// `sell` and `shadow` are the kSellCS data plane (both null otherwise):
+// runtime pointers rather than a third template axis — the per-iteration
+// `sell != nullptr` branch is noise next to an O(nnz) sweep, and the
+// blocked/reference instantiations stay exactly as before.
 template <class Faults, class Metrics, class Stream, bool Blocked>
 SharedResult solve_shared_impl(const CsrMatrix& a, const Vector& b,
                                const Vector& x0, const SharedOptions& opts,
                                const partition::Partition& part,
                                const Vector& inv_diag,
                                const fault::FaultPlan* plan,
-                               const BlockedCsr* blocked) {
+                               const BlockedCsr* blocked, const SellCsr* sell,
+                               SharedF32Vector* shadow) {
   const index_t n = a.num_rows();
 
   SharedVector x(n, opts.record_trace);
@@ -151,6 +158,10 @@ SharedResult solve_shared_impl(const CsrMatrix& a, const Vector& b,
     // filled here so the owning thread first-touches its own pages.
     [[maybe_unused]] const BlockedCsr::Block* blk = nullptr;
     [[maybe_unused]] OwnBlockState own;
+    // kSellCS path: SELL interior view plus the dense ghost buffer,
+    // likewise allocated here for first touch.
+    [[maybe_unused]] const SellCsr::Block* sblk = nullptr;
+    std::vector<double> ghosts;
 
     // The partition makes this thread the sole writer of rows [lo, hi) of
     // x and r, and of its private mirror: claim the roles every protocol
@@ -163,6 +174,10 @@ SharedResult solve_shared_impl(const CsrMatrix& a, const Vector& b,
     if constexpr (Blocked) {
       blk = &blocked->block(t);
       refresh_own_block(*blk, x, own);
+      if (sell != nullptr) {
+        sblk = &sell->block(t);
+        ghosts.assign(blk->ghost_cols.size(), 0.0);
+      }
     }
 
     // Verification gate: the flag array is based on racy reads of the
@@ -401,8 +416,24 @@ SharedResult solve_shared_impl(const CsrMatrix& a, const Vector& b,
         }
       } else {
         if constexpr (Blocked) {
-          relax_interior(*blk, a, b, own, faults, r);
-          relax_boundary(*blk, a, b, own, x, faults, r);
+          if (sell != nullptr) {
+            // kSellCS: refresh the dense ghost buffer once (from the fp32
+            // shadow when one exists, else the authoritative fp64 vector),
+            // then relax the SELL-packed interior and the buffered
+            // boundary. Faults/trace/GS/sampling never reach this branch
+            // (rejected in solve_shared).
+            if (shadow != nullptr) {
+              refresh_ghosts_f32(*blk, *shadow, ghosts);
+            } else {
+              refresh_ghosts(*blk, x, ghosts);
+            }
+            if constexpr (Metrics::enabled) metrics.ghost_refresh();
+            relax_interior_sell(*sblk, b, own, r);
+            relax_boundary_buffered(*blk, b, own, ghosts, r);
+          } else {
+            relax_interior(*blk, a, b, own, faults, r);
+            relax_boundary(*blk, a, b, own, x, faults, r);
+          }
         } else {
           for (index_t i = lo; i < hi; ++i) {
             double acc = b[i];
@@ -445,6 +476,13 @@ SharedResult solve_shared_impl(const CsrMatrix& a, const Vector& b,
       if (!opts.local_gauss_seidel && !sampled) {
         if constexpr (Blocked) {
           commit_block(*blk, own, x, r);
+          if (shadow != nullptr) {
+            // fp32 ghost runs: republish the freshly committed own rows to
+            // the float shadow neighbours refresh from. The partition makes
+            // this thread the shadow's sole writer on these rows.
+            shadow->writer_role().assert_held();
+            publish_shadow(*blk, own, *shadow);
+          }
         } else {
           for (index_t i = lo; i < hi; ++i) {
             x.write(i, x.read(i) + inv_diag[i] * local_r[i - lo]);
@@ -630,13 +668,14 @@ SharedResult dispatch_kernel(const CsrMatrix& a, const Vector& b,
                              const partition::Partition& part,
                              const Vector& inv_diag,
                              const fault::FaultPlan* plan,
-                             const BlockedCsr* blocked) {
+                             const BlockedCsr* blocked, const SellCsr* sell,
+                             SharedF32Vector* shadow) {
   if (blocked != nullptr) {
     return solve_shared_impl<Faults, Metrics, Stream, true>(
-        a, b, x0, opts, part, inv_diag, plan, blocked);
+        a, b, x0, opts, part, inv_diag, plan, blocked, sell, shadow);
   }
   return solve_shared_impl<Faults, Metrics, Stream, false>(
-      a, b, x0, opts, part, inv_diag, plan, nullptr);
+      a, b, x0, opts, part, inv_diag, plan, nullptr, nullptr, nullptr);
 }
 
 /// Fold the telemetry-hub choice into the Stream hook axis; the null path
@@ -647,13 +686,14 @@ SharedResult dispatch_stream(const CsrMatrix& a, const Vector& b,
                              const partition::Partition& part,
                              const Vector& inv_diag,
                              const fault::FaultPlan* plan,
-                             const BlockedCsr* blocked) {
+                             const BlockedCsr* blocked, const SellCsr* sell,
+                             SharedF32Vector* shadow) {
   if (opts.stream != nullptr) {
     return dispatch_kernel<Faults, Metrics, ActiveStream>(
-        a, b, x0, opts, part, inv_diag, plan, blocked);
+        a, b, x0, opts, part, inv_diag, plan, blocked, sell, shadow);
   }
-  return dispatch_kernel<Faults, Metrics, NullStream>(a, b, x0, opts, part,
-                                                      inv_diag, plan, blocked);
+  return dispatch_kernel<Faults, Metrics, NullStream>(
+      a, b, x0, opts, part, inv_diag, plan, blocked, sell, shadow);
 }
 
 }  // namespace
@@ -683,6 +723,22 @@ SharedResult solve_shared(const CsrMatrix& a, const Vector& b,
                  "local_gauss_seidel does not compose with them");
   AJAC_CHECK_MSG(opts.weight_refresh >= 1,
                  "weight_refresh must be a positive iteration cadence");
+  const bool sellcs = opts.kernel == KernelKind::kSellCS;
+  AJAC_CHECK_MSG(!(sellcs && opts.record_trace),
+                 "kSellCS amortizes ghost reads into per-iteration buffer "
+                 "refreshes; per-read version traces need kBlocked or "
+                 "kReference");
+  AJAC_CHECK_MSG(!(sellcs && opts.local_gauss_seidel),
+                 "the in-place local sweep reads its own fresh updates "
+                 "row-by-row; the SELL repack relaxes rows out of order "
+                 "(use kBlocked)");
+  AJAC_CHECK_MSG(!(sellcs && is_sampled(opts.policy)),
+                 "sampled row policies relax drawn rows in place; the SELL "
+                 "interior relaxes whole chunks (use kBlocked)");
+  AJAC_CHECK_MSG(
+      !(opts.ghost_precision == GhostPrecision::kFp32 && !sellcs),
+      "fp32 ghost publication is part of the kSellCS data plane; the "
+      "blocked and reference kernels read the fp64 vector per entry");
 
   const partition::Partition part =
       opts.partition.value_or(partition::contiguous_partition(
@@ -712,6 +768,10 @@ SharedResult solve_shared(const CsrMatrix& a, const Vector& b,
     AJAC_CHECK_MSG(!opts.synchronous,
                    "fault injection targets the asynchronous runtime (the "
                    "synchronous barriers serialize every fault away)");
+    AJAC_CHECK_MSG(!sellcs,
+                   "fault injection is defined per shared read; the kSellCS "
+                   "buffered data plane amortizes those reads away (use "
+                   "kBlocked)");
     plan->validate(opts.num_threads);
   }
 
@@ -728,10 +788,27 @@ SharedResult solve_shared(const CsrMatrix& a, const Vector& b,
   // (its constructor runs its own first-touch parallel fill). Construction
   // is O(nnz) with a binary search only on ghost entries.
   std::optional<BlockedCsr> blocked_a;
-  if (opts.kernel == KernelKind::kBlocked) {
+  if (opts.kernel != KernelKind::kReference) {
     blocked_a.emplace(a, std::span<const index_t>(part.block_starts));
   }
   const BlockedCsr* blocked = blocked_a ? &*blocked_a : nullptr;
+
+  // kSellCS additions: the SELL interior repack (boundary rows keep
+  // relaxing through the blocked layout) and, for fp32 ghosts, the float
+  // shadow of x that neighbours refresh from. Both built before the
+  // threads start; the shadow starts at x0 so the first refresh reads the
+  // same values the blocked path would.
+  std::optional<SellCsr> sell_a;
+  if (sellcs) sell_a.emplace(*blocked_a);
+  const SellCsr* sell = sell_a ? &*sell_a : nullptr;
+  std::optional<SharedF32Vector> shadow_a;
+  if (opts.ghost_precision == GhostPrecision::kFp32) {
+    shadow_a.emplace(n);
+    // Single-threaded setup: momentarily the sole writer (as for x and r).
+    shadow_a->writer_role().assert_held();
+    shadow_a->init(x0);
+  }
+  SharedF32Vector* shadow = shadow_a ? &*shadow_a : nullptr;
 
   if (opts.stream != nullptr) {
     opts.stream->begin_run(opts.num_threads, "thread", opts.tolerance,
@@ -743,21 +820,19 @@ SharedResult solve_shared(const CsrMatrix& a, const Vector& b,
   // each compile to no-ops when off, so the common (no plan, no registry,
   // no hub) path is exactly the plain solver.
   if (plan != nullptr && metrics != nullptr) {
-    return dispatch_stream<ActiveFaults, ActiveMetrics>(a, b, x0, opts, part,
-                                                        inv_diag, plan,
-                                                        blocked);
+    return dispatch_stream<ActiveFaults, ActiveMetrics>(
+        a, b, x0, opts, part, inv_diag, plan, blocked, sell, shadow);
   }
   if (plan != nullptr) {
-    return dispatch_stream<ActiveFaults, NullMetrics>(a, b, x0, opts, part,
-                                                      inv_diag, plan, blocked);
+    return dispatch_stream<ActiveFaults, NullMetrics>(
+        a, b, x0, opts, part, inv_diag, plan, blocked, sell, shadow);
   }
   if (metrics != nullptr) {
-    return dispatch_stream<NullFaults, ActiveMetrics>(a, b, x0, opts, part,
-                                                      inv_diag, nullptr,
-                                                      blocked);
+    return dispatch_stream<NullFaults, ActiveMetrics>(
+        a, b, x0, opts, part, inv_diag, nullptr, blocked, sell, shadow);
   }
-  return dispatch_stream<NullFaults, NullMetrics>(a, b, x0, opts, part,
-                                                  inv_diag, nullptr, blocked);
+  return dispatch_stream<NullFaults, NullMetrics>(
+      a, b, x0, opts, part, inv_diag, nullptr, blocked, sell, shadow);
 }
 
 }  // namespace ajac::runtime

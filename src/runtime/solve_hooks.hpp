@@ -506,6 +506,7 @@ struct NullMetrics {
   void flag_update(bool /*my_done*/, index_t /*iter*/) {}
   void stop_decided() {}
   void weight_refresh() {}
+  void ghost_refresh() {}
   void policy_counts(std::span<const std::uint32_t> /*counts*/) {}
 };
 
@@ -662,6 +663,14 @@ class ActiveMetrics {
   void weight_refresh() {
     slot_->owner.assert_held();
     slot_->add(obs::Counter::kWeightRefreshes);
+  }
+
+  /// kSellCS only: one dense ghost-buffer refresh happened (one racy read
+  /// per distinct ghost column; kGhostReads still counts the per-entry
+  /// gather volume those refreshes replace, via read_mix).
+  void ghost_refresh() {
+    slot_->owner.assert_held();
+    slot_->add(obs::Counter::kGhostRefreshes);
   }
 
   /// Sampled row policies, once per thread after its loop: the per-row

@@ -270,5 +270,153 @@ TEST(KernelEquiv, MetricsRegistryDoesNotPerturbBlockedResults) {
                 snap.totals[static_cast<std::size_t>(obs::Counter::kIterations)]);
 }
 
+/// Run the same problem through kSellCS and kBlocked and require bitwise
+/// agreement — the contract of the bandwidth-engineered data plane with
+/// fp64 ghosts whenever the reads see the same values (one thread, or
+/// synchronous mode): the SELL slice accumulation consumes each row's
+/// entries in CSR order and the once-per-iteration ghost refresh reads
+/// exactly what the per-entry blocked reads would.
+void expect_sellcs_matches_blocked(const gen::LinearProblem& p,
+                                   SharedOptions opts) {
+  opts.kernel = KernelKind::kSellCS;
+  const SharedResult sell = solve_shared(p.a, p.b, p.x0, opts);
+  opts.kernel = KernelKind::kBlocked;
+  const SharedResult blocked = solve_shared(p.a, p.b, p.x0, opts);
+
+  expect_bitwise_equal(sell.x, blocked.x);
+  EXPECT_EQ(sell.converged, blocked.converged);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(sell.final_rel_residual_1),
+            std::bit_cast<std::uint64_t>(blocked.final_rel_residual_1));
+  EXPECT_EQ(sell.iterations_per_thread, blocked.iterations_per_thread);
+  EXPECT_EQ(sell.total_relaxations, blocked.total_relaxations);
+  EXPECT_EQ(sell.polish_sweeps, blocked.polish_sweeps);
+}
+
+TEST(KernelEquiv, SellCSSingleThreadBitwiseIdentical) {
+  for (auto& [name, a] : test_matrices()) {
+    SCOPED_TRACE(name);
+    const auto p =
+        gen::make_problem(name, std::move(a), ajac::testing::test_seed(87));
+    SharedOptions opts;
+    opts.num_threads = 1;
+    opts.tolerance = 1e-8;
+    opts.max_iterations = 40000;
+    opts.record_history = false;
+    expect_sellcs_matches_blocked(p, opts);
+  }
+}
+
+TEST(KernelEquiv, SellCSSingleThreadFixedIterationsBitwiseIdentical) {
+  for (auto& [name, a] : test_matrices()) {
+    SCOPED_TRACE(name);
+    const auto p =
+        gen::make_problem(name, std::move(a), ajac::testing::test_seed(89));
+    for (const index_t iters : {1, 2, 5, 17, 64}) {
+      SCOPED_TRACE(::testing::Message() << "iterations " << iters);
+      SharedOptions opts;
+      opts.num_threads = 1;
+      opts.tolerance = 0.0;
+      opts.max_iterations = iters;
+      opts.record_history = false;
+      expect_sellcs_matches_blocked(p, opts);
+    }
+  }
+}
+
+TEST(KernelEquiv, SellCSMultiThreadSynchronousZeroUlp) {
+  // With barriers the commits of iteration k all complete before any
+  // thread's iteration k+1 ghost refresh, so the dense buffer holds
+  // exactly the frozen x the blocked per-entry reads would see — the runs
+  // must agree to 0 ULP at any thread count, SELL row reordering included.
+  for (auto& [name, a] : test_matrices()) {
+    SCOPED_TRACE(name);
+    const auto p =
+        gen::make_problem(name, std::move(a), ajac::testing::test_seed(91));
+    for (const index_t threads : {2, 3, 4}) {
+      for (const index_t iters : {1, 7, 40}) {
+        SCOPED_TRACE(::testing::Message()
+                     << threads << " threads, " << iters << " iterations");
+        SharedOptions opts;
+        opts.num_threads = threads;
+        opts.synchronous = true;
+        opts.tolerance = 0.0;
+        opts.max_iterations = iters;
+        opts.record_history = false;
+        expect_sellcs_matches_blocked(p, opts);
+      }
+    }
+  }
+}
+
+TEST(KernelEquiv, SellCSNnzPartitionSynchronousZeroUlp) {
+  // Same contract on nnz-balanced blocks (the facade's default for the
+  // partition-aware kernels): unequal block sizes change which rows are
+  // interior vs boundary, not any row's accumulation order.
+  for (auto& [name, a] : test_matrices()) {
+    SCOPED_TRACE(name);
+    const auto p =
+        gen::make_problem(name, std::move(a), ajac::testing::test_seed(93));
+    SharedOptions opts;
+    opts.num_threads = 3;
+    opts.synchronous = true;
+    opts.tolerance = 0.0;
+    opts.max_iterations = 25;
+    opts.record_history = false;
+    opts.partition = partition::nnz_balanced_partition(p.a, opts.num_threads);
+    expect_sellcs_matches_blocked(p, opts);
+  }
+}
+
+TEST(KernelEquiv, SellCSFp32GhostsConvergeWithFp64Termination) {
+  // fp32 ghost publication perturbs only what neighbours read — the
+  // verified stop recomputes a fresh fp64 residual from the authoritative
+  // x, so a converged=true result certifies the fp64 tolerance exactly as
+  // on the other kernels. The rounding does put a floor under the
+  // achievable residual (boundary rows re-read fp32-rounded neighbours
+  // every sweep, so the iterate stalls around eps_fp32 ~ 6e-8 relative);
+  // the tolerance here sits safely above that floor. Asynchronous
+  // multi-thread runs, several seeds.
+  for (const int salt : {95, 97, 99}) {
+    SCOPED_TRACE(::testing::Message() << "salt " << salt);
+    const auto p = gen::make_problem("fd", gen::fd_laplacian_2d(24, 24),
+                                     ajac::testing::test_seed(salt));
+    SharedOptions opts;
+    opts.num_threads = 4;
+    opts.tolerance = 1e-5;
+    opts.max_iterations = 200000;
+    opts.record_history = false;
+    opts.yield = true;
+    opts.kernel = KernelKind::kSellCS;
+    opts.ghost_precision = GhostPrecision::kFp32;
+    const SharedResult r = solve_shared(p.a, p.b, p.x0, opts);
+    EXPECT_TRUE(r.converged);
+    EXPECT_LE(r.final_rel_residual_1, opts.tolerance);
+  }
+}
+
+TEST(KernelEquiv, SellCSMetricsCountGhostRefreshes) {
+  // The registry must not perturb the solve, and the kSellCS-specific
+  // counter must tally exactly one buffer refresh per local iteration.
+  const auto p = gen::make_problem("fd", gen::fd_laplacian_2d(10, 10),
+                                   ajac::testing::test_seed(101));
+  SharedOptions opts;
+  opts.num_threads = 1;
+  opts.tolerance = 0.0;
+  opts.max_iterations = 30;
+  opts.record_history = false;
+  opts.kernel = KernelKind::kSellCS;
+  const SharedResult plain = solve_shared(p.a, p.b, p.x0, opts);
+
+  obs::MetricsRegistry reg;
+  opts.metrics = &reg;
+  const SharedResult instrumented = solve_shared(p.a, p.b, p.x0, opts);
+
+  expect_bitwise_equal(instrumented.x, plain.x);
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(
+      snap.totals[static_cast<std::size_t>(obs::Counter::kGhostRefreshes)],
+      snap.totals[static_cast<std::size_t>(obs::Counter::kIterations)]);
+}
+
 }  // namespace
 }  // namespace ajac::runtime

@@ -1,9 +1,11 @@
 #!/usr/bin/env python3
-"""Gate the blocked kernels' throughput from a bench_kernels JSON report.
+"""Gate the blocked kernels' throughput from a benchmark JSON report.
 
-Reads a google-benchmark JSON file (produced by `bench_kernels --json ...`)
-and compares the partition-aware blocked asynchronous solve against the
-reference one on the 256x256 FD Laplacian:
+Two modes, one per report schema:
+
+Default (google-benchmark JSON, from `bench_kernels --json ...`): compares
+the partition-aware blocked asynchronous solve against the reference one
+on the 256x256 FD Laplacian:
 
     BM_SolveSharedAsync/256/real_time    (KernelKind::kReference)
     BM_SolveSharedBlocked/256/real_time  (KernelKind::kBlocked)
@@ -15,9 +17,23 @@ the *median* over --benchmark_repetitions, not the mean — on shared CI
 runners a single descheduled repetition drags the mean far below steady
 state, while the median shrugs it off — and --noise-tolerance-pct (default
 3) relaxes the floor by the residual run-to-run jitter two medians still
-carry. Exit status: 0 ok, 1 too slow or benchmarks missing, 2 bad input.
+carry.
+
+--scale (ajac-bench-report JSON, from `bench_scale --json ...`): reads the
+"scale" table, picks the largest fd2 problem it benched (CI runs
+--edge 2048, local runs default to 4096), and gates the large-n ordering
+the bandwidth work promises, on mrows_per_s:
+
+    blocked                    >= reference x --min-speedup
+    best of sellcs/sellcs-fp32 >= blocked   x --min-new-speedup
+
+bench_scale already reports medians over --reps, so the rows are used
+directly; the same --noise-tolerance-pct allowance applies to both floors.
+
+Exit status: 0 ok, 1 too slow or benchmarks missing, 2 bad input.
 
 Usage: tools/check_kernel_speedup.py report.json [--min-speedup 1.0]
+       tools/check_kernel_speedup.py scale.json --scale [--min-new-speedup 1.0]
 """
 
 import argparse
@@ -27,6 +43,8 @@ import sys
 
 REFERENCE = "BM_SolveSharedAsync/256/real_time"
 BLOCKED = "BM_SolveSharedBlocked/256/real_time"
+
+SCALE_NEW_KERNELS = ("sellcs", "sellcs-fp32")
 
 
 def items_per_second(report: dict, name: str) -> float:
@@ -51,11 +69,82 @@ def items_per_second(report: dict, name: str) -> float:
     return statistics.median(rates)
 
 
+def gate(label: str, actual: float, base: float, min_speedup: float,
+         noise_pct: float) -> bool:
+    """Print one comparison line; True when actual/base clears the floor."""
+    speedup = actual / base
+    floor = min_speedup * (1.0 - noise_pct / 100.0)
+    ok = speedup >= floor
+    print(f"check_kernel_speedup: {'OK' if ok else 'FAIL'} — {label}: "
+          f"{speedup:.3f}x (floor {min_speedup}x - {noise_pct}% noise "
+          f"= {floor:.3f}x)")
+    return ok
+
+
+def check_scale(report: dict, args) -> int:
+    """Gate the bench_scale table (see module docstring, --scale mode)."""
+    table = report.get("tables", {}).get("scale")
+    if table is None:
+        print("check_kernel_speedup: no 'scale' table in report "
+              "(is this a bench_scale --json file?)", file=sys.stderr)
+        return 1
+    columns = table.get("columns", [])
+    try:
+        key_col = columns.index("problem/kernel")
+        n_col = columns.index("n")
+        rate_col = columns.index("mrows_per_s")
+    except ValueError as e:
+        print(f"check_kernel_speedup: scale table column missing: {e}",
+              file=sys.stderr)
+        return 2
+
+    # kernel -> mrows_per_s for the largest fd2 problem in the table.
+    by_problem: dict = {}
+    for row in table.get("rows", []):
+        key = str(row[key_col])
+        if "/" not in key or not key.startswith("fd2-"):
+            continue
+        problem, kernel = key.rsplit("/", 1)
+        by_problem.setdefault(problem, {"n": row[n_col], "rates": {}})
+        by_problem[problem]["rates"][kernel] = float(row[rate_col])
+    if not by_problem:
+        print("check_kernel_speedup: no fd2 rows in the scale table",
+              file=sys.stderr)
+        return 1
+    problem = max(by_problem, key=lambda p: by_problem[p]["n"])
+    rates = by_problem[problem]["rates"]
+
+    missing = [k for k in ("reference", "blocked", *SCALE_NEW_KERNELS)
+               if k not in rates]
+    if missing:
+        print(f"check_kernel_speedup: kernels {missing} missing from "
+              f"{problem} (run bench_scale with all kernels)",
+              file=sys.stderr)
+        return 1
+
+    best_new = max(SCALE_NEW_KERNELS, key=lambda k: rates[k])
+    print(f"check_kernel_speedup: {problem} "
+          f"(n={by_problem[problem]['n']:,}): " +
+          ", ".join(f"{k} {rates[k]:.1f} Mrows/s"
+                    for k in ("reference", "blocked", *SCALE_NEW_KERNELS)))
+    ok = gate("blocked vs reference", rates["blocked"], rates["reference"],
+              args.min_speedup, args.noise_tolerance_pct)
+    ok &= gate(f"{best_new} vs blocked", rates[best_new], rates["blocked"],
+               args.min_new_speedup, args.noise_tolerance_pct)
+    return 0 if ok else 1
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("report", help="bench_kernels --json output file")
+    parser.add_argument("report", help="benchmark --json output file")
+    parser.add_argument("--scale", action="store_true",
+                        help="gate a bench_scale ajac-bench-report instead "
+                             "of a bench_kernels google-benchmark report")
     parser.add_argument("--min-speedup", type=float, default=1.0,
                         help="minimum blocked/reference throughput ratio")
+    parser.add_argument("--min-new-speedup", type=float, default=1.0,
+                        help="--scale only: minimum best-of-sellcs/blocked "
+                             "throughput ratio")
     parser.add_argument("--noise-tolerance-pct", type=float, default=3.0,
                         help="run-to-run jitter allowance subtracted from "
                              "the floor, in percent")
@@ -68,6 +157,9 @@ def main() -> int:
         print(f"check_kernel_speedup: cannot read {args.report}: {e}",
               file=sys.stderr)
         return 2
+
+    if args.scale:
+        return check_scale(report, args)
 
     try:
         ref = items_per_second(report, REFERENCE)
@@ -83,14 +175,11 @@ def main() -> int:
               file=sys.stderr)
         return 2
 
-    speedup = blk / ref
-    floor = args.min_speedup * (1.0 - args.noise_tolerance_pct / 100.0)
-    verdict = "OK" if speedup >= floor else "FAIL"
-    print(f"check_kernel_speedup: {verdict} — "
-          f"reference {ref:,.0f} items/s, blocked {blk:,.0f} items/s, "
-          f"speedup {speedup:.3f}x (floor {args.min_speedup}x "
-          f"- {args.noise_tolerance_pct}% noise = {floor:.3f}x)")
-    return 0 if verdict == "OK" else 1
+    print(f"check_kernel_speedup: reference {ref:,.0f} items/s, "
+          f"blocked {blk:,.0f} items/s")
+    ok = gate("blocked vs reference", blk, ref, args.min_speedup,
+              args.noise_tolerance_pct)
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":
